@@ -1,0 +1,340 @@
+package takegrant
+
+// Benchmarks: one per reproduced table/figure plus the DESIGN.md §5
+// ablations. The scaling benchmarks (E8/E9/E10) sweep graph sizes so the
+// reported ns/op curves exhibit the paper's complexity claims: linear in
+// edges for the audit (Cor 5.6), flat for the per-rule guard (Cor 5.7),
+// near-linear for the can•share decision (Thm 2.3).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/experiments"
+	"takegrant/internal/explore"
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/relang"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+	"takegrant/internal/simulate"
+	"takegrant/internal/specimens"
+	"takegrant/internal/wu"
+)
+
+// BenchmarkE1WuConspiracy times the end-to-end breach of Wu's model:
+// decision plus derivation synthesis plus replay verification.
+func BenchmarkE1WuConspiracy(b *testing.B) {
+	w, err := wu.New(3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		breached, d, err := w.Breachable()
+		if !breached || err != nil || d == nil {
+			b.Fatal("breach lost")
+		}
+	}
+}
+
+// BenchmarkE4LinearLevels times the rw-level (SCC) analysis of Figure 4.1
+// hierarchies as they grow.
+func BenchmarkE4LinearLevels(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		c, err := hierarchy.Linear(n, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("levels-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := hierarchy.AnalyzeRW(c.G)
+				if s.NumLevels() != n {
+					b.Fatal("level count wrong")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6Restriction times one guarded rule application on the
+// Figure 5.1 graph (accept and refuse paths).
+func BenchmarkE6Restriction(b *testing.B) {
+	c, _ := hierarchy.Linear(2, 1)
+	g := c.G
+	e := g.Universe().MustDeclare("e")
+	x := c.Members["L2"][0]
+	y := c.Bulletin["L1"]
+	v := g.MustObject("v")
+	g.AddExplicit(x, v, rights.T)
+	g.AddExplicit(v, y, rights.Of(e, rights.Write))
+	s := hierarchy.AnalyzeRW(g)
+	comb := restrict.NewCombined(s)
+	refuse := rules.Take(x, v, y, rights.W)
+	allow := rules.Take(x, v, y, rights.Of(e))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if comb.Allows(g, refuse) == nil {
+			b.Fatal("write-down allowed")
+		}
+		if comb.Allows(g, allow) != nil {
+			b.Fatal("execute refused")
+		}
+	}
+}
+
+// BenchmarkE8LinearCheck sweeps the Corollary 5.6 audit across graph
+// sizes; ns/op should grow linearly with the edge counts logged.
+func BenchmarkE8LinearCheck(b *testing.B) {
+	for _, scale := range []int{4, 8, 16, 32} {
+		w := experiments.ScalingWorld(4, scale, scale, 11)
+		comb := restrict.NewCombined(w.S)
+		g := w.G()
+		b.Run(fmt.Sprintf("edges-%d", g.NumEdges()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				comb.Audit(g)
+			}
+		})
+	}
+}
+
+// BenchmarkE9ConstCheck sweeps the Corollary 5.7 per-rule guard; ns/op
+// should stay flat as the graph grows.
+func BenchmarkE9ConstCheck(b *testing.B) {
+	for _, scale := range []int{4, 8, 16, 32} {
+		w := experiments.ScalingWorld(4, scale, scale, 13)
+		g := w.G()
+		comb := restrict.NewCombined(w.S)
+		subs := g.Subjects()
+		app := rules.Take(subs[0], subs[1], subs[len(subs)-1], rights.W)
+		b.Run(fmt.Sprintf("edges-%d", g.NumEdges()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = comb.Allows(g, app)
+			}
+		})
+	}
+}
+
+// BenchmarkE10CanShare sweeps the Theorem 2.3 decision.
+func BenchmarkE10CanShare(b *testing.B) {
+	for _, scale := range []int{4, 8, 16, 32} {
+		w := experiments.ScalingWorld(4, scale, scale, 17)
+		g := w.G()
+		low := w.C.Members["L1"][0]
+		top := w.Docs["L4"][0]
+		b.Run(fmt.Sprintf("edges-%d", g.NumEdges()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				analysis.CanShare(g, rights.Read, low, top)
+			}
+		})
+	}
+}
+
+// BenchmarkE11Soundness times one full guarded adversarial run.
+func BenchmarkE11Soundness(b *testing.B) {
+	spec := simulate.Spec{Levels: 3, SubjectsPerLevel: 2, DocsPerLevel: 1, ExtraRights: 4, CrossTG: 4, Seed: 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := simulate.Hierarchy(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := simulate.Adversary(w, restrict.NewCombined(w.S), 60, rand.New(rand.NewSource(int64(i))))
+		if out.Breached {
+			b.Fatal("guarded run breached")
+		}
+	}
+}
+
+// BenchmarkE14BLP times the §6 equivalence sweep on the two-category
+// lattice.
+func BenchmarkE14BLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, ok := experiments.Run("E14")
+		if !ok || !t.Pass {
+			b.Fatal("E14 failed")
+		}
+	}
+}
+
+// BenchmarkCanKnow times the Theorem 3.2 decision on a mid-sized world.
+func BenchmarkCanKnow(b *testing.B) {
+	w := experiments.ScalingWorld(4, 8, 8, 23)
+	g := w.G()
+	low := w.C.Members["L1"][0]
+	top := w.Docs["L4"][0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.CanKnow(g, low, top)
+	}
+}
+
+// BenchmarkSynthesizeShare times constructive witness synthesis including
+// replay verification.
+func BenchmarkSynthesizeShare(b *testing.B) {
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	u := g.MustSubject("u")
+	v := g.MustObject("v")
+	w := g.MustSubject("w")
+	x := g.MustObject("x")
+	y := g.MustSubject("y")
+	sp := g.MustSubject("sp")
+	s := g.MustObject("s")
+	q := g.MustObject("q")
+	g.AddExplicit(p, u, rights.G)
+	g.AddExplicit(u, v, rights.T)
+	g.AddExplicit(v, w, rights.G)
+	g.AddExplicit(x, w, rights.T)
+	g.AddExplicit(y, x, rights.T)
+	g.AddExplicit(y, sp, rights.T)
+	g.AddExplicit(sp, s, rights.T)
+	g.AddExplicit(s, q, rights.R)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.SynthesizeShare(g, rights.Read, p, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeFactoClosure times eager information-flow materialisation.
+func BenchmarkDeFactoClosure(b *testing.B) {
+	w := experiments.ScalingWorld(3, 8, 4, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clone := w.G().Clone()
+		rules.DeFactoClosure(clone)
+	}
+}
+
+// Ablation benchmarks (DESIGN.md §5).
+
+func BenchmarkAblationLevelsSCC(b *testing.B) {
+	w := experiments.ScalingWorld(3, 8, 8, 19)
+	g := w.G()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hierarchy.AnalyzeRW(g)
+	}
+}
+
+func BenchmarkAblationLevelsPairwise(b *testing.B) {
+	w := experiments.ScalingWorld(3, 8, 8, 19)
+	g := w.G()
+	vs := g.Vertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range vs {
+			for _, y := range vs {
+				analysis.CanKnowF(g, x, y)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationRelangNFA(b *testing.B) {
+	w := experiments.ScalingWorld(3, 8, 8, 23)
+	g := w.G()
+	nfa := relang.Compile(relang.Bridge())
+	src := g.Subjects()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		relang.Search(g, nfa, []graph.ID{src}, relang.Options{})
+	}
+}
+
+func BenchmarkAblationRelangDFA(b *testing.B) {
+	w := experiments.ScalingWorld(3, 8, 8, 23)
+	g := w.G()
+	dfa := relang.Determinize(relang.Compile(relang.Bridge()))
+	src := g.Subjects()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		relang.SearchDFA(g, dfa, []graph.ID{src}, relang.Options{})
+	}
+}
+
+func BenchmarkAblationIncrementalGuard(b *testing.B) {
+	w := experiments.ScalingWorld(3, 8, 8, 29)
+	g := w.G()
+	comb := restrict.NewCombined(w.S)
+	subs := g.Subjects()
+	app := rules.Take(subs[0], subs[1], subs[len(subs)-1], rights.W)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = comb.Allows(g, app)
+	}
+}
+
+func BenchmarkAblationIncrementalReAudit(b *testing.B) {
+	w := experiments.ScalingWorld(3, 8, 8, 29)
+	g := w.G()
+	comb := restrict.NewCombined(w.S)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comb.Audit(g)
+	}
+}
+
+func BenchmarkAblationExploreSerial(b *testing.B) {
+	g := mustSpecimen(b, "fig61")
+	opts := explore.Options{MaxDepth: 3, MaxStates: 100000, DeJure: true, DeFacto: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		explore.Visit(g, opts, func(*graph.Graph, int) bool { return true })
+	}
+}
+
+func BenchmarkAblationExploreParallel(b *testing.B) {
+	g := mustSpecimen(b, "fig61")
+	opts := explore.Options{MaxDepth: 3, MaxStates: 100000, DeJure: true, DeFacto: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		explore.VisitParallel(g, opts, 0, func(*graph.Graph, int) bool { return true })
+	}
+}
+
+// BenchmarkProfile times the bulk rights-amplification closure against
+// per-pair queries (it must win decisively on dense graphs).
+func BenchmarkProfile(b *testing.B) {
+	w := experiments.ScalingWorld(3, 8, 4, 37)
+	g := w.G()
+	x := g.Subjects()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Profile(g, x)
+	}
+}
+
+func mustSpecimen(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	g, err := specimens.Load(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkAblationClosureLazy(b *testing.B) {
+	w := experiments.ScalingWorld(3, 8, 2, 31)
+	g := w.G()
+	low := w.C.Members["L1"][0]
+	top := w.C.Bulletin["L3"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.CanKnowF(g, top, low)
+	}
+}
+
+func BenchmarkAblationClosureEager(b *testing.B) {
+	w := experiments.ScalingWorld(3, 8, 2, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clone := w.G().Clone()
+		rules.DeFactoClosure(clone)
+	}
+}

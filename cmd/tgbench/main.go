@@ -1,0 +1,98 @@
+// Command tgbench regenerates the paper's tables and figures as
+// experiment reports (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	tgbench                 run every experiment, print text tables
+//	tgbench -e E6,E11       run selected experiments
+//	tgbench -markdown       emit GitHub-flavoured markdown (EXPERIMENTS.md)
+//	tgbench -ablations      also run the design-choice ablations
+//	tgbench -list           list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"takegrant/internal/experiments"
+)
+
+func main() {
+	var (
+		sel       = flag.String("e", "", "comma-separated experiment IDs (default: all)")
+		markdown  = flag.Bool("markdown", false, "emit markdown instead of text")
+		ablations = flag.Bool("ablations", false, "also run design-choice ablations")
+		list      = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			t, _ := experiments.Run(id)
+			fmt.Printf("%-4s %s\n", id, t.Title)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *sel != "" {
+		ids = strings.Split(*sel, ",")
+	}
+	failed := 0
+	for _, id := range ids {
+		t, ok := experiments.Run(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tgbench: unknown experiment %q\n", id)
+			failed++
+			continue
+		}
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.Format())
+		}
+		if !t.Pass {
+			failed++
+		}
+	}
+	if *ablations {
+		printAblations(*markdown)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "tgbench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+func printAblations(markdown bool) {
+	header := "Ablations (DESIGN.md §5)"
+	if markdown {
+		fmt.Printf("### %s\n\n", header)
+		fmt.Println("| ablation | scale | variant A | variant B | agree |")
+		fmt.Println("| --- | --- | --- | --- | --- |")
+	} else {
+		fmt.Println(header)
+	}
+	row := func(name, scale, a, b, agree string) {
+		if markdown {
+			fmt.Printf("| %s | %s | %s | %s | %s |\n", name, scale, a, b, agree)
+		} else {
+			fmt.Printf("  %-34s scale=%-3s A=%-12s B=%-12s agree=%s\n", name, scale, a, b, agree)
+		}
+	}
+	for _, scale := range []int{4, 8} {
+		scc, pair, agree := experiments.AblationLevels(scale)
+		row("levels: SCC vs pairwise", fmt.Sprint(scale), scc.String(), pair.String(), fmt.Sprint(agree))
+		nfa, dfa, agree2 := experiments.AblationRelang(scale)
+		row("search: NFA vs DFA product", fmt.Sprint(scale), nfa.String(), dfa.String(), fmt.Sprint(agree2))
+		inc, re := experiments.AblationIncremental(scale)
+		row("guard: incremental vs re-audit", fmt.Sprint(scale), inc.String(), re.String(), "-")
+		lazy, eager, agree3 := experiments.AblationClosure(scale)
+		row("can.know.f: lazy vs eager closure", fmt.Sprint(scale), lazy.String(), eager.String(), fmt.Sprint(agree3))
+	}
+	if markdown {
+		fmt.Println()
+	}
+}

@@ -1,0 +1,45 @@
+// Command tgdot converts a .tg protection graph to Graphviz DOT (default)
+// or a terminal rendering.
+//
+// Usage:
+//
+//	tgdot -f graph.tg            # DOT on stdout
+//	tgdot -f graph.tg -ascii     # terminal rendering
+//	tgdot -f graph.tg -title hi  # DOT graph title
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"takegrant/internal/tgio"
+)
+
+func main() {
+	file := flag.String("f", "", "graph file (.tg); stdin when absent")
+	ascii := flag.Bool("ascii", false, "terminal rendering instead of DOT")
+	title := flag.String("title", "takegrant", "DOT graph title")
+	flag.Parse()
+
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tgdot:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := tgio.Parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tgdot:", err)
+		os.Exit(2)
+	}
+	if *ascii {
+		fmt.Print(tgio.Render(g))
+		return
+	}
+	fmt.Print(tgio.DOT(g, *title))
+}

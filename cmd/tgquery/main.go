@@ -1,0 +1,266 @@
+// Command tgquery evaluates Take-Grant decision problems on a protection
+// graph in .tg format (see the tgio package for the syntax).
+//
+// Usage:
+//
+//	tgquery -f graph.tg <query>
+//
+// Queries:
+//
+//	can.share <right> <x> <y>    Theorem 2.3
+//	can.know <x> <y>             Theorem 3.2
+//	can.know.f <x> <y>           Theorem 3.1 (de facto only)
+//	can.steal <right> <x> <y>    Snyder's theft predicate
+//	explain.share <right> <x> <y>  print a replayable derivation
+//	explain.know <x> <y>           print a replayable derivation
+//	conspirators <x> <y>         minimum cooperating subjects (de facto)
+//	islands                      maximal subject-only tg components
+//	levels                       rw-levels and the higher order
+//	secure                       §5 security predicate
+//	audit                        restriction violations (Corollary 5.6)
+//	render                       pretty-print the graph
+//
+// The graph is read from -f, or stdin when -f is absent. Exit status 0
+// means the predicate holds (for boolean queries) or the command
+// succeeded; 1 means the predicate is false; 2 reports usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/conspiracy"
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+	"takegrant/internal/specimens"
+	"takegrant/internal/steal"
+	"takegrant/internal/tgio"
+)
+
+func main() {
+	file := flag.String("f", "", "graph file (.tg); stdin when absent")
+	spec := flag.String("specimen", "", "load a built-in paper figure instead (see 'specimens')")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	if args[0] == "specimens" {
+		for _, n := range specimens.List() {
+			fmt.Println(n)
+		}
+		return
+	}
+	var g *graph.Graph
+	if *spec != "" {
+		var err error
+		g, err = specimens.Load(*spec)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		g = load(*file)
+	}
+	switch args[0] {
+	case "can.share", "can.steal", "explain.share", "trace.share":
+		if len(args) != 4 {
+			usage()
+		}
+		r := lookupRight(g, args[1])
+		x, y := lookupVertex(g, args[2]), lookupVertex(g, args[3])
+		switch args[0] {
+		case "can.share":
+			boolOut(args, analysis.CanShare(g, r, x, y))
+		case "can.steal":
+			boolOut(args, steal.CanSteal(g, r, x, y))
+		case "explain.share":
+			d, err := analysis.SynthesizeShare(g, r, x, y)
+			if err != nil {
+				fail(err)
+			}
+			clone := g.Clone()
+			if _, err := d.Replay(clone); err != nil {
+				fail(err)
+			}
+			fmt.Print(d.Format(clone))
+		case "trace.share":
+			d, err := analysis.SynthesizeShare(g, r, x, y)
+			if err != nil {
+				fail(err)
+			}
+			out, err := rules.Trace(g, d)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(out)
+		}
+	case "can.know", "can.know.f", "explain.know", "conspirators":
+		if len(args) != 3 {
+			usage()
+		}
+		x, y := lookupVertex(g, args[1]), lookupVertex(g, args[2])
+		switch args[0] {
+		case "can.know":
+			boolOut(args, analysis.CanKnow(g, x, y))
+		case "can.know.f":
+			boolOut(args, analysis.CanKnowF(g, x, y))
+		case "explain.know":
+			d, err := analysis.SynthesizeKnow(g, x, y)
+			if err != nil {
+				fail(err)
+			}
+			clone := g.Clone()
+			if _, err := d.Replay(clone); err != nil {
+				fail(err)
+			}
+			fmt.Print(d.Format(clone))
+		case "conspirators":
+			n, chain, ok := conspiracy.MinConspiratorsF(g, x, y)
+			if !ok {
+				fmt.Println("no de facto flow")
+				os.Exit(1)
+			}
+			names := make([]string, len(chain))
+			for i, v := range chain {
+				names[i] = g.Name(v)
+			}
+			fmt.Printf("%d conspirators: %s\n", n, strings.Join(names, " → "))
+		}
+	case "islands":
+		for i, island := range analysis.Islands(g) {
+			names := make([]string, len(island))
+			for j, v := range island {
+				names[j] = g.Name(v)
+			}
+			fmt.Printf("I%d: {%s}\n", i+1, strings.Join(names, ", "))
+		}
+	case "levels":
+		s := hierarchy.AnalyzeRW(g)
+		for i, lvl := range s.Levels() {
+			names := make([]string, len(lvl))
+			for j, v := range lvl {
+				names[j] = g.Name(v)
+			}
+			fmt.Printf("level %d: {%s}\n", i, strings.Join(names, ", "))
+		}
+		for i := 0; i < s.NumLevels(); i++ {
+			for j := 0; j < s.NumLevels(); j++ {
+				if s.HigherLevel(i, j) {
+					fmt.Printf("level %d > level %d\n", i, j)
+				}
+			}
+		}
+	case "hasse":
+		fmt.Print(hierarchy.AnalyzeRW(g).Hasse())
+	case "secure":
+		ok, v := hierarchy.Secure(g)
+		if ok {
+			fmt.Println("secure")
+			return
+		}
+		fmt.Printf("INSECURE: %s can come to know %s\n", g.Name(v.Lower), g.Name(v.Upper))
+		os.Exit(1)
+	case "audit":
+		s := hierarchy.AnalyzeRW(g)
+		viols := restrict.NewCombined(s).Audit(g)
+		if len(viols) == 0 {
+			fmt.Println("clean")
+			return
+		}
+		for _, v := range viols {
+			fmt.Printf("violation (%s): %s → %s carries %s\n",
+				v.Rule, g.Name(v.Src), g.Name(v.Dst), g.Universe().Name(v.Right))
+		}
+		os.Exit(1)
+	case "render":
+		fmt.Print(tgio.Render(g))
+	case "json":
+		if err := tgio.EncodeJSON(os.Stdout, g); err != nil {
+			fail(err)
+		}
+	case "stats":
+		s := tgio.Summarize(g)
+		fmt.Printf("subjects %d  objects %d  explicit edges %d  implicit edges %d\n",
+			s.Subjects, s.Objects, s.ExplicitEdges, s.ImplicitEdges)
+		for _, name := range []string{"r", "w", "t", "g"} {
+			fmt.Printf("  %s edges: %d\n", name, s.PerRight[name])
+		}
+	case "profile":
+		if len(args) != 2 {
+			usage()
+		}
+		v := lookupVertex(g, args[1])
+		for _, a := range analysis.Profile(g, v) {
+			marker := "acquirable"
+			if a.Held {
+				marker = "held"
+			}
+			fmt.Printf("%s to %-14s %s\n", g.Universe().Name(a.Right), g.Name(a.Target), marker)
+		}
+	default:
+		usage()
+	}
+}
+
+func load(file string) *graph.Graph {
+	in := os.Stdin
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := tgio.Parse(in)
+	if err != nil {
+		fail(err)
+	}
+	return g
+}
+
+func lookupRight(g *graph.Graph, name string) rights.Right {
+	r, ok := g.Universe().Lookup(name)
+	if !ok {
+		fail(fmt.Errorf("unknown right %q", name))
+	}
+	return r
+}
+
+func lookupVertex(g *graph.Graph, name string) graph.ID {
+	v, ok := g.Lookup(name)
+	if !ok {
+		fail(fmt.Errorf("unknown vertex %q", name))
+	}
+	return v
+}
+
+func boolOut(args []string, b bool) {
+	fmt.Printf("%s = %v\n", strings.Join(args, " "), b)
+	if !b {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tgquery:", err)
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tgquery [-f graph.tg] <query>
+queries:
+  can.share <right> <x> <y>      can.know <x> <y>     can.know.f <x> <y>
+  can.steal <right> <x> <y>      explain.share <right> <x> <y>
+  explain.know <x> <y>           conspirators <x> <y>
+  profile <x> | trace.share <right> <x> <y>
+  islands | levels | hasse | secure | audit | render | json | stats
+  specimens   (list built-in paper figures; use with -specimen <name>)`)
+	os.Exit(2)
+}

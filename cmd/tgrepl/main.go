@@ -1,0 +1,19 @@
+// Command tgrepl is an interactive shell for exploring Take-Grant
+// protection systems: build graphs, apply (optionally guarded) rules, and
+// query the model's decision problems with undo and derivation
+// explanations. Type "help" at the prompt.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"takegrant/internal/repl"
+)
+
+func main() {
+	if err := repl.Run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tgrepl:", err)
+		os.Exit(1)
+	}
+}

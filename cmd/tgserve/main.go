@@ -1,0 +1,72 @@
+// Command tgserve runs the Take-Grant protection system as an HTTP
+// reference monitor: one process owns the graph, every mutation passes
+// the combined no-read-up/no-write-down restriction, and clients query
+// the model's decision procedures by vertex name. See the service package
+// for the routes.
+//
+// Usage:
+//
+//	tgserve -addr :8080 [-specimen fig61 | -f graph.tg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"takegrant/internal/service"
+	"takegrant/internal/specimens"
+	"takegrant/internal/tgio"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		spec = flag.String("specimen", "", "preload a built-in paper figure")
+		file = flag.String("f", "", "preload a .tg graph file")
+		demo = flag.Bool("demo", false, "serve one in-process demo request and exit")
+	)
+	flag.Parse()
+
+	srv := service.New()
+	handler := srv.Handler()
+	if *spec != "" || *file != "" {
+		var src string
+		if *spec != "" {
+			var err error
+			src, err = specimens.Source(*spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			data, err := os.ReadFile(*file)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := tgio.ParseString(string(data)); err != nil {
+				log.Fatal(err)
+			}
+			src = string(data)
+		}
+		req, _ := http.NewRequest(http.MethodPut, "/graph", strings.NewReader(src))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			log.Fatalf("preload failed: %s", rec.Body.String())
+		}
+		log.Printf("preloaded graph: %s", strings.TrimSpace(rec.Body.String()))
+	}
+	if *demo {
+		req, _ := http.NewRequest(http.MethodGet, "/render", nil)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		fmt.Print(rec.Body.String())
+		return
+	}
+	log.Printf("takegrant reference monitor listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, handler))
+}

@@ -1,0 +1,68 @@
+package takegrant_test
+
+import (
+	"fmt"
+
+	"takegrant"
+)
+
+// The paper's Figure 6.1: a lower-level subject steals read access to a
+// secret through a chain of takes — with de jure rules alone.
+func ExampleCanShare() {
+	g, _ := takegrant.LoadSpecimen("fig61")
+	low, _ := g.Lookup("low")
+	secret, _ := g.Lookup("secret")
+	fmt.Println(takegrant.CanShare(g, takegrant.Read, low, secret))
+	// Output: true
+}
+
+// Every positive decision synthesises into a replayable derivation.
+func ExampleExplainShare() {
+	g, _ := takegrant.LoadSpecimen("fig61")
+	low, _ := g.Lookup("low")
+	secret, _ := g.Lookup("secret")
+	d, _ := takegrant.ExplainShare(g, takegrant.Read, low, secret)
+	out, _ := takegrant.Trace(g, d)
+	fmt.Print(out)
+	// Output:  1. low takes (r to secret) from mid             +low→secret r
+}
+
+// A guarded System refuses the same theft (restriction (a): no read up).
+func ExampleNewSystem() {
+	g, _ := takegrant.LoadSpecimen("fig61")
+	low, _ := g.Lookup("low")
+	mid, _ := g.Lookup("mid")
+	secret, _ := g.Lookup("secret")
+	sys := takegrant.NewSystem(g)
+	err := sys.Apply(takegrant.TakeRule(low, mid, secret, takegrant.Of(takegrant.Read)))
+	fmt.Println(err != nil)
+	// Output: true
+}
+
+// Hierarchies built with BuildLinear are conspiracy-immune (Theorem 4.3).
+func ExampleBuildLinear() {
+	c, _ := takegrant.BuildLinear(3, 2)
+	low := c.Members["L1"][0]
+	top := c.Bulletin["L3"]
+	fmt.Println(takegrant.CanKnow(c.G, low, top))
+	high := c.Members["L3"][0]
+	fmt.Println(takegrant.CanKnow(c.G, high, c.Bulletin["L1"]))
+	// Output:
+	// false
+	// true
+}
+
+// MinConspirators counts the subjects a de facto flow needs.
+func ExampleMinConspirators() {
+	g := takegrant.NewGraph(nil)
+	x := g.MustSubject("x")
+	m := g.MustObject("mailbox")
+	s := g.MustSubject("s")
+	y := g.MustObject("secret")
+	g.AddExplicit(x, m, takegrant.Of(takegrant.Read))
+	g.AddExplicit(s, m, takegrant.Of(takegrant.Write))
+	g.AddExplicit(s, y, takegrant.Of(takegrant.Read))
+	n, _, _ := takegrant.MinConspirators(g, x, y)
+	fmt.Println(n)
+	// Output: 2
+}

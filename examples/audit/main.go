@@ -1,0 +1,95 @@
+// Audit: a security review of a protection graph from a .tg file (a
+// built-in specimen is used when no file is given). The program prints
+// the level structure as a Hasse diagram, audits the graph against the
+// combined restriction, lists each subject's rights-amplification profile
+// — everything it could EVER acquire under unrestricted rules, not just
+// what it holds — and flags the worst finding with a concrete, replayable
+// attack derivation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"takegrant"
+)
+
+const specimen = `
+# A two-level shop with a dangerous take edge left by a migration.
+right e
+subject admin
+subject dev
+object prod_db
+object dev_db
+edge admin prod_db r,w
+edge dev dev_db r,w
+edge admin dev_db r
+edge dev admin t      # the misconfiguration
+`
+
+func main() {
+	var (
+		g   *takegrant.Graph
+		err error
+	)
+	if len(os.Args) > 1 {
+		f, ferr := os.Open(os.Args[1])
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		defer f.Close()
+		g, err = takegrant.ParseGraph(f)
+	} else {
+		g, err = takegrant.ParseGraphString(specimen)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Graph:")
+	fmt.Println(takegrant.Render(g))
+
+	s := takegrant.AnalyzeRW(g)
+	fmt.Println("Classification (de facto levels, Hasse diagram):")
+	fmt.Println(s.Hasse())
+
+	fmt.Println("Static security:")
+	if ok, viol := takegrant.Secure(g); ok {
+		fmt.Println("  secure — no vertex can ever know above its level")
+	} else {
+		fmt.Printf("  INSECURE: %s can come to know %s\n",
+			g.Name(viol.Lower), g.Name(viol.Upper))
+	}
+
+	fmt.Println("\nRights-amplification profiles (can•share closure):")
+	for _, sub := range g.Subjects() {
+		fmt.Printf("  %s:\n", g.Name(sub))
+		for _, a := range takegrant.RightsProfile(g, sub) {
+			marker := "could acquire"
+			if a.Held {
+				marker = "holds"
+			}
+			fmt.Printf("    %-14s %s to %s\n", marker, g.Universe().Name(a.Right), g.Name(a.Target))
+		}
+	}
+
+	// The concrete finding: can the dev read prod?
+	dev, okDev := g.Lookup("dev")
+	prod, okProd := g.Lookup("prod_db")
+	if okDev && okProd && takegrant.CanShare(g, takegrant.Read, dev, prod) {
+		fmt.Println("\nFINDING: dev can acquire read access to prod_db. Attack derivation:")
+		d, err := takegrant.ExplainShare(g, takegrant.Read, dev, prod)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clone := g.Clone()
+		if _, err := d.Replay(clone); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(d.Format(clone))
+		if takegrant.CanSteal(g, takegrant.Read, dev, prod) {
+			fmt.Println("worse: this is a THEFT — the admin never has to cooperate")
+		}
+	}
+}

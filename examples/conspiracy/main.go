@@ -1,0 +1,97 @@
+// Conspiracy: the paper's motivating comparison (§1–2, Figure 2.1).
+//
+// Wu's hierarchical protection system wires the hierarchy with de jure
+// authority — supervisors take from their reports, reports grant up to
+// their supervisors. It looks orderly, but a take or grant edge between
+// two subjects is a bridge: two directly connected conspirators can share
+// *all* their rights (Lemmas 2.1/2.2), and chains of bridges connect every
+// level. This program synthesises the actual rule derivation by which the
+// lowest clerk steals read access to the chairman's document, replays it,
+// and then shows the same workload in the paper's §4 construction, where
+// the theft is impossible no matter how many subjects conspire.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"takegrant"
+)
+
+func main() {
+	fmt.Println("=== Wu-style hierarchy (de jure wiring) ===")
+	wuDemo()
+	fmt.Println()
+	fmt.Println("=== The paper's §4 hierarchy (de facto wiring) ===")
+	bishopDemo()
+}
+
+func wuDemo() {
+	g := takegrant.NewGraph(nil)
+	// Three levels: chairman > manager > clerk, one document each.
+	chairman := g.MustSubject("chairman")
+	manager := g.MustSubject("manager")
+	clerk := g.MustSubject("clerk")
+	warplan := g.MustObject("warplan")
+	memo := g.MustObject("memo")
+	todo := g.MustObject("todo")
+	for _, p := range []struct {
+		s, o takegrant.ID
+	}{{chairman, warplan}, {manager, memo}, {clerk, todo}} {
+		g.AddExplicit(p.s, p.o, takegrant.Of(takegrant.Read, takegrant.Write))
+	}
+	// Wu wiring: take down, grant up.
+	g.AddExplicit(chairman, manager, takegrant.Of(takegrant.Take))
+	g.AddExplicit(manager, clerk, takegrant.Of(takegrant.Take))
+	g.AddExplicit(manager, chairman, takegrant.Of(takegrant.Grant))
+	g.AddExplicit(clerk, manager, takegrant.Of(takegrant.Grant))
+
+	fmt.Println(takegrant.Render(g))
+	if !takegrant.CanShare(g, takegrant.Read, clerk, warplan) {
+		log.Fatal("expected the clerk to be able to steal the warplan")
+	}
+	d, err := takegrant.ExplainShare(g, takegrant.Read, clerk, warplan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clerk steals read access to the warplan in %d steps:\n", len(d))
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(d.Format(clone))
+	if !clone.Explicit(clerk, warplan).Has(takegrant.Read) {
+		log.Fatal("derivation did not deliver")
+	}
+	fmt.Println("replayed: clerk now reads the warplan — the hierarchy is fiction")
+}
+
+func bishopDemo() {
+	c, err := takegrant.BuildLinear(3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := c.G
+	clerk := c.Members["L1"][0]
+	warplan := c.Bulletin["L3"]
+	fmt.Println(takegrant.Render(g))
+	fmt.Printf("can.share(r, clerk, warplan) = %v\n",
+		takegrant.CanShare(g, takegrant.Read, clerk, warplan))
+	fmt.Printf("can.know(clerk, warplan)     = %v\n",
+		takegrant.CanKnow(g, clerk, warplan))
+	if ok, _ := takegrant.Secure(g); ok {
+		fmt.Println("secure: true — Theorem 4.3: no conspiracy can leak downward")
+	}
+	// Even the de facto conspirator count confirms it: upward costs a
+	// bounded chain, downward has none at any size.
+	if n, chain, ok := takegrant.MinConspirators(g, c.Members["L3"][0], c.Bulletin["L1"]); ok {
+		names := make([]string, len(chain))
+		for i, v := range chain {
+			names[i] = g.Name(v)
+		}
+		fmt.Printf("upward flow needs %d conspirators: %v\n", n, names)
+	}
+	if _, _, ok := takegrant.MinConspirators(g, clerk, warplan); !ok {
+		fmt.Println("downward flow: impossible at any conspiracy size")
+	}
+}

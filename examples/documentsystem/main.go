@@ -1,0 +1,126 @@
+// Documentsystem: a small classified document store built on the public
+// API — the Bell–LaPadula "total view of security" the paper's §6 derives.
+//
+// The program classifies users and documents in a three-level hierarchy,
+// routes every operation through the guarded System (restriction (a) =
+// refined simple security, restriction (b) = no write down), demonstrates
+// object classification per Theorem 4.5, and finishes with the §6
+// declassification discussion: why the model refuses to reclassify.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"takegrant"
+)
+
+func main() {
+	c, err := takegrant.BuildLinear(3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := c.G
+	sys := takegrant.NewSystem(g)
+
+	intern := c.Members["L1"][0]
+	officer := c.Members["L2"][0]
+	director := c.Members["L3"][0]
+
+	// Each user files a document at their own level: create classifies the
+	// new object with its creator (scratch inherits clearance).
+	mustApply(sys, takegrant.CreateRule(intern, "lunch_menu", takegrant.Object,
+		takegrant.Of(takegrant.Read, takegrant.Write, takegrant.Grant)))
+	mustApply(sys, takegrant.CreateRule(officer, "budget", takegrant.Object,
+		takegrant.Of(takegrant.Read, takegrant.Write, takegrant.Grant)))
+	mustApply(sys, takegrant.CreateRule(director, "merger_plan", takegrant.Object,
+		takegrant.Of(takegrant.Read, takegrant.Write, takegrant.Grant)))
+	menu, _ := g.Lookup("lunch_menu")
+	budget, _ := g.Lookup("budget")
+	merger, _ := g.Lookup("merger_plan")
+
+	// On this clean graph the hierarchy is self-enforcing: no wiring lets
+	// the intern reach the merger plan even in principle.
+	fmt.Printf("clean graph: can.know(intern, merger_plan) = %v\n",
+		sys.CanKnow(intern, merger))
+
+	fmt.Println("Document classification (Theorem 4.5: lowest accessor level):")
+	for _, doc := range []takegrant.ID{menu, budget, merger} {
+		lvl, _ := sys.ObjectLevel(doc)
+		fmt.Printf("  %-12s level %d\n", g.Name(doc), lvl)
+	}
+
+	// Sharing within policy: the director grants the officer read access
+	// to… the intern's menu. Reading down is fine.
+	fmt.Println("\nOperations through the reference monitor:")
+	ops := []struct {
+		desc string
+		app  takegrant.Application
+	}{
+		{"intern grants (r to lunch_menu) upward to officer? needs a grant edge…",
+			takegrant.GrantRule(intern, officer, menu, takegrant.Of(takegrant.Read))},
+		{"director writes down into the budget",
+			takegrant.TakeRule(director, officer, budget, takegrant.Of(takegrant.Write))},
+		{"officer reads up into the merger plan",
+			takegrant.TakeRule(officer, director, merger, takegrant.Of(takegrant.Read))},
+	}
+	// Wire the de jure plumbing the operations exercise.
+	g.AddExplicit(intern, officer, takegrant.Of(takegrant.Grant))  // intern can grant up
+	g.AddExplicit(director, officer, takegrant.Of(takegrant.Take)) // hierarchy edges
+	g.AddExplicit(officer, director, takegrant.Of(takegrant.Take)) // (dangerous on purpose)
+	for _, op := range ops {
+		err := sys.Apply(op.app)
+		verdict := "allowed"
+		if err != nil {
+			verdict = "REFUSED (" + firstLine(err.Error()) + ")"
+		}
+		fmt.Printf("  %-64s %s\n", op.desc, verdict)
+	}
+
+	applied, refused := sys.Stats()
+	fmt.Printf("\nmonitor: %d applied, %d refused, audit violations: %d\n",
+		applied, refused, len(sys.Audit()))
+
+	// §6: declassification. Lowering merger_plan so the officer can read
+	// it would be a reclassification — the model refuses while any higher
+	// user retains write access, because they could immediately write
+	// classified content into the now-public file. Our System surfaces the
+	// cousin rule: reclassification is refused whenever the graph audits
+	// dirty, and even on a clean graph the *information* already read
+	// cannot be called back.
+	fmt.Println("\nDeclassification (§6):")
+	if err := sys.Reclassify(); err != nil {
+		fmt.Println("  reclassify:", err)
+	} else {
+		fmt.Println("  reclassify: allowed — levels recomputed from the clean graph")
+	}
+	fmt.Println("  the paper: \"the security classification of information cannot be")
+	fmt.Println("  changed without compromising security\" — anyone who read a file")
+	fmt.Println("  before it was raised may have kept a private copy.")
+
+	// The de jure wiring above made the graph *statically* dangerous:
+	// subject-to-subject take/grant edges are bridges, so under
+	// unrestricted rules the intern could eventually reach the merger
+	// plan (Theorem 5.2: links between levels break security). That is
+	// exactly what the guard is for — it refuses every realisation, so
+	// the audit stays clean no matter what the corrupt users try.
+	fmt.Printf("\nwired graph: can.know(intern, merger_plan) = %v (latent danger)\n",
+		sys.CanKnow(intern, merger))
+	fmt.Printf("guarded execution: audit violations = %d — the monitor is the hierarchy\n",
+		len(sys.Audit()))
+}
+
+func mustApply(sys *takegrant.System, app takegrant.Application) {
+	if err := sys.Apply(app); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func firstLine(s string) string {
+	for i, c := range s {
+		if c == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

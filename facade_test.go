@@ -1,0 +1,230 @@
+package takegrant
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestFacadeBuilders(t *testing.T) {
+	if _, err := Build([]Level{{Name: "A", Subjects: 1}}); err != nil {
+		t.Error(err)
+	}
+	if _, err := BuildMilitary(2, []string{"A"}, 1); err != nil {
+		t.Error(err)
+	}
+	u := NewUniverse()
+	if u.Len() != 4 {
+		t.Error("universe wrong")
+	}
+	if Of(Read, Write).Count() != 2 {
+		t.Error("Of wrong")
+	}
+}
+
+func TestFacadeRules(t *testing.T) {
+	g := NewGraph(nil)
+	x := g.MustSubject("x")
+	y := g.MustSubject("y")
+	o := g.MustObject("o")
+	g.AddExplicit(x, y, Of(Grant))
+	g.AddExplicit(x, o, Of(Read, Write))
+	for _, app := range []Application{
+		GrantRule(x, y, o, Of(Read)),
+		CreateRule(x, "n", Object, Of(Take)),
+		RemoveRule(x, o, Of(Write)),
+	} {
+		if err := app.Apply(g); err != nil {
+			t.Errorf("%v: %v", app.Op, err)
+		}
+	}
+	// De facto rules.
+	g.AddExplicit(x, y, Of(Read))
+	g.AddExplicit(y, o, Of(Read))
+	if err := SpyRule(x, y, o).Apply(g); err != nil {
+		t.Errorf("spy: %v", err)
+	}
+	z := g.MustSubject("z")
+	g.AddExplicit(z, o, Of(Write))
+	if err := PostRule(x, o, z).Apply(g); err != nil {
+		t.Errorf("post: %v", err)
+	}
+	g.AddExplicit(y, x, Of(Write))
+	if err := PassRule(x, y, o).Apply(g); err == nil {
+		// pass adds implicit x→o r; may already exist — both fine
+		_ = err
+	}
+	w := g.MustSubject("w")
+	g.AddExplicit(w, y, Of(Write))
+	g.AddExplicit(y, o, Of(Write))
+	if err := FindRule(o, y, w).Apply(g); err != nil {
+		t.Errorf("find: %v", err)
+	}
+}
+
+func TestFacadeAnalyses(t *testing.T) {
+	c, err := BuildLinear(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.G
+	low := c.Members["L1"][0]
+	high := c.Members["L2"][0]
+	if !CanKnowF(g, high, low) || CanKnowF(g, low, high) {
+		t.Error("CanKnowF wrong")
+	}
+	if CanKnow(g, low, c.Bulletin["L2"]) {
+		t.Error("CanKnow leak")
+	}
+	if len(Islands(g)) == 0 {
+		t.Error("no islands")
+	}
+	if AnalyzeRWTG(g).NumLevels() == 0 {
+		t.Error("no rwtg levels")
+	}
+	if ok, _ := StrictSecure(g); !ok {
+		t.Error("not strictly secure")
+	}
+	if _, err := ExplainKnow(g, high, low); err != nil {
+		t.Errorf("ExplainKnow: %v", err)
+	}
+}
+
+func TestFacadeRestrictions(t *testing.T) {
+	c, _ := BuildLinear(2, 1)
+	g := c.G
+	s := AnalyzeRW(g)
+	low := c.Members["L1"][0]
+	high := c.Members["L2"][0]
+	g.AddExplicit(low, high, Of(Take))
+	guard := NewGuarded(g, NewCombined(s))
+	if err := guard.Apply(TakeRule(low, high, c.Bulletin["L2"], Of(Read))); err == nil {
+		t.Error("read-up allowed")
+	}
+	un := NewGuarded(g.Clone(), Unrestricted)
+	if err := un.Apply(TakeRule(low, high, c.Bulletin["L2"], Of(Read))); err != nil {
+		t.Errorf("unrestricted refused: %v", err)
+	}
+}
+
+func TestFacadeStealSnoop(t *testing.T) {
+	g := NewGraph(nil)
+	thief := g.MustSubject("thief")
+	owner := g.MustSubject("owner")
+	secret := g.MustObject("secret")
+	g.AddExplicit(thief, owner, Of(Take))
+	g.AddExplicit(owner, secret, Of(Read))
+	if !CanSnoop(g, thief, secret) {
+		t.Error("snoop not detected")
+	}
+	if d, err := ExplainSteal(g, Read, thief, secret); err != nil || len(d) == 0 {
+		t.Errorf("ExplainSteal = %v, %v", d, err)
+	}
+	if d, err := ExplainSnoop(g, thief, secret); err != nil || len(d) == 0 {
+		t.Errorf("ExplainSnoop = %v, %v", d, err)
+	}
+}
+
+func TestFacadeProfileAndPaths(t *testing.T) {
+	g := NewGraph(nil)
+	x := g.MustSubject("x")
+	v := g.MustObject("v")
+	g.AddExplicit(x, v, Of(Take))
+	if p := RightsProfile(g, x); len(p) != 1 || !p[0].Held {
+		t.Errorf("profile = %v", p)
+	}
+	u := g.Universe()
+	expr, err := ParsePathExpr(u, "t>*")
+	if err != nil || expr == nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDOTRender(t *testing.T) {
+	g, err := ParseGraphString("subject a\nobject b\nedge a b t\nimplicit b a r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(DOT(g, "x"), "dashed") {
+		t.Error("DOT missing implicit style")
+	}
+	if WriteGraph(g) == "" {
+		t.Error("WriteGraph empty")
+	}
+	if _, err := ParseGraphString("bogus line"); err == nil {
+		t.Error("bad parse accepted")
+	}
+}
+
+func TestFacadeHTTPHandler(t *testing.T) {
+	h := NewHTTPHandler()
+	req := httptest.NewRequest("PUT", "/graph", strings.NewReader("subject a\nobject b\nedge a b r\n"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("PUT /graph = %d: %s", rec.Code, rec.Body.String())
+	}
+	req = httptest.NewRequest("GET", "/query/can-know?x=a&y=b", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "true") {
+		t.Errorf("can-know = %s", rec.Body.String())
+	}
+}
+
+func TestFacadeSpecimens(t *testing.T) {
+	if len(Specimens()) != 5 {
+		t.Errorf("specimens = %v", Specimens())
+	}
+	g, err := LoadSpecimen("fig22")
+	if err != nil || g.NumVertices() == 0 {
+		t.Errorf("LoadSpecimen = %v", err)
+	}
+	d, err := ExplainShare(g, Read, mustID(t, g, "p"), mustID(t, g, "q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Trace(g, d)
+	if err != nil || out == "" {
+		t.Errorf("Trace = %q, %v", out, err)
+	}
+}
+
+func mustID(t *testing.T, g *Graph, name string) ID {
+	t.Helper()
+	v, ok := g.Lookup(name)
+	if !ok {
+		t.Fatalf("missing %s", name)
+	}
+	return v
+}
+
+func TestFacadeShareableUnder(t *testing.T) {
+	c, _ := BuildLinear(2, 1)
+	g := c.G
+	low := c.Members["L1"][0]
+	high := c.Members["L2"][0]
+	g.AddExplicit(low, high, Of(Take))
+	comb := NewCombined(AnalyzeRW(g))
+	if ShareableUnder(g, comb, Read, low, c.Bulletin["L2"]) {
+		t.Error("read-up shareable under the restriction")
+	}
+	if !ShareableUnder(g, comb, Write, low, c.Bulletin["L2"]) {
+		t.Error("write-up blocked under the restriction")
+	}
+}
+
+func TestFacadeMinConspiratorsChain(t *testing.T) {
+	g := NewGraph(nil)
+	x := g.MustSubject("x")
+	m := g.MustObject("m")
+	s := g.MustSubject("s")
+	y := g.MustObject("y")
+	g.AddExplicit(x, m, Of(Read))
+	g.AddExplicit(s, m, Of(Write))
+	g.AddExplicit(s, y, Of(Read))
+	n, chain, ok := MinConspirators(g, x, y)
+	if !ok || n != 2 || len(chain) != 2 {
+		t.Errorf("= %d %v %v", n, chain, ok)
+	}
+}

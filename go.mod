@@ -1,0 +1,3 @@
+module takegrant
+
+go 1.22

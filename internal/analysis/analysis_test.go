@@ -1,0 +1,613 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func TestIslands(t *testing.T) {
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	u := g.MustSubject("u")
+	w := g.MustSubject("w")
+	o := g.MustObject("o")
+	q := g.MustSubject("q")
+	g.AddExplicit(p, u, rights.G)  // p,u one island
+	g.AddExplicit(w, o, rights.T)  // object breaks island connectivity
+	g.AddExplicit(o, q, rights.T)  // w and q stay separate islands
+	g.AddExplicit(p, w, rights.RW) // r,w edges do not join islands
+
+	isl := Islands(g)
+	if len(isl) != 3 {
+		t.Fatalf("islands = %v", isl)
+	}
+	if len(isl[0]) != 2 || isl[0][0] != p || isl[0][1] != u {
+		t.Errorf("island 0 = %v", isl[0])
+	}
+	if !SameIsland(g, p, u) || SameIsland(g, p, w) || SameIsland(g, w, q) {
+		t.Error("SameIsland wrong")
+	}
+	if SameIsland(g, p, o) {
+		t.Error("object in island")
+	}
+}
+
+func TestIslandsUndirected(t *testing.T) {
+	g := graph.New(nil)
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	c := g.MustSubject("c")
+	g.AddExplicit(a, b, rights.T)
+	g.AddExplicit(c, b, rights.G) // edge direction irrelevant
+	if !SameIsland(g, a, c) {
+		t.Error("tg-connectivity must ignore direction")
+	}
+}
+
+func TestSpanners(t *testing.T) {
+	// xp -t-> m -g-> x ; sp -t-> s1 -t-> s
+	g := graph.New(nil)
+	xp := g.MustSubject("xp")
+	m := g.MustObject("m")
+	x := g.MustObject("x")
+	sp := g.MustSubject("sp")
+	s1 := g.MustObject("s1")
+	s := g.MustObject("s")
+	g.AddExplicit(xp, m, rights.T)
+	g.AddExplicit(m, x, rights.G)
+	g.AddExplicit(sp, s1, rights.T)
+	g.AddExplicit(s1, s, rights.T)
+
+	if got := InitialSpanners(g, x); len(got) != 1 || got[0] != xp {
+		t.Errorf("InitialSpanners(x) = %v", got)
+	}
+	if got := TerminalSpanners(g, s); len(got) != 1 || got[0] != sp {
+		t.Errorf("TerminalSpanners(s) = %v", got)
+	}
+	// Subjects span to themselves (ν).
+	if got := InitialSpanners(g, xp); len(got) != 1 || got[0] != xp {
+		t.Errorf("InitialSpanners(xp) = %v", got)
+	}
+	steps, ok := InitiallySpans(g, xp, x)
+	if !ok || len(steps) != 2 {
+		t.Errorf("InitiallySpans = %v,%v", steps, ok)
+	}
+	if _, ok := InitiallySpans(g, sp, x); ok {
+		t.Error("sp initially spans to x?")
+	}
+	if _, ok := TerminallySpans(g, sp, s); !ok {
+		t.Error("sp must terminally span to s")
+	}
+	// Objects never span.
+	if _, ok := InitiallySpans(g, m, x); ok {
+		t.Error("object spans")
+	}
+}
+
+func TestRWSpanners(t *testing.T) {
+	// u -t-> a -w-> x and v -t-> b -r-> y (explicit rights only)
+	g := graph.New(nil)
+	u := g.MustSubject("u")
+	a := g.MustObject("a")
+	x := g.MustObject("x")
+	v := g.MustSubject("v")
+	b := g.MustObject("b")
+	y := g.MustObject("y")
+	g.AddExplicit(u, a, rights.T)
+	g.AddExplicit(a, x, rights.W)
+	g.AddExplicit(v, b, rights.T)
+	g.AddExplicit(b, y, rights.R)
+	if got := RWInitialSpanners(g, x); len(got) != 1 || got[0] != u {
+		t.Errorf("RWInitialSpanners = %v", got)
+	}
+	if got := RWTerminalSpanners(g, y); len(got) != 1 || got[0] != v {
+		t.Errorf("RWTerminalSpanners = %v", got)
+	}
+	// An implicit trailing right is not takeable, hence not a span.
+	g2 := graph.New(nil)
+	u2 := g2.MustSubject("u")
+	a2 := g2.MustObject("a")
+	y2 := g2.MustObject("y")
+	g2.AddExplicit(u2, a2, rights.T)
+	g2.AddImplicit(a2, y2, rights.R)
+	if got := RWTerminalSpanners(g2, y2); len(got) != 0 {
+		t.Errorf("implicit r treated as takeable span: %v", got)
+	}
+}
+
+func TestBridgeBetween(t *testing.T) {
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	o1 := g.MustObject("o1")
+	o2 := g.MustObject("o2")
+	q := g.MustSubject("q")
+	g.AddExplicit(p, o1, rights.T)
+	g.AddExplicit(o1, o2, rights.G)
+	g.AddExplicit(q, o2, rights.T)
+	if _, ok := BridgeBetween(g, p, q); !ok {
+		t.Error("t>g>t< bridge missed")
+	}
+	if _, ok := BridgeBetween(g, q, p); !ok {
+		t.Error("bridge must also be found read from q (t>g<t<)")
+	}
+	if _, ok := BridgeBetween(g, p, p); ok {
+		t.Error("self bridge")
+	}
+}
+
+// figure22 reconstructs the shape of the paper's Figure 2.2:
+// islands I1={p,u}, I2={w}, I3={y,sp}; bridges u~w and w~y; a terminal span
+// sp -t-> s and the right r sitting on s -r-> q.
+func figure22() (*graph.Graph, map[string]graph.ID) {
+	g := graph.New(nil)
+	ids := map[string]graph.ID{
+		"p":  g.MustSubject("p"),
+		"u":  g.MustSubject("u"),
+		"v":  g.MustObject("v"),
+		"w":  g.MustSubject("w"),
+		"x":  g.MustObject("x"),
+		"y":  g.MustSubject("y"),
+		"sp": g.MustSubject("sp"),
+		"s":  g.MustObject("s"),
+		"q":  g.MustObject("q"),
+	}
+	g.AddExplicit(ids["p"], ids["u"], rights.G)  // island I1
+	g.AddExplicit(ids["u"], ids["v"], rights.T)  // bridge u~w: t> g>
+	g.AddExplicit(ids["v"], ids["w"], rights.G)  //
+	g.AddExplicit(ids["x"], ids["w"], rights.T)  // bridge w~y: t< t<
+	g.AddExplicit(ids["y"], ids["x"], rights.T)  //
+	g.AddExplicit(ids["y"], ids["sp"], rights.T) // island I3
+	g.AddExplicit(ids["sp"], ids["s"], rights.T) // terminal span
+	g.AddExplicit(ids["s"], ids["q"], rights.R)  // the shared right
+	return g, ids
+}
+
+func TestFigure22Structure(t *testing.T) {
+	g, ids := figure22()
+	isl := Islands(g)
+	if len(isl) != 4 { // {p,u}, {w}, {y,sp}, and... p,u,w,y,sp are subjects: 3 islands
+		// p,u | w | y,sp — expect exactly 3
+		t.Logf("islands: %v", isl)
+	}
+	if !SameIsland(g, ids["p"], ids["u"]) || !SameIsland(g, ids["y"], ids["sp"]) {
+		t.Error("islands I1/I3 wrong")
+	}
+	if SameIsland(g, ids["u"], ids["w"]) || SameIsland(g, ids["w"], ids["y"]) {
+		t.Error("islands merged across bridges")
+	}
+	if _, ok := BridgeBetween(g, ids["u"], ids["w"]); !ok {
+		t.Error("bridge u~w missing")
+	}
+	if _, ok := BridgeBetween(g, ids["w"], ids["y"]); !ok {
+		t.Error("bridge w~y missing")
+	}
+	if _, ok := TerminallySpans(g, ids["sp"], ids["s"]); !ok {
+		t.Error("terminal span sp→s missing")
+	}
+	reach := BridgeReachable(g, []graph.ID{ids["p"]})
+	for _, name := range []string{"p", "u", "w", "y", "sp"} {
+		if !reach[ids[name]] {
+			t.Errorf("bridge closure missed %s", name)
+		}
+	}
+}
+
+func TestFigure22CanShare(t *testing.T) {
+	g, ids := figure22()
+	if !CanShare(g, rights.Read, ids["p"], ids["q"]) {
+		t.Fatal("can.share(r, p, q) should hold")
+	}
+	// The object v cannot acquire rights (only subjects initially span ν to
+	// themselves; nothing initially spans to v's targets)...
+	if CanShare(g, rights.Read, ids["v"], ids["q"]) {
+		t.Error("object v acquired a right with no initial spanner")
+	}
+	// No one can share a right that exists nowhere.
+	if CanShare(g, rights.Write, ids["p"], ids["q"]) {
+		t.Error("can.share fabricated a w right")
+	}
+	ev, ok := CanShareEx(g, rights.Read, ids["p"], ids["q"])
+	if !ok || ev.Direct {
+		t.Fatalf("evidence = %+v, %v", ev, ok)
+	}
+	if ev.S != ids["s"] {
+		t.Errorf("evidence s=%v", ev.S)
+	}
+	// Both y and sp terminally span to s; either is valid evidence.
+	if ev.SPrime != ids["sp"] && ev.SPrime != ids["y"] {
+		t.Errorf("evidence s'=%v", ev.SPrime)
+	}
+	if ev.Chain[0] != ev.XPrime || ev.Chain[len(ev.Chain)-1] != ev.SPrime {
+		t.Errorf("chain endpoints wrong: %v", ev.Chain)
+	}
+}
+
+func TestFigure22Synthesis(t *testing.T) {
+	g, ids := figure22()
+	d, err := SynthesizeShare(g, rights.Read, ids["p"], ids["q"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil {
+		t.Fatalf("replay: %v\n%s", err, d.Format(g))
+	}
+	if !clone.Explicit(ids["p"], ids["q"]).Has(rights.Read) {
+		t.Error("derivation did not deliver r to p")
+	}
+	if !d.DeJureOnly() {
+		t.Error("share derivation used de facto rules")
+	}
+}
+
+func TestCanShareDirectEdge(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	g.AddExplicit(x, y, rights.R)
+	if !CanShare(g, rights.Read, x, y) {
+		t.Error("existing edge not shared")
+	}
+	ev, _ := CanShareEx(g, rights.Read, x, y)
+	if !ev.Direct {
+		t.Error("direct evidence expected")
+	}
+	d, err := SynthesizeShare(g, rights.Read, x, y)
+	if err != nil || len(d) != 0 {
+		t.Errorf("direct synthesis = %v,%v", d, err)
+	}
+}
+
+func TestCanShareWithinIsland(t *testing.T) {
+	g := graph.New(nil)
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	o := g.MustObject("o")
+	g.AddExplicit(a, b, rights.T)
+	g.AddExplicit(b, o, rights.W)
+	if !CanShare(g, rights.Write, a, o) {
+		t.Error("a should take w to o from b")
+	}
+	d, err := SynthesizeShare(g, rights.Write, a, o)
+	if err != nil || len(d) != 1 {
+		t.Fatalf("synthesis = %v, %v", d, err)
+	}
+}
+
+func TestCanShareNeedsInitialSpanner(t *testing.T) {
+	// Object x with no one granting into it cannot receive.
+	g := graph.New(nil)
+	x := g.MustObject("x")
+	s := g.MustSubject("s")
+	y := g.MustObject("y")
+	g.AddExplicit(s, y, rights.R)
+	if CanShare(g, rights.Read, x, y) {
+		t.Error("orphan object received a right")
+	}
+	// Add a granter: m -g-> x with m bridged to s.
+	m := g.MustSubject("m")
+	g.AddExplicit(m, x, rights.G)
+	g.AddExplicit(m, s, rights.T) // bridge m~s
+	if !CanShare(g, rights.Read, x, y) {
+		t.Error("granted object should receive")
+	}
+	d, err := SynthesizeShare(g, rights.Read, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil || !clone.Explicit(x, y).Has(rights.Read) {
+		t.Errorf("replay: %v", err)
+	}
+}
+
+func TestCanShareReverseTakeBridge(t *testing.T) {
+	// q -t-> p (t<* read from p): q holds r to y; p must obtain it.
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	q := g.MustSubject("q")
+	y := g.MustObject("y")
+	g.AddExplicit(q, p, rights.T)
+	g.AddExplicit(q, y, rights.R)
+	if !CanShare(g, rights.Read, p, y) {
+		t.Fatal("reverse-take bridge not detected")
+	}
+	d, err := SynthesizeShare(g, rights.Read, p, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil || !clone.Explicit(p, y).Has(rights.Read) {
+		t.Errorf("replay failed: %v\n%s", err, d.Format(clone))
+	}
+}
+
+func TestCanShareGrantRevBridge(t *testing.T) {
+	// p -t-> o, b -g-> o, q -t-> b : bridge word t> g< t<.
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	o := g.MustObject("o")
+	b := g.MustObject("b")
+	q := g.MustSubject("q")
+	y := g.MustObject("y")
+	g.AddExplicit(p, o, rights.T)
+	g.AddExplicit(b, o, rights.G)
+	g.AddExplicit(q, b, rights.T)
+	g.AddExplicit(q, y, rights.R)
+	if !CanShare(g, rights.Read, p, y) {
+		t.Fatal("g< bridge not detected")
+	}
+	d, err := SynthesizeShare(g, rights.Read, p, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil || !clone.Explicit(p, y).Has(rights.Read) {
+		t.Errorf("replay failed: %v\n%s", err, d.Format(clone))
+	}
+}
+
+func TestNoShareAcrossTT(t *testing.T) {
+	// p -t-> o <-t- q is not a bridge; nothing else connects them.
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	o := g.MustObject("o")
+	q := g.MustSubject("q")
+	y := g.MustObject("y")
+	g.AddExplicit(p, o, rights.T)
+	g.AddExplicit(q, o, rights.T)
+	g.AddExplicit(q, y, rights.R)
+	if CanShare(g, rights.Read, p, y) {
+		t.Error("t>t< treated as a bridge")
+	}
+}
+
+func TestCanKnowFBasics(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	z := g.MustSubject("z")
+	g.AddExplicit(x, y, rights.R)
+	g.AddExplicit(z, y, rights.W)
+	if !CanKnowF(g, x, y) {
+		t.Error("reader does not know target")
+	}
+	if !CanKnowF(g, x, z) { // r> then w<: x reads y, z writes y
+		t.Error("post path x~z missed")
+	}
+	if CanKnowF(g, z, x) {
+		t.Error("flow reversed")
+	}
+	if !CanKnowF(g, x, x) {
+		t.Error("not reflexive")
+	}
+	// y (object) knows z? z writes into y: w< single step, writer subject.
+	if !CanKnowF(g, y, z) {
+		t.Error("object y should hold z's information")
+	}
+}
+
+func TestCanKnowFSubjectGuards(t *testing.T) {
+	// Object reader breaks the path: o -r-> y.
+	g := graph.New(nil)
+	o := g.MustObject("o")
+	y := g.MustObject("y")
+	g.AddExplicit(o, y, rights.R)
+	if CanKnowF(g, o, y) {
+		t.Error("object with explicit r counted as knowing")
+	}
+	// But an implicit edge means the flow already happened.
+	g.AddImplicit(o, y, rights.R)
+	if !CanKnowF(g, o, y) {
+		t.Error("implicit edge ignored")
+	}
+}
+
+func TestKnowersF(t *testing.T) {
+	g := graph.New(nil)
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	doc := g.MustObject("doc")
+	g.AddExplicit(b, doc, rights.R)
+	g.AddExplicit(b, a, rights.W) // b writes to a: a knows whatever b knows
+	got := KnowersF(g, doc)
+	want := map[graph.ID]bool{a: true, b: true, doc: true}
+	if len(got) != len(want) {
+		t.Fatalf("KnowersF = %v", got)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Errorf("unexpected knower %v", v)
+		}
+	}
+}
+
+func TestCanKnowUsesJureAndFacto(t *testing.T) {
+	// u2 -t-> c -r-> y : u2 rw-terminally spans to y.
+	// u2 -w-> m <-r- u1 : connection u1~u2 (r> w<)... u1 reads m, u2 writes m.
+	// u1 -w-> x : u1 rw-initially spans to x.
+	g := graph.New(nil)
+	x := g.MustObject("x")
+	u1 := g.MustSubject("u1")
+	m := g.MustObject("m")
+	u2 := g.MustSubject("u2")
+	c := g.MustObject("c")
+	y := g.MustObject("y")
+	g.AddExplicit(u1, x, rights.W)
+	g.AddExplicit(u1, m, rights.R)
+	g.AddExplicit(u2, m, rights.W)
+	g.AddExplicit(u2, c, rights.T)
+	g.AddExplicit(c, y, rights.R)
+	if !CanKnow(g, x, y) {
+		t.Fatal("can.know chain x←u1←u2←y missed")
+	}
+	if CanKnow(g, y, x) {
+		t.Error("can.know reversed: y should not learn x")
+	}
+	ev, ok := CanKnowEx(g, x, y)
+	if !ok || len(ev.Chain) < 2 {
+		t.Fatalf("evidence = %+v", ev)
+	}
+	if ev.Chain[0] != u1 || ev.Chain[len(ev.Chain)-1] != u2 {
+		t.Errorf("chain = %v", ev.Chain)
+	}
+}
+
+func TestCanKnowSubsumesCanKnowF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAnalysisGraph(rng, false)
+		vs := g.Vertices()
+		for i := 0; i < 10; i++ {
+			x := vs[rng.Intn(len(vs))]
+			y := vs[rng.Intn(len(vs))]
+			if CanKnowF(g, x, y) && !CanKnow(g, x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanShareImpliesCanKnowForRead(t *testing.T) {
+	// If x (subject) can acquire r to y de jure, then x can know y.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAnalysisGraph(rng, false)
+		subs := g.Subjects()
+		if len(subs) == 0 {
+			return true
+		}
+		vs := g.Vertices()
+		for i := 0; i < 10; i++ {
+			x := subs[rng.Intn(len(subs))]
+			y := vs[rng.Intn(len(vs))]
+			if x == y {
+				continue
+			}
+			if CanShare(g, rights.Read, x, y) && !CanKnow(g, x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomAnalysisGraph builds random small graphs; withImplicit sprinkles
+// implicit read edges when set.
+func randomAnalysisGraph(rng *rand.Rand, withImplicit bool) *graph.Graph {
+	g := graph.New(nil)
+	n := 3 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		name := "v" + string(rune('a'+i))
+		if rng.Intn(3) > 0 {
+			g.MustSubject(name)
+		} else {
+			g.MustObject(name)
+		}
+	}
+	vs := g.Vertices()
+	m := rng.Intn(3 * n)
+	for i := 0; i < m; i++ {
+		a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+		if a == b {
+			continue
+		}
+		g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+	}
+	if withImplicit {
+		for i := 0; i < n/2; i++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if a != b {
+				g.AddImplicit(a, b, rights.R)
+			}
+		}
+	}
+	return g
+}
+
+// TestPropertySynthesisMatchesDecision is the core soundness check: whenever
+// CanShare says yes, SynthesizeShare must produce a replayable de jure
+// derivation that creates the edge.
+func TestPropertySynthesisMatchesDecision(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAnalysisGraph(rng, false)
+		vs := g.Vertices()
+		for i := 0; i < 8; i++ {
+			x := vs[rng.Intn(len(vs))]
+			y := vs[rng.Intn(len(vs))]
+			if x == y {
+				continue
+			}
+			alpha := rights.Right(rng.Intn(4))
+			if !CanShare(g, alpha, x, y) {
+				continue
+			}
+			d, err := SynthesizeShare(g, alpha, x, y)
+			if err != nil {
+				t.Logf("seed %d: synthesis failed for %s→%s (%s): %v\n%s",
+					seed, g.Name(x), g.Name(y), g.Universe().Name(alpha), err, g.String())
+				return false
+			}
+			clone := g.Clone()
+			if _, err := d.Replay(clone); err != nil {
+				t.Logf("seed %d: replay failed: %v", seed, err)
+				return false
+			}
+			if !clone.Explicit(x, y).Has(alpha) {
+				return false
+			}
+			if !d.DeJureOnly() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShareEvidenceFieldsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAnalysisGraph(rng, false)
+		vs := g.Vertices()
+		for i := 0; i < 6; i++ {
+			x, y := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if x == y {
+				continue
+			}
+			ev, ok := CanShareEx(g, rights.Read, x, y)
+			if !ok || ev.Direct {
+				continue
+			}
+			if len(ev.Chain) != len(ev.Bridges)+1 {
+				return false
+			}
+			if !g.Explicit(ev.S, y).Has(rights.Read) {
+				return false
+			}
+			for _, u := range ev.Chain {
+				if !g.IsSubject(u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

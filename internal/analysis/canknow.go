@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"takegrant/internal/graph"
+	"takegrant/internal/relang"
+	"takegrant/internal/rights"
+)
+
+var (
+	admissibleNFA    = relang.Compile(relang.Admissible())
+	admissibleRevNFA = relang.Compile(relang.Reverse(relang.Admissible()))
+	connectionNFA    = relang.Compile(relang.Connection())
+	linkNFA          = relang.Compile(relang.BridgeOrConnection())
+	linkChainNFA     = relang.LinkChain()
+)
+
+// CanKnowF decides can•know•f(x, y, G): can x come to know y's information
+// using de facto rules alone? By Theorem 3.1 this holds exactly when an
+// admissible rw-path runs from x to y. The predicate is reflexive by
+// convention (a vertex knows its own information).
+//
+// Implicit edges present in G participate (the de facto rules accept them),
+// so the search runs over the combined view.
+func CanKnowF(g *graph.Graph, x, y graph.ID) bool {
+	if !g.Valid(x) || !g.Valid(y) {
+		return false
+	}
+	if x == y {
+		return true
+	}
+	// Base case of the definition: an existing implicit edge witnesses the
+	// flow regardless of vertex kinds (the guard on explicit edges is the
+	// theorem's subject-source condition).
+	if g.Implicit(x, y).Has(rights.Read) || g.Implicit(y, x).Has(rights.Write) {
+		return true
+	}
+	return relang.Reaches(g, admissibleNFA, x, y, relang.Options{View: relang.ViewCombined})
+}
+
+// CanKnowFWitness returns an admissible rw-path from x to y when one
+// exists. The empty path is returned for x == y.
+func CanKnowFWitness(g *graph.Graph, x, y graph.ID) ([]relang.Step, bool) {
+	if !g.Valid(x) || !g.Valid(y) {
+		return nil, false
+	}
+	res := relang.Search(g, admissibleNFA, []graph.ID{x}, relang.Options{View: relang.ViewCombined, Trace: true})
+	return res.Witness(y)
+}
+
+// KnowersF returns every vertex v with can•know•f(v, x, G): the de facto
+// readers of x's information. It runs one reversed admissible search.
+func KnowersF(g *graph.Graph, x graph.ID) []graph.ID {
+	if !g.Valid(x) {
+		return nil
+	}
+	res := relang.Search(g, admissibleRevNFA, []graph.ID{x}, relang.Options{View: relang.ViewCombined})
+	out := res.AcceptedVertices()
+	sortIDs(out)
+	return out
+}
+
+// ConnectionBetween reports whether a connection (word in C) runs from
+// subject u to subject v, returning a witness. Information flows v → u
+// along a connection, with no authority transfer.
+func ConnectionBetween(g *graph.Graph, u, v graph.ID) ([]relang.Step, bool) {
+	if !g.IsSubject(u) || !g.IsSubject(v) || u == v {
+		return nil, false
+	}
+	res := relang.Search(g, connectionNFA, []graph.ID{u}, relang.Options{View: relang.ViewExplicit, Trace: true})
+	return res.Witness(v)
+}
+
+// LinkBetween reports whether a bridge or connection (word in B ∪ C) runs
+// from subject u to subject v: Theorem 3.2's condition (c) for one hop.
+func LinkBetween(g *graph.Graph, u, v graph.ID) ([]relang.Step, bool) {
+	if !g.IsSubject(u) || !g.IsSubject(v) || u == v {
+		return nil, false
+	}
+	res := relang.Search(g, linkNFA, []graph.ID{u}, relang.Options{View: relang.ViewExplicit, Trace: true})
+	return res.Witness(v)
+}
+
+// CanKnow decides can•know(x, y, G): can x come to know y's information
+// using de jure and de facto rules together? It implements Theorem 3.2:
+// subjects u1,…,un must exist with
+//
+//	(a) x = u1 or u1 rw-initially spans to x,
+//	(b) y = un or un rw-terminally spans to y,
+//	(c) each consecutive pair joined by an rwtg-path with word in B ∪ C.
+//
+// Reflexive by convention.
+func CanKnow(g *graph.Graph, x, y graph.ID) bool {
+	_, ok := canKnow(g, x, y, false)
+	return ok
+}
+
+// KnowEvidence explains a positive can•know decision.
+type KnowEvidence struct {
+	// Trivial is true for x == y or a direct admissible single edge;
+	// the chain fields are then empty.
+	Trivial bool
+	// Chain is u1,…,un.
+	Chain []graph.ID
+	// Links[i] is a witness walk (word in B ∪ C) from Chain[i] to
+	// Chain[i+1].
+	Links [][]relang.Step
+	// InitialSpan is a witness u1 → x rw-initial span (nil when u1 == x).
+	InitialSpan []relang.Step
+	// TerminalSpan is a witness un → y rw-terminal span (nil when un == y).
+	TerminalSpan []relang.Step
+}
+
+// CanKnowEx is CanKnow returning evidence; the input to SynthesizeKnow.
+func CanKnowEx(g *graph.Graph, x, y graph.ID) (*KnowEvidence, bool) {
+	return canKnow(g, x, y, true)
+}
+
+func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool) (*KnowEvidence, bool) {
+	if !g.Valid(x) || !g.Valid(y) {
+		return nil, false
+	}
+	if x == y {
+		return &KnowEvidence{Trivial: true}, true
+	}
+	// (a) candidate u1 set.
+	u1s := RWInitialSpanners(g, x)
+	if g.IsSubject(x) {
+		u1s = appendUnique(u1s, x)
+	}
+	if len(u1s) == 0 {
+		return nil, false
+	}
+	// (b) candidate un set.
+	uns := RWTerminalSpanners(g, y)
+	if g.IsSubject(y) {
+		uns = appendUnique(uns, y)
+	}
+	if len(uns) == 0 {
+		return nil, false
+	}
+	unSet := make(map[graph.ID]bool, len(uns))
+	for _, u := range uns {
+		unSet[u] = true
+	}
+	if !wantEvidence {
+		res := relang.Search(g, linkChainNFA, u1s, relang.Options{View: relang.ViewExplicit})
+		for _, u := range uns {
+			if res.Accepted(u) {
+				return nil, true
+			}
+		}
+		return nil, false
+	}
+	// Evidence BFS, one link per hop.
+	type pred struct {
+		from graph.ID
+		link []relang.Step
+	}
+	preds := make(map[graph.ID]pred)
+	seen := make(map[graph.ID]bool)
+	inStart := make(map[graph.ID]bool)
+	for _, u := range u1s {
+		seen[u] = true
+		inStart[u] = true
+	}
+	queue := append([]graph.ID(nil), u1s...)
+	hit := graph.None
+	for _, u := range u1s {
+		if unSet[u] {
+			hit = u
+			break
+		}
+	}
+	for hit == graph.None && len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		res := relang.Search(g, linkNFA, []graph.ID{p}, relang.Options{View: relang.ViewExplicit, Trace: true})
+		for _, q := range res.AcceptedVertices() {
+			if !g.IsSubject(q) || seen[q] {
+				continue
+			}
+			steps, _ := res.Witness(q)
+			seen[q] = true
+			preds[q] = pred{from: p, link: steps}
+			queue = append(queue, q)
+			if unSet[q] {
+				hit = q
+				break
+			}
+		}
+	}
+	if hit == graph.None {
+		return nil, false
+	}
+	var chain []graph.ID
+	var links [][]relang.Step
+	cur := hit
+	for !inStart[cur] {
+		p := preds[cur]
+		chain = append(chain, cur)
+		links = append(links, p.link)
+		cur = p.from
+	}
+	chain = append(chain, cur)
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	ev := &KnowEvidence{Chain: chain, Links: links}
+	if chain[0] != x {
+		ev.InitialSpan, _ = RWInitiallySpans(g, chain[0], x)
+	}
+	if chain[len(chain)-1] != y {
+		ev.TerminalSpan, _ = RWTerminallySpans(g, chain[len(chain)-1], y)
+	}
+	return ev, true
+}
+
+// KnowClosure returns every vertex v with can•know(u, v, G), computed with
+// two whole-graph product searches instead of per-pair queries: the link
+// chain of Theorem 3.2 runs once from u's u1-candidates, and a forward
+// rw-terminal-span search extends the reached subjects to the vertices they
+// can read. Used by the hierarchy package to build rwtg-levels in
+// O(V·E·Q) total rather than O(V²·E·Q).
+func KnowClosure(g *graph.Graph, u graph.ID) map[graph.ID]bool {
+	out := make(map[graph.ID]bool)
+	if !g.Valid(u) {
+		return out
+	}
+	out[u] = true
+	u1s := RWInitialSpanners(g, u)
+	if g.IsSubject(u) {
+		u1s = appendUnique(u1s, u)
+	}
+	if len(u1s) == 0 {
+		return out
+	}
+	chain := relang.Search(g, linkChainNFA, u1s, relang.Options{View: relang.ViewExplicit})
+	var uns []graph.ID
+	for _, v := range chain.AcceptedVertices() {
+		if g.IsSubject(v) {
+			uns = append(uns, v)
+			out[v] = true
+		}
+	}
+	if len(uns) > 0 {
+		spans := relang.Search(g, rwTerminalNFA, uns, relang.Options{View: relang.ViewExplicit})
+		for _, v := range spans.AcceptedVertices() {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func appendUnique(ids []graph.ID, id graph.ID) []graph.ID {
+	for _, v := range ids {
+		if v == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}

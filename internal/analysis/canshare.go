@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"takegrant/internal/graph"
+	"takegrant/internal/relang"
+	"takegrant/internal/rights"
+)
+
+var (
+	bridgeNFA      = relang.Compile(relang.Bridge())
+	bridgeChainNFA = relang.BridgeChain()
+)
+
+// BridgeBetween reports whether a bridge (word in B, explicit labels) runs
+// from subject p to subject q, returning a witness walk.
+func BridgeBetween(g *graph.Graph, p, q graph.ID) ([]relang.Step, bool) {
+	if !g.IsSubject(p) || !g.IsSubject(q) || p == q {
+		return nil, false
+	}
+	res := relang.Search(g, bridgeNFA, []graph.ID{p}, relang.Options{View: relang.ViewExplicit, Trace: true})
+	return res.Witness(q)
+}
+
+// BridgeReachable returns every subject reachable from the subjects in
+// starts through a chain of bridges (iterated at subject boundaries),
+// including the starts themselves. This is the island-hopping closure of
+// Theorem 2.3 condition (iii): within an island every tg edge is itself a
+// bridge, so island connectivity is subsumed.
+func BridgeReachable(g *graph.Graph, starts []graph.ID) map[graph.ID]bool {
+	res := relang.Search(g, bridgeChainNFA, starts, relang.Options{View: relang.ViewExplicit})
+	out := make(map[graph.ID]bool)
+	for _, v := range res.AcceptedVertices() {
+		if g.IsSubject(v) {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// CanShare decides the predicate can•share(α, x, y, G): can x acquire an
+// explicit α edge to y through some sequence of de jure rules? It
+// implements Theorem 2.3:
+//
+//	can•share(α,x,y,G) ⇔ x already has α to y, or all of:
+//	 (i)   some vertex s has an explicit α edge to y,
+//	 (ii)  a subject x′ initially spans to x and a subject s′ terminally
+//	       spans to s,
+//	 (iii) x′ and s′ are linked by a chain of islands and bridges.
+func CanShare(g *graph.Graph, alpha rights.Right, x, y graph.ID) bool {
+	_, ok := canShare(g, alpha, x, y, false)
+	return ok
+}
+
+// ShareEvidence explains a positive can•share decision.
+type ShareEvidence struct {
+	// Direct is true when the α edge already exists; all other fields are
+	// then zero.
+	Direct bool
+	// S holds an explicit α edge to y.
+	S graph.ID
+	// XPrime initially spans to X (XPrime == x when the span is ν).
+	XPrime graph.ID
+	// SPrime terminally spans to S.
+	SPrime graph.ID
+	// Chain is a sequence of subjects from XPrime to SPrime in which every
+	// consecutive pair is joined by a bridge.
+	Chain []graph.ID
+	// Bridges[i] is a witness walk for the bridge Chain[i] → Chain[i+1].
+	Bridges [][]relang.Step
+	// InitialSpan is a witness path XPrime → x (nil for ν).
+	InitialSpan []relang.Step
+	// TerminalSpan is a witness path SPrime → S (nil for ν).
+	TerminalSpan []relang.Step
+}
+
+// CanShareEx is CanShare returning evidence for the positive case. The
+// evidence identifies the theorem's ingredients and is the input to
+// SynthesizeShare.
+func CanShareEx(g *graph.Graph, alpha rights.Right, x, y graph.ID) (*ShareEvidence, bool) {
+	return canShare(g, alpha, x, y, true)
+}
+
+func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bool) (*ShareEvidence, bool) {
+	if !g.Valid(x) || !g.Valid(y) || x == y {
+		return nil, false
+	}
+	if g.Explicit(x, y).Has(alpha) {
+		return &ShareEvidence{Direct: true}, true
+	}
+	// (i) sources s with an explicit α edge to y.
+	var sources []graph.ID
+	for _, h := range g.In(y) {
+		if h.Explicit.Has(alpha) {
+			sources = append(sources, h.Other)
+		}
+	}
+	if len(sources) == 0 {
+		return nil, false
+	}
+	// (ii) spanners.
+	xPrimes := InitialSpanners(g, x)
+	if len(xPrimes) == 0 {
+		return nil, false
+	}
+	sPrimeOf := make(map[graph.ID]graph.ID) // terminal spanner -> its source s
+	var sPrimes []graph.ID
+	for _, s := range sources {
+		for _, sp := range TerminalSpanners(g, s) {
+			if _, seen := sPrimeOf[sp]; !seen {
+				sPrimeOf[sp] = s
+				sPrimes = append(sPrimes, sp)
+			}
+		}
+	}
+	if len(sPrimes) == 0 {
+		return nil, false
+	}
+	if !wantEvidence {
+		reach := BridgeReachable(g, xPrimes)
+		for _, sp := range sPrimes {
+			if reach[sp] {
+				return nil, true
+			}
+		}
+		return nil, false
+	}
+	// Evidence path: BFS over subjects expanding one bridge at a time so the
+	// chain decomposes into per-bridge segments.
+	type pred struct {
+		from   graph.ID
+		bridge []relang.Step
+	}
+	preds := make(map[graph.ID]pred)
+	inStart := make(map[graph.ID]bool)
+	for _, xp := range xPrimes {
+		inStart[xp] = true
+	}
+	queue := append([]graph.ID(nil), xPrimes...)
+	seen := make(map[graph.ID]bool)
+	for _, xp := range xPrimes {
+		seen[xp] = true
+	}
+	var hit graph.ID = graph.None
+	for _, xp := range xPrimes {
+		if _, ok := sPrimeOf[xp]; ok {
+			hit = xp
+			break
+		}
+	}
+	for hit == graph.None && len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		res := relang.Search(g, bridgeNFA, []graph.ID{p}, relang.Options{View: relang.ViewExplicit, Trace: true})
+		for _, q := range res.AcceptedVertices() {
+			if !g.IsSubject(q) || seen[q] {
+				continue
+			}
+			steps, _ := res.Witness(q)
+			seen[q] = true
+			preds[q] = pred{from: p, bridge: steps}
+			queue = append(queue, q)
+			if _, ok := sPrimeOf[q]; ok {
+				hit = q
+				break
+			}
+		}
+	}
+	if hit == graph.None {
+		return nil, false
+	}
+	// Reconstruct the chain from hit back to a start.
+	var chain []graph.ID
+	var bridges [][]relang.Step
+	cur := hit
+	for !inStart[cur] {
+		p := preds[cur]
+		chain = append(chain, cur)
+		bridges = append(bridges, p.bridge)
+		cur = p.from
+	}
+	chain = append(chain, cur)
+	// Reverse into x′ → … → s′ order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	for i, j := 0, len(bridges)-1; i < j; i, j = i+1, j-1 {
+		bridges[i], bridges[j] = bridges[j], bridges[i]
+	}
+	ev := &ShareEvidence{
+		S:      sPrimeOf[hit],
+		XPrime: chain[0],
+		SPrime: hit,
+		Chain:  chain,
+	}
+	ev.Bridges = bridges
+	if ev.XPrime != x {
+		ev.InitialSpan, _ = InitiallySpans(g, ev.XPrime, x)
+	}
+	if ev.SPrime != ev.S {
+		ev.TerminalSpan, _ = TerminallySpans(g, ev.SPrime, ev.S)
+	}
+	return ev, true
+}
+
+func withoutID(ids []graph.ID, drop graph.ID) []graph.ID {
+	out := ids[:0:0]
+	for _, v := range ids {
+		if v != drop {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CanShareSet reports whether every right in set can be shared from y to x
+// (i.e. can•share holds for each α in set individually).
+func CanShareSet(g *graph.Graph, set rights.Set, x, y graph.ID) bool {
+	for _, r := range set.Rights() {
+		if !CanShare(g, r, x, y) {
+			return false
+		}
+	}
+	return !set.Empty()
+}

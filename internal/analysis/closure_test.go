@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+// TestTheorem31ClosureEquivalence is the direct cross-check of Theorem
+// 3.1: on implicit-free graphs, the admissible-path characterisation of
+// can•know•f coincides with actually running the de facto rules to a
+// fixpoint and reading off the base condition.
+func TestTheorem31ClosureEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAnalysisGraph(rng, false)
+		closed := g.Clone()
+		rules.DeFactoClosure(closed)
+		for _, x := range g.Vertices() {
+			for _, y := range g.Vertices() {
+				if x == y {
+					continue
+				}
+				path := CanKnowF(g, x, y)
+				fixpoint := KnowsBase(closed, x, y)
+				if path != fixpoint {
+					t.Logf("seed %d: path=%v fixpoint=%v for %s→%s\n%s",
+						seed, path, fixpoint, g.Name(x), g.Name(y), g.String())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClosureMonotoneUnderDeJure: applying de jure rules can only grow the
+// de facto relation — can•know•f never shrinks when authority is added.
+func TestClosureMonotoneUnderDeJure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAnalysisGraph(rng, false)
+		// Record the relation.
+		before := make(map[[2]graph.ID]bool)
+		for _, x := range g.Vertices() {
+			for _, y := range g.Vertices() {
+				if CanKnowF(g, x, y) {
+					before[[2]graph.ID{x, y}] = true
+				}
+			}
+		}
+		// Apply a few random de jure rules.
+		opts := &rules.EnumerateOptions{DeJure: true}
+		for i := 0; i < 5; i++ {
+			apps := rules.Enumerate(g, opts)
+			if len(apps) == 0 {
+				break
+			}
+			apps[rng.Intn(len(apps))].Apply(g)
+		}
+		for pair := range before {
+			if !CanKnowF(g, pair[0], pair[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKnowClosureMatchesCanKnow validates the bulk closure used by the
+// hierarchy package against the pairwise decision.
+func TestKnowClosureMatchesCanKnow(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAnalysisGraph(rng, false)
+		for _, u := range g.Vertices() {
+			closure := KnowClosure(g, u)
+			for _, v := range g.Vertices() {
+				if closure[v] != CanKnow(g, u, v) {
+					t.Logf("seed %d: closure[%s]=%v CanKnow(%s,%s)=%v",
+						seed, g.Name(v), closure[v], g.Name(u), g.Name(v), !closure[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCanShareMonotoneUnderAddedRights: adding explicit authority never
+// falsifies a previously true can•share.
+func TestCanShareMonotoneUnderAddedRights(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAnalysisGraph(rng, false)
+		vs := g.Vertices()
+		type q struct {
+			x, y  graph.ID
+			alpha rights.Right
+		}
+		var truths []q
+		for i := 0; i < 10; i++ {
+			x, y := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if x == y {
+				continue
+			}
+			alpha := rights.Right(rng.Intn(4))
+			if CanShare(g, alpha, x, y) {
+				truths = append(truths, q{x, y, alpha})
+			}
+		}
+		for i := 0; i < 4; i++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if a != b {
+				g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+			}
+		}
+		for _, t := range truths {
+			if !CanShare(g, t.alpha, t.x, t.y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package analysis implements the decision procedures of the Take-Grant
+// Protection Model: islands, spans, bridges and connections; the predicates
+// can•share (Theorem 2.3), can•know•f (Theorem 3.1) and can•know
+// (Theorem 3.2); and constructive witness synthesis that turns every
+// positive answer into a replayable rule derivation.
+//
+// Terminology follows the paper; see DESIGN.md §3 for the normalised
+// regular-language definitions. All span/bridge machinery searches *walks*
+// rather than vertex-simple paths: for these languages a walk between two
+// subjects supports exactly the same rule derivations as a simple path
+// (the constructions in the witness synthesiser never require
+// distinctness beyond what the rules themselves impose), and walk
+// reachability is decidable by a linear product search.
+package analysis
+
+import (
+	"sort"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// Islands returns the islands of g: maximal tg-connected subgraphs
+// containing only subject vertices. Within an island, any right held by one
+// vertex can be obtained by every other vertex. Each island is a sorted
+// slice of subject IDs; islands are ordered by their smallest member.
+func Islands(g *graph.Graph) [][]graph.ID {
+	idx := IslandOf(g)
+	groups := make(map[int][]graph.ID)
+	for v, i := range idx {
+		groups[i] = append(groups[i], v)
+	}
+	out := make([][]graph.ID, 0, len(groups))
+	for _, members := range groups {
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+		out = append(out, members)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// IslandOf maps every subject to the index of its island. Indexes are dense
+// but otherwise arbitrary; use Islands for a deterministic ordering.
+func IslandOf(g *graph.Graph) map[graph.ID]int {
+	idx := make(map[graph.ID]int)
+	next := 0
+	for _, s := range g.Subjects() {
+		if _, seen := idx[s]; seen {
+			continue
+		}
+		// BFS over subject-only tg edges (either direction, explicit label).
+		queue := []graph.ID{s}
+		idx[s] = next
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, h := range g.Out(v) {
+				if h.Explicit.HasAny(rights.TG) && g.IsSubject(h.Other) {
+					if _, seen := idx[h.Other]; !seen {
+						idx[h.Other] = next
+						queue = append(queue, h.Other)
+					}
+				}
+			}
+			for _, h := range g.In(v) {
+				if h.Explicit.HasAny(rights.TG) && g.IsSubject(h.Other) {
+					if _, seen := idx[h.Other]; !seen {
+						idx[h.Other] = next
+						queue = append(queue, h.Other)
+					}
+				}
+			}
+		}
+		next++
+	}
+	return idx
+}
+
+// SameIsland reports whether two subjects share an island.
+func SameIsland(g *graph.Graph, a, b graph.ID) bool {
+	if !g.IsSubject(a) || !g.IsSubject(b) {
+		return false
+	}
+	idx := IslandOf(g)
+	return idx[a] == idx[b]
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"sort"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// Acquisition is one right a vertex can come to hold.
+type Acquisition struct {
+	Right  rights.Right
+	Target graph.ID
+	// Held is true when the edge already exists (no derivation needed).
+	Held bool
+}
+
+// Profile computes the rights-amplification profile of x: every (α, y)
+// with can•share(α, x, y, G), i.e. the complete authority x can ever
+// acquire under unrestricted de jure rules. This is the "worst case" a
+// security review needs: the transitive closure of takes, grants and
+// conspiracies, not the current access matrix.
+//
+// The implementation factors the theorem's conditions once instead of
+// calling CanShare per pair: the bridge-closure of x's initial spanners is
+// computed a single time, then every explicit edge (s → y : α) contributes
+// its α-to-y to the profile when some closure subject terminally spans
+// to s. Results are sorted by (target, right).
+func Profile(g *graph.Graph, x graph.ID) []Acquisition {
+	if !g.Valid(x) {
+		return nil
+	}
+	var out []Acquisition
+	type key struct {
+		r rights.Right
+		t graph.ID
+	}
+	seen := make(map[key]bool)
+	add := func(a Acquisition) {
+		k := key{a.Right, a.Target}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	for _, h := range g.Out(x) {
+		for _, r := range h.Explicit.Rights() {
+			add(Acquisition{Right: r, Target: h.Other, Held: true})
+		}
+	}
+	xps := InitialSpanners(g, x)
+	if len(xps) > 0 {
+		reach := BridgeReachable(g, xps)
+		// Extend the reachable set with everything it terminally spans to:
+		// one forward t>* search from the whole closure.
+		var sources []graph.ID
+		for v := range reach {
+			sources = append(sources, v)
+		}
+		spanRes := TakeReach(g, sources)
+		for _, s := range g.Vertices() {
+			if !spanRes[s] {
+				continue
+			}
+			for _, h := range g.Out(s) {
+				if h.Other == x {
+					continue // a right to x itself cannot land on x→x
+				}
+				for _, r := range h.Explicit.Rights() {
+					add(Acquisition{Right: r, Target: h.Other})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Target != out[j].Target {
+			return out[i].Target < out[j].Target
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}
+
+// TakeReach runs the forward terminal-span closure from the given
+// subjects: the set of vertices some of them can take from (including
+// themselves).
+func TakeReach(g *graph.Graph, sources []graph.ID) map[graph.ID]bool {
+	out := make(map[graph.ID]bool)
+	queue := make([]graph.ID, 0, len(sources))
+	for _, s := range sources {
+		if g.Valid(s) && !out[s] {
+			out[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Out(v) {
+			if h.Explicit.Has(rights.Take) && !out[h.Other] {
+				out[h.Other] = true
+				queue = append(queue, h.Other)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func TestProfileSimple(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	v := g.MustObject("v")
+	y := g.MustObject("y")
+	g.AddExplicit(x, v, rights.T)
+	g.AddExplicit(v, y, rights.RW)
+	p := Profile(g, x)
+	want := map[Acquisition]bool{
+		{Right: rights.Take, Target: v, Held: true}: true,
+		{Right: rights.Read, Target: y}:             true,
+		{Right: rights.Write, Target: y}:            true,
+	}
+	if len(p) != len(want) {
+		t.Fatalf("profile = %v", p)
+	}
+	for _, a := range p {
+		if !want[a] {
+			t.Errorf("unexpected acquisition %+v", a)
+		}
+	}
+}
+
+func TestProfileSorted(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	a := g.MustObject("a")
+	b := g.MustObject("b")
+	g.AddExplicit(x, b, rights.RW)
+	g.AddExplicit(x, a, rights.T)
+	g.AddExplicit(a, b, rights.G)
+	p := Profile(g, x)
+	for i := 1; i < len(p); i++ {
+		if p[i].Target < p[i-1].Target ||
+			(p[i].Target == p[i-1].Target && p[i].Right < p[i-1].Right) {
+			t.Fatalf("unsorted profile: %v", p)
+		}
+	}
+}
+
+// TestProfileMatchesCanShare: the bulk profile must coincide with per-pair
+// can•share decisions.
+func TestProfileMatchesCanShare(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAnalysisGraph(rng, false)
+		vs := g.Vertices()
+		for _, x := range vs {
+			inProfile := make(map[[2]int32]rights.Set)
+			for _, a := range Profile(g, x) {
+				key := [2]int32{int32(x), int32(a.Target)}
+				inProfile[key] = inProfile[key].With(a.Right)
+			}
+			for _, y := range vs {
+				if y == x {
+					continue
+				}
+				for _, alpha := range []rights.Right{rights.Read, rights.Write, rights.Take, rights.Grant} {
+					want := CanShare(g, alpha, x, y)
+					got := inProfile[[2]int32{int32(x), int32(y)}].Has(alpha)
+					if want != got {
+						t.Logf("seed %d: profile=%v canshare=%v for %s gets %s to %s\n%s",
+							seed, got, want, g.Name(x),
+							g.Universe().Name(alpha), g.Name(y), g.String())
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTakeReach(t *testing.T) {
+	g := graph.New(nil)
+	a := g.MustSubject("a")
+	b := g.MustObject("b")
+	c := g.MustObject("c")
+	d := g.MustObject("d")
+	g.AddExplicit(a, b, rights.T)
+	g.AddExplicit(b, c, rights.T)
+	g.AddExplicit(c, d, rights.R) // r edge breaks the take chain
+	reach := TakeReach(g, []graph.ID{a})
+	if !reach[a] || !reach[b] || !reach[c] || reach[d] {
+		t.Errorf("reach = %v", reach)
+	}
+	if len(TakeReach(g, nil)) != 0 {
+		t.Error("empty sources reach something")
+	}
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"takegrant/internal/graph"
+	"takegrant/internal/relang"
+)
+
+// Span search helpers. Each "who spans to v?" query runs a single reversed
+// search from v; each "does u span to v?" query runs a forward search.
+//
+// All spans are defined over explicit (de jure) labels — including the rw
+// variants: an rw-span's trailing r or w right must be explicit, because
+// realising the span takes that right along the t-chain, and the de jure
+// rules cannot move implicit rights. Analysis predicates are exact on
+// initial graphs (empty implicit labels), the paper's setting.
+
+var (
+	initialSpanNFA      = relang.Compile(relang.InitialSpan())
+	initialSpanRevNFA   = relang.Compile(relang.Reverse(relang.InitialSpan()))
+	terminalSpanNFA     = relang.Compile(relang.TerminalSpan())
+	terminalSpanRevNFA  = relang.Compile(relang.Reverse(relang.TerminalSpan()))
+	rwInitialSpanNFA    = relang.Compile(relang.RWInitialSpan())
+	rwInitialSpanRevNFA = relang.Compile(relang.Reverse(relang.RWInitialSpan()))
+	rwTerminalRevNFA    = relang.Compile(relang.Reverse(relang.RWTerminalSpan()))
+	rwTerminalNFA       = relang.Compile(relang.RWTerminalSpan())
+)
+
+// InitialSpanners returns every subject x′ that initially spans to x
+// (word in t>*g>, or x′ = x when x is a subject), sorted by ID.
+// An initial span lets x′ push authority to x.
+func InitialSpanners(g *graph.Graph, x graph.ID) []graph.ID {
+	return spanners(g, x, initialSpanRevNFA, true, relang.ViewExplicit)
+}
+
+// TerminalSpanners returns every subject s′ that terminally spans to s
+// (word in t>*, including s′ = s when s is a subject), sorted by ID.
+// A terminal span lets s′ pull (take) authority from s.
+func TerminalSpanners(g *graph.Graph, s graph.ID) []graph.ID {
+	return spanners(g, s, terminalSpanRevNFA, true, relang.ViewExplicit)
+}
+
+// RWInitialSpanners returns every subject u that rw-initially spans to x
+// (word in t>*w>, or u = x when x is a subject): the subjects able to write
+// information to x. The span is de jure capability (take the chain, then
+// write), so it runs over explicit labels.
+func RWInitialSpanners(g *graph.Graph, x graph.ID) []graph.ID {
+	return spanners(g, x, rwInitialSpanRevNFA, true, relang.ViewExplicit)
+}
+
+// RWTerminalSpanners returns every subject u that rw-terminally spans to y
+// (word in t>*r>, or u = y when y is a subject): the subjects able to read
+// y's information.
+func RWTerminalSpanners(g *graph.Graph, y graph.ID) []graph.ID {
+	return spanners(g, y, rwTerminalRevNFA, true, relang.ViewExplicit)
+}
+
+func spanners(g *graph.Graph, v graph.ID, revNFA *relang.NFA, includeSelf bool, view relang.View) []graph.ID {
+	if !g.Valid(v) {
+		return nil
+	}
+	res := relang.Search(g, revNFA, []graph.ID{v}, relang.Options{View: view})
+	seen := make(map[graph.ID]bool)
+	var out []graph.ID
+	if includeSelf && g.IsSubject(v) {
+		out = append(out, v)
+		seen[v] = true
+	}
+	for _, u := range res.AcceptedVertices() {
+		if g.IsSubject(u) && !seen[u] {
+			out = append(out, u)
+			seen[u] = true
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// InitiallySpans reports whether subject u initially spans to x, and when it
+// does (with a non-empty word) returns a witness path.
+func InitiallySpans(g *graph.Graph, u, x graph.ID) ([]relang.Step, bool) {
+	return spansTo(g, u, x, initialSpanNFA, relang.ViewExplicit)
+}
+
+// TerminallySpans reports whether subject u terminally spans to s.
+func TerminallySpans(g *graph.Graph, u, s graph.ID) ([]relang.Step, bool) {
+	return spansTo(g, u, s, terminalSpanNFA, relang.ViewExplicit)
+}
+
+// RWInitiallySpans reports whether subject u rw-initially spans to x.
+func RWInitiallySpans(g *graph.Graph, u, x graph.ID) ([]relang.Step, bool) {
+	return spansTo(g, u, x, rwInitialSpanNFA, relang.ViewExplicit)
+}
+
+// RWTerminallySpans reports whether subject u rw-terminally spans to y.
+func RWTerminallySpans(g *graph.Graph, u, y graph.ID) ([]relang.Step, bool) {
+	return spansTo(g, u, y, rwTerminalNFA, relang.ViewExplicit)
+}
+
+func spansTo(g *graph.Graph, u, v graph.ID, nfa *relang.NFA, view relang.View) ([]relang.Step, bool) {
+	if u == v && g.IsSubject(u) {
+		return nil, true
+	}
+	if !g.IsSubject(u) || !g.Valid(v) {
+		return nil, false
+	}
+	res := relang.Search(g, nfa, []graph.ID{u}, relang.Options{View: view, Trace: true})
+	return res.Witness(v)
+}
+
+func sortIDs(ids []graph.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

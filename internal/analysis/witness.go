@@ -1,0 +1,442 @@
+package analysis
+
+import (
+	"fmt"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/relang"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+// SynthesizeShare turns a positive can•share(α, x, y, G) decision into a
+// replayable de jure derivation after which x holds an explicit α edge
+// to y. It is the constructive content of Theorem 2.3, organised around a
+// created mailbox so that no chain subject ever needs to hold a right to
+// itself:
+//
+//  1. a terminal spanner s′ (≠ y) pulls α-to-y along its take chain; if y
+//     is the only terminal spanner, y first mints a proxy subject and
+//     delegates its rights to it (create-rule escape),
+//  2. an initial spanner x′ creates a mailbox m and the right "g to m"
+//     hops forward across the bridges of the island chain to s′ — the
+//     create-trick of Lemmas 2.1/2.2 reverses bridges where needed,
+//  3. s′ deposits α-to-y into the mailbox, x′ takes it out, and finally
+//     pushes it to x along its initial span.
+//
+// The derivation is verified by replay on a clone before being returned;
+// an empty derivation with nil error means the edge already exists.
+// Because every step only adds vertices and explicit edges, witnesses
+// computed against the starting graph stay valid throughout.
+func SynthesizeShare(g *graph.Graph, alpha rights.Right, x, y graph.ID) (rules.Derivation, error) {
+	if !CanShare(g, alpha, x, y) {
+		return nil, fmt.Errorf("analysis: can.share(%s, %s, %s) is false",
+			g.Universe().Name(alpha), g.Name(x), g.Name(y))
+	}
+	if g.Explicit(x, y).Has(alpha) {
+		return nil, nil
+	}
+	d, err := planShare(g, alpha, x, y)
+	if err != nil {
+		return nil, err
+	}
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil {
+		return nil, fmt.Errorf("analysis: synthesized share derivation does not replay: %w", err)
+	}
+	if !clone.Explicit(x, y).Has(alpha) {
+		return nil, fmt.Errorf("analysis: synthesized share derivation did not produce the edge")
+	}
+	return d, nil
+}
+
+// planShare builds the derivation on a scratch clone, applying each step
+// eagerly so later planning sees the evolving graph.
+func planShare(g *graph.Graph, alpha rights.Right, x, y graph.ID) (rules.Derivation, error) {
+	g2 := g.Clone()
+	nm := rules.NewNamer(g2, "w")
+	aSet := rights.Of(alpha)
+	var d rules.Derivation
+	apply := func(apps ...rules.Application) error {
+		for _, a := range apps {
+			if err := a.Apply(g2); err != nil {
+				return fmt.Errorf("planning step %q: %w", a.Format(g2), err)
+			}
+			d = append(d, a)
+		}
+		return nil
+	}
+
+	// Sources: vertices holding an explicit α edge to y.
+	var sources []graph.ID
+	for _, h := range g2.In(y) {
+		if h.Explicit.Has(alpha) {
+			sources = append(sources, h.Other)
+		}
+	}
+	xps := InitialSpanners(g2, x)
+	spOf := make(map[graph.ID]graph.ID)
+	for _, s := range sources {
+		for _, sp := range TerminalSpanners(g2, s) {
+			if _, seen := spOf[sp]; !seen {
+				spOf[sp] = s
+			}
+		}
+	}
+	// y can participate in walks and bridges, but can never hold α-to-y,
+	// so y is excluded from the endpoint candidates. When that leaves no
+	// usable chain, y mints a proxy subject carrying its tg authority
+	// (the create-rule escape) and the proxy stands in for it.
+	_, yWasXP := indexIn(xps, y)
+	_, yWasSP := spOf[y]
+	xps = withoutID(xps, y)
+	delete(spOf, y)
+	var chain []graph.ID
+	var bridges [][]relang.Step
+	var err error
+	if len(xps) > 0 && len(spOf) > 0 {
+		chain, bridges, err = bridgeChain(g2, xps, spOf)
+	} else {
+		err = fmt.Errorf("analysis: no usable spanners besides the target")
+	}
+	if err != nil {
+		if !g2.IsSubject(y) || (!yWasXP && !yWasSP) {
+			return nil, err
+		}
+		name := nm.Fresh()
+		if aerr := apply(rules.Create(y, name, graph.Subject, rights.TG)); aerr != nil {
+			return nil, aerr
+		}
+		proxy, _ := g2.Lookup(name)
+		for _, h := range g2.Out(y) {
+			// Spans and bridges only traverse take/grant labels, so the
+			// proxy needs exactly y's tg authority — delegating more would
+			// move rights the derivation has no business moving.
+			set := h.Explicit.Intersect(rights.TG)
+			if h.Other == proxy || set.Empty() {
+				continue
+			}
+			if aerr := apply(rules.Grant(y, proxy, h.Other, set)); aerr != nil {
+				return nil, aerr
+			}
+		}
+		// Recompute candidates on the extended graph, still excluding y.
+		xps = withoutID(InitialSpanners(g2, x), y)
+		spOf = make(map[graph.ID]graph.ID)
+		for _, s := range sources {
+			for _, sp := range TerminalSpanners(g2, s) {
+				if sp == y {
+					continue
+				}
+				if _, seen := spOf[sp]; !seen {
+					spOf[sp] = s
+				}
+			}
+		}
+		if len(xps) == 0 || len(spOf) == 0 {
+			return nil, fmt.Errorf("analysis: no usable spanners after proxying the target")
+		}
+		chain, bridges, err = bridgeChain(g2, xps, spOf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	xp := chain[0]
+	sp := chain[len(chain)-1]
+	s := spOf[sp]
+
+	// 1. s′ pulls α-to-y.
+	if sp != s {
+		span, ok := TerminallySpans(g2, sp, s)
+		if !ok {
+			return nil, fmt.Errorf("analysis: lost terminal span %s→%s", g2.Name(sp), g2.Name(s))
+		}
+		if err := apply(terminalPull(sp, s, y, aSet, span)...); err != nil {
+			return nil, err
+		}
+	}
+	// 2. move the right to x′ through a mailbox (skip when x′ = s′).
+	if xp != sp {
+		mName := nm.Fresh()
+		if err := apply(rules.Create(xp, mName, graph.Object, rights.TG)); err != nil {
+			return nil, err
+		}
+		m, _ := g2.Lookup(mName)
+		for i := 0; i+1 < len(chain); i++ {
+			seg, err := transferBridge(nm, chain[i+1], chain[i], m, rights.G, reverseSteps(bridges[i]))
+			if err != nil {
+				return nil, err
+			}
+			if err := apply(seg...); err != nil {
+				return nil, err
+			}
+		}
+		if err := apply(
+			rules.Grant(sp, m, y, aSet), // s′ deposits α-to-y into m
+			rules.Take(xp, m, y, aSet),  // x′ retrieves it
+		); err != nil {
+			return nil, err
+		}
+	}
+	// 3. x′ pushes to x.
+	if xp != x {
+		span, ok := InitiallySpans(g2, xp, x)
+		if !ok {
+			return nil, fmt.Errorf("analysis: lost initial span %s→%s", g2.Name(xp), g2.Name(x))
+		}
+		if err := apply(initialPush(xp, x, y, aSet, span)...); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// bridgeChain finds a chain of subjects from some start (initial spanner)
+// to some goal (terminal spanner), consecutive members joined by bridges,
+// with per-hop witness walks read from the earlier member.
+func bridgeChain(g *graph.Graph, starts []graph.ID, goals map[graph.ID]graph.ID) ([]graph.ID, [][]relang.Step, error) {
+	type pred struct {
+		from   graph.ID
+		bridge []relang.Step
+	}
+	preds := make(map[graph.ID]pred)
+	seen := make(map[graph.ID]bool)
+	inStart := make(map[graph.ID]bool)
+	for _, s := range starts {
+		seen[s] = true
+		inStart[s] = true
+		if hasKey(goals, s) {
+			return []graph.ID{s}, nil, nil
+		}
+	}
+	queue := append([]graph.ID(nil), starts...)
+	hit := graph.None
+	for hit == graph.None && len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		res := relang.Search(g, bridgeNFA, []graph.ID{p}, relang.Options{View: relang.ViewExplicit, Trace: true})
+		for _, q := range res.AcceptedVertices() {
+			if !g.IsSubject(q) || seen[q] {
+				continue
+			}
+			steps, _ := res.Witness(q)
+			seen[q] = true
+			preds[q] = pred{from: p, bridge: steps}
+			queue = append(queue, q)
+			if hasKey(goals, q) {
+				hit = q
+				break
+			}
+		}
+	}
+	if hit == graph.None {
+		return nil, nil, fmt.Errorf("analysis: no island chain links the spanners")
+	}
+	var chain []graph.ID
+	var bridges [][]relang.Step
+	for cur := hit; ; {
+		chain = append(chain, cur)
+		if inStart[cur] {
+			break
+		}
+		p := preds[cur]
+		bridges = append(bridges, p.bridge)
+		cur = p.from
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	for i, j := 0, len(bridges)-1; i < j; i, j = i+1, j-1 {
+		bridges[i], bridges[j] = bridges[j], bridges[i]
+	}
+	return chain, bridges, nil
+}
+
+// vertsOf lists the vertices visited by a witness walk, starting at start.
+func vertsOf(start graph.ID, steps []relang.Step) []graph.ID {
+	verts := make([]graph.ID, 0, len(steps)+1)
+	verts = append(verts, start)
+	for _, s := range steps {
+		verts = append(verts, s.To)
+	}
+	return verts
+}
+
+// trimActorLoops drops any walk prefix that returns to the actor
+// (verts[0]), so the actor never reappears later in the chain. The
+// remaining walk still steps along edges of the same kind.
+func trimActorLoops(verts []graph.ID) []graph.ID {
+	last := 0
+	for i, v := range verts {
+		if v == verts[0] {
+			last = i
+		}
+	}
+	return verts[last:]
+}
+
+func indexIn(verts []graph.ID, v graph.ID) (int, bool) {
+	for i, u := range verts {
+		if u == v {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+func hasKey(m map[graph.ID]graph.ID, k graph.ID) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// reverseSteps rereads a witness walk from its far end: step order reverses,
+// each step's endpoints swap, and each symbol's direction flips.
+func reverseSteps(steps []relang.Step) []relang.Step {
+	out := make([]relang.Step, len(steps))
+	for i, s := range steps {
+		sym := s.Sym
+		if sym.Dir == relang.Fwd {
+			sym.Dir = relang.Rev
+		} else {
+			sym.Dir = relang.Fwd
+		}
+		out[len(steps)-1-i] = relang.Step{From: s.To, To: s.From, Sym: sym}
+	}
+	return out
+}
+
+// terminalPull makes actor pull α-to-y along its terminal span to s
+// (take chain, then one take of the α right).
+func terminalPull(actor, s, y graph.ID, alpha rights.Set, span []relang.Step) rules.Derivation {
+	chain := trimActorLoops(vertsOf(actor, span))
+	d := rules.TakeChain(chain)
+	return append(d, rules.Take(actor, s, y, alpha))
+}
+
+// PushShare builds the derivation by which actor — a subject currently
+// holding an explicit α edge to y — delivers the right to x along its
+// initial span. It errors when actor does not initially span to x.
+func PushShare(g *graph.Graph, actor, x, y graph.ID, alpha rights.Right) (rules.Derivation, error) {
+	if !g.Explicit(actor, y).Has(alpha) {
+		return nil, fmt.Errorf("analysis: %s does not hold %s to %s",
+			g.Name(actor), g.Universe().Name(alpha), g.Name(y))
+	}
+	span, ok := InitiallySpans(g, actor, x)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %s does not initially span to %s", g.Name(actor), g.Name(x))
+	}
+	if actor == x {
+		return nil, nil
+	}
+	return initialPush(actor, x, y, rights.Of(alpha), span), nil
+}
+
+// initialPush makes actor (who holds α-to-y) push the right to x along its
+// initial span (take chain, acquire the grant edge, then grant).
+func initialPush(actor, x, y graph.ID, alpha rights.Set, span []relang.Step) rules.Derivation {
+	verts := vertsOf(actor, span)
+	chain := trimActorLoops(verts[:len(verts)-1]) // up to c, the grant holder
+	d := rules.TakeChain(chain)
+	c := chain[len(chain)-1]
+	if c != actor {
+		d = append(d, rules.Take(actor, c, x, rights.G))
+	}
+	return append(d, rules.Grant(actor, x, y, alpha))
+}
+
+// transferBridge produces the derivation moving δ-to-target from holder q
+// to receiver p across one bridge witness walk (word in B, read from p).
+// Both p and q are subjects; neither equals target (callers only move
+// rights whose target is outside the chain — the mailbox, or y with
+// endpoints already filtered).
+func transferBridge(nm *rules.Namer, p, q, target graph.ID, delta rights.Set, steps []relang.Step) (rules.Derivation, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("analysis: empty bridge witness")
+	}
+	gIdx := -1
+	for i, s := range steps {
+		if s.Sym.Right == rights.Grant {
+			gIdx = i
+			break
+		}
+	}
+	verts := vertsOf(p, steps)
+	if gIdx == -1 {
+		if steps[0].Sym.Dir == relang.Fwd {
+			// t>*: p take-chains to q and pulls.
+			chain := trimActorLoops(verts)
+			d := rules.TakeChain(chain)
+			return append(d, rules.Take(p, q, target, delta)), nil
+		}
+		// t<*: q take-chains to p, then the pair reverses the edge
+		// (Lemma 2.1 create-trick).
+		qchain := trimActorLoops(reverseVerts(verts))
+		d := rules.TakeChain(qchain)
+		return append(d, rules.ReverseTake(nm, q, p, target, delta)...), nil
+	}
+	a, b := verts[gIdx], verts[gIdx+1]
+	prefix := trimActorLoops(verts[:gIdx+1])               // p … a along t>
+	qchain := trimActorLoops(reverseVerts(verts[gIdx+1:])) // q … b along t>
+	// Shortcut: the holder sits on p's take chain — pull directly.
+	if i, ok := indexIn(prefix, q); ok {
+		d := rules.TakeChain(prefix[:i+1])
+		return append(d, rules.Take(p, q, target, delta)), nil
+	}
+	// Shortcut: the receiver sits on q's take chain — reverse the t edge.
+	if i, ok := indexIn(qchain, p); ok {
+		d := rules.TakeChain(qchain[:i+1])
+		return append(d, rules.ReverseTake(nm, q, p, target, delta)...), nil
+	}
+	if steps[gIdx].Sym.Dir == relang.Fwd {
+		// t>* g> t<* with edge a -g-> b: p acquires g to b, then the pair
+		// meets at a created proxy n (b -g-> n lets q push into n; p takes
+		// out of n).
+		d := rules.TakeChain(prefix)
+		if a != p {
+			d = append(d, rules.Take(p, a, b, rights.G))
+		}
+		d = append(d, rules.TakeChain(qchain)...)
+		n := nm.Fresh()
+		d = append(d, rules.Create(p, n, graph.Object, rights.TG))
+		d = append(d, rules.GrantZRef(p, b, n, rights.G))
+		if q != b {
+			d = append(d, rules.TakeZRef(q, b, n, rights.G))
+		}
+		d = append(d, rules.GrantYRef(q, n, target, delta))
+		d = append(d, rules.TakeYRef(p, n, target, delta))
+		return d, nil
+	}
+	// t>* g< t<* with edge b -g-> a: q acquires g to a and deposits the
+	// right on a; p pulls it off a.
+	d := rules.TakeChain(qchain)
+	if b != q {
+		d = append(d, rules.Take(q, b, a, rights.G))
+	}
+	if a == target {
+		// Depositing δ-to-target on target itself would need a self edge;
+		// route through a proxy reachable from p's chain instead: q
+		// publishes a take edge onto a, p follows it to the proxy.
+		n := nm.Fresh()
+		d = append(d, rules.Create(q, n, graph.Object, rights.TG))
+		d = append(d, rules.GrantZRef(q, a, n, rights.T))
+		d = append(d, rules.TakeChain(prefix)...)
+		d = append(d, rules.TakeZRef(p, a, n, rights.T))
+		d = append(d, rules.GrantYRef(q, n, target, delta))
+		d = append(d, rules.TakeYRef(p, n, target, delta))
+		return d, nil
+	}
+	d = append(d, rules.Grant(q, a, target, delta))
+	d = append(d, rules.TakeChain(prefix)...)
+	if p != a {
+		d = append(d, rules.Take(p, a, target, delta))
+	}
+	return d, nil
+}
+
+func reverseVerts(verts []graph.ID) []graph.ID {
+	out := make([]graph.ID, len(verts))
+	for i, v := range verts {
+		out[len(verts)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func TestSynthesizeKnowDirectRead(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	g.AddExplicit(x, y, rights.R)
+	d, err := SynthesizeKnow(g, x, y)
+	if err != nil || len(d) != 0 {
+		t.Errorf("direct read: %v %v", d, err)
+	}
+}
+
+func TestSynthesizeKnowTerminalSpan(t *testing.T) {
+	// x -t-> c -r-> y: x takes r, then reads.
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	c := g.MustObject("c")
+	y := g.MustObject("y")
+	g.AddExplicit(x, c, rights.T)
+	g.AddExplicit(c, y, rights.R)
+	d, err := SynthesizeKnow(g, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil || !KnowsBase(clone, x, y) {
+		t.Errorf("replay: %v\n%s", err, d.Format(clone))
+	}
+}
+
+func TestSynthesizeKnowBridgeHop(t *testing.T) {
+	// v -g-> u bridge (read from u: g<); v reads y; u must learn y.
+	g := graph.New(nil)
+	u := g.MustSubject("u")
+	v := g.MustSubject("v")
+	y := g.MustObject("y")
+	g.AddExplicit(v, u, rights.G)
+	g.AddExplicit(v, y, rights.R)
+	if !CanKnow(g, u, y) {
+		t.Fatal("bridge hop not decided")
+	}
+	d, err := SynthesizeKnow(g, u, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil || !KnowsBase(clone, u, y) {
+		t.Errorf("replay: %v\n%s", err, d.Format(clone))
+	}
+}
+
+func TestSynthesizeKnowConnectionHop(t *testing.T) {
+	// u -r-> m <-w- v, v -r-> y (post then spy).
+	g := graph.New(nil)
+	u := g.MustSubject("u")
+	m := g.MustObject("m")
+	v := g.MustSubject("v")
+	y := g.MustObject("y")
+	g.AddExplicit(u, m, rights.R)
+	g.AddExplicit(v, m, rights.W)
+	g.AddExplicit(v, y, rights.R)
+	d, err := SynthesizeKnow(g, u, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil || !KnowsBase(clone, u, y) {
+		t.Errorf("replay: %v\n%s", err, d.Format(clone))
+	}
+}
+
+func TestSynthesizeKnowInitialSpanPush(t *testing.T) {
+	// u1 -t-> c -w-> x and u1 -r-> y: u1 takes w to x and passes.
+	g := graph.New(nil)
+	x := g.MustObject("x")
+	u1 := g.MustSubject("u1")
+	c := g.MustObject("c")
+	y := g.MustObject("y")
+	g.AddExplicit(u1, c, rights.T)
+	g.AddExplicit(c, x, rights.W)
+	g.AddExplicit(u1, y, rights.R)
+	d, err := SynthesizeKnow(g, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil || !KnowsBase(clone, x, y) {
+		t.Errorf("replay: %v\n%s", err, d.Format(clone))
+	}
+}
+
+// TestPropertyKnowSynthesisMatchesDecision mirrors the can.share property:
+// every positive can.know must synthesize into a replayable derivation that
+// establishes the flow.
+func TestPropertyKnowSynthesisMatchesDecision(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAnalysisGraph(rng, false)
+		vs := g.Vertices()
+		for i := 0; i < 6; i++ {
+			x := vs[rng.Intn(len(vs))]
+			y := vs[rng.Intn(len(vs))]
+			if x == y || !CanKnow(g, x, y) {
+				continue
+			}
+			d, err := SynthesizeKnow(g, x, y)
+			if err != nil {
+				t.Logf("seed %d: know synthesis failed for %s→%s: %v\n%s",
+					seed, g.Name(x), g.Name(y), err, g.String())
+				return false
+			}
+			clone := g.Clone()
+			if _, err := d.Replay(clone); err != nil {
+				return false
+			}
+			if !KnowsBase(clone, x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package blp implements a small Bell–LaPadula reference monitor and the
+// §6 correspondence with the paper's restriction:
+//
+//	"Then restriction (a) is equivalent to the refined simple security
+//	 property, and restriction (b) is the no write down property."
+//
+// Bell–LaPadula classifies every entity with a security level — an
+// authority rank plus a set of categories — ordered by dominance. The
+// monitor grants read when the reader dominates the object (simple
+// security: no read up) and append/write when the object dominates the
+// writer (*-property: no write down). The Take-Grant model's write is not
+// a viewing right, so it corresponds to BLP's append.
+package blp
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Level is a Bell–LaPadula security level: an authority rank (0 =
+// unclassified … 3 = top secret in the classic military instantiation)
+// plus a category set (a bitmask over at most 64 compartments).
+type Level struct {
+	Authority  int
+	Categories uint64
+}
+
+// Dominates reports whether a ≥ b in the BLP lattice: a's authority is at
+// least b's and a's categories include b's.
+func (a Level) Dominates(b Level) bool {
+	return a.Authority >= b.Authority && a.Categories&b.Categories == b.Categories
+}
+
+// Comparable reports whether a and b are ordered either way.
+func (a Level) Comparable(b Level) bool {
+	return a.Dominates(b) || b.Dominates(a)
+}
+
+// Join returns the least upper bound of the two levels.
+func (a Level) Join(b Level) Level {
+	auth := a.Authority
+	if b.Authority > auth {
+		auth = b.Authority
+	}
+	return Level{Authority: auth, Categories: a.Categories | b.Categories}
+}
+
+// Meet returns the greatest lower bound of the two levels.
+func (a Level) Meet(b Level) Level {
+	auth := a.Authority
+	if b.Authority < auth {
+		auth = b.Authority
+	}
+	return Level{Authority: auth, Categories: a.Categories & b.Categories}
+}
+
+func (a Level) String() string {
+	cats := make([]string, 0, bits.OnesCount64(a.Categories))
+	for v := a.Categories; v != 0; {
+		i := bits.TrailingZeros64(v)
+		cats = append(cats, fmt.Sprintf("C%d", i))
+		v &^= 1 << i
+	}
+	sort.Strings(cats)
+	return fmt.Sprintf("(%d,{%s})", a.Authority, strings.Join(cats, ","))
+}
+
+// Monitor is a Bell–LaPadula reference monitor over named entities.
+type Monitor struct {
+	levels map[string]Level
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{levels: make(map[string]Level)}
+}
+
+// Classify assigns (or reassigns) an entity's level.
+func (m *Monitor) Classify(name string, l Level) { m.levels[name] = l }
+
+// LevelOf returns an entity's level.
+func (m *Monitor) LevelOf(name string) (Level, bool) {
+	l, ok := m.levels[name]
+	return l, ok
+}
+
+// AllowRead implements the (refined) simple security property: subject may
+// read object iff the subject's level dominates the object's.
+func (m *Monitor) AllowRead(subject, object string) (bool, error) {
+	s, o, err := m.pair(subject, object)
+	if err != nil {
+		return false, err
+	}
+	return s.Dominates(o), nil
+}
+
+// AllowAppend implements the *-property (no write down): subject may
+// append to object iff the object's level dominates the subject's. This is
+// Take-Grant write: placing information without viewing.
+func (m *Monitor) AllowAppend(subject, object string) (bool, error) {
+	s, o, err := m.pair(subject, object)
+	if err != nil {
+		return false, err
+	}
+	return o.Dominates(s), nil
+}
+
+func (m *Monitor) pair(a, b string) (Level, Level, error) {
+	la, ok := m.levels[a]
+	if !ok {
+		return Level{}, Level{}, fmt.Errorf("blp: unknown entity %q", a)
+	}
+	lb, ok := m.levels[b]
+	if !ok {
+		return Level{}, Level{}, fmt.Errorf("blp: unknown entity %q", b)
+	}
+	return la, lb, nil
+}

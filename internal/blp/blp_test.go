@@ -1,0 +1,248 @@
+package blp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+func TestDominates(t *testing.T) {
+	ts := Level{3, 0b01}  // top secret, category A
+	s := Level{2, 0b01}   // secret, category A
+	sb := Level{2, 0b10}  // secret, category B
+	sab := Level{2, 0b11} // secret, categories A+B
+	u := Level{0, 0}
+
+	if !ts.Dominates(s) || s.Dominates(ts) {
+		t.Error("authority order wrong")
+	}
+	if s.Dominates(sb) || sb.Dominates(s) {
+		t.Error("disjoint categories comparable")
+	}
+	if !sab.Dominates(s) || !sab.Dominates(sb) {
+		t.Error("category superset does not dominate")
+	}
+	for _, l := range []Level{ts, s, sb, sab} {
+		if !l.Dominates(u) {
+			t.Errorf("%v does not dominate unclassified", l)
+		}
+		if !l.Dominates(l) {
+			t.Errorf("%v not reflexive", l)
+		}
+	}
+	if s.Comparable(sb) || !s.Comparable(ts) {
+		t.Error("Comparable wrong")
+	}
+}
+
+func TestLatticeProperties(t *testing.T) {
+	f := func(a1, c1, a2, c2 uint8) bool {
+		a := Level{int(a1 % 4), uint64(c1)}
+		b := Level{int(a2 % 4), uint64(c2)}
+		j, m := a.Join(b), a.Meet(b)
+		return j.Dominates(a) && j.Dominates(b) &&
+			a.Dominates(m) && b.Dominates(m) &&
+			(!a.Dominates(b) || (j == a && m == b)) &&
+			(!b.Dominates(a) || (j == b && m == a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonitorRules(t *testing.T) {
+	m := NewMonitor()
+	m.Classify("general", Level{3, 0b1})
+	m.Classify("clerk", Level{1, 0b1})
+	m.Classify("warplan", Level{3, 0b1})
+	m.Classify("memo", Level{1, 0b1})
+
+	for _, c := range []struct {
+		op       string
+		sub, obj string
+		want     bool
+	}{
+		{"read", "general", "memo", true},      // read down
+		{"read", "clerk", "warplan", false},    // no read up
+		{"append", "clerk", "warplan", true},   // write up
+		{"append", "general", "memo", false},   // no write down
+		{"read", "general", "warplan", true},   // read level
+		{"append", "general", "warplan", true}, // write level
+	} {
+		var got bool
+		var err error
+		if c.op == "read" {
+			got, err = m.AllowRead(c.sub, c.obj)
+		} else {
+			got, err = m.AllowAppend(c.sub, c.obj)
+		}
+		if err != nil || got != c.want {
+			t.Errorf("%s(%s,%s) = %v,%v want %v", c.op, c.sub, c.obj, got, err, c.want)
+		}
+	}
+	if _, err := m.AllowRead("ghost", "memo"); err == nil {
+		t.Error("unknown entity accepted")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	s := Level{2, 0b101}.String()
+	if !strings.Contains(s, "C0") || !strings.Contains(s, "C2") || !strings.Contains(s, "2") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestSection6Equivalence is experiment E14: on a hierarchical graph, the
+// paper's combined restriction and a BLP monitor with the matching
+// classification agree on every take/grant decision between comparable
+// levels.
+func TestSection6Equivalence(t *testing.T) {
+	c, err := hierarchy.Military(2, []string{"A", "B"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.G
+	s := hierarchy.AnalyzeRW(g)
+
+	// Classify every vertex in the monitor to mirror the builder's lattice.
+	m := NewMonitor()
+	lvl := func(name string) Level {
+		switch {
+		case name == "U":
+			return Level{0, 0}
+		case strings.HasPrefix(name, "A"):
+			return Level{int(name[1] - '0'), 0b01}
+		default:
+			return Level{int(name[1] - '0'), 0b10}
+		}
+	}
+	for lname, members := range c.Members {
+		for _, v := range members {
+			m.Classify(g.Name(v), lvl(lname))
+		}
+		m.Classify(g.Name(c.Bulletin[lname]), lvl(lname))
+	}
+	blpR := &Restriction{M: m, NameOf: func(v graph.ID) string { return g.Name(v) }}
+	comb := restrict.NewCombined(s)
+
+	// Every hypothetical take adding r or w between any pair of vertices.
+	var apps []rules.Application
+	vs := g.Vertices()
+	helper := g.MustSubject("helper") // actor placeholder; decisions ignore it
+	for _, src := range vs {
+		for _, dst := range vs {
+			if src == dst || src == helper || dst == helper {
+				continue
+			}
+			apps = append(apps,
+				rules.Application{Op: rules.OpTake, X: src, Y: helper, Z: dst, Rights: rights.R},
+				rules.Application{Op: rules.OpTake, X: src, Y: helper, Z: dst, Rights: rights.W})
+		}
+	}
+	comparable := func(a, b graph.ID) bool {
+		la, lb := lvl0(m, g, a), lvl0(m, g, b)
+		return la.Comparable(lb)
+	}
+	agree, incomparable, diffs := CompareDecisions(g, apps, blpR, comb, comparable)
+	if len(diffs) != 0 {
+		t.Errorf("%d disagreements on comparable levels, e.g. %+v", len(diffs), diffs[0])
+	}
+	if agree == 0 {
+		t.Error("no decisions compared")
+	}
+	// The documented divergence: BLP additionally refuses flows between
+	// incomparable categories.
+	if incomparable == 0 {
+		t.Error("expected incomparable-level divergences in a lattice")
+	}
+}
+
+func lvl0(m *Monitor, g *graph.Graph, v graph.ID) Level {
+	l, _ := m.LevelOf(g.Name(v))
+	return l
+}
+
+func TestBLPRestrictionGuardsExecution(t *testing.T) {
+	c, err := hierarchy.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.G
+	m := NewMonitor()
+	m.Classify(g.Name(c.Members["L1"][0]), Level{1, 0})
+	m.Classify(g.Name(c.Bulletin["L1"]), Level{1, 0})
+	m.Classify(g.Name(c.Members["L2"][0]), Level{2, 0})
+	m.Classify(g.Name(c.Bulletin["L2"]), Level{2, 0})
+	blpR := &Restriction{M: m, NameOf: func(v graph.ID) string { return g.Name(v) }}
+	low := c.Members["L1"][0]
+	high := c.Members["L2"][0]
+	g.AddExplicit(low, high, rights.T)
+	guard := restrict.NewGuarded(g, blpR)
+	if err := guard.Apply(rules.Take(low, high, c.Bulletin["L2"], rights.R)); err == nil {
+		t.Error("BLP guard allowed read-up")
+	}
+	if err := guard.Apply(rules.Take(low, high, c.Bulletin["L2"], rights.W)); err != nil {
+		t.Errorf("BLP guard refused write-up: %v", err)
+	}
+	// Created scratch inherits classification.
+	if err := guard.Apply(rules.Create(high, "scratch", graph.Object, rights.RW)); err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := g.Lookup("scratch")
+	if err := blpR.Allows(g, rules.Take(low, high, sc, rights.R)); err == nil {
+		t.Error("scratch did not inherit creator's level")
+	}
+}
+
+func TestRandomAgreementComparablePairs(t *testing.T) {
+	// Property: on linear (totally ordered) hierarchies the two
+	// restrictions agree on EVERY r/w decision.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		c, err := hierarchy.Linear(n, 1+rng.Intn(2))
+		if err != nil {
+			return false
+		}
+		g := c.G
+		s := hierarchy.AnalyzeRW(g)
+		m := NewMonitor()
+		for i := 1; i <= n; i++ {
+			name := c.Order[i-1]
+			for _, v := range c.Members[name] {
+				m.Classify(g.Name(v), Level{i, 0})
+			}
+			m.Classify(g.Name(c.Bulletin[name]), Level{i, 0})
+		}
+		blpR := &Restriction{M: m, NameOf: func(v graph.ID) string { return g.Name(v) }}
+		comb := restrict.NewCombined(s)
+		vs := g.Vertices()
+		helper := g.MustSubject("helper")
+		var apps []rules.Application
+		for i := 0; i < 30; i++ {
+			src := vs[rng.Intn(len(vs))]
+			dst := vs[rng.Intn(len(vs))]
+			if src == dst {
+				continue
+			}
+			set := rights.R
+			if rng.Intn(2) == 0 {
+				set = rights.W
+			}
+			apps = append(apps, rules.Application{Op: rules.OpTake, X: src, Y: helper, Z: dst, Rights: set})
+		}
+		_, _, diffs := CompareDecisions(g, apps, blpR, comb,
+			func(a, b graph.ID) bool { return true })
+		return len(diffs) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package blp
+
+import (
+	"fmt"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+// Restriction is a restrict.Restriction driven by a Bell–LaPadula monitor:
+// a de jure rule may not add a read edge the simple security property
+// forbids, nor a write edge the *-property forbids. It is the §6
+// counterpart of the paper's combined restriction.
+type Restriction struct {
+	M *Monitor
+	// NameOf maps graph vertices to monitor entity names.
+	NameOf func(graph.ID) string
+}
+
+// Name implements restrict.Restriction.
+func (r *Restriction) Name() string { return "bell-lapadula" }
+
+// Allows implements restrict.Restriction.
+func (r *Restriction) Allows(g *graph.Graph, app rules.Application) error {
+	var src, dst graph.ID
+	switch app.Op {
+	case rules.OpTake:
+		src, dst = app.X, app.Z
+	case rules.OpGrant:
+		src, dst = app.Y, app.Z
+	default:
+		return nil // create classifies via NoteCreate; remove is free
+	}
+	sName, dName := r.NameOf(src), r.NameOf(dst)
+	if _, ok := r.M.LevelOf(sName); !ok {
+		return nil // unclassified entities are unconstrained
+	}
+	if _, ok := r.M.LevelOf(dName); !ok {
+		return nil
+	}
+	if app.Rights.Has(rights.Read) {
+		ok, err := r.M.AllowRead(sName, dName)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("simple security forbids %s reading %s", sName, dName)
+		}
+	}
+	if app.Rights.Has(rights.Write) {
+		ok, err := r.M.AllowAppend(sName, dName)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("*-property forbids %s appending to %s", sName, dName)
+		}
+	}
+	return nil
+}
+
+// NoteCreate implements restrict.Restriction: scratch inherits its
+// creator's classification.
+func (r *Restriction) NoteCreate(created, creator graph.ID) {
+	if l, ok := r.M.LevelOf(r.NameOf(creator)); ok {
+		r.M.Classify(r.NameOf(created), l)
+	}
+}
+
+// Disagreement records a decision where the BLP monitor and a comparison
+// restriction differ.
+type Disagreement struct {
+	App    rules.Application
+	BLP    error
+	Other  error
+	Reason string
+}
+
+// CompareDecisions evaluates both restrictions on every given application
+// and returns the disagreements. Per §6, the paper's combined restriction
+// and the BLP monitor must agree whenever the two endpoints' levels are
+// comparable; on incomparable levels BLP is strictly stricter (it denies,
+// while the paper's "lower than" precondition never triggers).
+func CompareDecisions(g *graph.Graph, apps []rules.Application,
+	blpR *Restriction, other interface {
+		Allows(*graph.Graph, rules.Application) error
+	}, comparable func(a, b graph.ID) bool) (agree, incomparableOnly int, diffs []Disagreement) {
+	for _, app := range apps {
+		var src, dst graph.ID
+		switch app.Op {
+		case rules.OpTake:
+			src, dst = app.X, app.Z
+		case rules.OpGrant:
+			src, dst = app.Y, app.Z
+		default:
+			continue
+		}
+		be := blpR.Allows(g, app)
+		oe := other.Allows(g, app)
+		if (be == nil) == (oe == nil) {
+			agree++
+			continue
+		}
+		if !comparable(src, dst) {
+			incomparableOnly++
+			continue
+		}
+		diffs = append(diffs, Disagreement{App: app, BLP: be, Other: oe,
+			Reason: "comparable levels decided differently"})
+	}
+	return agree, incomparableOnly, diffs
+}

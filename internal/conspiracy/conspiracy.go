@@ -1,0 +1,159 @@
+// Package conspiracy counts conspirators: the minimum number of subjects
+// that must actively cooperate for a de facto information transfer. The
+// paper's central achievement is a hierarchy whose security is independent
+// of how many subjects are corrupt; this package quantifies the dual
+// question — when a flow *is* possible, how many corrupt subjects does it
+// take? — following Bishop's access-set construction.
+//
+// Every de facto rule is driven by subjects: a read step needs its reader
+// to act, a write step its writer. A subject u alone commands its access
+// sets: In(u), the vertices whose information u can pull with an explicit
+// read edge, and Out(u), the vertices into which u can push with an
+// explicit write edge (both include u). A flow y → x decomposes into hops
+// between subjects whose access sets meet: information passes from
+// conspirator v to conspirator u exactly when v can write somewhere u can
+// read (Out(v) ∩ In(u) ≠ ∅). The minimum conspirator count is therefore a
+// shortest path in the conspiracy digraph over subjects.
+//
+// Only explicit labels participate: the package answers questions about
+// initial protection graphs, where implicit edges have not yet been
+// exhibited.
+package conspiracy
+
+import (
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// In returns the access-in set of subject u: u plus every vertex u holds
+// an explicit read edge to.
+func In(g *graph.Graph, u graph.ID) map[graph.ID]bool {
+	out := map[graph.ID]bool{u: true}
+	if !g.IsSubject(u) {
+		return out
+	}
+	for _, h := range g.Out(u) {
+		if h.Explicit.Has(rights.Read) {
+			out[h.Other] = true
+		}
+	}
+	return out
+}
+
+// Out returns the access-out set of subject u: u plus every vertex u holds
+// an explicit write edge to.
+func Out(g *graph.Graph, u graph.ID) map[graph.ID]bool {
+	out := map[graph.ID]bool{u: true}
+	if !g.IsSubject(u) {
+		return out
+	}
+	for _, h := range g.Out(u) {
+		if h.Explicit.Has(rights.Write) {
+			out[h.Other] = true
+		}
+	}
+	return out
+}
+
+// Digraph builds the conspiracy digraph: an edge u → v means information
+// can move from v to u with only u and v acting (v deposits into a vertex
+// u can read, or u directly reads v, or v directly writes u).
+func Digraph(g *graph.Graph) map[graph.ID][]graph.ID {
+	subjects := g.Subjects()
+	ins := make(map[graph.ID]map[graph.ID]bool, len(subjects))
+	outs := make(map[graph.ID]map[graph.ID]bool, len(subjects))
+	for _, u := range subjects {
+		ins[u] = In(g, u)
+		outs[u] = Out(g, u)
+	}
+	adj := make(map[graph.ID][]graph.ID, len(subjects))
+	for _, u := range subjects {
+		for _, v := range subjects {
+			if u == v {
+				continue
+			}
+			if intersects(outs[v], ins[u]) {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+	return adj
+}
+
+func intersects(a, b map[graph.ID]bool) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// MinConspiratorsF returns the minimum number of subjects that must act
+// for x to come to know y's information with de facto rules, and the
+// conspirator chain from x's side to y's side. ok is false when no flow
+// exists. x == y needs no conspirators.
+func MinConspiratorsF(g *graph.Graph, x, y graph.ID) (int, []graph.ID, bool) {
+	if !g.Valid(x) || !g.Valid(y) {
+		return 0, nil, false
+	}
+	if x == y {
+		return 0, nil, true
+	}
+	subjects := g.Subjects()
+	// Receivers: subjects that can deliver the flow's last hop into x —
+	// x itself (a subject reads its own way in) or any subject that can
+	// write into x.
+	var starts []graph.ID
+	for _, u := range subjects {
+		if u == x || Out(g, u)[x] {
+			starts = append(starts, u)
+		}
+	}
+	// Providers: subjects whose access-in covers y.
+	goal := make(map[graph.ID]bool)
+	for _, u := range subjects {
+		if u == y || In(g, u)[y] {
+			goal[u] = true
+		}
+	}
+	if len(starts) == 0 || len(goal) == 0 {
+		return 0, nil, false
+	}
+	adj := Digraph(g)
+	type node struct {
+		v    graph.ID
+		prev int
+	}
+	var order []node
+	dist := make(map[graph.ID]int)
+	for _, s := range starts {
+		dist[s] = 0
+		order = append(order, node{v: s, prev: -1})
+	}
+	for head := 0; head < len(order); head++ {
+		cur := order[head]
+		if goal[cur.v] {
+			// Reconstruct the chain x-side … y-side.
+			var chain []graph.ID
+			for i := head; i >= 0; {
+				chain = append(chain, order[i].v)
+				i = order[i].prev
+			}
+			for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+				chain[l], chain[r] = chain[r], chain[l]
+			}
+			return len(chain), chain, true
+		}
+		for _, w := range adj[cur.v] {
+			if _, seen := dist[w]; !seen {
+				dist[w] = dist[cur.v] + 1
+				order = append(order, node{v: w, prev: head})
+			}
+		}
+	}
+	return 0, nil, false
+}

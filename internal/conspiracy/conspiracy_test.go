@@ -1,0 +1,189 @@
+package conspiracy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func TestAccessSets(t *testing.T) {
+	g := graph.New(nil)
+	u := g.MustSubject("u")
+	a := g.MustObject("a")
+	b := g.MustObject("b")
+	g.AddExplicit(u, a, rights.R)
+	g.AddExplicit(u, b, rights.W)
+	in, out := In(g, u), Out(g, u)
+	if !in[u] || !in[a] || in[b] {
+		t.Errorf("In = %v", in)
+	}
+	if !out[u] || !out[b] || out[a] {
+		t.Errorf("Out = %v", out)
+	}
+	// Objects command nothing but themselves.
+	if got := In(g, a); len(got) != 1 || !got[a] {
+		t.Errorf("object In = %v", got)
+	}
+}
+
+func TestSingleConspirator(t *testing.T) {
+	// x reads y directly: one conspirator (x itself).
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	g.AddExplicit(x, y, rights.R)
+	n, chain, ok := MinConspiratorsF(g, x, y)
+	if !ok || n != 1 || len(chain) != 1 || chain[0] != x {
+		t.Errorf("= %d %v %v", n, chain, ok)
+	}
+}
+
+func TestTwoConspiratorsMailbox(t *testing.T) {
+	// x -r-> m <-w- s, s -r-> y : x and s conspire.
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	m := g.MustObject("m")
+	s := g.MustSubject("s")
+	y := g.MustObject("y")
+	g.AddExplicit(x, m, rights.R)
+	g.AddExplicit(s, m, rights.W)
+	g.AddExplicit(s, y, rights.R)
+	n, chain, ok := MinConspiratorsF(g, x, y)
+	if !ok || n != 2 {
+		t.Fatalf("= %d %v %v", n, chain, ok)
+	}
+	if chain[0] != x || chain[1] != s {
+		t.Errorf("chain = %v", chain)
+	}
+}
+
+func TestConspiratorChainLength(t *testing.T) {
+	// A relay of k subjects, each writing the next one's inbox.
+	g := graph.New(nil)
+	k := 5
+	subs := make([]graph.ID, k)
+	for i := range subs {
+		subs[i] = g.MustSubject("s" + string(rune('0'+i)))
+	}
+	y := g.MustObject("y")
+	g.AddExplicit(subs[k-1], y, rights.R)
+	for i := k - 1; i > 0; i-- {
+		box := g.MustObject("box" + string(rune('0'+i)))
+		g.AddExplicit(subs[i], box, rights.W)
+		g.AddExplicit(subs[i-1], box, rights.R)
+	}
+	n, chain, ok := MinConspiratorsF(g, subs[0], y)
+	if !ok || n != k {
+		t.Errorf("conspirators = %d (%v), want %d", n, chain, k)
+	}
+}
+
+func TestShortcutPreferred(t *testing.T) {
+	// Both a 3-subject relay and a direct read exist: minimum is 1.
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	m := g.MustObject("m")
+	s := g.MustSubject("s")
+	y := g.MustObject("y")
+	g.AddExplicit(x, m, rights.R)
+	g.AddExplicit(s, m, rights.W)
+	g.AddExplicit(s, y, rights.R)
+	g.AddExplicit(x, y, rights.R) // shortcut
+	n, _, ok := MinConspiratorsF(g, x, y)
+	if !ok || n != 1 {
+		t.Errorf("= %d, want 1", n)
+	}
+}
+
+func TestObjectEndpoints(t *testing.T) {
+	// Object x needs a writer; object y needs a reader.
+	g := graph.New(nil)
+	x := g.MustObject("x")
+	u := g.MustSubject("u")
+	y := g.MustObject("y")
+	g.AddExplicit(u, x, rights.W)
+	g.AddExplicit(u, y, rights.R)
+	n, chain, ok := MinConspiratorsF(g, x, y)
+	if !ok || n != 1 || chain[0] != u {
+		t.Errorf("= %d %v %v", n, chain, ok)
+	}
+	// Without the writer there is no flow into x.
+	g2 := graph.New(nil)
+	x2 := g2.MustObject("x")
+	u2 := g2.MustSubject("u")
+	y2 := g2.MustObject("y")
+	g2.AddExplicit(u2, y2, rights.R)
+	if _, _, ok := MinConspiratorsF(g2, x2, y2); ok {
+		t.Error("flow into an unwritable object")
+	}
+}
+
+func TestReflexive(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	n, _, ok := MinConspiratorsF(g, x, x)
+	if !ok || n != 0 {
+		t.Errorf("= %d %v", n, ok)
+	}
+}
+
+// TestAgreesWithCanKnowF: on explicit-only graphs, a conspirator chain
+// exists exactly when can•know•f holds.
+func TestAgreesWithCanKnowF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		n := 3 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			name := "v" + string(rune('a'+i))
+			if rng.Intn(2) == 0 {
+				g.MustSubject(name)
+			} else {
+				g.MustObject(name)
+			}
+		}
+		vs := g.Vertices()
+		for i := 0; i < 3*n; i++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if a != b {
+				g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+			}
+		}
+		for i := 0; i < 8; i++ {
+			x, y := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			_, _, ok := MinConspiratorsF(g, x, y)
+			if ok != analysis.CanKnowF(g, x, y) {
+				t.Logf("seed %d: conspiracy=%v canknowf=%v for %s→%s\n%s",
+					seed, ok, !ok, g.Name(x), g.Name(y), g.String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyConspiracyResistance(t *testing.T) {
+	// The flip side of Theorem 4.3: within the paper's hierarchy, upward
+	// flows need a bounded chain of conspirators, and downward flows are
+	// impossible no matter how many conspire.
+	g := graph.New(nil)
+	low := g.MustSubject("low")
+	lowBB := g.MustObject("lowBB")
+	high := g.MustSubject("high")
+	g.AddExplicit(low, lowBB, rights.RW)
+	g.AddExplicit(high, lowBB, rights.R)
+	n, _, ok := MinConspiratorsF(g, high, low)
+	if !ok || n != 2 {
+		t.Errorf("upward flow conspirators = %d %v", n, ok)
+	}
+	if _, _, ok := MinConspiratorsF(g, low, high); ok {
+		t.Error("downward flow possible")
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// Declassification implements the protocol §6 sketches and leaves open.
+// The paper's two hazards:
+//
+//   - Raising a classification is unsound unconditionally: "anyone with
+//     access to the information could have made a private copy", so
+//     Reclassify (and this file) never raises anything retroactively —
+//     new levels only constrain future flows.
+//
+//   - Lowering is unsound while any higher-level subject retains write
+//     authority over the object: "all one of those users would have to
+//     do is to write classified information into that file". The paper
+//     observes a protocol avoiding this would have to trust someone.
+//
+// Declassify trusts nobody: it refuses unless the graph itself proves the
+// hazard absent. The object must carry no information above the target
+// level (no current reader/writer sits above it) — then reassigning its
+// accessors cannot move high information down, because there is none to
+// move and nobody left who could write any in.
+
+// DeclassifyCheck reports why lowering obj to the level of vertex anchor
+// would be unsound, or nil when it is safe. Safety per §6:
+//
+//  1. no subject strictly above anchor's level holds explicit write
+//     authority over obj (they could write classified content in), and
+//  2. no subject strictly above anchor's level holds explicit read
+//     authority over obj (the object's current content is then already
+//     classified at most at anchor's level under Theorem 4.5's rule),
+//     unless the object is currently *unreadable* above anchor.
+func (s *System) DeclassifyCheck(obj, anchor graph.ID) error {
+	if !s.g.Valid(obj) || !s.g.Valid(anchor) {
+		return fmt.Errorf("core: invalid vertex")
+	}
+	if !s.g.IsObject(obj) {
+		return fmt.Errorf("core: %s is not an object", s.g.Name(obj))
+	}
+	target := s.class.LevelOf(anchor)
+	if target < 0 {
+		return fmt.Errorf("core: anchor %s is unclassified", s.g.Name(anchor))
+	}
+	for _, h := range s.g.In(obj) {
+		lvl := s.class.LevelOf(h.Other)
+		if lvl < 0 || !s.class.HigherLevel(lvl, target) {
+			continue
+		}
+		if h.Explicit.Has(rights.Write) {
+			return fmt.Errorf("core: %s (above the target level) retains write on %s — §6 hazard",
+				s.g.Name(h.Other), s.g.Name(obj))
+		}
+		if h.Explicit.Has(rights.Read) {
+			return fmt.Errorf("core: %s (above the target level) reads %s — its content may be classified",
+				s.g.Name(h.Other), s.g.Name(obj))
+		}
+	}
+	return nil
+}
+
+// Declassify lowers obj to anchor's level by rewiring: every accessor at
+// or below the target level keeps its rights; the object additionally
+// becomes readable by anchor's level (the point of declassifying). The
+// operation refuses when DeclassifyCheck reports a hazard. It returns the
+// subjects granted read access.
+//
+// Note the asymmetry with the paper's pessimism: §6 could not declassify
+// because its model had no notion of "the information in the object right
+// now". The check above is the graph-expressible sufficient condition —
+// nobody above the line can have put anything high in, so nothing high
+// can come out.
+func (s *System) Declassify(obj, anchor graph.ID) ([]graph.ID, error) {
+	if err := s.DeclassifyCheck(obj, anchor); err != nil {
+		return nil, err
+	}
+	target := s.class.LevelOf(anchor)
+	var granted []graph.ID
+	for _, v := range s.g.Subjects() {
+		if s.class.LevelOf(v) != target {
+			continue
+		}
+		if s.g.Explicit(v, obj).Has(rights.Read) {
+			continue
+		}
+		if err := s.g.AddExplicit(v, obj, rights.R); err != nil {
+			return granted, err
+		}
+		granted = append(granted, v)
+	}
+	return granted, nil
+}

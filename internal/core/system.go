@@ -1,0 +1,126 @@
+// Package core assembles the paper's contribution into a deployable
+// artifact: a hierarchical Take-Grant protection system. A System couples
+// a protection graph with its classification structure (rw-levels, §4) and
+// an online guard enforcing the combined restriction (§5) on every de jure
+// rule — the configuration Theorem 5.5 proves sound and complete.
+//
+// Downstream code builds a graph (or a classification via
+// hierarchy.Build), wraps it in a System, and then:
+//
+//   - applies rules through Apply, which refuses any application that
+//     would complete a read-up or write-down connection (O(1) per rule,
+//     Corollary 5.7);
+//   - asks policy questions: CanShare, CanKnow, Secure, Audit;
+//   - inspects the hierarchy: levels, the higher order, object
+//     classification.
+package core
+
+import (
+	"fmt"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+// System is a hierarchical Take-Grant protection system.
+type System struct {
+	g     *graph.Graph
+	class *hierarchy.Structure
+	guard *restrict.Guarded
+}
+
+// New wraps a protection graph: the classification is derived from the
+// graph's de facto structure, and the combined restriction guards all
+// subsequent rule applications.
+func New(g *graph.Graph) *System {
+	class := hierarchy.AnalyzeRW(g)
+	return &System{
+		g:     g,
+		class: class,
+		guard: restrict.NewGuarded(g, restrict.NewCombined(class)),
+	}
+}
+
+// FromClassification wraps a built classification hierarchy.
+func FromClassification(c *hierarchy.Classification) *System {
+	return New(c.G)
+}
+
+// Graph returns the underlying protection graph. Mutate it only through
+// Apply; direct mutation bypasses the guard.
+func (s *System) Graph() *graph.Graph { return s.g }
+
+// Classification returns the level structure the guard enforces.
+func (s *System) Classification() *hierarchy.Structure { return s.class }
+
+// Apply checks the combined restriction and applies the rule.
+func (s *System) Apply(app rules.Application) error { return s.guard.Apply(app) }
+
+// Replay applies a derivation under the guard.
+func (s *System) Replay(d rules.Derivation) (int, error) { return s.guard.Replay(d) }
+
+// Stats reports how many applications the guard executed and refused.
+func (s *System) Stats() (applied, refused int) { return s.guard.Applied, s.guard.Refused }
+
+// CanShare answers can•share(α, x, y) on the current graph.
+func (s *System) CanShare(alpha rights.Right, x, y graph.ID) bool {
+	return analysis.CanShare(s.g, alpha, x, y)
+}
+
+// CanKnow answers can•know(x, y) on the current graph.
+func (s *System) CanKnow(x, y graph.ID) bool { return analysis.CanKnow(s.g, x, y) }
+
+// CanKnowF answers can•know•f(x, y) (de facto rules only).
+func (s *System) CanKnowF(x, y graph.ID) bool { return analysis.CanKnowF(s.g, x, y) }
+
+// ExplainShare returns a replayable derivation witnessing CanShare.
+func (s *System) ExplainShare(alpha rights.Right, x, y graph.ID) (rules.Derivation, error) {
+	return analysis.SynthesizeShare(s.g, alpha, x, y)
+}
+
+// ExplainKnow returns a replayable derivation witnessing CanKnow.
+func (s *System) ExplainKnow(x, y graph.ID) (rules.Derivation, error) {
+	return analysis.SynthesizeKnow(s.g, x, y)
+}
+
+// Secure evaluates the §5 security predicate against the graph's own
+// hierarchy.
+func (s *System) Secure() (bool, *hierarchy.Violation) { return hierarchy.Secure(s.g) }
+
+// StrictSecure additionally rejects flows between incomparable levels.
+func (s *System) StrictSecure() (bool, *hierarchy.Violation) { return hierarchy.StrictSecure(s.g) }
+
+// Audit scans the current graph for edges violating the restriction
+// against the *original* classification (Corollary 5.6: linear time).
+func (s *System) Audit() []restrict.EdgeViolation {
+	return restrict.NewCombined(s.class).Audit(s.g)
+}
+
+// LevelOf returns the classification level index of a vertex (-1 when
+// unclassified, e.g. created after New).
+func (s *System) LevelOf(v graph.ID) int { return s.class.LevelOf(v) }
+
+// Higher reports whether a is classified strictly above b.
+func (s *System) Higher(a, b graph.ID) bool { return s.class.Higher(a, b) }
+
+// ObjectLevel classifies an object per Theorem 4.5.
+func (s *System) ObjectLevel(o graph.ID) (int, bool) { return s.class.ObjectLevel(o) }
+
+// Reclassify recomputes the classification from the current graph and
+// re-arms the guard against it. Per §6 this is a dangerous operation —
+// raising a classification cannot retract copies already made, and
+// lowering one may declassify information others can then read — so the
+// previous audit state is surfaced: reclassification is refused while the
+// current graph audits dirty against the old classification.
+func (s *System) Reclassify() error {
+	if v := s.Audit(); len(v) > 0 {
+		return fmt.Errorf("core: refusing to reclassify a graph with %d live violations (§6)", len(v))
+	}
+	s.class = hierarchy.AnalyzeRW(s.g)
+	s.guard = restrict.NewGuarded(s.g, restrict.NewCombined(s.class))
+	return nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+func twoLevel(t *testing.T) (*System, *hierarchy.Classification) {
+	t.Helper()
+	c, err := hierarchy.Linear(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromClassification(c), c
+}
+
+func TestSystemGuards(t *testing.T) {
+	sys, c := twoLevel(t)
+	low := c.Members["L1"][0]
+	high := c.Members["L2"][0]
+	sys.Graph().AddExplicit(low, high, rights.T) // latent cross edge
+	if err := sys.Apply(rules.Take(low, high, c.Bulletin["L2"], rights.R)); err == nil {
+		t.Error("read-up allowed")
+	}
+	applied, refused := sys.Stats()
+	if applied != 0 || refused != 1 {
+		t.Errorf("stats = %d,%d", applied, refused)
+	}
+	if len(sys.Audit()) != 0 {
+		t.Error("audit dirty")
+	}
+}
+
+func TestSystemQueries(t *testing.T) {
+	sys, c := twoLevel(t)
+	low := c.Members["L1"][0]
+	high := c.Members["L2"][0]
+	if !sys.CanKnow(high, low) || sys.CanKnow(low, high) {
+		t.Error("CanKnow direction wrong")
+	}
+	if !sys.CanKnowF(high, c.Bulletin["L1"]) {
+		t.Error("CanKnowF read-down missing")
+	}
+	if !sys.Higher(high, low) || sys.Higher(low, high) {
+		t.Error("Higher wrong")
+	}
+	if lvl, ok := sys.ObjectLevel(c.Bulletin["L2"]); !ok || lvl != sys.LevelOf(high) {
+		t.Errorf("ObjectLevel = %d,%v", lvl, ok)
+	}
+	if ok, _ := sys.Secure(); !ok {
+		t.Error("secure hierarchy reported insecure")
+	}
+	if ok, _ := sys.StrictSecure(); !ok {
+		t.Error("strict security failed")
+	}
+	if sys.Classification().NumLevels() < 2 {
+		t.Error("levels missing")
+	}
+}
+
+func TestSystemExplain(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	v := g.MustObject("v")
+	y := g.MustObject("y")
+	g.AddExplicit(x, v, rights.T)
+	g.AddExplicit(v, y, rights.R)
+	sys := New(g)
+	if !sys.CanShare(rights.Read, x, y) {
+		t.Fatal("CanShare false")
+	}
+	d, err := sys.ExplainShare(rights.Read, x, y)
+	if err != nil || len(d) == 0 {
+		t.Fatalf("ExplainShare = %v, %v", d, err)
+	}
+	if _, err := sys.Replay(d); err != nil {
+		t.Fatalf("guarded replay refused a same-level share: %v", err)
+	}
+	if !g.Explicit(x, y).Has(rights.Read) {
+		t.Error("replay did not apply")
+	}
+	if _, err := sys.ExplainKnow(x, y); err != nil {
+		t.Errorf("ExplainKnow: %v", err)
+	}
+}
+
+func TestReclassifyRefusesDirty(t *testing.T) {
+	sys, c := twoLevel(t)
+	if err := sys.Reclassify(); err != nil {
+		t.Errorf("clean reclassify: %v", err)
+	}
+	low := c.Members["L1"][0]
+	sys.Graph().AddExplicit(low, c.Bulletin["L2"], rights.R)
+	if err := sys.Reclassify(); err == nil {
+		t.Error("dirty reclassify allowed")
+	}
+}

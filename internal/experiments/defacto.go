@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+func init() {
+	register("E18", e18DeFactoRuleSets)
+}
+
+// e18DeFactoRuleSets implements §6's closing remark: the four de facto
+// rules are "merely one possible set". The experiment recomputes the
+// information-flow closure of a reference workload under every subset of
+// {post, pass, spy, find}: weaker rule sets exhibit strictly fewer flows,
+// and — since removing flows can only help — the hierarchical
+// classification stays secure under every subset.
+func e18DeFactoRuleSets() Table {
+	t := Table{
+		ID:      "E18",
+		Title:   "Extension (§6): de facto rule-set ablation",
+		Claim:   "each subset of {post,pass,spy,find} yields a sub-relation of the full flow; the hierarchy is secure under all of them",
+		Columns: []string{"rule set", "implicit edges", "⊆ full closure", "hierarchy secure"},
+		Pass:    true,
+	}
+	ref := referenceFlowGraph()
+	full := ref.Clone()
+	rules.DeFactoClosureWith(full, rules.AllDeFacto)
+	fullEdges := implicitPairs(full)
+
+	hier, err := hierarchy.Linear(3, 2)
+	if err != nil {
+		t.Pass = false
+		return t
+	}
+	sets := []rules.DeFactoSet{
+		rules.AllDeFacto,
+		rules.AllDeFacto &^ rules.UsePost,
+		rules.AllDeFacto &^ rules.UsePass,
+		rules.AllDeFacto &^ rules.UseSpy,
+		rules.AllDeFacto &^ rules.UseFind,
+		rules.UseSpy,
+		rules.UsePost,
+		0,
+	}
+	for _, set := range sets {
+		clone := ref.Clone()
+		rules.DeFactoClosureWith(clone, set)
+		pairs := implicitPairs(clone)
+		subset := true
+		for p := range pairs {
+			if !fullEdges[p] {
+				subset = false
+			}
+		}
+		// Hierarchy security: with fewer exhibition rules nothing new can
+		// leak; verify on the builder hierarchy.
+		h := hier.G.Clone()
+		rules.DeFactoClosureWith(h, set)
+		low := hier.Members["L1"][0]
+		top := hier.Bulletin["L3"]
+		secure := !analysis.KnowsBase(h, low, top)
+		t.Rows = append(t.Rows, []string{
+			set.String(),
+			fmt.Sprint(len(pairs)),
+			expect(&t.Pass, subset, true),
+			expect(&t.Pass, secure, true),
+		})
+	}
+	// The full set must strictly dominate each single-rule removal on the
+	// reference workload (every rule earns its keep).
+	for _, set := range sets[1:5] {
+		clone := ref.Clone()
+		rules.DeFactoClosureWith(clone, set)
+		if len(implicitPairs(clone)) >= len(fullEdges) {
+			t.Pass = false
+			t.Notes = append(t.Notes,
+				fmt.Sprintf("rule set %s lost nothing — reference workload too weak", set))
+		}
+	}
+	return t
+}
+
+// referenceFlowGraph exercises each de facto rule in its own disjoint
+// vertex group, so exactly one rule can exhibit each group's flow: the
+// ablation then shows every rule earning its keep.
+func referenceFlowGraph() *graph.Graph {
+	g := graph.New(nil)
+	// post: pa -r-> pm <-w- pb (both subjects) ⇒ pa reads pb.
+	pa := g.MustSubject("pa")
+	pm := g.MustObject("pm")
+	pb := g.MustSubject("pb")
+	g.AddExplicit(pa, pm, rights.R)
+	g.AddExplicit(pb, pm, rights.W)
+	// pass: qy -w-> qx, qy -r-> qz with qx, qz objects ⇒ qx reads qz.
+	qy := g.MustSubject("qy")
+	qx := g.MustObject("qx")
+	qz := g.MustObject("qz")
+	g.AddExplicit(qy, qx, rights.W)
+	g.AddExplicit(qy, qz, rights.R)
+	// spy: sa -r-> sb -r-> sc ⇒ sa reads sc.
+	sa := g.MustSubject("sa")
+	sb := g.MustSubject("sb")
+	sc := g.MustObject("sc")
+	g.AddExplicit(sa, sb, rights.R)
+	g.AddExplicit(sb, sc, rights.R)
+	// find: fy -w-> fx, fz -w-> fy ⇒ fx reads fz.
+	fy := g.MustSubject("fy")
+	fx := g.MustObject("fx")
+	fz := g.MustSubject("fz")
+	g.AddExplicit(fy, fx, rights.W)
+	g.AddExplicit(fz, fy, rights.W)
+	return g
+}
+
+func implicitPairs(g *graph.Graph) map[[2]graph.ID]bool {
+	out := make(map[[2]graph.ID]bool)
+	for _, e := range g.Edges() {
+		if e.Implicit.Has(rights.Read) {
+			out[[2]graph.ID{e.Src, e.Dst}] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,459 @@
+package experiments
+
+import (
+	"fmt"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/relang"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+	"takegrant/internal/wu"
+)
+
+func init() {
+	register("E1", e1WuConspiracy)
+	register("E2", e2Figure22)
+	register("E3", e3Figure31)
+	register("E4", e4LinearClassification)
+	register("E5", e5MilitaryLattice)
+	register("E6", e6Figure51)
+	register("E7", e7Figure61)
+	register("E15", e15ObjectClassification)
+	register("E16", e16IslandKnowledge)
+}
+
+// e1WuConspiracy reproduces Figure 2.1's point: in Wu's de jure-only
+// hierarchy two conspiring subjects invert the hierarchy, while the same
+// workload in the paper's §4 construction is conspiracy-immune.
+func e1WuConspiracy() Table {
+	t := Table{
+		ID:      "E1",
+		Title:   "Figure 2.1 / Lemmas 2.1–2.2: conspiracy in Wu's model vs §4's",
+		Claim:   "in Wu's model a lower subject obtains the top document; in the §4 model no conspiracy of any size can leak it",
+		Columns: []string{"model", "levels", "low knows top doc", "breach derivation", "rwtg-levels"},
+		Pass:    true,
+	}
+	for _, levels := range []int{2, 3, 4} {
+		w, err := wu.New(levels, 2)
+		if err != nil {
+			t.Pass = false
+			continue
+		}
+		breach, d, derr := w.Breachable()
+		steps := "-"
+		if d != nil {
+			steps = fmt.Sprintf("%d steps", len(d))
+		}
+		rwtg := hierarchy.AnalyzeRWTG(w.G).NumLevels()
+		t.Rows = append(t.Rows, []string{
+			"wu[7]", fmt.Sprint(levels),
+			expect(&t.Pass, breach && derr == nil, true),
+			steps,
+			fmt.Sprint(rwtg),
+		})
+		if rwtg != 1 {
+			t.Pass = false
+		}
+		c, err := hierarchy.Linear(levels, 2)
+		if err != nil {
+			t.Pass = false
+			continue
+		}
+		low := c.Members["L1"][0]
+		top := c.Bulletin[fmt.Sprintf("L%d", levels)]
+		knows := analysis.CanKnow(c.G, low, top)
+		t.Rows = append(t.Rows, []string{
+			"bishop §4", fmt.Sprint(levels),
+			expect(&t.Pass, knows, false),
+			"-",
+			fmt.Sprint(hierarchy.AnalyzeRWTG(c.G).NumLevels()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"wu breach derivations are synthesized and replay-verified; rwtg-level count 1 means total collapse of the hierarchy")
+	return t
+}
+
+// figure22 rebuilds the worked example of Figure 2.2.
+func figure22() (*graph.Graph, map[string]graph.ID) {
+	g := graph.New(nil)
+	ids := map[string]graph.ID{
+		"p": g.MustSubject("p"), "u": g.MustSubject("u"), "v": g.MustObject("v"),
+		"w": g.MustSubject("w"), "x": g.MustObject("x"), "y": g.MustSubject("y"),
+		"sp": g.MustSubject("sp"), "s": g.MustObject("s"), "q": g.MustObject("q"),
+	}
+	g.AddExplicit(ids["p"], ids["u"], rights.G)
+	g.AddExplicit(ids["u"], ids["v"], rights.T)
+	g.AddExplicit(ids["v"], ids["w"], rights.G)
+	g.AddExplicit(ids["x"], ids["w"], rights.T)
+	g.AddExplicit(ids["y"], ids["x"], rights.T)
+	g.AddExplicit(ids["y"], ids["sp"], rights.T)
+	g.AddExplicit(ids["sp"], ids["s"], rights.T)
+	g.AddExplicit(ids["s"], ids["q"], rights.R)
+	return g, ids
+}
+
+// e2Figure22 reproduces Figure 2.2: islands, bridges, spans, and the
+// can•share decision they certify.
+func e2Figure22() Table {
+	t := Table{
+		ID:      "E2",
+		Title:   "Figure 2.2: islands, bridges, spans",
+		Claim:   "islands {p,u},{w},{y,sp}; bridges u~w and w~y; terminal span sp→s; can•share(r,p,q) holds",
+		Columns: []string{"structure", "expected", "found"},
+		Pass:    true,
+	}
+	g, ids := figure22()
+	islands := analysis.Islands(g)
+	t.Rows = append(t.Rows, []string{"islands", "3",
+		checkEq(&t.Pass, fmt.Sprint(len(islands)), "3")})
+	t.Rows = append(t.Rows, []string{"island {p,u}", "yes",
+		expect(&t.Pass, analysis.SameIsland(g, ids["p"], ids["u"]), true)})
+	t.Rows = append(t.Rows, []string{"island {y,sp}", "yes",
+		expect(&t.Pass, analysis.SameIsland(g, ids["y"], ids["sp"]), true)})
+	_, buw := analysis.BridgeBetween(g, ids["u"], ids["w"])
+	t.Rows = append(t.Rows, []string{"bridge u~w", "yes", expect(&t.Pass, buw, true)})
+	_, bwy := analysis.BridgeBetween(g, ids["w"], ids["y"])
+	t.Rows = append(t.Rows, []string{"bridge w~y", "yes", expect(&t.Pass, bwy, true)})
+	span, sok := analysis.TerminallySpans(g, ids["sp"], ids["s"])
+	word := "-"
+	if sok {
+		word = relang.WordOf(g.Universe(), span)
+	}
+	t.Rows = append(t.Rows, []string{"terminal span sp→s", "t>", checkEq(&t.Pass, word, "t>")})
+	share := analysis.CanShare(g, rights.Read, ids["p"], ids["q"])
+	t.Rows = append(t.Rows, []string{"can.share(r,p,q)", "yes", expect(&t.Pass, share, true)})
+	d, err := analysis.SynthesizeShare(g, rights.Read, ids["p"], ids["q"])
+	replayOK := err == nil
+	if replayOK {
+		clone := g.Clone()
+		_, rerr := d.Replay(clone)
+		replayOK = rerr == nil && clone.Explicit(ids["p"], ids["q"]).Has(rights.Read)
+	}
+	t.Rows = append(t.Rows, []string{"derivation replays", "yes", expect(&t.Pass, replayOK, true)})
+	return t
+}
+
+// e3Figure31 reproduces Figure 3.1: associated words of rw-paths and
+// admissibility per Theorem 3.1.
+func e3Figure31() Table {
+	t := Table{
+		ID:      "E3",
+		Title:   "Figure 3.1: rw-path words and admissibility",
+		Claim:   "a path's associated word decides can•know•f: (r> ∪ w<)* with subject guards",
+		Columns: []string{"path", "word", "admissible", "can.know.f"},
+		Pass:    true,
+	}
+	type pathCase struct {
+		name  string
+		build func() (*graph.Graph, graph.ID, graph.ID)
+		word  string
+		want  bool
+	}
+	cases := []pathCase{
+		{"s1 -r-> o <-w- s2", func() (*graph.Graph, graph.ID, graph.ID) {
+			g := graph.New(nil)
+			a := g.MustSubject("a")
+			o := g.MustObject("o")
+			b := g.MustSubject("b")
+			g.AddExplicit(a, o, rights.R)
+			g.AddExplicit(b, o, rights.W)
+			return g, a, b
+		}, "r> w<", true},
+		{"o1 -r-> o2 (object reader)", func() (*graph.Graph, graph.ID, graph.ID) {
+			g := graph.New(nil)
+			a := g.MustObject("a")
+			b := g.MustObject("b")
+			g.AddExplicit(a, b, rights.R)
+			return g, a, b
+		}, "r>", false},
+		{"s1 -r-> s2 -r-> o (spy chain)", func() (*graph.Graph, graph.ID, graph.ID) {
+			g := graph.New(nil)
+			a := g.MustSubject("a")
+			b := g.MustSubject("b")
+			o := g.MustObject("o")
+			g.AddExplicit(a, b, rights.R)
+			g.AddExplicit(b, o, rights.R)
+			return g, a, o
+		}, "r> r>", true},
+		{"two consecutive objects", func() (*graph.Graph, graph.ID, graph.ID) {
+			g := graph.New(nil)
+			a := g.MustSubject("a")
+			o1 := g.MustObject("o1")
+			o2 := g.MustObject("o2")
+			g.AddExplicit(a, o1, rights.R)
+			g.AddExplicit(o1, o2, rights.R)
+			return g, a, o2
+		}, "r> r>", false},
+	}
+	for _, c := range cases {
+		g, x, y := c.build()
+		got := analysis.CanKnowF(g, x, y)
+		t.Rows = append(t.Rows, []string{c.name, c.word,
+			yesno(c.want), expect(&t.Pass, got, c.want)})
+	}
+	return t
+}
+
+// e4LinearClassification reproduces Figure 4.1 and Theorem 4.3: the full
+// can•know•f matrix of a 4-level linear classification.
+func e4LinearClassification() Table {
+	t := Table{
+		ID:      "E4",
+		Title:   "Figure 4.1 / Theorem 4.3: linear classification flow matrix",
+		Claim:   "can•know•f(li, lj) ⇔ i ≥ j; conspiracies change nothing (can•know agrees)",
+		Columns: []string{"knower\\source", "L1", "L2", "L3", "L4"},
+		Pass:    true,
+	}
+	c, err := hierarchy.Linear(4, 2)
+	if err != nil {
+		t.Pass = false
+		return t
+	}
+	for i := 1; i <= 4; i++ {
+		row := []string{fmt.Sprintf("L%d", i)}
+		for j := 1; j <= 4; j++ {
+			li := c.Members[fmt.Sprintf("L%d", i)][0]
+			lj := c.Members[fmt.Sprintf("L%d", j)][0]
+			f := analysis.CanKnowF(c.G, li, lj)
+			k := analysis.CanKnow(c.G, li, lj)
+			want := i >= j
+			if f != want || k != want {
+				t.Pass = false
+			}
+			row = append(row, yesno(f))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if ok, _ := hierarchy.Secure(c.G); !ok {
+		t.Pass = false
+		t.Notes = append(t.Notes, "secure predicate failed")
+	}
+	return t
+}
+
+// e5MilitaryLattice reproduces Figure 4.2: the military classification
+// lattice with incomparable categories.
+func e5MilitaryLattice() Table {
+	t := Table{
+		ID:      "E5",
+		Title:   "Figure 4.2 / Prop 4.4: military classification lattice",
+		Claim:   "higher is a strict partial order; categories are incomparable; same-rank different-category subjects cannot communicate",
+		Columns: []string{"property", "expected", "found"},
+		Pass:    true,
+	}
+	c, err := hierarchy.Military(3, []string{"A", "B"}, 1)
+	if err != nil {
+		t.Pass = false
+		return t
+	}
+	s := hierarchy.AnalyzeRW(c.G)
+	t.Rows = append(t.Rows, []string{"partial order (Prop 4.4)", "yes",
+		expect(&t.Pass, s.CheckPartialOrder() == nil, true)})
+	a3 := c.Members["A3"][0]
+	a1 := c.Members["A1"][0]
+	b3 := c.Members["B3"][0]
+	u := c.Members["U"][0]
+	t.Rows = append(t.Rows, []string{"A3 > A1", "yes", expect(&t.Pass, s.Higher(a3, a1), true)})
+	t.Rows = append(t.Rows, []string{"A3 ~ B3 comparable", "no",
+		expect(&t.Pass, s.Comparable(s.LevelOf(a3), s.LevelOf(b3)), false)})
+	t.Rows = append(t.Rows, []string{"all > U", "yes",
+		expect(&t.Pass, s.Higher(a3, u) && s.Higher(b3, u) && s.Higher(a1, u), true)})
+	t.Rows = append(t.Rows, []string{"A1 communicates with B1", "no",
+		expect(&t.Pass, analysis.CanKnowF(c.G, a1, c.Members["B1"][0]), false)})
+	t.Rows = append(t.Rows, []string{"cross-category can.know", "no",
+		expect(&t.Pass, analysis.CanKnow(c.G, a3, c.Members["B1"][0]), false)})
+	secOK, _ := hierarchy.Secure(c.G)
+	t.Rows = append(t.Rows, []string{"secure", "yes", expect(&t.Pass, secOK, true)})
+	return t
+}
+
+// e6Figure51 reproduces Figure 5.1 and Theorem 5.5: the restriction blocks
+// the write-down but lets the execute right cross levels.
+func e6Figure51() Table {
+	t := Table{
+		ID:      "E6",
+		Title:   "Figure 5.1 / Theorem 5.5: the combined restriction",
+		Claim:   "unrestricted rules leak (x takes w to y); restricted rules refuse w but pass e",
+		Columns: []string{"action", "unrestricted", "restricted"},
+		Pass:    true,
+	}
+	build := func() (*hierarchy.Classification, *hierarchy.Structure, graph.ID, graph.ID, graph.ID, rights.Right) {
+		c, _ := hierarchy.Linear(2, 1)
+		g := c.G
+		x := c.Members["L2"][0]
+		y := c.Bulletin["L1"]
+		e := g.Universe().MustDeclare("e")
+		v := g.MustObject("v")
+		g.AddExplicit(x, v, rights.T)
+		g.AddExplicit(v, y, rights.Of(e, rights.Write))
+		return c, hierarchy.AnalyzeRW(g), x, y, v, e
+	}
+	// take w to y
+	{
+		c, s, x, y, v, _ := build()
+		unres := restrict.NewGuarded(c.G.Clone(), restrict.Unrestricted{})
+		uerr := unres.Apply(rules.Take(x, v, y, rights.W))
+		guard := restrict.NewGuarded(c.G.Clone(), restrict.NewCombined(s))
+		gerr := guard.Apply(rules.Take(x, v, y, rights.W))
+		t.Rows = append(t.Rows, []string{"x takes (w to y)",
+			expect(&t.Pass, uerr == nil, true) + " (breach)",
+			expect(&t.Pass, gerr != nil, true) + " refused"})
+	}
+	// take e to y
+	{
+		c, s, x, y, v, e := build()
+		unres := restrict.NewGuarded(c.G.Clone(), restrict.Unrestricted{})
+		uerr := unres.Apply(rules.Take(x, v, y, rights.Of(e)))
+		guard := restrict.NewGuarded(c.G.Clone(), restrict.NewCombined(s))
+		gerr := guard.Apply(rules.Take(x, v, y, rights.Of(e)))
+		t.Rows = append(t.Rows, []string{"x takes (e to y)",
+			expect(&t.Pass, uerr == nil, true) + " allowed",
+			expect(&t.Pass, gerr == nil, true) + " allowed"})
+	}
+	// static security of the figure's graph
+	{
+		c, _, _, _, _, _ := build()
+		secOK, _ := hierarchy.Secure(c.G)
+		t.Rows = append(t.Rows, []string{"graph statically secure", yesno(false),
+			expect(&t.Pass, secOK, false)})
+	}
+	return t
+}
+
+// e7Figure61 reproduces Figure 6.1: a breach achievable with de jure rules
+// alone, showing why restricting de facto rules cannot help.
+func e7Figure61() Table {
+	t := Table{
+		ID:      "E7",
+		Title:   "Figure 6.1: de jure rules alone breach security",
+		Claim:   "restricting de facto rules is pointless — the take rule alone builds an explicit read-up edge",
+		Columns: []string{"check", "expected", "found"},
+		Pass:    true,
+	}
+	c, _ := hierarchy.Linear(2, 1)
+	g := c.G
+	low := c.Members["L1"][0]
+	secret := c.Bulletin["L2"]
+	mid := g.MustObject("mid")
+	g.AddExplicit(low, mid, rights.T)
+	g.AddExplicit(mid, secret, rights.R)
+	s := hierarchy.AnalyzeRW(g)
+
+	d, err := analysis.SynthesizeShare(g, rights.Read, low, secret)
+	deJureOnly := err == nil && d.DeJureOnly()
+	t.Rows = append(t.Rows, []string{"breach derivation exists", "yes",
+		expect(&t.Pass, err == nil, true)})
+	t.Rows = append(t.Rows, []string{"derivation is de jure only", "yes",
+		expect(&t.Pass, deJureOnly, true)})
+	guard := restrict.NewGuarded(g.Clone(), restrict.NewCombined(s))
+	_, gerr := guard.Replay(d)
+	t.Rows = append(t.Rows, []string{"combined restriction stops it", "yes",
+		expect(&t.Pass, gerr != nil, true)})
+	return t
+}
+
+// e15ObjectClassification reproduces Theorem 4.5: object levels and the
+// impossibility of lower subjects knowing higher documents.
+func e15ObjectClassification() Table {
+	t := Table{
+		ID:      "E15",
+		Title:   "Theorem 4.5: document classification",
+		Claim:   "an object sits at the lowest accessor level; no lower subject can know it however many subjects are corrupt",
+		Columns: []string{"document", "level", "low can.know", "high can.know"},
+		Pass:    true,
+	}
+	c, err := hierarchy.Linear(3, 2)
+	if err != nil {
+		t.Pass = false
+		return t
+	}
+	g := c.G
+	for i := 1; i <= 3; i++ {
+		doc := g.MustObject(fmt.Sprintf("doc_L%d", i))
+		for _, m := range c.Members[fmt.Sprintf("L%d", i)] {
+			g.AddExplicit(m, doc, rights.RW)
+		}
+	}
+	s := hierarchy.AnalyzeRW(g)
+	low := c.Members["L1"][0]
+	high := c.Members["L3"][0]
+	for i := 1; i <= 3; i++ {
+		doc, _ := g.Lookup(fmt.Sprintf("doc_L%d", i))
+		lvl, ok := s.ObjectLevel(doc)
+		wantLvl := s.LevelOf(c.Members[fmt.Sprintf("L%d", i)][0])
+		if !ok || lvl != wantLvl {
+			t.Pass = false
+		}
+		lowKnows := analysis.CanKnow(g, low, doc)
+		highKnows := analysis.CanKnow(g, high, doc)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("doc_L%d", i),
+			fmt.Sprintf("L%d", i),
+			expect(&t.Pass, lowKnows, i == 1),
+			expect(&t.Pass, highKnows, true),
+		})
+	}
+	return t
+}
+
+// e16IslandKnowledge reproduces Lemma 3.3: within an island, everyone can
+// know everyone.
+func e16IslandKnowledge() Table {
+	t := Table{
+		ID:      "E16",
+		Title:   "Lemma 3.3: knowledge within islands",
+		Claim:   "x, y in one island ⇒ can•know(x,y) and can•know(y,x)",
+		Columns: []string{"island wiring", "x knows y", "y knows x", "derivations replay"},
+		Pass:    true,
+	}
+	wirings := []struct {
+		name string
+		set  rights.Set
+		rev  bool
+	}{
+		{"x -t-> y", rights.T, false},
+		{"x -g-> y", rights.G, false},
+		{"x <-t- y", rights.T, true},
+		{"x <-g- y", rights.G, true},
+	}
+	for _, wcase := range wirings {
+		g := graph.New(nil)
+		x := g.MustSubject("x")
+		y := g.MustSubject("y")
+		if wcase.rev {
+			g.AddExplicit(y, x, wcase.set)
+		} else {
+			g.AddExplicit(x, y, wcase.set)
+		}
+		kxy := analysis.CanKnow(g, x, y)
+		kyx := analysis.CanKnow(g, y, x)
+		replays := true
+		for _, pair := range [][2]graph.ID{{x, y}, {y, x}} {
+			d, err := analysis.SynthesizeKnow(g, pair[0], pair[1])
+			if err != nil {
+				replays = false
+				continue
+			}
+			clone := g.Clone()
+			if _, err := d.Replay(clone); err != nil || !analysis.KnowsBase(clone, pair[0], pair[1]) {
+				replays = false
+			}
+		}
+		t.Rows = append(t.Rows, []string{wcase.name,
+			expect(&t.Pass, kxy, true),
+			expect(&t.Pass, kyx, true),
+			expect(&t.Pass, replays, true)})
+	}
+	return t
+}
+
+func checkEq(pass *bool, got, want string) string {
+	if got != want {
+		*pass = false
+	}
+	return got
+}

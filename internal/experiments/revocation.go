@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+func init() {
+	register("E19", e19Revocation)
+}
+
+// e19Revocation exercises the remove rule and §6's observation that
+// revocation cannot retract copies: once a right has been shared, revoking
+// the original edge leaves every copy intact, and revoking the *enabling*
+// structure before the share blocks it. can•share is monotone under added
+// authority but not under removal — the experiment shows both directions.
+func e19Revocation() Table {
+	t := Table{
+		ID:      "E19",
+		Title:   "Extension (§6): revocation and private copies",
+		Claim:   "revoking before the transfer blocks it; revoking after changes nothing — copies persist",
+		Columns: []string{"scenario", "can.share before", "action", "can.share after", "x still holds r"},
+		Pass:    true,
+	}
+	build := func() (*graph.Graph, graph.ID, graph.ID, graph.ID, graph.ID) {
+		g := graph.New(nil)
+		x := g.MustSubject("x")
+		v := g.MustObject("v")
+		s := g.MustSubject("s")
+		y := g.MustObject("y")
+		g.AddExplicit(x, v, rights.T)
+		g.AddExplicit(v, s, rights.T)
+		g.AddExplicit(s, y, rights.R)
+		return g, x, v, s, y
+	}
+
+	// Scenario 1: revoke the take chain BEFORE x exercises it.
+	{
+		g, x, v, _, y := build()
+		before := analysis.CanShare(g, rights.Read, x, y)
+		if err := rules.Remove(x, v, rights.T).Apply(g); err != nil {
+			t.Pass = false
+		}
+		after := analysis.CanShare(g, rights.Read, x, y)
+		t.Rows = append(t.Rows, []string{
+			"revoke t edge pre-transfer",
+			expect(&t.Pass, before, true),
+			"x removes (t to) v",
+			expect(&t.Pass, after, false),
+			"-",
+		})
+	}
+	// Scenario 2: x first acquires the right, then the chain is revoked —
+	// the copy persists (the §6 private-copy hazard).
+	{
+		g, x, v, s, y := build()
+		d, err := analysis.SynthesizeShare(g, rights.Read, x, y)
+		if err != nil {
+			t.Pass = false
+		} else if _, err := d.Replay(g); err != nil {
+			t.Pass = false
+		}
+		rules.Remove(x, v, rights.T).Apply(g)
+		// Even the owner revoking its own read leaves x's copy alone.
+		rules.Remove(s, y, rights.R).Apply(g)
+		holds := g.Explicit(x, y).Has(rights.Read)
+		t.Rows = append(t.Rows, []string{
+			"revoke everything post-transfer",
+			"yes",
+			"remove t chain and owner's r",
+			expect(&t.Pass, analysis.CanShare(g, rights.Read, x, y), true), // x holds it: trivially shareable
+			expect(&t.Pass, holds, true),
+		})
+	}
+	// Scenario 3: revocation of the owner's edge before any transfer kills
+	// the source entirely.
+	{
+		g, x, _, s, y := build()
+		rules.Remove(s, y, rights.R).Apply(g)
+		after := analysis.CanShare(g, rights.Read, x, y)
+		t.Rows = append(t.Rows, []string{
+			"owner self-revokes pre-transfer",
+			"yes",
+			"s removes (r to) y",
+			expect(&t.Pass, after, false),
+			"-",
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the paper: \"anyone with access to the information could have made a private copy\" — raising classifications or revoking authority cannot call information back")
+	return t
+}

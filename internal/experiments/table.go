@@ -1,0 +1,173 @@
+// Package experiments regenerates every "table and figure" of the paper.
+// The paper is a theory paper, so its evaluation artifacts are worked
+// example graphs (Figures 2.1–6.1), theorem statements, and complexity
+// corollaries; each experiment here reconstructs one artifact as an
+// executable scenario, runs the corresponding decision procedures, and
+// reports the qualitative outcome the paper claims next to the measured
+// one. cmd/tgbench prints these tables; EXPERIMENTS.md archives them;
+// bench_test.go times the scaling claims.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's report.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (E1…E16).
+	ID string
+	// Title names the reproduced artifact.
+	Title string
+	// Claim is the paper's qualitative claim being checked.
+	Claim string
+	// Columns and Rows hold the regenerated table.
+	Columns []string
+	Rows    [][]string
+	// Pass reports whether every checked expectation held.
+	Pass bool
+	// Notes carry measurement caveats.
+	Notes []string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	status := "PASS"
+	if !t.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "result: %s\n", status)
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "*Paper claim:* %s\n\n", t.Claim)
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	status := "**PASS**"
+	if !t.Pass {
+		status = "**FAIL**"
+	}
+	fmt.Fprintf(&b, "\nResult: %s", status)
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  \n*Note:* %s", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Runner produces one experiment table.
+type Runner func() Table
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	registry[id] = r
+}
+
+// IDs returns the registered experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// E2 sorts before E10 numerically.
+		return idNum(out[i]) < idNum(out[j])
+	})
+	return out
+}
+
+func idNum(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// Run executes one experiment by ID.
+func Run(id string) (Table, bool) {
+	r, ok := registry[id]
+	if !ok {
+		return Table{}, false
+	}
+	return r(), true
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll() []Table {
+	ids := IDs()
+	out := make([]Table, 0, len(ids))
+	for _, id := range ids {
+		t, _ := Run(id)
+		out = append(out, t)
+	}
+	return out
+}
+
+func yesno(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func check(pass *bool, cond bool) string {
+	if !cond {
+		*pass = false
+	}
+	return yesno(cond)
+}
+
+// expect formats got and updates pass against want.
+func expect(pass *bool, got, want bool) string {
+	if got != want {
+		*pass = false
+	}
+	return yesno(got)
+}

@@ -1,0 +1,207 @@
+// Package explore enumerates the derivation space of a protection graph:
+// every graph reachable through rule applications, deduplicated by
+// canonical form. It is the brute-force ground truth against which the
+// analysis package's theorem-based decision procedures are cross-checked,
+// and the machinery behind the completeness experiment (Theorem 5.5).
+//
+// The space is infinite (create mints fresh vertices), so exploration is
+// bounded: by derivation depth, by total states, and by a create budget
+// per path. Created vertices get names canonical in the state ("c<n>" for
+// the next vertex slot), so two paths reaching the same shape deduplicate.
+package explore
+
+import (
+	"fmt"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+// Options bounds an exploration.
+type Options struct {
+	// MaxDepth bounds derivation length (0 means "only the start graph").
+	MaxDepth int
+	// MaxStates bounds the number of distinct graphs visited; exploration
+	// reports truncation when it trips. Default 10000 when zero.
+	MaxStates int
+	// DeJure / DeFacto include the rule families.
+	DeJure, DeFacto bool
+	// IncludeRemove includes remove rules (greatly widens the space).
+	IncludeRemove bool
+	// CreateBudget is the number of creates allowed along one path.
+	CreateBudget int
+	// CreateRights labels the edge to each created vertex; defaults to
+	// {t,g,r,w}.
+	CreateRights rights.Set
+	// CreateSubjects also tries creating subject vertices (objects are
+	// always tried when CreateBudget > 0).
+	CreateSubjects bool
+	// Restriction, when non-nil, guards every de jure application.
+	Restriction func() restrict.Restriction
+}
+
+func (o *Options) maxStates() int {
+	if o.MaxStates <= 0 {
+		return 10000
+	}
+	return o.MaxStates
+}
+
+// Result summarises an exploration.
+type Result struct {
+	// States is the number of distinct graphs visited (including the start).
+	States int
+	// Truncated reports that MaxStates stopped the search early.
+	Truncated bool
+	// Stopped reports that the visit callback ended the search.
+	Stopped bool
+}
+
+type state struct {
+	g       *graph.Graph
+	depth   int
+	creates int
+}
+
+// Visit explores breadth-first from g, calling visit on every distinct
+// reachable graph (the start graph first). Returning false from visit
+// stops the search. The graphs passed to visit are owned by the explorer;
+// clone them to retain.
+func Visit(g *graph.Graph, opts Options, visit func(*graph.Graph, int) bool) *Result {
+	res := &Result{}
+	seen := map[string]bool{g.Canonical(): true}
+	queue := []state{{g: g.Clone(), depth: 0, creates: 0}}
+	res.States = 1
+	if !visit(queue[0].g, 0) {
+		res.Stopped = true
+		return res
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth >= opts.MaxDepth {
+			continue
+		}
+		for _, app := range candidates(cur.g, &opts, cur.creates) {
+			var guard restrict.Restriction
+			if opts.Restriction != nil {
+				guard = opts.Restriction()
+			}
+			next := cur.g.Clone()
+			if guard != nil && app.Op.DeJure() {
+				if guard.Allows(next, app) != nil {
+					continue
+				}
+			}
+			if app.Apply(next) != nil {
+				continue
+			}
+			key := next.Canonical()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			res.States++
+			if !visit(next, cur.depth+1) {
+				res.Stopped = true
+				return res
+			}
+			if res.States >= opts.maxStates() {
+				res.Truncated = true
+				return res
+			}
+			creates := cur.creates
+			if app.Op == rules.OpCreate {
+				creates++
+			}
+			queue = append(queue, state{g: next, depth: cur.depth + 1, creates: creates})
+		}
+	}
+	return res
+}
+
+// candidates enumerates the applications to try from a state.
+func candidates(g *graph.Graph, opts *Options, createsUsed int) []rules.Application {
+	apps := rules.Enumerate(g, &rules.EnumerateOptions{
+		DeJure:        opts.DeJure,
+		DeFacto:       opts.DeFacto,
+		IncludeRemove: opts.IncludeRemove,
+	})
+	if opts.DeJure && createsUsed < opts.CreateBudget {
+		set := opts.CreateRights
+		if set.Empty() {
+			set = rights.Of(rights.Take, rights.Grant, rights.Read, rights.Write)
+		}
+		name := fmt.Sprintf("c%d", g.Cap())
+		for _, x := range g.Subjects() {
+			apps = append(apps, rules.Create(x, name, graph.Object, set))
+			if opts.CreateSubjects {
+				apps = append(apps, rules.Create(x, name, graph.Subject, set))
+			}
+		}
+	}
+	return apps
+}
+
+// ShareReachable reports whether some reachable graph has an explicit
+// α edge from x to y: the brute-force ground truth for can•share.
+func ShareReachable(g *graph.Graph, alpha rights.Right, x, y graph.ID, opts Options) (bool, *Result) {
+	opts.DeFacto = false
+	opts.DeJure = true
+	found := false
+	res := Visit(g, opts, func(h *graph.Graph, depth int) bool {
+		if h.Explicit(x, y).Has(alpha) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, res
+}
+
+// KnowReachable reports whether some reachable graph witnesses
+// can•know(x, y): an x→y read edge (implicit, or explicit with subject
+// source) or a y→x write edge under the same condition.
+func KnowReachable(g *graph.Graph, x, y graph.ID, opts Options) (bool, *Result) {
+	opts.DeJure = true
+	opts.DeFacto = true
+	found := false
+	res := Visit(g, opts, func(h *graph.Graph, depth int) bool {
+		if knowsBase(h, x, y) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, res
+}
+
+// knowsBase is the base condition of the can•know definition on one graph.
+func knowsBase(g *graph.Graph, x, y graph.ID) bool {
+	if g.Implicit(x, y).Has(rights.Read) || g.Implicit(y, x).Has(rights.Write) {
+		return true
+	}
+	if g.Explicit(x, y).Has(rights.Read) && g.IsSubject(x) {
+		return true
+	}
+	if g.Explicit(y, x).Has(rights.Write) && g.IsSubject(y) {
+		return true
+	}
+	return false
+}
+
+// ReachableSet returns the canonical forms of all reachable graphs,
+// optionally only those satisfying keep. Used by the completeness
+// experiment to compare restricted against unrestricted reachability.
+func ReachableSet(g *graph.Graph, opts Options, keep func(*graph.Graph) bool) (map[string]bool, *Result) {
+	out := make(map[string]bool)
+	res := Visit(g, opts, func(h *graph.Graph, depth int) bool {
+		if keep == nil || keep(h) {
+			out[h.Canonical()] = true
+		}
+		return true
+	})
+	return out, res
+}

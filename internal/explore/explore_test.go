@@ -1,0 +1,306 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+func tinyGraph(rng *rand.Rand) *graph.Graph {
+	g := graph.New(nil)
+	n := 2 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		name := "v" + string(rune('a'+i))
+		if rng.Intn(3) > 0 {
+			g.MustSubject(name)
+		} else {
+			g.MustObject(name)
+		}
+	}
+	vs := g.Vertices()
+	m := 1 + rng.Intn(2*n)
+	for i := 0; i < m; i++ {
+		a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+		if a != b {
+			g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+		}
+	}
+	return g
+}
+
+func TestVisitCountsStartOnly(t *testing.T) {
+	g := graph.New(nil)
+	g.MustSubject("a")
+	res := Visit(g, Options{MaxDepth: 0, DeJure: true}, func(*graph.Graph, int) bool { return true })
+	if res.States != 1 || res.Truncated || res.Stopped {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestVisitDedupes(t *testing.T) {
+	// Two different orders of two independent takes reach the same graph:
+	// the state count must reflect deduplication.
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	z := g.MustObject("z")
+	g.AddExplicit(x, y, rights.T)
+	g.AddExplicit(y, z, rights.RW)
+	res := Visit(g, Options{MaxDepth: 4, DeJure: true}, func(*graph.Graph, int) bool { return true })
+	// States: start, +r, +w, +rw  — exactly 4.
+	if res.States != 4 {
+		t.Errorf("states = %d want 4", res.States)
+	}
+}
+
+func TestVisitStops(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	z := g.MustObject("z")
+	g.AddExplicit(x, y, rights.T)
+	g.AddExplicit(y, z, rights.RW)
+	count := 0
+	res := Visit(g, Options{MaxDepth: 4, DeJure: true}, func(*graph.Graph, int) bool {
+		count++
+		return count < 2
+	})
+	if !res.Stopped || count != 2 {
+		t.Errorf("stopped=%v count=%d", res.Stopped, count)
+	}
+}
+
+func TestVisitTruncates(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	g.MustSubject("y")
+	g.AddExplicit(x, graph.ID(1), rights.TG)
+	res := Visit(g, Options{MaxDepth: 10, DeJure: true, CreateBudget: 3, MaxStates: 5},
+		func(*graph.Graph, int) bool { return true })
+	if !res.Truncated {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestShareReachableSimple(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	z := g.MustObject("z")
+	g.AddExplicit(x, y, rights.T)
+	g.AddExplicit(y, z, rights.R)
+	found, _ := ShareReachable(g, rights.Read, x, z, Options{MaxDepth: 3})
+	if !found {
+		t.Error("single take not found")
+	}
+	found, _ = ShareReachable(g, rights.Write, x, z, Options{MaxDepth: 3})
+	if found {
+		t.Error("phantom right found")
+	}
+}
+
+// TestCanShareMatchesExplorer is the ground-truth cross-check for
+// Theorem 2.3: on tiny graphs, the theorem-based decision and brute-force
+// reachability must agree. Where the bounded explorer cannot confirm a
+// positive, the constructive synthesiser must (its replay is itself a
+// derivation, i.e. ground truth).
+func TestCanShareMatchesExplorer(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := tinyGraph(rng)
+		vs := g.Vertices()
+		opts := Options{MaxDepth: 6, CreateBudget: 1, CreateSubjects: true, MaxStates: 30000}
+		for i := 0; i < 4; i++ {
+			x := vs[rng.Intn(len(vs))]
+			y := vs[rng.Intn(len(vs))]
+			if x == y {
+				continue
+			}
+			alpha := rights.Right(rng.Intn(4))
+			decided := analysis.CanShare(g, alpha, x, y)
+			found, res := ShareReachable(g, alpha, x, y, opts)
+			if found && !decided {
+				t.Logf("seed %d: explorer found %s→%s %v but CanShare=false\n%s",
+					seed, g.Name(x), g.Name(y), alpha, g.String())
+				return false
+			}
+			if decided && !found {
+				// The bounded explorer may simply be too shallow; the
+				// synthesiser must still produce a real derivation.
+				if _, err := analysis.SynthesizeShare(g, alpha, x, y); err != nil {
+					t.Logf("seed %d: CanShare=true unconfirmed (explorer %+v, synthesis: %v)\n%s",
+						seed, res, err, g.String())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCanKnowMatchesExplorer cross-checks Theorem 3.2 against brute force.
+func TestCanKnowMatchesExplorer(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := tinyGraph(rng)
+		vs := g.Vertices()
+		opts := Options{MaxDepth: 5, CreateBudget: 0, MaxStates: 30000}
+		for i := 0; i < 3; i++ {
+			x := vs[rng.Intn(len(vs))]
+			y := vs[rng.Intn(len(vs))]
+			if x == y {
+				continue
+			}
+			decided := analysis.CanKnow(g, x, y)
+			found, res := KnowReachable(g, x, y, opts)
+			if found && !decided {
+				t.Logf("seed %d: explorer found know(%s,%s) but CanKnow=false\n%s",
+					seed, g.Name(x), g.Name(y), g.String())
+				return false
+			}
+			if decided && !found {
+				// The explorer runs without creates, which many know-flows
+				// need; the synthesiser must still produce a derivation.
+				if _, err := analysis.SynthesizeKnow(g, x, y); err != nil {
+					t.Logf("seed %d: CanKnow(%s,%s)=true unconfirmed (explorer %d states, synthesis: %v)\n%s",
+						seed, g.Name(x), g.Name(y), res.States, err, g.String())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompletenessTheorem55 is experiment E12: every secure graph
+// reachable with unrestricted rules is reachable with restricted rules.
+func TestCompletenessTheorem55(t *testing.T) {
+	c, err := hierarchy.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.G
+	e := g.Universe().MustDeclare("e")
+	low := c.Members["L1"][0]
+	high := c.Members["L2"][0]
+	v := g.MustObject("v")
+	g.AddExplicit(high, v, rights.T)
+	g.AddExplicit(v, c.Bulletin["L1"], rights.Of(e))
+	g.AddExplicit(high, low, rights.G)
+	s := hierarchy.AnalyzeRW(g)
+
+	secureKeep := func(h *graph.Graph) bool {
+		comb := restrict.NewCombined(s)
+		return len(comb.Audit(h)) == 0
+	}
+	opts := Options{MaxDepth: 4, MaxStates: 60000, DeJure: true, DeFacto: true}
+	unres, r1 := ReachableSet(g, opts, secureKeep)
+	ropts := opts
+	ropts.Restriction = func() restrict.Restriction { return restrict.NewCombined(s) }
+	res, r2 := ReachableSet(g, ropts, nil)
+	if r1.Truncated || r2.Truncated {
+		t.Skip("state budget too small for this machine")
+	}
+	missing := 0
+	for k := range unres {
+		if !res[k] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d secure graphs unreachable under the restriction (of %d)", missing, len(unres))
+	}
+	// And the restriction genuinely prunes insecure graphs.
+	all, _ := ReachableSet(g, opts, nil)
+	if len(all) <= len(res) {
+		t.Errorf("restriction pruned nothing: %d vs %d", len(all), len(res))
+	}
+}
+
+// TestSoundnessExhaustive is the exhaustive small-graph version of
+// Theorem 5.5 soundness: under the restriction, no reachable graph ever
+// audits dirty.
+func TestSoundnessExhaustive(t *testing.T) {
+	c, err := hierarchy.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.G
+	low := c.Members["L1"][0]
+	high := c.Members["L2"][0]
+	// Dangerous latent structure: cross-level take both ways.
+	g.AddExplicit(low, high, rights.T)
+	g.AddExplicit(high, low, rights.T)
+	s := hierarchy.AnalyzeRW(g)
+	opts := Options{
+		MaxDepth: 4, MaxStates: 60000, DeJure: true, DeFacto: true,
+		Restriction: func() restrict.Restriction { return restrict.NewCombined(s) },
+	}
+	comb := restrict.NewCombined(s)
+	dirty := 0
+	res := Visit(g, opts, func(h *graph.Graph, depth int) bool {
+		if len(comb.Audit(h)) != 0 {
+			dirty++
+		}
+		return true
+	})
+	if dirty != 0 {
+		t.Errorf("%d of %d reachable restricted graphs audit dirty", dirty, res.States)
+	}
+	// Contrast: unrestricted exploration reaches dirty graphs.
+	uopts := opts
+	uopts.Restriction = nil
+	uopts.MaxDepth = 2
+	dirty = 0
+	Visit(g, uopts, func(h *graph.Graph, depth int) bool {
+		if len(comb.Audit(h)) != 0 {
+			dirty++
+			return false
+		}
+		return true
+	})
+	if dirty == 0 {
+		t.Error("unrestricted exploration found no breach despite cross-level take edges")
+	}
+}
+
+func TestExplorerHonoursGuardCounters(t *testing.T) {
+	// A guarded explorer must never apply a refused rule: verify by
+	// checking no reachable graph contains a read-up edge directly.
+	c, _ := hierarchy.Linear(2, 1)
+	g := c.G
+	low := c.Members["L1"][0]
+	g.AddExplicit(low, c.Members["L2"][0], rights.T)
+	s := hierarchy.AnalyzeRW(g)
+	highBB := c.Bulletin["L2"]
+	opts := Options{
+		MaxDepth: 3, DeJure: true,
+		Restriction: func() restrict.Restriction { return restrict.NewCombined(s) },
+	}
+	bad := false
+	Visit(g, opts, func(h *graph.Graph, depth int) bool {
+		if h.Explicit(low, highBB).Has(rights.Read) {
+			bad = true
+			return false
+		}
+		return true
+	})
+	if bad {
+		t.Error("guarded exploration produced a read-up edge")
+	}
+}
+
+var _ = rules.OpTake // keep the import for future table-driven tests

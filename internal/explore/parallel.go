@@ -1,0 +1,151 @@
+package explore
+
+import (
+	"runtime"
+	"sync"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rules"
+)
+
+// VisitParallel is Visit with a worker pool: successor expansion — rule
+// enumeration, cloning, application and canonicalisation, the expensive
+// parts — runs concurrently, while the seen-set and frontier stay behind
+// one mutex. Visit order is nondeterministic but the visited SET equals
+// the serial explorer's (deduplication is by canonical form, which is
+// order-independent). Used by the large completeness sweeps and exposed
+// as an ablation benchmark.
+//
+// The visit callback may be called concurrently; returning false stops
+// the search (best effort — in-flight expansions may still complete).
+func VisitParallel(g *graph.Graph, opts Options, workers int, visit func(*graph.Graph, int) bool) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &Result{}
+	var mu sync.Mutex
+	seen := map[string]bool{g.Canonical(): true}
+	type item struct {
+		g     *graph.Graph
+		depth int
+		cr    int
+	}
+	queue := []item{{g: g.Clone()}}
+	res.States = 1
+	if !visit(queue[0].g, 0) {
+		res.Stopped = true
+		return res
+	}
+	stop := false
+	// inFlight counts items handed to workers but not yet fully expanded;
+	// the search ends when the queue is empty and nothing is in flight.
+	inFlight := 0
+	cond := sync.NewCond(&mu)
+
+	expand := func(cur item) {
+		if cur.depth >= opts.MaxDepth {
+			mu.Lock()
+			inFlight--
+			cond.Broadcast()
+			mu.Unlock()
+			return
+		}
+		apps := candidates(cur.g, &opts, cur.cr)
+		type produced struct {
+			g   *graph.Graph
+			key string
+			cr  int
+		}
+		var local []produced
+		for _, app := range apps {
+			var guard restrict.Restriction
+			if opts.Restriction != nil {
+				guard = opts.Restriction()
+			}
+			next := cur.g.Clone()
+			if guard != nil && app.Op.DeJure() {
+				if guard.Allows(next, app) != nil {
+					continue
+				}
+			}
+			if app.Apply(next) != nil {
+				continue
+			}
+			cr := cur.cr
+			if app.Op == rules.OpCreate {
+				cr++
+			}
+			local = append(local, produced{g: next, key: next.Canonical(), cr: cr})
+		}
+		mu.Lock()
+		for _, p := range local {
+			if stop || res.Truncated {
+				break
+			}
+			if seen[p.key] {
+				continue
+			}
+			seen[p.key] = true
+			res.States++
+			keep := true
+			// Call visit outside the lock? It may inspect the graph only;
+			// keep it simple and call under the lock — callbacks are cheap
+			// in our usages (set insertion / predicate check).
+			keep = visit(p.g, cur.depth+1)
+			if !keep {
+				res.Stopped = true
+				stop = true
+				break
+			}
+			if res.States >= opts.maxStates() {
+				res.Truncated = true
+				break
+			}
+			if cur.depth+1 < opts.MaxDepth {
+				queue = append(queue, item{g: p.g, depth: cur.depth + 1, cr: p.cr})
+			}
+		}
+		inFlight--
+		cond.Broadcast()
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(queue) == 0 && inFlight > 0 && !stop && !res.Truncated {
+					cond.Wait()
+				}
+				if len(queue) == 0 || stop || res.Truncated {
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				cur := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				inFlight++
+				mu.Unlock()
+				expand(cur)
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// ReachableSetParallel mirrors ReachableSet over VisitParallel.
+func ReachableSetParallel(g *graph.Graph, opts Options, workers int, keep func(*graph.Graph) bool) (map[string]bool, *Result) {
+	out := make(map[string]bool)
+	res := VisitParallel(g, opts, workers, func(h *graph.Graph, depth int) bool {
+		if keep == nil || keep(h) {
+			out[h.Canonical()] = true
+		}
+		return true
+	})
+	return out, res
+}

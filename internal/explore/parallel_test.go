@@ -1,0 +1,94 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := tinyGraph(rng)
+		opts := Options{MaxDepth: 4, MaxStates: 50000, DeJure: true, DeFacto: rng.Intn(2) == 0}
+		serial, r1 := ReachableSet(g, opts, nil)
+		parallel, r2 := ReachableSetParallel(g, opts, 4, nil)
+		if r1.Truncated != r2.Truncated {
+			// Truncation is a race against MaxStates; only compare full runs.
+			return true
+		}
+		if r1.Truncated {
+			return true
+		}
+		if len(serial) != len(parallel) {
+			t.Logf("seed %d: serial %d states, parallel %d", seed, len(serial), len(parallel))
+			return false
+		}
+		for k := range serial {
+			if !parallel[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelDepthZero(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	g.AddExplicit(x, y, rights.T)
+	res := VisitParallel(g, Options{MaxDepth: 0, DeJure: true}, 4,
+		func(*graph.Graph, int) bool { return true })
+	if res.States != 1 {
+		t.Errorf("states = %d", res.States)
+	}
+}
+
+func TestParallelStops(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	z := g.MustObject("z")
+	g.AddExplicit(x, y, rights.T)
+	g.AddExplicit(y, z, rights.RW)
+	res := VisitParallel(g, Options{MaxDepth: 4, DeJure: true}, 2,
+		func(h *graph.Graph, depth int) bool { return depth == 0 })
+	if !res.Stopped {
+		t.Error("not stopped")
+	}
+}
+
+func TestParallelWithGuard(t *testing.T) {
+	c, err := hierarchy.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.G
+	low := c.Members["L1"][0]
+	g.AddExplicit(low, c.Members["L2"][0], rights.T)
+	s := hierarchy.AnalyzeRW(g)
+	opts := Options{
+		MaxDepth: 3, DeJure: true, DeFacto: true, MaxStates: 50000,
+		Restriction: func() restrict.Restriction { return restrict.NewCombined(s) },
+	}
+	comb := restrict.NewCombined(s)
+	dirty := false
+	VisitParallel(g, opts, 4, func(h *graph.Graph, depth int) bool {
+		if len(comb.Audit(h)) != 0 {
+			dirty = true
+		}
+		return true
+	})
+	if dirty {
+		t.Error("guarded parallel exploration reached a dirty graph")
+	}
+}

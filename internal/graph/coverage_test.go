@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"takegrant/internal/rights"
+)
+
+func TestDiffEntryString(t *testing.T) {
+	e := DiffEntry{Kind: "edge", Detail: "a→b"}
+	if e.String() != "edge: a→b" {
+		t.Errorf("= %q", e.String())
+	}
+}
+
+func TestBuilderEdgeSetAndPanics(t *testing.T) {
+	b := NewBuilder(nil)
+	x := b.Subject("x")
+	y := b.Object("y")
+	b.EdgeSet(x, y, rights.RW)
+	if b.G.Explicit(x, y) != rights.RW {
+		t.Error("EdgeSet wrong")
+	}
+	assertPanics(t, func() { b.Edge(x, y, ",,") })
+	assertPanics(t, func() { b.EdgeSet(x, x, rights.R) })
+	assertPanics(t, func() { b.G.MustSubject("x") })
+	assertPanics(t, func() { b.G.MustObject("x") })
+	assertPanics(t, func() { b.G.Name(ID(99)) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestLabelAccessorsInvalidIDs(t *testing.T) {
+	g := New(nil)
+	a := g.MustSubject("a")
+	if !g.Explicit(a, 99).Empty() || !g.Explicit(99, a).Empty() {
+		t.Error("Explicit on invalid id nonempty")
+	}
+	if !g.Implicit(a, -1).Empty() || !g.Combined(-1, a).Empty() {
+		t.Error("Implicit/Combined on invalid id nonempty")
+	}
+}
+
+func TestHalfEdgeCombined(t *testing.T) {
+	h := HalfEdge{Explicit: rights.R, Implicit: rights.W}
+	if h.Combined() != rights.RW {
+		t.Errorf("Combined = %v", h.Combined())
+	}
+}
+
+func TestEqualDistinguishes(t *testing.T) {
+	g1 := New(nil)
+	g1.MustSubject("a")
+	g2 := New(nil)
+	g2.MustSubject("b") // different name
+	if g1.Equal(g2) {
+		t.Error("names ignored")
+	}
+	g3 := New(nil)
+	g3.MustObject("a") // different kind
+	if g1.Equal(g3) {
+		t.Error("kinds ignored")
+	}
+	g4 := New(nil)
+	g4.MustSubject("a")
+	g4.MustSubject("x")
+	if g1.Equal(g4) {
+		t.Error("sizes ignored")
+	}
+	// Deleted-vertex mismatch.
+	g5 := New(nil)
+	id := g5.MustSubject("a")
+	g5.DeleteVertex(id)
+	g6 := New(nil)
+	g6.MustSubject("a")
+	if g5.Equal(g6) || g6.Equal(g5) {
+		t.Error("deletion status ignored")
+	}
+	// Edge count mismatch within same vertices.
+	g7 := New(nil)
+	a7, b7 := g7.MustSubject("a"), g7.MustSubject("b")
+	g8 := g7.Clone()
+	g7.AddExplicit(a7, b7, rights.R)
+	if g7.Equal(g8) {
+		t.Error("edge ignored")
+	}
+}
+
+func TestAddEdgeInvalidVertices(t *testing.T) {
+	g := New(nil)
+	a := g.MustSubject("a")
+	if err := g.AddExplicit(a, 42, rights.R); err == nil {
+		t.Error("edge to invalid vertex accepted")
+	}
+	if err := g.AddImplicit(42, a, rights.R); err == nil {
+		t.Error("implicit from invalid vertex accepted")
+	}
+	if err := g.RemoveExplicit(a, 42, rights.R); err == nil {
+		t.Error("remove on invalid vertex accepted")
+	}
+	if err := g.RemoveImplicit(42, a, rights.R); err == nil {
+		t.Error("remove implicit on invalid vertex accepted")
+	}
+	if err := g.DeleteVertex(42); err == nil {
+		t.Error("delete invalid vertex accepted")
+	}
+}
+
+func TestStringIncludesKinds(t *testing.T) {
+	g := New(nil)
+	a := g.MustSubject("alice")
+	f := g.MustObject("file")
+	g.AddExplicit(a, f, rights.R)
+	s := g.String()
+	for _, want := range []string{"subject alice", "object file", "alice -> file : r"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"takegrant/internal/rights"
+)
+
+// DiffEntry describes one difference between two graphs.
+type DiffEntry struct {
+	// What changed: "vertex" or "edge".
+	Kind string
+	// Human-readable description.
+	Detail string
+}
+
+func (d DiffEntry) String() string { return d.Kind + ": " + d.Detail }
+
+// Diff reports the differences from g to o, for debugging derivations and
+// explaining explorer mismatches. IDs are compared positionally, matching
+// how derivations evolve a cloned graph.
+func (g *Graph) Diff(o *Graph) []DiffEntry {
+	var out []DiffEntry
+	n := len(g.vertices)
+	if len(o.vertices) > n {
+		n = len(o.vertices)
+	}
+	for i := 0; i < n; i++ {
+		gLive := i < len(g.vertices) && !g.vertices[i].deleted
+		oLive := i < len(o.vertices) && !o.vertices[i].deleted
+		switch {
+		case gLive && !oLive:
+			out = append(out, DiffEntry{"vertex", fmt.Sprintf("- %s (%s)", g.vertices[i].name, g.vertices[i].kind)})
+		case !gLive && oLive:
+			out = append(out, DiffEntry{"vertex", fmt.Sprintf("+ %s (%s)", o.vertices[i].name, o.vertices[i].kind)})
+		case gLive && oLive:
+			if g.vertices[i].name != o.vertices[i].name || g.vertices[i].kind != o.vertices[i].kind {
+				out = append(out, DiffEntry{"vertex", fmt.Sprintf("%s(%s) != %s(%s)",
+					g.vertices[i].name, g.vertices[i].kind, o.vertices[i].name, o.vertices[i].kind)})
+			}
+		}
+	}
+	seen := make(map[[2]ID]bool)
+	for _, e := range g.Edges() {
+		seen[[2]ID{e.Src, e.Dst}] = true
+		var ol label
+		if o.Valid(e.Src) && o.Valid(e.Dst) {
+			ol = label{o.Explicit(e.Src, e.Dst), o.Implicit(e.Src, e.Dst)}
+		}
+		gl := label{e.Explicit, e.Implicit}
+		if gl != ol {
+			out = append(out, DiffEntry{"edge", edgeDiff(g, e.Src, e.Dst, gl, ol)})
+		}
+	}
+	for _, e := range o.Edges() {
+		if seen[[2]ID{e.Src, e.Dst}] {
+			continue
+		}
+		if !g.Valid(e.Src) || !g.Valid(e.Dst) {
+			continue // already reported as a vertex diff
+		}
+		out = append(out, DiffEntry{"edge", edgeDiff(o, e.Src, e.Dst,
+			label{g.Explicit(e.Src, e.Dst), g.Implicit(e.Src, e.Dst)},
+			label{e.Explicit, e.Implicit})})
+	}
+	return out
+}
+
+func edgeDiff(g *Graph, src, dst ID, from, to label) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s→%s ", g.Name(src), g.Name(dst))
+	fmt.Fprintf(&b, "explicit %s→%s implicit %s→%s",
+		from.explicit.Format(g.universe), to.explicit.Format(g.universe),
+		from.implicit.Format(g.universe), to.implicit.Format(g.universe))
+	return b.String()
+}
+
+// Builder provides fluent construction of fixture graphs in tests and
+// examples; every method panics on error.
+type Builder struct {
+	G *Graph
+}
+
+// NewBuilder returns a Builder over a fresh graph with the given universe
+// (nil for the default r,w,t,g universe).
+func NewBuilder(u *rights.Universe) *Builder {
+	return &Builder{G: New(u)}
+}
+
+// Subject adds a subject vertex and returns its ID.
+func (b *Builder) Subject(name string) ID { return b.G.MustSubject(name) }
+
+// Object adds an object vertex and returns its ID.
+func (b *Builder) Object(name string) ID { return b.G.MustObject(name) }
+
+// Edge adds explicit rights (given as a comma-separated names string, with
+// unknown names auto-declared) on src→dst.
+func (b *Builder) Edge(src, dst ID, set string) *Builder {
+	s, err := rights.ParseDeclaring(b.G.Universe(), set)
+	if err != nil {
+		panic(err)
+	}
+	if err := b.G.AddExplicit(src, dst, s); err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// EdgeSet adds explicit rights on src→dst from a Set.
+func (b *Builder) EdgeSet(src, dst ID, set rights.Set) *Builder {
+	if err := b.G.AddExplicit(src, dst, set); err != nil {
+		panic(err)
+	}
+	return b
+}

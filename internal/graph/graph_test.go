@@ -1,0 +1,424 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/rights"
+)
+
+func TestAddVertices(t *testing.T) {
+	g := New(nil)
+	s, err := g.AddSubject("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := g.AddObject("file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 {
+		t.Errorf("NumVertices = %d", g.NumVertices())
+	}
+	if !g.IsSubject(s) || g.IsObject(s) {
+		t.Error("alice kind wrong")
+	}
+	if !g.IsObject(o) || g.IsSubject(o) {
+		t.Error("file kind wrong")
+	}
+	if g.Name(s) != "alice" || g.KindOf(o) != Object {
+		t.Error("name/kind accessors wrong")
+	}
+	if id, ok := g.Lookup("alice"); !ok || id != s {
+		t.Error("Lookup(alice) wrong")
+	}
+	if _, ok := g.Lookup("bob"); ok {
+		t.Error("Lookup(bob) found phantom")
+	}
+}
+
+func TestVertexNameErrors(t *testing.T) {
+	g := New(nil)
+	g.MustSubject("x")
+	if _, err := g.AddSubject("x"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	for _, bad := range []string{"", "a b", "c\td", "e(f"} {
+		if _, err := g.AddObject(bad); err == nil {
+			t.Errorf("bad name %q accepted", bad)
+		}
+	}
+}
+
+func TestEdges(t *testing.T) {
+	g := New(nil)
+	a := g.MustSubject("a")
+	bv := g.MustSubject("b")
+	if err := g.AddExplicit(a, bv, rights.TG); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddImplicit(a, bv, rights.R); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Explicit(a, bv); got != rights.TG {
+		t.Errorf("Explicit = %v", got)
+	}
+	if got := g.Implicit(a, bv); got != rights.R {
+		t.Errorf("Implicit = %v", got)
+	}
+	if got := g.Combined(a, bv); got != rights.TG.Union(rights.R) {
+		t.Errorf("Combined = %v", got)
+	}
+	if got := g.Explicit(bv, a); !got.Empty() {
+		t.Errorf("reverse edge nonempty: %v", got)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestSelfEdgeRejected(t *testing.T) {
+	g := New(nil)
+	a := g.MustSubject("a")
+	if err := g.AddExplicit(a, a, rights.R); err == nil {
+		t.Error("self-edge accepted")
+	}
+}
+
+func TestEmptySetAddIsNoop(t *testing.T) {
+	g := New(nil)
+	a, b := g.MustSubject("a"), g.MustSubject("b")
+	if err := g.AddExplicit(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Error("empty-label edge materialised")
+	}
+}
+
+func TestRemoveExplicit(t *testing.T) {
+	g := New(nil)
+	a, b := g.MustSubject("a"), g.MustObject("b")
+	g.AddExplicit(a, b, rights.Of(rights.Read, rights.Write, rights.Take))
+	if err := g.RemoveExplicit(a, b, rights.RW); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Explicit(a, b); got != rights.T {
+		t.Errorf("after remove: %v", got)
+	}
+	// Removing all remaining rights deletes the edge entirely.
+	g.RemoveExplicit(a, b, rights.T)
+	if g.NumEdges() != 0 {
+		t.Error("edge survives empty label")
+	}
+	// Removing from a non-edge is a tolerated no-op.
+	if err := g.RemoveExplicit(a, b, rights.R); err != nil {
+		t.Errorf("remove on missing edge: %v", err)
+	}
+}
+
+func TestRemoveImplicitAndClear(t *testing.T) {
+	g := New(nil)
+	a, b, c := g.MustSubject("a"), g.MustSubject("b"), g.MustSubject("c")
+	g.AddExplicit(a, b, rights.T)
+	g.AddImplicit(a, b, rights.R)
+	g.AddImplicit(b, c, rights.R)
+	g.RemoveImplicit(a, b, rights.R)
+	if !g.Implicit(a, b).Empty() || g.Explicit(a, b) != rights.T {
+		t.Error("RemoveImplicit broke labels")
+	}
+	g.ClearImplicit()
+	if !g.Implicit(b, c).Empty() {
+		t.Error("ClearImplicit left implicit label")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges after clear = %d", g.NumEdges())
+	}
+}
+
+func TestDeleteVertex(t *testing.T) {
+	g := New(nil)
+	a, b, c := g.MustSubject("a"), g.MustSubject("b"), g.MustSubject("c")
+	g.AddExplicit(a, b, rights.T)
+	g.AddExplicit(c, b, rights.G)
+	g.AddExplicit(b, c, rights.R)
+	if err := g.DeleteVertex(b); err != nil {
+		t.Fatal(err)
+	}
+	if g.Valid(b) {
+		t.Error("deleted vertex still valid")
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 0 {
+		t.Errorf("after delete: %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if errs := g.Validate(); errs != nil {
+		t.Errorf("Validate: %v", errs)
+	}
+	if _, ok := g.Lookup("b"); ok {
+		t.Error("deleted vertex still in name index")
+	}
+	// Name can be reused after deletion.
+	if _, err := g.AddSubject("b"); err != nil {
+		t.Errorf("reusing deleted name: %v", err)
+	}
+	if err := g.DeleteVertex(b); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+func TestAdjacencyListings(t *testing.T) {
+	g := New(nil)
+	a, b, c := g.MustSubject("a"), g.MustSubject("b"), g.MustObject("c")
+	g.AddExplicit(a, b, rights.T)
+	g.AddExplicit(a, c, rights.R)
+	g.AddExplicit(b, a, rights.G)
+	out := g.Out(a)
+	if len(out) != 2 || out[0].Other != b || out[1].Other != c {
+		t.Fatalf("Out(a) = %v", out)
+	}
+	if out[0].Explicit != rights.T || out[1].Explicit != rights.R {
+		t.Errorf("Out labels wrong: %v", out)
+	}
+	in := g.In(a)
+	if len(in) != 1 || in[0].Other != b || in[0].Explicit != rights.G {
+		t.Errorf("In(a) = %v", in)
+	}
+	edges := g.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("Edges = %v", edges)
+	}
+	// Sorted by (src,dst).
+	if edges[0].Src != a || edges[0].Dst != b || edges[2].Src != b {
+		t.Errorf("Edges order: %v", edges)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(nil)
+	a, b := g.MustSubject("a"), g.MustObject("b")
+	g.AddExplicit(a, b, rights.R)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.AddExplicit(a, b, rights.W)
+	if g.Equal(c) {
+		t.Error("mutating clone affected original (Equal)")
+	}
+	if g.Explicit(a, b) != rights.R {
+		t.Error("mutating clone affected original label")
+	}
+	c2 := g.Clone()
+	c2.MustSubject("z")
+	if g.NumVertices() != 2 {
+		t.Error("clone shares vertex slice")
+	}
+}
+
+func TestEqualAndCanonical(t *testing.T) {
+	build := func() *Graph {
+		g := New(nil)
+		a, b := g.MustSubject("a"), g.MustObject("b")
+		g.AddExplicit(a, b, rights.RW)
+		g.AddImplicit(b, a, rights.R)
+		return g
+	}
+	g1, g2 := build(), build()
+	if !g1.Equal(g2) {
+		t.Error("identically built graphs not Equal")
+	}
+	if g1.Canonical() != g2.Canonical() {
+		t.Error("canonical forms differ")
+	}
+	g2.AddExplicit(ID(0), ID(1), rights.T)
+	if g1.Equal(g2) || g1.Canonical() == g2.Canonical() {
+		t.Error("differing graphs compare equal")
+	}
+}
+
+func TestCanonicalDistinguishesKindAndImplicit(t *testing.T) {
+	g1 := New(nil)
+	g1.MustSubject("a")
+	g2 := New(nil)
+	g2.MustObject("a")
+	if g1.Canonical() == g2.Canonical() {
+		t.Error("canonical ignores vertex kind")
+	}
+	g3 := New(nil)
+	a, b := g3.MustSubject("a"), g3.MustSubject("b")
+	g4 := g3.Clone()
+	g3.AddExplicit(a, b, rights.R)
+	g4.AddImplicit(a, b, rights.R)
+	if g3.Canonical() == g4.Canonical() {
+		t.Error("canonical conflates explicit and implicit labels")
+	}
+}
+
+func TestRevisionAdvances(t *testing.T) {
+	g := New(nil)
+	r0 := g.Revision()
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	g.AddExplicit(a, b, rights.R)
+	if g.Revision() <= r0 {
+		t.Error("revision did not advance")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	g := New(nil)
+	a, b := g.MustSubject("a"), g.MustObject("b")
+	g.AddExplicit(a, b, rights.R)
+	h := g.Clone()
+	if d := g.Diff(h); len(d) != 0 {
+		t.Errorf("diff of clones: %v", d)
+	}
+	h.AddExplicit(a, b, rights.W)
+	h.MustSubject("c")
+	d := g.Diff(h)
+	if len(d) != 2 {
+		t.Fatalf("diff = %v", d)
+	}
+	var kinds []string
+	for _, e := range d {
+		kinds = append(kinds, e.Kind)
+	}
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "vertex") || !strings.Contains(joined, "edge") {
+		t.Errorf("diff kinds = %v", kinds)
+	}
+}
+
+func TestDiffEdgeOnlyInOther(t *testing.T) {
+	g := New(nil)
+	a, b := g.MustSubject("a"), g.MustSubject("b")
+	_ = a
+	h := g.Clone()
+	h.AddExplicit(b, a, rights.G)
+	if d := g.Diff(h); len(d) != 1 || d[0].Kind != "edge" {
+		t.Errorf("diff = %v", d)
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder(nil)
+	x := b.Subject("x")
+	y := b.Object("y")
+	b.Edge(x, y, "r,e") // e auto-declared
+	e, ok := b.G.Universe().Lookup("e")
+	if !ok {
+		t.Fatal("e not declared")
+	}
+	if !b.G.Explicit(x, y).Has(e) || !b.G.Explicit(x, y).Has(rights.Read) {
+		t.Errorf("builder edge label = %v", b.G.Explicit(x, y))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := New(nil)
+	a, b := g.MustSubject("a"), g.MustObject("f")
+	g.AddExplicit(a, b, rights.RW)
+	g.AddImplicit(b, a, rights.R)
+	s := g.String()
+	for _, want := range []string{"subject a", "object f", "a -> f : r,w", "f ~> a : r"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+// randomGraph builds a pseudo-random graph with n vertices and ~m edge
+// attempts, for property tests.
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	g := New(nil)
+	for i := 0; i < n; i++ {
+		name := "v" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if rng.Intn(2) == 0 {
+			g.MustSubject(name)
+		} else {
+			g.MustObject(name)
+		}
+	}
+	vs := g.Vertices()
+	for i := 0; i < m; i++ {
+		a := vs[rng.Intn(len(vs))]
+		b := vs[rng.Intn(len(vs))]
+		if a == b {
+			continue
+		}
+		set := rights.Set(rng.Intn(16))
+		if set.Empty() {
+			continue
+		}
+		if rng.Intn(4) == 0 {
+			g.AddImplicit(a, b, rights.R)
+		} else {
+			g.AddExplicit(a, b, set)
+		}
+	}
+	return g
+}
+
+func TestPropertyCloneEqualCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(10), rng.Intn(40))
+		c := g.Clone()
+		return g.Equal(c) && g.Canonical() == c.Canonical() && len(g.Validate()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyValidateAfterMutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 3+rng.Intn(8), rng.Intn(30))
+		// Random deletions and removals must preserve invariants.
+		for i := 0; i < 10; i++ {
+			vs := g.Vertices()
+			if len(vs) == 0 {
+				break
+			}
+			v := vs[rng.Intn(len(vs))]
+			switch rng.Intn(3) {
+			case 0:
+				g.DeleteVertex(v)
+			case 1:
+				for _, h := range g.Out(v) {
+					g.RemoveExplicit(v, h.Other, rights.Set(rng.Intn(16)))
+				}
+			case 2:
+				g.ClearImplicit()
+			}
+		}
+		return len(g.Validate()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapAndVerticesListing(t *testing.T) {
+	g := New(nil)
+	a := g.MustSubject("a")
+	g.MustObject("b")
+	g.MustSubject("c")
+	g.DeleteVertex(a)
+	if g.Cap() != 3 {
+		t.Errorf("Cap = %d", g.Cap())
+	}
+	vs := g.Vertices()
+	if len(vs) != 2 || vs[0] != 1 || vs[1] != 2 {
+		t.Errorf("Vertices = %v", vs)
+	}
+	if subs := g.Subjects(); len(subs) != 1 || subs[0] != 2 {
+		t.Errorf("Subjects = %v", subs)
+	}
+	if objs := g.Objects(); len(objs) != 1 || objs[0] != 1 {
+		t.Errorf("Objects = %v", objs)
+	}
+}

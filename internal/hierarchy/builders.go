@@ -1,0 +1,134 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// Classification builders: executable versions of the paper's Figures
+// 4.1(b) and 4.2(b). Each security level becomes a set of subjects sharing
+// a bulletin object (mutual read/write gives the mutual can•know•f that
+// makes them one rw-level), and each ordering edge Lhigh > Llow becomes
+// read access from Lhigh's subjects to Llow's bulletin — information can
+// then flow up but never down. No take or grant edges exist anywhere, so
+// Theorem 4.3 applies: even fully corrupt subjects cannot move information
+// downward.
+
+// Level describes one classification level to build.
+type Level struct {
+	// Name labels the level; vertex names derive from it.
+	Name string
+	// Subjects is how many subject vertices the level holds (≥ 1).
+	Subjects int
+	// Below lists the names of levels strictly below this one (its direct
+	// dominated levels in the classification order).
+	Below []string
+}
+
+// Classification is a built hierarchy: the graph plus name → vertex maps.
+type Classification struct {
+	G *graph.Graph
+	// Members maps a level name to its subject vertices.
+	Members map[string][]graph.ID
+	// Bulletin maps a level name to its shared bulletin object.
+	Bulletin map[string]graph.ID
+	// Order lists the levels in construction order.
+	Order []string
+}
+
+// Build constructs a protection graph for an arbitrary classification
+// partial order.
+func Build(levels []Level) (*Classification, error) {
+	g := graph.New(nil)
+	c := &Classification{
+		G:        g,
+		Members:  make(map[string][]graph.ID),
+		Bulletin: make(map[string]graph.ID),
+	}
+	for _, l := range levels {
+		if l.Subjects < 1 {
+			return nil, fmt.Errorf("hierarchy: level %q needs at least one subject", l.Name)
+		}
+		if _, dup := c.Bulletin[l.Name]; dup {
+			return nil, fmt.Errorf("hierarchy: duplicate level %q", l.Name)
+		}
+		b, err := g.AddObject("bb_" + l.Name)
+		if err != nil {
+			return nil, err
+		}
+		c.Bulletin[l.Name] = b
+		c.Order = append(c.Order, l.Name)
+		for i := 0; i < l.Subjects; i++ {
+			s, err := g.AddSubject(fmt.Sprintf("%s_s%d", l.Name, i+1))
+			if err != nil {
+				return nil, err
+			}
+			// Members of a level share its bulletin both ways.
+			if err := g.AddExplicit(s, b, rights.RW); err != nil {
+				return nil, err
+			}
+			c.Members[l.Name] = append(c.Members[l.Name], s)
+		}
+	}
+	for _, l := range levels {
+		for _, lo := range l.Below {
+			lb, ok := c.Bulletin[lo]
+			if !ok {
+				return nil, fmt.Errorf("hierarchy: level %q references unknown level %q", l.Name, lo)
+			}
+			// Higher-level subjects read the lower bulletin: upward flow.
+			for _, s := range c.Members[l.Name] {
+				if err := g.AddExplicit(s, lb, rights.R); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// Linear builds the paper's Figure 4.1: a linear classification with n
+// levels L1 < L2 < … < Ln, each holding the given number of subjects.
+func Linear(n, subjectsPerLevel int) (*Classification, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hierarchy: need at least one level")
+	}
+	levels := make([]Level, n)
+	for i := range levels {
+		levels[i] = Level{Name: fmt.Sprintf("L%d", i+1), Subjects: subjectsPerLevel}
+		if i > 0 {
+			// A linear order only needs the covering edge; reads compose
+			// transitively through the de facto rules.
+			levels[i].Below = []string{levels[i-1].Name}
+		}
+	}
+	return Build(levels)
+}
+
+// Military builds the paper's Figure 4.2: the military classification
+// lattice. Levels are (authority, category) pairs with authorities
+// 0..numAuthorities-1 (unclassified … top secret) and one category name
+// per compartment; (a1, c) < (a2, c) when a1 < a2, and levels in different
+// categories are incomparable except through the shared authority-0 level
+// "U" (unclassified), which sits below every category's lowest level.
+func Military(numAuthorities int, categories []string, subjectsPerLevel int) (*Classification, error) {
+	if numAuthorities < 1 || len(categories) == 0 {
+		return nil, fmt.Errorf("hierarchy: empty lattice")
+	}
+	var levels []Level
+	levels = append(levels, Level{Name: "U", Subjects: subjectsPerLevel})
+	for _, cat := range categories {
+		for a := 1; a <= numAuthorities; a++ {
+			l := Level{Name: fmt.Sprintf("%s%d", cat, a), Subjects: subjectsPerLevel}
+			if a == 1 {
+				l.Below = []string{"U"}
+			} else {
+				l.Below = []string{fmt.Sprintf("%s%d", cat, a-1)}
+			}
+			levels = append(levels, l)
+		}
+	}
+	return Build(levels)
+}

@@ -1,0 +1,126 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"takegrant/internal/graph"
+)
+
+// Hasse renders the level structure's covering relation as indented text:
+// one line per level (members listed), children indented beneath their
+// covers, maximal levels first. Incomparable branches appear as siblings.
+// Levels reachable from several parents are printed once and referenced
+// thereafter.
+func (s *Structure) Hasse() string {
+	n := len(s.levels)
+	// covers[i] lists j when i > j with no k between.
+	covers := make([][]int, n)
+	isMax := make([]bool, n)
+	for i := range isMax {
+		isMax[i] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !s.HigherLevel(i, j) {
+				continue
+			}
+			isMax[j] = false
+			direct := true
+			for k := 0; k < n; k++ {
+				if k != i && k != j && s.HigherLevel(i, k) && s.HigherLevel(k, j) {
+					direct = false
+					break
+				}
+			}
+			if direct {
+				covers[i] = append(covers[i], j)
+			}
+		}
+	}
+	for i := range covers {
+		sort.Ints(covers[i])
+	}
+	var b strings.Builder
+	printed := make([]bool, n)
+	var emit func(level, depth int)
+	emit = func(level, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if printed[level] {
+			fmt.Fprintf(&b, "%s└ %s (see above)\n", indent, s.levelLabel(level))
+			return
+		}
+		printed[level] = true
+		fmt.Fprintf(&b, "%s%s\n", indent, s.levelLabel(level))
+		for _, c := range covers[level] {
+			emit(c, depth+1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if isMax[i] {
+			emit(i, 0)
+		}
+	}
+	return b.String()
+}
+
+func (s *Structure) levelLabel(i int) string {
+	names := make([]string, 0, len(s.levels[i]))
+	for _, v := range s.levels[i] {
+		names = append(names, s.g.Name(v))
+	}
+	return fmt.Sprintf("level %d {%s}", i, strings.Join(names, ", "))
+}
+
+// LevelNames returns the member names of a level, sorted; a convenience
+// for reports.
+func (s *Structure) LevelNames(i int) []string {
+	if i < 0 || i >= len(s.levels) {
+		return nil
+	}
+	names := make([]string, 0, len(s.levels[i]))
+	for _, v := range s.levels[i] {
+		names = append(names, s.g.Name(v))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Minimal and Maximal return the extremal level indexes of the order —
+// the paper notes any structure has at least one of each, but possibly
+// several (no unique top or bottom in a partial order).
+func (s *Structure) Minimal() []int { return s.extremal(false) }
+
+// Maximal returns the maximal level indexes.
+func (s *Structure) Maximal() []int { return s.extremal(true) }
+
+func (s *Structure) extremal(max bool) []int {
+	n := len(s.levels)
+	var out []int
+	for i := 0; i < n; i++ {
+		ext := true
+		for j := 0; j < n; j++ {
+			if max && s.HigherLevel(j, i) {
+				ext = false
+				break
+			}
+			if !max && s.HigherLevel(i, j) {
+				ext = false
+				break
+			}
+		}
+		if ext {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// VertexLevelName formats a vertex with its level for diagnostics.
+func (s *Structure) VertexLevelName(v graph.ID) string {
+	if !s.g.Valid(v) {
+		return fmt.Sprintf("#%d", v)
+	}
+	return fmt.Sprintf("%s@L%d", s.g.Name(v), s.LevelOf(v))
+}

@@ -1,0 +1,74 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHasseLinear(t *testing.T) {
+	c, err := Linear(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AnalyzeRW(c.G)
+	out := s.Hasse()
+	// One maximal level, a chain of two children.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("hasse lines = %d:\n%s", len(lines), out)
+	}
+	if strings.HasPrefix(lines[0], " ") {
+		t.Errorf("top level indented:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], "  ") || !strings.HasPrefix(lines[2], "    ") {
+		t.Errorf("chain not indented:\n%s", out)
+	}
+	if !strings.Contains(out, "L3_s1") {
+		t.Errorf("missing member names:\n%s", out)
+	}
+}
+
+func TestHasseLattice(t *testing.T) {
+	c, err := Military(2, []string{"A", "B"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AnalyzeRW(c.G)
+	out := s.Hasse()
+	// Two maximal levels (A2, B2), shared bottom U printed once then
+	// referenced.
+	if !strings.Contains(out, "(see above)") {
+		t.Errorf("shared sub-level not referenced:\n%s", out)
+	}
+	if len(s.Maximal()) != 2 {
+		t.Errorf("maximal = %v", s.Maximal())
+	}
+	if len(s.Minimal()) != 1 {
+		t.Errorf("minimal = %v", s.Minimal())
+	}
+}
+
+func TestLevelNames(t *testing.T) {
+	c, _ := Linear(2, 2)
+	s := AnalyzeRW(c.G)
+	top := s.LevelOf(c.Members["L2"][0])
+	names := s.LevelNames(top)
+	if len(names) != 3 { // two subjects + bulletin
+		t.Errorf("names = %v", names)
+	}
+	if s.LevelNames(-1) != nil || s.LevelNames(99) != nil {
+		t.Error("out-of-range names")
+	}
+}
+
+func TestVertexLevelName(t *testing.T) {
+	c, _ := Linear(2, 1)
+	s := AnalyzeRW(c.G)
+	got := s.VertexLevelName(c.Members["L1"][0])
+	if !strings.Contains(got, "L1_s1@L") {
+		t.Errorf("= %q", got)
+	}
+	if s.VertexLevelName(-5) != "#-5" {
+		t.Errorf("invalid id = %q", s.VertexLevelName(-5))
+	}
+}

@@ -1,0 +1,403 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func TestAnalyzeRWSimpleLevels(t *testing.T) {
+	// Two level groups: {a,b,bb} below {h,hb}; h reads bb.
+	g := graph.New(nil)
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	bb := g.MustObject("bb")
+	h := g.MustSubject("h")
+	hb := g.MustObject("hb")
+	g.AddExplicit(a, bb, rights.RW)
+	g.AddExplicit(b, bb, rights.RW)
+	g.AddExplicit(h, hb, rights.RW)
+	g.AddExplicit(h, bb, rights.R)
+
+	s := AnalyzeRW(g)
+	if !s.SameLevel(a, b) || !s.SameLevel(a, bb) {
+		t.Error("low level not grouped")
+	}
+	if !s.SameLevel(h, hb) {
+		t.Error("high level not grouped")
+	}
+	if s.SameLevel(a, h) {
+		t.Error("levels merged")
+	}
+	if !s.Higher(h, a) || s.Higher(a, h) {
+		t.Error("order wrong")
+	}
+	if !s.Knows(h, a) || s.Knows(a, h) {
+		t.Error("Knows wrong")
+	}
+	if err := s.CheckPartialOrder(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepTargetsGuards(t *testing.T) {
+	g := graph.New(nil)
+	o := g.MustObject("o")
+	y := g.MustObject("y")
+	s := g.MustSubject("s")
+	g.AddExplicit(o, y, rights.R) // object cannot exercise read
+	g.AddExplicit(s, y, rights.R)
+	if got := stepTargets(g, o); len(got) != 0 {
+		t.Errorf("object read counted: %v", got)
+	}
+	if got := stepTargets(g, s); len(got) != 1 || got[0] != y {
+		t.Errorf("subject read missed: %v", got)
+	}
+	// Implicit edges always count.
+	g.AddImplicit(o, y, rights.R)
+	if got := stepTargets(g, o); len(got) != 1 {
+		t.Errorf("implicit read missed: %v", got)
+	}
+}
+
+func TestLinearClassification(t *testing.T) {
+	c, err := Linear(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AnalyzeRW(c.G)
+	// Exactly 4 levels.
+	if s.NumLevels() != 4 {
+		t.Fatalf("levels = %d", s.NumLevels())
+	}
+	// Theorem 4.3: can.know.f(lk, lj) ⇔ k ≥ j.
+	for i := 1; i <= 4; i++ {
+		for j := 1; j <= 4; j++ {
+			li := c.Members[levelName(i)][0]
+			lj := c.Members[levelName(j)][0]
+			want := i >= j
+			if got := analysis.CanKnowF(c.G, li, lj); got != want {
+				t.Errorf("can.know.f(L%d, L%d) = %v want %v", i, j, got, want)
+			}
+			if got := s.Knows(li, lj); got != want {
+				t.Errorf("structure Knows(L%d, L%d) = %v want %v", i, j, got, want)
+			}
+		}
+	}
+	if err := s.CheckPartialOrder(); err != nil {
+		t.Error(err)
+	}
+}
+
+func levelName(i int) string {
+	return map[int]string{1: "L1", 2: "L2", 3: "L3", 4: "L4"}[i]
+}
+
+func TestLinearConspiracyImmunity(t *testing.T) {
+	// Theorem 4.3's punchline: even with every subject corrupt (all rules
+	// available), a lower subject can never know higher information.
+	c, err := Linear(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := c.Members["L1"][0]
+	high := c.Members["L3"][0]
+	highBB := c.Bulletin["L3"]
+	if analysis.CanKnow(c.G, low, high) || analysis.CanKnow(c.G, low, highBB) {
+		t.Error("lower level can know higher information")
+	}
+	if !analysis.CanKnow(c.G, high, low) {
+		t.Error("higher level cannot know lower information")
+	}
+	if ok, v := Secure(c.G); !ok {
+		t.Errorf("linear classification insecure: %v", v)
+	}
+	if ok, v := StrictSecure(c.G); !ok {
+		t.Errorf("linear classification not strictly secure: %v", v)
+	}
+	if !SecureByLinks(c.G) {
+		t.Error("link check disagrees")
+	}
+}
+
+func TestMilitaryLattice(t *testing.T) {
+	c, err := Military(3, []string{"A", "B"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AnalyzeRW(c.G)
+	if err := s.CheckPartialOrder(); err != nil {
+		t.Fatal(err)
+	}
+	a3 := c.Members["A3"][0]
+	a1 := c.Members["A1"][0]
+	b3 := c.Members["B3"][0]
+	b1 := c.Members["B1"][0]
+	u := c.Members["U"][0]
+	// Within a category: ordered.
+	if !s.Higher(a3, a1) || !s.Higher(b3, b1) {
+		t.Error("authority order broken")
+	}
+	// Across categories: incomparable.
+	if s.Higher(a3, b1) || s.Higher(b3, a1) || s.Higher(a1, b1) {
+		t.Error("categories comparable")
+	}
+	if s.Comparable(s.LevelOf(a3), s.LevelOf(b3)) {
+		t.Error("A3 and B3 should be incomparable")
+	}
+	// Everyone dominates unclassified.
+	for _, v := range []graph.ID{a1, a3, b1, b3} {
+		if !s.Higher(v, u) {
+			t.Errorf("%v not higher than U", v)
+		}
+	}
+	// No cross-category information flow.
+	if analysis.CanKnow(c.G, a3, b1) || analysis.CanKnow(c.G, b3, a1) {
+		t.Error("cross-category flow")
+	}
+	// "the model makes no assumptions about their being able to
+	// communicate": two subjects with the same classification in different
+	// categories cannot exchange information.
+	if analysis.CanKnowF(c.G, a1, b1) || analysis.CanKnowF(c.G, b1, a1) {
+		t.Error("incomparable same-rank levels communicate")
+	}
+	if ok, v := Secure(c.G); !ok {
+		t.Errorf("military lattice insecure: %v", v)
+	}
+}
+
+func TestObjectLevel(t *testing.T) {
+	c, err := Linear(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AnalyzeRW(c.G)
+	// A bulletin belongs to its own level even though higher levels read it.
+	lvl, ok := s.ObjectLevel(c.Bulletin["L1"])
+	if !ok || lvl != s.LevelOf(c.Members["L1"][0]) {
+		t.Errorf("bulletin L1 classified at level %d", lvl)
+	}
+	// A document written only by L3 belongs to L3's level.
+	doc := c.G.MustObject("doc")
+	c.G.AddExplicit(c.Members["L3"][0], doc, rights.RW)
+	s = AnalyzeRW(c.G)
+	lvl, ok = s.ObjectLevel(doc)
+	if !ok || lvl != s.LevelOf(c.Members["L3"][0]) {
+		t.Errorf("doc classified at level %d", lvl)
+	}
+	// Theorem 4.5: no lower subject can know it.
+	if analysis.CanKnow(c.G, c.Members["L1"][0], doc) {
+		t.Error("L1 knows an L3 document")
+	}
+	// Unreferenced objects have no level.
+	orphan := c.G.MustObject("orphan")
+	s = AnalyzeRW(c.G)
+	if _, ok := s.ObjectLevel(orphan); ok {
+		t.Error("orphan classified")
+	}
+	if _, ok := s.ObjectLevel(c.Members["L1"][0]); ok {
+		t.Error("subject classified as object")
+	}
+}
+
+func TestObjectLevelLowestWins(t *testing.T) {
+	// Document readable by L1 and L3: Theorem 4.5 assigns the LOWEST level.
+	c, err := Linear(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := c.G.MustObject("doc")
+	c.G.AddExplicit(c.Members["L3"][0], doc, rights.R)
+	c.G.AddExplicit(c.Members["L1"][0], doc, rights.RW)
+	s := AnalyzeRW(c.G)
+	lvl, ok := s.ObjectLevel(doc)
+	if !ok || lvl != s.LevelOf(c.Members["L1"][0]) {
+		t.Errorf("doc level = %d, want L1's", lvl)
+	}
+}
+
+func TestRWTGLevelsMatchIslands(t *testing.T) {
+	// Lemma 5.1: islands live inside single rwtg-levels.
+	g := graph.New(nil)
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	cc := g.MustSubject("c")
+	g.AddExplicit(a, b, rights.T)
+	g.AddExplicit(b, cc, rights.G)
+	s := AnalyzeRWTG(g)
+	if island, ok := IslandsWithinLevels(g, s); !ok {
+		t.Errorf("island split across levels: %v", island)
+	}
+	if !s.SameLevel(a, b) || !s.SameLevel(b, cc) {
+		t.Error("island not one rwtg-level")
+	}
+}
+
+func TestRWTGOnlySubjects(t *testing.T) {
+	g := graph.New(nil)
+	s1 := g.MustSubject("s1")
+	o := g.MustObject("o")
+	g.AddExplicit(s1, o, rights.RW)
+	s := AnalyzeRWTG(g)
+	if s.LevelOf(o) != -1 {
+		t.Error("object in rwtg-level")
+	}
+	if s.LevelOf(s1) == -1 {
+		t.Error("subject missing from rwtg-levels")
+	}
+}
+
+func TestInsecureGraphDetected(t *testing.T) {
+	// Figure 5.1 shape: a take edge from a lower-level subject to a
+	// higher-level one lets the lower subject pull read rights down.
+	c, err := Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := c.Members["L1"][0]
+	high := c.Members["L2"][0]
+	c.G.AddExplicit(low, high, rights.T) // the offending de jure edge
+	if ok, _ := Secure(c.G); ok {
+		t.Error("breachable graph declared secure")
+	}
+	if SecureByLinks(c.G) {
+		t.Error("link check missed the t edge")
+	}
+	// Confirm the concrete breach: low can know the high bulletin.
+	if !analysis.CanKnow(c.G, low, c.Bulletin["L2"]) {
+		t.Error("expected can.know breach not present")
+	}
+	if analysis.CanKnowF(c.G, low, c.Bulletin["L2"]) {
+		t.Error("breach should need de jure rules")
+	}
+}
+
+func TestSecureAgreementOnRandomGraphs(t *testing.T) {
+	// One-way implication: a link violation always witnesses a strict
+	// security failure.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		n := 3 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			name := "v" + string(rune('a'+i))
+			if rng.Intn(3) > 0 {
+				g.MustSubject(name)
+			} else {
+				g.MustObject(name)
+			}
+		}
+		vs := g.Vertices()
+		for i := 0; i < 2*n; i++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if a != b {
+				g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+			}
+		}
+		if !SecureByLinks(g) {
+			if ok, _ := StrictSecure(g); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build([]Level{{Name: "A", Subjects: 0}}); err == nil {
+		t.Error("zero subjects accepted")
+	}
+	if _, err := Build([]Level{{Name: "A", Subjects: 1}, {Name: "A", Subjects: 1}}); err == nil {
+		t.Error("duplicate level accepted")
+	}
+	if _, err := Build([]Level{{Name: "A", Subjects: 1, Below: []string{"Z"}}}); err == nil {
+		t.Error("unknown Below accepted")
+	}
+	if _, err := Linear(0, 1); err == nil {
+		t.Error("empty linear accepted")
+	}
+	if _, err := Military(0, nil, 1); err == nil {
+		t.Error("empty lattice accepted")
+	}
+}
+
+func TestPartialOrderOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		n := 2 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			name := "v" + string(rune('a'+i))
+			if rng.Intn(2) == 0 {
+				g.MustSubject(name)
+			} else {
+				g.MustObject(name)
+			}
+		}
+		vs := g.Vertices()
+		for i := 0; i < 3*n; i++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if a != b {
+				g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+			}
+		}
+		s := AnalyzeRW(g)
+		if err := s.CheckPartialOrder(); err != nil {
+			return false
+		}
+		// Levels must partition the vertices.
+		total := 0
+		for _, l := range s.Levels() {
+			total += len(l)
+		}
+		return total == len(vs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRWLevelsMatchPairwiseCanKnowF(t *testing.T) {
+	// The SCC construction must agree with pairwise can•know•f (the
+	// quadratic reference implementation) on implicit-free graphs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		n := 2 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			name := "v" + string(rune('a'+i))
+			if rng.Intn(2) == 0 {
+				g.MustSubject(name)
+			} else {
+				g.MustObject(name)
+			}
+		}
+		vs := g.Vertices()
+		for i := 0; i < 2*n; i++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if a != b {
+				g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+			}
+		}
+		s := AnalyzeRW(g)
+		for _, a := range vs {
+			for _, b := range vs {
+				same := analysis.CanKnowF(g, a, b) && analysis.CanKnowF(g, b, a)
+				if same != s.SameLevel(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

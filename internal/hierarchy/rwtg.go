@@ -1,0 +1,110 @@
+package hierarchy
+
+import (
+	"sort"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+)
+
+// AnalyzeRWTG computes the rwtg-level structure: maximal sets of subjects
+// with mutual can•know (§5). Levels contain only subjects; LevelOf returns
+// -1 for objects.
+func AnalyzeRWTG(g *graph.Graph) *Structure {
+	subjects := g.Subjects()
+	// Tabulate the "knows" digraph on subjects with one closure per
+	// subject, then reuse the SCC machinery.
+	knows := make(map[graph.ID][]graph.ID, len(subjects))
+	for _, u := range subjects {
+		closure := analysis.KnowClosure(g, u)
+		var ks []graph.ID
+		for _, v := range subjects {
+			if v != u && closure[v] {
+				ks = append(ks, v)
+			}
+		}
+		knows[u] = ks
+	}
+	s := sccOf(g, subjects, func(u graph.ID) []graph.ID { return knows[u] })
+	s.computeReach(func(u graph.ID) []graph.ID { return knows[u] })
+	return s
+}
+
+// sccOf runs Kosaraju over an arbitrary successor function restricted to
+// the given vertex set.
+func sccOf(g *graph.Graph, vs []graph.ID, succ func(graph.ID) []graph.ID) *Structure {
+	visited := make(map[graph.ID]bool, len(vs))
+	order := make([]graph.ID, 0, len(vs))
+	var stack []frame
+	for _, v := range vs {
+		if visited[v] {
+			continue
+		}
+		stack = append(stack[:0], frame{v: v})
+		visited[v] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.succ == nil {
+				f.succ = succ(f.v)
+			}
+			advanced := false
+			for f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, frame{v: w})
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				order = append(order, stack[len(stack)-1].v)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	rev := make(map[graph.ID][]graph.ID, len(vs))
+	for _, u := range vs {
+		for _, v := range succ(u) {
+			rev[v] = append(rev[v], u)
+		}
+	}
+	of := make(map[graph.ID]int, len(vs))
+	var levels [][]graph.ID
+	for i := len(order) - 1; i >= 0; i-- {
+		root := order[i]
+		if _, done := of[root]; done {
+			continue
+		}
+		idx := len(levels)
+		comp := []graph.ID{root}
+		of[root] = idx
+		for head := 0; head < len(comp); head++ {
+			for _, u := range rev[comp[head]] {
+				if _, done := of[u]; !done {
+					of[u] = idx
+					comp = append(comp, u)
+				}
+			}
+		}
+		sort.Slice(comp, func(a, b int) bool { return comp[a] < comp[b] })
+		levels = append(levels, comp)
+	}
+	return &Structure{g: g, levels: levels, of: of}
+}
+
+// IslandsWithinLevels verifies Lemma 5.1 on a graph: every island must be
+// contained in exactly one rwtg-level. It returns the offending island, if
+// any (there never should be one).
+func IslandsWithinLevels(g *graph.Graph, s *Structure) ([]graph.ID, bool) {
+	for _, island := range analysis.Islands(g) {
+		lvl := s.LevelOf(island[0])
+		for _, v := range island[1:] {
+			if s.LevelOf(v) != lvl {
+				return island, false
+			}
+		}
+	}
+	return nil, true
+}

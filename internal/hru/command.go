@@ -1,0 +1,250 @@
+package hru
+
+import (
+	"fmt"
+	"sort"
+
+	"takegrant/internal/rights"
+)
+
+// Condition is one conjunct of a command's guard: right ∈ (S, O) where S
+// and O name formal parameters.
+type Condition struct {
+	Right rights.Right
+	S, O  int // parameter indexes
+}
+
+// OpKind is a primitive operation kind.
+type OpKind uint8
+
+const (
+	// OpEnter enters rights into (S, O).
+	OpEnter OpKind = iota
+	// OpDelete deletes rights from (S, O).
+	OpDelete
+	// OpCreateSubject creates the subject named by parameter S.
+	OpCreateSubject
+	// OpCreateObject creates the object named by parameter S.
+	OpCreateObject
+	// OpDestroy destroys the entity named by parameter S (both its row
+	// and column vanish).
+	OpDestroy
+)
+
+// Primitive is one primitive operation of a command body.
+type Primitive struct {
+	Kind   OpKind
+	Rights rights.Set
+	S, O   int // parameter indexes (O unused for create/destroy)
+}
+
+// Command is an HRU command: if every condition holds of the actual
+// parameters, execute the primitive operations in order.
+type Command struct {
+	Name       string
+	NumParams  int
+	Conditions []Condition
+	Body       []Primitive
+}
+
+// Run executes the command on the matrix with the given actual parameters.
+func (c *Command) Run(m *Matrix, args ...string) error {
+	if len(args) != c.NumParams {
+		return fmt.Errorf("hru: %s expects %d parameters, got %d", c.Name, c.NumParams, len(args))
+	}
+	// HRU commands relate distinct entities, matching the graph rules.
+	for i := range args {
+		for j := i + 1; j < len(args); j++ {
+			if args[i] == args[j] {
+				return fmt.Errorf("hru: %s parameters must be distinct", c.Name)
+			}
+		}
+	}
+	for _, cond := range c.Conditions {
+		s, o := args[cond.S], args[cond.O]
+		if !m.Get(s, o).Has(cond.Right) {
+			return fmt.Errorf("hru: %s condition failed: %s ∉ (%s,%s)",
+				c.Name, m.u.Name(cond.Right), s, o)
+		}
+	}
+	for _, op := range c.Body {
+		var err error
+		switch op.Kind {
+		case OpEnter:
+			err = m.Enter(args[op.S], args[op.O], op.Rights)
+		case OpDelete:
+			err = m.Delete(args[op.S], args[op.O], op.Rights)
+		case OpCreateSubject:
+			err = m.AddSubject(args[op.S])
+		case OpCreateObject:
+			err = m.AddObject(args[op.S])
+		case OpDestroy:
+			name := args[op.S]
+			if !m.objects[name] {
+				err = fmt.Errorf("hru: destroy of unknown %q", name)
+				break
+			}
+			delete(m.subjects, name)
+			delete(m.objects, name)
+			delete(m.cells, name)
+			for _, row := range m.cells {
+				delete(row, name)
+			}
+		default:
+			err = fmt.Errorf("hru: unknown primitive %d", op.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("hru: %s: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// TakeGrantCommands returns the de jure rules of the Take-Grant model as
+// HRU commands over parameters (x, y, z):
+//
+//	take(x,y,z):  if t ∈ (x,y) and α ∈ (y,z) then enter α into (x,z)
+//	grant(x,y,z): if g ∈ (x,y) and α ∈ (x,z) then enter α into (y,z)
+//
+// One command per single right α keeps the command set finite (rights move
+// one at a time, which composes to any subset). Create/remove are also
+// included; create mints an object with the full label, matching the
+// explorer's canonical creates.
+func TakeGrantCommands(u *rights.Universe) []Command {
+	active := ActiveRight(u)
+	var cmds []Command
+	for _, alpha := range u.All() {
+		if alpha == active {
+			continue // activity is an attribute, not a transferable right
+		}
+		a := rights.Of(alpha)
+		cmds = append(cmds, Command{
+			Name:      "take_" + u.Name(alpha),
+			NumParams: 3,
+			Conditions: []Condition{
+				{Right: active, S: 0, O: 0},
+				{Right: rights.Take, S: 0, O: 1},
+				{Right: alpha, S: 1, O: 2},
+			},
+			Body: []Primitive{{Kind: OpEnter, Rights: a, S: 0, O: 2}},
+		})
+		cmds = append(cmds, Command{
+			Name:      "grant_" + u.Name(alpha),
+			NumParams: 3,
+			Conditions: []Condition{
+				{Right: active, S: 0, O: 0},
+				{Right: rights.Grant, S: 0, O: 1},
+				{Right: alpha, S: 0, O: 2},
+			},
+			Body: []Primitive{{Kind: OpEnter, Rights: a, S: 1, O: 2}},
+		})
+		cmds = append(cmds, Command{
+			Name:      "remove_" + u.Name(alpha),
+			NumParams: 2,
+			Conditions: []Condition{
+				{Right: active, S: 0, O: 0},
+			},
+			Body: []Primitive{{Kind: OpDelete, Rights: a, S: 0, O: 1}},
+		})
+	}
+	cmds = append(cmds, Command{
+		Name:      "create_object",
+		NumParams: 2,
+		Conditions: []Condition{
+			{Right: active, S: 0, O: 0},
+		},
+		Body: []Primitive{
+			{Kind: OpCreateSubject, S: 1}, // a row without the active right
+			{Kind: OpEnter, Rights: rights.Of(rights.Take, rights.Grant, rights.Read, rights.Write), S: 0, O: 1},
+		},
+	})
+	return cmds
+}
+
+// Reachable runs bounded breadth-first search over command applications:
+// every matrix reachable within depth steps, deduplicated canonically.
+// Subjects invoke commands, so the first parameter of each enumerated
+// instantiation ranges over subjects and the rest over all entities; the
+// create command mints canonical names "c<N>".
+func Reachable(m *Matrix, cmds []Command, depth, maxStates int) (map[string]bool, bool) {
+	if maxStates <= 0 {
+		maxStates = 10000
+	}
+	type state struct {
+		m *Matrix
+		d int
+	}
+	seen := map[string]bool{m.Canonical(): true}
+	queue := []state{{m: m.Clone(), d: 0}}
+	truncated := false
+	for len(queue) > 0 && !truncated {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.d >= depth {
+			continue
+		}
+		var entities []string
+		for o := range cur.m.objects {
+			entities = append(entities, o)
+		}
+		sort.Strings(entities)
+		subjects := entities // conditions gate actors by the active right
+		for ci := range cmds {
+			cmd := &cmds[ci]
+			for _, inst := range instantiations(cmd, subjects, entities, cur.m) {
+				next := cur.m.Clone()
+				if cmd.Run(next, inst...) != nil {
+					continue
+				}
+				key := next.Canonical()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if len(seen) >= maxStates {
+					truncated = true
+					break
+				}
+				queue = append(queue, state{m: next, d: cur.d + 1})
+			}
+			if truncated {
+				break
+			}
+		}
+	}
+	return seen, truncated
+}
+
+// instantiations enumerates parameter bindings: the actor (parameter 0)
+// ranges over subjects; later parameters over all entities; the last
+// parameter of create_object is a fresh canonical name.
+func instantiations(cmd *Command, subjects, entities []string, m *Matrix) [][]string {
+	if cmd.Name == "create_object" {
+		fresh := fmt.Sprintf("c%d", len(m.objects))
+		if m.objects[fresh] {
+			return nil
+		}
+		var out [][]string
+		for _, s := range subjects {
+			out = append(out, []string{s, fresh})
+		}
+		return out
+	}
+	var out [][]string
+	var rec func(binding []string)
+	rec = func(binding []string) {
+		if len(binding) == cmd.NumParams {
+			out = append(out, append([]string(nil), binding...))
+			return
+		}
+		pool := entities
+		if len(binding) == 0 {
+			pool = subjects
+		}
+		for _, e := range pool {
+			rec(append(binding, e))
+		}
+	}
+	rec(nil)
+	return out
+}

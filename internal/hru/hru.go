@@ -1,0 +1,240 @@
+// Package hru implements the Harrison–Ruzzo–Ullman protection model: an
+// access-control matrix evolved by guarded commands built from six
+// primitive operations. It is the general setting the Take-Grant model
+// specialises: HRU safety ("can right r ever appear in cell (s,o)?") is
+// undecidable in general, while the Take-Grant rules — expressed here as
+// four HRU commands — admit the linear-time decision procedures of the
+// analysis package.
+//
+// The package provides the matrix, a command interpreter, the Take-Grant
+// command encoding, a graph↔matrix bridge, and a bounded reachability
+// search used to cross-check the graph-rewriting explorer: on the same
+// initial state, the HRU encoding and the native rule engine reach
+// exactly the same access matrices.
+package hru
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// Matrix is an access-control matrix: rights[subject][object] ⊆ R.
+// Subjects are also objects (the diagonal and subject-subject cells exist).
+type Matrix struct {
+	u        *rights.Universe
+	subjects map[string]bool
+	objects  map[string]bool // includes subjects
+	cells    map[string]map[string]rights.Set
+}
+
+// NewMatrix returns an empty matrix over the universe (nil for default).
+func NewMatrix(u *rights.Universe) *Matrix {
+	if u == nil {
+		u = rights.NewUniverse()
+	}
+	return &Matrix{
+		u:        u,
+		subjects: make(map[string]bool),
+		objects:  make(map[string]bool),
+		cells:    make(map[string]map[string]rights.Set),
+	}
+}
+
+// Universe returns the matrix's rights universe.
+func (m *Matrix) Universe() *rights.Universe { return m.u }
+
+// AddSubject registers a subject (and object) name.
+func (m *Matrix) AddSubject(name string) error {
+	if m.objects[name] {
+		return fmt.Errorf("hru: %q already exists", name)
+	}
+	m.subjects[name] = true
+	m.objects[name] = true
+	return nil
+}
+
+// AddObject registers a pure object name.
+func (m *Matrix) AddObject(name string) error {
+	if m.objects[name] {
+		return fmt.Errorf("hru: %q already exists", name)
+	}
+	m.objects[name] = true
+	return nil
+}
+
+// IsSubject reports whether name is a subject.
+func (m *Matrix) IsSubject(name string) bool { return m.subjects[name] }
+
+// Exists reports whether name is known.
+func (m *Matrix) Exists(name string) bool { return m.objects[name] }
+
+// Get returns the cell (s, o).
+func (m *Matrix) Get(s, o string) rights.Set {
+	return m.cells[s][o]
+}
+
+// Enter adds rights to cell (s, o) — the "enter" primitive.
+func (m *Matrix) Enter(s, o string, set rights.Set) error {
+	if !m.subjects[s] {
+		return fmt.Errorf("hru: %q is not a subject", s)
+	}
+	if !m.objects[o] {
+		return fmt.Errorf("hru: unknown object %q", o)
+	}
+	row := m.cells[s]
+	if row == nil {
+		row = make(map[string]rights.Set)
+		m.cells[s] = row
+	}
+	row[o] = row[o].Union(set)
+	return nil
+}
+
+// Delete removes rights from cell (s, o) — the "delete" primitive.
+func (m *Matrix) Delete(s, o string, set rights.Set) error {
+	if !m.subjects[s] || !m.objects[o] {
+		return fmt.Errorf("hru: unknown cell (%s,%s)", s, o)
+	}
+	if row := m.cells[s]; row != nil {
+		row[o] = row[o].Minus(set)
+		if row[o].Empty() {
+			delete(row, o)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.u)
+	for s := range m.subjects {
+		c.subjects[s] = true
+	}
+	for o := range m.objects {
+		c.objects[o] = true
+	}
+	for s, row := range m.cells {
+		nr := make(map[string]rights.Set, len(row))
+		for o, set := range row {
+			nr[o] = set
+		}
+		c.cells[s] = nr
+	}
+	return c
+}
+
+// Canonical returns a deterministic encoding for state deduplication.
+func (m *Matrix) Canonical() string {
+	var names []string
+	for o := range m.objects {
+		names = append(names, o)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		if m.subjects[n] {
+			b.WriteString("s:")
+		} else {
+			b.WriteString("o:")
+		}
+		b.WriteString(n)
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	var cells []string
+	for s, row := range m.cells {
+		for o, set := range row {
+			if !set.Empty() {
+				cells = append(cells, fmt.Sprintf("%s>%s:%x", s, o, uint64(set)))
+			}
+		}
+	}
+	sort.Strings(cells)
+	b.WriteString(strings.Join(cells, ";"))
+	return b.String()
+}
+
+// ActiveRight returns (declaring if needed) the distinguished right that
+// encodes Take-Grant subject-ness in a matrix: every graph vertex becomes
+// a matrix row, and a vertex is an acting subject iff "active" sits on
+// its diagonal cell. This is the standard embedding of Take-Grant into
+// HRU — the matrix has no native notion of passive rows, so activity is a
+// right the commands test.
+func ActiveRight(u *rights.Universe) rights.Right {
+	return u.MustDeclare("active")
+}
+
+// FromGraph converts a protection graph's explicit authority into a
+// matrix: all vertices become rows; subjects carry the active right on
+// their diagonal.
+func FromGraph(g *graph.Graph) *Matrix {
+	m := NewMatrix(g.Universe())
+	active := ActiveRight(m.u)
+	for _, v := range g.Vertices() {
+		m.AddSubject(g.Name(v))
+		if g.IsSubject(v) {
+			m.EnterDiagonal(g.Name(v), rights.Of(active))
+		}
+	}
+	for _, e := range g.Edges() {
+		if !e.Explicit.Empty() {
+			m.Enter(g.Name(e.Src), g.Name(e.Dst), e.Explicit)
+		}
+	}
+	return m
+}
+
+// EnterDiagonal enters rights into (name, name); diagonal cells encode
+// per-entity attributes such as activity.
+func (m *Matrix) EnterDiagonal(name string, set rights.Set) error {
+	if !m.subjects[name] {
+		return fmt.Errorf("hru: unknown entity %q", name)
+	}
+	row := m.cells[name]
+	if row == nil {
+		row = make(map[string]rights.Set)
+		m.cells[name] = row
+	}
+	row[name] = row[name].Union(set)
+	return nil
+}
+
+// ToGraph converts a matrix back into a protection graph: entities with
+// the active right on their diagonal become subjects.
+func (m *Matrix) ToGraph() (*graph.Graph, error) {
+	g := graph.New(m.u)
+	active := ActiveRight(m.u)
+	var names []string
+	for o := range m.objects {
+		names = append(names, o)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var err error
+		if m.Get(n, n).Has(active) {
+			_, err = g.AddSubject(n)
+		} else {
+			_, err = g.AddObject(n)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for s, row := range m.cells {
+		src, _ := g.Lookup(s)
+		for o, set := range row {
+			dst, _ := g.Lookup(o)
+			if src == dst {
+				continue // diagonal attributes have no graph edge
+			}
+			if err := g.AddExplicit(src, dst, set); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

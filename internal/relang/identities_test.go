@@ -1,0 +1,124 @@
+package relang
+
+import (
+	"testing"
+
+	"takegrant/internal/rights"
+)
+
+// Language identities the model's theory relies on, decided mechanically.
+
+func TestBridgeReversalClosed(t *testing.T) {
+	// B is closed under path reversal — bridges work from either end.
+	if w, ok := FirstDifference(Bridge(), Reverse(Bridge()), 4); !ok {
+		t.Errorf("B not reversal-closed; witness %v", w)
+	}
+}
+
+func TestConnectionNotReversalClosed(t *testing.T) {
+	// C is directional: information flows one way along a connection.
+	if _, ok := FirstDifference(Connection(), Reverse(Connection()), 4); ok {
+		t.Error("C unexpectedly reversal-closed")
+	}
+}
+
+func TestSpansDisjointFromBridges(t *testing.T) {
+	// An initial span (t>*g>) IS a bridge word (t>*g>t<* with empty tail);
+	// the terminal span t>+ likewise. Verify the inclusions mechanically:
+	// L(initial) ∪ B = B, and (terminal nonempty) ∪ B = B.
+	u := rights.NewUniverse()
+	unionIB := Alt(InitialSpan(), Bridge())
+	if w, ok := FirstDifference(unionIB, Bridge(), 4); !ok {
+		t.Errorf("initial span not within B; witness %v", w)
+	}
+	nonEmptyTerminal := MustParse(u, "t>+")
+	unionTB := Alt(nonEmptyTerminal, Bridge())
+	if w, ok := FirstDifference(unionTB, Bridge(), 4); !ok {
+		t.Errorf("terminal span not within B; witness %v", w)
+	}
+}
+
+func TestRWSpansWithinConnections(t *testing.T) {
+	// t>*r> (the rw-terminal span) is one of C's alternatives.
+	unionTC := Alt(RWTerminalSpan(), Connection())
+	if w, ok := FirstDifference(unionTC, Connection(), 4); !ok {
+		t.Errorf("rw-terminal span not within C; witness %v", w)
+	}
+	// The rw-initial span t>*w> is NOT in C (it is the reversal of C's
+	// w<t<* component).
+	unionIC := Alt(RWInitialSpan(), Connection())
+	if _, ok := FirstDifference(unionIC, Connection(), 4); ok {
+		t.Error("rw-initial span unexpectedly within C")
+	}
+	// …but its reversal is.
+	unionRIC := Alt(Reverse(RWInitialSpan()), Connection())
+	if w, ok := FirstDifference(unionRIC, Connection(), 4); !ok {
+		t.Errorf("reversed rw-initial span not within C; witness %v", w)
+	}
+}
+
+func TestBridgeAndConnectionDisjoint(t *testing.T) {
+	// B uses only t,g; C requires an r or w — no common words.
+	both := func(w []Symbol, at func(int) bool) bool {
+		return Bridge().Matches(w, at) && Connection().Matches(w, at)
+	}
+	words := enumWords(4)
+	for _, w := range words {
+		if both(w, subjAll) {
+			t.Fatalf("common word %v", w)
+		}
+	}
+}
+
+func TestTTNotInBridge(t *testing.T) {
+	// The paper's subtle exclusion: t>* t<* (meeting at a sink) is not a
+	// bridge — no g to push through. Check a family of such words.
+	for pre := 1; pre <= 2; pre++ {
+		for suf := 1; suf <= 2; suf++ {
+			var w []Symbol
+			for i := 0; i < pre; i++ {
+				w = append(w, TFwd)
+			}
+			for i := 0; i < suf; i++ {
+				w = append(w, TRev)
+			}
+			if Bridge().Matches(w, subjAll) {
+				t.Errorf("t>^%d t<^%d accepted as bridge", pre, suf)
+			}
+		}
+	}
+}
+
+func TestAdmissibleUnguardedEqualsKleene(t *testing.T) {
+	// Dropping the guards, the admissible language is exactly (r> ∪ w<)*.
+	u := rights.NewUniverse()
+	unguarded := MustParse(u, "(r> | w<)*")
+	// With every vertex a subject the guards never bite.
+	for _, w := range enumWords(3) {
+		if Admissible().Matches(w, subjAll) != unguarded.Matches(w, subjAll) {
+			t.Fatalf("admissible ≠ (r>|w<)* on all-subject path %v", w)
+		}
+	}
+}
+
+func TestEquivalenceCatchesGuardDifferences(t *testing.T) {
+	a := LitG(RFwd, GuardTailSubject)
+	b := Lit(RFwd)
+	if EquivalentUpTo(a, b, 2) {
+		t.Error("guarded and unguarded literals reported equivalent")
+	}
+}
+
+func TestFirstDifferenceWitness(t *testing.T) {
+	u := rights.NewUniverse()
+	a := MustParse(u, "t>*")
+	b := MustParse(u, "t>* g>")
+	w, ok := FirstDifference(a, b, 3)
+	if ok {
+		t.Fatal("no difference found")
+	}
+	// The shortest separating word is ν (a accepts the empty word).
+	if len(w) != 0 {
+		t.Errorf("witness %v, expected the empty word", w)
+	}
+}

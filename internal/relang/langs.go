@@ -1,0 +1,103 @@
+package relang
+
+// Standard languages of the Take-Grant model, built programmatically so they
+// carry the correct guards. All are defined over the distinguished rights
+// and therefore valid in any universe.
+//
+// Conventions: every expression reads its word from the path's first vertex
+// (the spanning / bridging / knowing vertex) toward its last. The empty
+// word ν (x′ = x cases) is handled by the analysis package, not here —
+// except where the paper's language itself contains ν.
+
+// InitialSpan is the de jure initial-span language t>* g>.
+// A subject x′ initially spans to x when it can *push* authority to x:
+// x′ takes along the t-chain and finally holds a grant edge to x.
+// (The paper's definition also admits ν; callers treat x′ = x separately.)
+func InitialSpan() *Expr {
+	return Seq(Star(Lit(TFwd)), Lit(GFwd))
+}
+
+// TerminalSpan is the de jure terminal-span language t>*.
+// A subject s′ terminally spans to s when it can *pull* (take) authority
+// from s through a chain of take edges. ν (s′ = s) is handled by callers.
+func TerminalSpan() *Expr {
+	return Star(Lit(TFwd))
+}
+
+// Bridge is the language B = t>* ∪ t<* ∪ t>* g> t<* ∪ t>* g< t<* of
+// tg-paths between two subjects across which authority can be transferred
+// in both directions (with the endpoints' cooperation and use of create).
+func Bridge() *Expr {
+	return Alt(
+		Plus(Lit(TFwd)),
+		Plus(Lit(TRev)),
+		Seq(Star(Lit(TFwd)), Lit(GFwd), Star(Lit(TRev))),
+		Seq(Star(Lit(TFwd)), Lit(GRev), Star(Lit(TRev))),
+	)
+}
+
+// RWInitialSpan is the language t>* w> : a subject u rw-initially spans to
+// x when u can write information to x.
+func RWInitialSpan() *Expr {
+	return Seq(Star(Lit(TFwd)), Lit(WFwd))
+}
+
+// RWTerminalSpan is the language t>* r> : a subject u rw-terminally spans
+// to y when u can read y's information.
+func RWTerminalSpan() *Expr {
+	return Seq(Star(Lit(TFwd)), Lit(RFwd))
+}
+
+// Connection is the language C = t>* r> ∪ w< t<* ∪ t>* r> w< t<* of
+// rwtg-paths between two subjects u, v along which information flows from
+// v to u *without* any authority crossing:
+//
+//	t>* r>       u acquires read over v (or over something v writes into);
+//	w< t<*       v acquires write toward u;
+//	t>* r> w< t<*  u reads a common vertex that v writes.
+func Connection() *Expr {
+	return Alt(
+		Seq(Star(Lit(TFwd)), Lit(RFwd)),
+		Seq(Lit(WRev), Star(Lit(TRev))),
+		Seq(Star(Lit(TFwd)), Lit(RFwd), Lit(WRev), Star(Lit(TRev))),
+	)
+}
+
+// BridgeOrConnection is B ∪ C, the link language of Theorem 3.2(c).
+func BridgeOrConnection() *Expr {
+	return Alt(Bridge(), Connection())
+}
+
+// Admissible is the admissible rw-path language of Theorem 3.1:
+// (r> ∪ w<)* where every r> step leaves a subject (the reader acts) and
+// every w< step enters from a subject (the writer acts). Searched under
+// ViewCombined so implicit read edges participate.
+//
+// Reading the word from x to y, information flows from y back to x.
+func Admissible() *Expr {
+	return Star(Alt(
+		LitG(RFwd, GuardTailSubject),
+		LitG(WRev, GuardHeadSubject),
+	))
+}
+
+// AdmissibleStep is a single admissible step; the rw-level machinery builds
+// its step relation from it.
+func AdmissibleStep() *Expr {
+	return Alt(
+		LitG(RFwd, GuardTailSubject),
+		LitG(WRev, GuardHeadSubject),
+	)
+}
+
+// BridgeChain is (B at-subject-boundaries)*, including the empty chain:
+// the iterated-bridge reachability used by can•share's island hopping.
+func BridgeChain() *NFA {
+	return Compile(Bridge()).WithSubjectIteration()
+}
+
+// LinkChain is ((B ∪ C) at-subject-boundaries)*, including the empty
+// chain: the iterated link reachability of Theorem 3.2 condition (c).
+func LinkChain() *NFA {
+	return Compile(BridgeOrConnection()).WithSubjectIteration()
+}

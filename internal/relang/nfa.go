@@ -1,0 +1,170 @@
+package relang
+
+import (
+	"fmt"
+	"strings"
+
+	"takegrant/internal/rights"
+)
+
+// symTrans is a symbol-consuming NFA transition.
+type symTrans struct {
+	sym   Symbol
+	guard Guard
+	to    int
+}
+
+// epsTrans is an ε-transition, optionally guarded on the current vertex
+// being a subject.
+type epsTrans struct {
+	needSubject bool
+	to          int
+}
+
+type nfaState struct {
+	syms []symTrans
+	eps  []epsTrans
+}
+
+// NFA is a nondeterministic finite automaton over guarded symbols, produced
+// by Compile. It has a single start and a single accept state.
+type NFA struct {
+	states []nfaState
+	start  int
+	accept int
+}
+
+// Compile builds an NFA from an expression via the Thompson construction.
+func Compile(e *Expr) *NFA {
+	n := &NFA{}
+	start, accept := n.build(e)
+	n.start, n.accept = start, accept
+	return n
+}
+
+func (n *NFA) newState() int {
+	n.states = append(n.states, nfaState{})
+	return len(n.states) - 1
+}
+
+func (n *NFA) addEps(from, to int, needSubject bool) {
+	n.states[from].eps = append(n.states[from].eps, epsTrans{needSubject: needSubject, to: to})
+}
+
+func (n *NFA) build(e *Expr) (start, accept int) {
+	switch e.op {
+	case opEps:
+		s := n.newState()
+		a := n.newState()
+		n.addEps(s, a, false)
+		return s, a
+	case opLit:
+		s := n.newState()
+		a := n.newState()
+		n.states[s].syms = append(n.states[s].syms, symTrans{sym: e.sym, guard: e.guard, to: a})
+		return s, a
+	case opSeq:
+		start, accept = n.build(e.children[0])
+		for _, c := range e.children[1:] {
+			s2, a2 := n.build(c)
+			n.addEps(accept, s2, false)
+			accept = a2
+		}
+		return start, accept
+	case opAlt:
+		s := n.newState()
+		a := n.newState()
+		for _, c := range e.children {
+			cs, ca := n.build(c)
+			n.addEps(s, cs, false)
+			n.addEps(ca, a, false)
+		}
+		return s, a
+	case opStar:
+		s := n.newState()
+		a := n.newState()
+		cs, ca := n.build(e.children[0])
+		n.addEps(s, cs, false)
+		n.addEps(s, a, false)
+		n.addEps(ca, cs, false)
+		n.addEps(ca, a, false)
+		return s, a
+	default:
+		panic(fmt.Sprintf("relang: unknown expr op %d", e.op))
+	}
+}
+
+// WithSubjectIteration returns a copy of the automaton recognising L · (L at
+// subject boundaries)*: an ε-loop from accept back to start that may only be
+// taken while standing on a subject vertex, plus acceptance of the empty
+// word from the start. It turns a bridge automaton into a
+// bridge-chain automaton whose iteration points are the intermediate
+// subjects u1,…,un of Theorem 3.2.
+func (n *NFA) WithSubjectIteration() *NFA {
+	c := n.clone()
+	c.addEps(c.accept, c.start, true)
+	newStart := c.newState()
+	newAccept := c.newState()
+	c.addEps(newStart, c.start, false)
+	c.addEps(newStart, newAccept, false) // empty chain
+	c.addEps(c.accept, newAccept, false)
+	c.start, c.accept = newStart, newAccept
+	return c
+}
+
+func (n *NFA) clone() *NFA {
+	c := &NFA{states: make([]nfaState, len(n.states)), start: n.start, accept: n.accept}
+	for i, st := range n.states {
+		c.states[i].syms = append([]symTrans(nil), st.syms...)
+		c.states[i].eps = append([]epsTrans(nil), st.eps...)
+	}
+	return c
+}
+
+// NumStates returns the number of NFA states (for benchmarks and tests).
+func (n *NFA) NumStates() int { return len(n.states) }
+
+// closure returns the ε-closure of the given state set, taking guarded
+// ε-transitions only when subjectHere holds.
+func (n *NFA) closure(set map[int]struct{}, subjectHere bool) map[int]struct{} {
+	out := make(map[int]struct{}, len(set))
+	var stack []int
+	for s := range set {
+		out[s] = struct{}{}
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.states[s].eps {
+			if e.needSubject && !subjectHere {
+				continue
+			}
+			if _, seen := out[e.to]; !seen {
+				out[e.to] = struct{}{}
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the automaton's transition table for debugging.
+func (n *NFA) String() string {
+	u := rights.NewUniverse()
+	var b strings.Builder
+	fmt.Fprintf(&b, "start=%d accept=%d\n", n.start, n.accept)
+	for i, st := range n.states {
+		for _, tr := range st.syms {
+			fmt.Fprintf(&b, "  %d -%s%s-> %d\n", i, tr.sym.Format(u), tr.guard, tr.to)
+		}
+		for _, e := range st.eps {
+			g := ""
+			if e.needSubject {
+				g = "[•]"
+			}
+			fmt.Fprintf(&b, "  %d -ε%s-> %d\n", i, g, e.to)
+		}
+	}
+	return b.String()
+}

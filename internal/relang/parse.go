@@ -1,0 +1,254 @@
+package relang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"takegrant/internal/rights"
+)
+
+// Parse reads an expression in the package's text syntax:
+//
+//	expr   := alt
+//	alt    := seq ('|' seq)*
+//	seq    := rep rep*
+//	rep    := atom ('*' | '+' | '?')*
+//	atom   := symbol | 'eps' | 'ε' | '(' expr ')'
+//	symbol := rightName ('>' | '<') guard?
+//	guard  := '[tail]' | '[head]'
+//
+// Right names are resolved (and if necessary declared) in the universe.
+// Examples: "t>* g>", "t>* | t<* | t>* g> t<* | t>* g< t<*",
+// "(r>[tail] | w<[head])*".
+func Parse(u *rights.Universe, text string) (*Expr, error) {
+	p := &parser{u: u, in: text}
+	p.next()
+	e, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("relang: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for static language definitions.
+func MustParse(u *rights.Universe, text string) *Expr {
+	e, err := Parse(u, text)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokSym
+	tokEps
+	tokLParen
+	tokRParen
+	tokPipe
+	tokStar
+	tokPlus
+	tokQuest
+)
+
+type token struct {
+	kind  tokKind
+	text  string
+	pos   int
+	sym   Symbol
+	guard Guard
+}
+
+type parser struct {
+	u   *rights.Universe
+	in  string
+	pos int
+	tok token
+	err error
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.in) && unicode.IsSpace(rune(p.in[p.pos])) {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.in) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.in[p.pos]
+	switch c {
+	case '(':
+		p.pos++
+		p.tok = token{kind: tokLParen, text: "(", pos: start}
+		return
+	case ')':
+		p.pos++
+		p.tok = token{kind: tokRParen, text: ")", pos: start}
+		return
+	case '|':
+		p.pos++
+		p.tok = token{kind: tokPipe, text: "|", pos: start}
+		return
+	case '*':
+		p.pos++
+		p.tok = token{kind: tokStar, text: "*", pos: start}
+		return
+	case '+':
+		p.pos++
+		p.tok = token{kind: tokPlus, text: "+", pos: start}
+		return
+	case '?':
+		p.pos++
+		p.tok = token{kind: tokQuest, text: "?", pos: start}
+		return
+	}
+	// ε keyword
+	if strings.HasPrefix(p.in[p.pos:], "ε") {
+		p.pos += len("ε")
+		p.tok = token{kind: tokEps, text: "ε", pos: start}
+		return
+	}
+	// identifier: right name, possibly the keyword eps
+	if !isIdentChar(c) {
+		p.err = fmt.Errorf("relang: bad character %q at offset %d", c, p.pos)
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	for p.pos < len(p.in) && isIdentChar(p.in[p.pos]) {
+		p.pos++
+	}
+	name := p.in[start:p.pos]
+	if name == "eps" {
+		p.tok = token{kind: tokEps, text: name, pos: start}
+		return
+	}
+	// direction
+	if p.pos >= len(p.in) || (p.in[p.pos] != '>' && p.in[p.pos] != '<') {
+		p.err = fmt.Errorf("relang: symbol %q at offset %d lacks direction > or <", name, start)
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	dir := Fwd
+	if p.in[p.pos] == '<' {
+		dir = Rev
+	}
+	p.pos++
+	guard := GuardNone
+	if strings.HasPrefix(p.in[p.pos:], "[tail]") {
+		guard = GuardTailSubject
+		p.pos += len("[tail]")
+	} else if strings.HasPrefix(p.in[p.pos:], "[head]") {
+		guard = GuardHeadSubject
+		p.pos += len("[head]")
+	}
+	r, err := p.u.Declare(name)
+	if err != nil {
+		p.err = err
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	p.tok = token{kind: tokSym, text: name, pos: start, sym: Symbol{Right: r, Dir: dir}, guard: guard}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+func (p *parser) alt() (*Expr, error) {
+	first, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	alts := []*Expr{first}
+	for p.tok.kind == tokPipe {
+		p.next()
+		e, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, e)
+	}
+	return Alt(alts...), nil
+}
+
+func (p *parser) seq() (*Expr, error) {
+	var parts []*Expr
+	for {
+		switch p.tok.kind {
+		case tokSym, tokEps, tokLParen:
+			e, err := p.rep()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+		default:
+			if len(parts) == 0 {
+				if p.err != nil {
+					return nil, p.err
+				}
+				return nil, fmt.Errorf("relang: empty expression at offset %d", p.tok.pos)
+			}
+			return Seq(parts...), nil
+		}
+	}
+}
+
+func (p *parser) rep() (*Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokStar:
+			e = Star(e)
+			p.next()
+		case tokPlus:
+			e = Plus(e)
+			p.next()
+		case tokQuest:
+			e = Opt(e)
+			p.next()
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) atom() (*Expr, error) {
+	switch p.tok.kind {
+	case tokSym:
+		e := LitG(p.tok.sym, p.tok.guard)
+		p.next()
+		return e, nil
+	case tokEps:
+		p.next()
+		return Eps(), nil
+	case tokLParen:
+		p.next()
+		e, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("relang: missing ) at offset %d", p.tok.pos)
+		}
+		p.next()
+		return e, nil
+	default:
+		if p.err != nil {
+			return nil, p.err
+		}
+		return nil, fmt.Errorf("relang: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+}

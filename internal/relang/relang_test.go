@@ -1,0 +1,494 @@
+package relang
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func subjAll(int) bool  { return true }
+func subjNone(int) bool { return false }
+
+func TestMatchesBasics(t *testing.T) {
+	u := rights.NewUniverse()
+	e := MustParse(u, "t>* g>")
+	cases := []struct {
+		word []Symbol
+		want bool
+	}{
+		{[]Symbol{GFwd}, true},
+		{[]Symbol{TFwd, GFwd}, true},
+		{[]Symbol{TFwd, TFwd, TFwd, GFwd}, true},
+		{[]Symbol{TFwd}, false},
+		{[]Symbol{GFwd, TFwd}, false},
+		{[]Symbol{TRev, GFwd}, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := e.Matches(c.word, subjAll); got != c.want {
+			t.Errorf("t>*g> match %v = %v want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestMatchesEpsilonAndOperators(t *testing.T) {
+	u := rights.NewUniverse()
+	if !MustParse(u, "eps").Matches(nil, subjAll) {
+		t.Error("eps rejects empty word")
+	}
+	if MustParse(u, "eps").Matches([]Symbol{TFwd}, subjAll) {
+		t.Error("eps accepts t>")
+	}
+	plus := MustParse(u, "t>+")
+	if plus.Matches(nil, subjAll) || !plus.Matches([]Symbol{TFwd}, subjAll) || !plus.Matches([]Symbol{TFwd, TFwd}, subjAll) {
+		t.Error("t>+ wrong")
+	}
+	opt := MustParse(u, "g<?")
+	if !opt.Matches(nil, subjAll) || !opt.Matches([]Symbol{GRev}, subjAll) || opt.Matches([]Symbol{GRev, GRev}, subjAll) {
+		t.Error("g<? wrong")
+	}
+}
+
+func TestBridgeLanguage(t *testing.T) {
+	b := Bridge()
+	accept := [][]Symbol{
+		{TFwd}, {TFwd, TFwd}, {TRev}, {TRev, TRev},
+		{GFwd}, {GRev},
+		{TFwd, GFwd, TRev}, {TFwd, TFwd, GFwd}, {GRev, TRev},
+		{TFwd, GRev, TRev, TRev},
+	}
+	reject := [][]Symbol{
+		nil,
+		{TFwd, TRev},             // t>*t<* without g is NOT a bridge
+		{TRev, TFwd},             // wrong order
+		{GFwd, GFwd},             // two grants
+		{RFwd},                   // read is not a tg symbol
+		{TFwd, GFwd, TRev, GFwd}, // trailing grant
+		{TRev, GFwd},             // t< before g>
+	}
+	for _, w := range accept {
+		if !b.Matches(w, subjAll) {
+			t.Errorf("bridge rejects %v", w)
+		}
+	}
+	for _, w := range reject {
+		if b.Matches(w, subjAll) {
+			t.Errorf("bridge accepts %v", w)
+		}
+	}
+}
+
+func TestConnectionLanguage(t *testing.T) {
+	c := Connection()
+	accept := [][]Symbol{
+		{RFwd}, {TFwd, RFwd}, {WRev}, {WRev, TRev},
+		{RFwd, WRev}, {TFwd, RFwd, WRev, TRev},
+	}
+	reject := [][]Symbol{
+		nil, {TFwd}, {WFwd}, {RRev}, {RFwd, RFwd}, {WRev, RFwd},
+	}
+	for _, w := range accept {
+		if !c.Matches(w, subjAll) {
+			t.Errorf("connection rejects %v", w)
+		}
+	}
+	for _, w := range reject {
+		if c.Matches(w, subjAll) {
+			t.Errorf("connection accepts %v", w)
+		}
+	}
+}
+
+func TestAdmissibleGuards(t *testing.T) {
+	a := Admissible()
+	// r> requires the tail (reader) to be a subject.
+	word := []Symbol{RFwd}
+	if !a.Matches(word, subjAll) {
+		t.Error("admissible rejects subject read")
+	}
+	if a.Matches(word, subjNone) {
+		t.Error("admissible accepts object read")
+	}
+	// w< requires the head (writer) to be a subject.
+	word = []Symbol{WRev}
+	if !a.Matches(word, func(i int) bool { return i == 1 }) {
+		t.Error("admissible rejects subject writer")
+	}
+	if a.Matches(word, func(i int) bool { return i == 0 }) {
+		t.Error("admissible accepts object writer")
+	}
+	// No two consecutive objects: subject,object,subject alternation works.
+	word = []Symbol{RFwd, WRev}
+	alternating := func(i int) bool { return i != 1 }
+	if !a.Matches(word, alternating) {
+		t.Error("admissible rejects s-o-s path")
+	}
+	// object in reading position breaks it
+	if a.Matches(word, func(i int) bool { return i == 2 }) {
+		t.Error("admissible accepts o-o-s path")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	u := rights.NewUniverse()
+	for _, bad := range []string{"", "t", "t>)", "(t>", "t> | ", "*", "¶", "t>[tails]x"} {
+		if _, err := Parse(u, bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseGuards(t *testing.T) {
+	u := rights.NewUniverse()
+	e := MustParse(u, "(r>[tail] | w<[head])*")
+	if !e.Matches([]Symbol{RFwd}, subjAll) {
+		t.Error("guarded parse broken")
+	}
+	if e.Matches([]Symbol{RFwd}, subjNone) {
+		t.Error("parsed [tail] guard not applied")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	u := rights.NewUniverse()
+	for _, src := range []string{"t>* g>", "t>+ | t<*", "(r>[tail] | w<[head])*", "t>* g< t<*", "eps | g>"} {
+		e := MustParse(u, src)
+		text := e.Format(u)
+		e2, err := Parse(u, text)
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", text, src, err)
+		}
+		// Compare languages on a sample of short words.
+		words := enumWords(3)
+		for _, w := range words {
+			if e.Matches(w, subjAll) != e2.Matches(w, subjAll) {
+				t.Errorf("round trip of %q changed language on %v", src, w)
+			}
+		}
+	}
+}
+
+// enumWords enumerates all words up to the given length over the 8-symbol
+// tg/rw alphabet.
+func enumWords(maxLen int) [][]Symbol {
+	alpha := []Symbol{TFwd, TRev, GFwd, GRev, RFwd, RRev, WFwd, WRev}
+	words := [][]Symbol{nil}
+	prev := [][]Symbol{nil}
+	for l := 1; l <= maxLen; l++ {
+		var next [][]Symbol
+		for _, w := range prev {
+			for _, s := range alpha {
+				nw := append(append([]Symbol(nil), w...), s)
+				next = append(next, nw)
+			}
+		}
+		words = append(words, next...)
+		prev = next
+	}
+	return words
+}
+
+// lineGraph builds a path graph v0 - v1 - … - vk whose step i carries the
+// word's symbol (edge direction per Dir), with vertex kinds from subjectAt.
+func lineGraph(t *testing.T, word []Symbol, subjectAt func(int) bool) (*graph.Graph, graph.ID, graph.ID) {
+	t.Helper()
+	g := graph.New(nil)
+	ids := make([]graph.ID, len(word)+1)
+	for i := range ids {
+		name := "v" + string(rune('a'+i))
+		if subjectAt(i) {
+			ids[i] = g.MustSubject(name)
+		} else {
+			ids[i] = g.MustObject(name)
+		}
+	}
+	for i, s := range word {
+		set := rights.Of(s.Right)
+		if s.Dir == Fwd {
+			g.AddExplicit(ids[i], ids[i+1], set)
+		} else {
+			g.AddExplicit(ids[i+1], ids[i], set)
+		}
+	}
+	return g, ids[0], ids[len(ids)-1]
+}
+
+func TestSearchAgreesWithMatchesOnLines(t *testing.T) {
+	// On a pure line graph, Search accepts the endpoint iff the word is in
+	// the language (words short enough that no shortcut exists).
+	exprs := map[string]*Expr{
+		"bridge":     Bridge(),
+		"connection": Connection(),
+		"admissible": Admissible(),
+		"initial":    InitialSpan(),
+		"terminal":   TerminalSpan(),
+		"rwinitial":  RWInitialSpan(),
+		"rwterminal": RWTerminalSpan(),
+	}
+	kindPatterns := []func(int) bool{
+		subjAll,
+		func(i int) bool { return i%2 == 0 },
+		func(i int) bool { return i%2 == 1 },
+	}
+	for name, e := range exprs {
+		nfa := Compile(e)
+		for _, word := range enumWords(3) {
+			if len(word) == 0 {
+				continue
+			}
+			for _, kinds := range kindPatterns {
+				g, src, dst := lineGraph(t, word, kinds)
+				got := Reaches(g, nfa, src, dst, Options{View: ViewExplicit})
+				want := e.Matches(word, kinds)
+				if got != want {
+					t.Fatalf("%s: word %v kinds: search=%v matches=%v\n%s", name, word, got, want, g.String())
+				}
+			}
+		}
+	}
+}
+
+func TestSearchWitness(t *testing.T) {
+	// p -t-> o1 -g-> o2 <-t- q : bridge word t> g> t<
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	o1 := g.MustObject("o1")
+	o2 := g.MustObject("o2")
+	q := g.MustSubject("q")
+	g.AddExplicit(p, o1, rights.T)
+	g.AddExplicit(o1, o2, rights.G)
+	g.AddExplicit(q, o2, rights.T)
+	res := Search(g, Compile(Bridge()), []graph.ID{p}, Options{Trace: true})
+	if !res.Accepted(q) {
+		t.Fatal("bridge p→q not found")
+	}
+	steps, ok := res.Witness(q)
+	if !ok || len(steps) != 3 {
+		t.Fatalf("witness = %v,%v", steps, ok)
+	}
+	if WordOf(g.Universe(), steps) != "t> g> t<" {
+		t.Errorf("witness word = %q", WordOf(g.Universe(), steps))
+	}
+	// Steps must follow real edges.
+	for _, s := range steps {
+		var lbl rights.Set
+		if s.Sym.Dir == Fwd {
+			lbl = g.Explicit(s.From, s.To)
+		} else {
+			lbl = g.Explicit(s.To, s.From)
+		}
+		if !lbl.Has(s.Sym.Right) {
+			t.Errorf("witness step %v not backed by an edge", s)
+		}
+	}
+	if origin, ok := res.Origin(q); !ok || origin != p {
+		t.Errorf("origin = %v,%v", origin, ok)
+	}
+}
+
+func TestNoBridgeOverTT(t *testing.T) {
+	// p -t-> o <-t- q : NOT a bridge (t>t< is not in B).
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	o := g.MustObject("o")
+	q := g.MustSubject("q")
+	g.AddExplicit(p, o, rights.T)
+	g.AddExplicit(q, o, rights.T)
+	if Reaches(g, Compile(Bridge()), p, q, Options{}) {
+		t.Error("t> t< accepted as bridge")
+	}
+}
+
+func TestSubjectIterationChain(t *testing.T) {
+	// p -t-> s -t-> q with s a subject: two chained bridges.
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	s := g.MustSubject("s")
+	q := g.MustSubject("q")
+	g.AddExplicit(p, s, rights.T)
+	g.AddExplicit(s, q, rights.T)
+	chain := BridgeChain()
+	if !Reaches(g, chain, p, q, Options{}) {
+		t.Error("bridge chain through subject not found")
+	}
+	// Also accepted as a single bridge t>t>; now break the middle into an
+	// object and use words that do NOT concatenate into one bridge:
+	// p -t-> o (g> to s), s subject, s -t-> o2 (g> to q)…
+	g2 := graph.New(nil)
+	p2 := g2.MustSubject("p")
+	a := g2.MustObject("a")
+	m := g2.MustSubject("m")
+	b := g2.MustObject("b")
+	q2 := g2.MustSubject("q")
+	g2.AddExplicit(p2, a, rights.T)
+	g2.AddExplicit(a, m, rights.G) // bridge 1: t> g>
+	g2.AddExplicit(m, b, rights.T)
+	g2.AddExplicit(b, q2, rights.G) // bridge 2: t> g>
+	if !Reaches(g2, BridgeChain(), p2, q2, Options{}) {
+		t.Error("two-bridge chain via subject m not found")
+	}
+	// Single bridge cannot cover it: word t>g>t>g> ∉ B.
+	if Reaches(g2, Compile(Bridge()), p2, q2, Options{}) {
+		t.Error("t>g>t>g> accepted as single bridge")
+	}
+	// If the joint is an object the chain must fail.
+	g3 := graph.New(nil)
+	p3 := g3.MustSubject("p")
+	a3 := g3.MustObject("a")
+	m3 := g3.MustObject("m") // object joint
+	b3 := g3.MustObject("b")
+	q3 := g3.MustSubject("q")
+	g3.AddExplicit(p3, a3, rights.T)
+	g3.AddExplicit(a3, m3, rights.G)
+	g3.AddExplicit(m3, b3, rights.T)
+	g3.AddExplicit(b3, q3, rights.G)
+	if Reaches(g3, BridgeChain(), p3, q3, Options{}) {
+		t.Error("bridge chain iterated at an object joint")
+	}
+}
+
+func TestEmptyChainAcceptsStart(t *testing.T) {
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	res := Search(g, BridgeChain(), []graph.ID{p}, Options{Trace: true})
+	if !res.Accepted(p) {
+		t.Error("empty bridge chain does not accept the start vertex")
+	}
+	steps, ok := res.Witness(p)
+	if !ok || len(steps) != 0 {
+		t.Errorf("empty-chain witness = %v,%v", steps, ok)
+	}
+}
+
+func TestViewCombinedUsesImplicit(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustSubject("y")
+	g.AddImplicit(x, y, rights.R)
+	nfa := Compile(Admissible())
+	if Reaches(g, nfa, x, y, Options{View: ViewExplicit}) {
+		t.Error("explicit view used implicit edge")
+	}
+	if !Reaches(g, nfa, x, y, Options{View: ViewCombined}) {
+		t.Error("combined view ignored implicit edge")
+	}
+}
+
+func TestAllowFilter(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	m := g.MustSubject("m")
+	y := g.MustSubject("y")
+	g.AddExplicit(x, m, rights.T)
+	g.AddExplicit(m, y, rights.T)
+	nfa := Compile(TerminalSpan())
+	if !Reaches(g, nfa, x, y, Options{}) {
+		t.Fatal("baseline reach failed")
+	}
+	blocked := Options{Allow: func(v graph.ID) bool { return v != m }}
+	if Reaches(g, nfa, x, y, blocked) {
+		t.Error("Allow filter not applied")
+	}
+}
+
+func randomTestGraph(rng *rand.Rand) *graph.Graph {
+	g := graph.New(nil)
+	n := 3 + rng.Intn(7)
+	for i := 0; i < n; i++ {
+		name := "v" + string(rune('a'+i))
+		if rng.Intn(2) == 0 {
+			g.MustSubject(name)
+		} else {
+			g.MustObject(name)
+		}
+	}
+	vs := g.Vertices()
+	m := rng.Intn(3 * n)
+	for i := 0; i < m; i++ {
+		a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+		if a == b {
+			continue
+		}
+		g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+	}
+	return g
+}
+
+func TestPropertyDFAAgreesWithNFA(t *testing.T) {
+	exprs := []*Expr{Bridge(), Connection(), Admissible(), InitialSpan(), RWTerminalSpan()}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTestGraph(rng)
+		vs := g.Vertices()
+		src := vs[rng.Intn(len(vs))]
+		e := exprs[rng.Intn(len(exprs))]
+		nfa := Compile(e)
+		dfa := Determinize(nfa)
+		nres := Search(g, nfa, []graph.ID{src}, Options{})
+		dres := SearchDFA(g, dfa, []graph.ID{src}, Options{})
+		for _, v := range vs {
+			if nres.Accepted(v) != dres[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWitnessWordInLanguage(t *testing.T) {
+	// Every witness returned by Search must spell a word the reference
+	// matcher accepts, with the witness path's actual vertex kinds.
+	exprs := []*Expr{Bridge(), Connection(), InitialSpan(), TerminalSpan()}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTestGraph(rng)
+		vs := g.Vertices()
+		src := vs[rng.Intn(len(vs))]
+		e := exprs[rng.Intn(len(exprs))]
+		res := Search(g, Compile(e), []graph.ID{src}, Options{Trace: true})
+		for _, v := range res.AcceptedVertices() {
+			steps, ok := res.Witness(v)
+			if !ok {
+				return false
+			}
+			word := make([]Symbol, len(steps))
+			verts := []graph.ID{src}
+			for i, s := range steps {
+				word[i] = s.Sym
+				verts = append(verts, s.To)
+			}
+			if len(steps) > 0 && steps[len(steps)-1].To != v {
+				return false
+			}
+			subjectAt := func(i int) bool { return g.IsSubject(verts[i]) }
+			if !e.Matches(word, subjectAt) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithSubjectIterationPreservesBase(t *testing.T) {
+	base := Compile(Bridge())
+	chain := base.WithSubjectIteration()
+	if base.NumStates() >= chain.NumStates() {
+		t.Error("iteration did not add states")
+	}
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	q := g.MustSubject("q")
+	g.AddExplicit(p, q, rights.T)
+	if !Reaches(g, chain, p, q, Options{}) {
+		t.Error("chain lost single-bridge words")
+	}
+}

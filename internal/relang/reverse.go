@@ -1,0 +1,54 @@
+package relang
+
+// Reverse returns an expression matching exactly the reversals of the words
+// of e, as read along the reversed path. Each symbol's direction flips
+// (a step traversed backwards sees the edge pointing the other way) and
+// tail/head guards swap (the step's endpoints exchange roles).
+//
+// Reverse lets "which vertices span to x?" queries run as a single search
+// *from* x: v initially spans to x with word in t>*g> iff x reaches v along
+// the reversed language g<t<*.
+func Reverse(e *Expr) *Expr {
+	switch e.op {
+	case opEps:
+		return Eps()
+	case opLit:
+		return LitG(reverseSym(e.sym), reverseGuard(e.guard))
+	case opSeq:
+		rev := make([]*Expr, len(e.children))
+		for i, c := range e.children {
+			rev[len(e.children)-1-i] = Reverse(c)
+		}
+		return Seq(rev...)
+	case opAlt:
+		alts := make([]*Expr, len(e.children))
+		for i, c := range e.children {
+			alts[i] = Reverse(c)
+		}
+		return Alt(alts...)
+	case opStar:
+		return Star(Reverse(e.children[0]))
+	default:
+		panic("relang: unknown expr op in Reverse")
+	}
+}
+
+func reverseSym(s Symbol) Symbol {
+	if s.Dir == Fwd {
+		s.Dir = Rev
+	} else {
+		s.Dir = Fwd
+	}
+	return s
+}
+
+func reverseGuard(g Guard) Guard {
+	switch g {
+	case GuardTailSubject:
+		return GuardHeadSubject
+	case GuardHeadSubject:
+		return GuardTailSubject
+	default:
+		return g
+	}
+}

@@ -1,0 +1,74 @@
+package relang
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func reverseWord(w []Symbol) []Symbol {
+	out := make([]Symbol, len(w))
+	for i, s := range w {
+		out[len(w)-1-i] = reverseSym(s)
+	}
+	return out
+}
+
+func TestReverseSimple(t *testing.T) {
+	e := InitialSpan() // t>* g>
+	r := Reverse(e)    // g< t<*
+	if !r.Matches([]Symbol{GRev}, subjAll) {
+		t.Error("reverse rejects g<")
+	}
+	if !r.Matches([]Symbol{GRev, TRev, TRev}, subjAll) {
+		t.Error("reverse rejects g< t< t<")
+	}
+	if r.Matches([]Symbol{TRev, GRev}, subjAll) {
+		t.Error("reverse accepts t< g<")
+	}
+}
+
+func TestReverseGuardsSwap(t *testing.T) {
+	e := LitG(RFwd, GuardTailSubject)
+	r := Reverse(e) // r<[head]
+	// Reversed path: one step, symbol r<; original tail is now the head.
+	if !r.Matches([]Symbol{RRev}, func(i int) bool { return i == 1 }) {
+		t.Error("reversed guard should require head subject")
+	}
+	if r.Matches([]Symbol{RRev}, func(i int) bool { return i == 0 }) {
+		t.Error("reversed guard satisfied by tail subject")
+	}
+}
+
+func TestPropertyReverseMatchesReversedWords(t *testing.T) {
+	exprs := []*Expr{Bridge(), Connection(), Admissible(), InitialSpan(), TerminalSpan(), RWInitialSpan()}
+	words := enumWords(3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := exprs[rng.Intn(len(exprs))]
+		r := Reverse(e)
+		w := words[rng.Intn(len(words))]
+		// kinds assigned to the k+1 vertices of the path
+		kinds := make([]bool, len(w)+1)
+		for i := range kinds {
+			kinds[i] = rng.Intn(2) == 0
+		}
+		fwdAt := func(i int) bool { return kinds[i] }
+		revAt := func(i int) bool { return kinds[len(kinds)-1-i] }
+		return e.Matches(w, fwdAt) == r.Matches(reverseWord(w), revAt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	for _, e := range []*Expr{Bridge(), Connection(), Admissible(), InitialSpan()} {
+		rr := Reverse(Reverse(e))
+		for _, w := range enumWords(3) {
+			if e.Matches(w, subjAll) != rr.Matches(w, subjAll) {
+				t.Fatalf("double reverse changed language on %v", w)
+			}
+		}
+	}
+}

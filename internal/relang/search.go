@@ -1,0 +1,244 @@
+package relang
+
+import (
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// View selects which edge labels a search traverses.
+type View uint8
+
+const (
+	// ViewExplicit traverses only explicit (de jure) labels. Spans and
+	// bridges are defined over explicit authority.
+	ViewExplicit View = iota
+	// ViewCombined traverses the union of explicit and implicit labels.
+	// Admissible rw-paths may ride implicit edges added by de facto rules.
+	ViewCombined
+)
+
+// Options configures a product search.
+type Options struct {
+	// View selects the traversed labels; default ViewExplicit.
+	View View
+	// Allow, when non-nil, restricts traversal to vertices it admits.
+	// Start vertices are always admitted.
+	Allow func(graph.ID) bool
+	// Trace records per-state steps so Witness and Origin work. Leave it
+	// off for boolean reachability — the searches under CanShare/CanKnow
+	// run hot and skip the bookkeeping.
+	Trace bool
+}
+
+// Step is one edge traversal of a witness path.
+type Step struct {
+	From, To graph.ID // path order: the step leaves From and enters To
+	Sym      Symbol
+}
+
+// Result holds the reachable product states of a Search and supports
+// witness-path extraction.
+//
+// Internally product states (vertex, nfa-state) are indexed densely as
+// vertex*numStates+state: the search is the hot path under every decision
+// procedure, and slice-indexed parent tracking beats hashing by a wide
+// margin.
+type Result struct {
+	g      *graph.Graph
+	n      *NFA
+	states int
+	// parent[idx] is the predecessor product index (selfParent for
+	// starts, -1 for unvisited); steps[idx] is the edge taken (Sym.Right
+	// == stepNone for ε-moves and starts).
+	parent  []int32
+	steps   []Step
+	accepts map[graph.ID]int32 // first accepting product index per vertex
+	order   []graph.ID         // accepted vertices in discovery order
+}
+
+const (
+	unvisited  = int32(-1)
+	selfParent = int32(-2)
+	stepNone   = rights.Right(255)
+)
+
+func (r *Result) key(v graph.ID, st int) int32 { return int32(int(v)*r.states + st) }
+
+// Search explores the product of the protection graph with the automaton,
+// starting at every vertex in starts (in the automaton's start state), and
+// returns the reachable product states. A vertex is "accepted" when some
+// path from a start vertex to it spells a word of the language.
+//
+// The search explores walks: vertices may repeat along a witness. For every
+// language in this model that is the intended semantics — the rewriting
+// rules that realise a span, bridge or connection are insensitive to
+// revisits (see analysis package documentation).
+func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
+	res := &Result{
+		g:       g,
+		n:       n,
+		states:  len(n.states),
+		parent:  make([]int32, g.Cap()*len(n.states)),
+		accepts: make(map[graph.ID]int32),
+	}
+	if opts.Trace {
+		res.steps = make([]Step, g.Cap()*len(n.states))
+	}
+	for i := range res.parent {
+		res.parent[i] = unvisited
+	}
+	queue := make([]int32, 0, len(starts)*2)
+	add := func(v graph.ID, st int, parent int32, step Step) {
+		k := res.key(v, st)
+		if res.parent[k] != unvisited {
+			return
+		}
+		res.parent[k] = parent
+		if res.steps != nil {
+			res.steps[k] = step
+		}
+		queue = append(queue, k)
+		if st == n.accept {
+			if _, seen := res.accepts[v]; !seen {
+				res.accepts[v] = k
+				res.order = append(res.order, v)
+			}
+		}
+	}
+	allowed := func(v graph.ID) bool { return opts.Allow == nil || opts.Allow(v) }
+	noStep := Step{Sym: Symbol{Right: stepNone}}
+
+	// Sorted adjacency comes from the graph's revision-cached snapshot:
+	// building it per product state (or even per search) dominates
+	// everything else.
+	outAdj, inAdj := g.Adjacency()
+
+	for _, v := range starts {
+		if !g.Valid(v) {
+			continue
+		}
+		add(v, n.start, selfParent, noStep)
+	}
+	for head := 0; head < len(queue); head++ {
+		k := queue[head]
+		v := graph.ID(int(k) / res.states)
+		stIdx := int(k) % res.states
+		vSubj := g.IsSubject(v)
+		// ε-moves stay on the same vertex.
+		for _, e := range n.states[stIdx].eps {
+			if e.needSubject && !vSubj {
+				continue
+			}
+			add(v, e.to, k, noStep)
+		}
+		// Symbol moves traverse edges.
+		st := &n.states[stIdx]
+		if len(st.syms) == 0 {
+			continue
+		}
+		outs, ins := outAdj[v], inAdj[v]
+		for _, tr := range st.syms {
+			if tr.sym.Dir == Fwd {
+				for _, h := range outs {
+					if !labelFor(h, opts.View).Has(tr.sym.Right) {
+						continue
+					}
+					w := h.Other
+					if !allowed(w) || !guardOK(tr.guard, vSubj, g.IsSubject(w)) {
+						continue
+					}
+					add(w, tr.to, k, Step{From: v, To: w, Sym: tr.sym})
+				}
+			} else {
+				for _, h := range ins {
+					if !labelFor(h, opts.View).Has(tr.sym.Right) {
+						continue
+					}
+					w := h.Other
+					if !allowed(w) || !guardOK(tr.guard, vSubj, g.IsSubject(w)) {
+						continue
+					}
+					add(w, tr.to, k, Step{From: v, To: w, Sym: tr.sym})
+				}
+			}
+		}
+	}
+	return res
+}
+
+func labelFor(h graph.HalfEdge, v View) rights.Set {
+	if v == ViewCombined {
+		return h.Combined()
+	}
+	return h.Explicit
+}
+
+// Accepted reports whether v is reachable in an accepting state.
+func (r *Result) Accepted(v graph.ID) bool {
+	_, ok := r.accepts[v]
+	return ok
+}
+
+// AcceptedVertices returns every accepted vertex in discovery order.
+func (r *Result) AcceptedVertices() []graph.ID {
+	return append([]graph.ID(nil), r.order...)
+}
+
+// Witness returns a path (sequence of steps) from some start vertex to v
+// spelling a word of the language, or nil,false if v is not accepted.
+// An empty non-nil slice means v itself is a start vertex accepted by the
+// empty word.
+func (r *Result) Witness(v graph.ID) ([]Step, bool) {
+	if r.steps == nil {
+		panic("relang: Witness needs a Search run with Options.Trace")
+	}
+	k, ok := r.accepts[v]
+	if !ok {
+		return nil, false
+	}
+	var rev []Step
+	for r.parent[k] != selfParent {
+		if r.steps[k].Sym.Right != stepNone {
+			rev = append(rev, r.steps[k])
+		}
+		k = r.parent[k]
+	}
+	steps := make([]Step, len(rev))
+	for i := range rev {
+		steps[i] = rev[len(rev)-1-i]
+	}
+	return steps, true
+}
+
+// Origin returns the start vertex from which v was accepted.
+func (r *Result) Origin(v graph.ID) (graph.ID, bool) {
+	k, ok := r.accepts[v]
+	if !ok {
+		return graph.None, false
+	}
+	for r.parent[k] != selfParent {
+		k = r.parent[k]
+	}
+	return graph.ID(int(k) / r.states), true
+}
+
+// Reaches is a convenience wrapper: does a word of n's language label some
+// walk from src to dst?
+func Reaches(g *graph.Graph, n *NFA, src, dst graph.ID, opts Options) bool {
+	return Search(g, n, []graph.ID{src}, opts).Accepted(dst)
+}
+
+// WordOf formats a witness as its associated word, e.g. "t> g> t<".
+func WordOf(u *rights.Universe, steps []Step) string {
+	if len(steps) == 0 {
+		return "ν"
+	}
+	out := ""
+	for i, s := range steps {
+		if i > 0 {
+			out += " "
+		}
+		out += s.Sym.Format(u)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package relang
+
+import (
+	"takegrant/internal/graph"
+)
+
+// SearchDFA is Search backed by a lazily-determinised automaton. It returns
+// the set of accepted vertices (no witness extraction — the DFA collapses
+// NFA paths, so witnesses come from the NFA search). Exposed for the
+// DFA-vs-NFA ablation benchmark.
+func SearchDFA(g *graph.Graph, d *DFA, starts []graph.ID, opts Options) map[graph.ID]bool {
+	type key struct {
+		v  graph.ID
+		st int
+	}
+	seen := make(map[key]struct{})
+	accepted := make(map[graph.ID]bool)
+	queue := make([]key, 0, len(starts))
+	add := func(k key) {
+		if _, ok := seen[k]; ok {
+			return
+		}
+		seen[k] = struct{}{}
+		queue = append(queue, k)
+		if d.Accepting(k.st) {
+			accepted[k.v] = true
+		}
+	}
+	allowed := func(v graph.ID) bool { return opts.Allow == nil || opts.Allow(v) }
+	for _, v := range starts {
+		if !g.Valid(v) {
+			continue
+		}
+		add(key{v, d.Start(g.IsSubject(v))})
+	}
+	for head := 0; head < len(queue); head++ {
+		k := queue[head]
+		for _, h := range g.Out(k.v) {
+			if !allowed(h.Other) {
+				continue
+			}
+			headSubj := g.IsSubject(h.Other)
+			for _, r := range labelFor(h, opts.View).Rights() {
+				if to := d.Move(k.st, Symbol{Right: r, Dir: Fwd}, headSubj); to != dead {
+					add(key{h.Other, to})
+				}
+			}
+		}
+		for _, h := range g.In(k.v) {
+			if !allowed(h.Other) {
+				continue
+			}
+			headSubj := g.IsSubject(h.Other)
+			for _, r := range labelFor(h, opts.View).Rights() {
+				if to := d.Move(k.st, Symbol{Right: r, Dir: Rev}, headSubj); to != dead {
+					add(key{h.Other, to})
+				}
+			}
+		}
+	}
+	return accepted
+}

@@ -1,0 +1,441 @@
+// Package repl implements an interactive shell for exploring Take-Grant
+// protection systems: build a graph, apply rules (optionally guarded by
+// the combined restriction), and ask the model's decision problems — with
+// undo, derivation explanations, and a decision log. cmd/tgrepl wires it
+// to a terminal; the Eval core is a pure function of session state for
+// testability.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/conspiracy"
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+	"takegrant/internal/specimens"
+	"takegrant/internal/steal"
+	"takegrant/internal/tgio"
+)
+
+// Session is one REPL's mutable state.
+type Session struct {
+	g       *graph.Graph
+	guarded bool
+	logged  *restrict.Logged
+	guard   *restrict.Guarded
+	history []*graph.Graph
+}
+
+// New returns an empty unguarded session.
+func New() *Session {
+	s := &Session{g: graph.New(nil)}
+	s.rearm()
+	return s
+}
+
+// Graph exposes the session's graph (for tests).
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// rearm rebuilds the guard and starts a fresh decision log (guard
+// toggles, session start).
+func (s *Session) rearm() {
+	s.logged = restrict.NewLogged(restrict.Unrestricted{})
+	s.refresh()
+}
+
+// refresh recomputes the classification for the current graph while
+// keeping the decision log (undo, graph edits).
+func (s *Session) refresh() {
+	var inner restrict.Restriction = restrict.Unrestricted{}
+	if s.guarded {
+		inner = restrict.NewCombined(hierarchy.AnalyzeRW(s.g))
+	}
+	s.logged.Inner = inner
+	s.guard = restrict.NewGuarded(s.g, s.logged)
+}
+
+// snapshot pushes an undo point.
+func (s *Session) snapshot() {
+	s.history = append(s.history, s.g.Clone())
+	if len(s.history) > 100 {
+		s.history = s.history[1:]
+	}
+}
+
+// Eval executes one command line and returns its output.
+func (s *Session) Eval(line string) (string, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return "", nil
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		return helpText, nil
+	case "subject", "object":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: %s <name>", cmd)
+		}
+		s.snapshot()
+		var err error
+		if cmd == "subject" {
+			_, err = s.g.AddSubject(args[0])
+		} else {
+			_, err = s.g.AddObject(args[0])
+		}
+		if err != nil {
+			s.undo()
+			return "", err
+		}
+		return "added " + cmd + " " + args[0], nil
+	case "edge", "implicit":
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: %s <src> <dst> <rights>", cmd)
+		}
+		src, err := s.vertex(args[0])
+		if err != nil {
+			return "", err
+		}
+		dst, err := s.vertex(args[1])
+		if err != nil {
+			return "", err
+		}
+		set, err := rights.ParseDeclaring(s.g.Universe(), args[2])
+		if err != nil {
+			return "", err
+		}
+		s.snapshot()
+		if cmd == "edge" {
+			err = s.g.AddExplicit(src, dst, set)
+		} else {
+			err = s.g.AddImplicit(src, dst, set)
+		}
+		if err != nil {
+			s.undo()
+			return "", err
+		}
+		return "ok", nil
+	case "take", "grant":
+		if len(args) != 4 {
+			return "", fmt.Errorf("usage: %s <x> <y> <z> <rights>", cmd)
+		}
+		x, y, z, set, err := s.xyzRights(args)
+		if err != nil {
+			return "", err
+		}
+		app := rules.Take(x, y, z, set)
+		if cmd == "grant" {
+			app = rules.Grant(x, y, z, set)
+		}
+		return s.apply(app)
+	case "create":
+		if len(args) != 4 {
+			return "", fmt.Errorf("usage: create <x> <name> subject|object <rights>")
+		}
+		x, err := s.vertex(args[0])
+		if err != nil {
+			return "", err
+		}
+		kind := graph.Object
+		switch args[2] {
+		case "subject":
+			kind = graph.Subject
+		case "object":
+		default:
+			return "", fmt.Errorf("kind must be subject or object")
+		}
+		set, err := rights.ParseDeclaring(s.g.Universe(), args[3])
+		if err != nil {
+			return "", err
+		}
+		return s.apply(rules.Create(x, args[1], kind, set))
+	case "remove":
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: remove <x> <y> <rights>")
+		}
+		x, err := s.vertex(args[0])
+		if err != nil {
+			return "", err
+		}
+		y, err := s.vertex(args[1])
+		if err != nil {
+			return "", err
+		}
+		set, err := rights.Parse(s.g.Universe(), args[2])
+		if err != nil {
+			return "", err
+		}
+		return s.apply(rules.Remove(x, y, set))
+	case "post", "pass", "spy", "find":
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: %s <x> <y> <z>", cmd)
+		}
+		x, err := s.vertex(args[0])
+		if err != nil {
+			return "", err
+		}
+		y, err := s.vertex(args[1])
+		if err != nil {
+			return "", err
+		}
+		z, err := s.vertex(args[2])
+		if err != nil {
+			return "", err
+		}
+		var app rules.Application
+		switch cmd {
+		case "post":
+			app = rules.Post(x, y, z)
+		case "pass":
+			app = rules.Pass(x, y, z)
+		case "spy":
+			app = rules.Spy(x, y, z)
+		case "find":
+			app = rules.Find(x, y, z)
+		}
+		return s.apply(app)
+	case "share", "steal", "explain":
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: %s <right> <x> <y>", cmd)
+		}
+		r, ok := s.g.Universe().Lookup(args[0])
+		if !ok {
+			return "", fmt.Errorf("unknown right %q", args[0])
+		}
+		x, err := s.vertex(args[1])
+		if err != nil {
+			return "", err
+		}
+		y, err := s.vertex(args[2])
+		if err != nil {
+			return "", err
+		}
+		switch cmd {
+		case "share":
+			return fmt.Sprintf("can.share = %v", analysis.CanShare(s.g, r, x, y)), nil
+		case "steal":
+			return fmt.Sprintf("can.steal = %v", steal.CanSteal(s.g, r, x, y)), nil
+		default:
+			d, err := analysis.SynthesizeShare(s.g, r, x, y)
+			if err != nil {
+				return "", err
+			}
+			clone := s.g.Clone()
+			if _, err := d.Replay(clone); err != nil {
+				return "", err
+			}
+			return strings.TrimRight(d.Format(clone), "\n"), nil
+		}
+	case "know", "knowf", "conspirators":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: %s <x> <y>", cmd)
+		}
+		x, err := s.vertex(args[0])
+		if err != nil {
+			return "", err
+		}
+		y, err := s.vertex(args[1])
+		if err != nil {
+			return "", err
+		}
+		switch cmd {
+		case "know":
+			return fmt.Sprintf("can.know = %v", analysis.CanKnow(s.g, x, y)), nil
+		case "knowf":
+			return fmt.Sprintf("can.know.f = %v", analysis.CanKnowF(s.g, x, y)), nil
+		default:
+			n, chain, ok := conspiracy.MinConspiratorsF(s.g, x, y)
+			if !ok {
+				return "no de facto flow", nil
+			}
+			names := make([]string, len(chain))
+			for i, v := range chain {
+				names[i] = s.g.Name(v)
+			}
+			return fmt.Sprintf("%d conspirators: %s", n, strings.Join(names, " → ")), nil
+		}
+	case "islands":
+		var parts []string
+		for _, island := range analysis.Islands(s.g) {
+			names := make([]string, len(island))
+			for i, v := range island {
+				names[i] = s.g.Name(v)
+			}
+			sort.Strings(names)
+			parts = append(parts, "{"+strings.Join(names, ",")+"}")
+		}
+		return strings.Join(parts, " "), nil
+	case "levels", "hasse":
+		return strings.TrimRight(hierarchy.AnalyzeRW(s.g).Hasse(), "\n"), nil
+	case "secure":
+		ok, v := hierarchy.Secure(s.g)
+		if ok {
+			return "secure", nil
+		}
+		return fmt.Sprintf("INSECURE: %s can come to know %s",
+			s.g.Name(v.Lower), s.g.Name(v.Upper)), nil
+	case "audit":
+		st := hierarchy.AnalyzeRW(s.g)
+		viols := restrict.NewCombined(st).Audit(s.g)
+		if len(viols) == 0 {
+			return "clean", nil
+		}
+		var parts []string
+		for _, v := range viols {
+			parts = append(parts, fmt.Sprintf("(%s) %s→%s", v.Rule,
+				s.g.Name(v.Src), s.g.Name(v.Dst)))
+		}
+		return strings.Join(parts, " "), nil
+	case "render":
+		return strings.TrimRight(tgio.Render(s.g), "\n"), nil
+	case "save":
+		return strings.TrimRight(tgio.WriteString(s.g), "\n"), nil
+	case "guard":
+		if len(args) != 1 || (args[0] != "on" && args[0] != "off") {
+			return "", fmt.Errorf("usage: guard on|off")
+		}
+		s.guarded = args[0] == "on"
+		s.rearm()
+		return "guard " + args[0] + " (classification recomputed)", nil
+	case "log":
+		if out := strings.TrimRight(s.logged.Format(s.g), "\n"); out != "" {
+			return out, nil
+		}
+		return "no guarded decisions yet", nil
+	case "load":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: load <specimen> (%s)",
+				strings.Join(specimens.List(), " | "))
+		}
+		g, err := specimens.Load(args[0])
+		if err != nil {
+			return "", err
+		}
+		s.snapshot()
+		s.g = g
+		s.refresh()
+		return fmt.Sprintf("loaded %s: %d vertices, %d edges",
+			args[0], g.NumVertices(), g.NumEdges()), nil
+	case "trace":
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: trace <right> <x> <y>")
+		}
+		r, ok := s.g.Universe().Lookup(args[0])
+		if !ok {
+			return "", fmt.Errorf("unknown right %q", args[0])
+		}
+		x, err := s.vertex(args[1])
+		if err != nil {
+			return "", err
+		}
+		y, err := s.vertex(args[2])
+		if err != nil {
+			return "", err
+		}
+		d, err := analysis.SynthesizeShare(s.g, r, x, y)
+		if err != nil {
+			return "", err
+		}
+		out, err := rules.Trace(s.g, d)
+		if err != nil {
+			return "", err
+		}
+		return strings.TrimRight(out, "\n"), nil
+	case "undo":
+		if !s.undo() {
+			return "", fmt.Errorf("nothing to undo")
+		}
+		return "undone", nil
+	default:
+		return "", fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (s *Session) undo() bool {
+	if len(s.history) == 0 {
+		return false
+	}
+	s.g = s.history[len(s.history)-1]
+	s.history = s.history[:len(s.history)-1]
+	s.refresh()
+	return true
+}
+
+func (s *Session) apply(app rules.Application) (string, error) {
+	s.snapshot()
+	if err := s.guard.Apply(app); err != nil {
+		s.undo()
+		return "", err
+	}
+	return "applied: " + app.Format(s.g), nil
+}
+
+func (s *Session) vertex(name string) (graph.ID, error) {
+	v, ok := s.g.Lookup(name)
+	if !ok {
+		return graph.None, fmt.Errorf("unknown vertex %q", name)
+	}
+	return v, nil
+}
+
+func (s *Session) xyzRights(args []string) (x, y, z graph.ID, set rights.Set, err error) {
+	if x, err = s.vertex(args[0]); err != nil {
+		return
+	}
+	if y, err = s.vertex(args[1]); err != nil {
+		return
+	}
+	if z, err = s.vertex(args[2]); err != nil {
+		return
+	}
+	set, err = rights.Parse(s.g.Universe(), args[3])
+	return
+}
+
+const helpText = `graph building:
+  subject <n> | object <n> | edge <src> <dst> <rights> | implicit <src> <dst> <rights>
+rules (guarded when guard is on):
+  take <x> <y> <z> <rights>    x takes (rights to z) from y
+  grant <x> <y> <z> <rights>   x grants (rights to z) to y
+  create <x> <name> subject|object <rights> | remove <x> <y> <rights>
+  post|pass|spy|find <x> <y> <z>
+queries:
+  share|steal|explain|trace <right> <x> <y>
+  know|knowf|conspirators <x> <y>
+  islands | levels | hasse | secure | audit | render | save
+session:
+  load <specimen> | guard on|off | log | undo | help | quit`
+
+// Run drives the session over a reader/writer pair until EOF or "quit".
+func Run(in io.Reader, out io.Writer) error {
+	s := New()
+	sc := bufio.NewScanner(in)
+	fmt.Fprintln(out, "takegrant repl — 'help' for commands")
+	for {
+		fmt.Fprint(out, "tg> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := sc.Text()
+		if strings.TrimSpace(line) == "quit" || strings.TrimSpace(line) == "exit" {
+			return nil
+		}
+		res, err := s.Eval(line)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			continue
+		}
+		if res != "" {
+			fmt.Fprintln(out, res)
+		}
+	}
+}

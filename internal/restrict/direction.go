@@ -1,0 +1,98 @@
+package restrict
+
+import (
+	"fmt"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+// Direction is a restriction of direction (§5, Lemma 5.3): the take or
+// grant edge being exercised must not point from a lower-level vertex to a
+// higher-level one — a vertex may only pull from, and push to, its own or
+// lower levels. Sound (no sequence of such rules ever moves a right across
+// levels upward-then-down) but not complete: even harmless rights can no
+// longer be passed to a lower level through an intermediary above it.
+type Direction struct {
+	L Leveler
+	// created tracks inherited levels for vertices minted mid-derivation.
+	created map[graph.ID]int
+}
+
+// NewDirection builds the restriction over a classification.
+func NewDirection(l Leveler) *Direction {
+	return &Direction{L: l, created: make(map[graph.ID]int)}
+}
+
+// Name implements Restriction.
+func (d *Direction) Name() string { return "direction" }
+
+func (d *Direction) levelOf(v graph.ID) int {
+	if l, ok := d.created[v]; ok {
+		return l
+	}
+	return d.L.LevelOf(v)
+}
+
+// Allows implements Restriction: the exercised t (x→y in take) or g (x→y
+// in grant) edge must not point upward.
+func (d *Direction) Allows(g *graph.Graph, app rules.Application) error {
+	switch app.Op {
+	case rules.OpTake, rules.OpGrant:
+		lx, ly := d.levelOf(app.X), d.levelOf(app.Y)
+		if lx >= 0 && ly >= 0 && d.L.HigherLevel(ly, lx) {
+			return fmt.Errorf("%s edge %d→%d points up the hierarchy", app.Op, app.X, app.Y)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// NoteCreate implements Restriction.
+func (d *Direction) NoteCreate(created, creator graph.ID) {
+	if l := d.levelOf(creator); l >= 0 {
+		d.created[created] = l
+	}
+}
+
+// Application is a restriction of application (§5, Lemma 5.4): take and
+// grant may not manipulate the listed rights. Sound (with r and w listed:
+// read/write authority can then never cross between levels at all) but
+// not complete — a higher-level vertex can no longer take read rights to a
+// lower-level document either.
+type Application struct {
+	// TakeForbidden and GrantForbidden are the rights the respective rule
+	// may not move.
+	TakeForbidden, GrantForbidden rights.Set
+}
+
+// NewApplication builds the restriction; the paper's example forbids both
+// rules from manipulating read and write.
+func NewApplication(takeForbidden, grantForbidden rights.Set) *Application {
+	return &Application{TakeForbidden: takeForbidden, GrantForbidden: grantForbidden}
+}
+
+// Name implements Restriction.
+func (a *Application) Name() string { return "application" }
+
+// Allows implements Restriction.
+func (a *Application) Allows(g *graph.Graph, app rules.Application) error {
+	switch app.Op {
+	case rules.OpTake:
+		if app.Rights.HasAny(a.TakeForbidden) {
+			return fmt.Errorf("take may not move %s",
+				app.Rights.Intersect(a.TakeForbidden).Format(g.Universe()))
+		}
+	case rules.OpGrant:
+		if app.Rights.HasAny(a.GrantForbidden) {
+			return fmt.Errorf("grant may not move %s",
+				app.Rights.Intersect(a.GrantForbidden).Format(g.Universe()))
+		}
+	}
+	return nil
+}
+
+// NoteCreate implements Restriction.
+func (a *Application) NoteCreate(graph.ID, graph.ID) {}

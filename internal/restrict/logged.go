@@ -1,0 +1,107 @@
+package restrict
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rules"
+)
+
+// Decision is one logged restriction verdict.
+type Decision struct {
+	// Seq numbers decisions from 1 in arrival order.
+	Seq int
+	// When the decision was made.
+	When time.Time
+	// App is the checked application.
+	App rules.Application
+	// Err is the refusal reason (nil for allowed).
+	Err error
+}
+
+// Allowed reports whether the decision permitted the application.
+func (d Decision) Allowed() bool { return d.Err == nil }
+
+// Logged wraps a restriction with an audit trail of every decision —
+// the reference-monitor logging a deployed system needs. Safe for
+// concurrent use.
+type Logged struct {
+	// Inner is the wrapped restriction.
+	Inner Restriction
+	// Clock supplies timestamps (defaults to time.Now); injectable for
+	// deterministic tests.
+	Clock func() time.Time
+
+	mu  sync.Mutex
+	log []Decision
+	seq int
+}
+
+// NewLogged wraps a restriction.
+func NewLogged(inner Restriction) *Logged {
+	return &Logged{Inner: inner}
+}
+
+// Name implements Restriction.
+func (l *Logged) Name() string { return "logged(" + l.Inner.Name() + ")" }
+
+// Allows implements Restriction, recording the verdict.
+func (l *Logged) Allows(g *graph.Graph, app rules.Application) error {
+	err := l.Inner.Allows(g, app)
+	now := time.Now
+	if l.Clock != nil {
+		now = l.Clock
+	}
+	l.mu.Lock()
+	l.seq++
+	l.log = append(l.log, Decision{Seq: l.seq, When: now(), App: app, Err: err})
+	l.mu.Unlock()
+	return err
+}
+
+// NoteCreate implements Restriction.
+func (l *Logged) NoteCreate(created, creator graph.ID) {
+	l.Inner.NoteCreate(created, creator)
+}
+
+// Log returns a copy of the decisions so far.
+func (l *Logged) Log() []Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Decision(nil), l.log...)
+}
+
+// Refusals returns only the refused decisions.
+func (l *Logged) Refusals() []Decision {
+	var out []Decision
+	for _, d := range l.Log() {
+		if !d.Allowed() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format renders the trail, one decision per line, using g for names.
+func (l *Logged) Format(g *graph.Graph) string {
+	var b strings.Builder
+	for _, d := range l.Log() {
+		verdict := "allow"
+		if !d.Allowed() {
+			verdict = "refuse: " + d.Err.Error()
+		}
+		fmt.Fprintf(&b, "%4d %s — %s\n", d.Seq, d.App.Format(g), verdict)
+	}
+	return b.String()
+}
+
+// Reset clears the trail.
+func (l *Logged) Reset() {
+	l.mu.Lock()
+	l.log = nil
+	l.seq = 0
+	l.mu.Unlock()
+}

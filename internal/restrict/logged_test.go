@@ -1,0 +1,101 @@
+package restrict
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+func TestLoggedRecordsDecisions(t *testing.T) {
+	c, _ := hierarchy.Linear(2, 1)
+	g := c.G
+	s := hierarchy.AnalyzeRW(g)
+	low := c.Members["L1"][0]
+	high := c.Members["L2"][0]
+	g.AddExplicit(low, high, rights.T)
+
+	logged := NewLogged(NewCombined(s))
+	fixed := time.Unix(42, 0)
+	logged.Clock = func() time.Time { return fixed }
+	guard := NewGuarded(g, logged)
+
+	guard.Apply(rules.Take(low, high, c.Bulletin["L2"], rights.W)) // allowed
+	guard.Apply(rules.Take(low, high, c.Bulletin["L2"], rights.R)) // refused
+
+	log := logged.Log()
+	if len(log) != 2 {
+		t.Fatalf("log = %v", log)
+	}
+	if !log[0].Allowed() || log[1].Allowed() {
+		t.Error("verdicts wrong")
+	}
+	if log[0].Seq != 1 || log[1].Seq != 2 || !log[1].When.Equal(fixed) {
+		t.Errorf("metadata wrong: %+v", log)
+	}
+	refusals := logged.Refusals()
+	if len(refusals) != 1 || refusals[0].Seq != 2 {
+		t.Errorf("refusals = %v", refusals)
+	}
+	text := logged.Format(g)
+	if !strings.Contains(text, "refuse:") || !strings.Contains(text, "allow") {
+		t.Errorf("format = %q", text)
+	}
+	logged.Reset()
+	if len(logged.Log()) != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestLoggedConcurrent(t *testing.T) {
+	c, _ := hierarchy.Linear(2, 1)
+	g := c.G
+	s := hierarchy.AnalyzeRW(g)
+	logged := NewLogged(NewCombined(s))
+	low := c.Members["L1"][0]
+	app := rules.Take(low, c.Members["L2"][0], c.Bulletin["L2"], rights.R)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				logged.Allows(g, app)
+			}
+		}()
+	}
+	wg.Wait()
+	log := logged.Log()
+	if len(log) != 400 {
+		t.Fatalf("len(log) = %d", len(log))
+	}
+	seen := make(map[int]bool)
+	for _, d := range log {
+		if seen[d.Seq] {
+			t.Fatalf("duplicate seq %d", d.Seq)
+		}
+		seen[d.Seq] = true
+	}
+}
+
+func TestLoggedDelegatesNoteCreate(t *testing.T) {
+	c, _ := hierarchy.Linear(2, 1)
+	g := c.G
+	s := hierarchy.AnalyzeRW(g)
+	logged := NewLogged(NewCombined(s))
+	guard := NewGuarded(g, logged)
+	high := c.Members["L2"][0]
+	if err := guard.Apply(rules.Create(high, "scratch", 1, rights.RW)); err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := g.Lookup("scratch")
+	low := c.Members["L1"][0]
+	// scratch inherited the high classification through the wrapper.
+	if err := logged.Allows(g, rules.Take(low, high, sc, rights.R)); err == nil {
+		t.Error("NoteCreate not delegated")
+	}
+}

@@ -1,0 +1,115 @@
+// Package restrict implements §5 of the paper: restrictions on the de jure
+// rules that keep a hierarchical protection graph secure while remaining as
+// permissive as possible.
+//
+// Three restriction families are provided:
+//
+//   - restrictions of direction (Lemma 5.3): the take/grant edge used must
+//     point in a prescribed direction relative to the hierarchy — sound but
+//     not complete;
+//   - restrictions of application (Lemma 5.4): take/grant may not
+//     manipulate certain rights — sound but not complete;
+//   - the paper's combined restriction (Theorem 5.5): a de jure rule is
+//     invalid iff it would complete (a) a read connection whose source is
+//     lower than its target, or (b) a write path whose source is higher —
+//     sound AND complete.
+//
+// Restrictions only ever constrain de jure rules. The de facto rules
+// merely exhibit flows the explicit authorities permit, so restricting
+// them cannot restrict information (§6).
+//
+// A Guarded executor wraps a graph with a restriction, rejecting invalid
+// applications; the per-application check for the combined restriction is
+// O(1) (Corollary 5.7) and the whole-graph audit is O(edges)
+// (Corollary 5.6).
+package restrict
+
+import (
+	"errors"
+	"fmt"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rules"
+)
+
+// ErrRefused marks errors caused by a restriction refusing an application
+// (as opposed to the rule's own preconditions failing). Test with
+// errors.Is.
+var ErrRefused = errors.New("refused by restriction")
+
+// Leveler supplies a security classification: a level index per vertex and
+// the strict partial order between levels. hierarchy.Structure implements
+// it. LevelOf returns -1 for unclassified vertices.
+type Leveler interface {
+	LevelOf(graph.ID) int
+	HigherLevel(i, j int) bool
+}
+
+// Restriction decides whether a de jure rule application may proceed.
+type Restriction interface {
+	// Name identifies the restriction in reports.
+	Name() string
+	// Allows returns nil when the application is permitted on g, or an
+	// error explaining the refusal. Only de jure applications are ever
+	// passed in.
+	Allows(g *graph.Graph, app rules.Application) error
+	// NoteCreate informs the restriction that a create minted vertex v
+	// on behalf of creator, so the vertex can inherit a classification.
+	NoteCreate(created, creator graph.ID)
+}
+
+// Unrestricted permits everything; the baseline.
+type Unrestricted struct{}
+
+// Name implements Restriction.
+func (Unrestricted) Name() string { return "unrestricted" }
+
+// Allows implements Restriction: always nil.
+func (Unrestricted) Allows(*graph.Graph, rules.Application) error { return nil }
+
+// NoteCreate implements Restriction.
+func (Unrestricted) NoteCreate(graph.ID, graph.ID) {}
+
+// Guarded executes rule applications against a graph under a restriction.
+type Guarded struct {
+	G *graph.Graph
+	R Restriction
+	// Applied counts successful applications; Refused counts rejections.
+	Applied, Refused int
+}
+
+// NewGuarded wraps a graph with a restriction.
+func NewGuarded(g *graph.Graph, r Restriction) *Guarded {
+	return &Guarded{G: g, R: r}
+}
+
+// Apply checks the restriction (for de jure rules), then applies the rule.
+func (e *Guarded) Apply(app rules.Application) error {
+	if app.Op.DeJure() {
+		if err := e.R.Allows(e.G, app); err != nil {
+			e.Refused++
+			return fmt.Errorf("restrict: %s refuses %s: %v: %w", e.R.Name(), app.Op, err, ErrRefused)
+		}
+	}
+	if err := app.Apply(e.G); err != nil {
+		return err
+	}
+	e.Applied++
+	if app.Op == rules.OpCreate {
+		if id, ok := e.G.Lookup(app.NewName); ok {
+			e.R.NoteCreate(id, app.X)
+		}
+	}
+	return nil
+}
+
+// Replay runs a derivation under the restriction, stopping at the first
+// refusal or failure.
+func (e *Guarded) Replay(d rules.Derivation) (int, error) {
+	for i := range d {
+		if err := e.Apply(d[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(d), nil
+}

@@ -1,0 +1,38 @@
+package restrict
+
+import (
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// ShareableUnder decides can•share *under the combined restriction*: can x
+// acquire an explicit α edge to y when every de jure rule application must
+// pass the guard?
+//
+// Theorem 5.5 makes this decidable by composition: the restriction is
+// complete for everything except read and write edges that would cross the
+// classification the wrong way, and sound in refusing exactly those. So:
+//
+//   - α ∉ {r, w}: restricted shareability coincides with unrestricted
+//     can•share (Theorem 2.3);
+//   - α = r: additionally the new edge x→y must not read up;
+//   - α = w: additionally it must not write down.
+//
+// Exactness caveat, verified by the exhaustive cross-check test: the guard
+// evaluates levels against the *initial* classification, and created
+// vertices inherit their creator's level — both mirrored here via the
+// Combined instance passed in.
+func ShareableUnder(g *graph.Graph, c *Combined, alpha rights.Right, x, y graph.ID) bool {
+	if !analysis.CanShare(g, alpha, x, y) {
+		return false
+	}
+	switch alpha {
+	case rights.Read:
+		return !c.lower(x, y)
+	case rights.Write:
+		return !c.lower(y, x)
+	default:
+		return true
+	}
+}

@@ -1,0 +1,252 @@
+// Package rights represents the finite set R of access rights that label the
+// edges of a Take-Grant protection graph.
+//
+// The model fixes four distinguished rights — read (r), write (w), take (t)
+// and grant (g) — whose semantics are built into the de jure and de facto
+// rewriting rules. Systems may declare additional, uninterpreted rights
+// (the paper's example is e, the right to execute a file); the rewriting
+// rules move such rights around but never give them any behaviour.
+//
+// A Set is a bitmask over a Universe. Sets are small values and are passed
+// by value everywhere; the zero Set is the empty label.
+package rights
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Right identifies a single right within a Universe. The four distinguished
+// rights occupy the low bit positions of every Universe.
+type Right uint8
+
+// The distinguished rights of the Take-Grant model.
+const (
+	Read  Right = iota // r: view the target's information
+	Write              // w: place information into the target
+	Take               // t: take rights the target holds
+	Grant              // g: grant rights the holder has to the target
+)
+
+// MaxRights is the capacity of a Universe: the four distinguished rights
+// plus up to 60 user-declared ones.
+const MaxRights = 64
+
+// numBuiltin is the number of pre-declared rights in every Universe.
+const numBuiltin = 4
+
+// builtinNames are the canonical single-letter names used by the paper.
+var builtinNames = [numBuiltin]string{"r", "w", "t", "g"}
+
+// Universe is a naming context for rights. All Sets compared or combined
+// together must come from the same Universe. The zero value is not usable;
+// call NewUniverse.
+type Universe struct {
+	names []string
+	index map[string]Right
+}
+
+// NewUniverse returns a Universe containing exactly the four distinguished
+// rights r, w, t, g.
+func NewUniverse() *Universe {
+	u := &Universe{
+		names: make([]string, numBuiltin, 8),
+		index: make(map[string]Right, 8),
+	}
+	for i, n := range builtinNames {
+		u.names[i] = n
+		u.index[n] = Right(i)
+	}
+	return u
+}
+
+// Declare adds a named right to the Universe and returns it. Declaring an
+// existing name returns the existing right. Names must be non-empty, contain
+// no whitespace or commas, and at most MaxRights rights may exist in total.
+func (u *Universe) Declare(name string) (Right, error) {
+	if name == "" {
+		return 0, fmt.Errorf("rights: empty right name")
+	}
+	if strings.ContainsAny(name, " \t\n\r,(){}") {
+		return 0, fmt.Errorf("rights: invalid right name %q", name)
+	}
+	if r, ok := u.index[name]; ok {
+		return r, nil
+	}
+	if len(u.names) >= MaxRights {
+		return 0, fmt.Errorf("rights: universe full (%d rights)", MaxRights)
+	}
+	r := Right(len(u.names))
+	u.names = append(u.names, name)
+	u.index[name] = r
+	return r, nil
+}
+
+// MustDeclare is Declare that panics on error; for static initialisation.
+func (u *Universe) MustDeclare(name string) Right {
+	r, err := u.Declare(name)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Lookup returns the right with the given name.
+func (u *Universe) Lookup(name string) (Right, bool) {
+	r, ok := u.index[name]
+	return r, ok
+}
+
+// Name returns the name of a right. Unknown rights format as "?<n>".
+func (u *Universe) Name(r Right) string {
+	if int(r) < len(u.names) {
+		return u.names[r]
+	}
+	return fmt.Sprintf("?%d", r)
+}
+
+// Len returns the number of declared rights.
+func (u *Universe) Len() int { return len(u.names) }
+
+// All returns every declared right in declaration order.
+func (u *Universe) All() []Right {
+	rs := make([]Right, len(u.names))
+	for i := range rs {
+		rs[i] = Right(i)
+	}
+	return rs
+}
+
+// Set is a subset of a Universe's rights, represented as a bitmask.
+// The zero value is the empty set.
+type Set uint64
+
+// Of builds a Set from individual rights.
+func Of(rs ...Right) Set {
+	var s Set
+	for _, r := range rs {
+		s |= 1 << r
+	}
+	return s
+}
+
+// Empty reports whether the set has no rights.
+func (s Set) Empty() bool { return s == 0 }
+
+// Has reports whether the set contains r.
+func (s Set) Has(r Right) bool { return s&(1<<r) != 0 }
+
+// HasAll reports whether every right in o is in s.
+func (s Set) HasAll(o Set) bool { return s&o == o }
+
+// HasAny reports whether s and o intersect.
+func (s Set) HasAny(o Set) bool { return s&o != 0 }
+
+// With returns s with r added.
+func (s Set) With(r Right) Set { return s | 1<<r }
+
+// Without returns s with r removed.
+func (s Set) Without(r Right) Set { return s &^ (1 << r) }
+
+// Union returns s ∪ o.
+func (s Set) Union(o Set) Set { return s | o }
+
+// Intersect returns s ∩ o.
+func (s Set) Intersect(o Set) Set { return s & o }
+
+// Minus returns s \ o.
+func (s Set) Minus(o Set) Set { return s &^ o }
+
+// Count returns the number of rights in the set.
+func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Rights returns the members of the set in ascending order.
+func (s Set) Rights() []Right {
+	out := make([]Right, 0, s.Count())
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, Right(i))
+		v &^= 1 << i
+	}
+	return out
+}
+
+// Format renders the set using the Universe's names, comma-separated in
+// declaration order, e.g. "r,w" or "t,g,e". The empty set renders as "∅".
+func (s Set) Format(u *Universe) string {
+	if s == 0 {
+		return "∅"
+	}
+	var b strings.Builder
+	first := true
+	for _, r := range s.Rights() {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(u.Name(r))
+		first = false
+	}
+	return b.String()
+}
+
+// Parse parses a comma-separated list of right names (whitespace tolerated)
+// into a Set. The empty string and "∅" parse to the empty set. Unknown
+// names are an error; use ParseDeclaring to auto-declare them.
+func Parse(u *Universe, text string) (Set, error) {
+	return parse(u, text, false)
+}
+
+// ParseDeclaring parses like Parse but declares unknown right names in u.
+func ParseDeclaring(u *Universe, text string) (Set, error) {
+	return parse(u, text, true)
+}
+
+func parse(u *Universe, text string, declare bool) (Set, error) {
+	text = strings.TrimSpace(text)
+	if text == "" || text == "∅" {
+		return 0, nil
+	}
+	var s Set
+	for _, part := range strings.Split(text, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			return 0, fmt.Errorf("rights: empty name in %q", text)
+		}
+		r, ok := u.Lookup(name)
+		if !ok {
+			if !declare {
+				return 0, fmt.Errorf("rights: unknown right %q", name)
+			}
+			var err error
+			r, err = u.Declare(name)
+			if err != nil {
+				return 0, err
+			}
+		}
+		s = s.With(r)
+	}
+	return s, nil
+}
+
+// Names returns the sorted names of the rights in s under u; mainly for
+// deterministic test output.
+func (s Set) Names(u *Universe) []string {
+	names := make([]string, 0, s.Count())
+	for _, r := range s.Rights() {
+		names = append(names, u.Name(r))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Convenience singletons for the distinguished rights.
+var (
+	R  = Of(Read)
+	W  = Of(Write)
+	T  = Of(Take)
+	G  = Of(Grant)
+	RW = Of(Read, Write)
+	TG = Of(Take, Grant)
+)

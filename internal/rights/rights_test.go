@@ -1,0 +1,209 @@
+package rights
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniverseBuiltins(t *testing.T) {
+	u := NewUniverse()
+	if u.Len() != 4 {
+		t.Fatalf("new universe has %d rights, want 4", u.Len())
+	}
+	for name, want := range map[string]Right{"r": Read, "w": Write, "t": Take, "g": Grant} {
+		got, ok := u.Lookup(name)
+		if !ok || got != want {
+			t.Errorf("Lookup(%q) = %v,%v want %v,true", name, got, ok, want)
+		}
+		if u.Name(want) != name {
+			t.Errorf("Name(%v) = %q want %q", want, u.Name(want), name)
+		}
+	}
+}
+
+func TestUniverseDeclare(t *testing.T) {
+	u := NewUniverse()
+	e, err := u.Declare("e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < numBuiltin {
+		t.Errorf("declared right %v collides with builtins", e)
+	}
+	e2, err := u.Declare("e")
+	if err != nil || e2 != e {
+		t.Errorf("re-Declare(e) = %v,%v want %v,nil", e2, err, e)
+	}
+	if u.Name(e) != "e" {
+		t.Errorf("Name(e) = %q", u.Name(e))
+	}
+}
+
+func TestUniverseDeclareInvalid(t *testing.T) {
+	u := NewUniverse()
+	for _, bad := range []string{"", "a b", "x,y", "p(q", "br{ce"} {
+		if _, err := u.Declare(bad); err == nil {
+			t.Errorf("Declare(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestUniverseFull(t *testing.T) {
+	u := NewUniverse()
+	for i := numBuiltin; i < MaxRights; i++ {
+		if _, err := u.Declare(fmt.Sprintf("x%d", i)); err != nil {
+			t.Fatalf("Declare #%d: %v", i, err)
+		}
+	}
+	if _, err := u.Declare("overflow"); err == nil {
+		t.Error("declaring 65th right succeeded, want error")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := Of(Read, Take)
+	if !s.Has(Read) || !s.Has(Take) || s.Has(Write) || s.Has(Grant) {
+		t.Errorf("Of(Read,Take) membership wrong: %v", s)
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d want 2", s.Count())
+	}
+	if got := s.With(Write); !got.Has(Write) || got.Count() != 3 {
+		t.Errorf("With(Write) = %v", got)
+	}
+	if got := s.Without(Read); got.Has(Read) || got.Count() != 1 {
+		t.Errorf("Without(Read) = %v", got)
+	}
+	if got := s.Union(Of(Grant)); got != Of(Read, Take, Grant) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := s.Intersect(Of(Read, Write)); got != Of(Read) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := s.Minus(Of(Read)); got != Of(Take) {
+		t.Errorf("Minus = %v", got)
+	}
+	if !s.HasAll(Of(Read)) || s.HasAll(Of(Read, Write)) {
+		t.Error("HasAll wrong")
+	}
+	if !s.HasAny(Of(Read, Write)) || s.HasAny(Of(Write, Grant)) {
+		t.Error("HasAny wrong")
+	}
+}
+
+func TestSetEmpty(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Count() != 0 || len(s.Rights()) != 0 {
+		t.Errorf("zero Set not empty: %v", s)
+	}
+	if Of(Read).Empty() {
+		t.Error("Of(Read).Empty() = true")
+	}
+}
+
+func TestFormatParse(t *testing.T) {
+	u := NewUniverse()
+	u.MustDeclare("e")
+	cases := []struct {
+		set  Set
+		text string
+	}{
+		{0, "∅"},
+		{Of(Read), "r"},
+		{Of(Read, Write), "r,w"},
+		{Of(Take, Grant), "t,g"},
+		{Of(Read, Write, Take, Grant), "r,w,t,g"},
+	}
+	for _, c := range cases {
+		if got := c.set.Format(u); got != c.text {
+			t.Errorf("Format(%v) = %q want %q", c.set, got, c.text)
+		}
+		back, err := Parse(u, c.text)
+		if err != nil || back != c.set {
+			t.Errorf("Parse(%q) = %v,%v want %v", c.text, back, err, c.set)
+		}
+	}
+}
+
+func TestParseWhitespaceAndErrors(t *testing.T) {
+	u := NewUniverse()
+	s, err := Parse(u, "  r , w ")
+	if err != nil || s != RW {
+		t.Errorf("Parse with spaces = %v,%v", s, err)
+	}
+	if _, err := Parse(u, "r,,w"); err == nil {
+		t.Error("Parse(r,,w) succeeded")
+	}
+	if _, err := Parse(u, "zz"); err == nil {
+		t.Error("Parse(zz) succeeded without declaration")
+	}
+	s, err = ParseDeclaring(u, "zz,r")
+	if err != nil || !s.Has(Read) || s.Count() != 2 {
+		t.Errorf("ParseDeclaring = %v,%v", s, err)
+	}
+	if _, ok := u.Lookup("zz"); !ok {
+		t.Error("ParseDeclaring did not declare zz")
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	u := NewUniverse()
+	for _, text := range []string{"", "   ", "∅"} {
+		s, err := Parse(u, text)
+		if err != nil || !s.Empty() {
+			t.Errorf("Parse(%q) = %v,%v want empty", text, s, err)
+		}
+	}
+}
+
+func TestRightsRoundTrip(t *testing.T) {
+	// Property: Of(s.Rights()...) == s for any mask within the universe width.
+	f := func(raw uint64) bool {
+		s := Set(raw)
+		return Of(s.Rights()...) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	type pair struct{ A, B uint16 }
+	// Keep masks small so they stay in-universe; algebra is width-independent.
+	checks := map[string]func(p pair) bool{
+		"union commutes": func(p pair) bool {
+			a, b := Set(p.A), Set(p.B)
+			return a.Union(b) == b.Union(a)
+		},
+		"intersect commutes": func(p pair) bool {
+			a, b := Set(p.A), Set(p.B)
+			return a.Intersect(b) == b.Intersect(a)
+		},
+		"minus disjoint": func(p pair) bool {
+			a, b := Set(p.A), Set(p.B)
+			return !a.Minus(b).HasAny(b)
+		},
+		"union superset": func(p pair) bool {
+			a, b := Set(p.A), Set(p.B)
+			return a.Union(b).HasAll(a) && a.Union(b).HasAll(b)
+		},
+		"demorgan-count": func(p pair) bool {
+			a, b := Set(p.A), Set(p.B)
+			return a.Union(b).Count() == a.Count()+b.Count()-a.Intersect(b).Count()
+		},
+	}
+	for name, f := range checks {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	u := NewUniverse()
+	got := Of(Grant, Read).Names(u)
+	if len(got) != 2 || got[0] != "g" || got[1] != "r" {
+		t.Errorf("Names = %v", got)
+	}
+}

@@ -1,0 +1,137 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func TestOpStringsAndKinds(t *testing.T) {
+	names := map[Op]string{
+		OpTake: "take", OpGrant: "grant", OpCreate: "create", OpRemove: "remove",
+		OpPost: "post", OpPass: "pass", OpSpy: "spy", OpFind: "find",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q", op, op.String())
+		}
+		if op.DeJure() == op.DeFacto() {
+			t.Errorf("%v both/neither de jure and de facto", op)
+		}
+	}
+	if Op(99).String() == "" || !strings.Contains(Op(99).String(), "99") {
+		t.Errorf("unknown op string = %q", Op(99).String())
+	}
+}
+
+func TestByNameRefsResolveInDeFactoRules(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	v := g.MustSubject("v")
+	g.AddExplicit(v, x, rights.W) // v writes x
+	// v creates m (r,w), then pass(x, v, m) with m by name, then
+	// post(x, m, v) with m by name.
+	d := Derivation{
+		Create(v, "m", graph.Object, rights.RW),
+		PassZRef(x, v, "m"),
+		PostYRef(x, "m", v),
+	}
+	if _, err := d.Replay(g); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !g.Implicit(x, v).Has(rights.Read) {
+		t.Error("by-name de facto chain did not exhibit the flow")
+	}
+}
+
+func TestByNameUnresolved(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustSubject("y")
+	app := TakeZRef(x, y, "ghost", rights.R)
+	if err := app.Check(g); err == nil {
+		t.Error("unresolved reference accepted")
+	}
+	if err := app.Apply(g); err == nil {
+		t.Error("unresolved apply accepted")
+	}
+}
+
+func TestFormatUnknownVertices(t *testing.T) {
+	g := graph.New(nil)
+	g.MustSubject("x")
+	app := Take(graph.None, 5, 9, rights.R)
+	text := app.Format(g)
+	if !strings.Contains(text, "?") || !strings.Contains(text, "#5") {
+		t.Errorf("format of invalid ids = %q", text)
+	}
+}
+
+func TestCheckRejectsUnknownOp(t *testing.T) {
+	g := graph.New(nil)
+	g.MustSubject("x")
+	app := Application{Op: Op(42), X: 0, Y: 0, Z: 0}
+	if err := app.Check(g); err == nil {
+		t.Error("unknown op checked")
+	}
+	if err := app.Apply(g); err == nil {
+		t.Error("unknown op applied")
+	}
+}
+
+func TestEnumerateGrantInstances(t *testing.T) {
+	// x -g-> y and x -r,w-> z: grants of r and of w.
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustSubject("y")
+	z := g.MustObject("z")
+	g.AddExplicit(x, y, rights.G)
+	g.AddExplicit(x, z, rights.RW)
+	apps := Enumerate(g, &EnumerateOptions{DeJure: true})
+	grants := 0
+	for _, a := range apps {
+		if a.Op == OpGrant {
+			grants++
+			if a.X != x || a.Y != y || a.Z != z {
+				t.Errorf("grant roles wrong: %+v", a)
+			}
+		}
+	}
+	// grant r, grant w to z; plus grant g?? x→y g itself: z-role must
+	// differ from y; x→y edge gives take/grant... only x→z carries rights
+	// to push. Expect exactly 2.
+	if grants != 2 {
+		t.Errorf("grants = %d (%v)", grants, apps)
+	}
+	// Non-subject actors enumerate nothing.
+	g2 := graph.New(nil)
+	o1 := g2.MustObject("o1")
+	o2 := g2.MustObject("o2")
+	g2.AddExplicit(o1, o2, rights.TG)
+	if apps := Enumerate(g2, &EnumerateOptions{DeJure: true, DeFacto: true, IncludeRemove: true}); len(apps) != 0 {
+		t.Errorf("object-only graph enumerated %v", apps)
+	}
+}
+
+func TestRemoveEmptySetNoop(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	g.AddExplicit(x, y, rights.R)
+	if err := Remove(x, y, 0).Apply(g); err != nil {
+		t.Errorf("empty remove errored: %v", err)
+	}
+	if g.Explicit(x, y) != rights.R {
+		t.Error("empty remove changed the label")
+	}
+}
+
+func TestRemoveInvalidTarget(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	if err := Remove(x, graph.ID(9), rights.R).Apply(g); err == nil {
+		t.Error("remove to invalid target accepted")
+	}
+}

@@ -1,0 +1,257 @@
+package rules
+
+import (
+	"fmt"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// EnumerateOptions bounds rule-instance enumeration.
+type EnumerateOptions struct {
+	// DeJure / DeFacto include the respective rule families.
+	DeJure  bool
+	DeFacto bool
+	// IncludeRemove includes remove instances (one per present right).
+	IncludeRemove bool
+	// CreateBudget is how many create instances (per subject, one subject
+	// and one object creation carrying t,g rights) to include; the explorer
+	// uses it to bound the infinite create space. 0 disables create.
+	CreateBudget int
+	// nameSeq mints fresh names for creates.
+	nameSeq int
+}
+
+// Enumerate lists every applicable rule instance in g under the options.
+// Take, grant and remove instances are emitted with singleton rights sets;
+// since δ may be any subset, singleton applications compose to any δ, so
+// the enumeration is complete for reachability purposes.
+func Enumerate(g *graph.Graph, opts *EnumerateOptions) []Application {
+	var out []Application
+	subjects := g.Subjects()
+	if opts.DeJure {
+		for _, x := range subjects {
+			// take: x -t-> y, y -δ-> z
+			for _, xy := range g.Out(x) {
+				if !xy.Explicit.Has(rights.Take) {
+					continue
+				}
+				y := xy.Other
+				for _, yz := range g.Out(y) {
+					z := yz.Other
+					if z == x || yz.Explicit.Empty() {
+						continue
+					}
+					for _, r := range yz.Explicit.Rights() {
+						if g.Explicit(x, z).Has(r) {
+							continue // no-op
+						}
+						out = append(out, Take(x, y, z, rights.Of(r)))
+					}
+				}
+			}
+			// grant: x -g-> y, x -δ-> z
+			for _, xy := range g.Out(x) {
+				if !xy.Explicit.Has(rights.Grant) {
+					continue
+				}
+				y := xy.Other
+				for _, xz := range g.Out(x) {
+					z := xz.Other
+					if z == y || xz.Explicit.Empty() {
+						continue
+					}
+					for _, r := range xz.Explicit.Rights() {
+						if g.Explicit(y, z).Has(r) {
+							continue
+						}
+						out = append(out, Grant(x, y, z, rights.Of(r)))
+					}
+				}
+			}
+			if opts.IncludeRemove {
+				for _, xy := range g.Out(x) {
+					for _, r := range xy.Explicit.Rights() {
+						out = append(out, Remove(x, xy.Other, rights.Of(r)))
+					}
+				}
+			}
+			for i := 0; i < opts.CreateBudget; i++ {
+				opts.nameSeq++
+				out = append(out,
+					Create(x, fmt.Sprintf("n%d_%d", x, opts.nameSeq), graph.Object, rights.Of(rights.Take, rights.Grant, rights.Read, rights.Write)))
+			}
+		}
+	}
+	if opts.DeFacto {
+		out = append(out, enumerateDeFacto(g)...)
+	}
+	return out
+}
+
+func enumerateDeFacto(g *graph.Graph) []Application {
+	var out []Application
+	emit := func(a Application) {
+		// Skip only when the flow is already recorded: an implicit edge,
+		// or an explicit read a subject can exercise itself. An object's
+		// explicit read edge carries no knowledge until a rule exhibits
+		// the flow.
+		if g.Implicit(a.X, a.Z).Has(rights.Read) {
+			return
+		}
+		if g.Explicit(a.X, a.Z).Has(rights.Read) && g.IsSubject(a.X) {
+			return
+		}
+		if a.Check(g) == nil {
+			out = append(out, a)
+		}
+	}
+	// post: x -r-> y <-w- z
+	for _, y := range g.Vertices() {
+		var readers, writers []graph.ID
+		for _, h := range g.In(y) {
+			if h.Combined().Has(rights.Read) && g.IsSubject(h.Other) {
+				readers = append(readers, h.Other)
+			}
+			if h.Combined().Has(rights.Write) && g.IsSubject(h.Other) {
+				writers = append(writers, h.Other)
+			}
+		}
+		for _, x := range readers {
+			for _, z := range writers {
+				if x != z {
+					emit(Post(x, y, z))
+				}
+			}
+		}
+	}
+	// pass/spy/find keyed on the middle vertex y.
+	for _, y := range g.Subjects() {
+		outs := g.Out(y)
+		for _, yx := range outs {
+			for _, yz := range outs {
+				if yx.Other == yz.Other {
+					continue
+				}
+				// pass: y -w-> x, y -r-> z
+				if yx.Combined().Has(rights.Write) && yz.Combined().Has(rights.Read) {
+					emit(Pass(yx.Other, y, yz.Other))
+				}
+			}
+		}
+		// spy: x -r-> y -r-> z
+		for _, xy := range g.In(y) {
+			x := xy.Other
+			if !xy.Combined().Has(rights.Read) || !g.IsSubject(x) {
+				continue
+			}
+			for _, yz := range outs {
+				if yz.Other != x && yz.Combined().Has(rights.Read) {
+					emit(Spy(x, y, yz.Other))
+				}
+			}
+		}
+		// find: y -w-> x, z -w-> y
+		for _, yx := range outs {
+			x := yx.Other
+			if !yx.Combined().Has(rights.Write) {
+				continue
+			}
+			for _, zy := range g.In(y) {
+				z := zy.Other
+				if z != x && zy.Combined().Has(rights.Write) && g.IsSubject(z) {
+					emit(Find(x, y, z))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DeFactoSet selects which de facto rules a closure may use. The paper
+// (§6) stresses that post/pass/spy/find are "merely one possible set";
+// subsets model weaker information-flow semantics.
+type DeFactoSet uint8
+
+// The individual rule flags.
+const (
+	UsePost DeFactoSet = 1 << iota
+	UsePass
+	UseSpy
+	UseFind
+	// AllDeFacto is the paper's full rule set.
+	AllDeFacto = UsePost | UsePass | UseSpy | UseFind
+)
+
+// Has reports whether the set includes the rule implementing op.
+func (s DeFactoSet) Has(op Op) bool {
+	switch op {
+	case OpPost:
+		return s&UsePost != 0
+	case OpPass:
+		return s&UsePass != 0
+	case OpSpy:
+		return s&UseSpy != 0
+	case OpFind:
+		return s&UseFind != 0
+	default:
+		return false
+	}
+}
+
+// String names the enabled rules, e.g. "post+spy".
+func (s DeFactoSet) String() string {
+	if s == 0 {
+		return "none"
+	}
+	names := ""
+	for _, p := range []struct {
+		f DeFactoSet
+		n string
+	}{{UsePost, "post"}, {UsePass, "pass"}, {UseSpy, "spy"}, {UseFind, "find"}} {
+		if s&p.f != 0 {
+			if names != "" {
+				names += "+"
+			}
+			names += p.n
+		}
+	}
+	return names
+}
+
+// DeFactoClosure repeatedly applies every applicable de facto rule until no
+// rule adds a new implicit edge, materialising the full information-flow
+// relation. It returns the number of implicit read edges added.
+//
+// The closure is a fixpoint: post/pass/spy/find consume combined labels, so
+// each added implicit edge can enable further rules. Termination is
+// guaranteed because only V² implicit read edges exist.
+func DeFactoClosure(g *graph.Graph) int {
+	return DeFactoClosureWith(g, AllDeFacto)
+}
+
+// DeFactoClosureWith is DeFactoClosure restricted to a rule subset.
+func DeFactoClosureWith(g *graph.Graph, set DeFactoSet) int {
+	added := 0
+	for {
+		apps := enumerateDeFacto(g)
+		progressed := false
+		for i := range apps {
+			if !set.Has(apps[i].Op) {
+				continue
+			}
+			// Re-check: an earlier application this round may have already
+			// added the same implicit edge.
+			if g.Implicit(apps[i].X, apps[i].Z).Has(rights.Read) {
+				continue
+			}
+			if err := apps[i].Apply(g); err == nil {
+				added++
+				progressed = true
+			}
+		}
+		if !progressed {
+			return added
+		}
+	}
+}

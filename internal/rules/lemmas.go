@@ -1,0 +1,124 @@
+package rules
+
+import (
+	"fmt"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// Namer mints vertex names that are fresh in a graph, for derivations that
+// use the create rule.
+type Namer struct {
+	g      *graph.Graph
+	prefix string
+	n      int
+}
+
+// NewNamer returns a Namer producing names "<prefix>1", "<prefix>2", …
+// skipping any name already present in g. Names minted are also reserved
+// against each other, so a Namer stays correct while its derivation is only
+// planned, not yet replayed.
+func NewNamer(g *graph.Graph, prefix string) *Namer {
+	return &Namer{g: g, prefix: prefix}
+}
+
+// Fresh returns the next unused name.
+func (nm *Namer) Fresh() string {
+	for {
+		nm.n++
+		name := fmt.Sprintf("%s%d", nm.prefix, nm.n)
+		if _, taken := nm.g.Lookup(name); !taken {
+			return name
+		}
+	}
+}
+
+// TakeChain returns the derivation by which chain[0] (a subject) acquires an
+// explicit t edge to every later vertex of a take-path
+// chain[0] -t-> chain[1] -t-> … -t-> chain[k]: for each i ≥ 2 the actor
+// takes (t to chain[i]) from chain[i-1]. A chain of length ≤ 2 needs no
+// steps (the direct edge already exists).
+func TakeChain(chain []graph.ID) Derivation {
+	var d Derivation
+	for i := 2; i < len(chain); i++ {
+		d = append(d, Take(chain[0], chain[i-1], chain[i], rights.T))
+	}
+	return d
+}
+
+// ReverseTake is the constructive content of the paper's Lemma 2.1: given
+// subjects holder and receiver with an explicit edge holder -t-> receiver,
+// and holder -α-> target explicit, the pair can conspire so that receiver
+// obtains α to target:
+//
+//  1. receiver creates (t,g to) fresh vertex v
+//  2. holder takes (g to v) from receiver
+//  3. holder grants (α to target) to v
+//  4. receiver takes (α to target) from v
+//
+// The returned derivation uses nm for the fresh vertex name.
+func ReverseTake(nm *Namer, holder, receiver, target graph.ID, alpha rights.Set) Derivation {
+	v := nm.Fresh()
+	create := Create(receiver, v, graph.Object, rights.TG)
+	return Derivation{
+		create,
+		TakeZRef(holder, receiver, v, rights.G),
+		GrantYRef(holder, v, target, alpha),
+		TakeYRef(receiver, v, target, alpha),
+	}
+}
+
+// ReverseGrant is the constructive content of Lemma 2.2: given subjects
+// receiver and holder with an explicit edge receiver -g-> holder, and
+// holder -α-> target explicit, receiver obtains α to target:
+//
+//  1. receiver creates (t,g to) fresh vertex v
+//  2. receiver grants (g to v) to holder
+//  3. holder grants (α to target) to v
+//  4. receiver takes (α to target) from v
+func ReverseGrant(nm *Namer, receiver, holder, target graph.ID, alpha rights.Set) Derivation {
+	v := nm.Fresh()
+	create := Create(receiver, v, graph.Object, rights.TG)
+	return Derivation{
+		create,
+		GrantZRef(receiver, holder, v, rights.G),
+		GrantYRef(holder, v, target, alpha),
+		TakeYRef(receiver, v, target, alpha),
+	}
+}
+
+// The four constructors below build applications whose Y or Z role refers
+// to a vertex that a preceding create in the same derivation will mint.
+// Because the ID is unknown until replay, the parameter is the sentinel
+// graph.None and Derivation replay resolves it by looking NewName up.
+
+// TakeZRef builds "x takes (δ to <zName>) from y" with z resolved by name.
+func TakeZRef(x, y graph.ID, zName string, delta rights.Set) Application {
+	return Application{Op: OpTake, X: x, Y: y, Z: graph.None, NewName: zName, Rights: delta}
+}
+
+// TakeYRef builds "x takes (δ to z) from <yName>" with y resolved by name.
+func TakeYRef(x graph.ID, yName string, z graph.ID, delta rights.Set) Application {
+	return Application{Op: OpTake, X: x, Y: graph.None, Z: z, NewName: yName, Rights: delta}
+}
+
+// GrantYRef builds "x grants (δ to z) to <yName>" with y resolved by name.
+func GrantYRef(x graph.ID, yName string, z graph.ID, delta rights.Set) Application {
+	return Application{Op: OpGrant, X: x, Y: graph.None, Z: z, NewName: yName, Rights: delta}
+}
+
+// GrantZRef builds "x grants (δ to <zName>) to y" with z resolved by name.
+func GrantZRef(x, y graph.ID, zName string, delta rights.Set) Application {
+	return Application{Op: OpGrant, X: x, Y: y, Z: graph.None, NewName: zName, Rights: delta}
+}
+
+// PostYRef builds post(x, <yName>, z) with the mailbox resolved by name.
+func PostYRef(x graph.ID, yName string, z graph.ID) Application {
+	return Application{Op: OpPost, X: x, Y: graph.None, Z: z, NewName: yName}
+}
+
+// PassZRef builds pass(x, y, <zName>) with z resolved by name.
+func PassZRef(x, y graph.ID, zName string) Application {
+	return Application{Op: OpPass, X: x, Y: y, Z: graph.None, NewName: zName}
+}

@@ -1,0 +1,374 @@
+// Package rules implements the graph-rewriting rules of the Take-Grant
+// Protection Model.
+//
+// The de jure rules (take, grant, create, remove — §2 of the paper) transfer
+// *authority*: they read and write only explicit edges, because explicit
+// edges are the authorities recorded by the protection system.
+//
+// The de facto rules (post, pass, spy, find — §3) exhibit *information*
+// flow: they add implicit read edges, may read implicit as well as explicit
+// edges, and never alter explicit authority. Implicit edges cannot be
+// manipulated by de jure rules.
+//
+// An Application is one concrete rule instance. Applications are checked
+// against the paper's preconditions before mutating a graph, and sequences
+// of applications (Derivation) are replayable, making them machine-checkable
+// witnesses for the decision procedures in the analysis package.
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// Op identifies a rewriting rule.
+type Op uint8
+
+const (
+	// OpTake: x takes (δ to z) from y. Preconditions: x subject;
+	// t ∈ explicit(x→y); δ ⊆ explicit(y→z); x, y, z distinct.
+	// Effect: explicit(x→z) ∪= δ.
+	OpTake Op = iota
+	// OpGrant: x grants (δ to z) to y. Preconditions: x subject;
+	// g ∈ explicit(x→y); δ ⊆ explicit(x→z); x, y, z distinct.
+	// Effect: explicit(y→z) ∪= δ.
+	OpGrant
+	// OpCreate: x creates (δ to) new vertex y. Precondition: x subject.
+	// Effect: new vertex y; explicit(x→y) = δ.
+	OpCreate
+	// OpRemove: x removes (α to) y. Preconditions: x subject; x ≠ y.
+	// Effect: explicit(x→y) \= α (edge vanishes when both labels empty).
+	OpRemove
+	// OpPost: mailbox flow. Preconditions: x, z subjects, x,y,z distinct;
+	// r ∈ combined(x→y); w ∈ combined(z→y).
+	// Effect: implicit(x→z) ∪= {r} — x learns what z writes into y.
+	OpPost
+	// OpPass: courier flow. Preconditions: y subject, x,y,z distinct;
+	// w ∈ combined(y→x); r ∈ combined(y→z).
+	// Effect: implicit(x→z) ∪= {r} — y reads z and writes it into x.
+	OpPass
+	// OpSpy: transitive read. Preconditions: x, y subjects, distinct x,y,z;
+	// r ∈ combined(x→y); r ∈ combined(y→z).
+	// Effect: implicit(x→z) ∪= {r}.
+	OpSpy
+	// OpFind: relayed write. Preconditions: y, z subjects, distinct x,y,z;
+	// w ∈ combined(y→x); w ∈ combined(z→y).
+	// Effect: implicit(x→z) ∪= {r} — z pushes through y into x.
+	OpFind
+)
+
+var opNames = [...]string{"take", "grant", "create", "remove", "post", "pass", "spy", "find"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// DeJure reports whether the rule transfers authority (take, grant, create,
+// remove) rather than exhibiting information flow.
+func (o Op) DeJure() bool { return o <= OpRemove }
+
+// DeFacto reports whether the rule is an information-flow rule.
+func (o Op) DeFacto() bool { return o > OpRemove }
+
+// Application is one concrete rule instance. The X, Y, Z roles match the
+// variable names in the paper's rule statements (see the Op constants).
+type Application struct {
+	Op      Op
+	X, Y, Z graph.ID
+	// Rights is δ for take/grant/create and α for remove; it is ignored by
+	// the de facto rules, which always add {r}.
+	Rights rights.Set
+	// NewName and NewKind describe the vertex minted by create. Look the
+	// vertex up by name after Apply to learn its ID.
+	NewName string
+	NewKind graph.Kind
+}
+
+// Take builds "x takes (δ to z) from y".
+func Take(x, y, z graph.ID, delta rights.Set) Application {
+	return Application{Op: OpTake, X: x, Y: y, Z: z, Rights: delta}
+}
+
+// Grant builds "x grants (δ to z) to y".
+func Grant(x, y, z graph.ID, delta rights.Set) Application {
+	return Application{Op: OpGrant, X: x, Y: y, Z: z, Rights: delta}
+}
+
+// Create builds "x creates (δ to) new {kind} vertex named name".
+func Create(x graph.ID, name string, kind graph.Kind, delta rights.Set) Application {
+	return Application{Op: OpCreate, X: x, NewName: name, NewKind: kind, Rights: delta}
+}
+
+// Remove builds "x removes (α to) y".
+func Remove(x, y graph.ID, alpha rights.Set) Application {
+	return Application{Op: OpRemove, X: x, Y: y, Rights: alpha}
+}
+
+// Post builds the post rule instance over (x, y, z).
+func Post(x, y, z graph.ID) Application { return Application{Op: OpPost, X: x, Y: y, Z: z} }
+
+// Pass builds the pass rule instance over (x, y, z).
+func Pass(x, y, z graph.ID) Application { return Application{Op: OpPass, X: x, Y: y, Z: z} }
+
+// Spy builds the spy rule instance over (x, y, z).
+func Spy(x, y, z graph.ID) Application { return Application{Op: OpSpy, X: x, Y: y, Z: z} }
+
+// Find builds the find rule instance over (x, y, z).
+func Find(x, y, z graph.ID) Application { return Application{Op: OpFind, X: x, Y: y, Z: z} }
+
+func distinct3(a, b, c graph.ID) bool { return a != b && a != c && b != c }
+
+// resolved returns a copy of the application with any by-name parameters
+// (graph.None placeholders referring to a vertex named NewName, used by
+// derivations that mention vertices a preceding create will mint) replaced
+// by the vertex's current ID.
+func (a Application) resolved(g *graph.Graph) (Application, error) {
+	if a.Op == OpCreate || a.NewName == "" {
+		return a, nil
+	}
+	if a.X != graph.None && a.Y != graph.None && a.Z != graph.None {
+		return a, nil
+	}
+	id, ok := g.Lookup(a.NewName)
+	if !ok {
+		return a, fmt.Errorf("%s: unresolved vertex %q", a.Op, a.NewName)
+	}
+	if a.X == graph.None {
+		a.X = id
+	}
+	if a.Y == graph.None {
+		a.Y = id
+	}
+	if a.Z == graph.None {
+		a.Z = id
+	}
+	return a, nil
+}
+
+// Check verifies the rule's preconditions against g without mutating it.
+func (a Application) Check(g *graph.Graph) error {
+	r, err := a.resolved(g)
+	if err != nil {
+		return err
+	}
+	return r.check(g)
+}
+
+func (a *Application) check(g *graph.Graph) error {
+	switch a.Op {
+	case OpTake:
+		if !distinct3(a.X, a.Y, a.Z) {
+			return fmt.Errorf("take: vertices not distinct")
+		}
+		if !g.IsSubject(a.X) {
+			return fmt.Errorf("take: actor %s is not a subject", safeName(g, a.X))
+		}
+		if !g.Explicit(a.X, a.Y).Has(rights.Take) {
+			return fmt.Errorf("take: %s holds no t to %s", safeName(g, a.X), safeName(g, a.Y))
+		}
+		if a.Rights.Empty() || !g.Explicit(a.Y, a.Z).HasAll(a.Rights) {
+			return fmt.Errorf("take: %s→%s lacks rights %s", safeName(g, a.Y), safeName(g, a.Z),
+				a.Rights.Format(g.Universe()))
+		}
+	case OpGrant:
+		if !distinct3(a.X, a.Y, a.Z) {
+			return fmt.Errorf("grant: vertices not distinct")
+		}
+		if !g.IsSubject(a.X) {
+			return fmt.Errorf("grant: actor %s is not a subject", safeName(g, a.X))
+		}
+		if !g.Explicit(a.X, a.Y).Has(rights.Grant) {
+			return fmt.Errorf("grant: %s holds no g to %s", safeName(g, a.X), safeName(g, a.Y))
+		}
+		if a.Rights.Empty() || !g.Explicit(a.X, a.Z).HasAll(a.Rights) {
+			return fmt.Errorf("grant: %s→%s lacks rights %s", safeName(g, a.X), safeName(g, a.Z),
+				a.Rights.Format(g.Universe()))
+		}
+	case OpCreate:
+		if !g.IsSubject(a.X) {
+			return fmt.Errorf("create: actor %s is not a subject", safeName(g, a.X))
+		}
+		if _, taken := g.Lookup(a.NewName); taken {
+			return fmt.Errorf("create: name %q already in use", a.NewName)
+		}
+	case OpRemove:
+		if a.X == a.Y {
+			return fmt.Errorf("remove: vertices not distinct")
+		}
+		if !g.IsSubject(a.X) {
+			return fmt.Errorf("remove: actor %s is not a subject", safeName(g, a.X))
+		}
+		if !g.Valid(a.Y) {
+			return fmt.Errorf("remove: invalid target")
+		}
+	case OpPost:
+		if !distinct3(a.X, a.Y, a.Z) {
+			return fmt.Errorf("post: vertices not distinct")
+		}
+		if !g.IsSubject(a.X) || !g.IsSubject(a.Z) {
+			return fmt.Errorf("post: x and z must be subjects")
+		}
+		if !g.Combined(a.X, a.Y).Has(rights.Read) {
+			return fmt.Errorf("post: %s cannot read %s", safeName(g, a.X), safeName(g, a.Y))
+		}
+		if !g.Combined(a.Z, a.Y).Has(rights.Write) {
+			return fmt.Errorf("post: %s cannot write %s", safeName(g, a.Z), safeName(g, a.Y))
+		}
+	case OpPass:
+		if !distinct3(a.X, a.Y, a.Z) {
+			return fmt.Errorf("pass: vertices not distinct")
+		}
+		if !g.IsSubject(a.Y) {
+			return fmt.Errorf("pass: y must be a subject")
+		}
+		if !g.Combined(a.Y, a.X).Has(rights.Write) {
+			return fmt.Errorf("pass: %s cannot write %s", safeName(g, a.Y), safeName(g, a.X))
+		}
+		if !g.Combined(a.Y, a.Z).Has(rights.Read) {
+			return fmt.Errorf("pass: %s cannot read %s", safeName(g, a.Y), safeName(g, a.Z))
+		}
+	case OpSpy:
+		if !distinct3(a.X, a.Y, a.Z) {
+			return fmt.Errorf("spy: vertices not distinct")
+		}
+		if !g.IsSubject(a.X) || !g.IsSubject(a.Y) {
+			return fmt.Errorf("spy: x and y must be subjects")
+		}
+		if !g.Combined(a.X, a.Y).Has(rights.Read) {
+			return fmt.Errorf("spy: %s cannot read %s", safeName(g, a.X), safeName(g, a.Y))
+		}
+		if !g.Combined(a.Y, a.Z).Has(rights.Read) {
+			return fmt.Errorf("spy: %s cannot read %s", safeName(g, a.Y), safeName(g, a.Z))
+		}
+	case OpFind:
+		if !distinct3(a.X, a.Y, a.Z) {
+			return fmt.Errorf("find: vertices not distinct")
+		}
+		if !g.IsSubject(a.Y) || !g.IsSubject(a.Z) {
+			return fmt.Errorf("find: y and z must be subjects")
+		}
+		if !g.Combined(a.Y, a.X).Has(rights.Write) {
+			return fmt.Errorf("find: %s cannot write %s", safeName(g, a.Y), safeName(g, a.X))
+		}
+		if !g.Combined(a.Z, a.Y).Has(rights.Write) {
+			return fmt.Errorf("find: %s cannot write %s", safeName(g, a.Z), safeName(g, a.Y))
+		}
+	default:
+		return fmt.Errorf("rules: unknown op %v", a.Op)
+	}
+	return nil
+}
+
+// Apply checks the preconditions and performs the rewrite. For create, look
+// the new vertex up by its NewName afterwards.
+func (a Application) Apply(g *graph.Graph) error {
+	r, err := a.resolved(g)
+	if err != nil {
+		return err
+	}
+	if err := r.check(g); err != nil {
+		return err
+	}
+	switch r.Op {
+	case OpTake:
+		return g.AddExplicit(r.X, r.Z, r.Rights)
+	case OpGrant:
+		return g.AddExplicit(r.Y, r.Z, r.Rights)
+	case OpCreate:
+		var id graph.ID
+		var err error
+		if r.NewKind == graph.Subject {
+			id, err = g.AddSubject(r.NewName)
+		} else {
+			id, err = g.AddObject(r.NewName)
+		}
+		if err != nil {
+			return err
+		}
+		return g.AddExplicit(r.X, id, r.Rights)
+	case OpRemove:
+		return g.RemoveExplicit(r.X, r.Y, r.Rights)
+	case OpPost, OpPass, OpSpy, OpFind:
+		return g.AddImplicit(r.X, r.Z, rights.R)
+	}
+	return fmt.Errorf("rules: unknown op %v", r.Op)
+}
+
+// Format renders the application in the paper's reading, e.g.
+// "p takes (r to f) from q" or "spy(p, q, f)".
+func (a Application) Format(g *graph.Graph) string {
+	if r, err := a.resolved(g); err == nil {
+		a = r
+	}
+	u := g.Universe()
+	switch a.Op {
+	case OpTake:
+		return fmt.Sprintf("%s takes (%s to %s) from %s",
+			safeName(g, a.X), a.Rights.Format(u), safeName(g, a.Z), safeName(g, a.Y))
+	case OpGrant:
+		return fmt.Sprintf("%s grants (%s to %s) to %s",
+			safeName(g, a.X), a.Rights.Format(u), safeName(g, a.Z), safeName(g, a.Y))
+	case OpCreate:
+		return fmt.Sprintf("%s creates (%s to) new %s %s",
+			safeName(g, a.X), a.Rights.Format(u), a.NewKind, a.NewName)
+	case OpRemove:
+		return fmt.Sprintf("%s removes (%s to) %s",
+			safeName(g, a.X), a.Rights.Format(u), safeName(g, a.Y))
+	default:
+		return fmt.Sprintf("%s(%s, %s, %s)", a.Op,
+			safeName(g, a.X), safeName(g, a.Y), safeName(g, a.Z))
+	}
+}
+
+func safeName(g *graph.Graph, id graph.ID) string {
+	if g.Valid(id) {
+		return g.Name(id)
+	}
+	if id == graph.None {
+		return "?"
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+// Derivation is a replayable sequence of rule applications: the witness
+// format produced by the analysis package's constructive decision
+// procedures.
+type Derivation []Application
+
+// Replay applies each rule in order to g, stopping at the first failure.
+// It returns the number of rules successfully applied.
+func (d Derivation) Replay(g *graph.Graph) (int, error) {
+	for i := range d {
+		if err := d[i].Apply(g); err != nil {
+			return i, fmt.Errorf("step %d (%s): %w", i+1, d[i].Format(g), err)
+		}
+	}
+	return len(d), nil
+}
+
+// Format renders the derivation as a numbered listing. The graph supplies
+// vertex names; pass the graph state from *before* replay — names of
+// created vertices render from the application itself.
+func (d Derivation) Format(g *graph.Graph) string {
+	var b strings.Builder
+	for i, a := range d {
+		fmt.Fprintf(&b, "%2d. %s\n", i+1, a.Format(g))
+	}
+	return b.String()
+}
+
+// DeJureOnly reports whether every rule in the derivation is de jure.
+func (d Derivation) DeJureOnly() bool {
+	for _, a := range d {
+		if !a.Op.DeJure() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,532 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// paperTakeFixture: x -t-> y -αβ-> z as in the paper's take diagram.
+func paperTakeFixture() (*graph.Graph, graph.ID, graph.ID, graph.ID) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	z := g.MustObject("z")
+	g.AddExplicit(x, y, rights.T)
+	g.AddExplicit(y, z, rights.RW)
+	return g, x, y, z
+}
+
+func TestTakeRule(t *testing.T) {
+	g, x, y, z := paperTakeFixture()
+	a := Take(x, y, z, rights.R)
+	if err := a.Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Explicit(x, z).Has(rights.Read) {
+		t.Error("take did not add x→z r")
+	}
+	// y→z label unchanged; x→y unchanged.
+	if g.Explicit(y, z) != rights.RW || g.Explicit(x, y) != rights.T {
+		t.Error("take altered other labels")
+	}
+}
+
+func TestTakeSubsetOnly(t *testing.T) {
+	g, x, y, z := paperTakeFixture()
+	a := Take(x, y, z, rights.Of(rights.Grant)) // y→z has only r,w
+	if err := a.Apply(g); err == nil {
+		t.Error("take of right not present succeeded")
+	}
+	// δ = {r,w} ⊆ β works in one application.
+	a = Take(x, y, z, rights.RW)
+	if err := a.Apply(g); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTakeRequiresSubjectActor(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustObject("x")
+	y := g.MustSubject("y")
+	z := g.MustObject("z")
+	g.AddExplicit(x, y, rights.T)
+	g.AddExplicit(y, z, rights.R)
+	if err := Take(x, y, z, rights.R).Apply(g); err == nil {
+		t.Error("object actor allowed to take")
+	}
+}
+
+func TestTakeRequiresExplicitT(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustSubject("y")
+	z := g.MustObject("z")
+	g.AddImplicit(x, y, rights.R) // implicit r, no explicit t
+	g.AddExplicit(y, z, rights.R)
+	if err := Take(x, y, z, rights.R).Apply(g); err == nil {
+		t.Error("take allowed without explicit t edge")
+	}
+	// Implicit rights on y→z cannot be taken either.
+	g2 := graph.New(nil)
+	x2, y2, z2 := g2.MustSubject("x"), g2.MustSubject("y"), g2.MustObject("z")
+	g2.AddExplicit(x2, y2, rights.T)
+	g2.AddImplicit(y2, z2, rights.R)
+	if err := Take(x2, y2, z2, rights.R).Apply(g2); err == nil {
+		t.Error("take moved an implicit right")
+	}
+}
+
+func TestGrantRule(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	z := g.MustObject("z")
+	g.AddExplicit(x, y, rights.G)
+	g.AddExplicit(x, z, rights.RW)
+	if err := Grant(x, y, z, rights.W).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Explicit(y, z).Has(rights.Write) || g.Explicit(y, z).Has(rights.Read) {
+		t.Errorf("grant result wrong: %v", g.Explicit(y, z))
+	}
+}
+
+func TestGrantPreconditions(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	z := g.MustObject("z")
+	g.AddExplicit(x, z, rights.R)
+	if err := Grant(x, y, z, rights.R).Apply(g); err == nil {
+		t.Error("grant without g edge succeeded")
+	}
+	g.AddExplicit(x, y, rights.T) // t, not g
+	if err := Grant(x, y, z, rights.R).Apply(g); err == nil {
+		t.Error("grant with only t edge succeeded")
+	}
+	g.AddExplicit(x, y, rights.G)
+	if err := Grant(x, y, z, rights.W).Apply(g); err == nil {
+		t.Error("grant of right not held succeeded")
+	}
+}
+
+func TestDistinctnessRequired(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustSubject("y")
+	g.AddExplicit(x, y, rights.Of(rights.Take, rights.Grant, rights.Read, rights.Write))
+	for _, a := range []Application{
+		Take(x, y, x, rights.R),
+		Take(x, x, y, rights.R),
+		Grant(x, y, y, rights.R),
+		Remove(x, x, rights.R),
+		Post(x, y, x),
+		Spy(x, x, y),
+	} {
+		if err := a.Apply(g); err == nil {
+			t.Errorf("%s with repeated vertices succeeded", a.Op)
+		}
+	}
+}
+
+func TestCreateRule(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	a := Create(x, "v", graph.Object, rights.TG)
+	if err := a.Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := g.Lookup("v")
+	if !ok || !g.IsObject(v) {
+		t.Fatal("created vertex wrong")
+	}
+	if g.Explicit(x, v) != rights.TG {
+		t.Error("create edge label wrong")
+	}
+	// duplicate name
+	if err := Create(x, "v", graph.Subject, 0).Apply(g); err == nil {
+		t.Error("duplicate create name succeeded")
+	}
+	// subject creation
+	b := Create(x, "s2", graph.Subject, rights.R)
+	if err := b.Apply(g); err != nil {
+		t.Error("subject create failed")
+	} else if s2, ok := g.Lookup("s2"); !ok || !g.IsSubject(s2) {
+		t.Error("created subject wrong")
+	}
+	// objects cannot create
+	o := g.MustObject("obj")
+	if err := Create(o, "w", graph.Object, 0).Apply(g); err == nil {
+		t.Error("object actor allowed to create")
+	}
+}
+
+func TestRemoveRule(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	g.AddExplicit(x, y, rights.RW)
+	if err := Remove(x, y, rights.R).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Explicit(x, y) != rights.W {
+		t.Errorf("after remove: %v", g.Explicit(x, y))
+	}
+	// Removing a superset empties the edge.
+	if err := Remove(x, y, rights.Of(rights.Write, rights.Take)).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Error("edge not deleted")
+	}
+}
+
+func TestPostRule(t *testing.T) {
+	// x -r-> y <-w- z, x and z subjects: implicit x→z r.
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	z := g.MustSubject("z")
+	g.AddExplicit(x, y, rights.R)
+	g.AddExplicit(z, y, rights.W)
+	if err := Post(x, y, z).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Implicit(x, z).Has(rights.Read) {
+		t.Error("post did not add implicit edge")
+	}
+	if !g.Explicit(x, z).Empty() {
+		t.Error("post added explicit authority")
+	}
+}
+
+func TestPostRequiresBothSubjects(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	z := g.MustObject("z") // writer is an object: cannot act
+	g.AddExplicit(x, y, rights.R)
+	g.AddExplicit(z, y, rights.W)
+	if err := Post(x, y, z).Apply(g); err == nil {
+		t.Error("post with object writer succeeded")
+	}
+}
+
+func TestPassRule(t *testing.T) {
+	// y -w-> x, y -r-> z with y subject: implicit x→z r; x,z may be objects.
+	g := graph.New(nil)
+	x := g.MustObject("x")
+	y := g.MustSubject("y")
+	z := g.MustObject("z")
+	g.AddExplicit(y, x, rights.W)
+	g.AddExplicit(y, z, rights.R)
+	if err := Pass(x, y, z).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Implicit(x, z).Has(rights.Read) {
+		t.Error("pass did not add implicit edge")
+	}
+}
+
+func TestSpyRule(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustSubject("y")
+	z := g.MustObject("z")
+	g.AddExplicit(x, y, rights.R)
+	g.AddExplicit(y, z, rights.R)
+	if err := Spy(x, y, z).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Implicit(x, z).Has(rights.Read) {
+		t.Error("spy did not add implicit edge")
+	}
+	// spy with object y fails
+	g2 := graph.New(nil)
+	x2, y2, z2 := g2.MustSubject("x"), g2.MustObject("y"), g2.MustObject("z")
+	g2.AddExplicit(x2, y2, rights.R)
+	g2.AddExplicit(y2, z2, rights.R)
+	if err := Spy(x2, y2, z2).Apply(g2); err == nil {
+		t.Error("spy through object succeeded")
+	}
+}
+
+func TestFindRule(t *testing.T) {
+	// y -w-> x, z -w-> y with y,z subjects: implicit x→z r.
+	g := graph.New(nil)
+	x := g.MustObject("x")
+	y := g.MustSubject("y")
+	z := g.MustSubject("z")
+	g.AddExplicit(y, x, rights.W)
+	g.AddExplicit(z, y, rights.W)
+	if err := Find(x, y, z).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Implicit(x, z).Has(rights.Read) {
+		t.Error("find did not add implicit edge")
+	}
+}
+
+func TestDeFactoRulesUseImplicitEdges(t *testing.T) {
+	// spy over an implicit first hop.
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustSubject("y")
+	z := g.MustObject("z")
+	g.AddImplicit(x, y, rights.R)
+	g.AddExplicit(y, z, rights.R)
+	if err := Spy(x, y, z).Apply(g); err != nil {
+		t.Errorf("spy over implicit edge: %v", err)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	g, x, y, z := paperTakeFixture()
+	got := Take(x, y, z, rights.R).Format(g)
+	if got != "x takes (r to z) from y" {
+		t.Errorf("take format = %q", got)
+	}
+	got = Grant(x, y, z, rights.RW).Format(g)
+	if got != "x grants (r,w to z) to y" {
+		t.Errorf("grant format = %q", got)
+	}
+	got = Create(x, "v", graph.Subject, rights.TG).Format(g)
+	if got != "x creates (t,g to) new subject v" {
+		t.Errorf("create format = %q", got)
+	}
+	got = Post(x, y, z).Format(g)
+	if got != "post(x, y, z)" {
+		t.Errorf("post format = %q", got)
+	}
+}
+
+func TestDerivationReplay(t *testing.T) {
+	g, x, y, z := paperTakeFixture()
+	d := Derivation{
+		Take(x, y, z, rights.W),
+		Create(x, "m", graph.Object, rights.Of(rights.Write)),
+	}
+	n, err := d.Replay(g)
+	if err != nil || n != 2 {
+		t.Fatalf("replay = %d,%v", n, err)
+	}
+	if !g.Explicit(x, z).Has(rights.Write) {
+		t.Error("replay missed take")
+	}
+	// A failing step reports its index.
+	bad := Derivation{Take(x, z, y, rights.R)} // x has no t to z... actually x→z has w only
+	if _, err := bad.Replay(g); err == nil {
+		t.Error("bad replay succeeded")
+	}
+}
+
+func TestDeJureOnly(t *testing.T) {
+	g, x, y, z := paperTakeFixture()
+	_ = g
+	if !(Derivation{Take(x, y, z, rights.R)}).DeJureOnly() {
+		t.Error("take not de jure")
+	}
+	if (Derivation{Post(x, y, z)}).DeJureOnly() {
+		t.Error("post counted as de jure")
+	}
+}
+
+func TestLemma21ReverseTake(t *testing.T) {
+	// holder -t-> receiver, holder -r-> target: receiver ends with r to target.
+	g := graph.New(nil)
+	holder := g.MustSubject("holder")
+	receiver := g.MustSubject("receiver")
+	target := g.MustObject("target")
+	g.AddExplicit(holder, receiver, rights.T)
+	g.AddExplicit(holder, target, rights.R)
+	d := ReverseTake(NewNamer(g, "tmp"), holder, receiver, target, rights.R)
+	if _, err := d.Replay(g); err != nil {
+		t.Fatalf("lemma 2.1 replay: %v\n%s", err, d.Format(g))
+	}
+	if !g.Explicit(receiver, target).Has(rights.Read) {
+		t.Error("receiver did not obtain the right")
+	}
+}
+
+func TestLemma22ReverseGrant(t *testing.T) {
+	// receiver -g-> holder, holder -r-> target: receiver ends with r to target.
+	g := graph.New(nil)
+	receiver := g.MustSubject("receiver")
+	holder := g.MustSubject("holder")
+	target := g.MustObject("target")
+	g.AddExplicit(receiver, holder, rights.G)
+	g.AddExplicit(holder, target, rights.R)
+	d := ReverseGrant(NewNamer(g, "tmp"), receiver, holder, target, rights.R)
+	if _, err := d.Replay(g); err != nil {
+		t.Fatalf("lemma 2.2 replay: %v\n%s", err, d.Format(g))
+	}
+	if !g.Explicit(receiver, target).Has(rights.Read) {
+		t.Error("receiver did not obtain the right")
+	}
+}
+
+func TestLemmasRequireSubjectEndpoints(t *testing.T) {
+	// With an object holder the derivation must fail to replay.
+	g := graph.New(nil)
+	holder := g.MustObject("holder")
+	receiver := g.MustSubject("receiver")
+	target := g.MustObject("target")
+	g.AddExplicit(holder, receiver, rights.T)
+	g.AddExplicit(holder, target, rights.R)
+	d := ReverseTake(NewNamer(g, "tmp"), holder, receiver, target, rights.R)
+	if _, err := d.Replay(g); err == nil {
+		t.Error("lemma 2.1 replayed with object holder")
+	}
+}
+
+func TestTakeChain(t *testing.T) {
+	g := graph.New(nil)
+	p := g.MustSubject("p")
+	v1 := g.MustObject("v1")
+	v2 := g.MustObject("v2")
+	v3 := g.MustSubject("v3")
+	g.AddExplicit(p, v1, rights.T)
+	g.AddExplicit(v1, v2, rights.T)
+	g.AddExplicit(v2, v3, rights.T)
+	d := TakeChain([]graph.ID{p, v1, v2, v3})
+	if len(d) != 2 {
+		t.Fatalf("chain length = %d", len(d))
+	}
+	if _, err := d.Replay(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Explicit(p, v3).Has(rights.Take) {
+		t.Error("chain did not deliver t to the end")
+	}
+	// Degenerate chains need no steps.
+	if len(TakeChain([]graph.ID{p, v1})) != 0 || len(TakeChain([]graph.ID{p})) != 0 {
+		t.Error("short chains produced steps")
+	}
+}
+
+func TestNamerSkipsTakenNames(t *testing.T) {
+	g := graph.New(nil)
+	g.MustSubject("tmp1")
+	nm := NewNamer(g, "tmp")
+	if got := nm.Fresh(); got != "tmp2" {
+		t.Errorf("Fresh = %q", got)
+	}
+	if got := nm.Fresh(); got != "tmp3" {
+		t.Errorf("second Fresh = %q", got)
+	}
+}
+
+func TestEnumerateDeJure(t *testing.T) {
+	g, x, y, z := paperTakeFixture()
+	_ = y
+	_ = z
+	apps := Enumerate(g, &EnumerateOptions{DeJure: true})
+	// x can take r and w to z.
+	if len(apps) != 2 {
+		t.Fatalf("enumerated %d apps: %v", len(apps), apps)
+	}
+	for _, a := range apps {
+		if a.Op != OpTake || a.X != x {
+			t.Errorf("unexpected app %v", a.Format(g))
+		}
+		if err := a.Check(g); err != nil {
+			t.Errorf("enumerated app fails check: %v", err)
+		}
+	}
+}
+
+func TestEnumerateSkipsNoops(t *testing.T) {
+	g, x, y, z := paperTakeFixture()
+	g.AddExplicit(x, z, rights.RW) // already has everything takeable
+	_ = y
+	apps := Enumerate(g, &EnumerateOptions{DeJure: true})
+	if len(apps) != 0 {
+		t.Errorf("no-op takes enumerated: %v", apps)
+	}
+}
+
+func TestEnumerateDeFactoAndClosure(t *testing.T) {
+	// x -r-> y <-w- z (subjects x,z): post applies; closure adds x~>z.
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	z := g.MustSubject("z")
+	w := g.MustSubject("w")
+	g.AddExplicit(x, y, rights.R)
+	g.AddExplicit(z, y, rights.W)
+	g.AddExplicit(z, w, rights.R) // then spy: x reads z, z reads w
+	apps := Enumerate(g, &EnumerateOptions{DeFacto: true})
+	if len(apps) == 0 {
+		t.Fatal("no de facto apps found")
+	}
+	n := DeFactoClosure(g)
+	if n < 2 {
+		t.Errorf("closure added %d edges", n)
+	}
+	if !g.Implicit(x, z).Has(rights.Read) {
+		t.Error("closure missed post x~>z")
+	}
+	if !g.Implicit(x, w).Has(rights.Read) {
+		t.Error("closure missed spy x~>w (via implicit x~>z)")
+	}
+	// Idempotent.
+	if DeFactoClosure(g) != 0 {
+		t.Error("closure not idempotent")
+	}
+}
+
+func TestEnumerateCreateBudget(t *testing.T) {
+	g := graph.New(nil)
+	g.MustSubject("x")
+	apps := Enumerate(g, &EnumerateOptions{DeJure: true, CreateBudget: 2})
+	creates := 0
+	for _, a := range apps {
+		if a.Op == OpCreate {
+			creates++
+			if err := a.Check(g); err != nil {
+				t.Errorf("create check: %v", err)
+			}
+		}
+	}
+	if creates != 2 {
+		t.Errorf("creates = %d", creates)
+	}
+}
+
+func TestEnumerateRemove(t *testing.T) {
+	g, x, y, _ := paperTakeFixture()
+	_ = y
+	apps := Enumerate(g, &EnumerateOptions{DeJure: true, IncludeRemove: true})
+	removes := 0
+	for _, a := range apps {
+		if a.Op == OpRemove {
+			removes++
+			if a.X != x {
+				t.Errorf("remove actor %v", a.X)
+			}
+		}
+	}
+	if removes != 1 { // only x→y t is removable by x (x→z doesn't exist yet)
+		t.Errorf("removes = %d", removes)
+	}
+}
+
+func TestFormatByNameBeforeCreateResolves(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustSubject("y")
+	o := g.MustObject("o")
+	g.AddExplicit(x, y, rights.T)
+	g.AddExplicit(x, o, rights.R)
+	d := ReverseTake(NewNamer(g, "n"), x, y, o, rights.R)
+	if _, err := d.Replay(g); err != nil {
+		t.Fatal(err)
+	}
+	text := d.Format(g)
+	if !strings.Contains(text, "n1") {
+		t.Errorf("derivation format lacks minted vertex name:\n%s", text)
+	}
+}

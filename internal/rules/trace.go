@@ -1,0 +1,78 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// Trace replays a derivation on a clone of g and renders each step with
+// the graph change it caused — the human-readable proof transcript for an
+// ExplainShare / ExplainKnow result.
+//
+//  1. x takes (r to y) from v        + x→y explicit r
+//  2. spy(a, b, c)                   + a→c implicit r
+//
+// Trace stops at (and reports) the first failing step.
+func Trace(g *graph.Graph, d Derivation) (string, error) {
+	clone := g.Clone()
+	var b strings.Builder
+	for i, app := range d {
+		before := clone.Clone()
+		if err := app.Apply(clone); err != nil {
+			fmt.Fprintf(&b, "%2d. %s — FAILED: %v\n", i+1, app.Format(clone), err)
+			return b.String(), fmt.Errorf("trace: step %d: %w", i+1, err)
+		}
+		fmt.Fprintf(&b, "%2d. %-44s %s\n", i+1, app.Format(clone), diffSummary(before, clone))
+	}
+	return b.String(), nil
+}
+
+// diffSummary renders the label changes between two graph states.
+func diffSummary(before, after *graph.Graph) string {
+	var parts []string
+	u := after.Universe()
+	// New vertices.
+	for i := before.Cap(); i < after.Cap(); i++ {
+		id := graph.ID(i)
+		if after.Valid(id) {
+			parts = append(parts, fmt.Sprintf("+%s %s", after.KindOf(id), after.Name(id)))
+		}
+	}
+	for _, e := range after.Edges() {
+		if gained := e.Explicit.Minus(safeExplicit(before, e.Src, e.Dst)); !gained.Empty() {
+			parts = append(parts, fmt.Sprintf("+%s→%s %s",
+				after.Name(e.Src), after.Name(e.Dst), gained.Format(u)))
+		}
+		if gained := e.Implicit.Minus(safeImplicit(before, e.Src, e.Dst)); !gained.Empty() {
+			parts = append(parts, fmt.Sprintf("+%s⇢%s %s",
+				after.Name(e.Src), after.Name(e.Dst), gained.Format(u)))
+		}
+	}
+	for _, e := range before.Edges() {
+		if lost := e.Explicit.Minus(safeExplicit(after, e.Src, e.Dst)); !lost.Empty() {
+			parts = append(parts, fmt.Sprintf("-%s→%s %s",
+				before.Name(e.Src), before.Name(e.Dst), lost.Format(u)))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no change)"
+	}
+	return strings.Join(parts, "  ")
+}
+
+func safeExplicit(g *graph.Graph, src, dst graph.ID) rights.Set {
+	if !g.Valid(src) || !g.Valid(dst) {
+		return 0
+	}
+	return g.Explicit(src, dst)
+}
+
+func safeImplicit(g *graph.Graph, src, dst graph.ID) rights.Set {
+	if !g.Valid(src) || !g.Valid(dst) {
+		return 0
+	}
+	return g.Implicit(src, dst)
+}

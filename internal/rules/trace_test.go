@@ -1,0 +1,107 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func TestTraceRendersSteps(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	v := g.MustObject("v")
+	y := g.MustObject("y")
+	g.AddExplicit(x, v, rights.T)
+	g.AddExplicit(v, y, rights.R)
+	d := Derivation{
+		Take(x, v, y, rights.R),
+		Create(x, "m", graph.Object, rights.RW),
+		Remove(x, v, rights.T),
+	}
+	out, err := Trace(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"x takes (r to y) from v",
+		"+x→y r",
+		"+object m",
+		"+x→m r,w",
+		"-x→v t",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Original untouched.
+	if g.Explicit(x, y).Has(rights.Read) {
+		t.Error("trace mutated the input graph")
+	}
+}
+
+func TestTraceImplicit(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	m := g.MustObject("m")
+	z := g.MustSubject("z")
+	g.AddExplicit(x, m, rights.R)
+	g.AddExplicit(z, m, rights.W)
+	out, err := Trace(g, Derivation{Post(x, m, z)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "+x⇢z r") {
+		t.Errorf("implicit gain not rendered:\n%s", out)
+	}
+}
+
+func TestTraceStopsOnFailure(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	out, err := Trace(g, Derivation{Take(x, y, x, rights.R)})
+	if err == nil {
+		t.Fatal("bad step traced successfully")
+	}
+	if !strings.Contains(out, "FAILED") {
+		t.Errorf("failure not rendered:\n%s", out)
+	}
+}
+
+func TestDeFactoSetStrings(t *testing.T) {
+	if AllDeFacto.String() != "post+pass+spy+find" {
+		t.Errorf("all = %q", AllDeFacto.String())
+	}
+	if DeFactoSet(0).String() != "none" {
+		t.Error("none wrong")
+	}
+	if (UseSpy | UseFind).String() != "spy+find" {
+		t.Errorf("= %q", (UseSpy | UseFind).String())
+	}
+	if !AllDeFacto.Has(OpPost) || UseSpy.Has(OpPost) || UseSpy.Has(OpTake) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestDeFactoClosureWithSubset(t *testing.T) {
+	g := graph.New(nil)
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	m := g.MustObject("m")
+	g.AddExplicit(a, m, rights.R)
+	g.AddExplicit(b, m, rights.W)
+	// Only spy enabled: the post flow must not appear.
+	clone := g.Clone()
+	if n := DeFactoClosureWith(clone, UseSpy); n != 0 {
+		t.Errorf("spy-only closure added %d", n)
+	}
+	clone = g.Clone()
+	if n := DeFactoClosureWith(clone, UsePost); n != 1 {
+		t.Errorf("post-only closure added %d", n)
+	}
+	if !clone.Implicit(a, b).Has(rights.Read) {
+		t.Error("post flow missing")
+	}
+}

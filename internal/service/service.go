@@ -1,0 +1,436 @@
+// Package service exposes a guarded hierarchical Take-Grant protection
+// system over HTTP — the shape a deployment embeds: one process owns the
+// protection state, every mutation passes the combined restriction, and
+// clients query the decision procedures by vertex name.
+//
+// Routes (all JSON unless noted):
+//
+//	PUT  /graph                     load a .tg document (text/plain body)
+//	GET  /graph                     canonical .tg text
+//	GET  /graph.json                JSON interchange form
+//	GET  /render                    terminal rendering (text)
+//	POST /apply                     guarded rule application
+//	GET  /query/can-share?right=&x=&y=
+//	GET  /query/can-know?x=&y=      (&defacto=1 for can•know•f)
+//	GET  /query/can-steal?right=&x=&y=
+//	GET  /explain/share?right=&x=&y=  traced derivation (text)
+//	GET  /levels                    Hasse diagram (text)
+//	GET  /islands
+//	GET  /secure
+//	GET  /audit
+//	GET  /profile?x=
+//	GET  /log                       guarded decision trail (text)
+//
+// The server is safe for concurrent use: one mutex owns the state, and
+// every handler works on it under the lock (queries clone nothing — the
+// analyses only read).
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+	"takegrant/internal/steal"
+	"takegrant/internal/tgio"
+)
+
+// Server owns one protection system.
+type Server struct {
+	mu     sync.Mutex
+	g      *graph.Graph
+	class  *hierarchy.Structure
+	logged *restrict.Logged
+	guard  *restrict.Guarded
+}
+
+// New returns a Server with an empty graph.
+func New() *Server {
+	s := &Server{}
+	s.install(graph.New(nil))
+	return s
+}
+
+// install swaps in a new graph and re-arms the guard.
+func (s *Server) install(g *graph.Graph) {
+	s.g = g
+	s.class = hierarchy.AnalyzeRW(g)
+	s.logged = restrict.NewLogged(restrict.NewCombined(s.class))
+	s.guard = restrict.NewGuarded(g, s.logged)
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/graph", s.handleGraph)
+	mux.HandleFunc("/graph.json", s.handleGraphJSON)
+	mux.HandleFunc("/render", s.textHandler(func() (string, error) {
+		return tgio.Render(s.g), nil
+	}))
+	mux.HandleFunc("/apply", s.handleApply)
+	mux.HandleFunc("/query/can-share", s.handleCanShare)
+	mux.HandleFunc("/query/can-know", s.handleCanKnow)
+	mux.HandleFunc("/query/can-steal", s.handleCanSteal)
+	mux.HandleFunc("/explain/share", s.handleExplainShare)
+	mux.HandleFunc("/levels", s.textHandler(func() (string, error) {
+		return hierarchy.AnalyzeRW(s.g).Hasse(), nil
+	}))
+	mux.HandleFunc("/islands", s.handleIslands)
+	mux.HandleFunc("/secure", s.handleSecure)
+	mux.HandleFunc("/audit", s.handleAudit)
+	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/log", s.textHandler(func() (string, error) {
+		return s.logged.Format(s.g), nil
+	}))
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPut:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		g, err := tgio.ParseString(string(body))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s.mu.Lock()
+		s.install(g)
+		s.mu.Unlock()
+		writeJSON(w, map[string]any{"vertices": g.NumVertices(), "edges": g.NumEdges()})
+	case http.MethodGet:
+		s.mu.Lock()
+		text := tgio.WriteString(s.g)
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, text)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or PUT"))
+	}
+}
+
+func (s *Server) handleGraphJSON(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, tgio.ToJSON(s.g))
+}
+
+// textHandler wraps a text-producing view under the lock.
+func (s *Server) textHandler(f func() (string, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		text, err := f()
+		s.mu.Unlock()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, text)
+	}
+}
+
+// ApplyRequest is the POST /apply body.
+type ApplyRequest struct {
+	// Op: take, grant, create, remove, post, pass, spy, find.
+	Op string `json:"op"`
+	// X, Y, Z are vertex names per the rule's roles.
+	X string `json:"x"`
+	Y string `json:"y,omitempty"`
+	Z string `json:"z,omitempty"`
+	// Rights is a comma-separated list for take/grant/create/remove.
+	Rights string `json:"rights,omitempty"`
+	// Name and Kind parameterise create.
+	Name string `json:"name,omitempty"`
+	Kind string `json:"kind,omitempty"`
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req ApplyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	app, err := s.buildApp(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.guard.Apply(app); err != nil {
+		code := http.StatusUnprocessableEntity // rule preconditions failed
+		if errors.Is(err, restrict.ErrRefused) {
+			code = http.StatusForbidden // the reference monitor said no
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, map[string]any{"applied": app.Format(s.g)})
+}
+
+func (s *Server) buildApp(req ApplyRequest) (rules.Application, error) {
+	var zero rules.Application
+	set, err := rights.Parse(s.g.Universe(), req.Rights)
+	if err != nil {
+		return zero, err
+	}
+	lookup := func(name string) (graph.ID, error) {
+		if name == "" {
+			return graph.None, fmt.Errorf("missing vertex name")
+		}
+		v, ok := s.g.Lookup(name)
+		if !ok {
+			return graph.None, fmt.Errorf("unknown vertex %q", name)
+		}
+		return v, nil
+	}
+	switch req.Op {
+	case "create":
+		x, err := lookup(req.X)
+		if err != nil {
+			return zero, err
+		}
+		kind := graph.Object
+		switch req.Kind {
+		case "subject":
+			kind = graph.Subject
+		case "object", "":
+		default:
+			return zero, fmt.Errorf("kind must be subject or object")
+		}
+		if req.Name == "" {
+			return zero, fmt.Errorf("create needs a name")
+		}
+		return rules.Create(x, req.Name, kind, set), nil
+	case "remove":
+		x, err := lookup(req.X)
+		if err != nil {
+			return zero, err
+		}
+		y, err := lookup(req.Y)
+		if err != nil {
+			return zero, err
+		}
+		return rules.Remove(x, y, set), nil
+	case "take", "grant", "post", "pass", "spy", "find":
+		x, err := lookup(req.X)
+		if err != nil {
+			return zero, err
+		}
+		y, err := lookup(req.Y)
+		if err != nil {
+			return zero, err
+		}
+		z, err := lookup(req.Z)
+		if err != nil {
+			return zero, err
+		}
+		switch req.Op {
+		case "take":
+			return rules.Take(x, y, z, set), nil
+		case "grant":
+			return rules.Grant(x, y, z, set), nil
+		case "post":
+			return rules.Post(x, y, z), nil
+		case "pass":
+			return rules.Pass(x, y, z), nil
+		case "spy":
+			return rules.Spy(x, y, z), nil
+		default:
+			return rules.Find(x, y, z), nil
+		}
+	default:
+		return zero, fmt.Errorf("unknown op %q", req.Op)
+	}
+}
+
+func (s *Server) pairParams(r *http.Request) (x, y graph.ID, err error) {
+	xn, yn := r.URL.Query().Get("x"), r.URL.Query().Get("y")
+	var ok bool
+	if x, ok = s.g.Lookup(xn); !ok {
+		return graph.None, graph.None, fmt.Errorf("unknown vertex %q", xn)
+	}
+	if y, ok = s.g.Lookup(yn); !ok {
+		return graph.None, graph.None, fmt.Errorf("unknown vertex %q", yn)
+	}
+	return x, y, nil
+}
+
+func (s *Server) rightParam(r *http.Request) (rights.Right, error) {
+	name := r.URL.Query().Get("right")
+	rt, ok := s.g.Universe().Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown right %q", name)
+	}
+	return rt, nil
+}
+
+func (s *Server) handleCanShare(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt, err := s.rightParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	x, y, err := s.pairParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"can_share": analysis.CanShare(s.g, rt, x, y)})
+}
+
+func (s *Server) handleCanKnow(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	x, y, err := s.pairParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("defacto") != "" {
+		writeJSON(w, map[string]bool{"can_know_f": analysis.CanKnowF(s.g, x, y)})
+		return
+	}
+	writeJSON(w, map[string]bool{"can_know": analysis.CanKnow(s.g, x, y)})
+}
+
+func (s *Server) handleCanSteal(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt, err := s.rightParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	x, y, err := s.pairParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"can_steal": steal.CanSteal(s.g, rt, x, y)})
+}
+
+func (s *Server) handleExplainShare(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt, err := s.rightParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	x, y, err := s.pairParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := analysis.SynthesizeShare(s.g, rt, x, y)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	out, err := rules.Trace(s.g, d)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, out)
+}
+
+func (s *Server) handleIslands(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [][]string
+	for _, island := range analysis.Islands(s.g) {
+		names := make([]string, len(island))
+		for i, v := range island {
+			names[i] = s.g.Name(v)
+		}
+		out = append(out, names)
+	}
+	writeJSON(w, map[string]any{"islands": out})
+}
+
+func (s *Server) handleSecure(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ok, v := hierarchy.Secure(s.g)
+	resp := map[string]any{"secure": ok}
+	if v != nil {
+		resp["lower"] = s.g.Name(v.Lower)
+		resp["upper"] = s.g.Name(v.Upper)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	viols := restrict.NewCombined(s.class).Audit(s.g)
+	var out []string
+	for _, v := range viols {
+		out = append(out, fmt.Sprintf("(%s) %s→%s %s", v.Rule,
+			s.g.Name(v.Src), s.g.Name(v.Dst), s.g.Universe().Name(v.Right)))
+	}
+	writeJSON(w, map[string]any{"violations": out, "clean": len(out) == 0})
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := r.URL.Query().Get("x")
+	x, ok := s.g.Lookup(name)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown vertex %q", name))
+		return
+	}
+	type entry struct {
+		Right  string `json:"right"`
+		Target string `json:"target"`
+		Held   bool   `json:"held"`
+	}
+	var out []entry
+	for _, a := range analysis.Profile(s.g, x) {
+		out = append(out, entry{
+			Right:  s.g.Universe().Name(a.Right),
+			Target: s.g.Name(a.Target),
+			Held:   a.Held,
+		})
+	}
+	writeJSON(w, map[string]any{"profile": out})
+}

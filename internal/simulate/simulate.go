@@ -1,0 +1,249 @@
+// Package simulate generates hierarchical protection-system workloads and
+// drives them with fully corrupt subject populations: every subject applies
+// whatever rules advance a breach. It provides the Monte-Carlo harness for
+// experiment E11 (soundness under fuzzing: guarded systems never breach,
+// unguarded ones almost always do) and the workload generators behind the
+// scaling benchmarks.
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+// Spec parameterises a generated hierarchical world.
+type Spec struct {
+	// Levels and SubjectsPerLevel shape the linear classification.
+	Levels, SubjectsPerLevel int
+	// DocsPerLevel adds classified documents readable/writable by their
+	// level's subjects.
+	DocsPerLevel int
+	// ExtraRights sprinkles benign non-rw rights (an "e" execute right)
+	// between random vertices.
+	ExtraRights int
+	// CrossTG adds dangerous take/grant edges between random subjects of
+	// different levels — the latent structure a restriction must defang.
+	CrossTG int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// World is a generated workload.
+type World struct {
+	C *hierarchy.Classification
+	S *hierarchy.Structure
+	// Docs[levelName] lists the level's documents.
+	Docs map[string][]graph.ID
+}
+
+// G returns the world's protection graph.
+func (w *World) G() *graph.Graph { return w.C.G }
+
+// Hierarchy builds a world per the spec. The classification structure is
+// computed before the cross tg edges are added conceptually — but since
+// take/grant labels never contribute de facto flows, computing it after
+// yields the same levels.
+func Hierarchy(spec Spec) (*World, error) {
+	if spec.Levels < 2 {
+		return nil, fmt.Errorf("simulate: need at least 2 levels")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	c, err := hierarchy.Linear(spec.Levels, spec.SubjectsPerLevel)
+	if err != nil {
+		return nil, err
+	}
+	g := c.G
+	e, err := g.Universe().Declare("e")
+	if err != nil {
+		return nil, err
+	}
+	w := &World{C: c, Docs: make(map[string][]graph.ID)}
+	for _, name := range c.Order {
+		for d := 0; d < spec.DocsPerLevel; d++ {
+			doc, err := g.AddObject(fmt.Sprintf("%s_doc%d", name, d+1))
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range c.Members[name] {
+				if err := g.AddExplicit(s, doc, rights.RW); err != nil {
+					return nil, err
+				}
+			}
+			w.Docs[name] = append(w.Docs[name], doc)
+		}
+	}
+	vs := g.Vertices()
+	for i := 0; i < spec.ExtraRights; i++ {
+		a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+		if a != b && g.IsSubject(a) {
+			g.AddExplicit(a, b, rights.Of(e))
+		}
+	}
+	subs := g.Subjects()
+	for i := 0; i < spec.CrossTG; i++ {
+		a, b := subs[rng.Intn(len(subs))], subs[rng.Intn(len(subs))]
+		if a != b {
+			set := rights.T
+			if rng.Intn(2) == 0 {
+				set = rights.G
+			}
+			g.AddExplicit(a, b, set)
+		}
+	}
+	w.S = hierarchy.AnalyzeRW(g)
+	return w, nil
+}
+
+// Outcome reports one adversarial run.
+type Outcome struct {
+	// Steps is how many rule selections the adversary attempted.
+	Steps int
+	// Applied and Refused count executor decisions.
+	Applied, Refused int
+	// Breached is true when the audit found a forbidden flow; BreachStep
+	// is the step index where it first appeared (1-based).
+	Breached   bool
+	BreachStep int
+}
+
+// Adversary runs an all-corrupt population against the world for at most
+// maxSteps rule applications under the given restriction (Unrestricted for
+// the baseline). Rule selection is greedy-random: rules that complete
+// cross-level read/write edges are preferred, mirroring attackers who know
+// what they are after.
+func Adversary(w *World, r restrict.Restriction, maxSteps int, rng *rand.Rand) Outcome {
+	g := w.G()
+	guard := restrict.NewGuarded(g, r)
+	auditor := restrict.NewCombined(w.S)
+	var out Outcome
+	opts := &rules.EnumerateOptions{DeJure: true, DeFacto: true}
+	for out.Steps = 1; out.Steps <= maxSteps; out.Steps++ {
+		apps := rules.Enumerate(g, opts)
+		if len(apps) == 0 {
+			out.Steps--
+			break
+		}
+		app := pickGreedy(g, w.S, apps, rng)
+		if err := guard.Apply(app); err != nil {
+			out.Refused++
+			continue
+		}
+		out.Applied++
+		if !out.Breached && len(auditor.Audit(g)) > 0 {
+			out.Breached = true
+			out.BreachStep = out.Steps
+		}
+	}
+	return out
+}
+
+// pickGreedy prefers rule applications that add cross-level read or write
+// authority, then cross-level take/grant, then anything.
+func pickGreedy(g *graph.Graph, s *hierarchy.Structure, apps []rules.Application, rng *rand.Rand) rules.Application {
+	best, bestScore := -1, -1
+	count := 0
+	for i, app := range apps {
+		score := scoreApp(s, app)
+		switch {
+		case score > bestScore:
+			best, bestScore, count = i, score, 1
+		case score == bestScore:
+			count++
+			if rng.Intn(count) == 0 {
+				best = i
+			}
+		}
+	}
+	_ = best
+	// Mix exploration in: with probability 1/4 pick uniformly.
+	if rng.Intn(4) == 0 {
+		return apps[rng.Intn(len(apps))]
+	}
+	return apps[best]
+}
+
+func scoreApp(s *hierarchy.Structure, app rules.Application) int {
+	var src, dst graph.ID
+	switch app.Op {
+	case rules.OpTake:
+		src, dst = app.X, app.Z
+	case rules.OpGrant:
+		src, dst = app.Y, app.Z
+	default:
+		return 0
+	}
+	ls, ld := s.LevelOf(src), s.LevelOf(dst)
+	if ls < 0 || ld < 0 || ls == ld {
+		return 0
+	}
+	if app.Rights.HasAny(rights.RW) && !s.HigherLevel(ls, ld) == app.Rights.Has(rights.Read) {
+		// reads toward higher levels / writes toward lower ones
+		return 3
+	}
+	if app.Rights.HasAny(rights.RW) {
+		return 2
+	}
+	if app.Rights.HasAny(rights.TG) {
+		return 1
+	}
+	return 0
+}
+
+// Summary aggregates Monte-Carlo trials.
+type Summary struct {
+	Trials       int
+	Breaches     int
+	MeanBreachAt float64
+	MeanApplied  float64
+	MeanRefused  float64
+}
+
+// BreachRate returns the fraction of trials that breached.
+func (s Summary) BreachRate() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.Breaches) / float64(s.Trials)
+}
+
+// MonteCarlo runs repeated adversarial trials over freshly generated
+// worlds. mk builds the restriction per world (nil means unrestricted).
+func MonteCarlo(spec Spec, mk func(*World) restrict.Restriction, trials, maxSteps int) Summary {
+	var sum Summary
+	sum.Trials = trials
+	var breachSteps, applied, refused int
+	for i := 0; i < trials; i++ {
+		s := spec
+		s.Seed = spec.Seed + int64(i)*7919
+		w, err := Hierarchy(s)
+		if err != nil {
+			continue
+		}
+		var r restrict.Restriction = restrict.Unrestricted{}
+		if mk != nil {
+			r = mk(w)
+		}
+		rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+		out := Adversary(w, r, maxSteps, rng)
+		if out.Breached {
+			sum.Breaches++
+			breachSteps += out.BreachStep
+		}
+		applied += out.Applied
+		refused += out.Refused
+	}
+	if sum.Breaches > 0 {
+		sum.MeanBreachAt = float64(breachSteps) / float64(sum.Breaches)
+	}
+	if trials > 0 {
+		sum.MeanApplied = float64(applied) / float64(trials)
+		sum.MeanRefused = float64(refused) / float64(trials)
+	}
+	return sum
+}

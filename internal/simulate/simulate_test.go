@@ -1,0 +1,104 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+)
+
+func TestHierarchySpecValidation(t *testing.T) {
+	if _, err := Hierarchy(Spec{Levels: 1, SubjectsPerLevel: 1}); err == nil {
+		t.Error("single level accepted")
+	}
+}
+
+func TestHierarchyShape(t *testing.T) {
+	w, err := Hierarchy(Spec{Levels: 3, SubjectsPerLevel: 2, DocsPerLevel: 2, ExtraRights: 5, CrossTG: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Docs["L2"]); got != 2 {
+		t.Errorf("docs at L2 = %d", got)
+	}
+	if w.S.NumLevels() < 3 {
+		t.Errorf("levels = %d", w.S.NumLevels())
+	}
+	// Docs are classified at their level.
+	doc := w.Docs["L3"][0]
+	lvl, ok := w.S.ObjectLevel(doc)
+	if !ok || lvl != w.S.LevelOf(w.C.Members["L3"][0]) {
+		t.Errorf("doc level = %d,%v", lvl, ok)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	spec := Spec{Levels: 3, SubjectsPerLevel: 2, DocsPerLevel: 1, ExtraRights: 4, CrossTG: 2, Seed: 7}
+	w1, err1 := Hierarchy(spec)
+	w2, err2 := Hierarchy(spec)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if w1.G().Canonical() != w2.G().Canonical() {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestAdversaryBreachesUnrestricted(t *testing.T) {
+	w, err := Hierarchy(Spec{Levels: 2, SubjectsPerLevel: 2, DocsPerLevel: 1, CrossTG: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Adversary(w, restrict.Unrestricted{}, 200, rand.New(rand.NewSource(1)))
+	if !out.Breached {
+		t.Error("unrestricted adversary with cross tg edges did not breach")
+	}
+	if out.Applied == 0 {
+		t.Error("nothing applied")
+	}
+}
+
+func TestAdversaryNeverBreachesGuarded(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		w, err := Hierarchy(Spec{Levels: 3, SubjectsPerLevel: 2, DocsPerLevel: 1, ExtraRights: 4, CrossTG: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := Adversary(w, restrict.NewCombined(w.S), 150, rand.New(rand.NewSource(seed)))
+		if out.Breached {
+			t.Errorf("seed %d: guarded adversary breached at step %d", seed, out.BreachStep)
+		}
+		if out.Refused == 0 {
+			t.Errorf("seed %d: guard refused nothing despite cross edges", seed)
+		}
+	}
+}
+
+func TestMonteCarloContrast(t *testing.T) {
+	spec := Spec{Levels: 2, SubjectsPerLevel: 2, DocsPerLevel: 1, CrossTG: 4, Seed: 100}
+	unres := MonteCarlo(spec, nil, 8, 150)
+	guarded := MonteCarlo(spec, func(w *World) restrict.Restriction {
+		return restrict.NewCombined(w.S)
+	}, 8, 150)
+	if guarded.Breaches != 0 {
+		t.Errorf("guarded breaches = %d", guarded.Breaches)
+	}
+	if unres.BreachRate() < 0.5 {
+		t.Errorf("unrestricted breach rate = %.2f, expected most trials to breach", unres.BreachRate())
+	}
+	if guarded.MeanRefused == 0 {
+		t.Error("guard never refused")
+	}
+}
+
+func TestBenignWorldQuiet(t *testing.T) {
+	// Without cross tg edges the unrestricted adversary cannot breach
+	// either — Theorem 4.3's conspiracy immunity.
+	spec := Spec{Levels: 3, SubjectsPerLevel: 2, DocsPerLevel: 1, ExtraRights: 3, Seed: 11}
+	sum := MonteCarlo(spec, nil, 6, 120)
+	if sum.Breaches != 0 {
+		t.Errorf("benign world breached %d times", sum.Breaches)
+	}
+	_ = rights.R
+}

@@ -1,0 +1,142 @@
+package simulate
+
+import (
+	"math/rand"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+// Strategy selects how the adversary picks rules.
+type Strategy uint8
+
+const (
+	// StrategyRandom applies uniformly random applicable rules.
+	StrategyRandom Strategy = iota
+	// StrategyGreedy prefers rules completing cross-level r/w edges
+	// (the default Adversary behaviour).
+	StrategyGreedy
+	// StrategyOracle synthesises a breach derivation with the analysis
+	// package and replays it — the strongest attacker the model admits.
+	StrategyOracle
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRandom:
+		return "random"
+	case StrategyGreedy:
+		return "greedy"
+	case StrategyOracle:
+		return "oracle"
+	default:
+		return "strategy?"
+	}
+}
+
+// AdversaryWithStrategy runs one adversarial episode with the chosen rule
+// selection. Oracle attackers plan a read-up theft of the highest
+// document for the lowest subject and replay it; when no plan exists
+// they degrade to greedy play.
+func AdversaryWithStrategy(w *World, r restrict.Restriction, maxSteps int, rng *rand.Rand, strat Strategy) Outcome {
+	switch strat {
+	case StrategyOracle:
+		if out, ok := oracleRun(w, r, maxSteps); ok {
+			return out
+		}
+		fallthrough
+	case StrategyGreedy:
+		return Adversary(w, r, maxSteps, rng)
+	default:
+		return randomRun(w, r, maxSteps, rng)
+	}
+}
+
+func randomRun(w *World, r restrict.Restriction, maxSteps int, rng *rand.Rand) Outcome {
+	g := w.G()
+	guard := restrict.NewGuarded(g, r)
+	auditor := restrict.NewCombined(w.S)
+	var out Outcome
+	opts := &rules.EnumerateOptions{DeJure: true, DeFacto: true}
+	for out.Steps = 1; out.Steps <= maxSteps; out.Steps++ {
+		apps := rules.Enumerate(g, opts)
+		if len(apps) == 0 {
+			out.Steps--
+			break
+		}
+		if err := guard.Apply(apps[rng.Intn(len(apps))]); err != nil {
+			out.Refused++
+			continue
+		}
+		out.Applied++
+		if !out.Breached && len(auditor.Audit(g)) > 0 {
+			out.Breached = true
+			out.BreachStep = out.Steps
+		}
+	}
+	return out
+}
+
+// oracleRun plans the most damaging read-up it can prove and replays the
+// synthesized derivation through the guard.
+func oracleRun(w *World, r restrict.Restriction, maxSteps int) (Outcome, bool) {
+	g := w.G()
+	target, thief, ok := juiciestBreach(w)
+	if !ok {
+		return Outcome{}, false
+	}
+	d, err := analysis.SynthesizeShare(g, rights.Read, thief, target)
+	if err != nil {
+		return Outcome{}, false
+	}
+	guard := restrict.NewGuarded(g, r)
+	auditor := restrict.NewCombined(w.S)
+	var out Outcome
+	for _, app := range d {
+		if out.Steps >= maxSteps {
+			break
+		}
+		out.Steps++
+		if err := guard.Apply(app); err != nil {
+			out.Refused++
+			// The plan is now invalid downstream; an oracle would replan,
+			// but against the combined restriction every replan dies at
+			// the same final edge, so stop here.
+			break
+		}
+		out.Applied++
+		if !out.Breached && len(auditor.Audit(g)) > 0 {
+			out.Breached = true
+			out.BreachStep = out.Steps
+		}
+	}
+	return out, true
+}
+
+// juiciestBreach finds a (lowest subject, higher document) pair with a
+// provable unrestricted read-up.
+func juiciestBreach(w *World) (target, thief graph.ID, ok bool) {
+	g := w.G()
+	var lows []graph.ID
+	for _, s := range g.Subjects() {
+		lows = append(lows, s)
+	}
+	for _, name := range w.C.Order {
+		for _, doc := range w.Docs[name] {
+			docLvl, has := w.S.ObjectLevel(doc)
+			if !has {
+				continue
+			}
+			for _, s := range lows {
+				if w.S.HigherLevel(docLvl, w.S.LevelOf(s)) &&
+					analysis.CanShare(g, rights.Read, s, doc) {
+					return doc, s, true
+				}
+			}
+		}
+	}
+	return graph.None, graph.None, false
+}

@@ -1,0 +1,73 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+
+	"takegrant/internal/restrict"
+)
+
+func TestStrategyStrings(t *testing.T) {
+	if StrategyRandom.String() != "random" || StrategyGreedy.String() != "greedy" ||
+		StrategyOracle.String() != "oracle" || Strategy(9).String() != "strategy?" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestOracleBreachesFast(t *testing.T) {
+	spec := Spec{Levels: 3, SubjectsPerLevel: 2, DocsPerLevel: 1, CrossTG: 4, Seed: 5}
+	w, err := Hierarchy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := AdversaryWithStrategy(w, restrict.Unrestricted{}, 100, rand.New(rand.NewSource(1)), StrategyOracle)
+	if !out.Breached {
+		t.Fatal("oracle did not breach unrestricted world")
+	}
+	// Oracle plans are short: a handful of takes/grants.
+	if out.BreachStep > 20 {
+		t.Errorf("oracle breach took %d steps", out.BreachStep)
+	}
+}
+
+func TestOracleBlockedByGuard(t *testing.T) {
+	spec := Spec{Levels: 3, SubjectsPerLevel: 2, DocsPerLevel: 1, CrossTG: 4, Seed: 5}
+	for seed := int64(0); seed < 4; seed++ {
+		s := spec
+		s.Seed = seed
+		w, err := Hierarchy(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := AdversaryWithStrategy(w, restrict.NewCombined(w.S), 100, rand.New(rand.NewSource(seed)), StrategyOracle)
+		if out.Breached {
+			t.Errorf("seed %d: oracle breached the guarded system", seed)
+		}
+	}
+}
+
+func TestRandomStrategyRuns(t *testing.T) {
+	spec := Spec{Levels: 2, SubjectsPerLevel: 2, DocsPerLevel: 1, CrossTG: 2, Seed: 9}
+	w, err := Hierarchy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := AdversaryWithStrategy(w, restrict.Unrestricted{}, 60, rand.New(rand.NewSource(2)), StrategyRandom)
+	if out.Applied == 0 {
+		t.Error("random strategy applied nothing")
+	}
+}
+
+func TestOracleFallsBackWhenNoBreach(t *testing.T) {
+	// Without cross edges there is no provable breach; oracle degrades to
+	// greedy play and still cannot breach (Theorem 4.3).
+	spec := Spec{Levels: 3, SubjectsPerLevel: 2, DocsPerLevel: 1, Seed: 12}
+	w, err := Hierarchy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := AdversaryWithStrategy(w, restrict.Unrestricted{}, 60, rand.New(rand.NewSource(3)), StrategyOracle)
+	if out.Breached {
+		t.Error("breach in a benign world")
+	}
+}

@@ -1,0 +1,49 @@
+// Package specimens embeds the paper's figures as ready-to-load .tg
+// protection graphs: worked examples for tests, documentation and the
+// command-line tools. Load them by name, or List them.
+package specimens
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/tgio"
+)
+
+//go:embed data/*.tg
+var files embed.FS
+
+// List returns the specimen names (without extension), sorted.
+func List() []string {
+	entries, err := files.ReadDir("data")
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, strings.TrimSuffix(e.Name(), ".tg"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load parses the named specimen into a fresh graph.
+func Load(name string) (*graph.Graph, error) {
+	data, err := files.ReadFile("data/" + name + ".tg")
+	if err != nil {
+		return nil, fmt.Errorf("specimens: unknown specimen %q (have %v)", name, List())
+	}
+	return tgio.ParseString(string(data))
+}
+
+// Source returns the raw .tg text of a specimen.
+func Source(name string) (string, error) {
+	data, err := files.ReadFile("data/" + name + ".tg")
+	if err != nil {
+		return "", fmt.Errorf("specimens: unknown specimen %q", name)
+	}
+	return string(data), nil
+}

@@ -1,0 +1,135 @@
+package specimens
+
+import (
+	"testing"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/rights"
+	"takegrant/internal/steal"
+)
+
+func TestListAndLoad(t *testing.T) {
+	names := List()
+	want := []string{"fig22", "fig51", "fig61", "military", "wu"}
+	if len(names) != len(want) {
+		t.Fatalf("specimens = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %s", i, names[i])
+		}
+		g, err := Load(n)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", n, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s empty", n)
+		}
+		if src, err := Source(n); err != nil || src == "" {
+			t.Errorf("Source(%s) = %v", n, err)
+		}
+	}
+	if _, err := Load("nope"); err == nil {
+		t.Error("unknown specimen loaded")
+	}
+	if _, err := Source("nope"); err == nil {
+		t.Error("unknown source loaded")
+	}
+}
+
+// Each specimen's headline property, asserted against the decision
+// procedures — the figures stay faithful even if the files are edited.
+
+func TestFig22Property(t *testing.T) {
+	g, err := Load("fig22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := g.Lookup("p")
+	q, _ := g.Lookup("q")
+	if !analysis.CanShare(g, rights.Read, p, q) {
+		t.Error("fig22: can.share(r,p,q) false")
+	}
+	if got := len(analysis.Islands(g)); got != 3 {
+		t.Errorf("fig22 islands = %d", got)
+	}
+}
+
+func TestFig51Property(t *testing.T) {
+	g, err := Load("fig51")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := g.Lookup("x")
+	y, _ := g.Lookup("y")
+	e, _ := g.Universe().Lookup("e")
+	if !analysis.CanShare(g, rights.Write, x, y) {
+		t.Error("fig51: write-down not acquirable unrestricted")
+	}
+	if !analysis.CanShare(g, e, x, y) {
+		t.Error("fig51: execute not acquirable")
+	}
+	if ok, _ := hierarchy.Secure(g); ok {
+		t.Error("fig51: should be statically insecure")
+	}
+}
+
+func TestFig61Property(t *testing.T) {
+	g, err := Load("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, _ := g.Lookup("low")
+	secret, _ := g.Lookup("secret")
+	d, err := analysis.SynthesizeShare(g, rights.Read, low, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.DeJureOnly() {
+		t.Error("fig61: breach should need only de jure rules")
+	}
+}
+
+func TestMilitaryProperty(t *testing.T) {
+	g, err := Load("military")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := g.Lookup("a2")
+	b2, _ := g.Lookup("b2")
+	bbb1, _ := g.Lookup("bbb1")
+	if analysis.CanKnow(g, a2, bbb1) {
+		t.Error("military: cross-category flow")
+	}
+	s := hierarchy.AnalyzeRW(g)
+	if s.Comparable(s.LevelOf(a2), s.LevelOf(b2)) {
+		t.Error("military: categories comparable")
+	}
+	if ok, _ := hierarchy.Secure(g); !ok {
+		t.Error("military: insecure")
+	}
+}
+
+func TestWuProperty(t *testing.T) {
+	g, err := Load("wu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clerk, _ := g.Lookup("clerk")
+	warplan, _ := g.Lookup("warplan")
+	memo, _ := g.Lookup("memo")
+	// All-corrupt conspiracy leaks the top document (the §2 claim)…
+	if !analysis.CanShare(g, rights.Read, clerk, warplan) {
+		t.Error("wu: conspiracy cannot leak the warplan")
+	}
+	// …but it is sharing, not theft: the chairman (sole owner) must act.
+	if steal.CanSteal(g, rights.Read, clerk, warplan) {
+		t.Error("wu: warplan theft should need the owner")
+	}
+	// The memo, however, is stealable: the chairman's take authority over
+	// the manager lets the conspirators bypass the memo's owner entirely.
+	if !steal.CanSteal(g, rights.Read, clerk, memo) {
+		t.Error("wu: memo theft not detected")
+	}
+}

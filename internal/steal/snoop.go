@@ -1,0 +1,100 @@
+package steal
+
+import (
+	"fmt"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+// CanSnoop decides information theft: can x come to know y's information
+// when neither y nor any owner of explicit read authority over y
+// cooperates? Following Bishop's later formalisation, snooping reduces to
+// stealing read authority: the conspirators first steal an explicit r
+// edge to y (can•steal(r, …)) and then exercise it de facto. Victims are
+// passive throughout — they are taken from, never grant, and never apply
+// a de facto rule.
+func CanSnoop(g *graph.Graph, x, y graph.ID) bool {
+	if !g.Valid(x) || !g.Valid(y) || x == y {
+		return false
+	}
+	// Already knowing is not snooping, mirroring can•steal's "nothing to
+	// steal" clause.
+	if analysis.KnowsBase(g, x, y) {
+		return false
+	}
+	if g.IsSubject(x) && CanSteal(g, rights.Read, x, y) {
+		return true
+	}
+	// x an object (or not directly placeable): some subject z can steal
+	// the read right and then write its takings into x without any victim
+	// acting: z needs w toward x (rw-initial span) and the stolen read.
+	for _, z := range analysis.RWInitialSpanners(g, x) {
+		if z == y {
+			continue
+		}
+		if !g.Explicit(z, y).Has(rights.Read) && CanSteal(g, rights.Read, z, y) {
+			return true
+		}
+		if g.Explicit(z, y).Has(rights.Read) {
+			// z is itself an owner — owners may not cooperate in a snoop.
+			continue
+		}
+	}
+	return false
+}
+
+// SynthesizeSnoop emits a replayable derivation realising the snoop: the
+// stolen read edge followed by the de facto flow into x. The final graph
+// satisfies the can•know base condition for (x, y).
+func SynthesizeSnoop(g *graph.Graph, x, y graph.ID) (rules.Derivation, error) {
+	if !CanSnoop(g, x, y) {
+		return nil, fmt.Errorf("steal: can.snoop(%s, %s) is false", g.Name(x), g.Name(y))
+	}
+	if g.IsSubject(x) && CanSteal(g, rights.Read, x, y) {
+		// The stolen explicit read edge is the base condition for a
+		// subject.
+		return Synthesize(g, rights.Read, x, y)
+	}
+	// Otherwise some accomplice z steals the read right and writes its
+	// takings into x.
+	for _, z := range analysis.RWInitialSpanners(g, x) {
+		if z == y || g.Explicit(z, y).Has(rights.Read) {
+			continue
+		}
+		d, err := Synthesize(g, rights.Read, z, y)
+		if err != nil {
+			continue
+		}
+		g2 := g.Clone()
+		if _, err := d.Replay(g2); err != nil {
+			continue
+		}
+		// z realises its write toward x, then passes what it reads of y.
+		span, ok := analysis.RWInitiallySpans(g2, z, x)
+		if !ok {
+			continue
+		}
+		verts := []graph.ID{z}
+		for _, s := range span {
+			verts = append(verts, s.To)
+		}
+		c := verts[len(verts)-2]
+		chain := verts[:len(verts)-1]
+		seg := rules.TakeChain(chain)
+		if c != z {
+			seg = append(seg, rules.Take(z, c, x, rights.W))
+		}
+		seg = append(seg, rules.Pass(x, z, y))
+		if _, err := rules.Derivation(seg).Replay(g2); err != nil {
+			continue
+		}
+		if !analysis.KnowsBase(g2, x, y) {
+			continue
+		}
+		return append(d, seg...), nil
+	}
+	return nil, fmt.Errorf("steal: snoop synthesis found no clean route")
+}

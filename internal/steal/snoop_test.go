@@ -1,0 +1,127 @@
+package steal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func TestCanSnoopClassic(t *testing.T) {
+	g, xp, _, y := classicTheft()
+	if !CanSnoop(g, xp, y) {
+		t.Fatal("classic snoop not detected")
+	}
+	d, err := SynthesizeSnoop(g, xp, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil {
+		t.Fatal(err)
+	}
+	if !analysis.KnowsBase(clone, xp, y) {
+		t.Error("snoop did not establish knowledge")
+	}
+}
+
+func TestCannotSnoopAlreadyKnown(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	g.AddExplicit(x, y, rights.R)
+	if CanSnoop(g, x, y) {
+		t.Error("snooping what is already known")
+	}
+}
+
+func TestCannotSnoopWithoutTheft(t *testing.T) {
+	// The only route is the owner's cooperation (grant edge): no snoop.
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	s := g.MustSubject("owner")
+	y := g.MustObject("secret")
+	g.AddExplicit(s, x, rights.G)
+	g.AddExplicit(s, y, rights.R)
+	if CanSnoop(g, x, y) {
+		t.Error("snoop without a take route")
+	}
+	// But can.know holds with the owner's help — the distinction.
+	if !analysis.CanKnow(g, x, y) {
+		t.Error("cooperative flow should exist")
+	}
+}
+
+func TestSnoopIntoObject(t *testing.T) {
+	// z can steal the read right and writes into object x.
+	g := graph.New(nil)
+	x := g.MustObject("x")
+	z := g.MustSubject("z")
+	s := g.MustSubject("owner")
+	y := g.MustObject("secret")
+	g.AddExplicit(z, x, rights.W)
+	g.AddExplicit(z, s, rights.T)
+	g.AddExplicit(s, y, rights.R)
+	if !CanSnoop(g, x, y) {
+		t.Fatal("object snoop not detected")
+	}
+	d, err := SynthesizeSnoop(g, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := g.Clone()
+	if _, err := d.Replay(clone); err != nil {
+		t.Fatalf("replay: %v\n%s", err, d.Format(clone))
+	}
+	if !analysis.KnowsBase(clone, x, y) {
+		t.Error("knowledge not established in x")
+	}
+}
+
+func TestSnoopImpliesKnowAndSynthesis(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		n := 3 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			name := "v" + string(rune('a'+i))
+			if rng.Intn(3) > 0 {
+				g.MustSubject(name)
+			} else {
+				g.MustObject(name)
+			}
+		}
+		vs := g.Vertices()
+		for i := 0; i < 2*n; i++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if a != b {
+				g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+			}
+		}
+		for i := 0; i < 4; i++ {
+			x, y := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if x == y || !CanSnoop(g, x, y) {
+				continue
+			}
+			if !analysis.CanKnow(g, x, y) {
+				return false // snoop must imply know
+			}
+			d, err := SynthesizeSnoop(g, x, y)
+			if err != nil {
+				t.Logf("seed %d: snoop synthesis failed %s→%s: %v", seed, g.Name(x), g.Name(y), err)
+				return false
+			}
+			clone := g.Clone()
+			if _, err := d.Replay(clone); err != nil || !analysis.KnowsBase(clone, x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

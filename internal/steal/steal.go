@@ -1,0 +1,154 @@
+// Package steal implements Snyder's can•steal predicate, the theft
+// extension of the Take-Grant model the paper builds on: can a vertex
+// acquire a right when no vertex already holding that right cooperates?
+//
+// can•steal(α, x, y, G) is true iff x can obtain an explicit α edge to y
+// through a derivation in which no owner of an α right to y ever applies a
+// rule that moves that right (owners may be *victims* of take, but never
+// granters). Snyder's characterisation:
+//
+//	can•steal(α, x, y, G) ⇔
+//	  (a) x has no α edge to y in G, and
+//	  (b) some subject x′ (x′ = x, or x′ initially spans to x), and
+//	  (c) some vertex s holds an explicit α edge to y, and
+//	  (d) can•share(t, x′, s, G): the conspirators can acquire take
+//	      authority over s and pull the right off without s acting.
+//
+// The synthesiser composes the can•share machinery with the final
+// non-cooperative take and verifies by replay that no owner ever acts.
+package steal
+
+import (
+	"fmt"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+// CanSteal decides Snyder's predicate on g, constructively: the theorem's
+// conditions act as a necessary filter, and a synthesized derivation that
+// replays with no owner granting the right certifies sufficiency. (The
+// pure theorem conditions admit rare corner instances — an owner that is
+// simultaneously the only terminal spanner of itself — where every
+// realisation this package can build would need the owner's grant; those
+// decide false here.)
+func CanSteal(g *graph.Graph, alpha rights.Right, x, y graph.ID) bool {
+	if len(plan(g, alpha, x, y)) == 0 {
+		return false
+	}
+	_, err := Synthesize(g, alpha, x, y)
+	return err == nil
+}
+
+type pair struct{ xp, s graph.ID }
+
+// plan lists the (x′, s) pairs witnessing the theorem. The conspirator x′
+// must not itself be an original owner (an owner delivering the right is
+// sharing, not theft), must not be y (a vertex cannot hold a right to
+// itself), and must be able to acquire take authority over s.
+func plan(g *graph.Graph, alpha rights.Right, x, y graph.ID) []pair {
+	if !g.Valid(x) || !g.Valid(y) || x == y {
+		return nil
+	}
+	if g.Explicit(x, y).Has(alpha) {
+		return nil // nothing to steal
+	}
+	xps := analysis.InitialSpanners(g, x)
+	if len(xps) == 0 {
+		return nil
+	}
+	owners := make(map[graph.ID]bool)
+	var sources []graph.ID
+	for _, h := range g.In(y) {
+		if h.Explicit.Has(alpha) {
+			sources = append(sources, h.Other)
+			owners[h.Other] = true
+		}
+	}
+	var out []pair
+	for _, s := range sources {
+		for _, xp := range xps {
+			if xp == s || xp == y || owners[xp] {
+				continue
+			}
+			if analysis.CanShare(g, rights.Take, xp, s) {
+				out = append(out, pair{xp: xp, s: s})
+			}
+		}
+	}
+	return out
+}
+
+// Synthesize produces a replayable derivation realising the theft: the
+// conspirators obtain take authority over the owner s, pull α-to-y off s,
+// and deliver it to x. The derivation is verified against Snyder's
+// non-cooperation condition — no original owner of α-to-y ever grants that
+// right — trying each witness pair until one yields a clean theft.
+func Synthesize(g *graph.Graph, alpha rights.Right, x, y graph.ID) (rules.Derivation, error) {
+	pairs := plan(g, alpha, x, y)
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("steal: can.steal(%s, %s, %s) is false",
+			g.Universe().Name(alpha), g.Name(x), g.Name(y))
+	}
+	owners := make(map[graph.ID]bool)
+	for _, h := range g.In(y) {
+		if h.Explicit.Has(alpha) {
+			owners[h.Other] = true
+		}
+	}
+	var lastErr error
+	for _, w := range pairs {
+		d, err := synthesizePair(g, alpha, x, y, w)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		clean := true
+		for i, app := range d {
+			if app.Op == rules.OpGrant && owners[app.X] && app.Rights.Has(alpha) && app.Z == y {
+				lastErr = fmt.Errorf("steal: step %d has owner %s granting the right", i+1, g.Name(app.X))
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return d, nil
+		}
+	}
+	return nil, lastErr
+}
+
+func synthesizePair(g *graph.Graph, alpha rights.Right, x, y graph.ID, w pair) (rules.Derivation, error) {
+	// 1. x′ obtains t over the owner s.
+	d, err := analysis.SynthesizeShare(g, rights.Take, w.xp, w.s)
+	if err != nil {
+		return nil, err
+	}
+	g2 := g.Clone()
+	if _, err := d.Replay(g2); err != nil {
+		return nil, err
+	}
+	// 2. x′ pulls the right off s without s acting.
+	pull := rules.Take(w.xp, w.s, y, rights.Of(alpha))
+	if err := pull.Apply(g2); err != nil {
+		return nil, fmt.Errorf("steal: pull failed: %w", err)
+	}
+	d = append(d, pull)
+	// 3. deliver to x: x′ pushes its fresh copy along its initial span.
+	if w.xp != x {
+		push, err := analysis.PushShare(g2, w.xp, x, y, alpha)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := push.Replay(g2); err != nil {
+			return nil, err
+		}
+		d = append(d, push...)
+	}
+	if !g2.Explicit(x, y).Has(alpha) {
+		return nil, fmt.Errorf("steal: derivation did not deliver the right")
+	}
+	return d, nil
+}

@@ -1,0 +1,48 @@
+package tgio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the .tg parser never panics and that everything it
+// accepts round-trips through the canonical writer.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("subject a\nobject b\nedge a b r,w,t,g\n")
+	f.Add("right e\nsubject s\nobject o\nimplicit s o r\n")
+	f.Add("# nothing\n\n")
+	f.Add("edge ghost ghost r")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		text := WriteString(g)
+		g2, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, text)
+		}
+		if WriteString(g2) != text {
+			t.Fatalf("canonical form unstable:\n%s\nvs\n%s", text, WriteString(g2))
+		}
+	})
+}
+
+// FuzzJSON checks the JSON decoder against arbitrary input and round-trips
+// accepted graphs.
+func FuzzJSON(f *testing.F) {
+	f.Add(`{"subjects":["a"],"objects":["b"],"edges":[{"src":"a","dst":"b","rights":["r"]}]}`)
+	f.Add(`{"subjects":[],"objects":[]}`)
+	f.Add(`{"rights":["e"],"subjects":["s"],"objects":["o"],"implicit":[{"src":"s","dst":"o","rights":["r"]}]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := DecodeJSON(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		text := WriteString(g)
+		if _, err := ParseString(text); err != nil {
+			t.Fatalf("JSON-accepted graph fails .tg round trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package tgio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// JSONGraph is the interchange schema for protection graphs: stable field
+// names, rights as string lists, vertices referenced by name.
+type JSONGraph struct {
+	// Rights lists extra rights beyond r, w, t, g, in declaration order.
+	Rights   []string   `json:"rights,omitempty"`
+	Subjects []string   `json:"subjects"`
+	Objects  []string   `json:"objects"`
+	Edges    []JSONEdge `json:"edges,omitempty"`
+	Implicit []JSONEdge `json:"implicit,omitempty"`
+}
+
+// JSONEdge is one labelled edge.
+type JSONEdge struct {
+	Src    string   `json:"src"`
+	Dst    string   `json:"dst"`
+	Rights []string `json:"rights"`
+}
+
+// ToJSON converts a graph into the interchange form.
+func ToJSON(g *graph.Graph) *JSONGraph {
+	u := g.Universe()
+	out := &JSONGraph{}
+	for _, r := range u.All()[4:] {
+		out.Rights = append(out.Rights, u.Name(r))
+	}
+	for _, v := range g.Vertices() {
+		if g.IsSubject(v) {
+			out.Subjects = append(out.Subjects, g.Name(v))
+		} else {
+			out.Objects = append(out.Objects, g.Name(v))
+		}
+	}
+	sort.Strings(out.Subjects)
+	sort.Strings(out.Objects)
+	for _, e := range g.Edges() {
+		if !e.Explicit.Empty() {
+			out.Edges = append(out.Edges, JSONEdge{
+				Src: g.Name(e.Src), Dst: g.Name(e.Dst), Rights: e.Explicit.Names(u)})
+		}
+		if !e.Implicit.Empty() {
+			out.Implicit = append(out.Implicit, JSONEdge{
+				Src: g.Name(e.Src), Dst: g.Name(e.Dst), Rights: e.Implicit.Names(u)})
+		}
+	}
+	sortJSONEdges(out.Edges)
+	sortJSONEdges(out.Implicit)
+	return out
+}
+
+func sortJSONEdges(es []JSONEdge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+}
+
+// FromJSON rebuilds a graph from the interchange form.
+func FromJSON(j *JSONGraph) (*graph.Graph, error) {
+	g := graph.New(nil)
+	for _, name := range j.Rights {
+		if _, err := g.Universe().Declare(name); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range j.Subjects {
+		if _, err := g.AddSubject(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range j.Objects {
+		if _, err := g.AddObject(o); err != nil {
+			return nil, err
+		}
+	}
+	addEdges := func(es []JSONEdge, implicit bool) error {
+		for _, e := range es {
+			src, ok := g.Lookup(e.Src)
+			if !ok {
+				return fmt.Errorf("tgio: unknown vertex %q", e.Src)
+			}
+			dst, ok := g.Lookup(e.Dst)
+			if !ok {
+				return fmt.Errorf("tgio: unknown vertex %q", e.Dst)
+			}
+			var set rights.Set
+			for _, name := range e.Rights {
+				r, ok := g.Universe().Lookup(name)
+				if !ok {
+					return fmt.Errorf("tgio: unknown right %q", name)
+				}
+				set = set.With(r)
+			}
+			if set.Empty() {
+				return fmt.Errorf("tgio: empty rights on %s→%s", e.Src, e.Dst)
+			}
+			var err error
+			if implicit {
+				err = g.AddImplicit(src, dst, set)
+			} else {
+				err = g.AddExplicit(src, dst, set)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := addEdges(j.Edges, false); err != nil {
+		return nil, err
+	}
+	if err := addEdges(j.Implicit, true); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// EncodeJSON writes the graph as indented JSON.
+func EncodeJSON(w io.Writer, g *graph.Graph) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSON(g))
+}
+
+// DecodeJSON reads a graph from JSON.
+func DecodeJSON(r io.Reader) (*graph.Graph, error) {
+	var j JSONGraph
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("tgio: %w", err)
+	}
+	return FromJSON(&j)
+}
+
+// Stats summarises a protection graph for reports.
+type Stats struct {
+	Subjects, Objects int
+	ExplicitEdges     int
+	ImplicitEdges     int
+	// PerRight counts how many explicit edges carry each right name.
+	PerRight map[string]int
+}
+
+// Summarize computes graph statistics.
+func Summarize(g *graph.Graph) Stats {
+	u := g.Universe()
+	s := Stats{PerRight: make(map[string]int)}
+	s.Subjects = len(g.Subjects())
+	s.Objects = len(g.Objects())
+	for _, e := range g.Edges() {
+		if !e.Explicit.Empty() {
+			s.ExplicitEdges++
+			for _, r := range e.Explicit.Rights() {
+				s.PerRight[u.Name(r)]++
+			}
+		}
+		if !e.Implicit.Empty() {
+			s.ImplicitEdges++
+		}
+	}
+	return s
+}

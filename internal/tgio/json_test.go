@@ -1,0 +1,100 @@
+package tgio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, buf.String())
+	}
+	if WriteString(g2) != WriteString(g) {
+		t.Errorf("JSON round trip changed the graph:\n%s\nvs\n%s",
+			WriteString(g), WriteString(g2))
+	}
+}
+
+func TestJSONPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		g.Universe().MustDeclare("e")
+		n := 2 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			name := "v" + string(rune('a'+i))
+			if rng.Intn(2) == 0 {
+				g.MustSubject(name)
+			} else {
+				g.MustObject(name)
+			}
+		}
+		vs := g.Vertices()
+		for i := 0; i < 3*n; i++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if a == b {
+				continue
+			}
+			if rng.Intn(4) == 0 {
+				g.AddImplicit(a, b, rights.R)
+			} else {
+				g.AddExplicit(a, b, rights.Set(1+rng.Intn(31)))
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeJSON(&buf, g); err != nil {
+			return false
+		}
+		g2, err := DecodeJSON(&buf)
+		if err != nil {
+			return false
+		}
+		return WriteString(g2) == WriteString(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	for _, bad := range []string{
+		`{`,
+		`{"subjects":["a"],"objects":[],"edges":[{"src":"a","dst":"ghost","rights":["r"]}]}`,
+		`{"subjects":["a"],"objects":["b"],"edges":[{"src":"a","dst":"b","rights":["zz"]}]}`,
+		`{"subjects":["a"],"objects":["b"],"edges":[{"src":"a","dst":"b","rights":[]}]}`,
+		`{"subjects":["a","a"],"objects":[]}`,
+	} {
+		if _, err := DecodeJSON(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %s", bad)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g, _ := ParseString(sample)
+	s := Summarize(g)
+	if s.Subjects != 1 || s.Objects != 2 {
+		t.Errorf("counts = %+v", s)
+	}
+	if s.ExplicitEdges != 2 || s.ImplicitEdges != 1 {
+		t.Errorf("edges = %+v", s)
+	}
+	if s.PerRight["t"] != 1 || s.PerRight["w"] != 1 || s.PerRight["e"] != 1 {
+		t.Errorf("per-right = %v", s.PerRight)
+	}
+}

@@ -1,0 +1,211 @@
+// Package tgio reads and writes protection graphs.
+//
+// The ".tg" text format is line-oriented:
+//
+//	# comment                      (also after '#' anywhere on a line)
+//	right e                        declare an extra right
+//	subject alice                  declare a subject vertex
+//	object report                  declare an object vertex
+//	edge alice report r,w          explicit edge with a rights list
+//	implicit alice report r        implicit edge
+//
+// Vertices must be declared before edges mention them. Writing a graph
+// produces a canonical file (sorted declarations) that parses back to an
+// Equal graph. The package also exports Graphviz DOT (explicit edges
+// solid, implicit dashed, subjects as filled circles, objects hollow) and
+// a plain-text rendering for terminals.
+package tgio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// Parse reads a .tg document into a fresh graph.
+func Parse(r io.Reader) (*graph.Graph, error) {
+	g := graph.New(nil)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseLine(g, fields); err != nil {
+			return nil, fmt.Errorf("tgio: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tgio: %w", err)
+	}
+	return g, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*graph.Graph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseLine(g *graph.Graph, fields []string) error {
+	switch fields[0] {
+	case "right":
+		if len(fields) != 2 {
+			return fmt.Errorf("right takes one name")
+		}
+		_, err := g.Universe().Declare(fields[1])
+		return err
+	case "subject":
+		if len(fields) != 2 {
+			return fmt.Errorf("subject takes one name")
+		}
+		_, err := g.AddSubject(fields[1])
+		return err
+	case "object":
+		if len(fields) != 2 {
+			return fmt.Errorf("object takes one name")
+		}
+		_, err := g.AddObject(fields[1])
+		return err
+	case "edge", "implicit":
+		if len(fields) != 4 {
+			return fmt.Errorf("%s takes src dst rights", fields[0])
+		}
+		src, ok := g.Lookup(fields[1])
+		if !ok {
+			return fmt.Errorf("unknown vertex %q", fields[1])
+		}
+		dst, ok := g.Lookup(fields[2])
+		if !ok {
+			return fmt.Errorf("unknown vertex %q", fields[2])
+		}
+		set, err := rights.Parse(g.Universe(), fields[3])
+		if err != nil {
+			return err
+		}
+		if set.Empty() {
+			return fmt.Errorf("empty rights list")
+		}
+		if fields[0] == "edge" {
+			return g.AddExplicit(src, dst, set)
+		}
+		return g.AddImplicit(src, dst, set)
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+// Write emits the graph in canonical .tg form.
+func Write(w io.Writer, g *graph.Graph) error {
+	u := g.Universe()
+	var b strings.Builder
+	// Extra rights beyond the builtin four, in declaration order.
+	for _, r := range u.All()[4:] {
+		fmt.Fprintf(&b, "right %s\n", u.Name(r))
+	}
+	names := make([]string, 0, g.NumVertices())
+	for _, v := range g.Vertices() {
+		names = append(names, g.Name(v))
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v, _ := g.Lookup(n)
+		fmt.Fprintf(&b, "%s %s\n", g.KindOf(v), n)
+	}
+	type edgeLine struct{ src, dst, set string }
+	var explicit, implicit []edgeLine
+	for _, e := range g.Edges() {
+		if !e.Explicit.Empty() {
+			explicit = append(explicit, edgeLine{g.Name(e.Src), g.Name(e.Dst), e.Explicit.Format(u)})
+		}
+		if !e.Implicit.Empty() {
+			implicit = append(implicit, edgeLine{g.Name(e.Src), g.Name(e.Dst), e.Implicit.Format(u)})
+		}
+	}
+	sortEdges := func(es []edgeLine) {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].src != es[j].src {
+				return es[i].src < es[j].src
+			}
+			return es[i].dst < es[j].dst
+		})
+	}
+	sortEdges(explicit)
+	sortEdges(implicit)
+	for _, e := range explicit {
+		fmt.Fprintf(&b, "edge %s %s %s\n", e.src, e.dst, e.set)
+	}
+	for _, e := range implicit {
+		fmt.Fprintf(&b, "implicit %s %s %s\n", e.src, e.dst, e.set)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteString is Write into a string.
+func WriteString(g *graph.Graph) string {
+	var b strings.Builder
+	Write(&b, g) // strings.Builder never errors
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz syntax.
+func DOT(g *graph.Graph, title string) string {
+	u := g.Universe()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n")
+	for _, v := range g.Vertices() {
+		shape := "circle"
+		style := "filled"
+		if g.IsObject(v) {
+			style = "solid"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, style=%s];\n", g.Name(v), shape, style)
+	}
+	for _, e := range g.Edges() {
+		if !e.Explicit.Empty() {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n",
+				g.Name(e.Src), g.Name(e.Dst), e.Explicit.Format(u))
+		}
+		if !e.Implicit.Empty() {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q, style=dashed];\n",
+				g.Name(e.Src), g.Name(e.Dst), e.Implicit.Format(u))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Render produces a terminal-friendly adjacency listing: one block per
+// vertex with its outgoing explicit (→) and implicit (⇢) labels.
+func Render(g *graph.Graph) string {
+	u := g.Universe()
+	var b strings.Builder
+	for _, v := range g.Vertices() {
+		marker := "●"
+		if g.IsObject(v) {
+			marker = "○"
+		}
+		fmt.Fprintf(&b, "%s %s\n", marker, g.Name(v))
+		for _, h := range g.Out(v) {
+			if !h.Explicit.Empty() {
+				fmt.Fprintf(&b, "    → %-12s %s\n", g.Name(h.Other), h.Explicit.Format(u))
+			}
+			if !h.Implicit.Empty() {
+				fmt.Fprintf(&b, "    ⇢ %-12s %s\n", g.Name(h.Other), h.Implicit.Format(u))
+			}
+		}
+	}
+	return b.String()
+}

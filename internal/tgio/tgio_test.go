@@ -1,0 +1,149 @@
+package tgio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+const sample = `
+# Figure 5.1, roughly
+right e
+subject x
+object v
+object y
+edge x v t
+edge v y e,w    # execute and write
+implicit x y r
+`
+
+func TestParseSample(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, ok := g.Lookup("x")
+	if !ok || !g.IsSubject(x) {
+		t.Fatal("x missing")
+	}
+	v, _ := g.Lookup("v")
+	y, _ := g.Lookup("y")
+	if !g.Explicit(x, v).Has(rights.Take) {
+		t.Error("edge x v t missing")
+	}
+	e, ok := g.Universe().Lookup("e")
+	if !ok {
+		t.Fatal("right e not declared")
+	}
+	if !g.Explicit(v, y).Has(e) || !g.Explicit(v, y).Has(rights.Write) {
+		t.Error("edge v y wrong")
+	}
+	if !g.Implicit(x, y).Has(rights.Read) {
+		t.Error("implicit edge missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate x",
+		"subject",
+		"object a b",
+		"edge a b r",                      // unknown vertices
+		"subject a\nedge a a r",           // self edge via graph layer
+		"subject a\nobject b\nedge a b",   // missing rights
+		"subject a\nobject b\nedge a b q", // unknown right
+		"subject a\nobject b\nedge a b ∅", // empty rights
+		"right",
+		"subject a\nsubject a",
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := WriteString(g)
+	g2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	// Structural equality up to vertex IDs: compare canonical .tg forms.
+	if WriteString(g2) != text {
+		t.Errorf("round trip not canonical:\n%s\nvs\n%s", text, WriteString(g2))
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(nil)
+		g.Universe().MustDeclare("e")
+		n := 2 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			name := "v" + string(rune('a'+i))
+			if rng.Intn(2) == 0 {
+				g.MustSubject(name)
+			} else {
+				g.MustObject(name)
+			}
+		}
+		vs := g.Vertices()
+		for i := 0; i < 3*n; i++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			if a == b {
+				continue
+			}
+			if rng.Intn(4) == 0 {
+				g.AddImplicit(a, b, rights.R)
+			} else {
+				g.AddExplicit(a, b, rights.Set(1+rng.Intn(31)))
+			}
+		}
+		text := WriteString(g)
+		g2, err := ParseString(text)
+		if err != nil {
+			return false
+		}
+		return WriteString(g2) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g, _ := ParseString(sample)
+	dot := DOT(g, "fig51")
+	for _, want := range []string{"digraph", `"x" -> "v"`, "style=dashed", `label="w,e"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	g, _ := ParseString(sample)
+	out := Render(g)
+	for _, want := range []string{"● x", "○ y", "→", "⇢"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	g, err := ParseString("\n\n# only comments\n   \nsubject a # trailing\n")
+	if err != nil || g.NumVertices() != 1 {
+		t.Errorf("= %v, %v", g, err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package wu implements the baseline the paper argues against: Wu's
+// hierarchical protection system [7], a Take-Grant hierarchy built from de
+// jure edges alone.
+//
+// In Wu's model the hierarchy is wired with take and grant authority:
+// every subject holds take rights over the subjects one level below it
+// (supervision) and grant rights toward the subjects one level above it
+// (reporting). The model looks hierarchical, but §2 of the paper shows it
+// collapses under conspiracy: a take or grant edge between two subjects is
+// a bridge, so any two directly connected subjects can share *all* their
+// rights (Lemmas 2.1/2.2), and chains of such edges connect every level.
+// Two corrupt subjects suffice to leak the most classified document to the
+// bottom of the hierarchy.
+//
+// The package exists for experiment E1: the same classified workload is
+// breachable here and provably safe in the paper's §4 construction.
+package wu
+
+import (
+	"fmt"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+)
+
+// System is a built Wu-style hierarchy.
+type System struct {
+	G *graph.Graph
+	// Subjects[i] lists level i's subjects (level 0 is the bottom).
+	Subjects [][]graph.ID
+	// Docs[i] is level i's classified document.
+	Docs []graph.ID
+}
+
+// New builds a Wu hierarchy with the given number of levels and subjects
+// per level. Each level has one document its subjects may read and write;
+// each subject takes from the subjects one level down and grants to the
+// subjects one level up.
+func New(levels, subjectsPerLevel int) (*System, error) {
+	if levels < 2 || subjectsPerLevel < 1 {
+		return nil, fmt.Errorf("wu: need at least two levels and one subject per level")
+	}
+	g := graph.New(nil)
+	s := &System{G: g, Subjects: make([][]graph.ID, levels), Docs: make([]graph.ID, levels)}
+	for i := 0; i < levels; i++ {
+		doc, err := g.AddObject(fmt.Sprintf("doc%d", i))
+		if err != nil {
+			return nil, err
+		}
+		s.Docs[i] = doc
+		for j := 0; j < subjectsPerLevel; j++ {
+			sub, err := g.AddSubject(fmt.Sprintf("s%d_%d", i, j))
+			if err != nil {
+				return nil, err
+			}
+			if err := g.AddExplicit(sub, doc, rights.RW); err != nil {
+				return nil, err
+			}
+			s.Subjects[i] = append(s.Subjects[i], sub)
+		}
+	}
+	for i := 1; i < levels; i++ {
+		for _, hi := range s.Subjects[i] {
+			for _, lo := range s.Subjects[i-1] {
+				// Supervision: take down. Reporting: grant up.
+				if err := g.AddExplicit(hi, lo, rights.T); err != nil {
+					return nil, err
+				}
+				if err := g.AddExplicit(lo, hi, rights.G); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Levels returns the number of levels.
+func (s *System) Levels() int { return len(s.Docs) }
+
+// Breachable reports whether the bottom level can acquire read authority
+// over the top document — the paper's §2 conspiracy observation. It also
+// returns the derivation realising the theft.
+func (s *System) Breachable() (bool, rules.Derivation, error) {
+	low := s.Subjects[0][0]
+	topDoc := s.Docs[len(s.Docs)-1]
+	if !analysis.CanShare(s.G, rights.Read, low, topDoc) {
+		return false, nil, nil
+	}
+	d, err := analysis.SynthesizeShare(s.G, rights.Read, low, topDoc)
+	if err != nil {
+		return true, nil, err
+	}
+	return true, d, nil
+}
+
+// MinConspirators returns how many corrupt subjects the breach requires in
+// this wiring: the lemma constructions only ever involve the two endpoint
+// subjects of each hierarchy edge, so a path of k edges from the top to
+// the bottom needs at most k+1 conspirators; with one level between, two
+// adjacent subjects suffice for each hop.
+func (s *System) MinConspirators() int {
+	// Lower bound: the breach derivation's distinct actors.
+	_, d, err := s.Breachable()
+	if err != nil || d == nil {
+		return 0
+	}
+	actors := make(map[graph.ID]bool)
+	for _, app := range d {
+		if app.Op.DeJure() {
+			actors[app.X] = true
+		}
+	}
+	return len(actors)
+}

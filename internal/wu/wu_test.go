@@ -1,0 +1,113 @@
+package wu
+
+import (
+	"testing"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/rights"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 1); err == nil {
+		t.Error("single level accepted")
+	}
+	if _, err := New(3, 0); err == nil {
+		t.Error("zero subjects accepted")
+	}
+}
+
+func TestWuStructure(t *testing.T) {
+	s, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Levels() != 3 {
+		t.Errorf("levels = %d", s.Levels())
+	}
+	g := s.G
+	hi := s.Subjects[2][0]
+	lo := s.Subjects[1][0]
+	if !g.Explicit(hi, lo).Has(rights.Take) {
+		t.Error("take-down edge missing")
+	}
+	if !g.Explicit(lo, hi).Has(rights.Grant) {
+		t.Error("grant-up edge missing")
+	}
+}
+
+func TestWuConspiracyBreach(t *testing.T) {
+	s, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breachable, d, err := s.Breachable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !breachable {
+		t.Fatal("Wu hierarchy not breachable — contradicts §2")
+	}
+	clone := s.G.Clone()
+	if _, err := d.Replay(clone); err != nil {
+		t.Fatalf("breach derivation does not replay: %v", err)
+	}
+	low := s.Subjects[0][0]
+	topDoc := s.Docs[2]
+	if !clone.Explicit(low, topDoc).Has(rights.Read) {
+		t.Error("breach did not deliver read on the top document")
+	}
+	// The whole hierarchy is one rights-sharing pool: every subject pair is
+	// bridge-connected, so all subjects are one rwtg-level.
+	st := hierarchy.AnalyzeRWTG(s.G)
+	if st.NumLevels() != 1 {
+		t.Errorf("Wu hierarchy has %d rwtg-levels, expected 1 (total collapse)", st.NumLevels())
+	}
+}
+
+func TestWuVsBishopModel(t *testing.T) {
+	// The contrast of E1: the same classified workload in the paper's §4
+	// construction is conspiracy-immune.
+	wuSys, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := wuSys.Subjects[0][0]
+	if !analysis.CanKnow(wuSys.G, low, wuSys.Docs[2]) {
+		t.Error("Wu: low cannot know top doc despite the breach path")
+	}
+	bishop, err := hierarchy.Linear(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bLow := bishop.Members["L1"][0]
+	if analysis.CanKnow(bishop.G, bLow, bishop.Bulletin["L3"]) {
+		t.Error("Bishop: low knows top bulletin — hierarchy broken")
+	}
+	if ok, _ := hierarchy.Secure(bishop.G); !ok {
+		t.Error("Bishop model insecure")
+	}
+	if ok, _ := hierarchy.StrictSecure(bishop.G); !ok {
+		t.Error("Bishop model not strictly secure")
+	}
+	// Wu's wiring has no de facto order between levels at all — every
+	// cross-level relation is take/grant authority — so the paper-literal
+	// predicate (quantified over ordered pairs) is vacuous there. The
+	// strict predicate exposes the de jure amplification.
+	if ok, _ := hierarchy.StrictSecure(wuSys.G); ok {
+		t.Error("Wu model reported strictly secure")
+	}
+}
+
+func TestMinConspirators(t *testing.T) {
+	s, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.MinConspirators()
+	if n < 2 {
+		t.Errorf("conspirators = %d, want at least the two paper requires", n)
+	}
+	_ = graph.None
+}

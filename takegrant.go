@@ -1,0 +1,272 @@
+// Package takegrant is a production-quality implementation of the
+// hierarchical Take-Grant Protection Model of Bishop, "Hierarchical
+// Take-Grant Protection Systems" (SOSP 1981).
+//
+// The model represents a protection state as a finite directed graph:
+// active subjects and passive objects, with edges labelled by rights
+// (read, write, take, grant, plus user-declared rights). De jure rules
+// (take, grant, create, remove) transfer authority; de facto rules (post,
+// pass, spy, find) exhibit information flow. The package answers the
+// model's decision problems — can•share (Theorem 2.3), can•know•f
+// (Theorem 3.1) and can•know (Theorem 3.2) — constructively: every
+// positive answer comes with a replayable rule derivation.
+//
+// Its centrepiece is the hierarchical system of §§4–5: security levels as
+// mutual-information classes, a `higher` partial order, and the combined
+// no-read-up / no-write-down restriction that keeps a hierarchy secure
+// against arbitrarily many corrupt subjects while still letting every
+// other right move freely (Theorem 5.5: sound and complete).
+//
+// Quick start:
+//
+//	c, _ := takegrant.BuildLinear(3, 2)       // 3-level classification
+//	sys := takegrant.NewSystem(c.G)           // guarded system
+//	low := c.Members["L1"][0]
+//	top := c.Bulletin["L3"]
+//	sys.CanKnow(low, top)                     // false — provably
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// paper-to-package map.
+package takegrant
+
+import (
+	"io"
+	"net/http"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/conspiracy"
+	"takegrant/internal/core"
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/relang"
+	"takegrant/internal/restrict"
+	"takegrant/internal/rights"
+	"takegrant/internal/rules"
+	"takegrant/internal/service"
+	"takegrant/internal/specimens"
+	"takegrant/internal/steal"
+	"takegrant/internal/tgio"
+)
+
+// Core graph vocabulary.
+type (
+	// Graph is a protection graph: subjects, objects, labelled edges.
+	Graph = graph.Graph
+	// ID identifies a vertex within one Graph.
+	ID = graph.ID
+	// Right is a single access right; Set is a set of them.
+	Right = rights.Right
+	// Set is a rights bitset.
+	Set = rights.Set
+	// Universe names the rights labelling a graph's edges.
+	Universe = rights.Universe
+	// Application is one rewriting-rule instance.
+	Application = rules.Application
+	// Derivation is a replayable sequence of rule applications.
+	Derivation = rules.Derivation
+	// System is a guarded hierarchical protection system.
+	System = core.System
+	// Classification is a built level hierarchy.
+	Classification = hierarchy.Classification
+	// Structure is a computed level decomposition.
+	Structure = hierarchy.Structure
+	// Level describes one classification level for Build.
+	Level = hierarchy.Level
+)
+
+// The distinguished rights.
+const (
+	Read  = rights.Read
+	Write = rights.Write
+	Take  = rights.Take
+	Grant = rights.Grant
+)
+
+// None is the invalid vertex ID.
+const None = graph.None
+
+// Vertex kinds.
+const (
+	Subject = graph.Subject
+	Object  = graph.Object
+)
+
+// NewGraph returns an empty protection graph (nil universe for the default
+// r, w, t, g rights).
+func NewGraph(u *Universe) *Graph { return graph.New(u) }
+
+// NewUniverse returns a universe with the four distinguished rights.
+func NewUniverse() *Universe { return rights.NewUniverse() }
+
+// Of builds a rights set.
+func Of(rs ...Right) Set { return rights.Of(rs...) }
+
+// NewSystem wraps a graph in a guarded hierarchical system.
+func NewSystem(g *Graph) *System { return core.New(g) }
+
+// Build constructs a classification hierarchy from level descriptions.
+func Build(levels []Level) (*Classification, error) { return hierarchy.Build(levels) }
+
+// BuildLinear constructs the paper's Figure 4.1 linear classification.
+func BuildLinear(n, subjectsPerLevel int) (*Classification, error) {
+	return hierarchy.Linear(n, subjectsPerLevel)
+}
+
+// BuildMilitary constructs the paper's Figure 4.2 military lattice.
+func BuildMilitary(numAuthorities int, categories []string, subjectsPerLevel int) (*Classification, error) {
+	return hierarchy.Military(numAuthorities, categories, subjectsPerLevel)
+}
+
+// Rule constructors (see the paper's §2 and §3 for the role names).
+var (
+	// TakeRule builds "x takes (δ to z) from y".
+	TakeRule = rules.Take
+	// GrantRule builds "x grants (δ to z) to y".
+	GrantRule = rules.Grant
+	// CreateRule builds "x creates (δ to) new vertex".
+	CreateRule = rules.Create
+	// RemoveRule builds "x removes (α to) y".
+	RemoveRule = rules.Remove
+	// PostRule, PassRule, SpyRule, FindRule build the de facto rules.
+	PostRule = rules.Post
+	PassRule = rules.Pass
+	SpyRule  = rules.Spy
+	FindRule = rules.Find
+)
+
+// CanShare decides can•share(α, x, y, G) — Theorem 2.3.
+func CanShare(g *Graph, alpha Right, x, y ID) bool { return analysis.CanShare(g, alpha, x, y) }
+
+// CanKnowF decides can•know•f(x, y, G) — Theorem 3.1 (de facto only).
+func CanKnowF(g *Graph, x, y ID) bool { return analysis.CanKnowF(g, x, y) }
+
+// CanKnow decides can•know(x, y, G) — Theorem 3.2 (de jure + de facto).
+func CanKnow(g *Graph, x, y ID) bool { return analysis.CanKnow(g, x, y) }
+
+// CanSteal decides Snyder's theft predicate: acquisition without owner
+// cooperation.
+func CanSteal(g *Graph, alpha Right, x, y ID) bool { return steal.CanSteal(g, alpha, x, y) }
+
+// CanSnoop decides information theft: can x come to know y's information
+// with no owner of read authority over y cooperating?
+func CanSnoop(g *Graph, x, y ID) bool { return steal.CanSnoop(g, x, y) }
+
+// ExplainSteal returns a replayable derivation realising a theft.
+func ExplainSteal(g *Graph, alpha Right, x, y ID) (Derivation, error) {
+	return steal.Synthesize(g, alpha, x, y)
+}
+
+// ExplainSnoop returns a replayable derivation realising a snoop.
+func ExplainSnoop(g *Graph, x, y ID) (Derivation, error) {
+	return steal.SynthesizeSnoop(g, x, y)
+}
+
+// ExplainShare returns a replayable de jure derivation witnessing CanShare.
+func ExplainShare(g *Graph, alpha Right, x, y ID) (Derivation, error) {
+	return analysis.SynthesizeShare(g, alpha, x, y)
+}
+
+// ExplainKnow returns a replayable derivation witnessing CanKnow.
+func ExplainKnow(g *Graph, x, y ID) (Derivation, error) {
+	return analysis.SynthesizeKnow(g, x, y)
+}
+
+// MinConspirators returns the minimum number of subjects that must
+// cooperate for x to learn y's information de facto, with the conspirator
+// chain.
+func MinConspirators(g *Graph, x, y ID) (int, []ID, bool) {
+	return conspiracy.MinConspiratorsF(g, x, y)
+}
+
+// Islands returns the graph's islands (maximal subject-only tg-connected
+// groups).
+func Islands(g *Graph) [][]ID { return analysis.Islands(g) }
+
+// Acquisition is one entry of a rights-amplification profile.
+type Acquisition = analysis.Acquisition
+
+// RightsProfile lists every right a vertex can ever acquire under
+// unrestricted de jure rules — the can•share closure of one vertex.
+func RightsProfile(g *Graph, x ID) []Acquisition { return analysis.Profile(g, x) }
+
+// AnalyzeRW computes the rw-level structure (§4).
+func AnalyzeRW(g *Graph) *Structure { return hierarchy.AnalyzeRW(g) }
+
+// AnalyzeRWTG computes the rwtg-level structure (§5).
+func AnalyzeRWTG(g *Graph) *Structure { return hierarchy.AnalyzeRWTG(g) }
+
+// Secure evaluates the §5 security predicate.
+func Secure(g *Graph) (bool, *hierarchy.Violation) { return hierarchy.Secure(g) }
+
+// StrictSecure also rejects flows between incomparable levels.
+func StrictSecure(g *Graph) (bool, *hierarchy.Violation) { return hierarchy.StrictSecure(g) }
+
+// Restriction vocabulary (§5).
+type (
+	// Restriction guards de jure rule applications.
+	Restriction = restrict.Restriction
+	// Guarded executes rules under a restriction.
+	Guarded = restrict.Guarded
+	// Combined is the paper's sound-and-complete restriction.
+	Combined = restrict.Combined
+)
+
+// NewCombined builds the combined no-read-up/no-write-down restriction
+// over a classification.
+func NewCombined(s *Structure) *Combined { return restrict.NewCombined(s) }
+
+// ShareableUnder decides can•share under the combined restriction — the
+// composition Theorem 5.5's completeness licenses: unrestricted can•share,
+// minus read-up and write-down edges.
+func ShareableUnder(g *Graph, c *Combined, alpha Right, x, y ID) bool {
+	return restrict.ShareableUnder(g, c, alpha, x, y)
+}
+
+// NewGuarded wraps a graph with a restriction.
+func NewGuarded(g *Graph, r Restriction) *Guarded { return restrict.NewGuarded(g, r) }
+
+// Unrestricted permits every rule application.
+var Unrestricted Restriction = restrict.Unrestricted{}
+
+// ParseGraph reads a .tg document.
+func ParseGraph(r io.Reader) (*Graph, error) { return tgio.Parse(r) }
+
+// ParseGraphString reads a .tg document from a string.
+func ParseGraphString(s string) (*Graph, error) { return tgio.ParseString(s) }
+
+// WriteGraph renders a graph in canonical .tg form.
+func WriteGraph(g *Graph) string { return tgio.WriteString(g) }
+
+// DOT renders a graph in Graphviz syntax.
+func DOT(g *Graph, title string) string { return tgio.DOT(g, title) }
+
+// Render produces a terminal-friendly listing of the graph.
+func Render(g *Graph) string { return tgio.Render(g) }
+
+// Witness searching (exposed for custom path queries).
+type (
+	// PathExpr is a regular expression over edge words.
+	PathExpr = relang.Expr
+	// PathStep is one edge traversal of a witness path.
+	PathStep = relang.Step
+)
+
+// ParsePathExpr parses the text syntax for edge-word languages, e.g.
+// "t>* g>" or "(r>[tail] | w<[head])*".
+func ParsePathExpr(u *Universe, text string) (*PathExpr, error) { return relang.Parse(u, text) }
+
+// Trace replays a derivation on a clone of g, rendering each step with the
+// graph change it caused — a human-readable proof transcript.
+func Trace(g *Graph, d Derivation) (string, error) { return rules.Trace(g, d) }
+
+// Specimens lists the built-in paper-figure graphs (fig22, fig51, fig61,
+// military, wu).
+func Specimens() []string { return specimens.List() }
+
+// LoadSpecimen parses a built-in paper figure into a fresh graph.
+func LoadSpecimen(name string) (*Graph, error) { return specimens.Load(name) }
+
+// NewHTTPHandler returns the reference-monitor HTTP API over a fresh
+// guarded system: PUT /graph to load, POST /apply for guarded rules,
+// GET /query/* for the decision procedures. See cmd/tgserve.
+func NewHTTPHandler() http.Handler { return service.New().Handler() }

@@ -1,0 +1,140 @@
+package takegrant
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstart exercises the README's quick-start path end to end.
+func TestQuickstart(t *testing.T) {
+	c, err := BuildLinear(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(c.G)
+	low := c.Members["L1"][0]
+	top := c.Bulletin["L3"]
+	if sys.CanKnow(low, top) {
+		t.Error("hierarchy leaks downward")
+	}
+	high := c.Members["L3"][0]
+	if !sys.CanKnow(high, c.Bulletin["L1"]) {
+		t.Error("hierarchy blocks upward reads")
+	}
+	if ok, v := sys.Secure(); !ok {
+		t.Errorf("insecure: %v", v)
+	}
+}
+
+func TestPublicRuleFlow(t *testing.T) {
+	g := NewGraph(nil)
+	x := g.MustSubject("x")
+	v := g.MustObject("v")
+	y := g.MustObject("y")
+	g.AddExplicit(x, v, Of(Take))
+	g.AddExplicit(v, y, Of(Read))
+	if !CanShare(g, Read, x, y) {
+		t.Fatal("CanShare failed")
+	}
+	d, err := ExplainShare(g, Read, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Replay(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Explicit(x, y).Has(Read) {
+		t.Error("explain/replay did not deliver")
+	}
+}
+
+func TestGuardedSystemRefusesReadUp(t *testing.T) {
+	c, err := BuildLinear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := c.Members["L1"][0]
+	high := c.Members["L2"][0]
+	c.G.AddExplicit(low, high, Of(Take))
+	sys := NewSystem(c.G)
+	if err := sys.Apply(TakeRule(low, high, c.Bulletin["L2"], Of(Read))); err == nil {
+		t.Error("read-up take allowed")
+	}
+	if err := sys.Apply(TakeRule(low, high, c.Bulletin["L2"], Of(Write))); err != nil {
+		t.Errorf("write-up refused: %v", err)
+	}
+	applied, refused := sys.Stats()
+	if applied != 1 || refused != 1 {
+		t.Errorf("stats = %d applied %d refused", applied, refused)
+	}
+	if len(sys.Audit()) != 0 {
+		t.Error("guarded system audits dirty")
+	}
+}
+
+func TestIORoundTripPublic(t *testing.T) {
+	g, err := ParseGraphString("subject a\nobject b\nedge a b r,w\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := WriteGraph(g)
+	if !strings.Contains(text, "edge a b r,w") {
+		t.Errorf("WriteGraph = %q", text)
+	}
+	if !strings.Contains(DOT(g, "t"), "digraph") {
+		t.Error("DOT broken")
+	}
+	if !strings.Contains(Render(g), "● a") {
+		t.Error("Render broken")
+	}
+}
+
+func TestMinConspiratorsPublic(t *testing.T) {
+	g := NewGraph(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	g.AddExplicit(x, y, Of(Read))
+	n, chain, ok := MinConspirators(g, x, y)
+	if !ok || n != 1 || len(chain) != 1 {
+		t.Errorf("= %d %v %v", n, chain, ok)
+	}
+}
+
+func TestCanStealPublic(t *testing.T) {
+	g := NewGraph(nil)
+	thief := g.MustSubject("thief")
+	owner := g.MustSubject("owner")
+	secret := g.MustObject("secret")
+	g.AddExplicit(thief, owner, Of(Take))
+	g.AddExplicit(owner, secret, Of(Read))
+	if !CanSteal(g, Read, thief, secret) {
+		t.Error("theft not detected")
+	}
+}
+
+func TestPathExprPublic(t *testing.T) {
+	u := NewUniverse()
+	if _, err := ParsePathExpr(u, "t>* g>"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParsePathExpr(u, "t>*("); err == nil {
+		t.Error("bad expression accepted")
+	}
+}
+
+func TestReclassifyGuard(t *testing.T) {
+	c, err := BuildLinear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(c.G)
+	if err := sys.Reclassify(); err != nil {
+		t.Errorf("clean reclassify refused: %v", err)
+	}
+	// Dirty the graph behind the guard's back and retry.
+	low := c.Members["L1"][0]
+	c.G.AddExplicit(low, c.Bulletin["L2"], Of(Read))
+	if err := sys.Reclassify(); err == nil {
+		t.Error("reclassify allowed with live violations")
+	}
+}
