@@ -9,6 +9,10 @@ package takegrant
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"takegrant/internal/analysis"
@@ -20,6 +24,7 @@ import (
 	"takegrant/internal/restrict"
 	"takegrant/internal/rights"
 	"takegrant/internal/rules"
+	"takegrant/internal/service"
 	"takegrant/internal/simulate"
 	"takegrant/internal/specimens"
 	"takegrant/internal/wu"
@@ -308,6 +313,95 @@ func BenchmarkProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		analysis.Profile(g, x)
 	}
+}
+
+// BenchmarkServiceReadParallel drives the HTTP reference monitor's
+// read path with b.RunParallel. Queries hold only a read lock and repeat
+// queries at an unchanged revision are cache hits, so throughput should
+// rise with GOMAXPROCS (compare -cpu 1,2,4,8); the old single-mutex
+// server serialized every query.
+func BenchmarkServiceReadParallel(b *testing.B) {
+	srv := service.New()
+	h := srv.Handler()
+	src, err := specimens.Source("military")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPut, "/graph", strings.NewReader(src)))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("load = %d", rec.Code)
+	}
+	paths := []string{
+		"/query/can-know?x=a1&y=bbb1",
+		"/query/can-share?right=r&x=a1&y=abb2",
+		"/secure",
+		"/levels",
+	}
+	// Prime each query once so the timed region measures the steady
+	// state: cache hits under the read lock.
+	for _, p := range paths {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, p, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("prime %s = %d", p, rec.Code)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, paths[i%len(paths)], nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+			i++
+		}
+	})
+	if st := srv.Stats(); st.Cache.Hits == 0 {
+		b.Fatal("no cache hits during parallel read benchmark")
+	}
+}
+
+// BenchmarkServiceMixedParallel adds a mutation per ~64 queries, forcing
+// periodic hierarchy re-derivation and cache turnover under the write
+// lock — the worst case the revision-keyed design must absorb.
+func BenchmarkServiceMixedParallel(b *testing.B) {
+	srv := service.New()
+	h := srv.Handler()
+	src, err := specimens.Source("military")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPut, "/graph", strings.NewReader(src)))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("load = %d", rec.Code)
+	}
+	var seq int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%64 == 63 {
+				body := fmt.Sprintf(`{"op":"create","x":"a1","name":"bs%d","kind":"object","rights":"r,w"}`,
+					atomic.AddInt64(&seq, 1))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/apply", strings.NewReader(body)))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("apply = %d", rec.Code)
+				}
+			} else {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query/can-know?x=a1&y=bbb1", nil))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d", rec.Code)
+				}
+			}
+			i++
+		}
+	})
 }
 
 func mustSpecimen(b *testing.B, name string) *graph.Graph {

@@ -4,12 +4,18 @@
 // the model's decision procedures by vertex name. See the service package
 // for the routes.
 //
+// Observability: GET /stats reports query-cache hit/miss/eviction
+// counters, per-route request counts and latency quantiles, the current
+// graph revision and size; the same snapshot is published as the expvar
+// "takegrant" alongside the runtime's memstats at GET /debug/vars.
+//
 // Usage:
 //
 //	tgserve -addr :8080 [-specimen fig61 | -f graph.tg]
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -33,7 +39,11 @@ func main() {
 	flag.Parse()
 
 	srv := service.New()
-	handler := srv.Handler()
+	expvar.Publish("takegrant", expvar.Func(func() any { return srv.Stats() }))
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	handler := http.Handler(mux)
 	if *spec != "" || *file != "" {
 		var src string
 		if *spec != "" {

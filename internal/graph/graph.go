@@ -130,6 +130,11 @@ func New(u *rights.Universe) *Graph {
 func (g *Graph) Universe() *rights.Universe { return g.universe }
 
 // Revision returns a counter incremented by every successful mutation.
+// Any result computed purely from the graph remains valid while the
+// revision is unchanged — both the lazy adjacency snapshot below and the
+// service layer's query cache (internal/qcache) key on it. Counters from
+// different Graph instances are unrelated; cross-graph keys need an
+// additional generation discriminator.
 func (g *Graph) Revision() uint64 { return g.revision }
 
 // NumVertices returns the number of live (non-deleted) vertices.

@@ -1,0 +1,149 @@
+// Package qcache memoizes decision-procedure results per graph revision.
+//
+// The decision procedures (can•share, can•know, can•steal, the security
+// predicate, islands, the Hasse rendering) are pure functions of the
+// protection graph, and graph.Graph bumps a revision counter on every
+// successful mutation. A query answered at revision R therefore stays
+// valid until the next mutation — there is nothing to invalidate
+// explicitly; a cache entry keyed by the revision simply becomes
+// unreachable when the revision moves on.
+//
+// Keys also carry a generation number so a serving layer that swaps in a
+// whole new graph (whose revision counter restarts) never collides with
+// entries from the previous one.
+//
+// The cache is a bounded LRU with hit/miss/eviction counters, safe for
+// concurrent use. Concurrent misses on the same key may compute the value
+// twice; both writes store the same pure result, so the race is benign.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one memoized decision.
+type Key struct {
+	// Gen distinguishes graph installations whose revision counters would
+	// otherwise collide.
+	Gen uint64
+	// Rev is the graph revision the result was computed at.
+	Rev uint64
+	// Kind names the decision procedure ("can-share", "secure", ...).
+	Kind string
+	// Params is a canonical encoding of the query parameters.
+	Params string
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Cap       int    `json:"cap"`
+}
+
+type entry struct {
+	key Key
+	val any
+}
+
+// Cache is a bounded LRU of decision results. Create one with New.
+type Cache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[Key]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// DefaultSize bounds a cache created with New(0).
+const DefaultSize = 4096
+
+// New returns a cache holding at most max entries; max <= 0 means
+// DefaultSize.
+func New(max int) *Cache {
+	if max <= 0 {
+		max = DefaultSize
+	}
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores v under k, evicting the least recently used entry if full.
+func (c *Cache) Put(k Key, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry{key: k, val: v})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// GetOrCompute returns the cached value for k, computing and storing it on
+// a miss. The second result reports whether the value was served from the
+// cache. compute runs without the cache lock held.
+func (c *Cache) GetOrCompute(k Key, compute func() any) (any, bool) {
+	if v, ok := c.Get(k); ok {
+		return v, true
+	}
+	v := compute()
+	c.Put(k, v)
+	return v, false
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Cap:       c.max,
+	}
+}
+
+// Reset drops every entry, keeping the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[Key]*list.Element)
+}

@@ -1,0 +1,134 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(gen, rev uint64, kind, params string) Key {
+	return Key{Gen: gen, Rev: rev, Kind: kind, Params: params}
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New(8)
+	k := key(1, 7, "can-share", "r:0:1")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, true)
+	v, ok := c.Get(k)
+	if !ok || v.(bool) != true {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRevisionKeying(t *testing.T) {
+	c := New(8)
+	c.Put(key(1, 1, "secure", ""), true)
+	// The same query at a later revision is a distinct entry: mutation
+	// invalidates by moving the revision, never by deleting.
+	if _, ok := c.Get(key(1, 2, "secure", "")); ok {
+		t.Error("result leaked across revisions")
+	}
+	// A new graph generation never collides either, even at the same
+	// revision number.
+	if _, ok := c.Get(key(2, 1, "secure", "")); ok {
+		t.Error("result leaked across generations")
+	}
+	c.Put(key(1, 2, "secure", ""), false)
+	v, ok := c.Get(key(1, 1, "secure", ""))
+	if !ok || v.(bool) != true {
+		t.Error("old-revision entry clobbered")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	a, b, d := key(1, 1, "q", "a"), key(1, 1, "q", "b"), key(1, 1, "q", "d")
+	c.Put(a, 1)
+	c.Put(b, 2)
+	c.Get(a) // a is now most recent; b is the eviction candidate
+	c.Put(d, 3)
+	if _, ok := c.Get(b); ok {
+		t.Error("b survived; LRU order wrong")
+	}
+	if _, ok := c.Get(a); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	c := New(2)
+	k := key(1, 1, "q", "x")
+	c.Put(k, 1)
+	c.Put(k, 2)
+	if v, _ := c.Get(k); v.(int) != 2 {
+		t.Errorf("value = %v", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := New(8)
+	k := key(1, 1, "islands", "")
+	calls := 0
+	f := func() any { calls++; return "result" }
+	if v, hit := c.GetOrCompute(k, f); hit || v.(string) != "result" {
+		t.Fatalf("first call: %v, hit=%v", v, hit)
+	}
+	if v, hit := c.GetOrCompute(k, f); !hit || v.(string) != "result" {
+		t.Fatalf("second call: %v, hit=%v", v, hit)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times", calls)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(8)
+	c.Put(key(1, 1, "q", "a"), 1)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("len after reset = %d", c.Len())
+	}
+	if _, ok := c.Get(key(1, 1, "q", "a")); ok {
+		t.Error("entry survived reset")
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	if got := New(0).Stats().Cap; got != DefaultSize {
+		t.Errorf("cap = %d", got)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				k := key(1, uint64(j%10), "q", fmt.Sprint(id%4))
+				c.GetOrCompute(k, func() any { return j })
+				c.Stats()
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("no traffic recorded")
+	}
+}

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"takegrant/internal/specimens"
+)
+
+func benchServer(b *testing.B, specimen string) (*Server, http.Handler) {
+	b.Helper()
+	srv := New()
+	h := srv.Handler()
+	src, err := specimens.Source(specimen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	put := httptest.NewRequest(http.MethodPut, "/graph", strings.NewReader(src))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, put)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("load = %d", rec.Code)
+	}
+	return srv, h
+}
+
+// BenchmarkQueryParallel measures cached read-query throughput across
+// GOMAXPROCS: every request after the first is a cache hit served under
+// the read lock, so ops/sec should scale with -cpu.
+func BenchmarkQueryParallel(b *testing.B) {
+	_, h := benchServer(b, "military")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodGet, "/query/can-know?x=a1&y=bbb1", nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+}
+
+// BenchmarkQueryMixedParallel spreads parallel traffic over the whole
+// read surface — decisions, security predicate, islands, Hasse text.
+func BenchmarkQueryMixedParallel(b *testing.B) {
+	_, h := benchServer(b, "military")
+	paths := []string{
+		"/query/can-know?x=a1&y=bbb1",
+		"/query/can-know?x=b1&y=abb1",
+		"/query/can-share?right=r&x=a1&y=abb2",
+		"/query/can-steal?right=r&x=b2&y=ubb",
+		"/secure",
+		"/islands",
+		"/levels",
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			path := paths[i%len(paths)]
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("%s: status %d", path, rec.Code)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkQueryColdRevision measures the uncached path: each iteration
+// mutates the graph first (which also re-derives the hierarchy), so every
+// query recomputes at a fresh revision.
+func BenchmarkQueryColdRevision(b *testing.B) {
+	_, h := benchServer(b, "military")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"op":"create","x":"a1","name":"s%d","kind":"object","rights":"r,w"}`, i)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/apply", strings.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("apply %d = %d", i, rec.Code)
+		}
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query/can-know?x=a1&y=bbb1", nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the per-route latency samples kept for quantile
+// estimation: a ring of the most recent observations.
+const latencyWindow = 1024
+
+// routeMetrics accumulates one route's request count and a sliding window
+// of latencies. Each route has its own lock so hot routes do not contend
+// with each other.
+type routeMetrics struct {
+	mu      sync.Mutex
+	count   uint64
+	samples [latencyWindow]time.Duration
+	filled  int // number of valid samples (≤ latencyWindow)
+	next    int // ring write position
+}
+
+func (m *routeMetrics) observe(d time.Duration) {
+	m.mu.Lock()
+	m.count++
+	m.samples[m.next] = d
+	m.next = (m.next + 1) % latencyWindow
+	if m.filled < latencyWindow {
+		m.filled++
+	}
+	m.mu.Unlock()
+}
+
+// quantiles returns the p50/p90/p99 of the sample window.
+func (m *routeMetrics) quantiles() (p50, p90, p99 time.Duration) {
+	if m.filled == 0 {
+		return 0, 0, 0
+	}
+	sorted := make([]time.Duration, m.filled)
+	copy(sorted, m.samples[:m.filled])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.90), at(0.99)
+}
+
+// metrics tracks per-route traffic for the whole server. Routes register
+// once at Handler construction, so the map is read-only afterwards and
+// request recording takes only the route's own lock.
+type metrics struct {
+	routes map[string]*routeMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: make(map[string]*routeMetrics)}
+}
+
+// register returns the route's collector, creating it. Called only while
+// the Handler is being built, before any traffic.
+func (m *metrics) register(route string) *routeMetrics {
+	rm, ok := m.routes[route]
+	if !ok {
+		rm = &routeMetrics{}
+		m.routes[route] = rm
+	}
+	return rm
+}
+
+// RouteStats is one route's slice of the /stats report. Latencies are in
+// microseconds.
+type RouteStats struct {
+	Count uint64  `json:"count"`
+	P50us float64 `json:"p50_us"`
+	P90us float64 `json:"p90_us"`
+	P99us float64 `json:"p99_us"`
+}
+
+func (m *metrics) snapshot() map[string]RouteStats {
+	out := make(map[string]RouteStats, len(m.routes))
+	for route, rm := range m.routes {
+		rm.mu.Lock()
+		p50, p90, p99 := rm.quantiles()
+		count := rm.count
+		rm.mu.Unlock()
+		if count == 0 {
+			continue
+		}
+		out[route] = RouteStats{
+			Count: count,
+			P50us: float64(p50) / float64(time.Microsecond),
+			P90us: float64(p90) / float64(time.Microsecond),
+			P99us: float64(p99) / float64(time.Microsecond),
+		}
+	}
+	return out
+}
+
+// instrument wraps a handler, recording request count and latency under
+// the route's mux pattern.
+func (m *metrics) instrument(route string, h http.Handler) http.Handler {
+	rm := m.register(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		rm.observe(time.Since(start))
+	})
+}

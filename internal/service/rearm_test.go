@@ -1,0 +1,169 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// mediatedDoc is a three-subject world where m can grant read rights
+// between p and q in either direction. p and q start with no flows at
+// all, so their rw-levels are incomparable and either grant passes the
+// combined restriction — but whichever grant lands FIRST orders the
+// levels, and the reverse grant then completes a read-up.
+const mediatedDoc = `
+subject p
+subject q
+subject m
+edge m p r,g
+edge m q r,g
+`
+
+func postApply(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/apply", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestGuardRearmsAfterApply is the stale-hierarchy regression test: a
+// successful POST /apply changes the rw-level structure, and the guard's
+// NEXT verdict must be judged against the post-mutation levels. Before the
+// fix the server kept enforcing the hierarchy computed at install time, so
+// the second grant below — a read-up under the live levels — sailed
+// through.
+func TestGuardRearmsAfterApply(t *testing.T) {
+	ts := newTestServer(t)
+	resp := put(t, ts, "/graph", mediatedDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// At install time p and q are incomparable: granting p read over q is
+	// permitted and makes p strictly higher than q.
+	resp = postApply(t, ts, `{"op":"grant","x":"m","y":"p","z":"q","rights":"r"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first grant = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Under the live hierarchy q is now lower than p, so granting q read
+	// over p completes a read-up (restriction a) and must be refused. The
+	// install-time hierarchy still thinks them incomparable and would
+	// allow it.
+	resp = postApply(t, ts, `{"op":"grant","x":"m","y":"q","z":"p","rights":"r"}`)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("reverse grant = %d, want 403: guard is judging stale rw-levels", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestLevelsAuditConsistentAfterApply checks that /levels reports the
+// re-derived structure after a mutation (not the install-time one, and not
+// an ad-hoc fresh analysis diverging from what the guard uses) and that
+// /audit stays clean — the guard never admitted an edge the live levels
+// forbid.
+func TestLevelsAuditConsistentAfterApply(t *testing.T) {
+	ts := newTestServer(t)
+	resp := put(t, ts, "/graph", mediatedDoc)
+	resp.Body.Close()
+
+	before := readAll(t, get(t, ts, "/levels"))
+
+	resp = postApply(t, ts, `{"op":"grant","x":"m","y":"p","z":"q","rights":"r"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grant = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	after := readAll(t, get(t, ts, "/levels"))
+	if before == after {
+		t.Errorf("/levels unchanged after a level-changing apply:\n%s", after)
+	}
+
+	var audit map[string]any
+	decode(t, get(t, ts, "/audit"), &audit)
+	if !audit["clean"].(bool) {
+		t.Errorf("audit dirty after guarded applies: %v", audit["violations"])
+	}
+
+	// The refused reverse grant leaves no trace on the graph: still clean,
+	// levels unchanged.
+	resp = postApply(t, ts, `{"op":"grant","x":"m","y":"q","z":"p","rights":"r"}`)
+	resp.Body.Close()
+	if got := readAll(t, get(t, ts, "/levels")); got != after {
+		t.Error("/levels moved on a refused application")
+	}
+}
+
+// TestCacheInvalidatesOnApply checks revision-keyed invalidation end to
+// end: a query cached before a mutation must be recomputed against the
+// mutated graph, never served stale.
+func TestCacheInvalidatesOnApply(t *testing.T) {
+	ts := newTestServer(t)
+	resp := put(t, ts, "/graph", mediatedDoc)
+	resp.Body.Close()
+
+	// can•know•f depends only on the edges present right now, so its
+	// answer flips when the grant lands — exactly what a stale cache
+	// would miss.
+	var body map[string]bool
+	decode(t, get(t, ts, "/query/can-know?x=p&y=q&defacto=1"), &body)
+	if body["can_know_f"] {
+		t.Fatal("p should have no de facto path to q before the grant")
+	}
+	// Ask twice so the pre-mutation answer is definitely in the cache.
+	decode(t, get(t, ts, "/query/can-know?x=p&y=q&defacto=1"), &body)
+
+	resp = postApply(t, ts, `{"op":"grant","x":"m","y":"p","z":"q","rights":"r"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grant = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	decode(t, get(t, ts, "/query/can-know?x=p&y=q&defacto=1"), &body)
+	if !body["can_know_f"] {
+		t.Error("stale can_know_f served after mutation: cache not revision-keyed")
+	}
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestLogSurvivesRearm checks the decision trail is not reset when the
+// hierarchy is re-derived after each apply.
+func TestLogSurvivesRearm(t *testing.T) {
+	ts := newTestServer(t)
+	resp := put(t, ts, "/graph", mediatedDoc)
+	resp.Body.Close()
+	postApply(t, ts, `{"op":"grant","x":"m","y":"p","z":"q","rights":"r"}`).Body.Close()
+	postApply(t, ts, `{"op":"grant","x":"m","y":"q","z":"p","rights":"r"}`).Body.Close()
+	logText := readAll(t, get(t, ts, "/log"))
+	if !strings.Contains(logText, "allow") || !strings.Contains(logText, "refuse") {
+		t.Errorf("decision trail lost across re-arms:\n%s", logText)
+	}
+	var st struct {
+		Guard struct {
+			Applied int `json:"applied"`
+			Refused int `json:"refused"`
+		} `json:"guard"`
+	}
+	raw := readAll(t, get(t, ts, "/stats"))
+	if err := json.Unmarshal([]byte(raw), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Guard.Applied != 1 || st.Guard.Refused != 1 {
+		t.Errorf("guard counters = %+v", st.Guard)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Routes (all JSON unless noted):
 //
-//	PUT  /graph                     load a .tg document (text/plain body)
+//	PUT  /graph                     load a .tg document (text/plain body, ≤ 1 MB)
 //	GET  /graph                     canonical .tg text
 //	GET  /graph.json                JSON interchange form
 //	GET  /render                    terminal rendering (text)
@@ -20,10 +20,32 @@
 //	GET  /audit
 //	GET  /profile?x=
 //	GET  /log                       guarded decision trail (text)
+//	GET  /stats                     cache/guard/route observability
 //
-// The server is safe for concurrent use: one mutex owns the state, and
-// every handler works on it under the lock (queries clone nothing — the
-// analyses only read).
+// # Locking discipline
+//
+// The server splits traffic across a sync.RWMutex. Mutations — PUT /graph
+// and POST /apply — hold the write lock: they rewrite the graph and then
+// re-derive the rw-level structure (hierarchy.AnalyzeRW) so the §5 guard,
+// /levels and /audit always judge against the live hierarchy, never the
+// one computed at install time (Theorem 5.4 soundness is per-application;
+// enforcing yesterday's levels is unsound). Queries hold the read lock and
+// run concurrently: every decision procedure only reads the graph (witness
+// synthesis and tracing work on clones), so any number of readers may
+// proceed at once.
+//
+// # Revision-keyed caching
+//
+// Read queries are memoized in a qcache.Cache keyed by (generation,
+// revision, procedure, params). graph.Graph bumps its revision on every
+// successful mutation, so cache entries are never invalidated explicitly —
+// a mutation simply moves the revision and subsequent queries miss onto
+// fresh computations, while repeated queries at an unchanged revision are
+// served from the cache. The generation counter increments when PUT /graph
+// swaps in a whole new graph, keeping revision counters from distinct
+// graphs apart. GET /stats reports hit/miss/eviction counters, per-route
+// request counts and latency quantiles, the current revision, and graph
+// size.
 package service
 
 import (
@@ -37,6 +59,7 @@ import (
 	"takegrant/internal/analysis"
 	"takegrant/internal/graph"
 	"takegrant/internal/hierarchy"
+	"takegrant/internal/qcache"
 	"takegrant/internal/restrict"
 	"takegrant/internal/rights"
 	"takegrant/internal/rules"
@@ -44,53 +67,90 @@ import (
 	"takegrant/internal/tgio"
 )
 
+// maxGraphBytes bounds a PUT /graph body; larger documents are rejected
+// with 413 rather than silently truncated.
+const maxGraphBytes = 1 << 20
+
 // Server owns one protection system.
 type Server struct {
-	mu     sync.Mutex
-	g      *graph.Graph
-	class  *hierarchy.Structure
-	logged *restrict.Logged
-	guard  *restrict.Guarded
+	// mu is the read/write split: mutations (PUT /graph, POST /apply) hold
+	// the write lock; every query holds the read lock.
+	mu      sync.RWMutex
+	g       *graph.Graph
+	gen     uint64 // bumped per install; part of every cache key
+	class   *hierarchy.Structure
+	logged  *restrict.Logged
+	guard   *restrict.Guarded
+	cache   *qcache.Cache
+	metrics *metrics
 }
 
 // New returns a Server with an empty graph.
 func New() *Server {
-	s := &Server{}
+	s := &Server{cache: qcache.New(0), metrics: newMetrics()}
 	s.install(graph.New(nil))
 	return s
 }
 
-// install swaps in a new graph and re-arms the guard.
+// install swaps in a new graph, re-arms the guard and starts a fresh
+// decision trail. Callers hold the write lock (or own s exclusively).
 func (s *Server) install(g *graph.Graph) {
+	s.gen++
 	s.g = g
 	s.class = hierarchy.AnalyzeRW(g)
 	s.logged = restrict.NewLogged(restrict.NewCombined(s.class))
 	s.guard = restrict.NewGuarded(g, s.logged)
+	s.cache.Reset()
 }
 
-// Handler returns the HTTP routes.
+// rearm re-derives the rw-level structure from the live graph after a
+// successful mutation, so the guard's next verdict reflects the
+// post-mutation hierarchy. The decision trail and guard counters persist.
+// Callers hold the write lock.
+func (s *Server) rearm() {
+	s.class = hierarchy.AnalyzeRW(s.g)
+	s.logged.Inner = restrict.NewCombined(s.class)
+}
+
+// cached memoizes a decision-procedure result at the current (generation,
+// revision). Callers hold at least the read lock, which pins the revision
+// for the duration of compute.
+func (s *Server) cached(kind, params string, compute func() any) any {
+	key := qcache.Key{Gen: s.gen, Rev: s.g.Revision(), Kind: kind, Params: params}
+	v, _ := s.cache.GetOrCompute(key, compute)
+	return v
+}
+
+// Handler returns the HTTP routes, each instrumented with request-count
+// and latency tracking surfaced at /stats.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/graph", s.handleGraph)
-	mux.HandleFunc("/graph.json", s.handleGraphJSON)
-	mux.HandleFunc("/render", s.textHandler(func() (string, error) {
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.metrics.instrument(pattern, h))
+	}
+	route("/graph", s.handleGraph)
+	route("/graph.json", s.handleGraphJSON)
+	route("/render", s.textHandler(func() (string, error) {
 		return tgio.Render(s.g), nil
 	}))
-	mux.HandleFunc("/apply", s.handleApply)
-	mux.HandleFunc("/query/can-share", s.handleCanShare)
-	mux.HandleFunc("/query/can-know", s.handleCanKnow)
-	mux.HandleFunc("/query/can-steal", s.handleCanSteal)
-	mux.HandleFunc("/explain/share", s.handleExplainShare)
-	mux.HandleFunc("/levels", s.textHandler(func() (string, error) {
-		return hierarchy.AnalyzeRW(s.g).Hasse(), nil
+	route("/apply", s.handleApply)
+	route("/query/can-share", s.handleCanShare)
+	route("/query/can-know", s.handleCanKnow)
+	route("/query/can-steal", s.handleCanSteal)
+	route("/explain/share", s.handleExplainShare)
+	route("/levels", s.textHandler(func() (string, error) {
+		// The installed structure, not a fresh analysis: /levels, /audit
+		// and the guard must report the same level assignment.
+		return s.cached("hasse", "", func() any { return s.class.Hasse() }).(string), nil
 	}))
-	mux.HandleFunc("/islands", s.handleIslands)
-	mux.HandleFunc("/secure", s.handleSecure)
-	mux.HandleFunc("/audit", s.handleAudit)
-	mux.HandleFunc("/profile", s.handleProfile)
-	mux.HandleFunc("/log", s.textHandler(func() (string, error) {
+	route("/islands", s.handleIslands)
+	route("/secure", s.handleSecure)
+	route("/audit", s.handleAudit)
+	route("/profile", s.handleProfile)
+	route("/log", s.textHandler(func() (string, error) {
 		return s.logged.Format(s.g), nil
 	}))
+	route("/stats", s.handleStats)
 	return mux
 }
 
@@ -112,9 +172,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPut:
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		// Read one byte past the limit so truncation is detectable: a
+		// too-large document must be refused, not parsed in part.
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxGraphBytes+1))
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(body) > maxGraphBytes {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("graph document exceeds %d bytes", maxGraphBytes))
 			return
 		}
 		g, err := tgio.ParseString(string(body))
@@ -127,9 +194,9 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		writeJSON(w, map[string]any{"vertices": g.NumVertices(), "edges": g.NumEdges()})
 	case http.MethodGet:
-		s.mu.Lock()
+		s.mu.RLock()
 		text := tgio.WriteString(s.g)
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, text)
 	default:
@@ -138,17 +205,17 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGraphJSON(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	writeJSON(w, tgio.ToJSON(s.g))
 }
 
-// textHandler wraps a text-producing view under the lock.
+// textHandler wraps a text-producing view under the read lock.
 func (s *Server) textHandler(f func() (string, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
+		s.mu.RLock()
 		text, err := f()
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
@@ -198,6 +265,9 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, err)
 		return
 	}
+	// The graph changed; re-derive the hierarchy so the next verdict is
+	// judged against live rw-levels, not the ones at install time.
+	s.rearm()
 	writeJSON(w, map[string]any{"applied": app.Format(s.g)})
 }
 
@@ -299,8 +369,8 @@ func (s *Server) rightParam(r *http.Request) (rights.Right, error) {
 }
 
 func (s *Server) handleCanShare(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	rt, err := s.rightParam(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -311,27 +381,37 @@ func (s *Server) handleCanShare(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, map[string]bool{"can_share": analysis.CanShare(s.g, rt, x, y)})
+	ok := s.cached("can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() any {
+		return analysis.CanShare(s.g, rt, x, y)
+	}).(bool)
+	writeJSON(w, map[string]bool{"can_share": ok})
 }
 
 func (s *Server) handleCanKnow(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	x, y, err := s.pairParams(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	params := fmt.Sprintf("%d:%d", x, y)
 	if r.URL.Query().Get("defacto") != "" {
-		writeJSON(w, map[string]bool{"can_know_f": analysis.CanKnowF(s.g, x, y)})
+		ok := s.cached("can-know-f", params, func() any {
+			return analysis.CanKnowF(s.g, x, y)
+		}).(bool)
+		writeJSON(w, map[string]bool{"can_know_f": ok})
 		return
 	}
-	writeJSON(w, map[string]bool{"can_know": analysis.CanKnow(s.g, x, y)})
+	ok := s.cached("can-know", params, func() any {
+		return analysis.CanKnow(s.g, x, y)
+	}).(bool)
+	writeJSON(w, map[string]bool{"can_know": ok})
 }
 
 func (s *Server) handleCanSteal(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	rt, err := s.rightParam(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -342,12 +422,15 @@ func (s *Server) handleCanSteal(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, map[string]bool{"can_steal": steal.CanSteal(s.g, rt, x, y)})
+	ok := s.cached("can-steal", fmt.Sprintf("%d:%d:%d", rt, x, y), func() any {
+		return steal.CanSteal(s.g, rt, x, y)
+	}).(bool)
+	writeJSON(w, map[string]bool{"can_steal": ok})
 }
 
 func (s *Server) handleExplainShare(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	rt, err := s.rightParam(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -373,34 +456,40 @@ func (s *Server) handleExplainShare(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleIslands(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out [][]string
-	for _, island := range analysis.Islands(s.g) {
-		names := make([]string, len(island))
-		for i, v := range island {
-			names[i] = s.g.Name(v)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := s.cached("islands", "", func() any {
+		var names [][]string
+		for _, island := range analysis.Islands(s.g) {
+			ns := make([]string, len(island))
+			for i, v := range island {
+				ns[i] = s.g.Name(v)
+			}
+			names = append(names, ns)
 		}
-		out = append(out, names)
-	}
+		return names
+	}).([][]string)
 	writeJSON(w, map[string]any{"islands": out})
 }
 
 func (s *Server) handleSecure(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ok, v := hierarchy.Secure(s.g)
-	resp := map[string]any{"secure": ok}
-	if v != nil {
-		resp["lower"] = s.g.Name(v.Lower)
-		resp["upper"] = s.g.Name(v.Upper)
-	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := s.cached("secure", "", func() any {
+		ok, v := hierarchy.Secure(s.g)
+		out := map[string]any{"secure": ok}
+		if v != nil {
+			out["lower"] = s.g.Name(v.Lower)
+			out["upper"] = s.g.Name(v.Upper)
+		}
+		return out
+	}).(map[string]any)
 	writeJSON(w, resp)
 }
 
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	viols := restrict.NewCombined(s.class).Audit(s.g)
 	var out []string
 	for _, v := range viols {
@@ -411,8 +500,8 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	name := r.URL.Query().Get("x")
 	x, ok := s.g.Lookup(name)
 	if !ok {
@@ -433,4 +522,43 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, map[string]any{"profile": out})
+}
+
+// GuardStats is the guard's slice of the /stats report.
+type GuardStats struct {
+	Applied int `json:"applied"`
+	Refused int `json:"refused"`
+}
+
+// Stats is the GET /stats report.
+type Stats struct {
+	Revision   uint64                `json:"revision"`
+	Generation uint64                `json:"generation"`
+	Vertices   int                   `json:"vertices"`
+	Edges      int                   `json:"edges"`
+	Levels     int                   `json:"levels"`
+	Cache      qcache.Stats          `json:"cache"`
+	Guard      GuardStats            `json:"guard"`
+	Routes     map[string]RouteStats `json:"routes"`
+}
+
+// Stats snapshots the server's observability counters; also published as
+// expvar by cmd/tgserve.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Revision:   s.g.Revision(),
+		Generation: s.gen,
+		Vertices:   s.g.NumVertices(),
+		Edges:      s.g.NumEdges(),
+		Levels:     s.class.NumLevels(),
+		Cache:      s.cache.Stats(),
+		Guard:      GuardStats{Applied: s.guard.Applied, Refused: s.guard.Refused},
+		Routes:     s.metrics.snapshot(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
 }

@@ -246,6 +246,62 @@ func TestBadGraphUpload(t *testing.T) {
 	dresp.Body.Close()
 }
 
+func TestOversizedGraphUpload(t *testing.T) {
+	ts := newTestServer(t)
+	loadSpecimen(t, ts, "fig61")
+	before := readAll(t, get(t, ts, "/graph"))
+
+	// A valid prefix followed by padding past the limit: the old code
+	// parsed the truncated first megabyte and silently installed it.
+	big := "subject p\n" + strings.Repeat("# padding\n", (1<<20)/10+1)
+	resp := put(t, ts, "/graph", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload = %d, want 413", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// State must be untouched by the rejected upload.
+	if after := readAll(t, get(t, ts, "/graph")); after != before {
+		t.Error("rejected upload corrupted the installed graph")
+	}
+
+	// Exactly at the limit is still fine.
+	ok := "subject p\n" + strings.Repeat("\n", 1<<20-len("subject p\n"))
+	resp = put(t, ts, "/graph", ok)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("limit-sized upload = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestStats(t *testing.T) {
+	ts := newTestServer(t)
+	loadSpecimen(t, ts, "fig61")
+	// The same query twice at one revision: second answer comes from the
+	// cache.
+	for i := 0; i < 3; i++ {
+		resp := get(t, ts, "/query/can-share?right=r&x=low&y=secret")
+		resp.Body.Close()
+	}
+	var st map[string]any
+	decode(t, get(t, ts, "/stats"), &st)
+	cache := st["cache"].(map[string]any)
+	if cache["hits"].(float64) < 2 {
+		t.Errorf("cache hits = %v, want ≥ 2", cache["hits"])
+	}
+	if st["revision"].(float64) == 0 {
+		t.Error("revision = 0 after loading a specimen")
+	}
+	if st["vertices"].(float64) != 5 {
+		t.Errorf("vertices = %v", st["vertices"])
+	}
+	routes := st["routes"].(map[string]any)
+	rs, ok := routes["/query/can-share"].(map[string]any)
+	if !ok || rs["count"].(float64) != 3 {
+		t.Errorf("route stats = %v", routes)
+	}
+}
+
 func TestConcurrentClients(t *testing.T) {
 	ts := newTestServer(t)
 	loadSpecimen(t, ts, "military")

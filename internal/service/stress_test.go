@@ -1,0 +1,170 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"takegrant/internal/specimens"
+)
+
+// do drives the handler in-process (no sockets) and decodes the JSON body.
+func do(t *testing.T, h http.Handler, method, target, body string, out any) int {
+	t.Helper()
+	var rdr *strings.Reader
+	if body == "" {
+		rdr = strings.NewReader("")
+	} else {
+		rdr = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, rdr)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Errorf("%s %s: bad JSON %q: %v", method, target, rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+// TestStressMixedTraffic hammers the server with concurrent mutations and
+// queries (run under -race). It asserts:
+//
+//   - no request ever errors (no torn state observed),
+//   - no lost updates: every accepted create is reflected in the final
+//     vertex count,
+//   - no stale reads: a query whose truth is fixed throughout always
+//     returns the same answer, and the revision reported by /stats never
+//     goes backwards,
+//   - cache-revision consistency: once traffic quiesces, repeated queries
+//     hit the cache at the final revision.
+func TestStressMixedTraffic(t *testing.T) {
+	srv := New()
+	h := srv.Handler()
+	src, err := specimens.Source("military")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := do(t, h, http.MethodPut, "/graph", src, nil); code != http.StatusOK {
+		t.Fatalf("load = %d", code)
+	}
+	var before struct {
+		Vertices int `json:"vertices"`
+	}
+	do(t, h, http.MethodGet, "/stats", "", &before)
+
+	const (
+		writers       = 4
+		createsPerW   = 25
+		readers       = 8
+		readsPerR     = 60
+		// a1 can never know bbb1 in the military lattice (categories A and
+		// B are incomparable, and no t/g edges exist to move rights), and
+		// same-level scratch creates cannot change that — so every answer
+		// other than false is a stale or torn read.
+		expectedKnown = false
+	)
+
+	var wg sync.WaitGroup
+	var accepted int64
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+	_ = fail
+
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			actor := []string{"a1", "a2", "b1", "b2"}[wi]
+			for i := 0; i < createsPerW; i++ {
+				body := fmt.Sprintf(`{"op":"create","x":"%s","name":"scratch_%d_%d","kind":"object","rights":"r,w"}`, actor, wi, i)
+				code := do(t, h, http.MethodPost, "/apply", body, nil)
+				if code != http.StatusOK {
+					t.Errorf("create %d/%d = %d", wi, i, code)
+					continue
+				}
+				atomic.AddInt64(&accepted, 1)
+			}
+		}(wi)
+	}
+
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			lastRev := float64(0)
+			for i := 0; i < readsPerR; i++ {
+				switch i % 5 {
+				case 0:
+					var body map[string]bool
+					if code := do(t, h, http.MethodGet, "/query/can-know?x=a1&y=bbb1", "", &body); code != http.StatusOK {
+						t.Errorf("can-know = %d", code)
+					} else if body["can_know"] != expectedKnown {
+						t.Errorf("stale read: can_know(a1,bbb1) = %v", body["can_know"])
+					}
+				case 1:
+					var st map[string]any
+					if code := do(t, h, http.MethodGet, "/stats", "", &st); code != http.StatusOK {
+						t.Errorf("stats = %d", code)
+					} else if rev := st["revision"].(float64); rev < lastRev {
+						t.Errorf("revision went backwards: %v after %v", rev, lastRev)
+					} else {
+						lastRev = rev
+					}
+				case 2:
+					req := httptest.NewRequest(http.MethodGet, "/levels", nil)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "level") {
+						t.Errorf("levels = %d %q", rec.Code, rec.Body.String())
+					}
+				case 3:
+					var body map[string]any
+					if code := do(t, h, http.MethodGet, "/secure", "", &body); code != http.StatusOK {
+						t.Errorf("secure = %d", code)
+					}
+				default:
+					var body map[string]any
+					if code := do(t, h, http.MethodGet, "/islands", "", &body); code != http.StatusOK {
+						t.Errorf("islands = %d", code)
+					}
+				}
+			}
+		}(ri)
+	}
+
+	wg.Wait()
+
+	// No lost updates: every accepted create shows up.
+	var st struct {
+		Revision float64 `json:"revision"`
+		Vertices int     `json:"vertices"`
+	}
+	do(t, h, http.MethodGet, "/stats", "", &st)
+	want := before.Vertices + int(accepted)
+	if st.Vertices != want {
+		t.Errorf("vertices = %d, want %d (lost updates)", st.Vertices, want)
+	}
+
+	// Cache-revision consistency at quiescence: the same query twice more
+	// must raise the hit counter and leave the revision in place.
+	var s1, s2 Stats
+	var body map[string]bool
+	do(t, h, http.MethodGet, "/query/can-know?x=a1&y=bbb1", "", &body)
+	s1 = srv.Stats()
+	do(t, h, http.MethodGet, "/query/can-know?x=a1&y=bbb1", "", &body)
+	s2 = srv.Stats()
+	if s2.Cache.Hits <= s1.Cache.Hits {
+		t.Errorf("no cache hit at quiesced revision: %d → %d", s1.Cache.Hits, s2.Cache.Hits)
+	}
+	if s1.Revision != s2.Revision || s2.Revision != uint64(st.Revision) {
+		t.Errorf("revision moved without mutation: %d, %d, %v", s1.Revision, s2.Revision, st.Revision)
+	}
+}
