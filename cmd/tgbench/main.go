@@ -6,23 +6,40 @@
 //	tgbench                 run every experiment, print text tables
 //	tgbench -e E6,E11       run selected experiments
 //	tgbench -markdown       emit GitHub-flavoured markdown (EXPERIMENTS.md)
+//	tgbench -json           emit machine-readable JSON reports
 //	tgbench -ablations      also run the design-choice ablations
 //	tgbench -list           list experiment IDs and titles
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"takegrant/internal/experiments"
 )
+
+// report is the -json shape for one experiment: the regenerated table plus
+// how long the reconstruction took.
+type report struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	Claim      string     `json:"claim"`
+	Columns    []string   `json:"columns"`
+	Rows       [][]string `json:"rows"`
+	Pass       bool       `json:"pass"`
+	Notes      []string   `json:"notes,omitempty"`
+	DurationUs float64    `json:"duration_us"`
+}
 
 func main() {
 	var (
 		sel       = flag.String("e", "", "comma-separated experiment IDs (default: all)")
 		markdown  = flag.Bool("markdown", false, "emit markdown instead of text")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON reports")
 		ablations = flag.Bool("ablations", false, "also run design-choice ablations")
 		list      = flag.Bool("list", false, "list experiments")
 	)
@@ -41,20 +58,38 @@ func main() {
 		ids = strings.Split(*sel, ",")
 	}
 	failed := 0
+	var reports []report
 	for _, id := range ids {
+		start := time.Now()
 		t, ok := experiments.Run(strings.TrimSpace(id))
+		elapsed := time.Since(start)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "tgbench: unknown experiment %q\n", id)
 			failed++
 			continue
 		}
-		if *markdown {
+		switch {
+		case *jsonOut:
+			reports = append(reports, report{
+				ID: t.ID, Title: t.Title, Claim: t.Claim,
+				Columns: t.Columns, Rows: t.Rows, Pass: t.Pass, Notes: t.Notes,
+				DurationUs: float64(elapsed) / float64(time.Microsecond),
+			})
+		case *markdown:
 			fmt.Println(t.Markdown())
-		} else {
+		default:
 			fmt.Println(t.Format())
 		}
 		if !t.Pass {
 			failed++
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, "tgbench:", err)
+			os.Exit(2)
 		}
 	}
 	if *ablations {

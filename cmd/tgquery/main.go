@@ -23,6 +23,11 @@
 // The graph is read from -f, or stdin when -f is absent. Exit status 0
 // means the predicate holds (for boolean queries) or the command
 // succeeded; 1 means the predicate is false; 2 reports usage errors.
+//
+// With -trace, decision-procedure queries print a per-phase breakdown on
+// stderr: each phase of the theorem being decided (initial spanners,
+// bridge closure, take reach, witness synthesis, ...) with its duration
+// and work counters (vertices visited, edges scanned).
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"takegrant/internal/conspiracy"
 	"takegrant/internal/graph"
 	"takegrant/internal/hierarchy"
+	"takegrant/internal/obs"
 	"takegrant/internal/restrict"
 	"takegrant/internal/rights"
 	"takegrant/internal/rules"
@@ -46,6 +52,7 @@ import (
 func main() {
 	file := flag.String("f", "", "graph file (.tg); stdin when absent")
 	spec := flag.String("specimen", "", "load a built-in paper figure instead (see 'specimens')")
+	trace := flag.Bool("trace", false, "print a per-phase breakdown of the decision procedure on stderr")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -67,6 +74,21 @@ func main() {
 	} else {
 		g = load(*file)
 	}
+	// -trace attaches an obs.Probe to the decision procedure and prints its
+	// per-phase report on stderr, after the query's own output and before
+	// any boolean exit.
+	var probe *obs.Probe
+	mkProbe := func(op string) *obs.Probe {
+		if *trace {
+			probe = obs.NewProbe(op)
+		}
+		return probe
+	}
+	report := func() {
+		if probe != nil {
+			fmt.Fprint(os.Stderr, probe.Report())
+		}
+	}
 	switch args[0] {
 	case "can.share", "can.steal", "explain.share", "trace.share":
 		if len(args) != 4 {
@@ -76,12 +98,15 @@ func main() {
 		x, y := lookupVertex(g, args[2]), lookupVertex(g, args[3])
 		switch args[0] {
 		case "can.share":
-			boolOut(args, analysis.CanShare(g, r, x, y))
+			ok := analysis.CanShareObs(g, r, x, y, mkProbe("can.share"))
+			report()
+			boolOut(args, ok)
 		case "can.steal":
 			boolOut(args, steal.CanSteal(g, r, x, y))
 		case "explain.share":
-			d, err := analysis.SynthesizeShare(g, r, x, y)
+			d, err := analysis.SynthesizeShareObs(g, r, x, y, mkProbe("explain.share"))
 			if err != nil {
+				report()
 				fail(err)
 			}
 			clone := g.Clone()
@@ -89,9 +114,11 @@ func main() {
 				fail(err)
 			}
 			fmt.Print(d.Format(clone))
+			report()
 		case "trace.share":
-			d, err := analysis.SynthesizeShare(g, r, x, y)
+			d, err := analysis.SynthesizeShareObs(g, r, x, y, mkProbe("trace.share"))
 			if err != nil {
+				report()
 				fail(err)
 			}
 			out, err := rules.Trace(g, d)
@@ -99,6 +126,7 @@ func main() {
 				fail(err)
 			}
 			fmt.Print(out)
+			report()
 		}
 	case "can.know", "can.know.f", "explain.know", "conspirators":
 		if len(args) != 3 {
@@ -107,12 +135,17 @@ func main() {
 		x, y := lookupVertex(g, args[1]), lookupVertex(g, args[2])
 		switch args[0] {
 		case "can.know":
-			boolOut(args, analysis.CanKnow(g, x, y))
+			ok := analysis.CanKnowObs(g, x, y, mkProbe("can.know"))
+			report()
+			boolOut(args, ok)
 		case "can.know.f":
-			boolOut(args, analysis.CanKnowF(g, x, y))
+			ok := analysis.CanKnowFObs(g, x, y, mkProbe("can.know.f"))
+			report()
+			boolOut(args, ok)
 		case "explain.know":
-			d, err := analysis.SynthesizeKnow(g, x, y)
+			d, err := analysis.SynthesizeKnowObs(g, x, y, mkProbe("explain.know"))
 			if err != nil {
+				report()
 				fail(err)
 			}
 			clone := g.Clone()
@@ -120,6 +153,7 @@ func main() {
 				fail(err)
 			}
 			fmt.Print(d.Format(clone))
+			report()
 		case "conspirators":
 			n, chain, ok := conspiracy.MinConspiratorsF(g, x, y)
 			if !ok {
@@ -196,13 +230,14 @@ func main() {
 			usage()
 		}
 		v := lookupVertex(g, args[1])
-		for _, a := range analysis.Profile(g, v) {
+		for _, a := range analysis.ProfileObs(g, v, mkProbe("profile")) {
 			marker := "acquirable"
 			if a.Held {
 				marker = "held"
 			}
 			fmt.Printf("%s to %-14s %s\n", g.Universe().Name(a.Right), g.Name(a.Target), marker)
 		}
+		report()
 	default:
 		usage()
 	}
@@ -254,7 +289,7 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tgquery [-f graph.tg] <query>
+	fmt.Fprintln(os.Stderr, `usage: tgquery [-f graph.tg] [-trace] <query>
 queries:
   can.share <right> <x> <y>      can.know <x> <y>     can.know.f <x> <y>
   can.steal <right> <x> <y>      explain.share <right> <x> <y>

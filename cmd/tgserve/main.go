@@ -6,12 +6,17 @@
 //
 // Observability: GET /stats reports query-cache hit/miss/eviction
 // counters, per-route request counts and latency quantiles, the current
-// graph revision and size; the same snapshot is published as the expvar
-// "takegrant" alongside the runtime's memstats at GET /debug/vars.
+// graph revision and size; GET /metrics serves the same counters plus
+// per-phase decision-procedure timings in Prometheus text exposition
+// format; the /stats snapshot is also published as the expvar "takegrant"
+// alongside the runtime's memstats at GET /debug/vars. Every request is
+// logged as one JSON line on stderr carrying the trace ID echoed in the
+// X-Trace-Id response header. -pprof additionally mounts the runtime
+// profiler under /debug/pprof/.
 //
 // Usage:
 //
-//	tgserve -addr :8080 [-specimen fig61 | -f graph.tg]
+//	tgserve -addr :8080 [-specimen fig61 | -f graph.tg] [-pprof]
 package main
 
 import (
@@ -19,8 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"strings"
 
@@ -31,18 +38,32 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		spec = flag.String("specimen", "", "preload a built-in paper figure")
-		file = flag.String("f", "", "preload a .tg graph file")
-		demo = flag.Bool("demo", false, "serve one in-process demo request and exit")
+		addr    = flag.String("addr", ":8080", "listen address")
+		spec    = flag.String("specimen", "", "preload a built-in paper figure")
+		file    = flag.String("f", "", "preload a .tg graph file")
+		demo    = flag.Bool("demo", false, "serve one in-process demo request and exit")
+		profile = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		quiet   = flag.Bool("quiet", false, "suppress per-request structured logs")
 	)
 	flag.Parse()
 
 	srv := service.New()
+	if !*quiet {
+		srv.SetLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	}
 	expvar.Publish("takegrant", expvar.Func(func() any { return srv.Stats() }))
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	if *profile {
+		// Opt-in only: the profiler exposes stacks and heap contents, which
+		// a reference monitor should not serve by default.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	handler := http.Handler(mux)
 	if *spec != "" || *file != "" {
 		var src string

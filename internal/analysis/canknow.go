@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"takegrant/internal/graph"
+	"takegrant/internal/obs"
 	"takegrant/internal/relang"
 	"takegrant/internal/rights"
 )
@@ -22,6 +23,13 @@ var (
 // Implicit edges present in G participate (the de facto rules accept them),
 // so the search runs over the combined view.
 func CanKnowF(g *graph.Graph, x, y graph.ID) bool {
+	return CanKnowFObs(g, x, y, nil)
+}
+
+// CanKnowFObs is CanKnowF reporting the admissible-path search as an
+// admissible_search span on p (Theorem 3.1's single product search). A nil
+// probe records nothing.
+func CanKnowFObs(g *graph.Graph, x, y graph.ID, p *obs.Probe) bool {
 	if !g.Valid(x) || !g.Valid(y) {
 		return false
 	}
@@ -34,7 +42,10 @@ func CanKnowF(g *graph.Graph, x, y graph.ID) bool {
 	if g.Implicit(x, y).Has(rights.Read) || g.Implicit(y, x).Has(rights.Write) {
 		return true
 	}
-	return relang.Reaches(g, admissibleNFA, x, y, relang.Options{View: relang.ViewCombined})
+	sp := p.Span("admissible_search")
+	res := relang.Search(g, admissibleNFA, []graph.ID{x}, relang.Options{View: relang.ViewCombined})
+	sp.Count("visited", int64(res.Visited())).Count("scanned", int64(res.Scanned())).End()
+	return res.Accepted(y)
 }
 
 // CanKnowFWitness returns an admissible rw-path from x to y when one
@@ -90,7 +101,16 @@ func LinkBetween(g *graph.Graph, u, v graph.ID) ([]relang.Step, bool) {
 //
 // Reflexive by convention.
 func CanKnow(g *graph.Graph, x, y graph.ID) bool {
-	_, ok := canKnow(g, x, y, false)
+	_, ok := canKnow(g, x, y, false, nil)
+	return ok
+}
+
+// CanKnowObs is CanKnow reporting per-phase spans on p: Theorem 3.2's
+// conditions map to phases rw_initial_spanners (a), rw_terminal_spanners
+// (b) and link_closure (c), with visit/scan counts from the underlying
+// product searches. A nil probe records nothing.
+func CanKnowObs(g *graph.Graph, x, y graph.ID, p *obs.Probe) bool {
+	_, ok := canKnow(g, x, y, false, p)
 	return ok
 }
 
@@ -112,10 +132,10 @@ type KnowEvidence struct {
 
 // CanKnowEx is CanKnow returning evidence; the input to SynthesizeKnow.
 func CanKnowEx(g *graph.Graph, x, y graph.ID) (*KnowEvidence, bool) {
-	return canKnow(g, x, y, true)
+	return canKnow(g, x, y, true, nil)
 }
 
-func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool) (*KnowEvidence, bool) {
+func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool, p *obs.Probe) (*KnowEvidence, bool) {
 	if !g.Valid(x) || !g.Valid(y) {
 		return nil, false
 	}
@@ -123,18 +143,22 @@ func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool) (*KnowEvidence, b
 		return &KnowEvidence{Trivial: true}, true
 	}
 	// (a) candidate u1 set.
+	sp := p.Span("rw_initial_spanners")
 	u1s := RWInitialSpanners(g, x)
 	if g.IsSubject(x) {
 		u1s = appendUnique(u1s, x)
 	}
+	sp.Count("u1s", int64(len(u1s))).End()
 	if len(u1s) == 0 {
 		return nil, false
 	}
 	// (b) candidate un set.
+	sp = p.Span("rw_terminal_spanners")
 	uns := RWTerminalSpanners(g, y)
 	if g.IsSubject(y) {
 		uns = appendUnique(uns, y)
 	}
+	sp.Count("uns", int64(len(uns))).End()
 	if len(uns) == 0 {
 		return nil, false
 	}
@@ -143,7 +167,9 @@ func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool) (*KnowEvidence, b
 		unSet[u] = true
 	}
 	if !wantEvidence {
+		sp = p.Span("link_closure")
 		res := relang.Search(g, linkChainNFA, u1s, relang.Options{View: relang.ViewExplicit})
+		sp.Count("visited", int64(res.Visited())).Count("scanned", int64(res.Scanned())).End()
 		for _, u := range uns {
 			if res.Accepted(u) {
 				return nil, true
@@ -171,17 +197,20 @@ func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool) (*KnowEvidence, b
 			break
 		}
 	}
+	sp = p.Span("witness_bfs")
+	expansions := 0
 	for hit == graph.None && len(queue) > 0 {
-		p := queue[0]
+		u := queue[0]
 		queue = queue[1:]
-		res := relang.Search(g, linkNFA, []graph.ID{p}, relang.Options{View: relang.ViewExplicit, Trace: true})
+		expansions++
+		res := relang.Search(g, linkNFA, []graph.ID{u}, relang.Options{View: relang.ViewExplicit, Trace: true})
 		for _, q := range res.AcceptedVertices() {
 			if !g.IsSubject(q) || seen[q] {
 				continue
 			}
 			steps, _ := res.Witness(q)
 			seen[q] = true
-			preds[q] = pred{from: p, link: steps}
+			preds[q] = pred{from: u, link: steps}
 			queue = append(queue, q)
 			if unSet[q] {
 				hit = q
@@ -189,6 +218,7 @@ func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool) (*KnowEvidence, b
 			}
 		}
 	}
+	sp.Count("expansions", int64(expansions)).End()
 	if hit == graph.None {
 		return nil, false
 	}
@@ -196,10 +226,10 @@ func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool) (*KnowEvidence, b
 	var links [][]relang.Step
 	cur := hit
 	for !inStart[cur] {
-		p := preds[cur]
+		pr := preds[cur]
 		chain = append(chain, cur)
-		links = append(links, p.link)
-		cur = p.from
+		links = append(links, pr.link)
+		cur = pr.from
 	}
 	chain = append(chain, cur)
 	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {

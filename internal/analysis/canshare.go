@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"takegrant/internal/graph"
+	"takegrant/internal/obs"
 	"takegrant/internal/relang"
 	"takegrant/internal/rights"
 )
@@ -47,7 +48,16 @@ func BridgeReachable(g *graph.Graph, starts []graph.ID) map[graph.ID]bool {
 //	       spans to s,
 //	 (iii) x′ and s′ are linked by a chain of islands and bridges.
 func CanShare(g *graph.Graph, alpha rights.Right, x, y graph.ID) bool {
-	_, ok := canShare(g, alpha, x, y, false)
+	_, ok := canShare(g, alpha, x, y, false, nil)
+	return ok
+}
+
+// CanShareObs is CanShare reporting per-phase spans on p: the theorem's
+// conditions map to phases sources (i), initial_spanners / terminal_spanners
+// (ii) and bridge_closure (iii), with visit/scan counts from the underlying
+// product searches. A nil probe records nothing and costs a pointer test.
+func CanShareObs(g *graph.Graph, alpha rights.Right, x, y graph.ID, p *obs.Probe) bool {
+	_, ok := canShare(g, alpha, x, y, false, p)
 	return ok
 }
 
@@ -77,10 +87,10 @@ type ShareEvidence struct {
 // evidence identifies the theorem's ingredients and is the input to
 // SynthesizeShare.
 func CanShareEx(g *graph.Graph, alpha rights.Right, x, y graph.ID) (*ShareEvidence, bool) {
-	return canShare(g, alpha, x, y, true)
+	return canShare(g, alpha, x, y, true, nil)
 }
 
-func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bool) (*ShareEvidence, bool) {
+func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bool, p *obs.Probe) (*ShareEvidence, bool) {
 	if !g.Valid(x) || !g.Valid(y) || x == y {
 		return nil, false
 	}
@@ -88,37 +98,45 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 		return &ShareEvidence{Direct: true}, true
 	}
 	// (i) sources s with an explicit α edge to y.
+	sp := p.Span("sources")
 	var sources []graph.ID
 	for _, h := range g.In(y) {
 		if h.Explicit.Has(alpha) {
 			sources = append(sources, h.Other)
 		}
 	}
+	sp.Count("sources", int64(len(sources))).End()
 	if len(sources) == 0 {
 		return nil, false
 	}
 	// (ii) spanners.
+	sp = p.Span("initial_spanners")
 	xPrimes := InitialSpanners(g, x)
+	sp.Count("x_primes", int64(len(xPrimes))).End()
 	if len(xPrimes) == 0 {
 		return nil, false
 	}
+	sp = p.Span("terminal_spanners")
 	sPrimeOf := make(map[graph.ID]graph.ID) // terminal spanner -> its source s
 	var sPrimes []graph.ID
 	for _, s := range sources {
-		for _, sp := range TerminalSpanners(g, s) {
-			if _, seen := sPrimeOf[sp]; !seen {
-				sPrimeOf[sp] = s
-				sPrimes = append(sPrimes, sp)
+		for _, spn := range TerminalSpanners(g, s) {
+			if _, seen := sPrimeOf[spn]; !seen {
+				sPrimeOf[spn] = s
+				sPrimes = append(sPrimes, spn)
 			}
 		}
 	}
+	sp.Count("s_primes", int64(len(sPrimes))).End()
 	if len(sPrimes) == 0 {
 		return nil, false
 	}
 	if !wantEvidence {
-		reach := BridgeReachable(g, xPrimes)
-		for _, sp := range sPrimes {
-			if reach[sp] {
+		sp = p.Span("bridge_closure")
+		res := relang.Search(g, bridgeChainNFA, xPrimes, relang.Options{View: relang.ViewExplicit})
+		sp.Count("visited", int64(res.Visited())).Count("scanned", int64(res.Scanned())).End()
+		for _, spn := range sPrimes {
+			if res.Accepted(spn) && g.IsSubject(spn) {
 				return nil, true
 			}
 		}
@@ -147,17 +165,20 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 			break
 		}
 	}
+	sp = p.Span("witness_bfs")
+	expansions := 0
 	for hit == graph.None && len(queue) > 0 {
-		p := queue[0]
+		u := queue[0]
 		queue = queue[1:]
-		res := relang.Search(g, bridgeNFA, []graph.ID{p}, relang.Options{View: relang.ViewExplicit, Trace: true})
+		expansions++
+		res := relang.Search(g, bridgeNFA, []graph.ID{u}, relang.Options{View: relang.ViewExplicit, Trace: true})
 		for _, q := range res.AcceptedVertices() {
 			if !g.IsSubject(q) || seen[q] {
 				continue
 			}
 			steps, _ := res.Witness(q)
 			seen[q] = true
-			preds[q] = pred{from: p, bridge: steps}
+			preds[q] = pred{from: u, bridge: steps}
 			queue = append(queue, q)
 			if _, ok := sPrimeOf[q]; ok {
 				hit = q
@@ -165,6 +186,7 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 			}
 		}
 	}
+	sp.Count("expansions", int64(expansions)).End()
 	if hit == graph.None {
 		return nil, false
 	}
@@ -173,10 +195,10 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 	var bridges [][]relang.Step
 	cur := hit
 	for !inStart[cur] {
-		p := preds[cur]
+		pr := preds[cur]
 		chain = append(chain, cur)
-		bridges = append(bridges, p.bridge)
-		cur = p.from
+		bridges = append(bridges, pr.bridge)
+		cur = pr.from
 	}
 	chain = append(chain, cur)
 	// Reverse into x′ → … → s′ order.

@@ -4,6 +4,8 @@ import (
 	"sort"
 
 	"takegrant/internal/graph"
+	"takegrant/internal/obs"
+	"takegrant/internal/relang"
 	"takegrant/internal/rights"
 )
 
@@ -27,6 +29,14 @@ type Acquisition struct {
 // its α-to-y to the profile when some closure subject terminally spans
 // to s. Results are sorted by (target, right).
 func Profile(g *graph.Graph, x graph.ID) []Acquisition {
+	return ProfileObs(g, x, nil)
+}
+
+// ProfileObs is Profile reporting per-phase spans on p: held_scan (edges x
+// already holds), initial_spanners, bridge_closure (the one shared
+// island/bridge closure), take_reach (the forward t>* extension) and
+// collect. A nil probe records nothing.
+func ProfileObs(g *graph.Graph, x graph.ID, p *obs.Probe) []Acquisition {
 	if !g.Valid(x) {
 		return nil
 	}
@@ -43,21 +53,33 @@ func Profile(g *graph.Graph, x graph.ID) []Acquisition {
 			out = append(out, a)
 		}
 	}
+	sp := p.Span("held_scan")
 	for _, h := range g.Out(x) {
 		for _, r := range h.Explicit.Rights() {
 			add(Acquisition{Right: r, Target: h.Other, Held: true})
 		}
 	}
+	sp.Count("held", int64(len(out))).End()
+	sp = p.Span("initial_spanners")
 	xps := InitialSpanners(g, x)
+	sp.Count("x_primes", int64(len(xps))).End()
 	if len(xps) > 0 {
-		reach := BridgeReachable(g, xps)
+		sp = p.Span("bridge_closure")
+		res := relang.Search(g, bridgeChainNFA, xps, relang.Options{View: relang.ViewExplicit})
+		var sources []graph.ID
+		for _, v := range res.AcceptedVertices() {
+			if g.IsSubject(v) {
+				sources = append(sources, v)
+			}
+		}
+		sp.Count("visited", int64(res.Visited())).Count("scanned", int64(res.Scanned())).
+			Count("closure", int64(len(sources))).End()
 		// Extend the reachable set with everything it terminally spans to:
 		// one forward t>* search from the whole closure.
-		var sources []graph.ID
-		for v := range reach {
-			sources = append(sources, v)
-		}
+		sp = p.Span("take_reach")
 		spanRes := TakeReach(g, sources)
+		sp.Count("reached", int64(len(spanRes))).End()
+		sp = p.Span("collect")
 		for _, s := range g.Vertices() {
 			if !spanRes[s] {
 				continue
@@ -71,6 +93,7 @@ func Profile(g *graph.Graph, x graph.ID) []Acquisition {
 				}
 			}
 		}
+		sp.Count("acquisitions", int64(len(out))).End()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Target != out[j].Target {

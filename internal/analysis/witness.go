@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"takegrant/internal/graph"
+	"takegrant/internal/obs"
 	"takegrant/internal/relang"
 	"takegrant/internal/rights"
 	"takegrant/internal/rules"
@@ -29,17 +30,28 @@ import (
 // Because every step only adds vertices and explicit edges, witnesses
 // computed against the starting graph stay valid throughout.
 func SynthesizeShare(g *graph.Graph, alpha rights.Right, x, y graph.ID) (rules.Derivation, error) {
-	if !CanShare(g, alpha, x, y) {
+	return SynthesizeShareObs(g, alpha, x, y, nil)
+}
+
+// SynthesizeShareObs is SynthesizeShare reporting witness_synthesis and
+// witness_replay spans on p (the constructive side of Theorem 2.3), with
+// the derivation length as a count. A nil probe records nothing.
+func SynthesizeShareObs(g *graph.Graph, alpha rights.Right, x, y graph.ID, p *obs.Probe) (rules.Derivation, error) {
+	if !CanShareObs(g, alpha, x, y, p) {
 		return nil, fmt.Errorf("analysis: can.share(%s, %s, %s) is false",
 			g.Universe().Name(alpha), g.Name(x), g.Name(y))
 	}
 	if g.Explicit(x, y).Has(alpha) {
 		return nil, nil
 	}
+	sp := p.Span("witness_synthesis")
 	d, err := planShare(g, alpha, x, y)
+	sp.Count("steps", int64(len(d))).End()
 	if err != nil {
 		return nil, err
 	}
+	sp = p.Span("witness_replay")
+	defer sp.End()
 	clone := g.Clone()
 	if _, err := d.Replay(clone); err != nil {
 		return nil, fmt.Errorf("analysis: synthesized share derivation does not replay: %w", err)

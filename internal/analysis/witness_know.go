@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"takegrant/internal/graph"
+	"takegrant/internal/obs"
 	"takegrant/internal/relang"
 	"takegrant/internal/rights"
 	"takegrant/internal/rules"
@@ -28,16 +29,27 @@ import (
 // An empty derivation with nil error means the base condition already
 // holds (including x == y).
 func SynthesizeKnow(g *graph.Graph, x, y graph.ID) (rules.Derivation, error) {
-	if !CanKnow(g, x, y) {
+	return SynthesizeKnowObs(g, x, y, nil)
+}
+
+// SynthesizeKnowObs is SynthesizeKnow reporting witness_synthesis and
+// witness_replay spans on p (the constructive side of Theorem 3.2), with
+// the derivation length as a count. A nil probe records nothing.
+func SynthesizeKnowObs(g *graph.Graph, x, y graph.ID, p *obs.Probe) (rules.Derivation, error) {
+	if !CanKnowObs(g, x, y, p) {
 		return nil, fmt.Errorf("analysis: can.know(%s, %s) is false", g.Name(x), g.Name(y))
 	}
 	if x == y || KnowsBase(g, x, y) {
 		return nil, nil
 	}
+	sp := p.Span("witness_synthesis")
 	d, err := planKnow(g, x, y)
+	sp.Count("steps", int64(len(d))).End()
 	if err != nil {
 		return nil, err
 	}
+	sp = p.Span("witness_replay")
+	defer sp.End()
 	clone := g.Clone()
 	if _, err := d.Replay(clone); err != nil {
 		return nil, fmt.Errorf("analysis: synthesized know derivation does not replay: %w", err)

@@ -1,0 +1,42 @@
+package obs
+
+import "context"
+
+type ctxKey int
+
+const (
+	probeKey ctxKey = iota
+	traceKey
+)
+
+// WithProbe returns a context carrying p. A nil p is stored as absent.
+func WithProbe(ctx context.Context, p *Probe) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, probeKey, p)
+}
+
+// ProbeFrom returns the context's probe, or nil when none is attached —
+// the nil result feeds straight into the nil-safe Probe methods.
+func ProbeFrom(ctx context.Context) *Probe {
+	p, _ := ctx.Value(probeKey).(*Probe)
+	return p
+}
+
+// WithTrace returns a context carrying a trace ID.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey, id)
+}
+
+// TraceFrom returns the context's trace ID: the explicit one, else the
+// attached probe's, else "".
+func TraceFrom(ctx context.Context) string {
+	if id, ok := ctx.Value(traceKey).(string); ok {
+		return id
+	}
+	if p := ProbeFrom(ctx); p != nil {
+		return p.TraceID
+	}
+	return ""
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilProbeIsInert(t *testing.T) {
+	var p *Probe
+	sp := p.Span("phase")
+	sp.Count("n", 1)
+	sp.End()
+	p.Add("k", 2)
+	if p.Spans() != nil || p.Counters() != nil || p.Report() != "" {
+		t.Fatal("nil probe must record nothing")
+	}
+	var agg PhaseAgg
+	agg.Observe(p) // must not panic
+	if len(agg.Snapshot()) != 0 {
+		t.Fatal("nil probe observed into aggregate")
+	}
+}
+
+func TestProbeRecordsSpansAndCounts(t *testing.T) {
+	p := NewProbe("can-share")
+	if p.TraceID == "" || len(p.TraceID) != 16 {
+		t.Fatalf("trace ID %q not 16 hex digits", p.TraceID)
+	}
+	sp := p.Span("bridge_closure")
+	sp.Count("visited", 42).Count("scanned", 99)
+	sp.End()
+	p.Add("cache_hit", 1)
+	spans := p.Spans()
+	if len(spans) != 1 || spans[0].Phase != "bridge_closure" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if len(spans[0].Counts) != 2 || spans[0].Counts[0] != (Count{"visited", 42}) {
+		t.Fatalf("counts = %+v", spans[0].Counts)
+	}
+	rep := p.Report()
+	for _, want := range []string{"can-share", "bridge_closure", "visited=42", "cache_hit=1", "total"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestPhaseAggFoldsProbes(t *testing.T) {
+	var agg PhaseAgg
+	for i := 0; i < 3; i++ {
+		p := NewProbe("can-know")
+		sp := p.Span("link_closure")
+		sp.Count("visited", 10)
+		sp.End()
+		agg.Observe(p)
+	}
+	snap := agg.Snapshot()
+	st, ok := snap[PhaseKey{Procedure: "can-know", Phase: "link_closure"}]
+	if !ok {
+		t.Fatalf("missing aggregate, have %v", snap)
+	}
+	if st.Count != 3 || st.Counts["visited"] != 30 {
+		t.Fatalf("aggregate = %+v", st)
+	}
+	if st.Total <= 0 || st.Max <= 0 || st.Max > st.Total {
+		t.Fatalf("durations inconsistent: %+v", st)
+	}
+	keys := SortedKeys(snap)
+	if len(keys) != 1 || keys[0].Phase != "link_closure" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestPhaseAggConcurrent(t *testing.T) {
+	var agg PhaseAgg
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p := NewProbe("op")
+				sp := p.Span("phase")
+				sp.Count("n", 1)
+				sp.End()
+				agg.Observe(p)
+			}
+		}()
+	}
+	wg.Wait()
+	st := agg.Snapshot()[PhaseKey{Procedure: "op", Phase: "phase"}]
+	if st.Count != 800 || st.Counts["n"] != 800 {
+		t.Fatalf("aggregate = %+v", st)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if ProbeFrom(ctx) != nil || TraceFrom(ctx) != "" {
+		t.Fatal("empty context must yield nil probe, empty trace")
+	}
+	p := NewProbe("http")
+	ctx = WithProbe(ctx, p)
+	if ProbeFrom(ctx) != p {
+		t.Fatal("probe not recovered from context")
+	}
+	if TraceFrom(ctx) != p.TraceID {
+		t.Fatal("trace should fall back to the probe's ID")
+	}
+	ctx = WithTrace(ctx, "deadbeefdeadbeef")
+	if TraceFrom(ctx) != "deadbeefdeadbeef" {
+		t.Fatal("explicit trace must win")
+	}
+	if WithProbe(context.Background(), nil) != context.Background() {
+		t.Fatal("nil probe should not be stored")
+	}
+}
+
+func TestTraceIDsDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 || seen[id] {
+			t.Fatalf("bad or duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanDurationPositive(t *testing.T) {
+	p := NewProbe("op")
+	sp := p.Span("sleepy")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if d := p.Spans()[0].Duration; d < time.Millisecond {
+		t.Fatalf("duration %v < 1ms", d)
+	}
+}

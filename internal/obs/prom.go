@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter builds a Prometheus text-exposition (version 0.0.4) body
+// without external dependencies. Metric families are emitted in the order
+// first written; series within a family are emitted in the order written,
+// so callers produce deterministic output by writing in sorted order.
+//
+//	var w obs.PromWriter
+//	w.Counter("tg_requests_total", "Requests served.",
+//	    obs.L("route", "/query/can-share"), 42)
+//	w.Gauge("tg_graph_vertices", "Vertices in the live graph.", nil, 17)
+//	body := w.String()
+type PromWriter struct {
+	b     strings.Builder
+	typed map[string]bool
+}
+
+// Label is one name="value" pair of a series.
+type Label struct{ Name, Value string }
+
+// L builds a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+func (w *PromWriter) header(name, typ, help string) {
+	if w.typed == nil {
+		w.typed = make(map[string]bool)
+	}
+	if w.typed[name] {
+		return
+	}
+	w.typed[name] = true
+	if help != "" {
+		fmt.Fprintf(&w.b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(&w.b, "# TYPE %s %s\n", name, typ)
+}
+
+// Counter emits one counter series. The value is a float so callers can
+// pass seconds totals; counters must be cumulative.
+func (w *PromWriter) Counter(name, help string, labels []Label, value float64) {
+	w.header(name, "counter", help)
+	w.series(name, "", labels, value)
+}
+
+// Gauge emits one gauge series.
+func (w *PromWriter) Gauge(name, help string, labels []Label, value float64) {
+	w.header(name, "gauge", help)
+	w.series(name, "", labels, value)
+}
+
+// Summary emits a summary family for one label set: the quantile series
+// plus _sum (seconds) and _count.
+func (w *PromWriter) Summary(name, help string, labels []Label, quantiles map[float64]float64, sumSeconds float64, count uint64) {
+	w.header(name, "summary", help)
+	qs := make([]float64, 0, len(quantiles))
+	for q := range quantiles {
+		qs = append(qs, q)
+	}
+	sort.Float64s(qs)
+	for _, q := range qs {
+		ql := append(append([]Label(nil), labels...), L("quantile", trimFloat(q)))
+		w.series(name, "", ql, quantiles[q])
+	}
+	w.series(name, "_sum", labels, sumSeconds)
+	w.series(name, "_count", labels, float64(count))
+}
+
+func (w *PromWriter) series(name, suffix string, labels []Label, value float64) {
+	w.b.WriteString(name)
+	w.b.WriteString(suffix)
+	if len(labels) > 0 {
+		w.b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.b.WriteByte(',')
+			}
+			fmt.Fprintf(&w.b, "%s=%q", l.Name, escapeLabel(l.Value))
+		}
+		w.b.WriteByte('}')
+	}
+	fmt.Fprintf(&w.b, " %s\n", trimFloat(value))
+}
+
+// String returns the exposition body.
+func (w *PromWriter) String() string { return w.b.String() }
+
+// trimFloat renders a float in its shortest exact form, keeping integers
+// integral ("42", "0.99", "1.5e-05").
+func trimFloat(f float64) string {
+	if f == float64(int64(f)) && f < 1e15 && f > -1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	// %q already escapes backslash and double quote; newline is the only
+	// other character the format forbids raw, and %q escapes it too. So
+	// the label value needs no pre-processing — this hook documents that.
+	return s
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

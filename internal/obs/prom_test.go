@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromWriterExposition(t *testing.T) {
+	var w PromWriter
+	w.Counter("tg_requests_total", "Requests served.", []Label{L("route", "/query/can-share")}, 42)
+	w.Counter("tg_requests_total", "Requests served.", []Label{L("route", "/stats")}, 7)
+	w.Gauge("tg_graph_vertices", "Vertices in the live graph.", nil, 17)
+	w.Summary("tg_request_latency_seconds", "Route latency.",
+		[]Label{L("route", "/stats")},
+		map[float64]float64{0.5: 0.000123, 0.9: 0.00045, 0.99: 0.0012},
+		0.789, 42)
+	out := w.String()
+
+	wantLines := []string{
+		"# TYPE tg_requests_total counter",
+		`tg_requests_total{route="/query/can-share"} 42`,
+		`tg_requests_total{route="/stats"} 7`,
+		"# TYPE tg_graph_vertices gauge",
+		"tg_graph_vertices 17",
+		"# TYPE tg_request_latency_seconds summary",
+		`tg_request_latency_seconds{route="/stats",quantile="0.5"} 0.000123`,
+		`tg_request_latency_seconds{route="/stats",quantile="0.99"} 0.0012`,
+		`tg_request_latency_seconds_sum{route="/stats"} 0.789`,
+		`tg_request_latency_seconds_count{route="/stats"} 42`,
+	}
+	for _, line := range wantLines {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", line, out)
+		}
+	}
+	// The TYPE header must appear exactly once per family.
+	if strings.Count(out, "# TYPE tg_requests_total counter") != 1 {
+		t.Error("duplicate TYPE header for tg_requests_total")
+	}
+	// Quantile series must come before _sum/_count within the family and be
+	// sorted ascending.
+	q5 := strings.Index(out, `quantile="0.5"`)
+	q99 := strings.Index(out, `quantile="0.99"`)
+	sum := strings.Index(out, "tg_request_latency_seconds_sum")
+	if !(q5 < q99 && q99 < sum) {
+		t.Error("summary series out of order")
+	}
+}
+
+func TestPromWriterValidSyntax(t *testing.T) {
+	// A light structural check: every non-comment line is "name{labels} value"
+	// or "name value", with a parseable float value.
+	var w PromWriter
+	w.Counter("a_total", "", nil, 1)
+	w.Gauge("b", "help with\nnewline", []Label{L("k", `quote " and backslash \`)}, 2.5)
+	for _, line := range strings.Split(strings.TrimSpace(w.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if strings.Contains(line, "\n") {
+				t.Errorf("comment contains raw newline: %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed line %q", line)
+		}
+		val := line[sp+1:]
+		if val == "" {
+			t.Fatalf("empty value in %q", line)
+		}
+	}
+	if !strings.Contains(w.String(), `help with\nnewline`) {
+		t.Error("HELP newline not escaped")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		42:       "42",
+		0:        "0",
+		0.99:     "0.99",
+		0.000123: "0.000123",
+		2.5:      "2.5",
+	}
+	for f, want := range cases {
+		if got := trimFloat(f); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", f, got, want)
+		}
+	}
+}

@@ -42,6 +42,15 @@ type Stats struct {
 	Evictions uint64 `json:"evictions"`
 	Size      int    `json:"size"`
 	Cap       int    `json:"cap"`
+	// PerKind breaks hits and misses down by Key.Kind — the per-procedure
+	// series a metrics endpoint exposes as labeled counters.
+	PerKind map[string]KindStats `json:"per_kind,omitempty"`
+}
+
+// KindStats is one decision procedure's slice of the cache counters.
+type KindStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 }
 
 type entry struct {
@@ -58,6 +67,7 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	kinds     map[string]*KindStats
 }
 
 // DefaultSize bounds a cache created with New(0).
@@ -73,7 +83,18 @@ func New(max int) *Cache {
 		max:   max,
 		ll:    list.New(),
 		items: make(map[Key]*list.Element),
+		kinds: make(map[string]*KindStats),
 	}
+}
+
+// kind returns the per-kind counter cell, creating it. Callers hold mu.
+func (c *Cache) kind(k string) *KindStats {
+	ks := c.kinds[k]
+	if ks == nil {
+		ks = &KindStats{}
+		c.kinds[k] = ks
+	}
+	return ks
 }
 
 // Get returns the cached value for k, marking it most recently used.
@@ -83,9 +104,11 @@ func (c *Cache) Get(k Key) (any, bool) {
 	el, ok := c.items[k]
 	if !ok {
 		c.misses++
+		c.kind(k.Kind).Misses++
 		return nil, false
 	}
 	c.hits++
+	c.kind(k.Kind).Hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*entry).val, true
 }
@@ -131,12 +154,17 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	per := make(map[string]KindStats, len(c.kinds))
+	for k, ks := range c.kinds {
+		per[k] = *ks
+	}
 	return Stats{
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		Size:      c.ll.Len(),
 		Cap:       c.max,
+		PerKind:   per,
 	}
 }
 

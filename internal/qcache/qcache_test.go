@@ -132,3 +132,26 @@ func TestConcurrent(t *testing.T) {
 		t.Error("no traffic recorded")
 	}
 }
+
+func TestPerKindStats(t *testing.T) {
+	c := New(8)
+	share := Key{Kind: "can-share", Params: "1:2:3"}
+	know := Key{Kind: "can-know", Params: "2:3"}
+	c.GetOrCompute(share, func() any { return true })  // miss
+	c.GetOrCompute(share, func() any { return true })  // hit
+	c.GetOrCompute(share, func() any { return true })  // hit
+	c.GetOrCompute(know, func() any { return false })  // miss
+	st := c.Stats()
+	if got := st.PerKind["can-share"]; got != (KindStats{Hits: 2, Misses: 1}) {
+		t.Errorf("can-share = %+v", got)
+	}
+	if got := st.PerKind["can-know"]; got != (KindStats{Hits: 0, Misses: 1}) {
+		t.Errorf("can-know = %+v", got)
+	}
+	// Snapshots are copies: mutating the returned map must not affect the
+	// cache's own counters.
+	st.PerKind["can-share"] = KindStats{}
+	if got := c.Stats().PerKind["can-share"]; got != (KindStats{Hits: 2, Misses: 1}) {
+		t.Errorf("snapshot aliased internal state: %+v", got)
+	}
+}

@@ -54,6 +54,8 @@ type Result struct {
 	steps   []Step
 	accepts map[graph.ID]int32 // first accepting product index per vertex
 	order   []graph.ID         // accepted vertices in discovery order
+	visited int                // product states enqueued
+	scanned int                // half-edges examined across all expansions
 }
 
 const (
@@ -139,6 +141,7 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 		outs, ins := outAdj[v], inAdj[v]
 		for _, tr := range st.syms {
 			if tr.sym.Dir == Fwd {
+				res.scanned += len(outs)
 				for _, h := range outs {
 					if !labelFor(h, opts.View).Has(tr.sym.Right) {
 						continue
@@ -150,6 +153,7 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 					add(w, tr.to, k, Step{From: v, To: w, Sym: tr.sym})
 				}
 			} else {
+				res.scanned += len(ins)
 				for _, h := range ins {
 					if !labelFor(h, opts.View).Has(tr.sym.Right) {
 						continue
@@ -163,8 +167,18 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 			}
 		}
 	}
+	res.visited = len(queue)
 	return res
 }
+
+// Visited returns the number of product states (vertex, nfa-state) the
+// search enqueued — the |V|·|Q| term of the paper's complexity bounds
+// (Corollaries 5.6/5.7), measured rather than assumed.
+func (r *Result) Visited() int { return r.visited }
+
+// Scanned returns the number of half-edges examined across all state
+// expansions — the |E|·|Q| term of the complexity bounds.
+func (r *Result) Scanned() int { return r.scanned }
 
 func labelFor(h graph.HalfEdge, v View) rights.Set {
 	if v == ViewCombined {

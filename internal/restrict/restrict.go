@@ -76,6 +76,11 @@ type Guarded struct {
 	R Restriction
 	// Applied counts successful applications; Refused counts rejections.
 	Applied, Refused int
+	// AppliedByOp and RefusedByOp break the counters down per rewriting
+	// rule, indexed by rules.Op — the per-rule application counters a
+	// metrics endpoint exposes. Failed preconditions (rule errors that are
+	// not restriction refusals) count in neither.
+	AppliedByOp, RefusedByOp [rules.NumOps]int
 }
 
 // NewGuarded wraps a graph with a restriction.
@@ -85,9 +90,13 @@ func NewGuarded(g *graph.Graph, r Restriction) *Guarded {
 
 // Apply checks the restriction (for de jure rules), then applies the rule.
 func (e *Guarded) Apply(app rules.Application) error {
+	inRange := int(app.Op) < rules.NumOps
 	if app.Op.DeJure() {
 		if err := e.R.Allows(e.G, app); err != nil {
 			e.Refused++
+			if inRange {
+				e.RefusedByOp[app.Op]++
+			}
 			return fmt.Errorf("restrict: %s refuses %s: %v: %w", e.R.Name(), app.Op, err, ErrRefused)
 		}
 	}
@@ -95,6 +104,9 @@ func (e *Guarded) Apply(app rules.Application) error {
 		return err
 	}
 	e.Applied++
+	if inRange {
+		e.AppliedByOp[app.Op]++
+	}
 	if app.Op == rules.OpCreate {
 		if id, ok := e.G.Lookup(app.NewName); ok {
 			e.R.NoteCreate(id, app.X)

@@ -60,7 +60,11 @@ const (
 	OpFind
 )
 
-var opNames = [...]string{"take", "grant", "create", "remove", "post", "pass", "spy", "find"}
+// NumOps is the number of rewriting rules; Op values are 0 ≤ op < NumOps,
+// so NumOps-sized arrays index directly by Op (per-rule counters).
+const NumOps = 8
+
+var opNames = [NumOps]string{"take", "grant", "create", "remove", "post", "pass", "spy", "find"}
 
 func (o Op) String() string {
 	if int(o) < len(opNames) {

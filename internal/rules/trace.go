@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -30,37 +31,155 @@ func Trace(g *graph.Graph, d Derivation) (string, error) {
 	return b.String(), nil
 }
 
-// diffSummary renders the label changes between two graph states.
-func diffSummary(before, after *graph.Graph) string {
-	var parts []string
+// EdgeDelta is one label change between two graph states, in vertex names.
+type EdgeDelta struct {
+	Src      string `json:"src"`
+	Dst      string `json:"dst"`
+	Rights   string `json:"rights"`
+	Implicit bool   `json:"implicit,omitempty"`
+}
+
+// VertexDelta is one vertex minted by a create step.
+type VertexDelta struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// StepDiff is the structured label change one application caused.
+type StepDiff struct {
+	Created []VertexDelta `json:"created,omitempty"`
+	Added   []EdgeDelta   `json:"added,omitempty"`
+	Removed []EdgeDelta   `json:"removed,omitempty"`
+}
+
+// diff computes the structured label changes between two graph states.
+// Both explicit and implicit gains and losses are reported: de jure
+// removes lose explicit labels, and a remove that empties an edge also
+// drops any implicit label riding on it.
+func diff(before, after *graph.Graph) StepDiff {
+	var d StepDiff
 	u := after.Universe()
-	// New vertices.
 	for i := before.Cap(); i < after.Cap(); i++ {
 		id := graph.ID(i)
 		if after.Valid(id) {
-			parts = append(parts, fmt.Sprintf("+%s %s", after.KindOf(id), after.Name(id)))
+			d.Created = append(d.Created, VertexDelta{
+				Name: after.Name(id), Kind: after.KindOf(id).String(),
+			})
 		}
 	}
 	for _, e := range after.Edges() {
 		if gained := e.Explicit.Minus(safeExplicit(before, e.Src, e.Dst)); !gained.Empty() {
-			parts = append(parts, fmt.Sprintf("+%s→%s %s",
-				after.Name(e.Src), after.Name(e.Dst), gained.Format(u)))
+			d.Added = append(d.Added, EdgeDelta{
+				Src: after.Name(e.Src), Dst: after.Name(e.Dst), Rights: gained.Format(u)})
 		}
 		if gained := e.Implicit.Minus(safeImplicit(before, e.Src, e.Dst)); !gained.Empty() {
-			parts = append(parts, fmt.Sprintf("+%s⇢%s %s",
-				after.Name(e.Src), after.Name(e.Dst), gained.Format(u)))
+			d.Added = append(d.Added, EdgeDelta{
+				Src: after.Name(e.Src), Dst: after.Name(e.Dst), Rights: gained.Format(u), Implicit: true})
 		}
 	}
 	for _, e := range before.Edges() {
 		if lost := e.Explicit.Minus(safeExplicit(after, e.Src, e.Dst)); !lost.Empty() {
-			parts = append(parts, fmt.Sprintf("-%s→%s %s",
-				before.Name(e.Src), before.Name(e.Dst), lost.Format(u)))
+			d.Removed = append(d.Removed, EdgeDelta{
+				Src: before.Name(e.Src), Dst: before.Name(e.Dst), Rights: lost.Format(u)})
 		}
+		if lost := e.Implicit.Minus(safeImplicit(after, e.Src, e.Dst)); !lost.Empty() {
+			d.Removed = append(d.Removed, EdgeDelta{
+				Src: before.Name(e.Src), Dst: before.Name(e.Dst), Rights: lost.Format(u), Implicit: true})
+		}
+	}
+	return d
+}
+
+// diffSummary renders the label changes between two graph states. Explicit
+// edges print with →, implicit with ⇢, losses with a leading -.
+func diffSummary(before, after *graph.Graph) string {
+	d := diff(before, after)
+	var parts []string
+	for _, v := range d.Created {
+		parts = append(parts, fmt.Sprintf("+%s %s", v.Kind, v.Name))
+	}
+	arrow := func(e EdgeDelta) string {
+		if e.Implicit {
+			return "⇢"
+		}
+		return "→"
+	}
+	for _, e := range d.Added {
+		parts = append(parts, fmt.Sprintf("+%s%s%s %s", e.Src, arrow(e), e.Dst, e.Rights))
+	}
+	for _, e := range d.Removed {
+		parts = append(parts, fmt.Sprintf("-%s%s%s %s", e.Src, arrow(e), e.Dst, e.Rights))
 	}
 	if len(parts) == 0 {
 		return "(no change)"
 	}
 	return strings.Join(parts, "  ")
+}
+
+// TraceStep is one derivation step in machine-readable form: the rule
+// instance plus the structured diff it caused.
+type TraceStep struct {
+	Index int    `json:"index"` // 1-based position in the derivation
+	Op    string `json:"op"`
+	// Text is the same rendering Trace prints for the step.
+	Text string `json:"text"`
+	// X, Y, Z name the rule's role vertices ("" when the role is unused).
+	X string `json:"x,omitempty"`
+	Y string `json:"y,omitempty"`
+	Z string `json:"z,omitempty"`
+	// Rights is δ/α for the de jure rules ("" for de facto).
+	Rights string   `json:"rights,omitempty"`
+	Diff   StepDiff `json:"diff"`
+}
+
+// TraceSteps replays a derivation on a clone of g and returns each step
+// with its structured diff — the machine-readable twin of Trace, serving
+// JSON derivation traces. It stops at the first failing step, returning
+// the steps completed so far alongside the error.
+func TraceSteps(g *graph.Graph, d Derivation) ([]TraceStep, error) {
+	clone := g.Clone()
+	var out []TraceStep
+	name := func(id graph.ID) string {
+		if !clone.Valid(id) {
+			return ""
+		}
+		return clone.Name(id)
+	}
+	u := g.Universe()
+	for i, app := range d {
+		before := clone.Clone()
+		// Resolve role names before Apply so create's fresh vertex cannot
+		// shift lookups; X/Y/Z are stable IDs on the pre-step graph.
+		step := TraceStep{
+			Index: i + 1,
+			Op:    app.Op.String(),
+			X:     name(app.X),
+			Y:     name(app.Y),
+			Z:     name(app.Z),
+		}
+		if !app.Rights.Empty() {
+			step.Rights = app.Rights.Format(u)
+		}
+		if err := app.Apply(clone); err != nil {
+			return out, fmt.Errorf("trace: step %d: %w", i+1, err)
+		}
+		step.Text = app.Format(clone)
+		step.Diff = diff(before, clone)
+		out = append(out, step)
+	}
+	return out, nil
+}
+
+// TraceJSON renders a derivation as a JSON array of TraceStep.
+func TraceJSON(g *graph.Graph, d Derivation) ([]byte, error) {
+	steps, err := TraceSteps(g, d)
+	if err != nil {
+		return nil, err
+	}
+	if steps == nil {
+		steps = []TraceStep{}
+	}
+	return json.MarshalIndent(steps, "", "  ")
 }
 
 func safeExplicit(g *graph.Graph, src, dst graph.ID) rights.Set {

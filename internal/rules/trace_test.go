@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -54,6 +55,104 @@ func TestTraceImplicit(t *testing.T) {
 	}
 	if !strings.Contains(out, "+x⇢z r") {
 		t.Errorf("implicit gain not rendered:\n%s", out)
+	}
+}
+
+func TestDiffSummaryReportsImplicitLoss(t *testing.T) {
+	// Regression: diffSummary used to report lost explicit edges but
+	// silently drop lost implicit ones. Build before/after states directly
+	// — losses of either label class must render.
+	before := graph.New(nil)
+	x := before.MustSubject("x")
+	y := before.MustObject("y")
+	before.AddExplicit(x, y, rights.T)
+	if err := before.AddImplicit(x, y, rights.R); err != nil {
+		t.Fatal(err)
+	}
+	after := before.Clone()
+	if err := after.RemoveImplicit(x, y, rights.R); err != nil {
+		t.Fatal(err)
+	}
+	if err := after.RemoveExplicit(x, y, rights.T); err != nil {
+		t.Fatal(err)
+	}
+	out := diffSummary(before, after)
+	if !strings.Contains(out, "-x→y t") {
+		t.Errorf("explicit loss not rendered: %q", out)
+	}
+	if !strings.Contains(out, "-x⇢y r") {
+		t.Errorf("implicit loss not rendered: %q", out)
+	}
+	// The structured diff marks the implicit loss too.
+	d := diff(before, after)
+	var sawImplicit bool
+	for _, e := range d.Removed {
+		if e.Implicit && e.Src == "x" && e.Dst == "y" && e.Rights == "r" {
+			sawImplicit = true
+		}
+	}
+	if !sawImplicit {
+		t.Errorf("structured diff missing implicit loss: %+v", d.Removed)
+	}
+}
+
+func TestTraceStepsJSON(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	v := g.MustObject("v")
+	y := g.MustObject("y")
+	g.AddExplicit(x, v, rights.T)
+	g.AddExplicit(v, y, rights.R)
+	d := Derivation{
+		Take(x, v, y, rights.R),
+		Create(x, "m", graph.Object, rights.RW),
+	}
+	steps, err := TraceSteps(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("got %d steps", len(steps))
+	}
+	s0 := steps[0]
+	if s0.Op != "take" || s0.X != "x" || s0.Y != "v" || s0.Z != "y" || s0.Rights != "r" {
+		t.Errorf("step 1 roles wrong: %+v", s0)
+	}
+	if len(s0.Diff.Added) != 1 || s0.Diff.Added[0] != (EdgeDelta{Src: "x", Dst: "y", Rights: "r"}) {
+		t.Errorf("step 1 diff wrong: %+v", s0.Diff)
+	}
+	s1 := steps[1]
+	if len(s1.Diff.Created) != 1 || s1.Diff.Created[0] != (VertexDelta{Name: "m", Kind: "object"}) {
+		t.Errorf("step 2 created wrong: %+v", s1.Diff)
+	}
+	// JSON form round-trips.
+	data, err := TraceJSON(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []TraceStep
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if len(back) != 2 || back[0].Op != "take" || back[1].Op != "create" {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	// The input graph stays untouched.
+	if g.Explicit(x, y).Has(rights.Read) {
+		t.Error("TraceSteps mutated the input graph")
+	}
+}
+
+func TestTraceStepsStopsOnFailure(t *testing.T) {
+	g := graph.New(nil)
+	x := g.MustSubject("x")
+	y := g.MustObject("y")
+	steps, err := TraceSteps(g, Derivation{Take(x, y, x, rights.R)})
+	if err == nil {
+		t.Fatal("bad step traced successfully")
+	}
+	if len(steps) != 0 {
+		t.Errorf("failing step produced output: %+v", steps)
 	}
 }
 

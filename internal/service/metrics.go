@@ -1,22 +1,26 @@
 package service
 
 import (
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
+
+	"takegrant/internal/obs"
 )
 
 // latencyWindow bounds the per-route latency samples kept for quantile
 // estimation: a ring of the most recent observations.
 const latencyWindow = 1024
 
-// routeMetrics accumulates one route's request count and a sliding window
-// of latencies. Each route has its own lock so hot routes do not contend
-// with each other.
+// routeMetrics accumulates one route's request count, cumulative latency
+// and a sliding window of latencies. Each route has its own lock so hot
+// routes do not contend with each other.
 type routeMetrics struct {
 	mu      sync.Mutex
 	count   uint64
+	total   time.Duration // cumulative latency across all requests
 	samples [latencyWindow]time.Duration
 	filled  int // number of valid samples (≤ latencyWindow)
 	next    int // ring write position
@@ -25,6 +29,7 @@ type routeMetrics struct {
 func (m *routeMetrics) observe(d time.Duration) {
 	m.mu.Lock()
 	m.count++
+	m.total += d
 	m.samples[m.next] = d
 	m.next = (m.next + 1) % latencyWindow
 	if m.filled < latencyWindow {
@@ -42,7 +47,10 @@ func (m *routeMetrics) quantiles() (p50, p90, p99 time.Duration) {
 	copy(sorted, m.samples[:m.filled])
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	at := func(q float64) time.Duration {
-		i := int(q * float64(len(sorted)-1))
+		// Round to the nearest rank: plain truncation floors the index, so
+		// on small windows p99 collapses onto lower samples (10 samples:
+		// 0.99*9 = 8.91 would floor to sorted[8], under-reporting).
+		i := int(q*float64(len(sorted)-1) + 0.5)
 		return sorted[i]
 	}
 	return at(0.50), at(0.90), at(0.99)
@@ -71,12 +79,14 @@ func (m *metrics) register(route string) *routeMetrics {
 }
 
 // RouteStats is one route's slice of the /stats report. Latencies are in
-// microseconds.
+// microseconds; SumUs is cumulative over every request, while the
+// quantiles cover the most recent latencyWindow samples.
 type RouteStats struct {
 	Count uint64  `json:"count"`
 	P50us float64 `json:"p50_us"`
 	P90us float64 `json:"p90_us"`
 	P99us float64 `json:"p99_us"`
+	SumUs float64 `json:"sum_us"`
 }
 
 func (m *metrics) snapshot() map[string]RouteStats {
@@ -85,6 +95,7 @@ func (m *metrics) snapshot() map[string]RouteStats {
 		rm.mu.Lock()
 		p50, p90, p99 := rm.quantiles()
 		count := rm.count
+		total := rm.total
 		rm.mu.Unlock()
 		if count == 0 {
 			continue
@@ -94,18 +105,46 @@ func (m *metrics) snapshot() map[string]RouteStats {
 			P50us: float64(p50) / float64(time.Microsecond),
 			P90us: float64(p90) / float64(time.Microsecond),
 			P99us: float64(p99) / float64(time.Microsecond),
+			SumUs: float64(total) / float64(time.Microsecond),
 		}
 	}
 	return out
 }
 
-// instrument wraps a handler, recording request count and latency under
-// the route's mux pattern.
-func (m *metrics) instrument(route string, h http.Handler) http.Handler {
-	rm := m.register(route)
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request-scoped observability stack:
+// a fresh trace ID (echoed as the X-Trace-Id response header and carried
+// by the request context inside an obs.Probe), latency/count recording
+// under the route's mux pattern, phase aggregation of whatever spans the
+// handler's decision procedures emitted, and one structured log line per
+// request.
+func (s *Server) instrument(route string, h http.Handler) http.Handler {
+	rm := s.metrics.register(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		h.ServeHTTP(w, r)
-		rm.observe(time.Since(start))
+		p := obs.NewProbe(route)
+		w.Header().Set("X-Trace-Id", p.TraceID)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r.WithContext(obs.WithProbe(r.Context(), p)))
+		d := time.Since(start)
+		rm.observe(d)
+		s.phases.Observe(p)
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("trace_id", p.TraceID),
+			slog.String("route", route),
+			slog.String("method", r.Method),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", d),
+		)
 	})
 }

@@ -1,0 +1,327 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuantilesRoundToNearestRank(t *testing.T) {
+	// 10 known samples 1ms..10ms: truncation picked index 8 (9ms) for p99;
+	// rounding must pick index 9 (10ms). p90 rounds 0.9*9=8.1 → index 8.
+	var rm routeMetrics
+	for i := 1; i <= 10; i++ {
+		rm.observe(time.Duration(i) * time.Millisecond)
+	}
+	p50, p90, p99 := rm.quantiles()
+	if want := 6 * time.Millisecond; p50 != want { // 0.5*9 = 4.5 → index 5
+		t.Errorf("p50 = %v, want %v", p50, want)
+	}
+	if want := 9 * time.Millisecond; p90 != want {
+		t.Errorf("p90 = %v, want %v", p90, want)
+	}
+	if want := 10 * time.Millisecond; p99 != want {
+		t.Errorf("p99 = %v, want %v", p99, want)
+	}
+
+	// 100 samples 1ms..100ms: p50 → index 50 (51ms), p90 → index 89
+	// (90ms), p99 → index 98 (99ms).
+	rm = routeMetrics{}
+	for i := 1; i <= 100; i++ {
+		rm.observe(time.Duration(i) * time.Millisecond)
+	}
+	p50, p90, p99 = rm.quantiles()
+	if p50 != 51*time.Millisecond || p90 != 90*time.Millisecond || p99 != 99*time.Millisecond {
+		t.Errorf("p50/p90/p99 = %v/%v/%v, want 51ms/90ms/99ms", p50, p90, p99)
+	}
+
+	// Single sample: every quantile is that sample.
+	rm = routeMetrics{}
+	rm.observe(7 * time.Millisecond)
+	p50, p90, p99 = rm.quantiles()
+	if p50 != 7*time.Millisecond || p90 != 7*time.Millisecond || p99 != 7*time.Millisecond {
+		t.Errorf("single-sample quantiles = %v/%v/%v", p50, p90, p99)
+	}
+}
+
+func TestInstrumentConcurrentLoad(t *testing.T) {
+	s := New()
+	h := s.instrument("/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				req, _ := http.NewRequest(http.MethodGet, "/x", nil)
+				rec := newRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.status != http.StatusNoContent {
+					t.Errorf("status %d", rec.status)
+					return
+				}
+				if rec.header.Get("X-Trace-Id") == "" {
+					t.Error("missing X-Trace-Id")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.metrics.snapshot()
+	if got := snap["/x"].Count; got != workers*perWorker {
+		t.Errorf("count = %d, want %d", got, workers*perWorker)
+	}
+	if snap["/x"].SumUs <= 0 {
+		t.Error("latency sum not accumulated")
+	}
+}
+
+// newRecorder is a minimal concurrent-safe ResponseWriter for load tests
+// (httptest.ResponseRecorder is fine too, but this pins exactly what the
+// instrument wrapper touches).
+type recorder struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{header: make(http.Header), status: http.StatusOK} }
+
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(code int)        { r.status = code }
+func (r *recorder) Write(b []byte) (int, error) { return r.buf.Write(b) }
+
+func TestEveryResponseCarriesTraceID(t *testing.T) {
+	ts := newTestServer(t)
+	loadSpecimen(t, ts, "fig61")
+	seen := make(map[string]bool)
+	for _, path := range []string{
+		"/graph", "/render", "/query/can-share?right=r&x=low&y=secret",
+		"/levels", "/stats", "/metrics",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := resp.Header.Get("X-Trace-Id")
+		readAll(t, resp)
+		if len(id) != 16 {
+			t.Errorf("%s: trace ID %q not 16 hex digits", path, id)
+		}
+		if seen[id] {
+			t.Errorf("%s: trace ID %q reused", path, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDAppearsInStructuredLog(t *testing.T) {
+	srv := New()
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	srv.SetLogger(slog.New(slog.NewJSONHandler(lockedWriter{&mu, &buf}, nil)))
+	h := srv.Handler()
+
+	req, _ := http.NewRequest(http.MethodPut, "/graph", strings.NewReader("subject a\n"))
+	rec := newRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.status != http.StatusOK {
+		t.Fatalf("PUT /graph: %d %s", rec.status, rec.buf.String())
+	}
+	traceID := rec.header.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("no trace ID on response")
+	}
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, fmt.Sprintf("%q:%q", "trace_id", traceID)) {
+		t.Errorf("slog output missing trace_id %q:\n%s", traceID, logged)
+	}
+	if !strings.Contains(logged, `"route":"/graph"`) {
+		t.Errorf("slog output missing route:\n%s", logged)
+	}
+
+	// A mutation logs its own line under the same trace ID.
+	buf.Reset()
+	req, _ = http.NewRequest(http.MethodPost, "/apply",
+		strings.NewReader(`{"op":"create","x":"a","name":"f","kind":"object","rights":"r"}`))
+	rec = newRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.status != http.StatusOK {
+		t.Fatalf("POST /apply: %d %s", rec.status, rec.buf.String())
+	}
+	mutTrace := rec.header.Get("X-Trace-Id")
+	mu.Lock()
+	logged = buf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, `"mutation"`) || !strings.Contains(logged, `"verdict":"applied"`) {
+		t.Errorf("mutation line missing:\n%s", logged)
+	}
+	if strings.Count(logged, mutTrace) < 2 { // mutation line + request line
+		t.Errorf("trace %q should appear in both mutation and request lines:\n%s", mutTrace, logged)
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	b  *bytes.Buffer
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+// metricValue extracts the value of the first series matching prefix from
+// a Prometheus exposition body.
+func metricValue(t *testing.T, body, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			sp := strings.LastIndexByte(line, ' ')
+			v, err := strconv.ParseFloat(line[sp+1:], 64)
+			if err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no series with prefix %q in:\n%s", prefix, body)
+	return 0
+}
+
+func TestMetricsMatchesStats(t *testing.T) {
+	ts := newTestServer(t)
+	loadSpecimen(t, ts, "fig61")
+
+	// Drive some traffic: queries (cache miss then hit), a refused and an
+	// applied mutation.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/query/can-share?right=r&x=low&y=secret")
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+	}
+	resp, err := http.Post(ts.URL+"/apply", "application/json",
+		strings.NewReader(`{"op":"take","x":"low","y":"mid","z":"secret","rights":"r"}`)) // read-up: refused
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	resp, err = http.Post(ts.URL+"/apply", "application/json",
+		strings.NewReader(`{"op":"create","x":"low","name":"scratch","kind":"object","rights":"r,w"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+
+	// Snapshot /stats then /metrics with no traffic in between; the two
+	// expositions must agree on every shared counter. (The /stats request
+	// itself bumps only the /stats route count, which we don't compare.)
+	var st Stats
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, &st)
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := readAll(t, resp)
+
+	checks := map[string]float64{
+		`takegrant_requests_total{route="/query/can-share"}`: float64(st.Routes["/query/can-share"].Count),
+		"takegrant_qcache_hits_total ":                       float64(st.Cache.Hits),
+		"takegrant_qcache_misses_total ":                     float64(st.Cache.Misses),
+		`takegrant_guard_verdicts_total{verdict="applied"}`:  float64(st.Guard.Applied),
+		`takegrant_guard_verdicts_total{verdict="refused"}`:  float64(st.Guard.Refused),
+		"takegrant_graph_vertices ":                          float64(st.Vertices),
+		"takegrant_graph_edges ":                             float64(st.Edges),
+		"takegrant_graph_revision ":                          float64(st.Revision),
+	}
+	for prefix, want := range checks {
+		if got := metricValue(t, body, prefix); got != want {
+			t.Errorf("%s = %v, /stats says %v", prefix, got, want)
+		}
+	}
+
+	// The cache must have seen both a miss and hits from the repeated query.
+	if st.Cache.PerKind["can-share"].Misses < 1 || st.Cache.PerKind["can-share"].Hits < 2 {
+		t.Errorf("per-kind cache stats = %+v", st.Cache.PerKind)
+	}
+	if metricValue(t, body, `takegrant_qcache_kind_hits_total{kind="can-share"}`) !=
+		float64(st.Cache.PerKind["can-share"].Hits) {
+		t.Error("per-kind hits disagree between /stats and /metrics")
+	}
+
+	// Decision-procedure phases reached the exposition: the first (miss)
+	// can-share query ran the real procedure under a probe.
+	if v := metricValue(t, body, `takegrant_phase_executions_total{procedure="/query/can-share",phase="sources"}`); v < 1 {
+		t.Errorf("phase executions = %v", v)
+	}
+	if v := metricValue(t, body, `takegrant_phase_work_total{procedure="/query/can-share",phase="bridge_closure",kind="visited"}`); v < 1 {
+		t.Errorf("bridge_closure visited = %v", v)
+	}
+
+	// Per-rule counters: the create applied, the read-up take was refused.
+	if v := metricValue(t, body, `takegrant_rule_applications_total{op="create",verdict="applied"}`); v != 1 {
+		t.Errorf("create applied = %v", v)
+	}
+	if v := metricValue(t, body, `takegrant_rule_applications_total{op="take",verdict="refused"}`); v != 1 {
+		t.Errorf("take refused = %v", v)
+	}
+
+	// TYPE headers are unique per family (valid exposition shape).
+	for _, fam := range []string{"takegrant_requests_total", "takegrant_request_latency_seconds"} {
+		if n := strings.Count(body, "# TYPE "+fam+" "); n != 1 {
+			t.Errorf("family %s has %d TYPE headers", fam, n)
+		}
+	}
+}
+
+func TestExplainShareJSON(t *testing.T) {
+	ts := newTestServer(t)
+	loadSpecimen(t, ts, "fig61")
+	resp, err := http.Get(ts.URL + "/explain/share?right=r&x=low&y=secret&format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Derivation []struct {
+			Index int    `json:"index"`
+			Op    string `json:"op"`
+			Text  string `json:"text"`
+			Diff  struct {
+				Added []struct {
+					Src, Dst, Rights string
+				} `json:"added"`
+			} `json:"diff"`
+		} `json:"derivation"`
+	}
+	decode(t, resp, &body)
+	if len(body.Derivation) == 0 {
+		t.Fatal("empty derivation")
+	}
+	for i, step := range body.Derivation {
+		if step.Index != i+1 || step.Op == "" || step.Text == "" {
+			t.Errorf("step %d malformed: %+v", i, step)
+		}
+	}
+}

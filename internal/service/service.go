@@ -20,7 +20,19 @@
 //	GET  /audit
 //	GET  /profile?x=
 //	GET  /log                       guarded decision trail (text)
-//	GET  /stats                     cache/guard/route observability
+//	GET  /stats                     cache/guard/route observability (JSON)
+//	GET  /metrics                   the same counters as Prometheus text exposition
+//
+// # Observability
+//
+// Every response carries an X-Trace-Id header; the same ID appears in the
+// structured (slog) request line and in any mutation line the request
+// produced, so a verdict can be correlated with its log trail. Handlers
+// carry an obs.Probe in the request context: the decision procedures
+// record per-phase spans (spanners, bridge/link closure, witness
+// synthesis) with visit counts onto it, and the server folds finished
+// probes into per-(route, phase) aggregates served at GET /metrics
+// alongside route latencies, query-cache and guard counters.
 //
 // # Locking discipline
 //
@@ -49,16 +61,20 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"sort"
 	"sync"
 
 	"takegrant/internal/analysis"
 	"takegrant/internal/graph"
 	"takegrant/internal/hierarchy"
+	"takegrant/internal/obs"
 	"takegrant/internal/qcache"
 	"takegrant/internal/restrict"
 	"takegrant/internal/rights"
@@ -83,14 +99,43 @@ type Server struct {
 	guard   *restrict.Guarded
 	cache   *qcache.Cache
 	metrics *metrics
+	// phases aggregates the decision procedures' per-phase spans across
+	// all requests; exposed at GET /metrics. Lock-free of mu: it has its
+	// own synchronization.
+	phases obs.PhaseAgg
+	// logger receives one structured line per request and per mutation,
+	// each carrying the request's trace_id. Defaults to a no-op logger;
+	// cmd/tgserve installs a real one with SetLogger.
+	logger *slog.Logger
 }
 
 // New returns a Server with an empty graph.
 func New() *Server {
-	s := &Server{cache: qcache.New(0), metrics: newMetrics()}
+	s := &Server{cache: qcache.New(0), metrics: newMetrics(), logger: nopLogger()}
 	s.install(graph.New(nil))
 	return s
 }
+
+// SetLogger installs the structured logger used for request and mutation
+// logging. A nil logger restores the no-op default. Call before serving
+// traffic.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = nopLogger()
+	}
+	s.logger = l
+}
+
+// nopHandler discards every record; the stand-in until a real logger is
+// installed (slog.DiscardHandler needs go 1.24; the module targets 1.22).
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+func nopLogger() *slog.Logger { return slog.New(nopHandler{}) }
 
 // install swaps in a new graph, re-arms the guard and starts a fresh
 // decision trail. Callers hold the write lock (or own s exclusively).
@@ -113,24 +158,32 @@ func (s *Server) rearm() {
 }
 
 // cached memoizes a decision-procedure result at the current (generation,
-// revision). Callers hold at least the read lock, which pins the revision
-// for the duration of compute.
-func (s *Server) cached(kind, params string, compute func() any) any {
+// revision), recording the hit/miss on the request's probe. Callers hold
+// at least the read lock, which pins the revision for the duration of
+// compute.
+func (s *Server) cached(p *obs.Probe, kind, params string, compute func() any) any {
 	key := qcache.Key{Gen: s.gen, Rev: s.g.Revision(), Kind: kind, Params: params}
-	v, _ := s.cache.GetOrCompute(key, compute)
+	v, hit := s.cache.GetOrCompute(key, compute)
+	if hit {
+		p.Add("qcache_hit", 1)
+	} else {
+		p.Add("qcache_miss", 1)
+	}
 	return v
 }
 
 // Handler returns the HTTP routes, each instrumented with request-count
-// and latency tracking surfaced at /stats.
+// and latency tracking (surfaced at /stats and /metrics), a request-scoped
+// trace ID (X-Trace-Id response header, obs probe in the request context)
+// and structured request logging.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.metrics.instrument(pattern, h))
+		mux.Handle(pattern, s.instrument(pattern, h))
 	}
 	route("/graph", s.handleGraph)
 	route("/graph.json", s.handleGraphJSON)
-	route("/render", s.textHandler(func() (string, error) {
+	route("/render", s.textHandler(func(r *http.Request) (string, error) {
 		return tgio.Render(s.g), nil
 	}))
 	route("/apply", s.handleApply)
@@ -138,19 +191,21 @@ func (s *Server) Handler() http.Handler {
 	route("/query/can-know", s.handleCanKnow)
 	route("/query/can-steal", s.handleCanSteal)
 	route("/explain/share", s.handleExplainShare)
-	route("/levels", s.textHandler(func() (string, error) {
+	route("/levels", s.textHandler(func(r *http.Request) (string, error) {
 		// The installed structure, not a fresh analysis: /levels, /audit
 		// and the guard must report the same level assignment.
-		return s.cached("hasse", "", func() any { return s.class.Hasse() }).(string), nil
+		p := obs.ProbeFrom(r.Context())
+		return s.cached(p, "hasse", "", func() any { return s.class.Hasse() }).(string), nil
 	}))
 	route("/islands", s.handleIslands)
 	route("/secure", s.handleSecure)
 	route("/audit", s.handleAudit)
 	route("/profile", s.handleProfile)
-	route("/log", s.textHandler(func() (string, error) {
+	route("/log", s.textHandler(func(r *http.Request) (string, error) {
 		return s.logged.Format(s.g), nil
 	}))
 	route("/stats", s.handleStats)
+	route("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -211,10 +266,10 @@ func (s *Server) handleGraphJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 // textHandler wraps a text-producing view under the read lock.
-func (s *Server) textHandler(f func() (string, error)) http.HandlerFunc {
+func (s *Server) textHandler(f func(*http.Request) (string, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.mu.RLock()
-		text, err := f()
+		text, err := f(r)
 		s.mu.RUnlock()
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -262,12 +317,24 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, restrict.ErrRefused) {
 			code = http.StatusForbidden // the reference monitor said no
 		}
+		s.logger.LogAttrs(r.Context(), slog.LevelWarn, "mutation",
+			slog.String("trace_id", obs.TraceFrom(r.Context())),
+			slog.String("op", req.Op),
+			slog.String("verdict", "refused"),
+			slog.String("error", err.Error()),
+		)
 		writeErr(w, code, err)
 		return
 	}
 	// The graph changed; re-derive the hierarchy so the next verdict is
 	// judged against live rw-levels, not the ones at install time.
 	s.rearm()
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "mutation",
+		slog.String("trace_id", obs.TraceFrom(r.Context())),
+		slog.String("op", req.Op),
+		slog.String("verdict", "applied"),
+		slog.Uint64("revision", s.g.Revision()),
+	)
 	writeJSON(w, map[string]any{"applied": app.Format(s.g)})
 }
 
@@ -381,8 +448,9 @@ func (s *Server) handleCanShare(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ok := s.cached("can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() any {
-		return analysis.CanShare(s.g, rt, x, y)
+	p := obs.ProbeFrom(r.Context())
+	ok := s.cached(p, "can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() any {
+		return analysis.CanShareObs(s.g, rt, x, y, p)
 	}).(bool)
 	writeJSON(w, map[string]bool{"can_share": ok})
 }
@@ -396,15 +464,16 @@ func (s *Server) handleCanKnow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	params := fmt.Sprintf("%d:%d", x, y)
+	p := obs.ProbeFrom(r.Context())
 	if r.URL.Query().Get("defacto") != "" {
-		ok := s.cached("can-know-f", params, func() any {
-			return analysis.CanKnowF(s.g, x, y)
+		ok := s.cached(p, "can-know-f", params, func() any {
+			return analysis.CanKnowFObs(s.g, x, y, p)
 		}).(bool)
 		writeJSON(w, map[string]bool{"can_know_f": ok})
 		return
 	}
-	ok := s.cached("can-know", params, func() any {
-		return analysis.CanKnow(s.g, x, y)
+	ok := s.cached(p, "can-know", params, func() any {
+		return analysis.CanKnowObs(s.g, x, y, p)
 	}).(bool)
 	writeJSON(w, map[string]bool{"can_know": ok})
 }
@@ -422,7 +491,7 @@ func (s *Server) handleCanSteal(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ok := s.cached("can-steal", fmt.Sprintf("%d:%d:%d", rt, x, y), func() any {
+	ok := s.cached(obs.ProbeFrom(r.Context()), "can-steal", fmt.Sprintf("%d:%d:%d", rt, x, y), func() any {
 		return steal.CanSteal(s.g, rt, x, y)
 	}).(bool)
 	writeJSON(w, map[string]bool{"can_steal": ok})
@@ -441,9 +510,23 @@ func (s *Server) handleExplainShare(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	d, err := analysis.SynthesizeShare(s.g, rt, x, y)
+	d, err := analysis.SynthesizeShareObs(s.g, rt, x, y, obs.ProbeFrom(r.Context()))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	// ?format=json returns the machine-readable derivation trace; the
+	// default stays the human-readable transcript.
+	if r.URL.Query().Get("format") == "json" {
+		steps, err := rules.TraceSteps(s.g, d)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if steps == nil {
+			steps = []rules.TraceStep{}
+		}
+		writeJSON(w, map[string]any{"derivation": steps})
 		return
 	}
 	out, err := rules.Trace(s.g, d)
@@ -458,7 +541,7 @@ func (s *Server) handleExplainShare(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIslands(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := s.cached("islands", "", func() any {
+	out := s.cached(obs.ProbeFrom(r.Context()), "islands", "", func() any {
 		var names [][]string
 		for _, island := range analysis.Islands(s.g) {
 			ns := make([]string, len(island))
@@ -475,7 +558,7 @@ func (s *Server) handleIslands(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSecure(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	resp := s.cached("secure", "", func() any {
+	resp := s.cached(obs.ProbeFrom(r.Context()), "secure", "", func() any {
 		ok, v := hierarchy.Secure(s.g)
 		out := map[string]any{"secure": ok}
 		if v != nil {
@@ -514,7 +597,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		Held   bool   `json:"held"`
 	}
 	var out []entry
-	for _, a := range analysis.Profile(s.g, x) {
+	for _, a := range analysis.ProfileObs(s.g, x, obs.ProbeFrom(r.Context())) {
 		out = append(out, entry{
 			Right:  s.g.Universe().Name(a.Right),
 			Target: s.g.Name(a.Target),
@@ -524,10 +607,34 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"profile": out})
 }
 
+// OpStats is one rewriting rule's slice of the guard counters.
+type OpStats struct {
+	Applied int `json:"applied"`
+	Refused int `json:"refused"`
+}
+
 // GuardStats is the guard's slice of the /stats report.
 type GuardStats struct {
 	Applied int `json:"applied"`
 	Refused int `json:"refused"`
+	// ByOp breaks the counters down per rewriting rule; rules with no
+	// traffic are omitted.
+	ByOp map[string]OpStats `json:"by_op,omitempty"`
+}
+
+func guardStats(g *restrict.Guarded) GuardStats {
+	out := GuardStats{Applied: g.Applied, Refused: g.Refused}
+	for op := 0; op < rules.NumOps; op++ {
+		a, r := g.AppliedByOp[op], g.RefusedByOp[op]
+		if a == 0 && r == 0 {
+			continue
+		}
+		if out.ByOp == nil {
+			out.ByOp = make(map[string]OpStats)
+		}
+		out.ByOp[rules.Op(op).String()] = OpStats{Applied: a, Refused: r}
+	}
+	return out
 }
 
 // Stats is the GET /stats report.
@@ -554,11 +661,112 @@ func (s *Server) Stats() Stats {
 		Edges:      s.g.NumEdges(),
 		Levels:     s.class.NumLevels(),
 		Cache:      s.cache.Stats(),
-		Guard:      GuardStats{Applied: s.guard.Applied, Refused: s.guard.Refused},
+		Guard:      guardStats(s.guard),
 		Routes:     s.metrics.snapshot(),
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Stats())
+}
+
+// handleMetrics serves the same counters /stats reports — plus the
+// decision procedures' per-phase span aggregates — as Prometheus text
+// exposition. Series within each family are sorted for deterministic
+// scrapes.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	phases := s.phases.Snapshot()
+
+	var pw obs.PromWriter
+	// Route traffic: counters plus a summary per route (quantiles over the
+	// recent latency window, sum/count over the route's full lifetime).
+	routes := make([]string, 0, len(st.Routes))
+	for route := range st.Routes {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		rs := st.Routes[route]
+		pw.Counter("takegrant_requests_total", "Requests served per route.",
+			[]obs.Label{obs.L("route", route)}, float64(rs.Count))
+	}
+	const usToS = 1e-6
+	for _, route := range routes {
+		rs := st.Routes[route]
+		pw.Summary("takegrant_request_latency_seconds",
+			"Route latency: quantiles over the recent sample window, sum/count over all requests.",
+			[]obs.Label{obs.L("route", route)},
+			map[float64]float64{0.5: rs.P50us * usToS, 0.9: rs.P90us * usToS, 0.99: rs.P99us * usToS},
+			rs.SumUs*usToS, rs.Count)
+	}
+
+	// Query cache.
+	pw.Counter("takegrant_qcache_hits_total", "Decision-cache hits.", nil, float64(st.Cache.Hits))
+	pw.Counter("takegrant_qcache_misses_total", "Decision-cache misses.", nil, float64(st.Cache.Misses))
+	pw.Counter("takegrant_qcache_evictions_total", "Decision-cache LRU evictions.", nil, float64(st.Cache.Evictions))
+	kinds := make([]string, 0, len(st.Cache.PerKind))
+	for kind := range st.Cache.PerKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		ks := st.Cache.PerKind[kind]
+		pw.Counter("takegrant_qcache_kind_hits_total", "Decision-cache hits per procedure.",
+			[]obs.Label{obs.L("kind", kind)}, float64(ks.Hits))
+	}
+	for _, kind := range kinds {
+		ks := st.Cache.PerKind[kind]
+		pw.Counter("takegrant_qcache_kind_misses_total", "Decision-cache misses per procedure.",
+			[]obs.Label{obs.L("kind", kind)}, float64(ks.Misses))
+	}
+
+	// Reference-monitor verdicts, total and per rewriting rule.
+	pw.Counter("takegrant_guard_verdicts_total", "Guarded rule applications by verdict.",
+		[]obs.Label{obs.L("verdict", "applied")}, float64(st.Guard.Applied))
+	pw.Counter("takegrant_guard_verdicts_total", "",
+		[]obs.Label{obs.L("verdict", "refused")}, float64(st.Guard.Refused))
+	ops := make([]string, 0, len(st.Guard.ByOp))
+	for op := range st.Guard.ByOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		os := st.Guard.ByOp[op]
+		pw.Counter("takegrant_rule_applications_total", "Guarded rule applications per rule and verdict.",
+			[]obs.Label{obs.L("op", op), obs.L("verdict", "applied")}, float64(os.Applied))
+		pw.Counter("takegrant_rule_applications_total", "",
+			[]obs.Label{obs.L("op", op), obs.L("verdict", "refused")}, float64(os.Refused))
+	}
+
+	// Decision-procedure phase spans: count, cumulative seconds, and the
+	// summed work counters (product states visited, edges scanned, ...).
+	for _, k := range obs.SortedKeys(phases) {
+		ps := phases[k]
+		labels := []obs.Label{obs.L("procedure", k.Procedure), obs.L("phase", k.Phase)}
+		pw.Counter("takegrant_phase_executions_total", "Decision-procedure phase executions.",
+			labels, float64(ps.Count))
+		pw.Counter("takegrant_phase_seconds_total", "Cumulative time in each decision-procedure phase.",
+			labels, ps.Total.Seconds())
+		counts := make([]string, 0, len(ps.Counts))
+		for ck := range ps.Counts {
+			counts = append(counts, ck)
+		}
+		sort.Strings(counts)
+		for _, ck := range counts {
+			pw.Counter("takegrant_phase_work_total", "Summed phase work counters (visited states, scanned edges, ...).",
+				append(append([]obs.Label(nil), labels...), obs.L("kind", ck)), float64(ps.Counts[ck]))
+		}
+	}
+
+	// Live-graph gauges.
+	pw.Gauge("takegrant_graph_vertices", "Vertices in the live graph.", nil, float64(st.Vertices))
+	pw.Gauge("takegrant_graph_edges", "Edges in the live graph.", nil, float64(st.Edges))
+	pw.Gauge("takegrant_graph_levels", "rw-levels of the installed hierarchy.", nil, float64(st.Levels))
+	pw.Gauge("takegrant_graph_revision", "Mutation counter of the live graph.", nil, float64(st.Revision))
+	pw.Gauge("takegrant_graph_generation", "Graph installations since process start.", nil, float64(st.Generation))
+	pw.Gauge("takegrant_qcache_entries", "Decision-cache resident entries.", nil, float64(st.Cache.Size))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, pw.String())
 }
