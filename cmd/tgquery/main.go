@@ -22,7 +22,9 @@
 //
 // The graph is read from -f, or stdin when -f is absent. Exit status 0
 // means the predicate holds (for boolean queries) or the command
-// succeeded; 1 means the predicate is false; 2 reports usage errors.
+// succeeded; 1 means the predicate is false; 2 reports usage errors; 3
+// means the query exceeded its work budget (-timeout / -max-visited)
+// before reaching a verdict.
 //
 // With -trace, decision-procedure queries print a per-phase breakdown on
 // stderr: each phase of the theorem being decided (initial spanners,
@@ -31,12 +33,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"takegrant/internal/analysis"
+	"takegrant/internal/budget"
 	"takegrant/internal/conspiracy"
 	"takegrant/internal/graph"
 	"takegrant/internal/hierarchy"
@@ -53,6 +57,8 @@ func main() {
 	file := flag.String("f", "", "graph file (.tg); stdin when absent")
 	spec := flag.String("specimen", "", "load a built-in paper figure instead (see 'specimens')")
 	trace := flag.Bool("trace", false, "print a per-phase breakdown of the decision procedure on stderr")
+	timeout := flag.Duration("timeout", 0, "abort the decision procedure after this long (0 = no deadline)")
+	maxVisited := flag.Int64("max-visited", 0, "abort after visiting this many product states (0 = unlimited)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -89,6 +95,21 @@ func main() {
 			fmt.Fprint(os.Stderr, probe.Report())
 		}
 	}
+	// One budget per invocation: tgquery runs exactly one decision procedure.
+	bud := budget.New(nil, *maxVisited, *timeout)
+	// checkBudget exits with status 3 on exhaustion so scripts can tell a
+	// shed query from a false predicate or a usage error.
+	checkBudget := func(err error) {
+		if err == nil {
+			return
+		}
+		report()
+		if errors.Is(err, budget.ErrExhausted) {
+			fmt.Fprintln(os.Stderr, "tgquery:", err)
+			os.Exit(3)
+		}
+		fail(err)
+	}
 	switch args[0] {
 	case "can.share", "can.steal", "explain.share", "trace.share":
 		if len(args) != 4 {
@@ -98,13 +119,15 @@ func main() {
 		x, y := lookupVertex(g, args[2]), lookupVertex(g, args[3])
 		switch args[0] {
 		case "can.share":
-			ok := analysis.CanShareObs(g, r, x, y, mkProbe("can.share"))
+			ok, err := analysis.CanShareObs(g, r, x, y, mkProbe("can.share"), bud)
+			checkBudget(err)
 			report()
 			boolOut(args, ok)
 		case "can.steal":
 			boolOut(args, steal.CanSteal(g, r, x, y))
 		case "explain.share":
-			d, err := analysis.SynthesizeShareObs(g, r, x, y, mkProbe("explain.share"))
+			d, err := analysis.SynthesizeShareObs(g, r, x, y, mkProbe("explain.share"), bud)
+			checkBudget(err)
 			if err != nil {
 				report()
 				fail(err)
@@ -116,7 +139,8 @@ func main() {
 			fmt.Print(d.Format(clone))
 			report()
 		case "trace.share":
-			d, err := analysis.SynthesizeShareObs(g, r, x, y, mkProbe("trace.share"))
+			d, err := analysis.SynthesizeShareObs(g, r, x, y, mkProbe("trace.share"), bud)
+			checkBudget(err)
 			if err != nil {
 				report()
 				fail(err)
@@ -135,15 +159,18 @@ func main() {
 		x, y := lookupVertex(g, args[1]), lookupVertex(g, args[2])
 		switch args[0] {
 		case "can.know":
-			ok := analysis.CanKnowObs(g, x, y, mkProbe("can.know"))
+			ok, err := analysis.CanKnowObs(g, x, y, mkProbe("can.know"), bud)
+			checkBudget(err)
 			report()
 			boolOut(args, ok)
 		case "can.know.f":
-			ok := analysis.CanKnowFObs(g, x, y, mkProbe("can.know.f"))
+			ok, err := analysis.CanKnowFObs(g, x, y, mkProbe("can.know.f"), bud)
+			checkBudget(err)
 			report()
 			boolOut(args, ok)
 		case "explain.know":
-			d, err := analysis.SynthesizeKnowObs(g, x, y, mkProbe("explain.know"))
+			d, err := analysis.SynthesizeKnowObs(g, x, y, mkProbe("explain.know"), bud)
+			checkBudget(err)
 			if err != nil {
 				report()
 				fail(err)
@@ -230,7 +257,9 @@ func main() {
 			usage()
 		}
 		v := lookupVertex(g, args[1])
-		for _, a := range analysis.ProfileObs(g, v, mkProbe("profile")) {
+		profile, err := analysis.ProfileObs(g, v, mkProbe("profile"), bud)
+		checkBudget(err)
+		for _, a := range profile {
 			marker := "acquirable"
 			if a.Held {
 				marker = "held"
@@ -289,7 +318,7 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tgquery [-f graph.tg] [-trace] <query>
+	fmt.Fprintln(os.Stderr, `usage: tgquery [-f graph.tg] [-trace] [-timeout d] [-max-visited n] <query>
 queries:
   can.share <right> <x> <y>      can.know <x> <y>     can.know.f <x> <y>
   can.steal <right> <x> <y>      explain.share <right> <x> <y>

@@ -4,22 +4,37 @@
 // the model's decision procedures by vertex name. See the service package
 // for the routes.
 //
+// Fault tolerance: with -data DIR every accepted mutation is fsync'd to a
+// write-ahead log before its 200 and periodically compacted into a
+// snapshot, so a crash — up to and including kill -9 — loses nothing that
+// was acknowledged; on restart the graph, revision and hierarchy are
+// rebuilt from snapshot plus log. -query-timeout and -max-visited bound
+// each decision procedure's work (exhaustion is a 503, never a wrong
+// verdict), -max-inflight sheds excess heavy queries with 429, handler
+// panics are caught and answered with a 500 naming the trace ID, and
+// SIGINT/SIGTERM drain in-flight requests then write a final snapshot.
+//
 // Observability: GET /stats reports query-cache hit/miss/eviction
 // counters, per-route request counts and latency quantiles, the current
-// graph revision and size; GET /metrics serves the same counters plus
-// per-phase decision-procedure timings in Prometheus text exposition
-// format; the /stats snapshot is also published as the expvar "takegrant"
-// alongside the runtime's memstats at GET /debug/vars. Every request is
-// logged as one JSON line on stderr carrying the trace ID echoed in the
-// X-Trace-Id response header. -pprof additionally mounts the runtime
-// profiler under /debug/pprof/.
+// graph revision and size, plus panic/shed/budget-exhausted and journal
+// counters; GET /metrics serves the same counters plus per-phase
+// decision-procedure timings in Prometheus text exposition format; the
+// /stats snapshot is also published as the expvar "takegrant" alongside
+// the runtime's memstats at GET /debug/vars. Every request is logged as
+// one JSON line on stderr carrying the trace ID echoed in the X-Trace-Id
+// response header. -pprof additionally mounts the runtime profiler under
+// /debug/pprof/.
 //
 // Usage:
 //
-//	tgserve -addr :8080 [-specimen fig61 | -f graph.tg] [-pprof]
+//	tgserve -addr :8080 [-data DIR] [-specimen fig61 | -f graph.tg]
+//	        [-query-timeout 5s] [-max-visited 1000000] [-max-inflight 32]
+//	        [-pprof]
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -29,7 +44,10 @@ import (
 	"net/http/httptest"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"takegrant/internal/service"
 	"takegrant/internal/specimens"
@@ -38,18 +56,42 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		spec    = flag.String("specimen", "", "preload a built-in paper figure")
-		file    = flag.String("f", "", "preload a .tg graph file")
-		demo    = flag.Bool("demo", false, "serve one in-process demo request and exit")
-		profile = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		quiet   = flag.Bool("quiet", false, "suppress per-request structured logs")
+		addr     = flag.String("addr", ":8080", "listen address")
+		data     = flag.String("data", "", "data directory for the crash-safe journal (empty = in-memory only)")
+		spec     = flag.String("specimen", "", "preload a built-in paper figure")
+		file     = flag.String("f", "", "preload a .tg graph file")
+		demo     = flag.Bool("demo", false, "serve one in-process demo request and exit")
+		profile  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		quiet    = flag.Bool("quiet", false, "suppress per-request structured logs")
+		qTimeout = flag.Duration("query-timeout", 0, "per-query work-budget deadline (0 = none)")
+		maxVisit = flag.Int64("max-visited", 0, "per-query cap on visited product states (0 = unlimited)")
+		inflight = flag.Int("max-inflight", 0, "max concurrent heavy queries before shedding with 429 (0 = unlimited)")
+		snapN    = flag.Int("snapshot-every", 0, "journaled mutations between snapshots (0 = default)")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain period for in-flight requests")
 	)
 	flag.Parse()
 
-	srv := service.New()
+	srv := service.NewWith(service.Config{
+		QueryTimeout:  *qTimeout,
+		MaxVisited:    *maxVisit,
+		MaxInFlight:   *inflight,
+		SnapshotEvery: *snapN,
+	})
 	if !*quiet {
 		srv.SetLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	}
+	recovered := false
+	if *data != "" {
+		var err error
+		recovered, err = srv.AttachJournal(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if recovered {
+			st := srv.Stats()
+			log.Printf("recovered state from %s: revision %d, %d vertices, %d replayed records",
+				*data, st.Revision, st.Vertices, st.Journal.Recovered)
+		}
 	}
 	expvar.Publish("takegrant", expvar.Func(func() any { return srv.Stats() }))
 	mux := http.NewServeMux()
@@ -65,7 +107,13 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	handler := http.Handler(mux)
-	if *spec != "" || *file != "" {
+	switch {
+	case recovered && (*spec != "" || *file != ""):
+		// The journal is the source of truth once it holds state: silently
+		// replacing recovered mutations with a preload would discard
+		// acknowledged history.
+		log.Printf("ignoring -specimen/-f: %s already holds state", *data)
+	case *spec != "" || *file != "":
 		var src string
 		if *spec != "" {
 			var err error
@@ -98,6 +146,39 @@ func main() {
 		fmt.Print(rec.Body.String())
 		return
 	}
+
+	// A real http.Server, not ListenAndServe's zero value: header/read/
+	// write/idle timeouts so a stalled client cannot pin a connection (and
+	// its semaphore slot) forever, and Shutdown for graceful drain.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("takegrant reference monitor listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of draining
+	log.Printf("shutting down: draining for up to %s", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	// Final snapshot after the drain: the next start replays nothing.
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	log.Printf("shutdown complete")
 }

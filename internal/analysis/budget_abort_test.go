@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+
+	"takegrant/internal/budget"
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// budgetGraph is a world where every decision procedure's answer is
+// positive: a -t,r-> b -r-> o, so a can take b's read right (can•share),
+// hence can•know, and the r>r> link chain gives the de facto flow too.
+// Positive answers matter: they prove a budget trip surfaces as a typed
+// error, not as a wrong "false".
+func budgetGraph(t *testing.T) (*graph.Graph, graph.ID, graph.ID) {
+	t.Helper()
+	g := graph.New(nil)
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	o := g.MustObject("o")
+	g.AddExplicit(a, b, rights.Of(rights.Take, rights.Read))
+	g.AddExplicit(b, o, rights.R)
+	return g, a, o
+}
+
+// TestFaultBudgetAbortIsTypedError runs every budgeted *Obs entry point
+// twice: unlimited (the verdict must be positive) and with a one-state
+// budget (the call must fail with an error wrapping budget.ErrExhausted
+// and carrying a *budget.ExhaustedError — never report a negative).
+func TestFaultBudgetAbortIsTypedError(t *testing.T) {
+	g, a, o := budgetGraph(t)
+	cases := []struct {
+		name string
+		run  func(b *budget.Budget) (positive bool, err error)
+	}{
+		{"CanShareObs", func(b *budget.Budget) (bool, error) {
+			return CanShareObs(g, rights.Read, a, o, nil, b)
+		}},
+		{"CanKnowObs", func(b *budget.Budget) (bool, error) {
+			return CanKnowObs(g, a, o, nil, b)
+		}},
+		{"CanKnowFObs", func(b *budget.Budget) (bool, error) {
+			return CanKnowFObs(g, a, o, nil, b)
+		}},
+		{"SynthesizeShareObs", func(b *budget.Budget) (bool, error) {
+			d, err := SynthesizeShareObs(g, rights.Read, a, o, nil, b)
+			return len(d) > 0, err
+		}},
+		{"SynthesizeKnowObs", func(b *budget.Budget) (bool, error) {
+			d, err := SynthesizeKnowObs(g, a, o, nil, b)
+			return len(d) > 0, err
+		}},
+		{"ProfileObs", func(b *budget.Budget) (bool, error) {
+			acq, err := ProfileObs(g, a, nil, b)
+			return len(acq) > 0, err
+		}},
+		{"IslandsObs", func(b *budget.Budget) (bool, error) {
+			isl, err := IslandsObs(g, nil, b)
+			return len(isl) > 0, err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			positive, err := tc.run(nil)
+			if err != nil {
+				t.Fatalf("unlimited: unexpected error %v", err)
+			}
+			if !positive {
+				t.Fatalf("unlimited: verdict should be positive on this graph")
+			}
+
+			_, err = tc.run(budget.New(nil, 1, 0))
+			if err == nil {
+				t.Fatal("one-state budget: no error — an exhausted budget must never look like a verdict")
+			}
+			if !errors.Is(err, budget.ErrExhausted) {
+				t.Fatalf("error %v does not wrap budget.ErrExhausted", err)
+			}
+			var ex *budget.ExhaustedError
+			if !errors.As(err, &ex) {
+				t.Fatalf("error %v is not a *budget.ExhaustedError", err)
+			}
+			if ex.Reason != "visited" || ex.Limit != 1 {
+				t.Errorf("ExhaustedError = %+v, want Reason visited Limit 1", ex)
+			}
+		})
+	}
+}
+
+// TestFaultBudgetSharedAcrossPhases confirms the budget is one allowance
+// for the whole decision, not per phase: a limit generous enough for any
+// single phase still trips once cumulative work crosses it.
+func TestFaultBudgetSharedAcrossPhases(t *testing.T) {
+	g, a, o := budgetGraph(t)
+	// Find the exact cost, then grant one state less.
+	b := budget.New(nil, 1<<40, 0)
+	if _, err := CanShareObs(g, rights.Read, a, o, nil, b); err != nil {
+		t.Fatalf("huge budget tripped: %v", err)
+	}
+	cost := b.Visited()
+	if cost < 2 {
+		t.Fatalf("test premise broken: decision cost %d states", cost)
+	}
+	_, err := CanShareObs(g, rights.Read, a, o, nil, budget.New(nil, cost-1, 0))
+	if !errors.Is(err, budget.ErrExhausted) {
+		t.Fatalf("budget of cost-1 should trip, got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"takegrant/internal/budget"
 	"takegrant/internal/graph"
 	"takegrant/internal/obs"
 	"takegrant/internal/relang"
@@ -23,29 +24,35 @@ var (
 // Implicit edges present in G participate (the de facto rules accept them),
 // so the search runs over the combined view.
 func CanKnowF(g *graph.Graph, x, y graph.ID) bool {
-	return CanKnowFObs(g, x, y, nil)
+	ok, _ := CanKnowFObs(g, x, y, nil, nil)
+	return ok
 }
 
 // CanKnowFObs is CanKnowF reporting the admissible-path search as an
-// admissible_search span on p (Theorem 3.1's single product search). A nil
-// probe records nothing.
-func CanKnowFObs(g *graph.Graph, x, y graph.ID, p *obs.Probe) bool {
+// admissible_search span on p (Theorem 3.1's single product search) and
+// honouring the work budget b. A nil probe records nothing; a nil budget
+// never trips. A budget trip abandons the verdict with an error wrapping
+// budget.ErrExhausted — never a wrong "false".
+func CanKnowFObs(g *graph.Graph, x, y graph.ID, p *obs.Probe, b *budget.Budget) (bool, error) {
 	if !g.Valid(x) || !g.Valid(y) {
-		return false
+		return false, nil
 	}
 	if x == y {
-		return true
+		return true, nil
 	}
 	// Base case of the definition: an existing implicit edge witnesses the
 	// flow regardless of vertex kinds (the guard on explicit edges is the
 	// theorem's subject-source condition).
 	if g.Implicit(x, y).Has(rights.Read) || g.Implicit(y, x).Has(rights.Write) {
-		return true
+		return true, nil
 	}
 	sp := p.Span("admissible_search")
-	res := relang.Search(g, admissibleNFA, []graph.ID{x}, relang.Options{View: relang.ViewCombined})
+	res := relang.Search(g, admissibleNFA, []graph.ID{x}, relang.Options{View: relang.ViewCombined, Budget: b})
 	sp.Count("visited", int64(res.Visited())).Count("scanned", int64(res.Scanned())).End()
-	return res.Accepted(y)
+	if err := res.Err(); err != nil {
+		return false, err
+	}
+	return res.Accepted(y), nil
 }
 
 // CanKnowFWitness returns an admissible rw-path from x to y when one
@@ -101,17 +108,20 @@ func LinkBetween(g *graph.Graph, u, v graph.ID) ([]relang.Step, bool) {
 //
 // Reflexive by convention.
 func CanKnow(g *graph.Graph, x, y graph.ID) bool {
-	_, ok := canKnow(g, x, y, false, nil)
+	_, ok, _ := canKnow(g, x, y, false, nil, nil)
 	return ok
 }
 
-// CanKnowObs is CanKnow reporting per-phase spans on p: Theorem 3.2's
-// conditions map to phases rw_initial_spanners (a), rw_terminal_spanners
-// (b) and link_closure (c), with visit/scan counts from the underlying
-// product searches. A nil probe records nothing.
-func CanKnowObs(g *graph.Graph, x, y graph.ID, p *obs.Probe) bool {
-	_, ok := canKnow(g, x, y, false, p)
-	return ok
+// CanKnowObs is CanKnow reporting per-phase spans on p and honouring the
+// work budget b: Theorem 3.2's conditions map to phases
+// rw_initial_spanners (a), rw_terminal_spanners (b) and link_closure (c),
+// with visit/scan counts from the underlying product searches. A nil probe
+// records nothing; a nil budget never trips. A budget trip abandons the
+// verdict with an error wrapping budget.ErrExhausted — never a wrong
+// "false".
+func CanKnowObs(g *graph.Graph, x, y graph.ID, p *obs.Probe, b *budget.Budget) (bool, error) {
+	_, ok, err := canKnow(g, x, y, false, p, b)
+	return ok, err
 }
 
 // KnowEvidence explains a positive can•know decision.
@@ -132,35 +142,44 @@ type KnowEvidence struct {
 
 // CanKnowEx is CanKnow returning evidence; the input to SynthesizeKnow.
 func CanKnowEx(g *graph.Graph, x, y graph.ID) (*KnowEvidence, bool) {
-	return canKnow(g, x, y, true, nil)
+	ev, ok, _ := canKnow(g, x, y, true, nil, nil)
+	return ev, ok
 }
 
-func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool, p *obs.Probe) (*KnowEvidence, bool) {
+func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool, p *obs.Probe, b *budget.Budget) (*KnowEvidence, bool, error) {
 	if !g.Valid(x) || !g.Valid(y) {
-		return nil, false
+		return nil, false, nil
 	}
 	if x == y {
-		return &KnowEvidence{Trivial: true}, true
+		return &KnowEvidence{Trivial: true}, true, nil
 	}
 	// (a) candidate u1 set.
 	sp := p.Span("rw_initial_spanners")
-	u1s := RWInitialSpanners(g, x)
+	u1s, err := spannersB(g, x, rwInitialSpanRevNFA, true, relang.ViewExplicit, b)
+	if err != nil {
+		sp.Count("aborted", 1).End()
+		return nil, false, err
+	}
 	if g.IsSubject(x) {
 		u1s = appendUnique(u1s, x)
 	}
 	sp.Count("u1s", int64(len(u1s))).End()
 	if len(u1s) == 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	// (b) candidate un set.
 	sp = p.Span("rw_terminal_spanners")
-	uns := RWTerminalSpanners(g, y)
+	uns, err := spannersB(g, y, rwTerminalRevNFA, true, relang.ViewExplicit, b)
+	if err != nil {
+		sp.Count("aborted", 1).End()
+		return nil, false, err
+	}
 	if g.IsSubject(y) {
 		uns = appendUnique(uns, y)
 	}
 	sp.Count("uns", int64(len(uns))).End()
 	if len(uns) == 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	unSet := make(map[graph.ID]bool, len(uns))
 	for _, u := range uns {
@@ -168,14 +187,17 @@ func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool, p *obs.Probe) (*K
 	}
 	if !wantEvidence {
 		sp = p.Span("link_closure")
-		res := relang.Search(g, linkChainNFA, u1s, relang.Options{View: relang.ViewExplicit})
+		res := relang.Search(g, linkChainNFA, u1s, relang.Options{View: relang.ViewExplicit, Budget: b})
 		sp.Count("visited", int64(res.Visited())).Count("scanned", int64(res.Scanned())).End()
+		if err := res.Err(); err != nil {
+			return nil, false, err
+		}
 		for _, u := range uns {
 			if res.Accepted(u) {
-				return nil, true
+				return nil, true, nil
 			}
 		}
-		return nil, false
+		return nil, false, nil
 	}
 	// Evidence BFS, one link per hop.
 	type pred struct {
@@ -200,10 +222,18 @@ func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool, p *obs.Probe) (*K
 	sp = p.Span("witness_bfs")
 	expansions := 0
 	for hit == graph.None && len(queue) > 0 {
+		if err := b.Charge(1); err != nil {
+			sp.Count("expansions", int64(expansions)).Count("aborted", 1).End()
+			return nil, false, err
+		}
 		u := queue[0]
 		queue = queue[1:]
 		expansions++
-		res := relang.Search(g, linkNFA, []graph.ID{u}, relang.Options{View: relang.ViewExplicit, Trace: true})
+		res := relang.Search(g, linkNFA, []graph.ID{u}, relang.Options{View: relang.ViewExplicit, Trace: true, Budget: b})
+		if err := res.Err(); err != nil {
+			sp.Count("expansions", int64(expansions)).Count("aborted", 1).End()
+			return nil, false, err
+		}
 		for _, q := range res.AcceptedVertices() {
 			if !g.IsSubject(q) || seen[q] {
 				continue
@@ -220,7 +250,7 @@ func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool, p *obs.Probe) (*K
 	}
 	sp.Count("expansions", int64(expansions)).End()
 	if hit == graph.None {
-		return nil, false
+		return nil, false, nil
 	}
 	var chain []graph.ID
 	var links [][]relang.Step
@@ -245,7 +275,7 @@ func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool, p *obs.Probe) (*K
 	if chain[len(chain)-1] != y {
 		ev.TerminalSpan, _ = RWTerminallySpans(g, chain[len(chain)-1], y)
 	}
-	return ev, true
+	return ev, true, nil
 }
 
 // KnowClosure returns every vertex v with can•know(u, v, G), computed with

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"takegrant/internal/budget"
 	"takegrant/internal/graph"
 	"takegrant/internal/obs"
 	"takegrant/internal/relang"
@@ -48,17 +49,22 @@ func BridgeReachable(g *graph.Graph, starts []graph.ID) map[graph.ID]bool {
 //	       spans to s,
 //	 (iii) x′ and s′ are linked by a chain of islands and bridges.
 func CanShare(g *graph.Graph, alpha rights.Right, x, y graph.ID) bool {
-	_, ok := canShare(g, alpha, x, y, false, nil)
+	_, ok, _ := canShare(g, alpha, x, y, false, nil, nil)
 	return ok
 }
 
-// CanShareObs is CanShare reporting per-phase spans on p: the theorem's
-// conditions map to phases sources (i), initial_spanners / terminal_spanners
-// (ii) and bridge_closure (iii), with visit/scan counts from the underlying
-// product searches. A nil probe records nothing and costs a pointer test.
-func CanShareObs(g *graph.Graph, alpha rights.Right, x, y graph.ID, p *obs.Probe) bool {
-	_, ok := canShare(g, alpha, x, y, false, p)
-	return ok
+// CanShareObs is CanShare reporting per-phase spans on p and honouring the
+// work budget b: the theorem's conditions map to phases sources (i),
+// initial_spanners / terminal_spanners (ii) and bridge_closure (iii), with
+// visit/scan counts from the underlying product searches. A nil probe
+// records nothing and costs a pointer test; a nil budget never trips.
+//
+// When b trips mid-phase the verdict is abandoned: the error wraps
+// budget.ErrExhausted and the boolean is meaningless (never a wrong
+// "false"). Phases finished before the trip are still recorded on p.
+func CanShareObs(g *graph.Graph, alpha rights.Right, x, y graph.ID, p *obs.Probe, b *budget.Budget) (bool, error) {
+	_, ok, err := canShare(g, alpha, x, y, false, p, b)
+	return ok, err
 }
 
 // ShareEvidence explains a positive can•share decision.
@@ -87,15 +93,16 @@ type ShareEvidence struct {
 // evidence identifies the theorem's ingredients and is the input to
 // SynthesizeShare.
 func CanShareEx(g *graph.Graph, alpha rights.Right, x, y graph.ID) (*ShareEvidence, bool) {
-	return canShare(g, alpha, x, y, true, nil)
+	ev, ok, _ := canShare(g, alpha, x, y, true, nil, nil)
+	return ev, ok
 }
 
-func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bool, p *obs.Probe) (*ShareEvidence, bool) {
+func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bool, p *obs.Probe, b *budget.Budget) (*ShareEvidence, bool, error) {
 	if !g.Valid(x) || !g.Valid(y) || x == y {
-		return nil, false
+		return nil, false, nil
 	}
 	if g.Explicit(x, y).Has(alpha) {
-		return &ShareEvidence{Direct: true}, true
+		return &ShareEvidence{Direct: true}, true, nil
 	}
 	// (i) sources s with an explicit α edge to y.
 	sp := p.Span("sources")
@@ -107,20 +114,29 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 	}
 	sp.Count("sources", int64(len(sources))).End()
 	if len(sources) == 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	// (ii) spanners.
 	sp = p.Span("initial_spanners")
-	xPrimes := InitialSpanners(g, x)
+	xPrimes, err := spannersB(g, x, initialSpanRevNFA, true, relang.ViewExplicit, b)
+	if err != nil {
+		sp.Count("aborted", 1).End()
+		return nil, false, err
+	}
 	sp.Count("x_primes", int64(len(xPrimes))).End()
 	if len(xPrimes) == 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	sp = p.Span("terminal_spanners")
 	sPrimeOf := make(map[graph.ID]graph.ID) // terminal spanner -> its source s
 	var sPrimes []graph.ID
 	for _, s := range sources {
-		for _, spn := range TerminalSpanners(g, s) {
+		spns, err := spannersB(g, s, terminalSpanRevNFA, true, relang.ViewExplicit, b)
+		if err != nil {
+			sp.Count("aborted", 1).End()
+			return nil, false, err
+		}
+		for _, spn := range spns {
 			if _, seen := sPrimeOf[spn]; !seen {
 				sPrimeOf[spn] = s
 				sPrimes = append(sPrimes, spn)
@@ -129,18 +145,21 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 	}
 	sp.Count("s_primes", int64(len(sPrimes))).End()
 	if len(sPrimes) == 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	if !wantEvidence {
 		sp = p.Span("bridge_closure")
-		res := relang.Search(g, bridgeChainNFA, xPrimes, relang.Options{View: relang.ViewExplicit})
+		res := relang.Search(g, bridgeChainNFA, xPrimes, relang.Options{View: relang.ViewExplicit, Budget: b})
 		sp.Count("visited", int64(res.Visited())).Count("scanned", int64(res.Scanned())).End()
+		if err := res.Err(); err != nil {
+			return nil, false, err
+		}
 		for _, spn := range sPrimes {
 			if res.Accepted(spn) && g.IsSubject(spn) {
-				return nil, true
+				return nil, true, nil
 			}
 		}
-		return nil, false
+		return nil, false, nil
 	}
 	// Evidence path: BFS over subjects expanding one bridge at a time so the
 	// chain decomposes into per-bridge segments.
@@ -168,10 +187,18 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 	sp = p.Span("witness_bfs")
 	expansions := 0
 	for hit == graph.None && len(queue) > 0 {
+		if err := b.Charge(1); err != nil {
+			sp.Count("expansions", int64(expansions)).Count("aborted", 1).End()
+			return nil, false, err
+		}
 		u := queue[0]
 		queue = queue[1:]
 		expansions++
-		res := relang.Search(g, bridgeNFA, []graph.ID{u}, relang.Options{View: relang.ViewExplicit, Trace: true})
+		res := relang.Search(g, bridgeNFA, []graph.ID{u}, relang.Options{View: relang.ViewExplicit, Trace: true, Budget: b})
+		if err := res.Err(); err != nil {
+			sp.Count("expansions", int64(expansions)).Count("aborted", 1).End()
+			return nil, false, err
+		}
 		for _, q := range res.AcceptedVertices() {
 			if !g.IsSubject(q) || seen[q] {
 				continue
@@ -188,7 +215,7 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 	}
 	sp.Count("expansions", int64(expansions)).End()
 	if hit == graph.None {
-		return nil, false
+		return nil, false, nil
 	}
 	// Reconstruct the chain from hit back to a start.
 	var chain []graph.ID
@@ -221,7 +248,7 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 	if ev.SPrime != ev.S {
 		ev.TerminalSpan, _ = TerminallySpans(g, ev.SPrime, ev.S)
 	}
-	return ev, true
+	return ev, true, nil
 }
 
 func withoutID(ids []graph.ID, drop graph.ID) []graph.ID {

@@ -16,7 +16,9 @@ package analysis
 import (
 	"sort"
 
+	"takegrant/internal/budget"
 	"takegrant/internal/graph"
+	"takegrant/internal/obs"
 	"takegrant/internal/rights"
 )
 
@@ -25,7 +27,23 @@ import (
 // vertex can be obtained by every other vertex. Each island is a sorted
 // slice of subject IDs; islands are ordered by their smallest member.
 func Islands(g *graph.Graph) [][]graph.ID {
-	idx := IslandOf(g)
+	out, _ := IslandsObs(g, nil, nil)
+	return out
+}
+
+// IslandsObs is Islands reporting an island_scan span on p and honouring
+// the work budget b (one unit per BFS dequeue). A nil probe records
+// nothing; a nil budget never trips. A budget trip abandons the result
+// with an error wrapping budget.ErrExhausted — a partial island list is
+// never returned.
+func IslandsObs(g *graph.Graph, p *obs.Probe, b *budget.Budget) ([][]graph.ID, error) {
+	sp := p.Span("island_scan")
+	idx, err := islandOfB(g, b)
+	if err != nil {
+		sp.Count("aborted", 1).End()
+		return nil, err
+	}
+	sp.Count("subjects", int64(len(idx))).End()
 	groups := make(map[int][]graph.ID)
 	for v, i := range idx {
 		groups[i] = append(groups[i], v)
@@ -36,12 +54,18 @@ func Islands(g *graph.Graph) [][]graph.ID {
 		out = append(out, members)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
-	return out
+	return out, nil
 }
 
 // IslandOf maps every subject to the index of its island. Indexes are dense
 // but otherwise arbitrary; use Islands for a deterministic ordering.
 func IslandOf(g *graph.Graph) map[graph.ID]int {
+	idx, _ := islandOfB(g, nil)
+	return idx
+}
+
+// islandOfB is IslandOf charging one budget unit per BFS dequeue.
+func islandOfB(g *graph.Graph, b *budget.Budget) (map[graph.ID]int, error) {
 	idx := make(map[graph.ID]int)
 	next := 0
 	for _, s := range g.Subjects() {
@@ -52,6 +76,9 @@ func IslandOf(g *graph.Graph) map[graph.ID]int {
 		queue := []graph.ID{s}
 		idx[s] = next
 		for len(queue) > 0 {
+			if err := b.Charge(1); err != nil {
+				return nil, err
+			}
 			v := queue[0]
 			queue = queue[1:]
 			for _, h := range g.Out(v) {
@@ -73,7 +100,7 @@ func IslandOf(g *graph.Graph) map[graph.ID]int {
 		}
 		next++
 	}
-	return idx
+	return idx, nil
 }
 
 // SameIsland reports whether two subjects share an island.

@@ -3,6 +3,7 @@ package analysis
 import (
 	"sort"
 
+	"takegrant/internal/budget"
 	"takegrant/internal/graph"
 	"takegrant/internal/obs"
 	"takegrant/internal/relang"
@@ -29,16 +30,19 @@ type Acquisition struct {
 // its α-to-y to the profile when some closure subject terminally spans
 // to s. Results are sorted by (target, right).
 func Profile(g *graph.Graph, x graph.ID) []Acquisition {
-	return ProfileObs(g, x, nil)
+	out, _ := ProfileObs(g, x, nil, nil)
+	return out
 }
 
-// ProfileObs is Profile reporting per-phase spans on p: held_scan (edges x
-// already holds), initial_spanners, bridge_closure (the one shared
-// island/bridge closure), take_reach (the forward t>* extension) and
-// collect. A nil probe records nothing.
-func ProfileObs(g *graph.Graph, x graph.ID, p *obs.Probe) []Acquisition {
+// ProfileObs is Profile reporting per-phase spans on p and honouring the
+// work budget b: held_scan (edges x already holds), initial_spanners,
+// bridge_closure (the one shared island/bridge closure), take_reach (the
+// forward t>* extension) and collect. A nil probe records nothing; a nil
+// budget never trips. A budget trip abandons the profile with an error
+// wrapping budget.ErrExhausted — a partial profile is never returned.
+func ProfileObs(g *graph.Graph, x graph.ID, p *obs.Probe, b *budget.Budget) ([]Acquisition, error) {
 	if !g.Valid(x) {
-		return nil
+		return nil, nil
 	}
 	var out []Acquisition
 	type key struct {
@@ -61,11 +65,15 @@ func ProfileObs(g *graph.Graph, x graph.ID, p *obs.Probe) []Acquisition {
 	}
 	sp.Count("held", int64(len(out))).End()
 	sp = p.Span("initial_spanners")
-	xps := InitialSpanners(g, x)
+	xps, err := spannersB(g, x, initialSpanRevNFA, true, relang.ViewExplicit, b)
+	if err != nil {
+		sp.Count("aborted", 1).End()
+		return nil, err
+	}
 	sp.Count("x_primes", int64(len(xps))).End()
 	if len(xps) > 0 {
 		sp = p.Span("bridge_closure")
-		res := relang.Search(g, bridgeChainNFA, xps, relang.Options{View: relang.ViewExplicit})
+		res := relang.Search(g, bridgeChainNFA, xps, relang.Options{View: relang.ViewExplicit, Budget: b})
 		var sources []graph.ID
 		for _, v := range res.AcceptedVertices() {
 			if g.IsSubject(v) {
@@ -74,13 +82,24 @@ func ProfileObs(g *graph.Graph, x graph.ID, p *obs.Probe) []Acquisition {
 		}
 		sp.Count("visited", int64(res.Visited())).Count("scanned", int64(res.Scanned())).
 			Count("closure", int64(len(sources))).End()
+		if err := res.Err(); err != nil {
+			return nil, err
+		}
 		// Extend the reachable set with everything it terminally spans to:
 		// one forward t>* search from the whole closure.
 		sp = p.Span("take_reach")
-		spanRes := TakeReach(g, sources)
+		spanRes, err := takeReachB(g, sources, b)
+		if err != nil {
+			sp.Count("aborted", 1).End()
+			return nil, err
+		}
 		sp.Count("reached", int64(len(spanRes))).End()
 		sp = p.Span("collect")
 		for _, s := range g.Vertices() {
+			if err := b.Charge(1); err != nil {
+				sp.Count("aborted", 1).End()
+				return nil, err
+			}
 			if !spanRes[s] {
 				continue
 			}
@@ -101,13 +120,19 @@ func ProfileObs(g *graph.Graph, x graph.ID, p *obs.Probe) []Acquisition {
 		}
 		return out[i].Right < out[j].Right
 	})
-	return out
+	return out, nil
 }
 
 // TakeReach runs the forward terminal-span closure from the given
 // subjects: the set of vertices some of them can take from (including
 // themselves).
 func TakeReach(g *graph.Graph, sources []graph.ID) map[graph.ID]bool {
+	out, _ := takeReachB(g, sources, nil)
+	return out
+}
+
+// takeReachB is TakeReach charging one budget unit per dequeued vertex.
+func takeReachB(g *graph.Graph, sources []graph.ID, b *budget.Budget) (map[graph.ID]bool, error) {
 	out := make(map[graph.ID]bool)
 	queue := make([]graph.ID, 0, len(sources))
 	for _, s := range sources {
@@ -117,6 +142,9 @@ func TakeReach(g *graph.Graph, sources []graph.ID) map[graph.ID]bool {
 		}
 	}
 	for len(queue) > 0 {
+		if err := b.Charge(1); err != nil {
+			return nil, err
+		}
 		v := queue[0]
 		queue = queue[1:]
 		for _, h := range g.Out(v) {
@@ -126,5 +154,5 @@ func TakeReach(g *graph.Graph, sources []graph.ID) map[graph.ID]bool {
 			}
 		}
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"takegrant/internal/budget"
 	"takegrant/internal/graph"
 	"takegrant/internal/relang"
 )
@@ -55,10 +56,21 @@ func RWTerminalSpanners(g *graph.Graph, y graph.ID) []graph.ID {
 }
 
 func spanners(g *graph.Graph, v graph.ID, revNFA *relang.NFA, includeSelf bool, view relang.View) []graph.ID {
+	out, _ := spannersB(g, v, revNFA, includeSelf, view, nil)
+	return out
+}
+
+// spannersB is spanners under a work budget. A budget abort returns the
+// exhaustion error and no vertex list: a partial spanner set would turn
+// into a wrong negative verdict at the caller.
+func spannersB(g *graph.Graph, v graph.ID, revNFA *relang.NFA, includeSelf bool, view relang.View, b *budget.Budget) ([]graph.ID, error) {
 	if !g.Valid(v) {
-		return nil
+		return nil, nil
 	}
-	res := relang.Search(g, revNFA, []graph.ID{v}, relang.Options{View: view})
+	res := relang.Search(g, revNFA, []graph.ID{v}, relang.Options{View: view, Budget: b})
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
 	seen := make(map[graph.ID]bool)
 	var out []graph.ID
 	if includeSelf && g.IsSubject(v) {
@@ -72,7 +84,7 @@ func spanners(g *graph.Graph, v graph.ID, revNFA *relang.NFA, includeSelf bool, 
 		}
 	}
 	sortIDs(out)
-	return out
+	return out, nil
 }
 
 // InitiallySpans reports whether subject u initially spans to x, and when it

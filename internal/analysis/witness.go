@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 
+	"takegrant/internal/budget"
 	"takegrant/internal/graph"
 	"takegrant/internal/obs"
 	"takegrant/internal/relang"
@@ -30,14 +32,20 @@ import (
 // Because every step only adds vertices and explicit edges, witnesses
 // computed against the starting graph stay valid throughout.
 func SynthesizeShare(g *graph.Graph, alpha rights.Right, x, y graph.ID) (rules.Derivation, error) {
-	return SynthesizeShareObs(g, alpha, x, y, nil)
+	return SynthesizeShareObs(g, alpha, x, y, nil, nil)
 }
 
 // SynthesizeShareObs is SynthesizeShare reporting witness_synthesis and
 // witness_replay spans on p (the constructive side of Theorem 2.3), with
-// the derivation length as a count. A nil probe records nothing.
-func SynthesizeShareObs(g *graph.Graph, alpha rights.Right, x, y graph.ID, p *obs.Probe) (rules.Derivation, error) {
-	if !CanShareObs(g, alpha, x, y, p) {
+// the derivation length as a count, honouring the work budget b. A nil
+// probe records nothing; a nil budget never trips. A budget trip is
+// reported as an error wrapping budget.ErrExhausted.
+func SynthesizeShareObs(g *graph.Graph, alpha rights.Right, x, y graph.ID, p *obs.Probe, b *budget.Budget) (rules.Derivation, error) {
+	ok, err := CanShareObs(g, alpha, x, y, p, b)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
 		return nil, fmt.Errorf("analysis: can.share(%s, %s, %s) is false",
 			g.Universe().Name(alpha), g.Name(x), g.Name(y))
 	}
@@ -45,7 +53,7 @@ func SynthesizeShareObs(g *graph.Graph, alpha rights.Right, x, y graph.ID, p *ob
 		return nil, nil
 	}
 	sp := p.Span("witness_synthesis")
-	d, err := planShare(g, alpha, x, y)
+	d, err := planShare(g, alpha, x, y, b)
 	sp.Count("steps", int64(len(d))).End()
 	if err != nil {
 		return nil, err
@@ -64,7 +72,7 @@ func SynthesizeShareObs(g *graph.Graph, alpha rights.Right, x, y graph.ID, p *ob
 
 // planShare builds the derivation on a scratch clone, applying each step
 // eagerly so later planning sees the evolving graph.
-func planShare(g *graph.Graph, alpha rights.Right, x, y graph.ID) (rules.Derivation, error) {
+func planShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, b *budget.Budget) (rules.Derivation, error) {
 	g2 := g.Clone()
 	nm := rules.NewNamer(g2, "w")
 	aSet := rights.Of(alpha)
@@ -107,11 +115,14 @@ func planShare(g *graph.Graph, alpha rights.Right, x, y graph.ID) (rules.Derivat
 	var bridges [][]relang.Step
 	var err error
 	if len(xps) > 0 && len(spOf) > 0 {
-		chain, bridges, err = bridgeChain(g2, xps, spOf)
+		chain, bridges, err = bridgeChain(g2, xps, spOf, b)
 	} else {
 		err = fmt.Errorf("analysis: no usable spanners besides the target")
 	}
 	if err != nil {
+		if errors.Is(err, budget.ErrExhausted) {
+			return nil, err
+		}
 		if !g2.IsSubject(y) || (!yWasXP && !yWasSP) {
 			return nil, err
 		}
@@ -148,7 +159,7 @@ func planShare(g *graph.Graph, alpha rights.Right, x, y graph.ID) (rules.Derivat
 		if len(xps) == 0 || len(spOf) == 0 {
 			return nil, fmt.Errorf("analysis: no usable spanners after proxying the target")
 		}
-		chain, bridges, err = bridgeChain(g2, xps, spOf)
+		chain, bridges, err = bridgeChain(g2, xps, spOf, b)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +217,7 @@ func planShare(g *graph.Graph, alpha rights.Right, x, y graph.ID) (rules.Derivat
 // bridgeChain finds a chain of subjects from some start (initial spanner)
 // to some goal (terminal spanner), consecutive members joined by bridges,
 // with per-hop witness walks read from the earlier member.
-func bridgeChain(g *graph.Graph, starts []graph.ID, goals map[graph.ID]graph.ID) ([]graph.ID, [][]relang.Step, error) {
+func bridgeChain(g *graph.Graph, starts []graph.ID, goals map[graph.ID]graph.ID, b *budget.Budget) ([]graph.ID, [][]relang.Step, error) {
 	type pred struct {
 		from   graph.ID
 		bridge []relang.Step
@@ -224,9 +235,15 @@ func bridgeChain(g *graph.Graph, starts []graph.ID, goals map[graph.ID]graph.ID)
 	queue := append([]graph.ID(nil), starts...)
 	hit := graph.None
 	for hit == graph.None && len(queue) > 0 {
+		if err := b.Charge(1); err != nil {
+			return nil, nil, err
+		}
 		p := queue[0]
 		queue = queue[1:]
-		res := relang.Search(g, bridgeNFA, []graph.ID{p}, relang.Options{View: relang.ViewExplicit, Trace: true})
+		res := relang.Search(g, bridgeNFA, []graph.ID{p}, relang.Options{View: relang.ViewExplicit, Trace: true, Budget: b})
+		if err := res.Err(); err != nil {
+			return nil, nil, err
+		}
 		for _, q := range res.AcceptedVertices() {
 			if !g.IsSubject(q) || seen[q] {
 				continue

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 
+	"takegrant/internal/budget"
 	"takegrant/internal/graph"
 	"takegrant/internal/obs"
 	"takegrant/internal/relang"
@@ -29,21 +30,27 @@ import (
 // An empty derivation with nil error means the base condition already
 // holds (including x == y).
 func SynthesizeKnow(g *graph.Graph, x, y graph.ID) (rules.Derivation, error) {
-	return SynthesizeKnowObs(g, x, y, nil)
+	return SynthesizeKnowObs(g, x, y, nil, nil)
 }
 
 // SynthesizeKnowObs is SynthesizeKnow reporting witness_synthesis and
 // witness_replay spans on p (the constructive side of Theorem 3.2), with
-// the derivation length as a count. A nil probe records nothing.
-func SynthesizeKnowObs(g *graph.Graph, x, y graph.ID, p *obs.Probe) (rules.Derivation, error) {
-	if !CanKnowObs(g, x, y, p) {
+// the derivation length as a count, honouring the work budget b. A nil
+// probe records nothing; a nil budget never trips. A budget trip is
+// reported as an error wrapping budget.ErrExhausted.
+func SynthesizeKnowObs(g *graph.Graph, x, y graph.ID, p *obs.Probe, b *budget.Budget) (rules.Derivation, error) {
+	ok, err := CanKnowObs(g, x, y, p, b)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
 		return nil, fmt.Errorf("analysis: can.know(%s, %s) is false", g.Name(x), g.Name(y))
 	}
 	if x == y || KnowsBase(g, x, y) {
 		return nil, nil
 	}
 	sp := p.Span("witness_synthesis")
-	d, err := planKnow(g, x, y)
+	d, err := planKnow(g, x, y, b)
 	sp.Count("steps", int64(len(d))).End()
 	if err != nil {
 		return nil, err
@@ -76,8 +83,11 @@ func KnowsBase(g *graph.Graph, x, y graph.ID) bool {
 	return false
 }
 
-func planKnow(g *graph.Graph, x, y graph.ID) (rules.Derivation, error) {
-	ev, ok := CanKnowEx(g, x, y)
+func planKnow(g *graph.Graph, x, y graph.ID, b *budget.Budget) (rules.Derivation, error) {
+	ev, ok, err := canKnow(g, x, y, true, nil, b)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("analysis: evidence lost for can.know(%s, %s)", g.Name(x), g.Name(y))
 	}

@@ -1,0 +1,162 @@
+// Package budget bounds the work a decision procedure may perform.
+//
+// The paper's complexity results (Corollaries 5.6/5.7) make every decision
+// procedure polynomial in |V|·|Q| and |E|·|Q| — but polynomial on a
+// multi-million-edge protection graph is still long enough that a reference
+// monitor must be able to cancel, bound and shed work. A Budget carries the
+// three ways a computation can be cut short:
+//
+//   - a deadline (wall-clock),
+//   - a cap on product states visited (the |V|·|Q| term, measured),
+//   - a context whose cancellation aborts the work (client disconnect).
+//
+// Budgets are threaded through the closure loops of the analysis package
+// and the product search of the relang package. The hot-path cost is one
+// counter increment and one comparison per charge; the clock and the
+// context are polled only every pollStride charges, so a budget never adds
+// a syscall per visited state.
+//
+// All methods are safe on a nil *Budget, which means "unlimited": the
+// uninstrumented entry points pass nil and pay a pointer test.
+//
+// A Budget is owned by one logical operation (one HTTP request, one CLI
+// query) and is not safe for concurrent use.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrExhausted is the sentinel all budget failures wrap: callers test
+// errors.Is(err, budget.ErrExhausted) to distinguish "the monitor shed
+// this query" from a wrong verdict.
+var ErrExhausted = errors.New("budget exhausted")
+
+// ExhaustedError reports which limit tripped and how much work was done.
+// It wraps ErrExhausted.
+type ExhaustedError struct {
+	// Reason is "visited", "deadline" or "canceled".
+	Reason string
+	// Visited is the work charged when the budget tripped.
+	Visited int64
+	// Limit is the visited-node cap (0 when the trip was time-based).
+	Limit int64
+	// Elapsed is the time since the budget was armed.
+	Elapsed time.Duration
+}
+
+func (e *ExhaustedError) Error() string {
+	switch e.Reason {
+	case "visited":
+		return fmt.Sprintf("budget exhausted: visited %d states (limit %d) after %s",
+			e.Visited, e.Limit, e.Elapsed.Round(time.Microsecond))
+	case "deadline":
+		return fmt.Sprintf("budget exhausted: deadline passed after %s (%d states visited)",
+			e.Elapsed.Round(time.Microsecond), e.Visited)
+	default:
+		return fmt.Sprintf("budget exhausted: %s after %s (%d states visited)",
+			e.Reason, e.Elapsed.Round(time.Microsecond), e.Visited)
+	}
+}
+
+// Unwrap makes errors.Is(err, ErrExhausted) hold for every ExhaustedError.
+func (e *ExhaustedError) Unwrap() error { return ErrExhausted }
+
+// pollStride is how many charges pass between wall-clock/context polls.
+const pollStride = 1024
+
+// Budget is a work allowance for one operation. Create one with New; the
+// zero value and the nil pointer are both "unlimited".
+type Budget struct {
+	ctx      context.Context // nil when no cancellation source
+	start    time.Time
+	deadline time.Time // zero when no deadline
+	limit    int64     // 0 when unlimited
+	visited  int64
+	poll     int64 // next visited value at which to check clock/ctx
+	err      error // sticky after the first trip
+}
+
+// New arms a budget. ctx may be nil (no cancellation source); maxVisited
+// <= 0 means no visited cap; timeout <= 0 means no deadline. New(nil, 0, 0)
+// returns nil — a free budget is represented by the nil pointer so the hot
+// paths skip it entirely.
+func New(ctx context.Context, maxVisited int64, timeout time.Duration) *Budget {
+	if ctx == nil && maxVisited <= 0 && timeout <= 0 {
+		return nil
+	}
+	// poll = 1 makes the very first charge poll the clock and context, so
+	// an already-canceled request or already-passed deadline trips before
+	// any real work; later polls run every pollStride charges.
+	b := &Budget{ctx: ctx, start: time.Now(), poll: 1}
+	if maxVisited > 0 {
+		b.limit = maxVisited
+	}
+	if timeout > 0 {
+		b.deadline = b.start.Add(timeout)
+	}
+	return b
+}
+
+// Charge records n units of work (visited product states, BFS expansions)
+// and reports whether the budget has tripped. The returned error is sticky:
+// once non-nil, every later call returns it without further checks.
+func (b *Budget) Charge(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.err != nil {
+		return b.err
+	}
+	b.visited += n
+	if b.limit > 0 && b.visited > b.limit {
+		b.err = &ExhaustedError{Reason: "visited", Visited: b.visited, Limit: b.limit, Elapsed: time.Since(b.start)}
+		return b.err
+	}
+	if b.visited >= b.poll {
+		b.poll = b.visited + pollStride
+		return b.pollNow()
+	}
+	return nil
+}
+
+// pollNow checks the deadline and the context immediately.
+func (b *Budget) pollNow() error {
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		b.err = &ExhaustedError{Reason: "deadline", Visited: b.visited, Elapsed: time.Since(b.start)}
+		return b.err
+	}
+	if b.ctx != nil {
+		select {
+		case <-b.ctx.Done():
+			b.err = &ExhaustedError{Reason: "canceled", Visited: b.visited, Elapsed: time.Since(b.start)}
+			return b.err
+		default:
+		}
+	}
+	return nil
+}
+
+// Err returns the sticky trip error, or nil while the budget holds. It also
+// polls the clock and context so phase boundaries notice a passed deadline
+// even when no work was charged since the last poll.
+func (b *Budget) Err() error {
+	if b == nil {
+		return nil
+	}
+	if b.err != nil {
+		return b.err
+	}
+	return b.pollNow()
+}
+
+// Visited returns the work charged so far.
+func (b *Budget) Visited() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.visited
+}

@@ -1,0 +1,102 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 10_000; i++ {
+		if err := b.Charge(1); err != nil {
+			t.Fatalf("nil budget charged: %v", err)
+		}
+	}
+	if b.Err() != nil || b.Visited() != 0 {
+		t.Fatalf("nil budget reported state: err=%v visited=%d", b.Err(), b.Visited())
+	}
+}
+
+func TestNewFreeBudgetIsNil(t *testing.T) {
+	if b := New(nil, 0, 0); b != nil {
+		t.Fatalf("New(nil, 0, 0) = %v, want nil", b)
+	}
+}
+
+func TestVisitedLimitTrips(t *testing.T) {
+	b := New(nil, 100, 0)
+	var err error
+	for i := 0; i < 200; i++ {
+		if err = b.Charge(1); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Reason != "visited" {
+		t.Fatalf("err = %#v, want visited ExhaustedError", err)
+	}
+	if ex.Visited != 101 || ex.Limit != 100 {
+		t.Fatalf("visited=%d limit=%d, want 101/100", ex.Visited, ex.Limit)
+	}
+	// Sticky: later charges fail without recounting.
+	if err2 := b.Charge(1); !errors.Is(err2, ErrExhausted) {
+		t.Fatalf("second charge = %v", err2)
+	}
+}
+
+func TestDeadlineTrips(t *testing.T) {
+	b := New(nil, 0, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	// The deadline is polled every pollStride charges; drive past one stride.
+	var err error
+	for i := 0; i < pollStride+1; i++ {
+		if err = b.Charge(1); err != nil {
+			break
+		}
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Reason != "deadline" {
+		t.Fatalf("err = %v, want deadline ExhaustedError", err)
+	}
+}
+
+func TestErrPollsDeadlineWithoutCharges(t *testing.T) {
+	b := New(nil, 0, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if err := b.Err(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("Err() = %v, want ErrExhausted", err)
+	}
+}
+
+func TestContextCancellationTrips(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, 0, 0)
+	if err := b.Err(); err != nil {
+		t.Fatalf("pre-cancel Err() = %v", err)
+	}
+	cancel()
+	if err := b.Err(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("post-cancel Err() = %v, want ErrExhausted", err)
+	}
+	var ex *ExhaustedError
+	if !errors.As(b.Err(), &ex) || ex.Reason != "canceled" {
+		t.Fatalf("reason = %v, want canceled", b.Err())
+	}
+}
+
+func TestChargeUnderLimitHolds(t *testing.T) {
+	b := New(nil, 1_000_000, time.Hour)
+	for i := 0; i < 10_000; i++ {
+		if err := b.Charge(1); err != nil {
+			t.Fatalf("charge %d tripped: %v", i, err)
+		}
+	}
+	if b.Visited() != 10_000 {
+		t.Fatalf("visited = %d, want 10000", b.Visited())
+	}
+}

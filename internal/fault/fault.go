@@ -1,0 +1,66 @@
+// Package fault is a test-only fault-injection registry.
+//
+// Production code marks interesting points with fault.Inject("name");
+// tests install hooks with fault.Set to make those points panic, sleep,
+// or block — proving the panic-recovery middleware, the load-shedding
+// semaphore and the cancellation paths actually degrade gracefully
+// instead of taking the process down.
+//
+// With no hooks installed (every production deployment) Inject is a
+// single atomic load and a branch; the registry map is never touched.
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	active atomic.Bool // fast-path gate: false ⇒ no hooks anywhere
+	mu     sync.Mutex
+	hooks  map[string]func()
+)
+
+// Inject runs the hook installed under name, if any. The common case —
+// no hooks installed at all — costs one atomic load.
+func Inject(name string) {
+	if !active.Load() {
+		return
+	}
+	mu.Lock()
+	f := hooks[name]
+	mu.Unlock()
+	if f != nil {
+		f()
+	}
+}
+
+// Set installs f as the hook for name, replacing any previous hook.
+// Test-only; pair with a deferred Clear or Reset.
+func Set(name string, f func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks == nil {
+		hooks = make(map[string]func())
+	}
+	hooks[name] = f
+	active.Store(true)
+}
+
+// Clear removes the hook for name.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(hooks, name)
+	if len(hooks) == 0 {
+		active.Store(false)
+	}
+}
+
+// Reset removes every hook.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = nil
+	active.Store(false)
+}

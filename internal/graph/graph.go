@@ -137,6 +137,20 @@ func (g *Graph) Universe() *rights.Universe { return g.universe }
 // additional generation discriminator.
 func (g *Graph) Revision() uint64 { return g.revision }
 
+// RestoreRevision overwrites the revision counter. It exists for crash
+// recovery: a graph rebuilt from a durable snapshot must resume the
+// revision sequence the snapshot recorded, so that replayed journal
+// mutations land on the same revisions as the originals and
+// revision-keyed caches never conflate pre- and post-crash states. The
+// lazy adjacency snapshot is dropped — it may have been built at a now-
+// colliding counter value over different edges.
+func (g *Graph) RestoreRevision(rev uint64) {
+	g.adjMu.Lock()
+	g.revision = rev
+	g.adj = nil
+	g.adjMu.Unlock()
+}
+
 // NumVertices returns the number of live (non-deleted) vertices.
 func (g *Graph) NumVertices() int { return g.live }
 

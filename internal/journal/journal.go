@@ -1,0 +1,398 @@
+// Package journal makes the reference monitor's protection state survive
+// crashes: an append-only write-ahead log of accepted mutations plus
+// periodic snapshots, both under one data directory.
+//
+// # Files
+//
+//	DIR/wal.log      the WAL: a fixed header then CRC-framed records
+//	DIR/snapshot.tg  latest snapshot: one JSON meta line, then .tg text
+//
+// # Record framing
+//
+// Every WAL record is framed as
+//
+//	uint32 LE  payload length
+//	uint32 LE  CRC-32 (IEEE) of the payload
+//	payload    JSON {"seq":N,"kind":"apply"|"graph","data":...}
+//
+// and fsync'd before Append returns, so an acknowledged mutation is on
+// disk before the client sees 200. Sequence numbers increase by one per
+// record and never reset — they are what makes snapshotting safe (below).
+//
+// # Recovery rules
+//
+// Open scans the WAL front to back. The first frame that cannot be read
+// whole — short header, short payload, impossible length, CRC mismatch,
+// or non-JSON payload — marks the torn tail left by a crash mid-append:
+// the file is truncated back to the last whole record and the scan stops.
+// Everything before the tear is returned for replay. A missing WAL or a
+// missing snapshot is not an error; an unreadable snapshot is (silently
+// starting empty would discard the graph).
+//
+// # Snapshot cadence
+//
+// The serving layer snapshots every snapEvery accepted mutations and once
+// on graceful shutdown. A snapshot is written to a temp file, fsync'd and
+// renamed over snapshot.tg; only then is the WAL reset. The snapshot meta
+// records the sequence number of the last record it covers, and Open
+// skips WAL records at or below it — so a crash between the rename and
+// the WAL reset replays nothing twice.
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// walHeader begins every WAL file; a mismatch means the file is not ours.
+const walHeader = "TGWAL1\n"
+
+// maxRecordBytes bounds one record's payload; a longer length prefix is
+// treated as tail corruption (no legitimate record approaches it: the
+// largest payload is a full graph document, itself capped at 1 MB by the
+// service).
+const maxRecordBytes = 8 << 20
+
+// Record kinds. KindGraph carries a whole .tg document (a PUT /graph);
+// KindApply carries one accepted rule application (a POST /apply body).
+const (
+	KindGraph = "graph"
+	KindApply = "apply"
+)
+
+// Record is one durable mutation.
+type Record struct {
+	// Seq numbers records 1,2,3,… across the journal's whole life,
+	// surviving snapshots and WAL resets.
+	Seq uint64 `json:"seq"`
+	// Kind is KindGraph or KindApply.
+	Kind string `json:"kind"`
+	// Data is the mutation body: the .tg text (JSON string) for KindGraph,
+	// the apply-request object for KindApply.
+	Data json.RawMessage `json:"data"`
+}
+
+// Meta is the snapshot header line.
+type Meta struct {
+	// Revision is the graph's mutation counter at snapshot time.
+	Revision uint64 `json:"revision"`
+	// Generation counts graph installations (PUT /graph) at snapshot time.
+	Generation uint64 `json:"generation"`
+	// LastSeq is the sequence number of the last WAL record the snapshot
+	// covers; recovery skips records with Seq <= LastSeq.
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// Snapshot is a decoded snapshot file.
+type Snapshot struct {
+	Meta Meta
+	// Text is the canonical .tg document.
+	Text string
+}
+
+// Stats reports the journal's counters for /stats and /metrics.
+type Stats struct {
+	// Appended counts records fsync'd since Open.
+	Appended uint64 `json:"appended"`
+	// Snapshots counts snapshots written since Open.
+	Snapshots uint64 `json:"snapshots"`
+	// Recovered counts WAL records replayed by Open.
+	Recovered uint64 `json:"recovered"`
+	// TruncatedBytes is the corrupt tail length Open cut off, 0 when the
+	// WAL was clean.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// WalRecords counts records in the current WAL (since the last
+	// snapshot); drives snapshot cadence.
+	WalRecords uint64 `json:"wal_records"`
+	// LastSeq is the newest sequence number on disk.
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// Journal is an open data directory. Not safe for concurrent use: the
+// serving layer already serializes mutations behind its write lock.
+type Journal struct {
+	dir   string
+	wal   *os.File
+	stats Stats
+}
+
+// Open loads the data directory (creating it if needed), returning the
+// journal ready for appends, the latest snapshot (nil if none), and the
+// WAL records to replay on top of it — torn tails already truncated,
+// snapshot-covered records already skipped.
+func Open(dir string) (*Journal, *Snapshot, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("journal: create dir: %w", err)
+	}
+	snap, err := readSnapshot(filepath.Join(dir, "snapshot.tg"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	j := &Journal{dir: dir}
+	if snap != nil {
+		j.stats.LastSeq = snap.Meta.LastSeq
+	}
+	recs, err := j.openWAL()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Skip records the snapshot already covers (a crash between snapshot
+	// rename and WAL reset leaves them behind).
+	var replay []Record
+	minSeq := uint64(0)
+	if snap != nil {
+		minSeq = snap.Meta.LastSeq
+	}
+	for _, r := range recs {
+		if r.Seq > minSeq {
+			replay = append(replay, r)
+			if r.Seq > j.stats.LastSeq {
+				j.stats.LastSeq = r.Seq
+			}
+		}
+	}
+	j.stats.Recovered = uint64(len(replay))
+	j.stats.WalRecords = uint64(len(recs))
+	return j, snap, replay, nil
+}
+
+// openWAL scans (and truncates) the WAL, leaving j.wal positioned for
+// appends at the end of the last whole record.
+func (j *Journal) openWAL() ([]Record, error) {
+	path := filepath.Join(j.dir, "wal.log")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open wal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: stat wal: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := f.WriteString(walHeader); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: init wal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: sync wal header: %w", err)
+		}
+		j.wal = f
+		return nil, nil
+	}
+	recs, goodEnd, err := scanWAL(f, info.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if goodEnd < info.Size() {
+		j.stats.TruncatedBytes = info.Size() - goodEnd
+		if err := f.Truncate(goodEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: sync after truncate: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seek wal end: %w", err)
+	}
+	j.wal = f
+	return recs, nil
+}
+
+// scanWAL reads whole records front to back, returning them and the file
+// offset where the last whole record ends. Any malformed frame marks the
+// torn tail: scanning stops there and the offset excludes it.
+func scanWAL(f *os.File, size int64) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("journal: seek wal: %w", err)
+	}
+	br := bufio.NewReader(f)
+	head := make([]byte, len(walHeader))
+	if _, err := io.ReadFull(br, head); err != nil {
+		// Shorter than the header: treat the whole file as torn.
+		return nil, 0, fmt.Errorf("journal: wal shorter than header")
+	}
+	if string(head) != walHeader {
+		return nil, 0, fmt.Errorf("journal: wal header mismatch (not a TGWAL1 file)")
+	}
+	var recs []Record
+	off := int64(len(walHeader))
+	frame := make([]byte, 8)
+	for off < size {
+		if _, err := io.ReadFull(br, frame); err != nil {
+			break // short header = torn tail
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length == 0 || length > maxRecordBytes || off+8+int64(length) > size {
+			break // impossible length = torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break // short payload = torn tail
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // bit rot or partial overwrite = torn tail
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break // CRC-valid garbage still cannot be replayed
+		}
+		recs = append(recs, rec)
+		off += 8 + int64(length)
+	}
+	return recs, off, nil
+}
+
+// Append frames, writes and fsyncs one record, assigning it the next
+// sequence number (returned in rec.Seq's place). The record is durable
+// when Append returns nil.
+func (j *Journal) Append(kind string, data any) (uint64, error) {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return 0, fmt.Errorf("journal: encode record: %w", err)
+	}
+	rec := Record{Seq: j.stats.LastSeq + 1, Kind: kind, Data: raw}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("journal: encode frame: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("journal: record of %d bytes exceeds frame limit", len(payload))
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := j.wal.Write(frame); err != nil {
+		return 0, fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.wal.Sync(); err != nil {
+		return 0, fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.stats.LastSeq = rec.Seq
+	j.stats.Appended++
+	j.stats.WalRecords++
+	return rec.Seq, nil
+}
+
+// WriteSnapshot persists the state as the new snapshot (temp file, fsync,
+// atomic rename) and resets the WAL. meta.LastSeq is filled in from the
+// journal's own counter; callers supply Revision and Generation.
+func (j *Journal) WriteSnapshot(meta Meta, text string) error {
+	meta.LastSeq = j.stats.LastSeq
+	head, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("journal: encode snapshot meta: %w", err)
+	}
+	path := filepath.Join(j.dir, "snapshot.tg")
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: create snapshot: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%s\n%s", head, text); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("journal: publish snapshot: %w", err)
+	}
+	if err := syncDir(j.dir); err != nil {
+		return err
+	}
+	// The snapshot is durable; the WAL's records are now redundant (and
+	// recovery would skip them by seq anyway). Reset it.
+	if err := j.resetWAL(); err != nil {
+		return err
+	}
+	j.stats.Snapshots++
+	j.stats.WalRecords = 0
+	return nil
+}
+
+// resetWAL truncates the WAL back to its header.
+func (j *Journal) resetWAL() error {
+	if err := j.wal.Truncate(int64(len(walHeader))); err != nil {
+		return fmt.Errorf("journal: reset wal: %w", err)
+	}
+	if _, err := j.wal.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("journal: seek wal: %w", err)
+	}
+	if err := j.wal.Sync(); err != nil {
+		return fmt.Errorf("journal: sync wal reset: %w", err)
+	}
+	return nil
+}
+
+// Stats returns the journal's counters.
+func (j *Journal) Stats() Stats { return j.stats }
+
+// Close releases the WAL file. It does not snapshot; callers wanting a
+// final snapshot write one first.
+func (j *Journal) Close() error {
+	if j.wal == nil {
+		return nil
+	}
+	err := j.wal.Close()
+	j.wal = nil
+	return err
+}
+
+// readSnapshot decodes a snapshot file; a missing file returns (nil, nil).
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: read snapshot: %w", err)
+	}
+	nl := -1
+	for i, c := range data {
+		if c == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, fmt.Errorf("journal: snapshot missing meta line")
+	}
+	var meta Meta
+	if err := json.Unmarshal(data[:nl], &meta); err != nil {
+		return nil, fmt.Errorf("journal: decode snapshot meta: %w", err)
+	}
+	return &Snapshot{Meta: meta, Text: string(data[nl+1:])}, nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: sync dir: %w", err)
+	}
+	return nil
+}

@@ -135,12 +135,24 @@ func (c *Cache) Put(k Key, v any) {
 // a miss. The second result reports whether the value was served from the
 // cache. compute runs without the cache lock held.
 func (c *Cache) GetOrCompute(k Key, compute func() any) (any, bool) {
+	v, hit, _ := c.GetOrComputeErr(k, func() (any, error) { return compute(), nil })
+	return v, hit
+}
+
+// GetOrComputeErr is GetOrCompute for fallible computations. A compute
+// that returns a non-nil error is NOT cached: an aborted computation (a
+// tripped work budget, a canceled context) must not masquerade as the
+// decision's value at this revision — the next query retries from scratch.
+func (c *Cache) GetOrComputeErr(k Key, compute func() (any, error)) (any, bool, error) {
 	if v, ok := c.Get(k); ok {
-		return v, true
+		return v, true, nil
 	}
-	v := compute()
+	v, err := compute()
+	if err != nil {
+		return nil, false, err
+	}
 	c.Put(k, v)
-	return v, false
+	return v, false, nil
 }
 
 // Len returns the number of cached entries.

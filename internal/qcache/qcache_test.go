@@ -1,6 +1,7 @@
 package qcache
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -153,5 +154,33 @@ func TestPerKindStats(t *testing.T) {
 	st.PerKind["can-share"] = KindStats{}
 	if got := c.Stats().PerKind["can-share"]; got != (KindStats{Hits: 2, Misses: 1}) {
 		t.Errorf("snapshot aliased internal state: %+v", got)
+	}
+}
+
+func TestGetOrComputeErrNeverCachesErrors(t *testing.T) {
+	c := New(8)
+	k := Key{Kind: "can-share", Params: "1:2:3"}
+	boom := errors.New("budget exhausted")
+
+	// An aborted computation returns its error and leaves no entry behind.
+	if _, _, err := c.GetOrComputeErr(k, func() (any, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("aborted computation was cached: %d entries", c.Len())
+	}
+
+	// The next attempt recomputes from scratch and its success is cached.
+	calls := 0
+	compute := func() (any, error) { calls++; return true, nil }
+	v, hit, err := c.GetOrComputeErr(k, compute)
+	if err != nil || hit || v != any(true) {
+		t.Fatalf("retry = %v %v %v", v, hit, err)
+	}
+	if _, hit, _ := c.GetOrComputeErr(k, compute); !hit {
+		t.Error("successful result should now be cached")
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
 	}
 }

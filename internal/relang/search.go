@@ -1,6 +1,7 @@
 package relang
 
 import (
+	"takegrant/internal/budget"
 	"takegrant/internal/graph"
 	"takegrant/internal/rights"
 )
@@ -28,6 +29,10 @@ type Options struct {
 	// off for boolean reachability — the searches under CanShare/CanKnow
 	// run hot and skip the bookkeeping.
 	Trace bool
+	// Budget, when non-nil, is charged one unit per product state expanded.
+	// When it trips, the search stops where it is and Result.Err reports
+	// the exhaustion; the partial Result must not be read as a verdict.
+	Budget *budget.Budget
 }
 
 // Step is one edge traversal of a witness path.
@@ -56,6 +61,7 @@ type Result struct {
 	order   []graph.ID         // accepted vertices in discovery order
 	visited int                // product states enqueued
 	scanned int                // half-edges examined across all expansions
+	err     error              // non-nil when a budget aborted the search
 }
 
 const (
@@ -121,7 +127,14 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 		}
 		add(v, n.start, selfParent, noStep)
 	}
+	bud := opts.Budget
 	for head := 0; head < len(queue); head++ {
+		if bud != nil {
+			if err := bud.Charge(1); err != nil {
+				res.err = err
+				break
+			}
+		}
 		k := queue[head]
 		v := graph.ID(int(k) / res.states)
 		stIdx := int(k) % res.states
@@ -179,6 +192,12 @@ func (r *Result) Visited() int { return r.visited }
 // Scanned returns the number of half-edges examined across all state
 // expansions — the |E|·|Q| term of the complexity bounds.
 func (r *Result) Scanned() int { return r.scanned }
+
+// Err reports whether the search ran to completion. A non-nil error (a
+// budget exhaustion) means the Result covers only the states expanded
+// before the abort: Accepted may under-report and must not be read as a
+// negative verdict.
+func (r *Result) Err() error { return r.err }
 
 func labelFor(h graph.HalfEdge, v View) rights.Set {
 	if v == ViewCombined {

@@ -1,0 +1,229 @@
+package service
+
+// Fault-injection suite: proves the reference monitor degrades gracefully
+// instead of dying. Every test name carries "Fault" so CI can run the
+// whole harness with `go test -run Fault -race ./internal/service/`.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"takegrant/internal/fault"
+	"takegrant/internal/specimens"
+)
+
+// serve drives one in-process request and decodes a JSON body when out is
+// non-nil, returning the recorder for header inspection.
+func serve(t *testing.T, h http.Handler, req *http.Request, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", req.Method, req.URL, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+func putGraph(t *testing.T, h http.Handler, text string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPut, "/graph", strings.NewReader(text))
+	if rec := serve(t, h, req, nil); rec.Code != http.StatusOK {
+		t.Fatalf("PUT /graph: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func putSpecimen(t *testing.T, h http.Handler, name string) {
+	t.Helper()
+	src, err := specimens.Source(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putGraph(t, h, src)
+}
+
+func TestFaultPanicRecoveryKeepsServing(t *testing.T) {
+	defer fault.Reset()
+	srv := New()
+	h := srv.Handler()
+	putSpecimen(t, h, "fig61")
+
+	fault.Set("http:/query/can-share", func() { panic("injected: decision procedure blew up") })
+	req := httptest.NewRequest(http.MethodGet, "/query/can-share?right=r&x=low&y=secret", nil)
+	var body errorBody
+	rec := serve(t, h, req, &body)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking route: %d, want 500", rec.Code)
+	}
+	if body.Code != "internal_panic" {
+		t.Errorf("error code = %q, want internal_panic", body.Code)
+	}
+	trace := rec.Header().Get("X-Trace-Id")
+	if trace == "" || !strings.Contains(body.Error, trace) {
+		t.Errorf("500 body %q should name trace ID %q", body.Error, trace)
+	}
+
+	// The process must still serve: same route, hook removed, right answer.
+	fault.Clear("http:/query/can-share")
+	var verdict map[string]bool
+	req = httptest.NewRequest(http.MethodGet, "/query/can-share?right=r&x=low&y=secret", nil)
+	if rec := serve(t, h, req, &verdict); rec.Code != http.StatusOK || !verdict["can_share"] {
+		t.Fatalf("after panic: %d %v, want 200 true", rec.Code, verdict)
+	}
+
+	if st := srv.Stats(); st.Faults.Panics != 1 {
+		t.Errorf("panics counter = %d, want 1", st.Faults.Panics)
+	}
+	// The counter is also on the Prometheus surface.
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	if rec := serve(t, h, req, nil); !strings.Contains(rec.Body.String(), "takegrant_panics_total 1") {
+		t.Error("/metrics missing takegrant_panics_total 1")
+	}
+}
+
+func TestFaultLoadSheddingReturns429(t *testing.T) {
+	defer fault.Reset()
+	srv := NewWith(Config{MaxInFlight: 1})
+	h := srv.Handler()
+	putSpecimen(t, h, "fig61")
+
+	// Park one heavy query inside the semaphore until released.
+	acquired := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	fault.Set("shed:acquired", func() {
+		once.Do(func() { close(acquired) })
+		<-release
+	})
+	done := make(chan int, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodGet, "/query/can-share?right=r&x=low&y=secret", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		done <- rec.Code
+	}()
+	<-acquired
+	fault.Clear("shed:acquired") // only the parked request blocks
+
+	// The slot is held: the next heavy query must be shed, not queued.
+	req := httptest.NewRequest(http.MethodGet, "/islands", nil)
+	var body errorBody
+	rec := serve(t, h, req, &body)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated query: %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	if body.Code != "overloaded" {
+		t.Errorf("error code = %q, want overloaded", body.Code)
+	}
+	// Light routes are exempt: the monitor still answers stats traffic.
+	if rec := serve(t, h, httptest.NewRequest(http.MethodGet, "/stats", nil), nil); rec.Code != http.StatusOK {
+		t.Errorf("/stats while saturated: %d", rec.Code)
+	}
+
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("parked query finished with %d", code)
+	}
+	// Released slot: heavy queries flow again.
+	req = httptest.NewRequest(http.MethodGet, "/islands", nil)
+	if rec := serve(t, h, req, nil); rec.Code != http.StatusOK {
+		t.Fatalf("after release: %d", rec.Code)
+	}
+	if st := srv.Stats(); st.Faults.Shed != 1 {
+		t.Errorf("shed counter = %d, want 1", st.Faults.Shed)
+	}
+}
+
+func TestFaultCanceledRequestIsShedNotMisanswered(t *testing.T) {
+	srv := New()
+	h := srv.Handler()
+	putSpecimen(t, h, "fig61")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // client already gone
+	req := httptest.NewRequest(http.MethodGet, "/query/can-share?right=r&x=low&y=secret", nil).WithContext(ctx)
+	var body errorBody
+	rec := serve(t, h, req, &body)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("canceled query: %d %s, want 503", rec.Code, rec.Body.String())
+	}
+	if body.Code != "budget_exhausted" {
+		t.Errorf("error code = %q, want budget_exhausted", body.Code)
+	}
+	// Crucially the abort is an error, never a cached false: a fresh
+	// request gets the true verdict.
+	var verdict map[string]bool
+	req = httptest.NewRequest(http.MethodGet, "/query/can-share?right=r&x=low&y=secret", nil)
+	if rec := serve(t, h, req, &verdict); rec.Code != http.StatusOK || !verdict["can_share"] {
+		t.Fatalf("after cancel: %d %v, want 200 true", rec.Code, verdict)
+	}
+}
+
+func TestFaultBudgetExhaustedNeverCached(t *testing.T) {
+	srv := NewWith(Config{MaxVisited: 1})
+	h := srv.Handler()
+	putSpecimen(t, h, "fig61")
+
+	for i := 0; i < 2; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/query/can-know?x=low&y=secret", nil)
+		var body errorBody
+		rec := serve(t, h, req, &body)
+		if rec.Code != http.StatusServiceUnavailable || body.Code != "budget_exhausted" {
+			t.Fatalf("query %d: %d code=%q, want 503 budget_exhausted", i, rec.Code, body.Code)
+		}
+	}
+	st := srv.Stats()
+	if st.Faults.BudgetExhausted != 2 {
+		t.Errorf("budget_exhausted counter = %d, want 2 (abort must not be cached)", st.Faults.BudgetExhausted)
+	}
+	if st.Cache.Size != 0 {
+		t.Errorf("cache size = %d after aborted queries, want 0", st.Cache.Size)
+	}
+}
+
+func TestFaultContentTypeEnforcement(t *testing.T) {
+	h := New().Handler()
+	putGraph(t, h, "subject a\n")
+
+	applyBody := `{"op":"create","x":"a","name":"f","kind":"object","rights":"r"}`
+	cases := []struct {
+		name, method, path, ct, body string
+		want                         int
+	}{
+		{"apply json ok", http.MethodPost, "/apply", "application/json", applyBody, http.StatusOK},
+		{"apply charset ok", http.MethodPost, "/apply", "application/json; charset=utf-8",
+			`{"op":"create","x":"a","name":"f2","kind":"object","rights":"r"}`, http.StatusOK},
+		{"apply no ct", http.MethodPost, "/apply", "", applyBody, http.StatusUnsupportedMediaType},
+		{"apply text", http.MethodPost, "/apply", "text/plain", applyBody, http.StatusUnsupportedMediaType},
+		{"graph absent ct ok", http.MethodPut, "/graph", "", "subject a\n", http.StatusOK},
+		{"graph text ok", http.MethodPut, "/graph", "text/plain; charset=utf-8", "subject a\n", http.StatusOK},
+		{"graph octet ok", http.MethodPut, "/graph", "application/octet-stream", "subject a\n", http.StatusOK},
+		{"graph json refused", http.MethodPut, "/graph", "application/json", "subject a\n", http.StatusUnsupportedMediaType},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+		if tc.ct != "" {
+			req.Header.Set("Content-Type", tc.ct)
+		}
+		if rec := serve(t, h, req, nil); rec.Code != tc.want {
+			t.Errorf("%s: %d %s, want %d", tc.name, rec.Code, rec.Body.String(), tc.want)
+		}
+	}
+
+	// DisallowUnknownFields: a typoed field is a 400, not a silent no-op.
+	req := httptest.NewRequest(http.MethodPost, "/apply",
+		strings.NewReader(`{"op":"create","x":"a","name":"g","rigths":"r"}`))
+	req.Header.Set("Content-Type", "application/json")
+	if rec := serve(t, h, req, nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", rec.Code)
+	}
+}

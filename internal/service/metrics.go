@@ -1,12 +1,15 @@
 package service
 
 import (
+	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
+	"takegrant/internal/fault"
 	"takegrant/internal/obs"
 )
 
@@ -111,15 +114,24 @@ func (m *metrics) snapshot() map[string]RouteStats {
 	return out
 }
 
-// statusWriter captures the response status for the request log.
+// statusWriter captures the response status for the request log and
+// whether anything was written yet — the panic-recovery path may only
+// substitute a 500 while the response is still untouched.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // instrument wraps a handler with the request-scoped observability stack:
@@ -128,6 +140,13 @@ func (w *statusWriter) WriteHeader(code int) {
 // under the route's mux pattern, phase aggregation of whatever spans the
 // handler's decision procedures emitted, and one structured log line per
 // request.
+//
+// It is also the server's crash barrier: a panicking handler is caught
+// here, counted (takegrant_panics_total), logged with its stack and trace
+// ID, and answered with a 500 naming that trace ID — the process keeps
+// serving. The request's metrics and log line are emitted on the panic
+// path too, so a crashing route is visible in the same places as a
+// healthy one.
 func (s *Server) instrument(route string, h http.Handler) http.Handler {
 	rm := s.metrics.register(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -135,16 +154,32 @@ func (s *Server) instrument(route string, h http.Handler) http.Handler {
 		p := obs.NewProbe(route)
 		w.Header().Set("X-Trace-Id", p.TraceID)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if v := recover(); v != nil {
+				s.faults.panics.Add(1)
+				s.logger.LogAttrs(r.Context(), slog.LevelError, "panic",
+					slog.String("trace_id", p.TraceID),
+					slog.String("route", route),
+					slog.Any("panic", v),
+					slog.String("stack", string(debug.Stack())),
+				)
+				if !sw.wrote {
+					writeErrCode(sw, http.StatusInternalServerError, "internal_panic",
+						fmt.Errorf("internal error; trace %s", p.TraceID))
+				}
+			}
+			d := time.Since(start)
+			rm.observe(d)
+			s.phases.Observe(p)
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("trace_id", p.TraceID),
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", d),
+			)
+		}()
+		fault.Inject("http:" + route)
 		h.ServeHTTP(sw, r.WithContext(obs.WithProbe(r.Context(), p)))
-		d := time.Since(start)
-		rm.observe(d)
-		s.phases.Observe(p)
-		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
-			slog.String("trace_id", p.TraceID),
-			slog.String("route", route),
-			slog.String("method", r.Method),
-			slog.Int("status", sw.status),
-			slog.Duration("duration", d),
-		)
 	})
 }

@@ -156,6 +156,7 @@ func TestTraceIDAppearsInStructuredLog(t *testing.T) {
 	buf.Reset()
 	req, _ = http.NewRequest(http.MethodPost, "/apply",
 		strings.NewReader(`{"op":"create","x":"a","name":"f","kind":"object","rights":"r"}`))
+	req.Header.Set("Content-Type", "application/json")
 	rec = newRecorder()
 	h.ServeHTTP(rec, req)
 	if rec.status != http.StatusOK {

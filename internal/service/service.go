@@ -69,9 +69,14 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"takegrant/internal/analysis"
+	"takegrant/internal/budget"
+	"takegrant/internal/fault"
 	"takegrant/internal/graph"
 	"takegrant/internal/hierarchy"
 	"takegrant/internal/obs"
@@ -86,6 +91,40 @@ import (
 // maxGraphBytes bounds a PUT /graph body; larger documents are rejected
 // with 413 rather than silently truncated.
 const maxGraphBytes = 1 << 20
+
+// Config bounds the server's resource use. The zero value means
+// unlimited everywhere — the pre-hardening behaviour.
+type Config struct {
+	// QueryTimeout is the per-query work-budget deadline for the decision
+	// procedures; 0 means no deadline.
+	QueryTimeout time.Duration
+	// MaxVisited caps the product states one query may visit; 0 means
+	// unlimited.
+	MaxVisited int64
+	// MaxInFlight bounds concurrently executing heavy queries (the
+	// decision-procedure routes); excess requests are shed with 429.
+	// 0 means unlimited.
+	MaxInFlight int
+	// SnapshotEvery is how many journaled mutations accumulate in the WAL
+	// before the server writes a snapshot; 0 means DefaultSnapshotEvery.
+	// Irrelevant without an attached journal.
+	SnapshotEvery int
+}
+
+// DefaultSnapshotEvery is the snapshot cadence when Config.SnapshotEvery
+// is zero: recovery replays at most this many WAL records.
+const DefaultSnapshotEvery = 256
+
+// faultCounters tracks the server's degradation events; all atomic so the
+// panic-recovery path never touches s.mu.
+type faultCounters struct {
+	// panics counts handler panics caught by the recovery middleware.
+	panics atomic.Uint64
+	// shed counts heavy queries refused with 429 by the semaphore.
+	shed atomic.Uint64
+	// budgetExhausted counts queries aborted with 503 by their work budget.
+	budgetExhausted atomic.Uint64
+}
 
 // Server owns one protection system.
 type Server struct {
@@ -107,11 +146,27 @@ type Server struct {
 	// each carrying the request's trace_id. Defaults to a no-op logger;
 	// cmd/tgserve installs a real one with SetLogger.
 	logger *slog.Logger
+	cfg    Config
+	// heavy is the load-shedding semaphore for decision-procedure routes;
+	// nil means unlimited.
+	heavy  chan struct{}
+	faults faultCounters
+	// journal, when attached, makes accepted mutations durable; degraded
+	// records the first append failure, after which mutations are refused
+	// (reads continue). Both guarded by mu.
+	journal  *journalState
+	degraded error
 }
 
-// New returns a Server with an empty graph.
-func New() *Server {
-	s := &Server{cache: qcache.New(0), metrics: newMetrics(), logger: nopLogger()}
+// New returns a Server with an empty graph and no resource limits.
+func New() *Server { return NewWith(Config{}) }
+
+// NewWith returns a Server with an empty graph, bounded per cfg.
+func NewWith(cfg Config) *Server {
+	s := &Server{cache: qcache.New(0), metrics: newMetrics(), logger: nopLogger(), cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		s.heavy = make(chan struct{}, cfg.MaxInFlight)
+	}
 	s.install(graph.New(nil))
 	return s
 }
@@ -162,14 +217,77 @@ func (s *Server) rearm() {
 // at least the read lock, which pins the revision for the duration of
 // compute.
 func (s *Server) cached(p *obs.Probe, kind, params string, compute func() any) any {
+	v, _ := s.cachedErr(p, kind, params, func() (any, error) { return compute(), nil })
+	return v
+}
+
+// cachedErr is cached for budgeted computations. An aborted computation
+// (budget trip, canceled request) returns its error and is NOT cached —
+// a partial traversal must never be served later as the verdict at this
+// revision.
+func (s *Server) cachedErr(p *obs.Probe, kind, params string, compute func() (any, error)) (any, error) {
 	key := qcache.Key{Gen: s.gen, Rev: s.g.Revision(), Kind: kind, Params: params}
-	v, hit := s.cache.GetOrCompute(key, compute)
+	v, hit, err := s.cache.GetOrComputeErr(key, compute)
+	if err != nil {
+		return nil, err
+	}
 	if hit {
 		p.Add("qcache_hit", 1)
 	} else {
 		p.Add("qcache_miss", 1)
 	}
-	return v
+	return v, nil
+}
+
+// budgetFor derives one query's work budget from the server limits and
+// the request's own context (client disconnects cancel the traversal).
+// Nil — free — when the server is unlimited.
+func (s *Server) budgetFor(r *http.Request) *budget.Budget {
+	return budget.New(r.Context(), s.cfg.MaxVisited, s.cfg.QueryTimeout)
+}
+
+// queryErr maps a decision-procedure error onto its HTTP shape. Budget
+// exhaustion — visit cap, deadline, client disconnect — is load shedding,
+// not a verdict: 503 with code budget_exhausted, counted in /metrics and
+// logged with the request's trace ID. The partial phase spans the probe
+// collected still reach the phase aggregates via instrument.
+func (s *Server) queryErr(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, budget.ErrExhausted) {
+		s.faults.budgetExhausted.Add(1)
+		s.logger.LogAttrs(r.Context(), slog.LevelWarn, "query",
+			slog.String("trace_id", obs.TraceFrom(r.Context())),
+			slog.String("verdict", "budget_exhausted"),
+			slog.String("error", err.Error()),
+		)
+		writeErrCode(w, http.StatusServiceUnavailable, "budget_exhausted", err)
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, err)
+}
+
+// shed wraps a heavy handler in the bounded-concurrency semaphore: when
+// MaxInFlight queries are already executing, the request is refused with
+// 429 and Retry-After rather than queued — the monitor keeps answering
+// mutations, stats and health traffic while saturated.
+func (s *Server) shed(h http.HandlerFunc) http.HandlerFunc {
+	if s.heavy == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.heavy <- struct{}{}:
+			defer func() { <-s.heavy }()
+			// Injection point for the load-shedding tests: a hook here holds
+			// a semaphore slot for as long as it blocks.
+			fault.Inject("shed:acquired")
+			h(w, r)
+		default:
+			s.faults.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErrCode(w, http.StatusTooManyRequests, "overloaded",
+				fmt.Errorf("%d heavy queries already in flight", s.cfg.MaxInFlight))
+		}
+	}
 }
 
 // Handler returns the HTTP routes, each instrumented with request-count
@@ -181,26 +299,32 @@ func (s *Server) Handler() http.Handler {
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(pattern, h))
 	}
+	// heavy routes run a decision procedure per request; they pass through
+	// the load-shedding semaphore so saturation turns into 429s instead of
+	// unbounded goroutine pile-up.
+	heavy := func(pattern string, h http.HandlerFunc) {
+		route(pattern, s.shed(h))
+	}
 	route("/graph", s.handleGraph)
 	route("/graph.json", s.handleGraphJSON)
 	route("/render", s.textHandler(func(r *http.Request) (string, error) {
 		return tgio.Render(s.g), nil
 	}))
 	route("/apply", s.handleApply)
-	route("/query/can-share", s.handleCanShare)
-	route("/query/can-know", s.handleCanKnow)
-	route("/query/can-steal", s.handleCanSteal)
-	route("/explain/share", s.handleExplainShare)
+	heavy("/query/can-share", s.handleCanShare)
+	heavy("/query/can-know", s.handleCanKnow)
+	heavy("/query/can-steal", s.handleCanSteal)
+	heavy("/explain/share", s.handleExplainShare)
 	route("/levels", s.textHandler(func(r *http.Request) (string, error) {
 		// The installed structure, not a fresh analysis: /levels, /audit
 		// and the guard must report the same level assignment.
 		p := obs.ProbeFrom(r.Context())
 		return s.cached(p, "hasse", "", func() any { return s.class.Hasse() }).(string), nil
 	}))
-	route("/islands", s.handleIslands)
-	route("/secure", s.handleSecure)
+	heavy("/islands", s.handleIslands)
+	heavy("/secure", s.handleSecure)
 	route("/audit", s.handleAudit)
-	route("/profile", s.handleProfile)
+	heavy("/profile", s.handleProfile)
 	route("/log", s.textHandler(func(r *http.Request) (string, error) {
 		return s.logged.Format(s.g), nil
 	}))
@@ -211,12 +335,20 @@ func (s *Server) Handler() http.Handler {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Code names the degradation class for machine consumers:
+	// budget_exhausted, overloaded, degraded, internal_panic,
+	// unsupported_media_type. Empty for plain request errors.
+	Code string `json:"code,omitempty"`
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
+	writeErrCode(w, code, "", err)
+}
+
+func writeErrCode(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: code})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -227,6 +359,17 @@ func writeJSON(w http.ResponseWriter, v any) {
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPut:
+		// The body is .tg text, not JSON: accept an absent Content-Type,
+		// text/plain (any charset) or application/octet-stream, and refuse
+		// anything else — a client sending application/json here has
+		// confused this route with POST /apply.
+		if ct := r.Header.Get("Content-Type"); ct != "" &&
+			!strings.HasPrefix(ct, "text/plain") &&
+			!strings.HasPrefix(ct, "application/octet-stream") {
+			writeErrCode(w, http.StatusUnsupportedMediaType, "unsupported_media_type",
+				fmt.Errorf("PUT /graph takes .tg text (text/plain), not %s", ct))
+			return
+		}
 		// Read one byte past the limit so truncation is detectable: a
 		// too-large document must be refused, not parsed in part.
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxGraphBytes+1))
@@ -245,8 +388,16 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.refuseDegraded(); err != nil {
+			writeErrCode(w, http.StatusServiceUnavailable, "degraded", err)
+			return
+		}
 		s.install(g)
-		s.mu.Unlock()
+		if err := s.journalAppend(r, journalKindGraph, string(body)); err != nil {
+			writeErrCode(w, http.StatusServiceUnavailable, "degraded", err)
+			return
+		}
 		writeJSON(w, map[string]any{"vertices": g.NumVertices(), "edges": g.NumEdges()})
 	case http.MethodGet:
 		s.mu.RLock()
@@ -300,13 +451,26 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		writeErrCode(w, http.StatusUnsupportedMediaType, "unsupported_media_type",
+			fmt.Errorf("POST /apply takes application/json, not %q", ct))
+		return
+	}
+	// Unknown fields are refused: a typoed "rigths" silently applying a
+	// rule with no rights is worse than a 400.
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
 	var req ApplyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := dec.Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.refuseDegraded(); err != nil {
+		writeErrCode(w, http.StatusServiceUnavailable, "degraded", err)
+		return
+	}
 	app, err := s.buildApp(req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -329,6 +493,13 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	// The graph changed; re-derive the hierarchy so the next verdict is
 	// judged against live rw-levels, not the ones at install time.
 	s.rearm()
+	// Durability before acknowledgement: the 200 below means the mutation
+	// survives a crash. An append failure flips the server into degraded
+	// mode (this and all further mutations refused, reads unaffected).
+	if err := s.journalAppend(r, journalKindApply, req); err != nil {
+		writeErrCode(w, http.StatusServiceUnavailable, "degraded", err)
+		return
+	}
 	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "mutation",
 		slog.String("trace_id", obs.TraceFrom(r.Context())),
 		slog.String("op", req.Op),
@@ -449,10 +620,15 @@ func (s *Server) handleCanShare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p := obs.ProbeFrom(r.Context())
-	ok := s.cached(p, "can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() any {
-		return analysis.CanShareObs(s.g, rt, x, y, p)
-	}).(bool)
-	writeJSON(w, map[string]bool{"can_share": ok})
+	b := s.budgetFor(r)
+	v, err := s.cachedErr(p, "can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {
+		return analysis.CanShareObs(s.g, rt, x, y, p, b)
+	})
+	if err != nil {
+		s.queryErr(w, r, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"can_share": v.(bool)})
 }
 
 func (s *Server) handleCanKnow(w http.ResponseWriter, r *http.Request) {
@@ -465,17 +641,26 @@ func (s *Server) handleCanKnow(w http.ResponseWriter, r *http.Request) {
 	}
 	params := fmt.Sprintf("%d:%d", x, y)
 	p := obs.ProbeFrom(r.Context())
+	b := s.budgetFor(r)
 	if r.URL.Query().Get("defacto") != "" {
-		ok := s.cached(p, "can-know-f", params, func() any {
-			return analysis.CanKnowFObs(s.g, x, y, p)
-		}).(bool)
-		writeJSON(w, map[string]bool{"can_know_f": ok})
+		v, err := s.cachedErr(p, "can-know-f", params, func() (any, error) {
+			return analysis.CanKnowFObs(s.g, x, y, p, b)
+		})
+		if err != nil {
+			s.queryErr(w, r, err)
+			return
+		}
+		writeJSON(w, map[string]bool{"can_know_f": v.(bool)})
 		return
 	}
-	ok := s.cached(p, "can-know", params, func() any {
-		return analysis.CanKnowObs(s.g, x, y, p)
-	}).(bool)
-	writeJSON(w, map[string]bool{"can_know": ok})
+	v, err := s.cachedErr(p, "can-know", params, func() (any, error) {
+		return analysis.CanKnowObs(s.g, x, y, p, b)
+	})
+	if err != nil {
+		s.queryErr(w, r, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"can_know": v.(bool)})
 }
 
 func (s *Server) handleCanSteal(w http.ResponseWriter, r *http.Request) {
@@ -510,7 +695,11 @@ func (s *Server) handleExplainShare(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	d, err := analysis.SynthesizeShareObs(s.g, rt, x, y, obs.ProbeFrom(r.Context()))
+	d, err := analysis.SynthesizeShareObs(s.g, rt, x, y, obs.ProbeFrom(r.Context()), s.budgetFor(r))
+	if errors.Is(err, budget.ErrExhausted) {
+		s.queryErr(w, r, err)
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -541,18 +730,27 @@ func (s *Server) handleExplainShare(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIslands(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := s.cached(obs.ProbeFrom(r.Context()), "islands", "", func() any {
+	p := obs.ProbeFrom(r.Context())
+	v, err := s.cachedErr(p, "islands", "", func() (any, error) {
+		islands, err := analysis.IslandsObs(s.g, p, s.budgetFor(r))
+		if err != nil {
+			return nil, err
+		}
 		var names [][]string
-		for _, island := range analysis.Islands(s.g) {
+		for _, island := range islands {
 			ns := make([]string, len(island))
 			for i, v := range island {
 				ns[i] = s.g.Name(v)
 			}
 			names = append(names, ns)
 		}
-		return names
-	}).([][]string)
-	writeJSON(w, map[string]any{"islands": out})
+		return names, nil
+	})
+	if err != nil {
+		s.queryErr(w, r, err)
+		return
+	}
+	writeJSON(w, map[string]any{"islands": v.([][]string)})
 }
 
 func (s *Server) handleSecure(w http.ResponseWriter, r *http.Request) {
@@ -596,8 +794,13 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		Target string `json:"target"`
 		Held   bool   `json:"held"`
 	}
+	profile, err := analysis.ProfileObs(s.g, x, obs.ProbeFrom(r.Context()), s.budgetFor(r))
+	if err != nil {
+		s.queryErr(w, r, err)
+		return
+	}
 	var out []entry
-	for _, a := range analysis.ProfileObs(s.g, x, obs.ProbeFrom(r.Context())) {
+	for _, a := range profile {
 		out = append(out, entry{
 			Right:  s.g.Universe().Name(a.Right),
 			Target: s.g.Name(a.Target),
@@ -637,6 +840,13 @@ func guardStats(g *restrict.Guarded) GuardStats {
 	return out
 }
 
+// FaultStats is the degradation slice of the /stats report.
+type FaultStats struct {
+	Panics          uint64 `json:"panics"`
+	Shed            uint64 `json:"shed"`
+	BudgetExhausted uint64 `json:"budget_exhausted"`
+}
+
 // Stats is the GET /stats report.
 type Stats struct {
 	Revision   uint64                `json:"revision"`
@@ -647,6 +857,11 @@ type Stats struct {
 	Cache      qcache.Stats          `json:"cache"`
 	Guard      GuardStats            `json:"guard"`
 	Routes     map[string]RouteStats `json:"routes"`
+	Faults     FaultStats            `json:"faults"`
+	// Journal is present when the server runs with a data directory;
+	// Degraded reports a journal write failure that froze mutations.
+	Journal  *JournalStats `json:"journal,omitempty"`
+	Degraded bool          `json:"degraded,omitempty"`
 }
 
 // Stats snapshots the server's observability counters; also published as
@@ -654,7 +869,7 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		Revision:   s.g.Revision(),
 		Generation: s.gen,
 		Vertices:   s.g.NumVertices(),
@@ -663,7 +878,18 @@ func (s *Server) Stats() Stats {
 		Cache:      s.cache.Stats(),
 		Guard:      guardStats(s.guard),
 		Routes:     s.metrics.snapshot(),
+		Faults: FaultStats{
+			Panics:          s.faults.panics.Load(),
+			Shed:            s.faults.shed.Load(),
+			BudgetExhausted: s.faults.budgetExhausted.Load(),
+		},
+		Degraded: s.degraded != nil,
 	}
+	if s.journal != nil {
+		js := s.journal.stats()
+		st.Journal = &js
+	}
+	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -758,6 +984,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				append(append([]obs.Label(nil), labels...), obs.L("kind", ck)), float64(ps.Counts[ck]))
 		}
 	}
+
+	// Degradation counters: a healthy monitor keeps these flat.
+	pw.Counter("takegrant_panics_total", "Handler panics caught by the recovery middleware.",
+		nil, float64(st.Faults.Panics))
+	pw.Counter("takegrant_shed_total", "Heavy queries refused with 429 by the load-shedding semaphore.",
+		nil, float64(st.Faults.Shed))
+	pw.Counter("takegrant_budget_exhausted_total", "Queries aborted with 503 by their work budget.",
+		nil, float64(st.Faults.BudgetExhausted))
+
+	// Crash-safety: journal counters when a data directory is attached.
+	if st.Journal != nil {
+		pw.Counter("takegrant_journal_appends_total", "Mutations made durable in the write-ahead log.",
+			nil, float64(st.Journal.Appended))
+		pw.Counter("takegrant_journal_snapshots_total", "Snapshots written.",
+			nil, float64(st.Journal.Snapshots))
+		pw.Gauge("takegrant_journal_wal_records", "WAL records since the last snapshot.",
+			nil, float64(st.Journal.WalRecords))
+		pw.Gauge("takegrant_journal_recovered_records", "WAL records replayed at startup.",
+			nil, float64(st.Journal.Recovered))
+		pw.Gauge("takegrant_journal_truncated_bytes", "Torn-tail bytes discarded at startup.",
+			nil, float64(st.Journal.TruncatedBytes))
+	}
+	degraded := 0.0
+	if st.Degraded {
+		degraded = 1
+	}
+	pw.Gauge("takegrant_degraded", "1 when a journal failure froze mutations (reads continue).",
+		nil, degraded)
 
 	// Live-graph gauges.
 	pw.Gauge("takegrant_graph_vertices", "Vertices in the live graph.", nil, float64(st.Vertices))

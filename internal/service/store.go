@@ -1,0 +1,177 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+
+	"takegrant/internal/journal"
+	"takegrant/internal/obs"
+	"takegrant/internal/tgio"
+)
+
+// JournalStats re-exports the journal's counters for the /stats report.
+type JournalStats = journal.Stats
+
+// Record kinds, re-exported so service code reads without the package
+// qualifier (the struct field named journal shadows the import).
+const (
+	journalKindGraph = journal.KindGraph
+	journalKindApply = journal.KindApply
+)
+
+// journalState binds an open journal to its snapshot cadence.
+type journalState struct {
+	j         *journal.Journal
+	snapEvery uint64
+}
+
+func (js *journalState) stats() journal.Stats { return js.j.Stats() }
+
+// AttachJournal binds the server to a crash-safe data directory: state is
+// recovered from the latest snapshot plus the write-ahead log, and every
+// subsequently accepted mutation is fsync'd there before its 200.
+//
+// Recovery rebuilds the exact accepted-mutation prefix: the snapshot's
+// graph is reinstalled with its recorded revision and generation, then
+// each WAL record re-runs the same install/guard.Apply path the original
+// request took — the deltas are deterministic, so the recovered revision
+// and hierarchy match the pre-crash values. A record that fails to replay
+// is a real inconsistency (hand-edited WAL, version skew) and aborts
+// startup rather than serving a silently different protection state.
+//
+// The boolean reports whether any state was recovered (a snapshot or WAL
+// records existed) — a caller preloading a default graph must skip the
+// preload then, or it would overwrite acknowledged history.
+//
+// Call before serving traffic; not concurrent with requests.
+func (s *Server) AttachJournal(dir string) (bool, error) {
+	j, snap, replay, err := journal.Open(dir)
+	if err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap != nil {
+		g, err := tgio.ParseString(snap.Text)
+		if err != nil {
+			j.Close()
+			return false, fmt.Errorf("service: snapshot does not parse: %w", err)
+		}
+		s.install(g)
+		g.RestoreRevision(snap.Meta.Revision)
+		s.gen = snap.Meta.Generation
+	}
+	for _, rec := range replay {
+		if err := s.replay(rec); err != nil {
+			j.Close()
+			return false, fmt.Errorf("service: wal record seq %d: %w", rec.Seq, err)
+		}
+	}
+	snapEvery := uint64(s.cfg.SnapshotEvery)
+	if snapEvery == 0 {
+		snapEvery = DefaultSnapshotEvery
+	}
+	s.journal = &journalState{j: j, snapEvery: snapEvery}
+	return snap != nil || len(replay) > 0, nil
+}
+
+// replay re-applies one recovered WAL record. Callers hold the write lock.
+func (s *Server) replay(rec journal.Record) error {
+	switch rec.Kind {
+	case journal.KindGraph:
+		var text string
+		if err := json.Unmarshal(rec.Data, &text); err != nil {
+			return fmt.Errorf("decode graph record: %w", err)
+		}
+		g, err := tgio.ParseString(text)
+		if err != nil {
+			return fmt.Errorf("parse journaled graph: %w", err)
+		}
+		s.install(g)
+	case journal.KindApply:
+		var req ApplyRequest
+		if err := json.Unmarshal(rec.Data, &req); err != nil {
+			return fmt.Errorf("decode apply record: %w", err)
+		}
+		app, err := s.buildApp(req)
+		if err != nil {
+			return fmt.Errorf("rebuild %q application: %w", req.Op, err)
+		}
+		// The guard accepted this exact application from this exact state
+		// before the crash; accepting it again is deterministic.
+		if err := s.guard.Apply(app); err != nil {
+			return fmt.Errorf("replay %q application: %w", req.Op, err)
+		}
+		s.rearm()
+	default:
+		return fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+	return nil
+}
+
+// refuseDegraded rejects mutations once a journal write has failed: the
+// in-memory state may already be ahead of disk, and accepting more would
+// widen the gap. Reads never consult this. Callers hold the write lock.
+func (s *Server) refuseDegraded() error {
+	if s.degraded == nil {
+		return nil
+	}
+	return fmt.Errorf("mutations disabled after journal failure: %w", s.degraded)
+}
+
+// journalAppend makes one accepted mutation durable, snapshotting when
+// the WAL has grown past the cadence. A nil journal (no -data directory)
+// is a no-op. On failure the server enters degraded mode. Callers hold
+// the write lock.
+func (s *Server) journalAppend(r *http.Request, kind string, data any) error {
+	if s.journal == nil {
+		return nil
+	}
+	if _, err := s.journal.j.Append(kind, data); err != nil {
+		s.degraded = err
+		s.logger.LogAttrs(r.Context(), slog.LevelError, "journal",
+			slog.String("trace_id", obs.TraceFrom(r.Context())),
+			slog.String("event", "append_failed_entering_degraded_mode"),
+			slog.String("error", err.Error()),
+		)
+		return s.refuseDegraded()
+	}
+	if s.journal.j.Stats().WalRecords >= s.journal.snapEvery {
+		s.snapshotLocked()
+	}
+	return nil
+}
+
+// snapshotLocked writes the current state as a snapshot. A failure is
+// logged but not fatal: the WAL still holds every accepted mutation, so
+// durability is intact — only recovery time suffers. Callers hold the
+// write lock.
+func (s *Server) snapshotLocked() {
+	meta := journal.Meta{Revision: s.g.Revision(), Generation: s.gen}
+	if err := s.journal.j.WriteSnapshot(meta, tgio.WriteString(s.g)); err != nil {
+		s.logger.LogAttrs(context.Background(), slog.LevelError, "journal",
+			slog.String("event", "snapshot_failed"),
+			slog.String("error", err.Error()),
+		)
+	}
+}
+
+// Close snapshots the state (so the next start replays nothing) and
+// releases the journal. Safe without an attached journal; call after the
+// HTTP server has drained.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	if s.degraded == nil {
+		s.snapshotLocked()
+	}
+	err := s.journal.j.Close()
+	s.journal = nil
+	return err
+}

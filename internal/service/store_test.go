@@ -1,0 +1,246 @@
+package service
+
+// Crash-recovery suite. A "crash" here is abandoning a Server without
+// Close: every acknowledged mutation was fsync'd to the WAL before its
+// 200, so dropping the process loses nothing — exactly the kill -9
+// contract the journal exists for (the CI smoke test kills a real
+// process; these tests cover the same invariant in-process, under -race).
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mutateN drives n accepted creates through POST /apply.
+func mutateN(t *testing.T, h http.Handler, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"op":"create","x":"a","name":"f%d","kind":"object","rights":"r,w"}`, i)
+		req := httptest.NewRequest(http.MethodPost, "/apply", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("apply %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// fingerprint captures everything recovery must reproduce: the stats
+// dimensions (revision, generation, sizes, levels) and a decision verdict.
+type fingerprint struct {
+	revision, generation uint64
+	vertices, edges      int
+	levels               int
+	canShare             bool
+	graphText            string
+}
+
+func fingerprintOf(t *testing.T, srv *Server, h http.Handler) fingerprint {
+	t.Helper()
+	st := srv.Stats()
+	var verdict map[string]bool
+	req := httptest.NewRequest(http.MethodGet, "/query/can-share?right=r&x=a&y=f0", nil)
+	if rec := serve(t, h, req, &verdict); rec.Code != http.StatusOK {
+		t.Fatalf("can-share: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := serve(t, h, httptest.NewRequest(http.MethodGet, "/graph", nil), nil)
+	return fingerprint{
+		revision:   st.Revision,
+		generation: st.Generation,
+		vertices:   st.Vertices,
+		edges:      st.Edges,
+		levels:     st.Levels,
+		canShare:   verdict["can_share"],
+		graphText:  rec.Body.String(),
+	}
+}
+
+func attach(t *testing.T, cfg Config, dir string) (*Server, http.Handler) {
+	t.Helper()
+	srv := NewWith(cfg)
+	if _, err := srv.AttachJournal(dir); err != nil {
+		t.Fatalf("AttachJournal: %v", err)
+	}
+	return srv, srv.Handler()
+}
+
+func TestFaultCrashRecoveryFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	srv1, h1 := attach(t, Config{}, dir)
+	putGraph(t, h1, "subject a\n")
+	mutateN(t, h1, 7)
+	want := fingerprintOf(t, srv1, h1)
+	// Crash: no Close, no snapshot — recovery is pure WAL replay.
+
+	srv2, h2 := attach(t, Config{}, dir)
+	got := fingerprintOf(t, srv2, h2)
+	if got != want {
+		t.Fatalf("recovered state diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if !want.canShare {
+		t.Error("fingerprint verdict should be true (a holds r to f0)")
+	}
+	if st := srv2.Stats(); st.Journal == nil || st.Journal.Recovered != 8 {
+		t.Errorf("journal stats = %+v, want 8 recovered records (1 graph + 7 applies)", st.Journal)
+	}
+}
+
+func TestFaultCrashRecoveryAcrossSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	srv1, h1 := attach(t, Config{SnapshotEvery: 3}, dir)
+	putGraph(t, h1, "subject a\n")
+	mutateN(t, h1, 8) // 9 records at cadence 3: snapshots fire, WAL holds a tail
+	want := fingerprintOf(t, srv1, h1)
+	if srv1.Stats().Journal.Snapshots == 0 {
+		t.Fatal("test premise broken: no snapshot was written")
+	}
+
+	srv2, h2 := attach(t, Config{SnapshotEvery: 3}, dir)
+	got := fingerprintOf(t, srv2, h2)
+	if got != want {
+		t.Fatalf("snapshot+WAL recovery diverged:\n got %+v\nwant %+v", got, want)
+	}
+	// The snapshot absorbed most records: replay must be the tail only.
+	if st := srv2.Stats(); st.Journal.Recovered >= 9 {
+		t.Errorf("recovered %d records; the snapshot should have absorbed most", st.Journal.Recovered)
+	}
+}
+
+func TestFaultCrashRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	srv1, h1 := attach(t, Config{}, dir)
+	putGraph(t, h1, "subject a\n")
+	mutateN(t, h1, 3)
+	want := fingerprintOf(t, srv1, h1)
+
+	// A crash mid-append leaves a partial frame after the acknowledged
+	// records; it was never acknowledged, so recovery must drop it.
+	walPath := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x42, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2, h2 := attach(t, Config{}, dir)
+	got := fingerprintOf(t, srv2, h2)
+	if got != want {
+		t.Fatalf("torn-tail recovery diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if st := srv2.Stats(); st.Journal.TruncatedBytes != 3 {
+		t.Errorf("TruncatedBytes = %d, want 3", st.Journal.TruncatedBytes)
+	}
+}
+
+func TestFaultGracefulCloseSnapshotsEverything(t *testing.T) {
+	dir := t.TempDir()
+	srv1, h1 := attach(t, Config{}, dir)
+	putGraph(t, h1, "subject a\n")
+	mutateN(t, h1, 5)
+	want := fingerprintOf(t, srv1, h1)
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	srv2, h2 := attach(t, Config{}, dir)
+	got := fingerprintOf(t, srv2, h2)
+	if got != want {
+		t.Fatalf("post-shutdown recovery diverged:\n got %+v\nwant %+v", got, want)
+	}
+	// A graceful shutdown snapshots, so the next start replays nothing.
+	if st := srv2.Stats(); st.Journal.Recovered != 0 {
+		t.Errorf("recovered %d records after graceful close, want 0", st.Journal.Recovered)
+	}
+}
+
+func TestFaultJournalFailureDegradesNotDies(t *testing.T) {
+	dir := t.TempDir()
+	srv, h := attach(t, Config{}, dir)
+	putGraph(t, h, "subject a\n")
+	mutateN(t, h, 2)
+
+	// Simulate the disk going away mid-flight: close the WAL fd under the
+	// server. The next append fails, flipping degraded mode.
+	srv.journal.j.Close()
+	req := httptest.NewRequest(http.MethodPost, "/apply",
+		strings.NewReader(`{"op":"create","x":"a","name":"g","kind":"object","rights":"r"}`))
+	req.Header.Set("Content-Type", "application/json")
+	var body errorBody
+	rec := serve(t, h, req, &body)
+	if rec.Code != http.StatusServiceUnavailable || body.Code != "degraded" {
+		t.Fatalf("apply on dead journal: %d code=%q, want 503 degraded", rec.Code, body.Code)
+	}
+	// Further mutations stay refused; reads keep working.
+	req = httptest.NewRequest(http.MethodPut, "/graph", strings.NewReader("subject z\n"))
+	if rec := serve(t, h, req, nil); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("PUT /graph while degraded: %d, want 503", rec.Code)
+	}
+	var verdict map[string]bool
+	req = httptest.NewRequest(http.MethodGet, "/query/can-share?right=r&x=a&y=f0", nil)
+	if rec := serve(t, h, req, &verdict); rec.Code != http.StatusOK || !verdict["can_share"] {
+		t.Errorf("read while degraded: %d %v, want 200 true", rec.Code, verdict)
+	}
+	if st := srv.Stats(); !st.Degraded {
+		t.Error("/stats should report degraded")
+	}
+	rec = serve(t, h, httptest.NewRequest(http.MethodGet, "/metrics", nil), nil)
+	if !strings.Contains(rec.Body.String(), "takegrant_degraded 1") {
+		t.Error("/metrics missing takegrant_degraded 1")
+	}
+}
+
+// TestFaultCrashRecoveryStress interleaves journaled mutations with
+// concurrent budget-limited readers, crashes, recovers, and asserts the
+// accepted prefix survived bit-for-bit. Run under -race.
+func TestFaultCrashRecoveryStress(t *testing.T) {
+	dir := t.TempDir()
+	srv1, h1 := attach(t, Config{SnapshotEvery: 5}, dir)
+	putGraph(t, h1, "subject a\n")
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := httptest.NewRequest(http.MethodGet, "/query/can-know?x=a&y=a", nil)
+				rec := httptest.NewRecorder()
+				h1.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("reader: %d %s", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	mutateN(t, h1, 25)
+	close(stop)
+	readers.Wait()
+	want := fingerprintOf(t, srv1, h1)
+	// Crash without Close.
+
+	srv2, h2 := attach(t, Config{SnapshotEvery: 5}, dir)
+	got := fingerprintOf(t, srv2, h2)
+	if got != want {
+		t.Fatalf("stress recovery diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -23,6 +23,9 @@ func do(t *testing.T, h http.Handler, method, target, body string, out any) int 
 		rdr = strings.NewReader(body)
 	}
 	req := httptest.NewRequest(method, target, rdr)
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
 	if out != nil {
