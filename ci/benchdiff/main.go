@@ -1,0 +1,111 @@
+// Command benchdiff compares a fresh `tgbench -json` run against a
+// committed baseline and fails on a wall-clock regression of the guarded
+// experiments. It exists for CI: the decision procedures carry asymptotic
+// claims (E8 linear in edges per Corollary 5.6, E9 constant per
+// Corollary 5.7), and a hot-path change that quietly triples their cost
+// should break the build, not surface months later in production traces.
+//
+// Usage:
+//
+//	benchdiff baseline.json fresh.json
+//
+// Both files hold the tgbench -json array. Exit status 1 when any guarded
+// experiment regressed beyond the threshold or stopped passing; 2 on bad
+// input. The 3× threshold is deliberately loose — CI machines are noisy
+// and tgbench experiments are single-shot wall-clock timings; the gate
+// catches order-of-magnitude mistakes (a dropped index, an accidental
+// per-call sort), not percent-level drift.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// guarded names the experiments the gate watches and the factor beyond
+// which their slowdown fails the build.
+var guarded = map[string]float64{
+	"E8": 3.0, // audit scaling (Corollary 5.6)
+	"E9": 3.0, // O(1) online guard (Corollary 5.7)
+}
+
+// row is the subset of tgbench's per-experiment report the gate reads.
+type row struct {
+	ID         string  `json:"id"`
+	Title      string  `json:"title"`
+	Pass       bool    `json:"pass"`
+	DurationUs float64 `json:"duration_us"`
+}
+
+func load(path string) (map[string]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]row, len(rows))
+	for _, r := range rows {
+		out[r.ID] = r
+	}
+	return out, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff baseline.json fresh.json")
+		os.Exit(2)
+	}
+	base, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, id := range sortedKeys(guarded) {
+		b, okB := base[id]
+		f, okF := fresh[id]
+		if !okB || !okF {
+			fmt.Fprintf(os.Stderr, "benchdiff: experiment %s missing (baseline %v, fresh %v)\n", id, okB, okF)
+			failed = true
+			continue
+		}
+		ratio := f.DurationUs / b.DurationUs
+		status := "ok"
+		switch {
+		case !f.Pass:
+			status = "FAIL (experiment no longer passes)"
+			failed = true
+		case ratio > guarded[id]:
+			status = fmt.Sprintf("FAIL (> %.1fx threshold)", guarded[id])
+			failed = true
+		}
+		fmt.Printf("%-4s %10.1fus -> %10.1fus  %5.2fx  %s\n", id, b.DurationUs, f.DurationUs, ratio, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}

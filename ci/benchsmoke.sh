@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Bench regression gate: regenerate the tgbench report and diff the
+# guarded experiments (E8 audit scaling, E9 O(1) guard) against the
+# committed baseline. Fails on a >3x slowdown or a no-longer-passing
+# experiment; see ci/benchdiff for the rationale and thresholds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+go run ./cmd/tgbench -json > "$fresh"
+go run ./ci/benchdiff BENCH_PR4.json "$fresh"

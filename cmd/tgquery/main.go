@@ -20,6 +20,12 @@
 //	audit                        restriction violations (Corollary 5.6)
 //	render                       pretty-print the graph
 //
+// With -queries FILE, tgquery decides a whole file of boolean queries
+// (one per line, # comments and blank lines skipped) in one invocation:
+// the frozen adjacency snapshot and the island index are built once and
+// shared, and -parallel N decides that many queries concurrently. Results
+// print in input order; the exit status is the worst any line earned.
+//
 // The graph is read from -f, or stdin when -f is absent. Exit status 0
 // means the predicate holds (for boolean queries) or the command
 // succeeded; 1 means the predicate is false; 2 reports usage errors; 3
@@ -33,11 +39,15 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"takegrant/internal/analysis"
 	"takegrant/internal/budget"
@@ -59,12 +69,14 @@ func main() {
 	trace := flag.Bool("trace", false, "print a per-phase breakdown of the decision procedure on stderr")
 	timeout := flag.Duration("timeout", 0, "abort the decision procedure after this long (0 = no deadline)")
 	maxVisited := flag.Int64("max-visited", 0, "abort after visiting this many product states (0 = unlimited)")
+	queries := flag.String("queries", "", "file of boolean queries, one per line; results print in input order")
+	parallel := flag.Int("parallel", 1, "with -queries: decide this many queries concurrently over one shared snapshot")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) == 0 {
+	if len(args) == 0 && *queries == "" {
 		usage()
 	}
-	if args[0] == "specimens" {
+	if len(args) > 0 && args[0] == "specimens" {
 		for _, n := range specimens.List() {
 			fmt.Println(n)
 		}
@@ -79,6 +91,9 @@ func main() {
 		}
 	} else {
 		g = load(*file)
+	}
+	if *queries != "" {
+		os.Exit(runQueryFile(g, *queries, *parallel, *maxVisited, *timeout))
 	}
 	// -trace attaches an obs.Probe to the decision procedure and prints its
 	// per-phase report on stderr, after the query's own output and before
@@ -272,6 +287,148 @@ func main() {
 	}
 }
 
+// runQueryFile decides every boolean query in path — one query per line,
+// blank lines and # comments skipped — and prints results in input order.
+// The frozen CSR snapshot and the island index are built once up front;
+// -parallel workers then decide queries concurrently over the same shared
+// structures, each under its own -timeout/-max-visited budget. The exit
+// status is the worst any line earned: 2 (malformed line) over 3 (budget
+// exhausted) over 1 (a false predicate) over 0 (all true).
+func runQueryFile(g *graph.Graph, path string, parallel int, maxVisited int64, timeout time.Duration) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		lines = append(lines, s)
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if len(lines) == 0 {
+		fail(fmt.Errorf("%s holds no queries", path))
+	}
+	// Build the shared read-optimized structures before the fan-out so no
+	// worker pays for (or races to trigger) the lazy first build.
+	g.Snapshot()
+	g.TGIslands()
+	type result struct {
+		verdict bool
+		err     error
+	}
+	results := make([]result, len(lines))
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > len(lines) {
+		parallel = len(lines)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(lines) {
+					return
+				}
+				b := budget.New(nil, maxVisited, timeout)
+				results[i].verdict, results[i].err = decideLine(g, lines[i], b)
+			}
+		}()
+	}
+	wg.Wait()
+	exit := 0
+	// Severity order for the combined exit status: 2 > 3 > 1 > 0.
+	rank := map[int]int{0: 0, 1: 1, 3: 2, 2: 3}
+	worse := func(c int) {
+		if rank[c] > rank[exit] {
+			exit = c
+		}
+	}
+	for i, res := range results {
+		if res.err != nil {
+			fmt.Printf("%s = error: %v\n", lines[i], res.err)
+			if errors.Is(res.err, budget.ErrExhausted) {
+				worse(3)
+			} else {
+				worse(2)
+			}
+			continue
+		}
+		fmt.Printf("%s = %v\n", lines[i], res.verdict)
+		if !res.verdict {
+			worse(1)
+		}
+	}
+	return exit
+}
+
+// decideLine parses and decides one boolean query line from a -queries
+// file. Lookup failures come back as errors rather than exiting: one bad
+// line must not abort the rest of the file.
+func decideLine(g *graph.Graph, line string, b *budget.Budget) (bool, error) {
+	fs := strings.Fields(line)
+	bad := func() error {
+		return fmt.Errorf("unsupported query (boolean forms only: can.share <right> <x> <y> | can.know <x> <y> | can.know.f <x> <y> | can.steal <right> <x> <y>)")
+	}
+	lookupV := func(name string) (graph.ID, error) {
+		v, ok := g.Lookup(name)
+		if !ok {
+			return graph.None, fmt.Errorf("unknown vertex %q", name)
+		}
+		return v, nil
+	}
+	switch fs[0] {
+	case "can.share", "can.steal":
+		if len(fs) != 4 {
+			return false, bad()
+		}
+		r, ok := g.Universe().Lookup(fs[1])
+		if !ok {
+			return false, fmt.Errorf("unknown right %q", fs[1])
+		}
+		x, err := lookupV(fs[2])
+		if err != nil {
+			return false, err
+		}
+		y, err := lookupV(fs[3])
+		if err != nil {
+			return false, err
+		}
+		if fs[0] == "can.steal" {
+			return steal.CanSteal(g, r, x, y), nil
+		}
+		return analysis.CanShareObs(g, r, x, y, nil, b)
+	case "can.know", "can.know.f":
+		if len(fs) != 3 {
+			return false, bad()
+		}
+		x, err := lookupV(fs[1])
+		if err != nil {
+			return false, err
+		}
+		y, err := lookupV(fs[2])
+		if err != nil {
+			return false, err
+		}
+		if fs[0] == "can.know.f" {
+			return analysis.CanKnowFObs(g, x, y, nil, b)
+		}
+		return analysis.CanKnowObs(g, x, y, nil, b)
+	}
+	return false, bad()
+}
+
 func load(file string) *graph.Graph {
 	in := os.Stdin
 	if file != "" {
@@ -319,6 +476,7 @@ func fail(err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: tgquery [-f graph.tg] [-trace] [-timeout d] [-max-visited n] <query>
+       tgquery [-f graph.tg] -queries FILE [-parallel N]
 queries:
   can.share <right> <x> <y>      can.know <x> <y>     can.know.f <x> <y>
   can.steal <right> <x> <y>      explain.share <right> <x> <y>

@@ -29,7 +29,7 @@
 //
 //	tgserve -addr :8080 [-data DIR] [-specimen fig61 | -f graph.tg]
 //	        [-query-timeout 5s] [-max-visited 1000000] [-max-inflight 32]
-//	        [-pprof]
+//	        [-batch-workers 8] [-pprof]
 package main
 
 import (
@@ -66,6 +66,7 @@ func main() {
 		qTimeout = flag.Duration("query-timeout", 0, "per-query work-budget deadline (0 = none)")
 		maxVisit = flag.Int64("max-visited", 0, "per-query cap on visited product states (0 = unlimited)")
 		inflight = flag.Int("max-inflight", 0, "max concurrent heavy queries before shedding with 429 (0 = unlimited)")
+		batchW   = flag.Int("batch-workers", 0, "worker pool one POST /query/batch fans its items across (0 = GOMAXPROCS)")
 		snapN    = flag.Int("snapshot-every", 0, "journaled mutations between snapshots (0 = default)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain period for in-flight requests")
 	)
@@ -76,6 +77,7 @@ func main() {
 		MaxVisited:    *maxVisit,
 		MaxInFlight:   *inflight,
 		SnapshotEvery: *snapN,
+		BatchWorkers:  *batchW,
 	})
 	if !*quiet {
 		srv.SetLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil)))

@@ -186,6 +186,32 @@ func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool, p *obs.Probe, b *
 		unSet[u] = true
 	}
 	if !wantEvidence {
+		// Island fast path: u1 and un in the same tg-island are joined by
+		// a chain of subject tg edges — each a bridge, hence a word in
+		// B ∪ C — so condition (c) holds without a product search. On a
+		// miss the link closure below still decides.
+		sp = p.Span("island_index")
+		if err := b.Charge(int64(len(u1s) + len(uns))); err != nil {
+			sp.Count("aborted", 1).End()
+			return nil, false, err
+		}
+		idx := g.TGIslands()
+		roots := make(map[graph.ID]bool, len(u1s))
+		for _, u := range u1s {
+			roots[idx.Root(u)] = true
+		}
+		hitIsland := false
+		for _, u := range uns {
+			if roots[idx.Root(u)] {
+				hitIsland = true
+				break
+			}
+		}
+		if hitIsland {
+			sp.Count("hits", 1).End()
+			return nil, true, nil
+		}
+		sp.Count("misses", 1).End()
 		sp = p.Span("link_closure")
 		res := relang.Search(g, linkChainNFA, u1s, relang.Options{View: relang.ViewExplicit, Budget: b})
 		sp.Count("visited", int64(res.Visited())).Count("scanned", int64(res.Scanned())).End()

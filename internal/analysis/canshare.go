@@ -104,12 +104,15 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 	if g.Explicit(x, y).Has(alpha) {
 		return &ShareEvidence{Direct: true}, true, nil
 	}
-	// (i) sources s with an explicit α edge to y.
+	// (i) sources s with an explicit α edge to y — scanned off the frozen
+	// CSR snapshot (no per-call sort of y's in-map).
 	sp := p.Span("sources")
 	var sources []graph.ID
-	for _, h := range g.In(y) {
-		if h.Explicit.Has(alpha) {
-			sources = append(sources, h.Other)
+	snap := g.Snapshot()
+	srcIDs, srcLbls := snap.In(y)
+	for j, s := range srcIDs {
+		if snap.Label(srcLbls[j]).Explicit.Has(alpha) {
+			sources = append(sources, s)
 		}
 	}
 	sp.Count("sources", int64(len(sources))).End()
@@ -125,6 +128,55 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 	}
 	sp.Count("x_primes", int64(len(xPrimes))).End()
 	if len(xPrimes) == 0 {
+		return nil, false, nil
+	}
+	if !wantEvidence {
+		// Membership in the terminal-spanner union is all condition (iii)
+		// needs: one merged search from every source replaces one search
+		// per source (the spanner→source map only matters for evidence).
+		sp = p.Span("terminal_spanners")
+		sPrimes, err := spannersMergedB(g, sources, terminalSpanRevNFA, b)
+		if err != nil {
+			sp.Count("aborted", 1).End()
+			return nil, false, err
+		}
+		sp.Count("s_primes", int64(len(sPrimes))).End()
+		if len(sPrimes) == 0 {
+			return nil, false, nil
+		}
+		// Island fast path: an x′ and an s′ in the same tg-island are
+		// joined by a chain of subject-to-subject tg edges, each itself a
+		// bridge, so condition (iii) holds without a product search. The
+		// union-find index is maintained across mutations; on a miss the
+		// full bridge closure below still decides.
+		sp = p.Span("island_index")
+		if err := b.Charge(int64(len(xPrimes) + len(sPrimes))); err != nil {
+			sp.Count("aborted", 1).End()
+			return nil, false, err
+		}
+		idx := g.TGIslands()
+		roots := make(map[graph.ID]bool, len(xPrimes))
+		for _, xp := range xPrimes {
+			roots[idx.Root(xp)] = true
+		}
+		for _, spn := range sPrimes {
+			if roots[idx.Root(spn)] {
+				sp.Count("hits", 1).End()
+				return nil, true, nil
+			}
+		}
+		sp.Count("misses", 1).End()
+		sp = p.Span("bridge_closure")
+		res := relang.Search(g, bridgeChainNFA, xPrimes, relang.Options{View: relang.ViewExplicit, Budget: b})
+		sp.Count("visited", int64(res.Visited())).Count("scanned", int64(res.Scanned())).End()
+		if err := res.Err(); err != nil {
+			return nil, false, err
+		}
+		for _, spn := range sPrimes {
+			if res.Accepted(spn) && g.IsSubject(spn) {
+				return nil, true, nil
+			}
+		}
 		return nil, false, nil
 	}
 	sp = p.Span("terminal_spanners")
@@ -145,20 +197,6 @@ func canShare(g *graph.Graph, alpha rights.Right, x, y graph.ID, wantEvidence bo
 	}
 	sp.Count("s_primes", int64(len(sPrimes))).End()
 	if len(sPrimes) == 0 {
-		return nil, false, nil
-	}
-	if !wantEvidence {
-		sp = p.Span("bridge_closure")
-		res := relang.Search(g, bridgeChainNFA, xPrimes, relang.Options{View: relang.ViewExplicit, Budget: b})
-		sp.Count("visited", int64(res.Visited())).Count("scanned", int64(res.Scanned())).End()
-		if err := res.Err(); err != nil {
-			return nil, false, err
-		}
-		for _, spn := range sPrimes {
-			if res.Accepted(spn) && g.IsSubject(spn) {
-				return nil, true, nil
-			}
-		}
 		return nil, false, nil
 	}
 	// Evidence path: BFS over subjects expanding one bridge at a time so the

@@ -26,8 +26,35 @@ import (
 // containing only subject vertices. Within an island, any right held by one
 // vertex can be obtained by every other vertex. Each island is a sorted
 // slice of subject IDs; islands are ordered by their smallest member.
+//
+// The partition is read off the incrementally maintained union-find index
+// (graph.TGIslands) — IslandsObs keeps the from-scratch BFS as the
+// budgeted, observable reference implementation the index is fuzzed
+// against.
 func Islands(g *graph.Graph) [][]graph.ID {
-	out, _ := IslandsObs(g, nil, nil)
+	return IslandsIndexed(g)
+}
+
+// IslandsIndexed computes the island partition from the maintained
+// union-find index: no flood fill, one Root lookup per live subject. The
+// ordering contract matches Islands/IslandsObs — members sorted
+// ascending, islands ordered by smallest member.
+func IslandsIndexed(g *graph.Graph) [][]graph.ID {
+	idx := g.TGIslands()
+	groups := make(map[graph.ID]int)
+	var out [][]graph.ID
+	// Subjects ascend, so each group is built sorted and groups appear in
+	// order of their smallest member.
+	for _, s := range g.Subjects() {
+		r := idx.Root(s)
+		gi, ok := groups[r]
+		if !ok {
+			gi = len(out)
+			groups[r] = gi
+			out = append(out, nil)
+		}
+		out[gi] = append(out[gi], s)
+	}
 	return out
 }
 
@@ -103,11 +130,8 @@ func islandOfB(g *graph.Graph, b *budget.Budget) (map[graph.ID]int, error) {
 	return idx, nil
 }
 
-// SameIsland reports whether two subjects share an island.
+// SameIsland reports whether two subjects share an island, via the
+// maintained union-find index (two Root lookups, no flood fill).
 func SameIsland(g *graph.Graph, a, b graph.ID) bool {
-	if !g.IsSubject(a) || !g.IsSubject(b) {
-		return false
-	}
-	idx := IslandOf(g)
-	return idx[a] == idx[b]
+	return g.SameTGIsland(a, b)
 }

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// assertIslandsMatch compares the incrementally maintained union-find
+// partition against the from-scratch BFS reference.
+func assertIslandsMatch(t *testing.T, g *graph.Graph, step string) {
+	t.Helper()
+	got := IslandsIndexed(g)
+	want, err := IslandsObs(g, nil, nil)
+	if err != nil {
+		t.Fatalf("%s: reference scan: %v", step, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: index has %d islands, reference has %d\nindex: %v\nreference: %v",
+			step, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: island %d: index %v, reference %v", step, i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: island %d: index %v, reference %v", step, i, got[i], want[i])
+			}
+		}
+	}
+	// SameIsland must agree pairwise with the partition too — it answers
+	// through union-find roots, not through the materialized groups.
+	subs := g.Subjects()
+	for i := 0; i < len(subs); i++ {
+		for j := i + 1; j < len(subs); j++ {
+			inSame := false
+			for _, isl := range want {
+				a, b := false, false
+				for _, m := range isl {
+					a = a || m == subs[i]
+					b = b || m == subs[j]
+				}
+				if a && b {
+					inSame = true
+				}
+			}
+			if SameIsland(g, subs[i], subs[j]) != inSame {
+				t.Fatalf("%s: SameIsland(%d,%d) = %v, partition says %v",
+					step, subs[i], subs[j], !inSame, inSame)
+			}
+		}
+	}
+}
+
+// TestIslandIndexMatchesScratchUnderMutation drives randomized mutation
+// sequences — tg and non-tg label adds, label removals, vertex additions
+// and deletions — and after every step checks the incrementally maintained
+// index against the from-scratch BFS. The index is fetched before the
+// sequence starts so the incremental union path (not just lazy rebuilds)
+// is what's being exercised; monotone steps must keep the index live,
+// non-monotone ones must invalidate it correctly.
+func TestIslandIndexMatchesScratchUnderMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 120; trial++ {
+		g := graph.New(nil)
+		var ids []graph.ID
+		addVertex := func() {
+			name := fmt.Sprintf("v%d", len(ids))
+			var v graph.ID
+			var err error
+			if rng.Intn(3) < 2 {
+				v, err = g.AddSubject(name)
+			} else {
+				v, err = g.AddObject(name)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, v)
+		}
+		for i := 0; i < 3+rng.Intn(6); i++ {
+			addVertex()
+		}
+		// Force the index into existence now: every subsequent mutation hits
+		// the incremental maintenance hooks on a live index.
+		g.TGIslands()
+		assertIslandsMatch(t, g, fmt.Sprintf("trial %d: initial", trial))
+
+		steps := 6 + rng.Intn(12)
+		for s := 0; s < steps; s++ {
+			pick := func() graph.ID { return ids[rng.Intn(len(ids))] }
+			switch op := rng.Intn(10); {
+			case op < 4: // add a label, biased toward tg so unions happen
+				a, b := pick(), pick()
+				if a == b || !g.Valid(a) || !g.Valid(b) {
+					continue
+				}
+				set := rights.Set(1 + rng.Intn(15))
+				if rng.Intn(2) == 0 {
+					set = set.Union(rights.TG)
+				}
+				_ = g.AddExplicit(a, b, set)
+			case op < 7: // remove rights, sometimes severing a tg edge
+				a, b := pick(), pick()
+				if a == b || !g.Valid(a) || !g.Valid(b) {
+					continue
+				}
+				_ = g.RemoveExplicit(a, b, rights.Set(1+rng.Intn(15)))
+			case op < 8: // new vertex joins as a singleton
+				addVertex()
+			case op < 9: // delete a vertex, possibly splitting an island
+				v := pick()
+				if g.Valid(v) && g.NumVertices() > 2 {
+					_ = g.DeleteVertex(v)
+				}
+			default: // implicit labels must never affect tg-connectivity
+				a, b := pick(), pick()
+				if a == b || !g.Valid(a) || !g.Valid(b) {
+					continue
+				}
+				_ = g.AddImplicit(a, b, rights.TG)
+			}
+			assertIslandsMatch(t, g, fmt.Sprintf("trial %d: step %d", trial, s))
+		}
+	}
+}
+
+// TestIslandIndexAcrossRestore: RestoreRevision rolls the graph back; the
+// index must not serve the pre-restore partition.
+func TestIslandIndexAcrossRestore(t *testing.T) {
+	g := graph.New(nil)
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	c := g.MustSubject("c")
+	if err := g.AddExplicit(a, b, rights.TG); err != nil {
+		t.Fatal(err)
+	}
+	rev := g.Revision()
+	if !SameIsland(g, a, b) || SameIsland(g, a, c) {
+		t.Fatal("setup: want {a,b} | {c}")
+	}
+	if err := g.AddExplicit(b, c, rights.TG); err != nil {
+		t.Fatal(err)
+	}
+	if !SameIsland(g, a, c) {
+		t.Fatal("after union: want one island")
+	}
+	g.RestoreRevision(rev)
+	if err := g.RemoveExplicit(b, c, rights.TG); err != nil {
+		t.Fatal(err)
+	}
+	assertIslandsMatch(t, g, "after restore+remove")
+	if SameIsland(g, a, c) {
+		t.Fatal("restored graph still reports the rolled-back union")
+	}
+}

@@ -57,10 +57,12 @@ func ProfileObs(g *graph.Graph, x graph.ID, p *obs.Probe, b *budget.Budget) ([]A
 			out = append(out, a)
 		}
 	}
+	snap := g.Snapshot()
 	sp := p.Span("held_scan")
-	for _, h := range g.Out(x) {
-		for _, r := range h.Explicit.Rights() {
-			add(Acquisition{Right: r, Target: h.Other, Held: true})
+	heldDst, heldLbl := snap.Out(x)
+	for j, dst := range heldDst {
+		for _, r := range snap.Label(heldLbl[j]).Explicit.Rights() {
+			add(Acquisition{Right: r, Target: dst, Held: true})
 		}
 	}
 	sp.Count("held", int64(len(out))).End()
@@ -95,7 +97,11 @@ func ProfileObs(g *graph.Graph, x graph.ID, p *obs.Probe, b *budget.Budget) ([]A
 		}
 		sp.Count("reached", int64(len(spanRes))).End()
 		sp = p.Span("collect")
-		for _, s := range g.Vertices() {
+		for i := 0; i < snap.Cap(); i++ {
+			s := graph.ID(i)
+			if !snap.Live(s) {
+				continue
+			}
 			if err := b.Charge(1); err != nil {
 				sp.Count("aborted", 1).End()
 				return nil, err
@@ -103,12 +109,13 @@ func ProfileObs(g *graph.Graph, x graph.ID, p *obs.Probe, b *budget.Budget) ([]A
 			if !spanRes[s] {
 				continue
 			}
-			for _, h := range g.Out(s) {
-				if h.Other == x {
+			dsts, lbls := snap.Out(s)
+			for j, dst := range dsts {
+				if dst == x {
 					continue // a right to x itself cannot land on x→x
 				}
-				for _, r := range h.Explicit.Rights() {
-					add(Acquisition{Right: r, Target: h.Other})
+				for _, r := range snap.Label(lbls[j]).Explicit.Rights() {
+					add(Acquisition{Right: r, Target: dst})
 				}
 			}
 		}
@@ -132,11 +139,13 @@ func TakeReach(g *graph.Graph, sources []graph.ID) map[graph.ID]bool {
 }
 
 // takeReachB is TakeReach charging one budget unit per dequeued vertex.
+// The BFS runs over the frozen CSR snapshot.
 func takeReachB(g *graph.Graph, sources []graph.ID, b *budget.Budget) (map[graph.ID]bool, error) {
+	snap := g.Snapshot()
 	out := make(map[graph.ID]bool)
 	queue := make([]graph.ID, 0, len(sources))
 	for _, s := range sources {
-		if g.Valid(s) && !out[s] {
+		if snap.Live(s) && !out[s] {
 			out[s] = true
 			queue = append(queue, s)
 		}
@@ -147,10 +156,11 @@ func takeReachB(g *graph.Graph, sources []graph.ID, b *budget.Budget) (map[graph
 		}
 		v := queue[0]
 		queue = queue[1:]
-		for _, h := range g.Out(v) {
-			if h.Explicit.Has(rights.Take) && !out[h.Other] {
-				out[h.Other] = true
-				queue = append(queue, h.Other)
+		dsts, lbls := snap.Out(v)
+		for j, dst := range dsts {
+			if snap.Label(lbls[j]).Explicit.Has(rights.Take) && !out[dst] {
+				out[dst] = true
+				queue = append(queue, dst)
 			}
 		}
 	}

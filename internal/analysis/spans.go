@@ -87,6 +87,37 @@ func spannersB(g *graph.Graph, v graph.ID, revNFA *relang.NFA, includeSelf bool,
 	return out, nil
 }
 
+// spannersMergedB runs ONE reversed span search seeded with every vertex
+// in vs at once and returns the union of their subject spanners (each vs
+// member included when itself a subject), sorted by ID. Decision
+// procedures that only need spanner-set membership — not which seed each
+// spanner spans to — use this instead of len(vs) separate searches.
+func spannersMergedB(g *graph.Graph, vs []graph.ID, revNFA *relang.NFA, b *budget.Budget) ([]graph.ID, error) {
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	res := relang.Search(g, revNFA, vs, relang.Options{View: relang.ViewExplicit, Budget: b})
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	seen := make(map[graph.ID]bool)
+	var out []graph.ID
+	for _, v := range vs {
+		if g.IsSubject(v) && !seen[v] {
+			out = append(out, v)
+			seen[v] = true
+		}
+	}
+	for _, u := range res.AcceptedVertices() {
+		if g.IsSubject(u) && !seen[u] {
+			out = append(out, u)
+			seen[u] = true
+		}
+	}
+	sortIDs(out)
+	return out, nil
+}
+
 // InitiallySpans reports whether subject u initially spans to x, and when it
 // does (with a non-empty word) returns a witness path.
 func InitiallySpans(g *graph.Graph, u, x graph.ID) ([]relang.Step, bool) {

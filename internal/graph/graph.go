@@ -79,42 +79,15 @@ type Graph struct {
 	revision uint64
 	live     int
 
-	// adjMu guards adj, the lazily built sorted-adjacency snapshot used by
-	// the search engines; it is invalidated by revision.
+	// adjMu guards snap, the lazily built frozen CSR snapshot used by the
+	// search engines and Edges; it is invalidated by revision.
 	adjMu sync.Mutex
-	adj   *adjacency
-}
+	snap  *Snapshot
 
-// adjacency is a read-only sorted view of every vertex's half-edges,
-// valid for one revision.
-type adjacency struct {
-	rev  uint64
-	outs [][]HalfEdge
-	ins  [][]HalfEdge
-}
-
-// Adjacency returns sorted out- and in-half-edge listings for every vertex,
-// indexed by vertex ID. The snapshot is built once per revision and shared;
-// callers must not mutate the returned slices. Safe for concurrent use.
-func (g *Graph) Adjacency() (outs, ins [][]HalfEdge) {
-	g.adjMu.Lock()
-	defer g.adjMu.Unlock()
-	if g.adj == nil || g.adj.rev != g.revision {
-		a := &adjacency{
-			rev:  g.revision,
-			outs: make([][]HalfEdge, len(g.vertices)),
-			ins:  make([][]HalfEdge, len(g.vertices)),
-		}
-		for i := range g.vertices {
-			if g.vertices[i].deleted {
-				continue
-			}
-			a.outs[i] = g.Out(ID(i))
-			a.ins[i] = g.In(ID(i))
-		}
-		g.adj = a
-	}
-	return g.adj.outs, g.adj.ins
+	// islMu guards isl, the incrementally maintained tg-island union-find
+	// (see tgisland.go); nil means "rebuild on next use".
+	islMu sync.Mutex
+	isl   *TGIndex
 }
 
 // New returns an empty protection graph over the given rights universe.
@@ -143,12 +116,14 @@ func (g *Graph) Revision() uint64 { return g.revision }
 // mutations land on the same revisions as the originals and
 // revision-keyed caches never conflate pre- and post-crash states. The
 // lazy adjacency snapshot is dropped — it may have been built at a now-
-// colliding counter value over different edges.
+// colliding counter value over different edges — and so is the island
+// index.
 func (g *Graph) RestoreRevision(rev uint64) {
 	g.adjMu.Lock()
 	g.revision = rev
-	g.adj = nil
+	g.snap = nil
 	g.adjMu.Unlock()
+	g.islandInvalidate()
 }
 
 // NumVertices returns the number of live (non-deleted) vertices.
@@ -189,6 +164,7 @@ func (g *Graph) addVertex(name string, kind Kind) (ID, error) {
 	g.byName[name] = id
 	g.revision++
 	g.live++
+	g.islandAddVertex()
 	return id, nil
 }
 
@@ -253,6 +229,31 @@ func (g *Graph) DeleteVertex(id ID) error {
 		return fmt.Errorf("graph: invalid vertex id %d", id)
 	}
 	v := &g.vertices[id]
+	// Island-index maintenance: deleting a subject with incident explicit
+	// tg edges to other subjects can split an island — invalidate. A
+	// tg-isolated vertex leaves every other island untouched (the stale
+	// singleton is unreachable through IsSubject guards).
+	if v.kind == Subject {
+		splits := false
+		for dst, l := range v.out {
+			if l.explicit.HasAny(rights.TG) && g.IsSubject(dst) {
+				splits = true
+				break
+			}
+		}
+		if !splits {
+			for src := range v.in {
+				if g.vertices[src].kind == Subject &&
+					g.vertices[src].out[id].explicit.HasAny(rights.TG) {
+					splits = true
+					break
+				}
+			}
+		}
+		if splits {
+			g.islandInvalidate()
+		}
+	}
 	for dst := range v.out {
 		delete(g.vertices[dst].in, id)
 	}
@@ -329,6 +330,7 @@ func (g *Graph) addLabel(src, dst ID, set rights.Set, implicit bool) error {
 		l.implicit = l.implicit.Union(set)
 	} else {
 		l.explicit = l.explicit.Union(set)
+		g.islandAddExplicit(src, dst, set)
 	}
 	s.out[dst] = l
 	g.vertices[dst].in[src] = struct{}{}
@@ -349,7 +351,14 @@ func (g *Graph) RemoveExplicit(src, dst ID, set rights.Set) error {
 	if !ok {
 		return nil
 	}
+	had := l.explicit
 	l.explicit = l.explicit.Minus(set)
+	// Island-index maintenance: losing the last t/g right on a
+	// subject→subject edge can split an island — non-monotone, invalidate.
+	if had.HasAny(rights.TG) && !l.explicit.HasAny(rights.TG) &&
+		s.kind == Subject && g.vertices[dst].kind == Subject {
+		g.islandInvalidate()
+	}
 	g.setLabel(src, dst, l)
 	g.revision++
 	return nil
@@ -463,24 +472,20 @@ type Edge struct {
 	Implicit rights.Set
 }
 
-// Edges returns every labelled edge sorted by (Src, Dst).
+// Edges returns every labelled edge sorted by (Src, Dst). The listing is
+// materialized from the revision-cached CSR snapshot — sources ascend and
+// each source's destinations are pre-sorted, so no per-call sort runs —
+// into a slice pre-sized to the known edge count.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, g.NumEdges())
-	for i := range g.vertices {
-		v := &g.vertices[i]
-		if v.deleted {
-			continue
-		}
-		for dst, l := range v.out {
-			out = append(out, Edge{Src: ID(i), Dst: dst, Explicit: l.explicit, Implicit: l.implicit})
+	s := g.Snapshot()
+	out := make([]Edge, 0, s.NumEdges())
+	for i := 0; i < s.Cap(); i++ {
+		dst, lbl := s.Out(ID(i))
+		for j, d := range dst {
+			lp := s.labels[lbl[j]]
+			out = append(out, Edge{Src: ID(i), Dst: d, Explicit: lp.Explicit, Implicit: lp.Implicit})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return out[i].Src < out[j].Src
-		}
-		return out[i].Dst < out[j].Dst
-	})
 	return out
 }
 

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"slices"
+
+	"takegrant/internal/rights"
+)
+
+// LabelPair is one interned (explicit, implicit) rights pair. Snapshot
+// stores every distinct pair once and references it by index: protection
+// graphs label thousands of edges with a handful of distinct sets (t, g,
+// r, rw, ...), so the per-edge cost drops to one uint32.
+type LabelPair struct {
+	Explicit rights.Set
+	Implicit rights.Set
+}
+
+// Combined returns the union of the pair's labels.
+func (l LabelPair) Combined() rights.Set { return l.Explicit.Union(l.Implicit) }
+
+// Snapshot is a frozen, read-optimized view of a Graph at one revision:
+// compressed-sparse-row adjacency in both directions, destinations sorted
+// per vertex, labels interned. It is immutable after construction and
+// therefore safe for any number of concurrent readers — the decision
+// procedures share one snapshot per revision instead of re-sorting map
+// iterations on every Out/In call.
+//
+// Obtain one with Graph.Snapshot. A Snapshot describes the graph as it was
+// at Revision(); mutating the graph does not change existing snapshots,
+// it only makes the next Graph.Snapshot call build a fresh one.
+type Snapshot struct {
+	rev      uint64
+	numEdges int
+
+	// CSR layout: vertex v's out-edges are outDst[outStart[v]:outStart[v+1]]
+	// with parallel label indices in outLbl; same shape for in-edges. The
+	// in-listing of v carries the labels read in the src→v direction.
+	outStart []int32
+	inStart  []int32
+	outDst   []ID
+	inDst    []ID
+	outLbl   []uint32
+	inLbl    []uint32
+
+	labels  []LabelPair
+	subject []bool // live subject per ID
+	live    []bool
+}
+
+// Snapshot returns the frozen adjacency view for the graph's current
+// revision, building it on first read and sharing it until the next
+// mutation. Safe for concurrent use.
+func (g *Graph) Snapshot() *Snapshot {
+	g.adjMu.Lock()
+	defer g.adjMu.Unlock()
+	if g.snap == nil || g.snap.rev != g.revision {
+		g.snap = buildSnapshot(g)
+	}
+	return g.snap
+}
+
+// buildSnapshot packs the live adjacency into CSR form: degree counts,
+// prefix sums, one pass over the out-maps writing (dst, label) packed into
+// a uint64 per edge — filling the forward and reverse buckets in the same
+// pass — then a per-vertex sort and unpack. O(E log maxdeg) time, three
+// flat arrays per direction.
+func buildSnapshot(g *Graph) *Snapshot {
+	n := len(g.vertices)
+	s := &Snapshot{
+		rev:      g.revision,
+		outStart: make([]int32, n+1),
+		inStart:  make([]int32, n+1),
+		subject:  make([]bool, n),
+		live:     make([]bool, n),
+	}
+	for i := range g.vertices {
+		v := &g.vertices[i]
+		if v.deleted {
+			continue
+		}
+		s.live[i] = true
+		s.subject[i] = v.kind == Subject
+		s.numEdges += len(v.out)
+		s.outStart[i+1] = int32(len(v.out))
+		s.inStart[i+1] = int32(len(v.in))
+	}
+	for i := 0; i < n; i++ {
+		s.outStart[i+1] += s.outStart[i]
+		s.inStart[i+1] += s.inStart[i]
+	}
+	m := s.numEdges
+	outPacked := make([]uint64, m)
+	inPacked := make([]uint64, m)
+	outCur := make([]int32, n)
+	inCur := make([]int32, n)
+	copy(outCur, s.outStart[:n])
+	copy(inCur, s.inStart[:n])
+	intern := make(map[label]uint32)
+	for i := range g.vertices {
+		v := &g.vertices[i]
+		if v.deleted {
+			continue
+		}
+		for dst, l := range v.out {
+			li, ok := intern[l]
+			if !ok {
+				li = uint32(len(s.labels))
+				s.labels = append(s.labels, LabelPair{Explicit: l.explicit, Implicit: l.implicit})
+				intern[l] = li
+			}
+			outPacked[outCur[i]] = uint64(uint32(dst))<<32 | uint64(li)
+			outCur[i]++
+			inPacked[inCur[dst]] = uint64(uint32(ID(i)))<<32 | uint64(li)
+			inCur[dst]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		slices.Sort(outPacked[s.outStart[i]:s.outStart[i+1]])
+		slices.Sort(inPacked[s.inStart[i]:s.inStart[i+1]])
+	}
+	s.outDst = make([]ID, m)
+	s.outLbl = make([]uint32, m)
+	s.inDst = make([]ID, m)
+	s.inLbl = make([]uint32, m)
+	for j, p := range outPacked {
+		s.outDst[j] = ID(p >> 32)
+		s.outLbl[j] = uint32(p)
+	}
+	for j, p := range inPacked {
+		s.inDst[j] = ID(p >> 32)
+		s.inLbl[j] = uint32(p)
+	}
+	return s
+}
+
+// Revision returns the graph revision the snapshot describes.
+func (s *Snapshot) Revision() uint64 { return s.rev }
+
+// Cap returns the vertex-ID bound of the snapshot: all IDs are < Cap().
+func (s *Snapshot) Cap() int { return len(s.live) }
+
+// NumEdges returns the number of labelled directed vertex pairs.
+func (s *Snapshot) NumEdges() int { return s.numEdges }
+
+// NumLabels returns the number of distinct interned label pairs.
+func (s *Snapshot) NumLabels() int { return len(s.labels) }
+
+// Live reports whether v was a live vertex at the snapshot's revision.
+func (s *Snapshot) Live(v ID) bool {
+	return v >= 0 && int(v) < len(s.live) && s.live[v]
+}
+
+// IsSubject reports whether v was a live subject at the snapshot's revision.
+func (s *Snapshot) IsSubject(v ID) bool {
+	return v >= 0 && int(v) < len(s.subject) && s.subject[v]
+}
+
+// Out returns v's out-edge destinations (ascending) and the parallel label
+// indices, resolvable via Label. The slices alias the snapshot's arrays and
+// must not be mutated.
+func (s *Snapshot) Out(v ID) (dst []ID, lbl []uint32) {
+	if v < 0 || int(v) >= len(s.live) {
+		return nil, nil
+	}
+	lo, hi := s.outStart[v], s.outStart[v+1]
+	return s.outDst[lo:hi], s.outLbl[lo:hi]
+}
+
+// In returns v's in-edge sources (ascending) and the parallel label
+// indices; labels read in the src→v direction. The slices alias the
+// snapshot's arrays and must not be mutated.
+func (s *Snapshot) In(v ID) (dst []ID, lbl []uint32) {
+	if v < 0 || int(v) >= len(s.live) {
+		return nil, nil
+	}
+	lo, hi := s.inStart[v], s.inStart[v+1]
+	return s.inDst[lo:hi], s.inLbl[lo:hi]
+}
+
+// Label resolves an interned label index from Out or In.
+func (s *Snapshot) Label(i uint32) LabelPair { return s.labels[i] }

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"takegrant/internal/rights"
+)
+
+// randomMutatedGraph builds a random graph and runs a burst of mutations —
+// adds, removes, implicit labels, vertex deletions — so the snapshot under
+// test covers holes, dead vertices and label churn, not just fresh builds.
+func randomMutatedGraph(t *testing.T, rng *rand.Rand) *Graph {
+	t.Helper()
+	g := New(nil)
+	n := 3 + rng.Intn(10)
+	ids := make([]ID, n)
+	for i := 0; i < n; i++ {
+		var err error
+		name := fmt.Sprintf("v%d", i)
+		if rng.Intn(3) < 2 {
+			ids[i], err = g.AddSubject(name)
+		} else {
+			ids[i], err = g.AddObject(name)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < rng.Intn(4*n); e++ {
+		a, b := ids[rng.Intn(n)], ids[rng.Intn(n)]
+		if a == b {
+			continue
+		}
+		set := rights.Set(1 + rng.Intn(15))
+		if rng.Intn(4) == 0 {
+			_ = g.AddImplicit(a, b, set)
+		} else {
+			_ = g.AddExplicit(a, b, set)
+		}
+	}
+	for m := 0; m < rng.Intn(n); m++ {
+		a, b := ids[rng.Intn(n)], ids[rng.Intn(n)]
+		if a != b && g.Valid(a) && g.Valid(b) {
+			_ = g.RemoveExplicit(a, b, rights.Set(1+rng.Intn(15)))
+		}
+	}
+	if rng.Intn(3) == 0 {
+		v := ids[rng.Intn(n)]
+		if g.Valid(v) && g.NumVertices() > 2 {
+			_ = g.DeleteVertex(v)
+		}
+	}
+	return g
+}
+
+// TestSnapshotMatchesAdjacency: the frozen CSR listings must agree with
+// the authoritative map-based Out/In on every vertex of random graphs —
+// same neighbours, same order, same labels.
+func TestSnapshotMatchesAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		g := randomMutatedGraph(t, rng)
+		snap := g.Snapshot()
+		if snap.Revision() != g.Revision() {
+			t.Fatalf("trial %d: snapshot rev %d, graph rev %d", trial, snap.Revision(), g.Revision())
+		}
+		if snap.Cap() != g.Cap() {
+			t.Fatalf("trial %d: snapshot cap %d, graph cap %d", trial, snap.Cap(), g.Cap())
+		}
+		edges := 0
+		for i := 0; i < g.Cap(); i++ {
+			v := ID(i)
+			if !g.Valid(v) {
+				if snap.Live(v) {
+					t.Fatalf("trial %d: dead vertex %d live in snapshot", trial, v)
+				}
+				if dst, _ := snap.Out(v); len(dst) != 0 {
+					t.Fatalf("trial %d: dead vertex %d has %d out edges", trial, v, len(dst))
+				}
+				continue
+			}
+			if snap.IsSubject(v) != g.IsSubject(v) {
+				t.Fatalf("trial %d: vertex %d kind mismatch", trial, v)
+			}
+			checkDirection := func(dir string, want []HalfEdge, dst []ID, lbl []uint32) {
+				if len(dst) != len(want) {
+					t.Fatalf("trial %d: %s(%d): %d neighbours, want %d", trial, dir, v, len(dst), len(want))
+				}
+				for j, h := range want {
+					if dst[j] != h.Other {
+						t.Fatalf("trial %d: %s(%d)[%d] = %d, want %d (sorted order)", trial, dir, v, j, dst[j], h.Other)
+					}
+					lp := snap.Label(lbl[j])
+					if lp.Explicit != h.Explicit || lp.Implicit != h.Implicit {
+						t.Fatalf("trial %d: %s(%d)[%d] label (%v,%v), want (%v,%v)",
+							trial, dir, v, j, lp.Explicit, lp.Implicit, h.Explicit, h.Implicit)
+					}
+				}
+			}
+			outDst, outLbl := snap.Out(v)
+			checkDirection("Out", g.Out(v), outDst, outLbl)
+			inDst, inLbl := snap.In(v)
+			checkDirection("In", g.In(v), inDst, inLbl)
+			edges += len(outDst)
+		}
+		if edges != snap.NumEdges() || edges != g.NumEdges() {
+			t.Fatalf("trial %d: edge counts disagree: walked %d, snapshot %d, graph %d",
+				trial, edges, snap.NumEdges(), g.NumEdges())
+		}
+	}
+}
+
+// TestSnapshotLabelInterning: the label table deduplicates — it can never
+// hold more entries than the graph has edges, and equal label pairs on
+// different edges share one index.
+func TestSnapshotLabelInterning(t *testing.T) {
+	g := New(nil)
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	c := g.MustSubject("c")
+	d := g.MustObject("d")
+	for _, pair := range [][2]ID{{a, b}, {b, c}, {c, d}, {a, d}} {
+		if err := g.AddExplicit(pair[0], pair[1], rights.TG); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := g.Snapshot()
+	if snap.NumLabels() != 1 {
+		t.Errorf("4 identical labels interned to %d entries, want 1", snap.NumLabels())
+	}
+	if err := g.AddExplicit(b, d, rights.RW); err != nil {
+		t.Fatal(err)
+	}
+	snap = g.Snapshot()
+	if snap.NumLabels() != 2 {
+		t.Errorf("two distinct labels interned to %d entries, want 2", snap.NumLabels())
+	}
+}
+
+// TestSnapshotIdentityPerRevision: the snapshot is built once per revision
+// and shared — repeated calls return the same object until a mutation, and
+// the superseded snapshot stays frozen at its revision's contents.
+func TestSnapshotIdentityPerRevision(t *testing.T) {
+	g := New(nil)
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	if err := g.AddExplicit(a, b, rights.TG); err != nil {
+		t.Fatal(err)
+	}
+	s1 := g.Snapshot()
+	if s2 := g.Snapshot(); s2 != s1 {
+		t.Fatal("unchanged graph rebuilt its snapshot")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if s3 := g.Snapshot(); s3 != s1 {
+		t.Fatal("read-only queries must not invalidate the snapshot")
+	}
+	c := g.MustObject("c")
+	if err := g.AddExplicit(b, c, rights.RW); err != nil {
+		t.Fatal(err)
+	}
+	s4 := g.Snapshot()
+	if s4 == s1 {
+		t.Fatal("mutation did not refresh the snapshot")
+	}
+	if s4.Revision() != g.Revision() {
+		t.Fatalf("fresh snapshot rev %d, graph rev %d", s4.Revision(), g.Revision())
+	}
+	// The superseded snapshot still serves its old revision's view: one
+	// edge, no vertex c.
+	if s1.NumEdges() != 1 {
+		t.Errorf("old snapshot now reports %d edges, want its frozen 1", s1.NumEdges())
+	}
+	if s1.Live(c) {
+		t.Error("old snapshot sees a vertex added after it was frozen")
+	}
+}

@@ -1,6 +1,8 @@
 package relang
 
 import (
+	"sync"
+
 	"takegrant/internal/budget"
 	"takegrant/internal/graph"
 	"takegrant/internal/rights"
@@ -53,8 +55,10 @@ type Result struct {
 	n      *NFA
 	states int
 	// parent[idx] is the predecessor product index (selfParent for
-	// starts, -1 for unvisited); steps[idx] is the edge taken (Sym.Right
-	// == stepNone for ε-moves and starts).
+	// starts); steps[idx] is the edge taken (Sym.Right == stepNone for
+	// ε-moves and starts). Both are retained only for Trace searches: the
+	// untraced hot path runs on pooled scratch arrays returned to the pool
+	// before Search returns.
 	parent  []int32
 	steps   []Step
 	accepts map[graph.ID]int32 // first accepting product index per vertex
@@ -65,12 +69,46 @@ type Result struct {
 }
 
 const (
-	unvisited  = int32(-1)
 	selfParent = int32(-2)
 	stepNone   = rights.Right(255)
 )
 
-func (r *Result) key(v graph.ID, st int) int32 { return int32(int(v)*r.states + st) }
+// scratch is the reusable per-search working set. Visited marking uses an
+// epoch stamp instead of refilling parent with "unvisited" on every call:
+// a slot is visited iff stamp[k] == epoch, so starting a search is O(1)
+// after the first use at a given size. Pooled via scratchPool — the
+// decision procedures run several searches per query and millions per
+// benchmark sweep, and the per-call make([]int32, V·Q) was the dominant
+// allocation of the whole analysis layer.
+type scratch struct {
+	parent []int32
+	stamp  []uint32
+	epoch  uint32
+	queue  []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// reset prepares the scratch for a search over size product states.
+func (sc *scratch) reset(size int) {
+	if cap(sc.parent) < size {
+		sc.parent = make([]int32, size)
+		sc.stamp = make([]uint32, size)
+		sc.epoch = 0
+	} else {
+		sc.parent = sc.parent[:size]
+		sc.stamp = sc.stamp[:size]
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale stamps could alias the new epoch
+		full := sc.stamp[:cap(sc.stamp)]
+		for i := range full {
+			full[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.queue = sc.queue[:0]
+}
 
 // Search explores the product of the protection graph with the automaton,
 // starting at every vertex in starts (in the automaton's start state), and
@@ -81,27 +119,51 @@ func (r *Result) key(v graph.ID, st int) int32 { return int32(int(v)*r.states + 
 // language in this model that is the intended semantics — the rewriting
 // rules that realise a span, bridge or connection are insensitive to
 // revisits (see analysis package documentation).
+//
+// Adjacency comes from the graph's frozen per-revision CSR snapshot
+// (graph.Snapshot): concurrent searches share one immutable flat-array
+// view instead of each sorting map iterations.
 func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
+	snap := g.Snapshot()
+	numStates := len(n.states)
+	size := snap.Cap() * numStates
 	res := &Result{
 		g:       g,
 		n:       n,
-		states:  len(n.states),
-		parent:  make([]int32, g.Cap()*len(n.states)),
+		states:  numStates,
 		accepts: make(map[graph.ID]int32),
 	}
+
+	var (
+		sc     *scratch
+		parent []int32
+		stamp  []uint32
+		epoch  uint32
+		queue  []int32
+	)
 	if opts.Trace {
-		res.steps = make([]Step, g.Cap()*len(n.states))
+		// Traced searches (witness extraction) keep parent/steps alive on
+		// the Result, so they get fresh arrays; tracing is the cold path.
+		parent = make([]int32, size)
+		stamp = make([]uint32, size)
+		epoch = 1
+		res.parent = parent
+		res.steps = make([]Step, size)
+		queue = make([]int32, 0, len(starts)*2)
+	} else {
+		sc = scratchPool.Get().(*scratch)
+		sc.reset(size)
+		parent, stamp, epoch = sc.parent, sc.stamp, sc.epoch
+		queue = sc.queue
 	}
-	for i := range res.parent {
-		res.parent[i] = unvisited
-	}
-	queue := make([]int32, 0, len(starts)*2)
-	add := func(v graph.ID, st int, parent int32, step Step) {
-		k := res.key(v, st)
-		if res.parent[k] != unvisited {
+
+	add := func(v graph.ID, st int, par int32, step Step) {
+		k := int32(int(v)*numStates + st)
+		if stamp[k] == epoch {
 			return
 		}
-		res.parent[k] = parent
+		stamp[k] = epoch
+		parent[k] = par
 		if res.steps != nil {
 			res.steps[k] = step
 		}
@@ -116,13 +178,8 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 	allowed := func(v graph.ID) bool { return opts.Allow == nil || opts.Allow(v) }
 	noStep := Step{Sym: Symbol{Right: stepNone}}
 
-	// Sorted adjacency comes from the graph's revision-cached snapshot:
-	// building it per product state (or even per search) dominates
-	// everything else.
-	outAdj, inAdj := g.Adjacency()
-
 	for _, v := range starts {
-		if !g.Valid(v) {
+		if !snap.Live(v) {
 			continue
 		}
 		add(v, n.start, selfParent, noStep)
@@ -136,9 +193,9 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 			}
 		}
 		k := queue[head]
-		v := graph.ID(int(k) / res.states)
-		stIdx := int(k) % res.states
-		vSubj := g.IsSubject(v)
+		v := graph.ID(int(k) / numStates)
+		stIdx := int(k) % numStates
+		vSubj := snap.IsSubject(v)
 		// ε-moves stay on the same vertex.
 		for _, e := range n.states[stIdx].eps {
 			if e.needSubject && !vSubj {
@@ -151,28 +208,27 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 		if len(st.syms) == 0 {
 			continue
 		}
-		outs, ins := outAdj[v], inAdj[v]
+		outDst, outLbl := snap.Out(v)
+		inDst, inLbl := snap.In(v)
 		for _, tr := range st.syms {
 			if tr.sym.Dir == Fwd {
-				res.scanned += len(outs)
-				for _, h := range outs {
-					if !labelFor(h, opts.View).Has(tr.sym.Right) {
+				res.scanned += len(outDst)
+				for j, w := range outDst {
+					if !labelFor(snap.Label(outLbl[j]), opts.View).Has(tr.sym.Right) {
 						continue
 					}
-					w := h.Other
-					if !allowed(w) || !guardOK(tr.guard, vSubj, g.IsSubject(w)) {
+					if !allowed(w) || !guardOK(tr.guard, vSubj, snap.IsSubject(w)) {
 						continue
 					}
 					add(w, tr.to, k, Step{From: v, To: w, Sym: tr.sym})
 				}
 			} else {
-				res.scanned += len(ins)
-				for _, h := range ins {
-					if !labelFor(h, opts.View).Has(tr.sym.Right) {
+				res.scanned += len(inDst)
+				for j, w := range inDst {
+					if !labelFor(snap.Label(inLbl[j]), opts.View).Has(tr.sym.Right) {
 						continue
 					}
-					w := h.Other
-					if !allowed(w) || !guardOK(tr.guard, vSubj, g.IsSubject(w)) {
+					if !allowed(w) || !guardOK(tr.guard, vSubj, snap.IsSubject(w)) {
 						continue
 					}
 					add(w, tr.to, k, Step{From: v, To: w, Sym: tr.sym})
@@ -181,6 +237,10 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 		}
 	}
 	res.visited = len(queue)
+	if sc != nil {
+		sc.queue = queue // keep the (possibly grown) backing array
+		scratchPool.Put(sc)
+	}
 	return res
 }
 
@@ -199,11 +259,11 @@ func (r *Result) Scanned() int { return r.scanned }
 // negative verdict.
 func (r *Result) Err() error { return r.err }
 
-func labelFor(h graph.HalfEdge, v View) rights.Set {
+func labelFor(l graph.LabelPair, v View) rights.Set {
 	if v == ViewCombined {
-		return h.Combined()
+		return l.Combined()
 	}
-	return h.Explicit
+	return l.Explicit
 }
 
 // Accepted reports whether v is reachable in an accepting state.
@@ -245,6 +305,9 @@ func (r *Result) Witness(v graph.ID) ([]Step, bool) {
 
 // Origin returns the start vertex from which v was accepted.
 func (r *Result) Origin(v graph.ID) (graph.ID, bool) {
+	if r.parent == nil {
+		panic("relang: Origin needs a Search run with Options.Trace")
+	}
 	k, ok := r.accepts[v]
 	if !ok {
 		return graph.None, false

@@ -9,6 +9,7 @@ import (
 // NFA paths, so witnesses come from the NFA search). Exposed for the
 // DFA-vs-NFA ablation benchmark.
 func SearchDFA(g *graph.Graph, d *DFA, starts []graph.ID, opts Options) map[graph.ID]bool {
+	snap := g.Snapshot()
 	type key struct {
 		v  graph.ID
 		st int
@@ -28,32 +29,34 @@ func SearchDFA(g *graph.Graph, d *DFA, starts []graph.ID, opts Options) map[grap
 	}
 	allowed := func(v graph.ID) bool { return opts.Allow == nil || opts.Allow(v) }
 	for _, v := range starts {
-		if !g.Valid(v) {
+		if !snap.Live(v) {
 			continue
 		}
-		add(key{v, d.Start(g.IsSubject(v))})
+		add(key{v, d.Start(snap.IsSubject(v))})
 	}
 	for head := 0; head < len(queue); head++ {
 		k := queue[head]
-		for _, h := range g.Out(k.v) {
-			if !allowed(h.Other) {
+		outDst, outLbl := snap.Out(k.v)
+		for j, w := range outDst {
+			if !allowed(w) {
 				continue
 			}
-			headSubj := g.IsSubject(h.Other)
-			for _, r := range labelFor(h, opts.View).Rights() {
+			headSubj := snap.IsSubject(w)
+			for _, r := range labelFor(snap.Label(outLbl[j]), opts.View).Rights() {
 				if to := d.Move(k.st, Symbol{Right: r, Dir: Fwd}, headSubj); to != dead {
-					add(key{h.Other, to})
+					add(key{w, to})
 				}
 			}
 		}
-		for _, h := range g.In(k.v) {
-			if !allowed(h.Other) {
+		inDst, inLbl := snap.In(k.v)
+		for j, w := range inDst {
+			if !allowed(w) {
 				continue
 			}
-			headSubj := g.IsSubject(h.Other)
-			for _, r := range labelFor(h, opts.View).Rights() {
+			headSubj := snap.IsSubject(w)
+			for _, r := range labelFor(snap.Label(inLbl[j]), opts.View).Rights() {
 				if to := d.Move(k.st, Symbol{Right: r, Dir: Rev}, headSubj); to != dead {
-					add(key{h.Other, to})
+					add(key{w, to})
 				}
 			}
 		}

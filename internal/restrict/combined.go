@@ -107,14 +107,30 @@ func addedExplicitEdge(g *graph.Graph, app rules.Application) (src, dst graph.ID
 // Implicit edges are included: an implicit read edge that reads up means a
 // forbidden flow has already been exhibited.
 func (c *Combined) Audit(g *graph.Graph) []EdgeViolation {
+	// The scan walks the frozen CSR snapshot directly — no []Edge
+	// materialization, no per-call sort — and pre-resolves which interned
+	// labels carry r or w at all, so edges that cannot violate (t, g, ...)
+	// cost one table lookup.
+	snap := g.Snapshot()
+	relevant := make([]rights.Set, snap.NumLabels())
+	for i := range relevant {
+		relevant[i] = snap.Label(uint32(i)).Combined().Intersect(rights.RW)
+	}
 	var out []EdgeViolation
-	for _, e := range g.Edges() {
-		all := e.Explicit.Union(e.Implicit)
-		if all.Has(rights.Read) && c.lower(e.Src, e.Dst) {
-			out = append(out, EdgeViolation{Src: e.Src, Dst: e.Dst, Right: rights.Read, Rule: "a"})
-		}
-		if all.Has(rights.Write) && c.lower(e.Dst, e.Src) {
-			out = append(out, EdgeViolation{Src: e.Src, Dst: e.Dst, Right: rights.Write, Rule: "b"})
+	for i := 0; i < snap.Cap(); i++ {
+		src := graph.ID(i)
+		dsts, lbls := snap.Out(src)
+		for j, dst := range dsts {
+			rw := relevant[lbls[j]]
+			if rw.Empty() {
+				continue
+			}
+			if rw.Has(rights.Read) && c.lower(src, dst) {
+				out = append(out, EdgeViolation{Src: src, Dst: dst, Right: rights.Read, Rule: "a"})
+			}
+			if rw.Has(rights.Write) && c.lower(dst, src) {
+				out = append(out, EdgeViolation{Src: src, Dst: dst, Right: rights.Write, Rule: "b"})
+			}
 		}
 	}
 	return out

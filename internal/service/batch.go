@@ -1,0 +1,234 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/budget"
+	"takegrant/internal/graph"
+	"takegrant/internal/obs"
+	"takegrant/internal/rights"
+	"takegrant/internal/steal"
+)
+
+// maxBatchItems bounds one POST /query/batch request: a batch is a
+// convenience for fanning related queries over one snapshot, not a bulk
+// import channel.
+const maxBatchItems = 1024
+
+// BatchQuery is one item of a POST /query/batch request body (a JSON
+// array of these).
+type BatchQuery struct {
+	// ID is an opaque client correlation tag echoed on the result.
+	ID string `json:"id,omitempty"`
+	// Kind selects the decision procedure: can-share, can-know,
+	// can-know-f or can-steal.
+	Kind string `json:"kind"`
+	// Right names the right for can-share and can-steal.
+	Right string `json:"right,omitempty"`
+	// X and Y are vertex names per the predicate's roles.
+	X string `json:"x"`
+	Y string `json:"y"`
+}
+
+// BatchResult is one item's outcome. Status mirrors the HTTP status the
+// equivalent single-query route would have returned: 200 with a verdict,
+// 400 on a malformed item, 503 with code budget_exhausted when the item's
+// work budget tripped (never a wrong verdict), 500 on an internal panic.
+type BatchResult struct {
+	ID      string `json:"id,omitempty"`
+	Status  int    `json:"status"`
+	Verdict *bool  `json:"verdict,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Code    string `json:"code,omitempty"`
+}
+
+// BatchResponse is the POST /query/batch response. Revision and
+// Generation identify the single graph state every item was decided
+// against: the whole batch runs under one read-lock acquisition, so a
+// concurrent mutation either precedes all items or follows all of them.
+type BatchResponse struct {
+	Revision   uint64        `json:"revision"`
+	Generation uint64        `json:"generation"`
+	Results    []BatchResult `json:"results"`
+}
+
+// batchCounters tracks batch traffic for /stats and /metrics.
+type batchCounters struct {
+	requests   atomic.Uint64
+	items      atomic.Uint64
+	itemErrors atomic.Uint64 // items answered with a non-200 status
+}
+
+// BatchStats is the batch endpoint's slice of the /stats report.
+type BatchStats struct {
+	Requests   uint64 `json:"requests"`
+	Items      uint64 `json:"items"`
+	ItemErrors uint64 `json:"item_errors"`
+}
+
+// handleBatch serves POST /query/batch: N decision queries fanned across
+// a bounded worker pool over the shared frozen snapshot. Every item gets
+// its own work budget (the same limits a single query would get) and its
+// own obs probe; results come back in request order. The route counts as
+// ONE heavy request for the -max-inflight semaphore — the worker pool, not
+// the item count, bounds its parallelism.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		writeErrCode(w, http.StatusUnsupportedMediaType, "unsupported_media_type",
+			fmt.Errorf("POST /query/batch takes application/json, not %q", ct))
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var queries []BatchQuery
+	if err := dec.Decode(&queries); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(queries) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(queries) > maxBatchItems {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds the %d-item limit", len(queries), maxBatchItems))
+		return
+	}
+
+	// One read-lock acquisition pins one revision for every item.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.batch.requests.Add(1)
+	s.batch.items.Add(uint64(len(queries)))
+
+	results := make([]BatchResult, len(queries))
+	workers := s.cfg.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(results) {
+					return
+				}
+				results[i] = s.runBatchItem(r, queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range results {
+		if results[i].Status != http.StatusOK {
+			s.batch.itemErrors.Add(1)
+		}
+	}
+	writeJSON(w, BatchResponse{
+		Revision:   s.g.Revision(),
+		Generation: s.gen,
+		Results:    results,
+	})
+}
+
+// runBatchItem decides one batch item under its own budget and probe.
+// The caller holds the read lock. A panic inside a decision procedure is
+// contained to the item: counted, reported as its 500, the rest of the
+// batch unaffected.
+func (s *Server) runBatchItem(r *http.Request, q BatchQuery) (res BatchResult) {
+	res.ID = q.ID
+	p := obs.NewProbe("/query/batch")
+	defer s.phases.Observe(p)
+	defer func() {
+		if v := recover(); v != nil {
+			s.faults.panics.Add(1)
+			res = BatchResult{
+				ID:     q.ID,
+				Status: http.StatusInternalServerError,
+				Error:  fmt.Sprintf("internal panic: %v", v),
+				Code:   "internal_panic",
+			}
+		}
+	}()
+
+	fail := func(status int, code string, err error) BatchResult {
+		return BatchResult{ID: q.ID, Status: status, Error: err.Error(), Code: code}
+	}
+	lookup := func(name string) (graph.ID, error) {
+		v, ok := s.g.Lookup(name)
+		if !ok {
+			return graph.None, fmt.Errorf("unknown vertex %q", name)
+		}
+		return v, nil
+	}
+	x, err := lookup(q.X)
+	if err != nil {
+		return fail(http.StatusBadRequest, "", err)
+	}
+	y, err := lookup(q.Y)
+	if err != nil {
+		return fail(http.StatusBadRequest, "", err)
+	}
+	var rt rights.Right
+	switch q.Kind {
+	case "can-share", "can-steal":
+		var ok bool
+		if rt, ok = s.g.Universe().Lookup(q.Right); !ok {
+			return fail(http.StatusBadRequest, "", fmt.Errorf("unknown right %q", q.Right))
+		}
+	}
+
+	// The same per-query budget a single-query route would arm, and the
+	// same cache kind/params keys — a batch item and its single-query twin
+	// share cache entries at the same revision.
+	b := budget.New(r.Context(), s.cfg.MaxVisited, s.cfg.QueryTimeout)
+	var v any
+	switch q.Kind {
+	case "can-share":
+		v, err = s.cachedErr(p, "can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {
+			return analysis.CanShareObs(s.g, rt, x, y, p, b)
+		})
+	case "can-know":
+		v, err = s.cachedErr(p, "can-know", fmt.Sprintf("%d:%d", x, y), func() (any, error) {
+			return analysis.CanKnowObs(s.g, x, y, p, b)
+		})
+	case "can-know-f":
+		v, err = s.cachedErr(p, "can-know-f", fmt.Sprintf("%d:%d", x, y), func() (any, error) {
+			return analysis.CanKnowFObs(s.g, x, y, p, b)
+		})
+	case "can-steal":
+		v, err = s.cachedErr(p, "can-steal", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {
+			return steal.CanSteal(s.g, rt, x, y), nil
+		})
+	default:
+		return fail(http.StatusBadRequest, "", fmt.Errorf("unknown kind %q", q.Kind))
+	}
+	if err != nil {
+		if errors.Is(err, budget.ErrExhausted) {
+			s.faults.budgetExhausted.Add(1)
+			return fail(http.StatusServiceUnavailable, "budget_exhausted", err)
+		}
+		return fail(http.StatusInternalServerError, "", err)
+	}
+	verdict := v.(bool)
+	return BatchResult{ID: q.ID, Status: http.StatusOK, Verdict: &verdict}
+}

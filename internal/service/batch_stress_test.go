@@ -1,0 +1,203 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Two fig61 variants the stress mutator alternates between. Dropping
+// mid's r-edge to secret removes the only source low can reach, so
+// can•share(r, low, secret) flips verdict with every swap — a reader mixing
+// revisions produces a detectably wrong answer, not a silently stale one.
+const stressGraphA = `
+subject low
+subject high
+object lowbb
+object secret
+object mid
+edge low lowbb r,w
+edge high secret r,w
+edge high lowbb r
+edge low mid t
+edge mid secret r
+`
+
+const stressGraphB = `
+subject low
+subject high
+object lowbb
+object secret
+object mid
+edge low lowbb r,w
+edge high secret r,w
+edge high lowbb r
+edge low mid t
+`
+
+// stressQueries is the fixed query set every batch carries.
+var stressQueries = []BatchQuery{
+	{ID: "share", Kind: "can-share", Right: "r", X: "low", Y: "secret"},
+	{ID: "know", Kind: "can-know", X: "low", Y: "secret"},
+	{ID: "knowf", Kind: "can-know-f", X: "low", Y: "secret"},
+	{ID: "steal", Kind: "can-steal", Right: "r", X: "low", Y: "secret"},
+	{ID: "held", Kind: "can-share", Right: "r", X: "high", Y: "lowbb"},
+}
+
+// stressState keys the oracle table: a batch response names the exact
+// graph state it was decided against.
+type stressState struct{ gen, rev uint64 }
+
+// runStressScript drives the deterministic mutation sequence against a
+// server, calling visit after every accepted mutation. The sequence only
+// uses deterministic operations (PUT /graph swaps, a guarded remove), so
+// two servers fed the same script march through identical (generation,
+// revision) states.
+func runStressScript(t *testing.T, h http.Handler, cycles int, visit func()) {
+	t.Helper()
+	apply := func(body string) {
+		req := httptest.NewRequest(http.MethodPost, "/apply", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if rec := serve(t, h, req, nil); rec.Code != http.StatusOK {
+			t.Fatalf("POST /apply %s: %d %s", body, rec.Code, rec.Body.String())
+		}
+	}
+	for i := 0; i < cycles; i++ {
+		putGraph(t, h, stressGraphA)
+		visit()
+		apply(`{"op":"remove","x":"low","y":"lowbb","rights":"w"}`)
+		visit()
+		putGraph(t, h, stressGraphB)
+		visit()
+		apply(`{"op":"remove","x":"low","y":"lowbb","rights":"w"}`)
+		visit()
+	}
+}
+
+// TestFaultBatchStressMatchesSequential hammers POST /query/batch from
+// several goroutines while a mutator swaps and edits the graph, and checks
+// every batch against an oracle built sequentially beforehand: for each
+// (generation, revision) the mutation script can produce, the verdicts the
+// single-query routes return at that state. Any torn read — a batch mixing
+// two revisions, or a stale snapshot surviving a mutation — either reports
+// a (gen, rev) the script never produced or disagrees with the oracle.
+// Run with -race: the snapshot and island index are shared across workers.
+func TestFaultBatchStressMatchesSequential(t *testing.T) {
+	const cycles = 6
+	const readers = 4
+
+	// Sequential oracle run. The initial install is part of the sequence —
+	// the live server repeats it — so the (generation, revision) trajectories
+	// of the two servers coincide exactly.
+	ref := New()
+	rh := ref.Handler()
+	oracle := make(map[stressState][]bool)
+	record := func() {
+		st := ref.Stats()
+		verdicts := make([]bool, len(stressQueries))
+		for i, q := range stressQueries {
+			verdicts[i] = singleVerdict(t, rh, q)
+		}
+		oracle[stressState{st.Generation, st.Revision}] = verdicts
+	}
+	putGraph(t, rh, stressGraphA)
+	record()
+	runStressScript(t, rh, cycles, record)
+	// The two variants must actually disagree somewhere, or the oracle
+	// cannot catch revision mixing.
+	flips := false
+	var first []bool
+	for _, v := range oracle {
+		if first == nil {
+			first = v
+			continue
+		}
+		for i := range v {
+			if v[i] != first[i] {
+				flips = true
+			}
+		}
+	}
+	if !flips {
+		t.Fatal("stress script never changes any verdict; the oracle is vacuous")
+	}
+
+	// Concurrent run against a fresh server marching through the same states.
+	srv := New()
+	h := srv.Handler()
+	putGraph(t, h, stressGraphA) // install before readers start
+	body, err := json.Marshal(stressQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop, failed atomic.Bool
+	var checked atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				t.Errorf(format, args...)
+				failed.Store(true)
+			}
+			for !stop.Load() && !failed.Load() {
+				req := httptest.NewRequest(http.MethodPost, "/query/batch", bytes.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					fail("batch: %d %s", rec.Code, rec.Body.String())
+					return
+				}
+				var resp BatchResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					fail("batch: bad JSON %q: %v", rec.Body.String(), err)
+					return
+				}
+				want, ok := oracle[stressState{resp.Generation, resp.Revision}]
+				if !ok {
+					fail("batch reported (gen=%d, rev=%d), a state the script never produced",
+						resp.Generation, resp.Revision)
+					return
+				}
+				for i, res := range resp.Results {
+					if res.Status != http.StatusOK || res.Verdict == nil {
+						fail("item %q at (gen=%d, rev=%d): status %d error %q",
+							res.ID, resp.Generation, resp.Revision, res.Status, res.Error)
+						return
+					}
+					if *res.Verdict != want[i] {
+						fail("item %q at (gen=%d, rev=%d): batch says %v, sequential oracle says %v",
+							res.ID, resp.Generation, resp.Revision, *res.Verdict, want[i])
+						return
+					}
+				}
+				checked.Add(1)
+			}
+		}()
+	}
+	// Hold each graph state until at least one batch lands in it, so the
+	// mutator cannot outrun the readers and leave states unobserved.
+	waitProgress := func() {
+		start := checked.Load()
+		deadline := time.Now().Add(2 * time.Second)
+		for checked.Load() == start && !failed.Load() && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	waitProgress()
+	runStressScript(t, h, cycles, waitProgress)
+	stop.Store(true)
+	wg.Wait()
+	if checked.Load() == 0 {
+		t.Fatal("no batch completed during the stress window")
+	}
+	t.Logf("verified %d batches against the sequential oracle", checked.Load())
+}

@@ -1,0 +1,234 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postBatch drives one POST /query/batch with the given items and decodes
+// the response, returning the recorder for status inspection.
+func postBatch(t *testing.T, h http.Handler, items []BatchQuery, out *BatchResponse) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/query/batch", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	return serve(t, h, req, out)
+}
+
+// singleVerdict asks the equivalent single-query route and returns its
+// verdict.
+func singleVerdict(t *testing.T, h http.Handler, q BatchQuery) bool {
+	t.Helper()
+	var url, key string
+	switch q.Kind {
+	case "can-share":
+		url = fmt.Sprintf("/query/can-share?right=%s&x=%s&y=%s", q.Right, q.X, q.Y)
+		key = "can_share"
+	case "can-know":
+		url = fmt.Sprintf("/query/can-know?x=%s&y=%s", q.X, q.Y)
+		key = "can_know"
+	case "can-know-f":
+		url = fmt.Sprintf("/query/can-know?defacto=1&x=%s&y=%s", q.X, q.Y)
+		key = "can_know_f"
+	case "can-steal":
+		url = fmt.Sprintf("/query/can-steal?right=%s&x=%s&y=%s", q.Right, q.X, q.Y)
+		key = "can_steal"
+	default:
+		t.Fatalf("unknown kind %q", q.Kind)
+	}
+	var body map[string]bool
+	rec := serve(t, h, httptest.NewRequest(http.MethodGet, url, nil), &body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, rec.Code, rec.Body.String())
+	}
+	v, ok := body[key]
+	if !ok {
+		t.Fatalf("GET %s: no %q in %v", url, key, body)
+	}
+	return v
+}
+
+// TestBatchParityWithSingleQueries proves the contract that matters: every
+// batch item's verdict is byte-identical to what the single-query route
+// answers for the same predicate at the same revision.
+func TestBatchParityWithSingleQueries(t *testing.T) {
+	srv := New()
+	h := srv.Handler()
+	putSpecimen(t, h, "fig61")
+
+	items := []BatchQuery{
+		{ID: "a", Kind: "can-share", Right: "r", X: "low", Y: "secret"},
+		{ID: "b", Kind: "can-share", Right: "w", X: "low", Y: "secret"},
+		{ID: "c", Kind: "can-know", X: "low", Y: "secret"},
+		{ID: "d", Kind: "can-know-f", X: "low", Y: "secret"},
+		{ID: "e", Kind: "can-steal", Right: "r", X: "low", Y: "secret"},
+		{ID: "f", Kind: "can-share", Right: "r", X: "high", Y: "lowbb"},
+	}
+	var resp BatchResponse
+	if rec := postBatch(t, h, items, &resp); rec.Code != http.StatusOK {
+		t.Fatalf("POST /query/batch: %d %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Results) != len(items) {
+		t.Fatalf("got %d results for %d items", len(resp.Results), len(items))
+	}
+	st := srv.Stats()
+	if resp.Revision != st.Revision || resp.Generation != st.Generation {
+		t.Errorf("batch pinned (gen=%d, rev=%d), stats report (gen=%d, rev=%d)",
+			resp.Generation, resp.Revision, st.Generation, st.Revision)
+	}
+	for i, res := range resp.Results {
+		if res.ID != items[i].ID {
+			t.Errorf("result %d: ID %q, want %q (order must match the request)", i, res.ID, items[i].ID)
+		}
+		if res.Status != http.StatusOK || res.Verdict == nil {
+			t.Errorf("item %q: status %d error %q, want 200 with a verdict", res.ID, res.Status, res.Error)
+			continue
+		}
+		if want := singleVerdict(t, h, items[i]); *res.Verdict != want {
+			t.Errorf("item %q: batch says %v, single query says %v", res.ID, *res.Verdict, want)
+		}
+	}
+	if st.Batch.Requests != 1 || st.Batch.Items != uint64(len(items)) || st.Batch.ItemErrors != 0 {
+		t.Errorf("batch stats = %+v, want 1 request / %d items / 0 errors", st.Batch, len(items))
+	}
+}
+
+// TestBatchPerItemErrors: a malformed item fails alone with its own 400;
+// the batch still answers 200 and the healthy items keep their verdicts.
+func TestBatchPerItemErrors(t *testing.T) {
+	srv := New()
+	h := srv.Handler()
+	putSpecimen(t, h, "fig61")
+
+	items := []BatchQuery{
+		{ID: "ok", Kind: "can-share", Right: "r", X: "low", Y: "secret"},
+		{ID: "novertex", Kind: "can-share", Right: "r", X: "nobody", Y: "secret"},
+		{ID: "noright", Kind: "can-share", Right: "q", X: "low", Y: "secret"},
+		{ID: "nokind", Kind: "can-maybe", X: "low", Y: "secret"},
+	}
+	var resp BatchResponse
+	if rec := postBatch(t, h, items, &resp); rec.Code != http.StatusOK {
+		t.Fatalf("POST /query/batch: %d %s", rec.Code, rec.Body.String())
+	}
+	if resp.Results[0].Status != http.StatusOK || resp.Results[0].Verdict == nil {
+		t.Errorf("healthy item: %+v, want a 200 verdict", resp.Results[0])
+	}
+	for _, res := range resp.Results[1:] {
+		if res.Status != http.StatusBadRequest || res.Error == "" {
+			t.Errorf("item %q: status %d error %q, want its own 400", res.ID, res.Status, res.Error)
+		}
+		if res.Verdict != nil {
+			t.Errorf("item %q: failed item must not carry a verdict", res.ID)
+		}
+	}
+	if st := srv.Stats(); st.Batch.ItemErrors != 3 {
+		t.Errorf("item_errors = %d, want 3", st.Batch.ItemErrors)
+	}
+}
+
+// TestBatchRequestValidation covers the request-level refusals: wrong
+// method, wrong media type, unknown fields, empty and oversized batches.
+func TestBatchRequestValidation(t *testing.T) {
+	srv := New()
+	h := srv.Handler()
+	putSpecimen(t, h, "fig61")
+
+	post := func(body, ct string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/query/batch", strings.NewReader(body))
+		req.Header.Set("Content-Type", ct)
+		return serve(t, h, req, nil)
+	}
+	if rec := serve(t, h, httptest.NewRequest(http.MethodGet, "/query/batch", nil), nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET: %d, want 405", rec.Code)
+	}
+	if rec := post(`[]`, "text/plain"); rec.Code != http.StatusUnsupportedMediaType {
+		t.Errorf("text/plain: %d, want 415", rec.Code)
+	}
+	if rec := post(`[{"kind":"can-share","sides":"low"}]`, "application/json"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", rec.Code)
+	}
+	if rec := post(`[`, "application/json"); rec.Code != http.StatusBadRequest {
+		t.Errorf("truncated JSON: %d, want 400", rec.Code)
+	}
+	if rec := post(`[]`, "application/json"); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch: %d, want 400", rec.Code)
+	}
+	big := make([]BatchQuery, maxBatchItems+1)
+	for i := range big {
+		big[i] = BatchQuery{Kind: "can-share", Right: "r", X: "low", Y: "secret"}
+	}
+	var resp BatchResponse
+	if rec := postBatch(t, h, big, &resp); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("%d items: %d, want 413", len(big), rec.Code)
+	}
+	if st := srv.Stats(); st.Batch.Requests != 0 {
+		t.Errorf("refused requests must not count as accepted batches, got %d", st.Batch.Requests)
+	}
+}
+
+// TestFaultBatchBudgetExhausted: with a one-state work budget every
+// decision item aborts with its own 503 budget_exhausted — never a wrong
+// verdict — and the batch itself still completes with 200.
+func TestFaultBatchBudgetExhausted(t *testing.T) {
+	srv := NewWith(Config{MaxVisited: 1})
+	h := srv.Handler()
+	putSpecimen(t, h, "fig61")
+
+	items := []BatchQuery{
+		{ID: "s1", Kind: "can-share", Right: "r", X: "low", Y: "secret"},
+		{ID: "k1", Kind: "can-know", X: "low", Y: "secret"},
+	}
+	var resp BatchResponse
+	if rec := postBatch(t, h, items, &resp); rec.Code != http.StatusOK {
+		t.Fatalf("POST /query/batch: %d %s", rec.Code, rec.Body.String())
+	}
+	for _, res := range resp.Results {
+		if res.Status != http.StatusServiceUnavailable || res.Code != "budget_exhausted" {
+			t.Errorf("item %q: status %d code %q, want 503 budget_exhausted", res.ID, res.Status, res.Code)
+		}
+		if res.Verdict != nil {
+			t.Errorf("item %q: aborted item must not carry a verdict", res.ID)
+		}
+	}
+	st := srv.Stats()
+	if st.Faults.BudgetExhausted != 2 {
+		t.Errorf("budget_exhausted counter = %d, want 2", st.Faults.BudgetExhausted)
+	}
+	if st.Batch.ItemErrors != 2 {
+		t.Errorf("item_errors = %d, want 2", st.Batch.ItemErrors)
+	}
+}
+
+// TestBatchMetricsExposure: batch traffic shows up in the Prometheus
+// exposition alongside the per-phase spans the items recorded.
+func TestBatchMetricsExposure(t *testing.T) {
+	srv := New()
+	h := srv.Handler()
+	putSpecimen(t, h, "fig61")
+
+	items := []BatchQuery{{Kind: "can-share", Right: "r", X: "low", Y: "secret"}}
+	var resp BatchResponse
+	if rec := postBatch(t, h, items, &resp); rec.Code != http.StatusOK {
+		t.Fatalf("POST /query/batch: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := serve(t, h, httptest.NewRequest(http.MethodGet, "/metrics", nil), nil)
+	body := rec.Body.String()
+	for _, want := range []string{
+		"takegrant_batch_requests_total 1",
+		"takegrant_batch_items_total 1",
+		"takegrant_batch_item_errors_total 0",
+		`takegrant_phase_executions_total{procedure="/query/batch"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -277,8 +277,10 @@ func TestMetricsMatchesStats(t *testing.T) {
 	if v := metricValue(t, body, `takegrant_phase_executions_total{procedure="/query/can-share",phase="sources"}`); v < 1 {
 		t.Errorf("phase executions = %v", v)
 	}
-	if v := metricValue(t, body, `takegrant_phase_work_total{procedure="/query/can-share",phase="bridge_closure",kind="visited"}`); v < 1 {
-		t.Errorf("bridge_closure visited = %v", v)
+	// The fixture's positive verdict short-circuits on the island index;
+	// bridge_closure only runs on index misses.
+	if v := metricValue(t, body, `takegrant_phase_work_total{procedure="/query/can-share",phase="island_index",kind="hits"}`); v < 1 {
+		t.Errorf("island_index hits = %v", v)
 	}
 
 	// Per-rule counters: the create applied, the read-up take was refused.

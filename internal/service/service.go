@@ -109,6 +109,9 @@ type Config struct {
 	// before the server writes a snapshot; 0 means DefaultSnapshotEvery.
 	// Irrelevant without an attached journal.
 	SnapshotEvery int
+	// BatchWorkers bounds the worker pool one POST /query/batch request fans
+	// its items across; 0 means GOMAXPROCS.
+	BatchWorkers int
 }
 
 // DefaultSnapshotEvery is the snapshot cadence when Config.SnapshotEvery
@@ -151,6 +154,7 @@ type Server struct {
 	// nil means unlimited.
 	heavy  chan struct{}
 	faults faultCounters
+	batch  batchCounters
 	// journal, when attached, makes accepted mutations durable; degraded
 	// records the first append failure, after which mutations are refused
 	// (reads continue). Both guarded by mu.
@@ -314,6 +318,7 @@ func (s *Server) Handler() http.Handler {
 	heavy("/query/can-share", s.handleCanShare)
 	heavy("/query/can-know", s.handleCanKnow)
 	heavy("/query/can-steal", s.handleCanSteal)
+	heavy("/query/batch", s.handleBatch)
 	heavy("/explain/share", s.handleExplainShare)
 	route("/levels", s.textHandler(func(r *http.Request) (string, error) {
 		// The installed structure, not a fresh analysis: /levels, /audit
@@ -858,6 +863,7 @@ type Stats struct {
 	Guard      GuardStats            `json:"guard"`
 	Routes     map[string]RouteStats `json:"routes"`
 	Faults     FaultStats            `json:"faults"`
+	Batch      BatchStats            `json:"batch"`
 	// Journal is present when the server runs with a data directory;
 	// Degraded reports a journal write failure that froze mutations.
 	Journal  *JournalStats `json:"journal,omitempty"`
@@ -882,6 +888,11 @@ func (s *Server) Stats() Stats {
 			Panics:          s.faults.panics.Load(),
 			Shed:            s.faults.shed.Load(),
 			BudgetExhausted: s.faults.budgetExhausted.Load(),
+		},
+		Batch: BatchStats{
+			Requests:   s.batch.requests.Load(),
+			Items:      s.batch.items.Load(),
+			ItemErrors: s.batch.itemErrors.Load(),
 		},
 		Degraded: s.degraded != nil,
 	}
@@ -992,6 +1003,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		nil, float64(st.Faults.Shed))
 	pw.Counter("takegrant_budget_exhausted_total", "Queries aborted with 503 by their work budget.",
 		nil, float64(st.Faults.BudgetExhausted))
+
+	// Batch endpoint traffic.
+	pw.Counter("takegrant_batch_requests_total", "POST /query/batch requests accepted for execution.",
+		nil, float64(st.Batch.Requests))
+	pw.Counter("takegrant_batch_items_total", "Individual queries carried by batch requests.",
+		nil, float64(st.Batch.Items))
+	pw.Counter("takegrant_batch_item_errors_total", "Batch items answered with a non-200 per-item status.",
+		nil, float64(st.Batch.ItemErrors))
 
 	// Crash-safety: journal counters when a data directory is attached.
 	if st.Journal != nil {
