@@ -26,8 +26,10 @@ import (
 // guarded names the experiments the gate watches and the factor beyond
 // which their slowdown fails the build.
 var guarded = map[string]float64{
-	"E8": 3.0, // audit scaling (Corollary 5.6)
-	"E9": 3.0, // O(1) online guard (Corollary 5.7)
+	"E8":  3.0, // audit scaling (Corollary 5.6)
+	"E9":  3.0, // O(1) online guard (Corollary 5.7)
+	"E20": 3.0, // flat CSR derivation vs map reference
+	"E21": 3.0, // incremental engine vs per-step recompute
 }
 
 // row is the subset of tgbench's per-experiment report the gate reads.

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Bench regression gate: regenerate the tgbench report and diff the
-# guarded experiments (E8 audit scaling, E9 O(1) guard) against the
-# committed baseline. Fails on a >3x slowdown or a no-longer-passing
-# experiment; see ci/benchdiff for the rationale and thresholds.
+# guarded experiments (E8 audit scaling, E9 O(1) guard, E20 flat
+# derivation, E21 incremental apply throughput) against the committed
+# baseline. Fails on a >3x slowdown or a no-longer-passing experiment;
+# see ci/benchdiff for the rationale and thresholds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,4 +11,4 @@ fresh="$(mktemp)"
 trap 'rm -f "$fresh"' EXIT
 
 go run ./cmd/tgbench -json > "$fresh"
-go run ./ci/benchdiff BENCH_PR4.json "$fresh"
+go run ./ci/benchdiff BENCH_PR5.json "$fresh"

@@ -67,17 +67,19 @@ func main() {
 		maxVisit = flag.Int64("max-visited", 0, "per-query cap on visited product states (0 = unlimited)")
 		inflight = flag.Int("max-inflight", 0, "max concurrent heavy queries before shedding with 429 (0 = unlimited)")
 		batchW   = flag.Int("batch-workers", 0, "worker pool one POST /query/batch fans its items across (0 = GOMAXPROCS)")
+		hierW    = flag.Int("hier-workers", 0, "worker pool the hierarchy engine fans derivation across (0 = GOMAXPROCS)")
 		snapN    = flag.Int("snapshot-every", 0, "journaled mutations between snapshots (0 = default)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain period for in-flight requests")
 	)
 	flag.Parse()
 
 	srv := service.NewWith(service.Config{
-		QueryTimeout:  *qTimeout,
-		MaxVisited:    *maxVisit,
-		MaxInFlight:   *inflight,
-		SnapshotEvery: *snapN,
-		BatchWorkers:  *batchW,
+		QueryTimeout:     *qTimeout,
+		MaxVisited:       *maxVisit,
+		MaxInFlight:      *inflight,
+		SnapshotEvery:    *snapN,
+		BatchWorkers:     *batchW,
+		HierarchyWorkers: *hierW,
 	})
 	if !*quiet {
 		srv.SetLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil)))

@@ -311,31 +311,10 @@ func canKnow(g *graph.Graph, x, y graph.ID, wantEvidence bool, p *obs.Probe, b *
 // can read. Used by the hierarchy package to build rwtg-levels in
 // O(V·E·Q) total rather than O(V²·E·Q).
 func KnowClosure(g *graph.Graph, u graph.ID) map[graph.ID]bool {
-	out := make(map[graph.ID]bool)
-	if !g.Valid(u) {
-		return out
-	}
-	out[u] = true
-	u1s := RWInitialSpanners(g, u)
-	if g.IsSubject(u) {
-		u1s = appendUnique(u1s, u)
-	}
-	if len(u1s) == 0 {
-		return out
-	}
-	chain := relang.Search(g, linkChainNFA, u1s, relang.Options{View: relang.ViewExplicit})
-	var uns []graph.ID
-	for _, v := range chain.AcceptedVertices() {
-		if g.IsSubject(v) {
-			uns = append(uns, v)
-			out[v] = true
-		}
-	}
-	if len(uns) > 0 {
-		spans := relang.Search(g, rwTerminalNFA, uns, relang.Options{View: relang.ViewExplicit})
-		for _, v := range spans.AcceptedVertices() {
-			out[v] = true
-		}
+	ids, _ := KnowClosureInto(g, u, nil, nil)
+	out := make(map[graph.ID]bool, len(ids))
+	for _, v := range ids {
+		out[v] = true
 	}
 	return out
 }

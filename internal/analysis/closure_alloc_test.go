@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+func closureWorld(nv, ne int, seed int64) (*graph.Graph, []graph.ID) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(nil)
+	for i := 0; i < nv; i++ {
+		if i%3 == 0 {
+			g.MustObject(fmt.Sprintf("o%d", i))
+		} else {
+			g.MustSubject(fmt.Sprintf("s%d", i))
+		}
+	}
+	vs := g.Vertices()
+	for i := 0; i < ne; i++ {
+		a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+		if a != b {
+			g.AddExplicit(a, b, rights.Set(1+rng.Intn(15)))
+		}
+	}
+	return g, g.Subjects()
+}
+
+// TestKnowClosureIntoAllocFree pins the satellite requirement: with a
+// warmed pool and a pre-grown destination buffer, the bulk closure must
+// not allocate per call. The budget of 1 amortized alloc absorbs
+// sync.Pool's occasional per-P refill; steady-state is zero.
+func TestKnowClosureIntoAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are not meaningful under the race detector")
+	}
+	g, subs := closureWorld(64, 256, 42)
+	g.Snapshot() // freeze the CSR before measuring
+	buf := make([]graph.ID, 0, g.Cap())
+	// Warm the scratch pools at this graph size.
+	for _, u := range subs {
+		buf = buf[:0]
+		buf, _ = KnowClosureInto(g, u, buf, nil)
+	}
+	u := subs[0]
+	avg := testing.AllocsPerRun(200, func() {
+		buf = buf[:0]
+		var err error
+		buf, err = KnowClosureInto(g, u, buf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("KnowClosureInto allocates %.2f objects/op, want ≤ 1", avg)
+	}
+	// The map-returning wrapper must still agree with the streaming core.
+	want := KnowClosure(g, u)
+	if len(want) != len(buf) {
+		t.Fatalf("closure size mismatch: map %d vs slice %d", len(want), len(buf))
+	}
+	for _, v := range buf {
+		if !want[v] {
+			t.Fatalf("vertex %d in slice closure but not map closure", v)
+		}
+	}
+}
+
+// BenchmarkKnowClosureInto measures the pooled bulk closure; allocs/op is
+// the headline number (b.ReportAllocs pins it in the bench output).
+func BenchmarkKnowClosureInto(b *testing.B) {
+	g, subs := closureWorld(128, 512, 7)
+	g.Snapshot()
+	buf := make([]graph.ID, 0, g.Cap())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf, _ = KnowClosureInto(g, subs[i%len(subs)], buf, nil)
+	}
+}
+
+// BenchmarkKnowClosureMap is the allocating wrapper, for comparison.
+func BenchmarkKnowClosureMap(b *testing.B) {
+	g, subs := closureWorld(128, 512, 7)
+	g.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KnowClosure(g, subs[i%len(subs)])
+	}
+}

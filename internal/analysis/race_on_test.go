@@ -1,0 +1,7 @@
+//go:build race
+
+package analysis
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation counts are not meaningful under instrumentation.
+const raceEnabled = true

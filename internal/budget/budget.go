@@ -20,13 +20,19 @@
 // uninstrumented entry points pass nil and pay a pointer test.
 //
 // A Budget is owned by one logical operation (one HTTP request, one CLI
-// query) and is not safe for concurrent use.
+// query) and is not safe for concurrent use. When one operation fans work
+// across a worker pool, derive a Group from its Budget and hand each
+// worker its own Budget via Group.Worker: the workers share the group's
+// allowance through an atomic counter they flush into at poll boundaries,
+// so a trip in one worker is observed by the others within pollStride
+// charges.
 package budget
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -76,8 +82,10 @@ type Budget struct {
 	deadline time.Time // zero when no deadline
 	limit    int64     // 0 when unlimited
 	visited  int64
-	poll     int64 // next visited value at which to check clock/ctx
-	err      error // sticky after the first trip
+	poll     int64  // next visited value at which to check clock/ctx
+	err      error  // sticky after the first trip
+	group    *Group // non-nil for worker budgets minted by Group.Worker
+	flushed  int64  // visited count already pushed to the group
 }
 
 // New arms a budget. ctx may be nil (no cancellation source); maxVisited
@@ -125,6 +133,13 @@ func (b *Budget) Charge(n int64) error {
 
 // pollNow checks the deadline and the context immediately.
 func (b *Budget) pollNow() error {
+	if b.group != nil {
+		if err := b.group.poll(b.visited - b.flushed); err != nil {
+			b.err = err
+			return err
+		}
+		b.flushed = b.visited
+	}
 	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
 		b.err = &ExhaustedError{Reason: "deadline", Visited: b.visited, Elapsed: time.Since(b.start)}
 		return b.err
@@ -159,4 +174,129 @@ func (b *Budget) Visited() int64 {
 		return 0
 	}
 	return b.visited
+}
+
+// Group is a concurrency-safe allowance shared by a pool of workers. It is
+// derived from one Budget and inherits whatever remains of that budget's
+// visited cap plus its deadline and context; each worker charges a private
+// Budget (from Worker) and flushes into the group's atomic counter at poll
+// boundaries, so the cross-worker synchronization cost is one atomic add
+// per pollStride charges. The first trip is sticky and observed by every
+// worker within pollStride charges.
+//
+// All methods are safe on a nil *Group, which means "unlimited".
+type Group struct {
+	ctx      context.Context
+	start    time.Time
+	deadline time.Time
+	limit    int64
+	visited  atomic.Int64
+	err      atomic.Pointer[ExhaustedError]
+}
+
+// Group derives a shared allowance from b for fan-out across workers. A
+// nil (unlimited) budget yields a nil (unlimited) group. The group's
+// visited cap is what remains of b's cap at derivation time; after the
+// workers join, charge Visited() back into b so the parent's accounting
+// stays consistent.
+func (b *Budget) Group() *Group {
+	if b == nil {
+		return nil
+	}
+	gr := &Group{ctx: b.ctx, start: b.start, deadline: b.deadline}
+	if b.limit > 0 {
+		rem := b.limit - b.visited
+		if rem < 1 {
+			rem = 1 // already over: the first flushed charge trips the group
+		}
+		gr.limit = rem
+	}
+	return gr
+}
+
+// Worker mints a private Budget bound to the group. Each worker goroutine
+// must use its own; the returned budget has no local cap or deadline — all
+// limits are enforced through the group at poll boundaries.
+func (gr *Group) Worker() *Budget {
+	if gr == nil {
+		return nil
+	}
+	// poll = 1: the first charge flushes to the group immediately, so a
+	// group already tripped by a sibling aborts this worker before real work.
+	return &Budget{start: gr.start, poll: 1, group: gr}
+}
+
+// poll adds delta to the shared counter and checks every trip condition.
+func (gr *Group) poll(delta int64) error {
+	total := gr.visited.Add(delta)
+	if e := gr.err.Load(); e != nil {
+		return e
+	}
+	if gr.limit > 0 && total > gr.limit {
+		return gr.trip(&ExhaustedError{Reason: "visited", Visited: total, Limit: gr.limit, Elapsed: time.Since(gr.start)})
+	}
+	if !gr.deadline.IsZero() && time.Now().After(gr.deadline) {
+		return gr.trip(&ExhaustedError{Reason: "deadline", Visited: total, Elapsed: time.Since(gr.start)})
+	}
+	if gr.ctx != nil {
+		select {
+		case <-gr.ctx.Done():
+			return gr.trip(&ExhaustedError{Reason: "canceled", Visited: total, Elapsed: time.Since(gr.start)})
+		default:
+		}
+	}
+	return nil
+}
+
+// trip records the first failure; concurrent trips race benignly and every
+// caller gets the winning error.
+func (gr *Group) trip(e *ExhaustedError) error {
+	gr.err.CompareAndSwap(nil, e)
+	return gr.err.Load()
+}
+
+// Err returns the group's sticky trip error, or nil while it holds. Like
+// Budget.Err it polls the clock and context so a coordinator checking
+// between phases notices a passed deadline even when workers are idle.
+func (gr *Group) Err() error {
+	if gr == nil {
+		return nil
+	}
+	if e := gr.err.Load(); e != nil {
+		return e
+	}
+	if err := gr.poll(0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Flush pushes a worker budget's charges not yet reported to its group.
+// Workers report at poll boundaries (every pollStride charges), so a
+// worker that finishes between boundaries carries a tail the group has
+// not counted; the pool must flush each worker as it joins or the
+// group's total — and the parent budget it is folded back into —
+// undercounts by up to pollStride-1 per worker, letting small sweeps
+// dodge their cap entirely. No-op on nil and non-worker budgets.
+func (b *Budget) Flush() {
+	if b == nil || b.group == nil {
+		return
+	}
+	if d := b.visited - b.flushed; d > 0 {
+		b.flushed = b.visited
+		if err := b.group.poll(d); err != nil && b.err == nil {
+			b.err = err
+		}
+	}
+}
+
+// Visited returns the work flushed to the group so far. While workers
+// run, up to pollStride-1 charges per worker may still be in flight;
+// exact totals require each worker to Flush as it finishes (fan-out
+// coordinators do).
+func (gr *Group) Visited() int64 {
+	if gr == nil {
+		return 0
+	}
+	return gr.visited.Load()
 }

@@ -100,3 +100,109 @@ func TestChargeUnderLimitHolds(t *testing.T) {
 		t.Fatalf("visited = %d, want 10000", b.Visited())
 	}
 }
+
+func TestNilGroupIsUnlimited(t *testing.T) {
+	var gr *Group
+	wb := gr.Worker()
+	if wb != nil {
+		t.Fatalf("nil group minted a non-nil worker budget")
+	}
+	if gr.Err() != nil || gr.Visited() != 0 {
+		t.Fatalf("nil group reported state")
+	}
+	var b *Budget
+	if b.Group() != nil {
+		t.Fatalf("nil budget derived a non-nil group")
+	}
+}
+
+func TestGroupSharedLimitTripsAcrossWorkers(t *testing.T) {
+	b := New(nil, 5000, 0)
+	gr := b.Group()
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			wb := gr.Worker()
+			var err error
+			for i := 0; i < 100_000 && err == nil; i++ {
+				err = wb.Charge(1)
+			}
+			done <- err
+		}()
+	}
+	tripped := 0
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			tripped++
+			if !errors.Is(err, ErrExhausted) {
+				t.Fatalf("worker error does not wrap ErrExhausted: %v", err)
+			}
+		}
+	}
+	if tripped == 0 {
+		t.Fatalf("no worker observed the shared limit")
+	}
+	if gr.Err() == nil {
+		t.Fatalf("group did not record the trip")
+	}
+	// The group inherited what remained of b's cap; folding the group's
+	// visited back keeps the parent consistent (and trips it here).
+	if err := b.Charge(gr.Visited()); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("parent fold-in: want ErrExhausted, got %v", err)
+	}
+}
+
+func TestGroupInheritsRemainingAllowance(t *testing.T) {
+	b := New(nil, 2000, 0)
+	if err := b.Charge(1500); err != nil {
+		t.Fatal(err)
+	}
+	gr := b.Group()
+	wb := gr.Worker()
+	var err error
+	for i := 0; i < 2000 && err == nil; i++ {
+		err = wb.Charge(1)
+	}
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("worker on a mostly-spent parent should trip early, got %v", err)
+	}
+}
+
+func TestGroupContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, 0, 0)
+	gr := b.Group()
+	wb := gr.Worker()
+	cancel()
+	var err error
+	for i := 0; i < 5000 && err == nil; i++ {
+		err = wb.Charge(1)
+	}
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("canceled context did not trip the group, got %v", err)
+	}
+}
+
+func TestWorkerFlushReportsTail(t *testing.T) {
+	b := New(nil, 100, 0)
+	gr := b.Group()
+	wb := gr.Worker()
+	for i := 0; i < 10; i++ {
+		if err := wb.Charge(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the first charge reached the group (poll=1, then stride-paced):
+	// the other nine ride in the worker until it flushes.
+	if got := gr.Visited(); got != 1 {
+		t.Fatalf("pre-flush group visited = %d, want 1", got)
+	}
+	wb.Flush()
+	if got := gr.Visited(); got != 10 {
+		t.Fatalf("post-flush group visited = %d, want 10", got)
+	}
+	wb.Flush() // idempotent: nothing new to report
+	if got := gr.Visited(); got != 10 {
+		t.Fatalf("re-flush group visited = %d, want 10", got)
+	}
+}

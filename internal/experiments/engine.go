@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/rights"
+)
+
+func init() {
+	register("E20", e20DerivationScaling)
+	register("E21", e21ApplyThroughput)
+}
+
+// e20DerivationScaling compares full rw-level derivation by the flat
+// CSR-backed path (hierarchy.AnalyzeRW, what the engine's rebuilds run)
+// against the retained map-based reference across growing worlds. The
+// speedup must come from the data layout alone — pooled scratch, interned
+// label bits, array-indexed SCC state — so the experiment pins Workers: 1;
+// CI machines may not have a second core to offer.
+func e20DerivationScaling() Table {
+	t := Table{
+		ID:      "E20",
+		Title:   "Hierarchy derivation: flat CSR path vs map-based reference",
+		Claim:   "full rw-level derivation over the frozen snapshot beats the per-call map implementation, structures identical",
+		Columns: []string{"vertices", "edges", "reference", "flat", "speedup"},
+		Pass:    true,
+	}
+	var lastSpeedup float64
+	for _, scale := range []int{4, 8, 16, 32} {
+		w := ScalingWorld(4, scale, scale, 37)
+		g := w.G()
+		refT := timeIt(5, func() { hierarchy.AnalyzeRWReference(g) })
+		var flat *hierarchy.Structure
+		flatT := timeIt(5, func() {
+			s, err := hierarchy.AnalyzeRWObs(g, hierarchy.Options{Workers: 1})
+			if err != nil {
+				panic(err)
+			}
+			flat = s
+		})
+		if !flat.EquivalentTo(hierarchy.AnalyzeRWReference(g)) {
+			t.Pass = false
+			t.Notes = append(t.Notes, fmt.Sprintf("scale %d: structures diverged", scale))
+		}
+		lastSpeedup = float64(refT) / float64(flatT)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(g.NumVertices()), fmt.Sprint(g.NumEdges()),
+			refT.String(), flatT.String(), fmt.Sprintf("%.1fx", lastSpeedup),
+		})
+	}
+	if lastSpeedup < 1.5 {
+		t.Pass = false
+	}
+	t.Notes = append(t.Notes,
+		"pass criterion: flat path ≥ 1.5x at the largest world and equivalent everywhere",
+		"single worker: the gain here is data layout, not parallelism")
+	return t
+}
+
+// engineMutations pre-generates a deterministic, monotone-heavy stream of
+// mutations over g's live vertices: explicit/implicit right additions with
+// a sprinkling of destructive severs (rate out of 100). The stream is a
+// closure list so the identical sequence can replay against clones.
+func engineMutations(g *graph.Graph, steps, destructiveRate int, seed int64) []func(*graph.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	vs := g.Vertices()
+	muts := make([]func(*graph.Graph), 0, steps)
+	for i := 0; i < steps; i++ {
+		a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+		if a == b {
+			continue
+		}
+		switch {
+		case rng.Intn(100) < destructiveRate:
+			muts = append(muts, func(g *graph.Graph) { g.RemoveExplicit(a, b, rights.RW) })
+		case rng.Intn(4) == 0:
+			set := rights.R
+			if rng.Intn(2) == 0 {
+				set = rights.W
+			}
+			muts = append(muts, func(g *graph.Graph) { g.AddImplicit(a, b, set) })
+		default:
+			set := rights.Set(1 + rng.Intn(15))
+			muts = append(muts, func(g *graph.Graph) { g.AddExplicit(a, b, set) })
+		}
+	}
+	return muts
+}
+
+// e21ApplyThroughput measures the write path the service runs per POST
+// /apply: bring the rw-level structure up to date after one mutation. The
+// baseline re-derives from scratch every step (the pre-engine behaviour);
+// the engine patches monotone changes in place and only rebuilds after
+// destructive ones. Both walk the identical mutation stream on clones of
+// the same world and must land on equivalent structures.
+func e21ApplyThroughput() Table {
+	t := Table{
+		ID:      "E21",
+		Title:   "Apply throughput: incremental engine vs per-step recompute",
+		Claim:   "maintaining rw-levels across a monotone-heavy mutation stream is much cheaper than re-deriving each step",
+		Columns: []string{"steps", "destructive", "recompute", "incremental", "speedup"},
+		Pass:    true,
+	}
+	w := ScalingWorld(3, 8, 8, 41)
+	const steps = 200
+	var lastSpeedup float64
+	for _, destructiveRate := range []int{0, 5} {
+		muts := engineMutations(w.G(), steps, destructiveRate, 43)
+
+		// One untimed pass each would make every timed mutation a no-op, so
+		// both sides run their stream exactly once, cold, on fresh clones.
+		gFull := w.G().Clone()
+		var fullStruct *hierarchy.Structure
+		start := time.Now()
+		for _, m := range muts {
+			m(gFull)
+			fullStruct = hierarchy.AnalyzeRWReference(gFull)
+		}
+		fullT := time.Since(start)
+
+		gInc := w.G().Clone()
+		e := hierarchy.NewEngine(gInc, 1)
+		var incStruct *hierarchy.Structure
+		start = time.Now()
+		for _, m := range muts {
+			m(gInc)
+			incStruct = e.Rearm(nil)
+		}
+		incT := time.Since(start)
+
+		if !incStruct.EquivalentTo(fullStruct) {
+			t.Pass = false
+			t.Notes = append(t.Notes, fmt.Sprintf("destructive %d%%: final structures diverged", destructiveRate))
+		}
+		lastSpeedup = float64(fullT) / float64(incT)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(steps), fmt.Sprintf("%d%%", destructiveRate),
+			fullT.String(), incT.String(), fmt.Sprintf("%.1fx", lastSpeedup),
+		})
+		if lastSpeedup < 2 {
+			t.Pass = false
+		}
+	}
+	t.Notes = append(t.Notes,
+		"pass criterion: engine ≥ 2x per stream and final structures equivalent",
+		"durations are whole-stream totals (engine creation excluded, initial derivation included in neither)")
+	return t
+}

@@ -1,0 +1,69 @@
+package graph
+
+import "takegrant/internal/rights"
+
+// ChangeKind classifies a single graph mutation for incremental observers.
+type ChangeKind uint8
+
+const (
+	// ChangeAddVertex: a vertex was created (Src is its ID, Dst is None).
+	ChangeAddVertex ChangeKind = iota
+	// ChangeAddExplicit: Set holds the explicit rights newly added to
+	// Src→Dst (bits already present are not reported).
+	ChangeAddExplicit
+	// ChangeAddImplicit: Set holds the implicit rights newly added to
+	// Src→Dst.
+	ChangeAddImplicit
+	// ChangeRemoveExplicit: Set holds the explicit rights actually removed
+	// from Src→Dst.
+	ChangeRemoveExplicit
+	// ChangeRemoveImplicit: Set holds the implicit rights actually removed
+	// from Src→Dst.
+	ChangeRemoveImplicit
+	// ChangeDestructive: a wholesale invalidation — vertex deletion,
+	// ClearImplicit, or RestoreRevision. Incremental observers must
+	// rebuild from scratch; no edge details are reported.
+	ChangeDestructive
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeAddVertex:
+		return "add_vertex"
+	case ChangeAddExplicit:
+		return "add_explicit"
+	case ChangeAddImplicit:
+		return "add_implicit"
+	case ChangeRemoveExplicit:
+		return "remove_explicit"
+	case ChangeRemoveImplicit:
+		return "remove_implicit"
+	case ChangeDestructive:
+		return "destructive"
+	default:
+		return "unknown"
+	}
+}
+
+// Change describes one effective mutation. Mutations with no structural
+// effect (adding rights already present, removing rights never held) are
+// not reported even when they bump the revision counter.
+type Change struct {
+	Kind     ChangeKind
+	Src, Dst ID
+	Set      rights.Set
+}
+
+// SetRecorder installs fn as the mutation observer; it is invoked
+// synchronously from inside every effective mutation, after the graph
+// state has been updated but while the caller's mutation lock (if any) is
+// still held. Pass nil to detach. At most one recorder is active; the
+// hierarchy engine uses this to maintain its dirty set. The recorder is
+// deliberately not cloned by Clone — a copy has no observer.
+func (g *Graph) SetRecorder(fn func(Change)) { g.recorder = fn }
+
+func (g *Graph) record(c Change) {
+	if g.recorder != nil {
+		g.recorder(c)
+	}
+}

@@ -88,6 +88,9 @@ type Graph struct {
 	// (see tgisland.go); nil means "rebuild on next use".
 	islMu sync.Mutex
 	isl   *TGIndex
+
+	// recorder, when set, observes every effective mutation (changes.go).
+	recorder func(Change)
 }
 
 // New returns an empty protection graph over the given rights universe.
@@ -124,6 +127,7 @@ func (g *Graph) RestoreRevision(rev uint64) {
 	g.snap = nil
 	g.adjMu.Unlock()
 	g.islandInvalidate()
+	g.record(Change{Kind: ChangeDestructive, Src: None, Dst: None})
 }
 
 // NumVertices returns the number of live (non-deleted) vertices.
@@ -165,6 +169,7 @@ func (g *Graph) addVertex(name string, kind Kind) (ID, error) {
 	g.revision++
 	g.live++
 	g.islandAddVertex()
+	g.record(Change{Kind: ChangeAddVertex, Src: id, Dst: None})
 	return id, nil
 }
 
@@ -265,6 +270,7 @@ func (g *Graph) DeleteVertex(id ID) error {
 	v.deleted = true
 	g.revision++
 	g.live--
+	g.record(Change{Kind: ChangeDestructive, Src: id, Dst: None})
 	return nil
 }
 
@@ -326,15 +332,25 @@ func (g *Graph) addLabel(src, dst ID, set rights.Set, implicit bool) error {
 	}
 	s := &g.vertices[src]
 	l := s.out[dst]
+	var added rights.Set
 	if implicit {
+		added = set.Minus(l.implicit)
 		l.implicit = l.implicit.Union(set)
 	} else {
+		added = set.Minus(l.explicit)
 		l.explicit = l.explicit.Union(set)
 		g.islandAddExplicit(src, dst, set)
 	}
 	s.out[dst] = l
 	g.vertices[dst].in[src] = struct{}{}
 	g.revision++
+	if !added.Empty() {
+		kind := ChangeAddExplicit
+		if implicit {
+			kind = ChangeAddImplicit
+		}
+		g.record(Change{Kind: kind, Src: src, Dst: dst, Set: added})
+	}
 	return nil
 }
 
@@ -361,6 +377,9 @@ func (g *Graph) RemoveExplicit(src, dst ID, set rights.Set) error {
 	}
 	g.setLabel(src, dst, l)
 	g.revision++
+	if removed := had.Minus(l.explicit); !removed.Empty() {
+		g.record(Change{Kind: ChangeRemoveExplicit, Src: src, Dst: dst, Set: removed})
+	}
 	return nil
 }
 
@@ -375,9 +394,13 @@ func (g *Graph) RemoveImplicit(src, dst ID, set rights.Set) error {
 	if !ok {
 		return nil
 	}
+	had := l.implicit
 	l.implicit = l.implicit.Minus(set)
 	g.setLabel(src, dst, l)
 	g.revision++
+	if removed := had.Minus(l.implicit); !removed.Empty() {
+		g.record(Change{Kind: ChangeRemoveImplicit, Src: src, Dst: dst, Set: removed})
+	}
 	return nil
 }
 
@@ -394,6 +417,7 @@ func (g *Graph) ClearImplicit() {
 		}
 	}
 	g.revision++
+	g.record(Change{Kind: ChangeDestructive, Src: None, Dst: None})
 }
 
 func (g *Graph) setLabel(src, dst ID, l label) {

@@ -1,0 +1,449 @@
+package hierarchy
+
+import (
+	"sync"
+
+	"takegrant/internal/budget"
+	"takegrant/internal/graph"
+	"takegrant/internal/obs"
+	"takegrant/internal/rights"
+)
+
+// Engine maintains the rw-level Structure of one graph across mutations,
+// revision-keyed: it registers as the graph's change recorder, buffers
+// the per-revision dirty set, and on Rearm either patches the structure
+// in place (monotone mutations — rule applications only ever add vertices
+// and rights, which can only merge levels or add order, the same
+// contract graph.TGIslands exploits per Lemma 5.1) or rebuilds from
+// scratch via the parallel snapshot derivation (destructive mutations:
+// sever of an rw right, vertex deletion, implicit clearing, revision
+// restore).
+//
+// Concurrency contract, mirroring the graph itself: mutations — and
+// therefore the recorder callback and Rearm/Structure — must be
+// serialized by the caller (the service holds its write lock); Secure
+// and Stats are safe to call from concurrent readers once mutation
+// stops, and Secure's verdict cache is internally locked.
+type Engine struct {
+	g       *graph.Graph
+	workers int
+
+	cur       *Structure
+	pending   []graph.Change
+	wholesale bool
+
+	stats EngineStats
+
+	secMu    sync.Mutex
+	secRev   uint64
+	secValid bool
+	secOK    bool
+	secViol  *Violation
+}
+
+// EngineStats counts the engine's maintenance work since creation. The
+// JSON tags shape the service's /stats report.
+type EngineStats struct {
+	// Rebuilds is the number of full from-scratch derivations (including
+	// the initial one).
+	Rebuilds uint64 `json:"rebuilds"`
+	// Patches is the number of Rearm calls answered by in-place patching.
+	Patches uint64 `json:"patches"`
+	// PatchedEdges / NoopEdges / Merges / Inserts classify the step edges
+	// processed by the patcher: already-implied edges are no-ops, edges
+	// adding order are transitive inserts, edges closing a cycle merge
+	// levels.
+	PatchedEdges uint64 `json:"patched_edges"`
+	NoopEdges    uint64 `json:"noop_edges"`
+	Merges       uint64 `json:"merges"`
+	Inserts      uint64 `json:"inserts"`
+	// Invalidations counts destructive mutations forcing a rebuild.
+	Invalidations uint64 `json:"invalidations"`
+	// LastDirty and MaxDirty size the dirty set (buffered changes) at the
+	// most recent and largest Rearm.
+	LastDirty int `json:"last_dirty"`
+	MaxDirty  int `json:"max_dirty"`
+	// Workers is the configured worker-pool bound for full rebuilds.
+	Workers int `json:"workers"`
+}
+
+// NewEngine derives the initial structure of g and attaches the engine as
+// g's mutation recorder. workers bounds the rebuild worker pool (0 means
+// GOMAXPROCS).
+func NewEngine(g *graph.Graph, workers int) *Engine {
+	e := &Engine{g: g, workers: workers}
+	e.rebuild(nil)
+	g.SetRecorder(e.record)
+	return e
+}
+
+// Detach unregisters the engine from its graph; the current structure
+// remains readable but no longer tracks mutations.
+func (e *Engine) Detach() { e.g.SetRecorder(nil) }
+
+// record buffers one mutation into the dirty set. Monotone changes queue
+// for in-place patching; a destructive change collapses the set to a
+// wholesale invalidation. Removals that cannot affect the step digraph
+// (revoking t/g, or an explicit r/w held by an object source — objects
+// contribute no explicit step) are dropped as no-ops.
+func (e *Engine) record(c graph.Change) {
+	if e.wholesale {
+		return
+	}
+	switch c.Kind {
+	case graph.ChangeDestructive:
+		e.invalidate()
+	case graph.ChangeRemoveExplicit:
+		if c.Set.HasAny(rights.RW) && e.g.IsSubject(c.Src) {
+			e.invalidate()
+		}
+	case graph.ChangeRemoveImplicit:
+		if c.Set.HasAny(rights.RW) {
+			e.invalidate()
+		}
+	default:
+		e.pending = append(e.pending, c)
+	}
+}
+
+func (e *Engine) invalidate() {
+	e.wholesale = true
+	e.pending = nil
+	e.stats.Invalidations++
+}
+
+// Structure returns the engine's structure for the graph's current
+// revision, draining any buffered mutations first. Callers must hold the
+// graph's mutation lock (see the concurrency contract above).
+func (e *Engine) Structure() *Structure { return e.Rearm(nil) }
+
+// Rearm drains the dirty set — patching in place for monotone deltas,
+// rebuilding in parallel for destructive ones — and returns the
+// up-to-date structure. The probe receives the rebuild phase spans plus a
+// hier_patch span when patching.
+func (e *Engine) Rearm(p *obs.Probe) *Structure {
+	dirty := len(e.pending)
+	if e.wholesale {
+		dirty++ // the invalidation itself
+	}
+	if dirty > 0 {
+		e.stats.LastDirty = dirty
+		if dirty > e.stats.MaxDirty {
+			e.stats.MaxDirty = dirty
+		}
+	}
+	if e.wholesale {
+		e.rebuild(p)
+		return e.cur
+	}
+	if len(e.pending) == 0 {
+		return e.cur
+	}
+	sp := p.Span("hier_patch")
+	var edges, noops, inserts, merges uint64
+	for _, c := range e.pending {
+		switch c.Kind {
+		case graph.ChangeAddVertex:
+			e.cur.addSingleton(c.Src)
+		case graph.ChangeAddExplicit:
+			// Explicit steps require an acting subject source.
+			if e.g.IsSubject(c.Src) {
+				if c.Set.Has(rights.Read) {
+					edges++
+					e.applyStep(c.Src, c.Dst, &noops, &inserts, &merges)
+				}
+				if c.Set.Has(rights.Write) {
+					edges++
+					e.applyStep(c.Dst, c.Src, &noops, &inserts, &merges)
+				}
+			}
+		case graph.ChangeAddImplicit:
+			// Implicit edges record flows that already happened; no
+			// subject guard.
+			if c.Set.Has(rights.Read) {
+				edges++
+				e.applyStep(c.Src, c.Dst, &noops, &inserts, &merges)
+			}
+			if c.Set.Has(rights.Write) {
+				edges++
+				e.applyStep(c.Dst, c.Src, &noops, &inserts, &merges)
+			}
+		}
+	}
+	e.pending = e.pending[:0]
+	e.stats.Patches++
+	e.stats.PatchedEdges += edges
+	e.stats.NoopEdges += noops
+	e.stats.Inserts += inserts
+	e.stats.Merges += merges
+	sp.Count("edges", int64(edges)).Count("noops", int64(noops)).
+		Count("inserts", int64(inserts)).Count("merges", int64(merges)).End()
+	return e.cur
+}
+
+func (e *Engine) rebuild(p *obs.Probe) {
+	s, err := AnalyzeRWObs(e.g, Options{Workers: e.workers, Probe: p})
+	if err != nil {
+		panic(err) // unreachable: rebuilds run unbudgeted
+	}
+	e.cur = s
+	e.pending = nil
+	e.wholesale = false
+	e.stats.Rebuilds++
+}
+
+func (e *Engine) applyStep(u, v graph.ID, noops, inserts, merges *uint64) {
+	switch e.cur.insertStep(u, v) {
+	case stepNoop:
+		*noops++
+	case stepInsert:
+		*inserts++
+	case stepMerge:
+		*merges++
+	}
+}
+
+// Secure evaluates the §5 predicate against the engine's current
+// structure, caching the verdict per revision. Safe for concurrent
+// callers once the structure is current (i.e. after Rearm under the
+// mutation lock); budget exhaustion aborts with an error and is not
+// cached.
+func (e *Engine) Secure(p *obs.Probe, b *budget.Budget) (bool, *Violation, error) {
+	rev := e.g.Revision()
+	e.secMu.Lock()
+	if e.secValid && e.secRev == rev {
+		ok, v := e.secOK, e.secViol
+		e.secMu.Unlock()
+		return ok, v, nil
+	}
+	e.secMu.Unlock()
+	ok, v, err := secureWith(e.g, e.cur, Options{Workers: e.workers, Budget: b, Probe: p})
+	if err != nil {
+		return false, nil, err
+	}
+	e.secMu.Lock()
+	e.secRev, e.secValid, e.secOK, e.secViol = rev, true, ok, v
+	e.secMu.Unlock()
+	return ok, v, nil
+}
+
+// Stats returns a copy of the engine's maintenance counters.
+func (e *Engine) Stats() EngineStats {
+	st := e.stats
+	st.Workers = Options{Workers: e.workers}.workers()
+	return st
+}
+
+// Dirty returns the number of buffered changes awaiting the next Rearm
+// (treating a wholesale invalidation as one change).
+func (e *Engine) Dirty() int {
+	if e.wholesale {
+		return 1
+	}
+	return len(e.pending)
+}
+
+// ---- in-place structure patching ----
+
+type stepOutcome uint8
+
+const (
+	stepNoop stepOutcome = iota
+	stepInsert
+	stepMerge
+)
+
+// addSingleton appends a fresh one-vertex level for v (no order relative
+// to anything yet). No-op if v already has a level.
+func (s *Structure) addSingleton(v graph.ID) {
+	if s.LevelOf(v) >= 0 {
+		return
+	}
+	idx := len(s.levels)
+	s.levels = append(s.levels, []graph.ID{v})
+	s.setLevelOf(v, int32(idx))
+	for i := range s.reach {
+		s.reach[i] = append(s.reach[i], false)
+	}
+	s.reach = append(s.reach, make([]bool, idx+1))
+}
+
+// insertStep patches the structure for a new step edge u → v (u learns
+// v's information in one de facto step). Monotonicity is the whole trick:
+// an added edge can only coarsen the partition or extend reachability.
+// Three cases, with reach kept transitively closed throughout:
+//
+//   - already implied (same level, or level(u) reaches level(v)): no-op;
+//   - new order, no cycle: Italiano-style transitive insert — every level
+//     reaching u's level absorbs v's row, O(L²) worst case;
+//   - cycle closed (level(v) already reached level(u)): merge u's level,
+//     v's level and every level between them (reach[j][k] && reach[k][i])
+//     into one, then renumber — exactly the SCC coarsening Lemma 5.1
+//     style monotone reasoning predicts.
+func (s *Structure) insertStep(u, v graph.ID) stepOutcome {
+	// Defensive: unknown vertices get singleton levels (normally the
+	// AddVertex change precedes any edge mentioning it).
+	if s.LevelOf(u) < 0 {
+		s.addSingleton(u)
+	}
+	if s.LevelOf(v) < 0 {
+		s.addSingleton(v)
+	}
+	i, j := s.LevelOf(u), s.LevelOf(v)
+	if i == j || s.reach[i][j] {
+		return stepNoop
+	}
+	if !s.reach[j][i] {
+		// Transitive insert: levels a with a == i or reach[a][i] now reach
+		// j and everything j reaches. No cycle can arise: reach[j][x] with
+		// reach[x][i] would imply reach[j][i].
+		rowJ := s.reach[j]
+		for a := range s.reach {
+			if a != i && !s.reach[a][i] {
+				continue
+			}
+			row := s.reach[a]
+			row[j] = true
+			for k, r := range rowJ {
+				if r {
+					row[k] = true
+				}
+			}
+			row[a] = false // preserve the irreflexivity invariant
+		}
+		return stepInsert
+	}
+	// Cycle merge: M = {i, j} ∪ {k : reach[j][k] && reach[k][i]}.
+	n := len(s.levels)
+	inM := make([]bool, n)
+	inM[i], inM[j] = true, true
+	for k := 0; k < n; k++ {
+		if s.reach[j][k] && s.reach[k][i] {
+			inM[k] = true
+		}
+	}
+	// Union row of the merged level. Every member m of M satisfies
+	// reach[j][m] or m == j, so reach[j] already dominates each member's
+	// row by transitivity; union anyway for robustness.
+	union := make([]bool, n)
+	for k := 0; k < n; k++ {
+		if !inM[k] {
+			continue
+		}
+		for x, r := range s.reach[k] {
+			if r {
+				union[x] = true
+			}
+		}
+	}
+	// Levels reaching any member (equivalently, reaching i) absorb the
+	// union row; membership columns are handled by the renumbering below.
+	for a := 0; a < n; a++ {
+		if inM[a] || !s.reach[a][i] {
+			continue
+		}
+		row := s.reach[a]
+		for x, r := range union {
+			if r {
+				row[x] = true
+			}
+		}
+		row[a] = false
+	}
+	// Renumber: the merged level keeps the smallest member index for
+	// stability; survivors compact in order.
+	t := -1
+	for k := 0; k < n; k++ {
+		if inM[k] {
+			t = k
+			break
+		}
+	}
+	newIdx := make([]int32, n)
+	cnt := int32(0)
+	for k := 0; k < n; k++ {
+		if inM[k] && k != t {
+			continue
+		}
+		newIdx[k] = cnt
+		cnt++
+	}
+	tNew := newIdx[t]
+	for k := 0; k < n; k++ {
+		if inM[k] {
+			newIdx[k] = tNew
+		}
+	}
+	nn := int(cnt)
+	newLevels := make([][]graph.ID, nn)
+	newReach := make([][]bool, nn)
+	for k := 0; k < n; k++ {
+		if inM[k] && k != t {
+			continue
+		}
+		nk := newIdx[k]
+		var srcRow []bool
+		if k == t {
+			srcRow = union
+			// The merged level's members: concatenation of all of M.
+			var members []graph.ID
+			for m := 0; m < n; m++ {
+				if inM[m] {
+					members = append(members, s.levels[m]...)
+				}
+			}
+			sortIDs(members)
+			newLevels[nk] = members
+		} else {
+			srcRow = s.reach[k]
+			newLevels[nk] = s.levels[k]
+		}
+		row := make([]bool, nn)
+		for x, r := range srcRow {
+			if r {
+				row[newIdx[x]] = true
+			}
+		}
+		row[nk] = false // member-to-member flow is intra-level now
+		newReach[nk] = row
+	}
+	s.levels = newLevels
+	s.reach = newReach
+	for idx, lvl := range s.levels {
+		for _, v := range lvl {
+			s.of[v] = int32(idx)
+		}
+	}
+	return stepMerge
+}
+
+// EquivalentTo reports whether two structures describe the same level
+// partition and the same `higher` order, up to renumbering of level
+// indices — the equivalence the incremental ≡ from-scratch property tests
+// assert.
+func (s *Structure) EquivalentTo(o *Structure) bool {
+	if len(s.levels) != len(o.levels) {
+		return false
+	}
+	perm := make([]int, len(s.levels))
+	for i, lvl := range s.levels {
+		oi := o.LevelOf(lvl[0])
+		if oi < 0 || len(o.levels[oi]) != len(lvl) {
+			return false
+		}
+		for _, v := range lvl {
+			if o.LevelOf(v) != oi {
+				return false
+			}
+		}
+		perm[i] = oi
+	}
+	for i := range s.levels {
+		for j := range s.levels {
+			if s.reach[i][j] != o.reach[perm[i]][perm[j]] {
+				return false
+			}
+		}
+	}
+	return true
+}

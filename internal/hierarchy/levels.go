@@ -10,6 +10,14 @@
 // partial order). Everything is O(V+E) via Kosaraju's algorithm — the
 // alternative, deciding can•know•f pairwise, is quadratic and appears as
 // an ablation benchmark.
+//
+// Two derivation paths exist. AnalyzeRW/AnalyzeRWTG (derive.go) run over
+// the graph's frozen CSR snapshot on flat int32 arrays with an optional
+// worker pool, budget and probe; AnalyzeRWReference (rwtg.go) is the
+// original map-based derivation, retained as the independent oracle for
+// the equivalence property tests and the E20 ablation baseline. The
+// Engine (engine.go) maintains a Structure incrementally across monotone
+// mutations.
 package hierarchy
 
 import (
@@ -24,9 +32,15 @@ import (
 type Structure struct {
 	g      *graph.Graph
 	levels [][]graph.ID
-	of     map[graph.ID]int
+	// of[v] is the level index of vertex v, or -1 when v is not in the
+	// structure (dead vertices; objects under rwtg analysis). Indexed by
+	// ID — the guard consults it on every rule application, so it is a
+	// flat array load, not a map probe.
+	of []int32
 	// reach[i][j] reports that information can flow from level j to level i
 	// (level i knows level j); i is then higher than or equal to j.
+	// Invariant: reach[i][i] is false (levels already collapse cycles) and
+	// the relation is transitively closed.
 	reach [][]bool
 }
 
@@ -53,11 +67,14 @@ func stepTargets(g *graph.Graph, u graph.ID) []graph.ID {
 
 // AnalyzeRW computes the rw-level structure of g: levels are maximal sets
 // of vertices with mutual can•know•f, i.e. strongly connected components of
-// the de facto step digraph (Proposition 4.1).
+// the de facto step digraph (Proposition 4.1). It runs the snapshot-backed
+// flat-array derivation; see AnalyzeRWObs for the budgeted, instrumented,
+// parallel entry point.
 func AnalyzeRW(g *graph.Graph) *Structure {
-	succ := func(u graph.ID) []graph.ID { return stepTargets(g, u) }
-	s := sccOf(g, g.Vertices(), succ)
-	s.computeReach(succ)
+	s, err := AnalyzeRWObs(g, Options{})
+	if err != nil {
+		panic(err) // unreachable: a nil budget never trips
+	}
 	return s
 }
 
@@ -75,10 +92,12 @@ func (s *Structure) computeReach(succ func(graph.ID) []graph.ID) {
 	for i := range adj {
 		adj[i] = make(map[int]bool)
 	}
-	for v, i := range s.of {
-		for _, w := range succ(v) {
-			if j := s.of[w]; j != i {
-				adj[i][j] = true
+	for i, lvl := range s.levels {
+		for _, v := range lvl {
+			for _, w := range succ(v) {
+				if j := s.LevelOf(w); j >= 0 && j != i {
+					adj[i][j] = true
+				}
 			}
 		}
 	}
@@ -111,17 +130,16 @@ func (s *Structure) Levels() [][]graph.ID { return s.levels }
 // LevelOf returns the level index of v, or -1 if v is not in the structure
 // (e.g. an object when analysing rwtg-levels, which contain only subjects).
 func (s *Structure) LevelOf(v graph.ID) int {
-	if i, ok := s.of[v]; ok {
-		return i
+	if v < 0 || int(v) >= len(s.of) {
+		return -1
 	}
-	return -1
+	return int(s.of[v])
 }
 
 // SameLevel reports whether two vertices share a level.
 func (s *Structure) SameLevel(a, b graph.ID) bool {
-	ia, ok1 := s.of[a]
-	ib, ok2 := s.of[b]
-	return ok1 && ok2 && ia == ib
+	ia, ib := s.LevelOf(a), s.LevelOf(b)
+	return ia >= 0 && ia == ib
 }
 
 // HigherLevel reports whether level i is strictly higher than level j:
@@ -135,9 +153,8 @@ func (s *Structure) HigherLevel(i, j int) bool {
 
 // Higher reports whether vertex a is strictly higher than vertex b.
 func (s *Structure) Higher(a, b graph.ID) bool {
-	ia, ok1 := s.of[a]
-	ib, ok2 := s.of[b]
-	return ok1 && ok2 && s.HigherLevel(ia, ib)
+	ia, ib := s.LevelOf(a), s.LevelOf(b)
+	return ia >= 0 && ib >= 0 && s.HigherLevel(ia, ib)
 }
 
 // Comparable reports whether the two levels are ordered either way.
@@ -148,9 +165,8 @@ func (s *Structure) Comparable(i, j int) bool {
 // Knows reports whether information can flow from b to a under the
 // structure's relation (a is higher than or level with b).
 func (s *Structure) Knows(a, b graph.ID) bool {
-	ia, ok1 := s.of[a]
-	ib, ok2 := s.of[b]
-	if !ok1 || !ok2 {
+	ia, ib := s.LevelOf(a), s.LevelOf(b)
+	if ia < 0 || ib < 0 {
 		return false
 	}
 	return ia == ib || s.reach[ia][ib]
@@ -197,7 +213,7 @@ func (s *Structure) ObjectLevel(o graph.ID) (int, bool) {
 		if !s.g.IsSubject(v) {
 			return
 		}
-		if i, ok := s.of[v]; ok && !seen[i] {
+		if i := s.LevelOf(v); i >= 0 && !seen[i] {
 			seen[i] = true
 			accessors = append(accessors, i)
 		}
@@ -217,4 +233,12 @@ func (s *Structure) ObjectLevel(o graph.ID) (int, bool) {
 		}
 	}
 	return lowest, true
+}
+
+// setLevelOf grows the of array as needed and records v's level.
+func (s *Structure) setLevelOf(v graph.ID, idx int32) {
+	for int(v) >= len(s.of) {
+		s.of = append(s.of, -1)
+	}
+	s.of[v] = idx
 }

@@ -9,24 +9,25 @@ import (
 
 // AnalyzeRWTG computes the rwtg-level structure: maximal sets of subjects
 // with mutual can•know (§5). Levels contain only subjects; LevelOf returns
-// -1 for objects.
+// -1 for objects. See AnalyzeRWTGObs for the budgeted, instrumented,
+// parallel entry point.
 func AnalyzeRWTG(g *graph.Graph) *Structure {
-	subjects := g.Subjects()
-	// Tabulate the "knows" digraph on subjects with one closure per
-	// subject, then reuse the SCC machinery.
-	knows := make(map[graph.ID][]graph.ID, len(subjects))
-	for _, u := range subjects {
-		closure := analysis.KnowClosure(g, u)
-		var ks []graph.ID
-		for _, v := range subjects {
-			if v != u && closure[v] {
-				ks = append(ks, v)
-			}
-		}
-		knows[u] = ks
+	s, err := AnalyzeRWTGObs(g, Options{})
+	if err != nil {
+		panic(err) // unreachable: a nil budget never trips
 	}
-	s := sccOf(g, subjects, func(u graph.ID) []graph.ID { return knows[u] })
-	s.computeReach(func(u graph.ID) []graph.ID { return knows[u] })
+	return s
+}
+
+// AnalyzeRWReference is the original sequential map-based rw-level
+// derivation, retained verbatim as an independent oracle: the engine
+// equivalence property tests compare the flat-array and incremental paths
+// against it, and experiment E20 uses it as the pre-optimization ablation
+// baseline.
+func AnalyzeRWReference(g *graph.Graph) *Structure {
+	succ := func(u graph.ID) []graph.ID { return stepTargets(g, u) }
+	s := sccOf(g, g.Vertices(), succ)
+	s.computeReach(succ)
 	return s
 }
 
@@ -70,28 +71,32 @@ func sccOf(g *graph.Graph, vs []graph.ID, succ func(graph.ID) []graph.ID) *Struc
 			rev[v] = append(rev[v], u)
 		}
 	}
-	of := make(map[graph.ID]int, len(vs))
-	var levels [][]graph.ID
+	s := &Structure{g: g}
+	s.of = make([]int32, g.Cap())
+	for i := range s.of {
+		s.of[i] = -1
+	}
+	done := func(v graph.ID) bool { return s.of[v] >= 0 }
 	for i := len(order) - 1; i >= 0; i-- {
 		root := order[i]
-		if _, done := of[root]; done {
+		if done(root) {
 			continue
 		}
-		idx := len(levels)
+		idx := int32(len(s.levels))
 		comp := []graph.ID{root}
-		of[root] = idx
+		s.of[root] = idx
 		for head := 0; head < len(comp); head++ {
 			for _, u := range rev[comp[head]] {
-				if _, done := of[u]; !done {
-					of[u] = idx
+				if !done(u) {
+					s.of[u] = idx
 					comp = append(comp, u)
 				}
 			}
 		}
 		sort.Slice(comp, func(a, b int) bool { return comp[a] < comp[b] })
-		levels = append(levels, comp)
+		s.levels = append(s.levels, comp)
 	}
-	return &Structure{g: g, levels: levels, of: of}
+	return s
 }
 
 // IslandsWithinLevels verifies Lemma 5.1 on a graph: every island must be

@@ -25,27 +25,18 @@ func (v Violation) String() string {
 // is false. The de jure rules must not let any vertex — regardless of how
 // many subjects conspire — learn information classified above it.
 //
+// The sweep runs one bulk can•know closure per vertex — subjects and
+// objects uniformly (can•know(x, y) holds iff y is in x's closure), which
+// replaced the former Θ(V²) object × vertex pairwise scan. See SecureObs
+// for the budgeted, instrumented, parallel entry point.
+//
 // The returned violation (if any) is a witness pair.
 func Secure(g *graph.Graph) (bool, *Violation) {
-	rw := AnalyzeRW(g)
-	for _, u := range g.Subjects() {
-		closure := analysis.KnowClosure(g, u)
-		for v := range closure {
-			if v != u && rw.Higher(v, u) {
-				return false, &Violation{Lower: u, Upper: v}
-			}
-		}
+	ok, v, err := SecureObs(g, Options{})
+	if err != nil {
+		panic(err) // unreachable: a nil budget never trips
 	}
-	// Non-subject x can still "know" via spans writing into it; check
-	// objects against the same rule using pairwise can•know.
-	for _, x := range g.Objects() {
-		for _, y := range g.Vertices() {
-			if x != y && rw.Higher(y, x) && analysis.CanKnow(g, x, y) {
-				return false, &Violation{Lower: x, Upper: y}
-			}
-		}
-	}
-	return true, nil
+	return ok, v
 }
 
 // StrictSecure is the stronger predicate: the de jure rules must add no
@@ -53,16 +44,14 @@ func Secure(g *graph.Graph) (bool, *Violation) {
 // coincide with can•know•f on every pair. This also rejects flows between
 // incomparable levels (the military-lattice reading of security), which
 // the paper's definition — phrased only for ordered pairs — permits.
+// See StrictSecureObs for the budgeted, instrumented, parallel entry
+// point.
 func StrictSecure(g *graph.Graph) (bool, *Violation) {
-	for _, u := range g.Vertices() {
-		closure := analysis.KnowClosure(g, u)
-		for v := range closure {
-			if v != u && !analysis.CanKnowF(g, u, v) {
-				return false, &Violation{Lower: u, Upper: v}
-			}
-		}
+	ok, v, err := StrictSecureObs(g, Options{})
+	if err != nil {
+		panic(err) // unreachable: a nil budget never trips
 	}
-	return true, nil
+	return ok, v
 }
 
 // LinkViolation is a bridge or connection that crosses rwtg-levels in a

@@ -124,15 +124,39 @@ func (sc *scratch) reset(size int) {
 // (graph.Snapshot): concurrent searches share one immutable flat-array
 // view instead of each sorting map iterations.
 func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
-	snap := g.Snapshot()
-	numStates := len(n.states)
-	size := snap.Cap() * numStates
 	res := &Result{
 		g:       g,
 		n:       n,
-		states:  numStates,
+		states:  len(n.states),
 		accepts: make(map[graph.ID]int32),
 	}
+	res.visited, res.scanned, res.err = searchRun(g, n, starts, opts, res, nil)
+	return res
+}
+
+// SearchVisit is the allocation-free variant of Search for bulk closure
+// computation: instead of materializing a Result it streams each accepted
+// vertex to visit, in discovery order, exactly once per vertex (the accept
+// product state is enqueued at most once). It always runs on pooled
+// scratch — Options.Trace is rejected — and returns the visited/scanned
+// work counters plus the budget error, if any. On a non-nil error the
+// vertices already streamed cover only the states expanded before the
+// abort and must not be read as a complete closure.
+func SearchVisit(g *graph.Graph, n *NFA, starts []graph.ID, opts Options, visit func(graph.ID)) (visited, scanned int, err error) {
+	if opts.Trace {
+		panic("relang: SearchVisit does not support Options.Trace")
+	}
+	return searchRun(g, n, starts, opts, nil, visit)
+}
+
+// searchRun is the product-BFS core shared by Search and SearchVisit.
+// With res non-nil it records acceptance (and, when tracing, parents and
+// steps) on the Result; with res nil it streams accepted vertices to visit
+// and leaves no allocation behind beyond pool growth.
+func searchRun(g *graph.Graph, n *NFA, starts []graph.ID, opts Options, res *Result, visit func(graph.ID)) (nVisited, nScanned int, err error) {
+	snap := g.Snapshot()
+	numStates := len(n.states)
+	size := snap.Cap() * numStates
 
 	var (
 		sc     *scratch
@@ -164,14 +188,20 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 		}
 		stamp[k] = epoch
 		parent[k] = par
-		if res.steps != nil {
+		if res != nil && res.steps != nil {
 			res.steps[k] = step
 		}
 		queue = append(queue, k)
 		if st == n.accept {
-			if _, seen := res.accepts[v]; !seen {
-				res.accepts[v] = k
-				res.order = append(res.order, v)
+			// The accept product state of v is enqueued at most once, so
+			// both sinks see each vertex exactly once.
+			if res != nil {
+				if _, seen := res.accepts[v]; !seen {
+					res.accepts[v] = k
+					res.order = append(res.order, v)
+				}
+			} else if visit != nil {
+				visit(v)
 			}
 		}
 	}
@@ -187,8 +217,8 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 	bud := opts.Budget
 	for head := 0; head < len(queue); head++ {
 		if bud != nil {
-			if err := bud.Charge(1); err != nil {
-				res.err = err
+			if cerr := bud.Charge(1); cerr != nil {
+				err = cerr
 				break
 			}
 		}
@@ -212,7 +242,7 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 		inDst, inLbl := snap.In(v)
 		for _, tr := range st.syms {
 			if tr.sym.Dir == Fwd {
-				res.scanned += len(outDst)
+				nScanned += len(outDst)
 				for j, w := range outDst {
 					if !labelFor(snap.Label(outLbl[j]), opts.View).Has(tr.sym.Right) {
 						continue
@@ -223,7 +253,7 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 					add(w, tr.to, k, Step{From: v, To: w, Sym: tr.sym})
 				}
 			} else {
-				res.scanned += len(inDst)
+				nScanned += len(inDst)
 				for j, w := range inDst {
 					if !labelFor(snap.Label(inLbl[j]), opts.View).Has(tr.sym.Right) {
 						continue
@@ -236,12 +266,12 @@ func Search(g *graph.Graph, n *NFA, starts []graph.ID, opts Options) *Result {
 			}
 		}
 	}
-	res.visited = len(queue)
+	nVisited = len(queue)
 	if sc != nil {
 		sc.queue = queue // keep the (possibly grown) backing array
 		scratchPool.Put(sc)
 	}
-	return res
+	return nVisited, nScanned, err
 }
 
 // Visited returns the number of product states (vertex, nfa-state) the

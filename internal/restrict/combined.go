@@ -42,6 +42,16 @@ func NewCombined(l Leveler) *Combined {
 // Name implements Restriction.
 func (c *Combined) Name() string { return "combined(no-read-up,no-write-down)" }
 
+// Rebase swaps in a freshly derived classification after a mutation and
+// forgets inherited levels: every vertex alive at derivation time now has
+// its own level, so the created map would only shadow real assignments.
+// Callers serialize Rebase with Allows/NoteCreate (the service's write
+// lock does).
+func (c *Combined) Rebase(l Leveler) {
+	c.L = l
+	clear(c.created)
+}
+
 // levelOf resolves a vertex's classification, consulting inherited levels
 // for created vertices.
 func (c *Combined) levelOf(v graph.ID) int {

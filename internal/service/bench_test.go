@@ -83,7 +83,9 @@ func BenchmarkQueryColdRevision(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		body := fmt.Sprintf(`{"op":"create","x":"a1","name":"s%d","kind":"object","rights":"r,w"}`, i)
 		rec := httptest.NewRecorder()
-		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/apply", strings.NewReader(body)))
+		req := httptest.NewRequest(http.MethodPost, "/apply", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		h.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatalf("apply %d = %d", i, rec.Code)
 		}

@@ -112,6 +112,10 @@ type Config struct {
 	// BatchWorkers bounds the worker pool one POST /query/batch request fans
 	// its items across; 0 means GOMAXPROCS.
 	BatchWorkers int
+	// HierarchyWorkers bounds the worker pool the hierarchy engine fans
+	// derivation (closure sweeps, reachability rows, §5 sweeps) across;
+	// 0 means GOMAXPROCS.
+	HierarchyWorkers int
 }
 
 // DefaultSnapshotEvery is the snapshot cadence when Config.SnapshotEvery
@@ -133,10 +137,17 @@ type faultCounters struct {
 type Server struct {
 	// mu is the read/write split: mutations (PUT /graph, POST /apply) hold
 	// the write lock; every query holds the read lock.
-	mu      sync.RWMutex
-	g       *graph.Graph
-	gen     uint64 // bumped per install; part of every cache key
-	class   *hierarchy.Structure
+	mu  sync.RWMutex
+	g   *graph.Graph
+	gen uint64 // bumped per install; part of every cache key
+	// engine maintains the rw-level structure incrementally across
+	// mutations; class is its current derivation (what the guard, /levels
+	// and /audit judge against).
+	engine *hierarchy.Engine
+	class  *hierarchy.Structure
+	// comb is the installed §5 restriction; rearm rebases it onto the
+	// fresh structure instead of reallocating it per mutation.
+	comb    *restrict.Combined
 	logged  *restrict.Logged
 	guard   *restrict.Guarded
 	cache   *qcache.Cache
@@ -201,19 +212,25 @@ func nopLogger() *slog.Logger { return slog.New(nopHandler{}) }
 func (s *Server) install(g *graph.Graph) {
 	s.gen++
 	s.g = g
-	s.class = hierarchy.AnalyzeRW(g)
-	s.logged = restrict.NewLogged(restrict.NewCombined(s.class))
+	if s.engine != nil {
+		s.engine.Detach() // stop recording into the outgoing graph
+	}
+	s.engine = hierarchy.NewEngine(g, s.cfg.HierarchyWorkers)
+	s.class = s.engine.Structure()
+	s.comb = restrict.NewCombined(s.class)
+	s.logged = restrict.NewLogged(s.comb)
 	s.guard = restrict.NewGuarded(g, s.logged)
 	s.cache.Reset()
 }
 
-// rearm re-derives the rw-level structure from the live graph after a
-// successful mutation, so the guard's next verdict reflects the
-// post-mutation hierarchy. The decision trail and guard counters persist.
-// Callers hold the write lock.
-func (s *Server) rearm() {
-	s.class = hierarchy.AnalyzeRW(s.g)
-	s.logged.Inner = restrict.NewCombined(s.class)
+// rearm brings the rw-level structure up to date after a successful
+// mutation, so the guard's next verdict reflects the post-mutation
+// hierarchy. The engine patches the structure in place for monotone
+// changes and only re-derives from scratch after destructive ones; the
+// decision trail and guard counters persist. Callers hold the write lock.
+func (s *Server) rearm(p *obs.Probe) {
+	s.class = s.engine.Rearm(p)
+	s.comb.Rebase(s.class)
 }
 
 // cached memoizes a decision-procedure result at the current (generation,
@@ -495,9 +512,10 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, err)
 		return
 	}
-	// The graph changed; re-derive the hierarchy so the next verdict is
-	// judged against live rw-levels, not the ones at install time.
-	s.rearm()
+	// The graph changed; bring the hierarchy up to date so the next
+	// verdict is judged against live rw-levels, not the ones at install
+	// time. The probe picks up the engine's patch/rebuild span.
+	s.rearm(obs.ProbeFrom(r.Context()))
 	// Durability before acknowledgement: the 200 below means the mutation
 	// survives a crash. An append failure flips the server into degraded
 	// mode (this and all further mutations refused, reads unaffected).
@@ -761,22 +779,33 @@ func (s *Server) handleIslands(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSecure(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	resp := s.cached(obs.ProbeFrom(r.Context()), "secure", "", func() any {
-		ok, v := hierarchy.Secure(s.g)
-		out := map[string]any{"secure": ok}
-		if v != nil {
-			out["lower"] = s.g.Name(v.Lower)
-			out["upper"] = s.g.Name(v.Upper)
+	p := obs.ProbeFrom(r.Context())
+	v, err := s.cachedErr(p, "secure", "", func() (any, error) {
+		// The engine sweeps against its cached structure — the same one
+		// the guard enforces — instead of re-deriving the hierarchy per
+		// verdict. Budget exhaustion aborts with 503, uncached.
+		ok, viol, err := s.engine.Secure(p, s.budgetFor(r))
+		if err != nil {
+			return nil, err
 		}
-		return out
-	}).(map[string]any)
-	writeJSON(w, resp)
+		out := map[string]any{"secure": ok}
+		if viol != nil {
+			out["lower"] = s.g.Name(viol.Lower)
+			out["upper"] = s.g.Name(viol.Upper)
+		}
+		return out, nil
+	})
+	if err != nil {
+		s.queryErr(w, r, err)
+		return
+	}
+	writeJSON(w, v.(map[string]any))
 }
 
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	viols := restrict.NewCombined(s.class).Audit(s.g)
+	viols := s.comb.Audit(s.g)
 	var out []string
 	for _, v := range viols {
 		out = append(out, fmt.Sprintf("(%s) %s→%s %s", v.Rule,
@@ -854,16 +883,20 @@ type FaultStats struct {
 
 // Stats is the GET /stats report.
 type Stats struct {
-	Revision   uint64                `json:"revision"`
-	Generation uint64                `json:"generation"`
-	Vertices   int                   `json:"vertices"`
-	Edges      int                   `json:"edges"`
-	Levels     int                   `json:"levels"`
-	Cache      qcache.Stats          `json:"cache"`
-	Guard      GuardStats            `json:"guard"`
-	Routes     map[string]RouteStats `json:"routes"`
-	Faults     FaultStats            `json:"faults"`
-	Batch      BatchStats            `json:"batch"`
+	Revision   uint64       `json:"revision"`
+	Generation uint64       `json:"generation"`
+	Vertices   int          `json:"vertices"`
+	Edges      int          `json:"edges"`
+	Levels     int          `json:"levels"`
+	Cache      qcache.Stats `json:"cache"`
+	Guard      GuardStats   `json:"guard"`
+	// Hierarchy reports the write-path engine's maintenance counters:
+	// incremental patches vs full rebuilds, patched-edge outcomes, and
+	// dirty-set sizes.
+	Hierarchy hierarchy.EngineStats `json:"hierarchy"`
+	Routes    map[string]RouteStats `json:"routes"`
+	Faults    FaultStats            `json:"faults"`
+	Batch     BatchStats            `json:"batch"`
 	// Journal is present when the server runs with a data directory;
 	// Degraded reports a journal write failure that froze mutations.
 	Journal  *JournalStats `json:"journal,omitempty"`
@@ -883,6 +916,7 @@ func (s *Server) Stats() Stats {
 		Levels:     s.class.NumLevels(),
 		Cache:      s.cache.Stats(),
 		Guard:      guardStats(s.guard),
+		Hierarchy:  s.engine.Stats(),
 		Routes:     s.metrics.snapshot(),
 		Faults: FaultStats{
 			Panics:          s.faults.panics.Load(),
@@ -995,6 +1029,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				append(append([]obs.Label(nil), labels...), obs.L("kind", ck)), float64(ps.Counts[ck]))
 		}
 	}
+
+	// Write-path hierarchy engine: a mutation stream dominated by
+	// monotone rule applications should show patches ≫ rebuilds.
+	pw.Counter("takegrant_hierarchy_rebuilds_total", "Full from-scratch hierarchy derivations.",
+		nil, float64(st.Hierarchy.Rebuilds))
+	pw.Counter("takegrant_hierarchy_patches_total", "Rearms answered by in-place structure patching.",
+		nil, float64(st.Hierarchy.Patches))
+	pw.Counter("takegrant_hierarchy_invalidations_total", "Destructive mutations forcing a rebuild.",
+		nil, float64(st.Hierarchy.Invalidations))
+	for _, oc := range []struct {
+		outcome string
+		n       uint64
+	}{{"noop", st.Hierarchy.NoopEdges}, {"insert", st.Hierarchy.Inserts}, {"merge", st.Hierarchy.Merges}} {
+		pw.Counter("takegrant_hierarchy_patch_edges_total", "Step edges processed by the incremental patcher, by outcome.",
+			[]obs.Label{obs.L("outcome", oc.outcome)}, float64(oc.n))
+	}
+	pw.Gauge("takegrant_hierarchy_dirty_last", "Dirty-set size at the most recent rearm.",
+		nil, float64(st.Hierarchy.LastDirty))
+	pw.Gauge("takegrant_hierarchy_dirty_max", "Largest dirty-set size observed at a rearm.",
+		nil, float64(st.Hierarchy.MaxDirty))
+	pw.Gauge("takegrant_hierarchy_workers", "Worker-pool bound for parallel derivation.",
+		nil, float64(st.Hierarchy.Workers))
 
 	// Degradation counters: a healthy monitor keeps these flat.
 	pw.Counter("takegrant_panics_total", "Handler panics caught by the recovery middleware.",

@@ -105,7 +105,7 @@ func (s *Server) replay(rec journal.Record) error {
 		if err := s.guard.Apply(app); err != nil {
 			return fmt.Errorf("replay %q application: %w", req.Op, err)
 		}
-		s.rearm()
+		s.rearm(nil)
 	default:
 		return fmt.Errorf("unknown record kind %q", rec.Kind)
 	}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"takegrant/internal/hierarchy"
 	"takegrant/internal/specimens"
 )
 
@@ -63,10 +64,10 @@ func TestStressMixedTraffic(t *testing.T) {
 	do(t, h, http.MethodGet, "/stats", "", &before)
 
 	const (
-		writers       = 4
-		createsPerW   = 25
-		readers       = 8
-		readsPerR     = 60
+		writers     = 4
+		createsPerW = 25
+		readers     = 8
+		readsPerR   = 60
 		// a1 can never know bbb1 in the military lattice (categories A and
 		// B are incomparable, and no t/g edges exist to move rights), and
 		// same-level scratch creates cannot change that — so every answer
@@ -169,5 +170,107 @@ func TestStressMixedTraffic(t *testing.T) {
 	}
 	if s1.Revision != s2.Revision || s2.Revision != uint64(st.Revision) {
 		t.Errorf("revision moved without mutation: %d, %d, %v", s1.Revision, s2.Revision, st.Revision)
+	}
+}
+
+// TestStressApplyVsHierarchyReads hammers the engine's write path: POST
+// /apply mutations — monotone creates (patched in place) interleaved with
+// destructive removes (wholesale rebuilds) — race against GET /secure and
+// GET /levels readers. Run under -race. At quiescence the installed
+// structure must be equivalent to a from-scratch derivation by the
+// map-based oracle, the /secure verdict must match the stock predicate,
+// and the engine counters must show both paths were exercised.
+func TestStressApplyVsHierarchyReads(t *testing.T) {
+	srv := New()
+	h := srv.Handler()
+	src, err := specimens.Source("military")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := do(t, h, http.MethodPut, "/graph", src, nil); code != http.StatusOK {
+		t.Fatalf("load = %d", code)
+	}
+
+	const (
+		writers     = 3
+		createsPerW = 20
+		readers     = 6
+		readsPerR   = 50
+	)
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			actor := []string{"a1", "a2", "b1"}[wi]
+			for i := 0; i < createsPerW; i++ {
+				name := fmt.Sprintf("eng_%d_%d", wi, i)
+				body := fmt.Sprintf(`{"op":"create","x":"%s","name":"%s","kind":"object","rights":"r,w"}`, actor, name)
+				if code := do(t, h, http.MethodPost, "/apply", body, nil); code != http.StatusOK {
+					t.Errorf("create %s = %d", name, code)
+				}
+				// Writer 0 severs the read right to every other scratch it
+				// made: a destructive mutation, so the engine must rebuild
+				// rather than patch — both maintenance paths race readers.
+				if wi == 0 && i%2 == 1 {
+					prev := fmt.Sprintf("eng_%d_%d", wi, i-1)
+					body := fmt.Sprintf(`{"op":"remove","x":"%s","y":"%s","rights":"r"}`, actor, prev)
+					if code := do(t, h, http.MethodPost, "/apply", body, nil); code != http.StatusOK {
+						t.Errorf("remove %s = %d", prev, code)
+					}
+				}
+			}
+		}(wi)
+	}
+
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			for i := 0; i < readsPerR; i++ {
+				if i%2 == 0 {
+					var body map[string]any
+					if code := do(t, h, http.MethodGet, "/secure", "", &body); code != http.StatusOK {
+						t.Errorf("secure = %d", code)
+					} else if _, ok := body["secure"].(bool); !ok {
+						t.Errorf("secure verdict malformed: %v", body)
+					}
+				} else {
+					req := httptest.NewRequest(http.MethodGet, "/levels", nil)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "level") {
+						t.Errorf("levels = %d %q", rec.Code, rec.Body.String())
+					}
+				}
+			}
+		}(ri)
+	}
+
+	wg.Wait()
+
+	// Sequential oracles at quiescence: the incrementally maintained
+	// structure must be equivalent to a from-scratch derivation, and the
+	// served verdict must match the stock §5 predicate.
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	if !srv.class.EquivalentTo(hierarchy.AnalyzeRWReference(srv.g)) {
+		t.Error("installed structure diverged from the from-scratch oracle")
+	}
+	wantOK, _ := hierarchy.Secure(srv.g)
+	gotOK, _, err := srv.engine.Secure(nil, nil)
+	if err != nil {
+		t.Fatalf("engine secure: %v", err)
+	}
+	if gotOK != wantOK {
+		t.Errorf("served verdict %v, oracle %v", gotOK, wantOK)
+	}
+	st := srv.engine.Stats()
+	if st.Patches == 0 {
+		t.Error("no monotone mutation was patched in place")
+	}
+	if st.Invalidations == 0 || st.Rebuilds < 2 {
+		t.Errorf("destructive removes did not force rebuilds: %+v", st)
 	}
 }
