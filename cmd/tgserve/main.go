@@ -14,6 +14,16 @@
 // panics are caught and answered with a 500 naming the trace ID, and
 // SIGINT/SIGTERM drain in-flight requests then write a final snapshot.
 //
+// Scale-out: every graph route takes ?ns=<name>, an isolated namespace
+// with its own graph, revision, hierarchy and journal directory. With
+// -replica-of URL the process runs as a read replica: it tails the
+// leader's write-ahead logs (all namespaces), replays each record
+// through the same guarded path the leader ran, serves every read route,
+// and answers mutations with 503 read_only. With -peers (a comma-
+// separated list of every node's base URL, this one included as
+// -advertise) the process owns only the namespaces a consistent-hash
+// ring assigns it and redirects the rest with 307.
+//
 // Observability: GET /stats reports query-cache hit/miss/eviction
 // counters, per-route request counts and latency quantiles, the current
 // graph revision and size, plus panic/shed/budget-exhausted and journal
@@ -30,6 +40,8 @@
 //	tgserve -addr :8080 [-data DIR] [-specimen fig61 | -f graph.tg]
 //	        [-query-timeout 5s] [-max-visited 1000000] [-max-inflight 32]
 //	        [-batch-workers 8] [-pprof]
+//	        [-replica-of http://leader:8080 [-replica-poll 500ms]]
+//	        [-peers http://a:8080,http://b:8080 -advertise http://a:8080]
 package main
 
 import (
@@ -50,6 +62,7 @@ import (
 	"time"
 
 	"takegrant/internal/service"
+	"takegrant/internal/shard"
 	"takegrant/internal/specimens"
 	"takegrant/internal/tgio"
 )
@@ -70,8 +83,21 @@ func main() {
 		hierW    = flag.Int("hier-workers", 0, "worker pool the hierarchy engine fans derivation across (0 = GOMAXPROCS)")
 		snapN    = flag.Int("snapshot-every", 0, "journaled mutations between snapshots (0 = default)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain period for in-flight requests")
+		replica  = flag.String("replica-of", "", "run as a read replica of this leader base URL (mutations answer 503)")
+		replPoll = flag.Duration("replica-poll", 500*time.Millisecond, "replication poll interval")
+		peers    = flag.String("peers", "", "comma-separated base URLs of every shard peer (enables namespace sharding)")
+		adv      = flag.String("advertise", "", "this node's base URL as it appears in -peers")
 	)
 	flag.Parse()
+	if *replica != "" && *data != "" {
+		log.Fatal("-data and -replica-of are mutually exclusive: a replica's durability is the leader's journal")
+	}
+	if *replica != "" && (*spec != "" || *file != "") {
+		log.Fatal("-replica-of cannot preload a graph: a replica's state comes from its leader")
+	}
+	if (*peers == "") != (*adv == "") {
+		log.Fatal("-peers and -advertise go together")
+	}
 
 	srv := service.NewWith(service.Config{
 		QueryTimeout:     *qTimeout,
@@ -97,9 +123,15 @@ func main() {
 				*data, st.Revision, st.Vertices, st.Journal.Recovered)
 		}
 	}
+	if *replica != "" {
+		if err := srv.StartReplica(*replica, *replPoll); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("replicating from %s every %s; mutations answer 503 read_only", *replica, *replPoll)
+	}
 	expvar.Publish("takegrant", expvar.Func(func() any { return srv.Stats() }))
 	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
+	mux.Handle("/", shardRedirect(*peers, *adv, srv.Handler()))
 	mux.Handle("/debug/vars", expvar.Handler())
 	if *profile {
 		// Opt-in only: the profiler exposes stacks and heap contents, which
@@ -185,4 +217,50 @@ func main() {
 		log.Printf("close: %v", err)
 	}
 	log.Printf("shutdown complete")
+}
+
+// shardRedirect spreads namespaces across a peer fleet: requests for a
+// namespace the consistent-hash ring assigns to another peer are
+// answered with 307 to that peer (method and body preserved), so any
+// node can be a client's entry point. Process-level routes (/stats,
+// /metrics, /debug/*) and the replication feed always answer locally.
+// With no peers configured it is the identity.
+func shardRedirect(peerList, advertise string, next http.Handler) http.Handler {
+	if peerList == "" {
+		return next
+	}
+	var peers []string
+	for _, p := range strings.Split(peerList, ",") {
+		if p = strings.TrimSpace(strings.TrimRight(p, "/")); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	ring := shard.New(peers)
+	advertise = strings.TrimRight(advertise, "/")
+	owned := false
+	for _, p := range peers {
+		owned = owned || p == advertise
+	}
+	if !owned {
+		log.Fatalf("-advertise %s is not in -peers %s", advertise, peerList)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/stats", r.URL.Path == "/metrics",
+			strings.HasPrefix(r.URL.Path, "/debug/"),
+			strings.HasPrefix(r.URL.Path, "/replication/"):
+			next.ServeHTTP(w, r)
+			return
+		}
+		ns := r.URL.Query().Get("ns")
+		if ns == "" {
+			ns = service.DefaultNamespace
+		}
+		if owner := ring.Owner(ns); owner != advertise {
+			// 307 keeps the method and body: a redirected PUT stays a PUT.
+			http.Redirect(w, r, owner+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }

@@ -16,9 +16,10 @@ import (
 )
 
 var (
-	active atomic.Bool // fast-path gate: false ⇒ no hooks anywhere
-	mu     sync.Mutex
-	hooks  map[string]func()
+	active   atomic.Bool // fast-path gate: false ⇒ no hooks anywhere
+	mu       sync.Mutex
+	hooks    map[string]func()
+	errHooks map[string]func() error
 )
 
 // Inject runs the hook installed under name, if any. The common case —
@@ -35,6 +36,38 @@ func Inject(name string) {
 	}
 }
 
+// InjectErr consults the error hook installed under name. Production
+// points where a failure must surface as an error — a failed disk write,
+// not a panic — call it just before the real operation; the injected
+// error stands in for the operation failing. Nil with no hook installed,
+// at the same one-atomic-load cost as Inject.
+func InjectErr(name string) error {
+	if !active.Load() {
+		return nil
+	}
+	mu.Lock()
+	f := errHooks[name]
+	mu.Unlock()
+	if f != nil {
+		return f()
+	}
+	return nil
+}
+
+// SetErr installs f as the error hook for name, replacing any previous
+// hook. The hook may also perform damage (e.g. scribble on the file the
+// production code was about to write) before returning its error.
+// Test-only; pair with a deferred Clear or Reset.
+func SetErr(name string, f func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if errHooks == nil {
+		errHooks = make(map[string]func() error)
+	}
+	errHooks[name] = f
+	active.Store(true)
+}
+
 // Set installs f as the hook for name, replacing any previous hook.
 // Test-only; pair with a deferred Clear or Reset.
 func Set(name string, f func()) {
@@ -47,12 +80,13 @@ func Set(name string, f func()) {
 	active.Store(true)
 }
 
-// Clear removes the hook for name.
+// Clear removes the hooks for name.
 func Clear(name string) {
 	mu.Lock()
 	defer mu.Unlock()
 	delete(hooks, name)
-	if len(hooks) == 0 {
+	delete(errHooks, name)
+	if len(hooks) == 0 && len(errHooks) == 0 {
 		active.Store(false)
 	}
 }
@@ -62,5 +96,6 @@ func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
 	hooks = nil
+	errHooks = nil
 	active.Store(false)
 }

@@ -1,0 +1,282 @@
+package journal
+
+// Write-path hardening suite (all names carry "Fault" so CI's
+// `go test -run Fault -race` picks them up):
+//
+//   - a failed Write/Sync inside Append latches the journal instead of
+//     letting the next Append put a duplicate-seq frame behind torn bytes,
+//   - recovery distinguishes a torn tail (truncate, replay the prefix)
+//     from mid-file corruption (fail loudly with ErrCorrupt),
+//   - Append and WriteSnapshot may interleave from different goroutines
+//     without ever stranding a record in the WAL with seq <= the
+//     snapshot's LastSeq,
+//   - Follow ships gapless WAL tails and reports when a snapshot
+//     compacted the requested range away.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"takegrant/internal/fault"
+)
+
+// corruptFrame flips payload bytes of the n-th frame (0-based) in the
+// WAL, leaving its length prefix intact — a CRC mismatch mid-file.
+func corruptFrame(t *testing.T, dir string, n int) {
+	t.Helper()
+	path := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := len(walHeader)
+	for i := 0; i < n; i++ {
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		off += 8 + int(length)
+	}
+	// Scribble inside the payload so the frame chain (length prefixes)
+	// stays walkable but the CRC no longer matches.
+	data[off+8] ^= 0xFF
+	data[off+9] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultAppendFailureLatchesJournal(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	j, _, _ := openT(t, dir)
+	appendT(t, j, KindApply, map[string]string{"op": "one"})
+	appendT(t, j, KindApply, map[string]string{"op": "two"})
+
+	// The injected failure stands in for a short write AND does the
+	// damage a real one would: only part of the frame lands in the WAL.
+	walPath := filepath.Join(dir, "wal.log")
+	fault.SetErr("journal:append-write", func() error {
+		f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		f.Write([]byte{0x13, 0x37, 0xbe}) // half a length prefix
+		return errors.New("injected: device gone")
+	})
+	if _, err := j.Append(KindApply, map[string]string{"op": "three"}); err == nil {
+		t.Fatal("Append with failing write returned nil")
+	}
+	fault.Clear("journal:append-write")
+
+	// The latch: LastSeq must not have advanced, and further appends are
+	// refused with ErrLatched even though the hook is gone — without the
+	// latch this next Append would write seq 3 again, AFTER the torn
+	// bytes, and recovery would truncate the valid record away with them.
+	if got := j.Stats().LastSeq; got != 2 {
+		t.Fatalf("LastSeq after failed append = %d, want 2", got)
+	}
+	if !j.Stats().Latched {
+		t.Error("Stats().Latched = false after failed append")
+	}
+	if _, err := j.Append(KindApply, map[string]string{"op": "four"}); !errors.Is(err, ErrLatched) {
+		t.Fatalf("Append after failure = %v, want ErrLatched", err)
+	}
+	if err := j.WriteSnapshot(Meta{Revision: 9}, "subject a\n"); !errors.Is(err, ErrLatched) {
+		t.Fatalf("WriteSnapshot after failure = %v, want ErrLatched", err)
+	}
+	j.Close()
+
+	// Restart is the recovery path: the torn bytes are the tail, the two
+	// acknowledged records replay, and the next seq continues from 2.
+	j2, snap, recs := openT(t, dir)
+	defer j2.Close()
+	if snap != nil || len(recs) != 2 {
+		t.Fatalf("recovery: snap=%v records=%d, want nil snap, 2 records", snap, len(recs))
+	}
+	if j2.Stats().TruncatedBytes == 0 {
+		t.Error("recovery did not truncate the torn bytes")
+	}
+	if seq := appendT(t, j2, KindApply, map[string]string{"op": "three"}); seq != 3 {
+		t.Fatalf("seq after recovery = %d, want 3", seq)
+	}
+}
+
+func TestFaultMidFileCorruptionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openT(t, dir)
+	for i := 0; i < 4; i++ {
+		appendT(t, j, KindApply, map[string]int{"i": i})
+	}
+	j.Close()
+	corruptFrame(t, dir, 1) // frame 1 damaged; frames 2 and 3 intact beyond it
+
+	if _, _, _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over mid-file corruption = %v, want ErrCorrupt", err)
+	}
+	// Nothing was truncated: the evidence is preserved for the operator.
+	info, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() <= int64(len(walHeader)) {
+		t.Error("corrupt WAL was truncated; recovery must not destroy evidence")
+	}
+}
+
+func TestFaultLastFrameDamageIsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openT(t, dir)
+	for i := 0; i < 3; i++ {
+		appendT(t, j, KindApply, map[string]int{"i": i})
+	}
+	j.Close()
+	corruptFrame(t, dir, 2) // the LAST frame: no valid records beyond it
+
+	// Same damage, different position: with nothing decodable after it,
+	// this is indistinguishable from a crash mid-append — truncate and
+	// replay the prefix.
+	j2, _, recs := openT(t, dir)
+	defer j2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+	if j2.Stats().TruncatedBytes == 0 {
+		t.Error("torn tail was not truncated")
+	}
+	if j2.Stats().LastSeq != 2 {
+		t.Errorf("LastSeq = %d, want 2", j2.Stats().LastSeq)
+	}
+}
+
+// TestFaultConcurrentAppendSnapshotContract hammers Append from one
+// goroutine and WriteSnapshot from another (run under -race), then
+// verifies the writer-side invariant directly on the files: the WAL
+// never holds a record with seq <= the published snapshot's LastSeq, and
+// snapshot.LastSeq plus the replayed WAL tail reconstruct the full
+// acknowledged sequence with no gap and no duplicate.
+func TestFaultConcurrentAppendSnapshotContract(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openT(t, dir)
+
+	const appends = 400
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < appends; i++ {
+			appendT(t, j, KindApply, map[string]int{"i": i})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			// Meta fields other than LastSeq are irrelevant to the invariant.
+			if err := j.WriteSnapshot(Meta{Revision: uint64(i)}, fmt.Sprintf("snapshot %d\n", i)); err != nil {
+				t.Errorf("WriteSnapshot: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := j.Stats().LastSeq; got != appends {
+		t.Fatalf("LastSeq = %d, want %d (lost or duplicated seqs)", got, appends)
+	}
+	j.Close()
+
+	j2, snap, replay := openT(t, dir)
+	defer j2.Close()
+	if snap == nil {
+		t.Fatal("no snapshot survived")
+	}
+	next := snap.Meta.LastSeq + 1
+	for _, r := range replay {
+		if r.Seq <= snap.Meta.LastSeq {
+			t.Fatalf("WAL record seq %d <= snapshot LastSeq %d", r.Seq, snap.Meta.LastSeq)
+		}
+		if r.Seq != next {
+			t.Fatalf("WAL tail has a gap: seq %d, want %d", r.Seq, next)
+		}
+		next++
+	}
+	if next != appends+1 {
+		t.Fatalf("snapshot %d + %d replayed records ≠ %d acknowledged appends",
+			snap.Meta.LastSeq, len(replay), appends)
+	}
+}
+
+func TestFaultFollowShipsGaplessTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openT(t, dir)
+	defer j.Close()
+	for i := 1; i <= 6; i++ {
+		appendT(t, j, KindApply, map[string]int{"i": i})
+	}
+
+	recs, last, need, err := j.Follow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if need || last != 6 || len(recs) != 4 || recs[0].Seq != 3 || recs[3].Seq != 6 {
+		t.Fatalf("Follow(2) = %d recs, last %d, need %v", len(recs), last, need)
+	}
+	// Caught up: an empty tail, no bootstrap.
+	if recs, _, need, _ := j.Follow(6); len(recs) != 0 || need {
+		t.Fatalf("Follow(6) = %d recs, need %v, want 0 false", len(recs), need)
+	}
+
+	// A snapshot resets the WAL: sequences at or below its LastSeq are
+	// gone, so a follower still at seq 2 must be told to re-bootstrap...
+	if err := j.WriteSnapshot(Meta{Revision: 1}, "state\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, last, need, err := j.Follow(2); err != nil || !need || last != 6 {
+		t.Fatalf("Follow(2) after snapshot: last %d, need %v, err %v; want 6 true nil", last, need, err)
+	}
+	// ...while one that bootstrapped at the snapshot tails cleanly.
+	appendT(t, j, KindApply, map[string]int{"i": 7})
+	recs, last, need, err = j.Follow(6)
+	if err != nil || need || last != 7 || len(recs) != 1 || recs[0].Seq != 7 {
+		t.Fatalf("Follow(6) after snapshot+append = %d recs, last %d, need %v, err %v", len(recs), last, need, err)
+	}
+}
+
+// CRC collision paranoia: frameAfter must not mistake the torn tail's
+// own garbage for a stranded record.
+func TestFaultTornGarbageTailStaysTorn(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openT(t, dir)
+	appendT(t, j, KindApply, map[string]string{"op": "ok"})
+	j.Close()
+
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame-shaped prefix whose payload is valid JSON but fails the
+	// CRC, followed by noise — everything after the last whole record
+	// must read as one torn tail.
+	payload := []byte(`{"seq":99,"kind":"apply","data":{}}`)
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload)^0xdeadbeef)
+	copy(frame[8:], payload)
+	frame = append(frame, 0x00, 0x7f, 0x00)
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, _, recs := openT(t, dir)
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("replayed %d records, want the 1 acknowledged one", len(recs))
+	}
+	if j2.Stats().TruncatedBytes != int64(len(frame)) {
+		t.Errorf("TruncatedBytes = %d, want %d", j2.Stats().TruncatedBytes, len(frame))
+	}
+}

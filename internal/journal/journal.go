@@ -17,17 +17,40 @@
 //
 // and fsync'd before Append returns, so an acknowledged mutation is on
 // disk before the client sees 200. Sequence numbers increase by one per
-// record and never reset — they are what makes snapshotting safe (below).
+// record and never reset — they are what makes snapshotting safe (below)
+// and what lets a follower tail the log (Follow).
 //
 // # Recovery rules
 //
-// Open scans the WAL front to back. The first frame that cannot be read
-// whole — short header, short payload, impossible length, CRC mismatch,
-// or non-JSON payload — marks the torn tail left by a crash mid-append:
-// the file is truncated back to the last whole record and the scan stops.
-// Everything before the tear is returned for replay. A missing WAL or a
-// missing snapshot is not an error; an unreadable snapshot is (silently
-// starting empty would discard the graph).
+// Open scans the WAL front to back. A frame that cannot be read whole —
+// short header, short payload, impossible length, CRC mismatch, or
+// non-JSON payload — is classified by what follows it:
+//
+//   - Nothing but the bad bytes to end of file: the torn tail left by a
+//     crash mid-append. The file is truncated back to the last whole
+//     record; everything before the tear is returned for replay. The
+//     torn record was never acknowledged, so dropping it is correct.
+//   - At least one whole, CRC-valid record after the bad region:
+//     mid-file corruption. Records that WERE acknowledged as durable sit
+//     beyond the damage; silently truncating would discard them, and
+//     silently skipping the bad frame would replay a sequence with a
+//     hole. Open fails loudly with ErrCorrupt instead — this needs an
+//     operator (restore the file, or accept the snapshot alone), not a
+//     heuristic.
+//
+// A missing WAL or a missing snapshot is not an error; an unreadable
+// snapshot is (silently starting empty would discard the graph).
+//
+// # Failure latch
+//
+// A failed Write or Sync inside Append leaves the WAL in an unknown
+// state: part of the frame may be on disk. The journal latches into a
+// failed state (ErrLatched): the failed record's sequence number is NOT
+// consumed, and every later Append and WriteSnapshot is refused with the
+// original error — without the latch, the next Append would write a
+// duplicate-sequence frame after the torn bytes, turning one bad write
+// into a corrupt log. Recovery from a latched journal is a restart: Open
+// truncates the tear like any other crash.
 //
 // # Snapshot cadence
 //
@@ -37,17 +60,34 @@
 // records the sequence number of the last record it covers, and Open
 // skips WAL records at or below it — so a crash between the rename and
 // the WAL reset replays nothing twice.
+//
+// # Locking contract
+//
+// All methods are safe for concurrent use: one internal mutex serializes
+// Append, WriteSnapshot, Follow, Stats and Close. The ordering invariant
+// this enforces on the writer side: WriteSnapshot captures meta.LastSeq
+// and resets the WAL under the same critical section that assigns
+// sequence numbers, so a record can never land in the WAL with
+// Seq <= the published snapshot's LastSeq — an interleaved Append either
+// completes before the snapshot (and is covered by it) or starts after
+// the reset (and lands, with a higher Seq, in the fresh WAL). Without
+// the mutex an Append between the meta capture and the reset would fsync
+// a frame and then have it erased, losing an acknowledged record.
 package journal
 
 import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+
+	"takegrant/internal/fault"
 )
 
 // walHeader begins every WAL file; a mismatch means the file is not ours.
@@ -58,6 +98,14 @@ const walHeader = "TGWAL1\n"
 // largest payload is a full graph document, itself capped at 1 MB by the
 // service).
 const maxRecordBytes = 8 << 20
+
+// ErrCorrupt marks mid-file WAL corruption: a damaged frame with whole,
+// CRC-valid records beyond it. Recovery refuses to guess and fails.
+var ErrCorrupt = errors.New("journal: WAL corrupt mid-file")
+
+// ErrLatched marks a journal frozen by an earlier write failure; every
+// operation after the first failed Append is refused with this error.
+var ErrLatched = errors.New("journal: latched by earlier write failure")
 
 // Record kinds. KindGraph carries a whole .tg document (a PUT /graph);
 // KindApply carries one accepted rule application (a POST /apply body).
@@ -112,20 +160,29 @@ type Stats struct {
 	WalRecords uint64 `json:"wal_records"`
 	// LastSeq is the newest sequence number on disk.
 	LastSeq uint64 `json:"last_seq"`
+	// Latched is true once a write failure froze the journal.
+	Latched bool `json:"latched,omitempty"`
 }
 
-// Journal is an open data directory. Not safe for concurrent use: the
-// serving layer already serializes mutations behind its write lock.
+// Journal is an open data directory. Safe for concurrent use — see the
+// locking contract in the package comment.
 type Journal struct {
-	dir   string
+	dir string
+	// mu serializes every method. It is what upholds the snapshot/append
+	// ordering invariant: sequence assignment, the frame write+fsync, the
+	// snapshot's LastSeq capture and the WAL reset all happen under it.
+	mu    sync.Mutex
 	wal   *os.File
 	stats Stats
+	// failed latches the journal after a write/fsync error; see ErrLatched.
+	failed error
 }
 
 // Open loads the data directory (creating it if needed), returning the
 // journal ready for appends, the latest snapshot (nil if none), and the
 // WAL records to replay on top of it — torn tails already truncated,
-// snapshot-covered records already skipped.
+// snapshot-covered records already skipped. Mid-file corruption (damaged
+// bytes with whole records beyond them) fails with ErrCorrupt.
 func Open(dir string) (*Journal, *Snapshot, []Record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, nil, fmt.Errorf("journal: create dir: %w", err)
@@ -212,8 +269,12 @@ func (j *Journal) openWAL() ([]Record, error) {
 }
 
 // scanWAL reads whole records front to back, returning them and the file
-// offset where the last whole record ends. Any malformed frame marks the
-// torn tail: scanning stops there and the offset excludes it.
+// offset where the last whole record ends. A malformed frame with nothing
+// decodable after it is the torn tail: scanning stops there and the
+// offset excludes it. A malformed frame FOLLOWED by a whole, CRC-valid
+// record is mid-file corruption and fails with ErrCorrupt — the records
+// beyond the damage were acknowledged as durable, and neither truncating
+// them away nor replaying around the hole is sound.
 func scanWAL(f *os.File, size int64) ([]Record, int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, fmt.Errorf("journal: seek wal: %w", err)
@@ -232,19 +293,19 @@ func scanWAL(f *os.File, size int64) ([]Record, int64, error) {
 	frame := make([]byte, 8)
 	for off < size {
 		if _, err := io.ReadFull(br, frame); err != nil {
-			break // short header = torn tail
+			break // short header: nothing whole can follow
 		}
 		length := binary.LittleEndian.Uint32(frame[0:4])
 		sum := binary.LittleEndian.Uint32(frame[4:8])
 		if length == 0 || length > maxRecordBytes || off+8+int64(length) > size {
-			break // impossible length = torn tail
+			break // impossible length
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			break // short payload = torn tail
+			break // short payload
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			break // bit rot or partial overwrite = torn tail
+			break // bit rot or partial overwrite
 		}
 		var rec Record
 		if err := json.Unmarshal(payload, &rec); err != nil {
@@ -253,16 +314,78 @@ func scanWAL(f *os.File, size int64) ([]Record, int64, error) {
 		recs = append(recs, rec)
 		off += 8 + int64(length)
 	}
+	if off < size && frameAfter(f, off, size) {
+		return nil, 0, fmt.Errorf("%w: damaged frame at offset %d with whole records beyond it (%d bytes of WAL remain); refusing to discard durable records — restore the file or remove it to recover from the snapshot alone",
+			ErrCorrupt, off, size-off)
+	}
 	return recs, off, nil
 }
 
+// frameAfter reports whether any whole, CRC-valid, decodable frame begins
+// strictly after start. It slides byte-by-byte over the remaining bytes:
+// a CRC-32 match over a plausible length prefix plus a JSON-decodable
+// record payload does not happen by accident, so one hit distinguishes
+// "durable records stranded behind damage" from "torn tail of garbage".
+func frameAfter(f *os.File, start, size int64) bool {
+	tail := make([]byte, size-start)
+	if _, err := f.ReadAt(tail, start); err != nil {
+		return false // unreadable tail: treat as torn
+	}
+	// p = 0 is the damaged frame itself; candidates start one byte in.
+	for p := 1; p+8 <= len(tail); p++ {
+		length := binary.LittleEndian.Uint32(tail[p : p+4])
+		if length == 0 || length > maxRecordBytes || p+8+int(length) > len(tail) {
+			continue
+		}
+		payload := tail[p+8 : p+8+int(length)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tail[p+4:p+8]) {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Seq == 0 || rec.Kind == "" {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// latch freezes the journal after a failed write, preserving the first
+// error; the failed record's sequence number is not consumed. Callers
+// hold j.mu.
+func (j *Journal) latch(err error) error {
+	if j.failed == nil {
+		j.failed = err
+		j.stats.Latched = true
+	}
+	return err
+}
+
+// refuseLatched is the guard every mutating method runs first. Callers
+// hold j.mu.
+func (j *Journal) refuseLatched() error {
+	if j.failed == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrLatched, j.failed)
+}
+
 // Append frames, writes and fsyncs one record, assigning it the next
-// sequence number (returned in rec.Seq's place). The record is durable
-// when Append returns nil.
+// sequence number. The record is durable when Append returns nil. A
+// write or fsync failure latches the journal (see ErrLatched): the
+// sequence number is not advanced — a torn frame may remain on disk, and
+// appending anything after it would put a duplicate-sequence record
+// behind corrupt bytes, so all further appends are refused until the
+// journal is reopened (Open truncates the tear).
 func (j *Journal) Append(kind string, data any) (uint64, error) {
 	raw, err := json.Marshal(data)
 	if err != nil {
 		return 0, fmt.Errorf("journal: encode record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.refuseLatched(); err != nil {
+		return 0, err
 	}
 	rec := Record{Seq: j.stats.LastSeq + 1, Kind: kind, Data: raw}
 	payload, err := json.Marshal(rec)
@@ -276,11 +399,17 @@ func (j *Journal) Append(kind string, data any) (uint64, error) {
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
 	copy(frame[8:], payload)
+	if err := fault.InjectErr("journal:append-write"); err != nil {
+		return 0, j.latch(fmt.Errorf("journal: append: %w", err))
+	}
 	if _, err := j.wal.Write(frame); err != nil {
-		return 0, fmt.Errorf("journal: append: %w", err)
+		return 0, j.latch(fmt.Errorf("journal: append: %w", err))
+	}
+	if err := fault.InjectErr("journal:append-sync"); err != nil {
+		return 0, j.latch(fmt.Errorf("journal: fsync: %w", err))
 	}
 	if err := j.wal.Sync(); err != nil {
-		return 0, fmt.Errorf("journal: fsync: %w", err)
+		return 0, j.latch(fmt.Errorf("journal: fsync: %w", err))
 	}
 	j.stats.LastSeq = rec.Seq
 	j.stats.Appended++
@@ -290,8 +419,19 @@ func (j *Journal) Append(kind string, data any) (uint64, error) {
 
 // WriteSnapshot persists the state as the new snapshot (temp file, fsync,
 // atomic rename) and resets the WAL. meta.LastSeq is filled in from the
-// journal's own counter; callers supply Revision and Generation.
+// journal's own counter; callers supply Revision and Generation. The
+// LastSeq capture and the WAL reset happen under the same mutex that
+// assigns append sequence numbers, so no record can land in the WAL with
+// Seq <= the snapshot's LastSeq (the writer-side half of the seq-skip
+// recovery rule). text must describe the state as of the caller's last
+// Append — the serving layer guarantees that by holding its write lock
+// across the mutation, the Append and the snapshot.
 func (j *Journal) WriteSnapshot(meta Meta, text string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.refuseLatched(); err != nil {
+		return err
+	}
 	meta.LastSeq = j.stats.LastSeq
 	head, err := json.Marshal(meta)
 	if err != nil {
@@ -321,16 +461,18 @@ func (j *Journal) WriteSnapshot(meta Meta, text string) error {
 		return err
 	}
 	// The snapshot is durable; the WAL's records are now redundant (and
-	// recovery would skip them by seq anyway). Reset it.
+	// recovery would skip them by seq anyway). Reset it. A failed reset
+	// latches: the WAL's write offset is unknown, so appending into it
+	// could interleave frames.
 	if err := j.resetWAL(); err != nil {
-		return err
+		return j.latch(err)
 	}
 	j.stats.Snapshots++
 	j.stats.WalRecords = 0
 	return nil
 }
 
-// resetWAL truncates the WAL back to its header.
+// resetWAL truncates the WAL back to its header. Callers hold j.mu.
 func (j *Journal) resetWAL() error {
 	if err := j.wal.Truncate(int64(len(walHeader))); err != nil {
 		return fmt.Errorf("journal: reset wal: %w", err)
@@ -344,12 +486,66 @@ func (j *Journal) resetWAL() error {
 	return nil
 }
 
-// Stats returns the journal's counters.
-func (j *Journal) Stats() Stats { return j.stats }
+// Follow returns the durable records with sequence numbers strictly
+// greater than after, for WAL shipping to a read replica: the follower
+// replays them through the same apply path the leader took and polls
+// again from the last sequence it applied.
+//
+// lastSeq is the newest durable sequence number — the follower is caught
+// up when its applied sequence reaches it. snapshotNeeded reports that
+// the WAL no longer reaches back to after+1 (a snapshot compacted those
+// records away); the follower must re-bootstrap from the leader's
+// current state and resume following from its LastSeq.
+//
+// Follow reads the WAL through its own file handle under the journal
+// mutex, so it observes only whole fsync'd frames and never disturbs the
+// append offset. A latched journal can still be followed: everything
+// before the tear is durable truth.
+func (j *Journal) Follow(after uint64) (recs []Record, lastSeq uint64, snapshotNeeded bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	lastSeq = j.stats.LastSeq
+	if after >= lastSeq {
+		return nil, lastSeq, false, nil
+	}
+	f, err := os.Open(filepath.Join(j.dir, "wal.log"))
+	if err != nil {
+		return nil, lastSeq, false, fmt.Errorf("journal: follow: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, lastSeq, false, fmt.Errorf("journal: follow stat: %w", err)
+	}
+	all, _, err := scanWAL(f, info.Size())
+	if err != nil {
+		return nil, lastSeq, false, err
+	}
+	// The WAL must contain after+1 for the tail to be gapless; otherwise a
+	// snapshot absorbed it and the follower needs a bootstrap.
+	if len(all) == 0 || all[0].Seq > after+1 {
+		return nil, lastSeq, true, nil
+	}
+	for _, r := range all {
+		if r.Seq > after {
+			recs = append(recs, r)
+		}
+	}
+	return recs, lastSeq, false, nil
+}
+
+// Stats returns a copy of the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
 
 // Close releases the WAL file. It does not snapshot; callers wanting a
 // final snapshot write one first.
 func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.wal == nil {
 		return nil
 	}

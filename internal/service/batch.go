@@ -80,7 +80,7 @@ type BatchStats struct {
 // own obs probe; results come back in request order. The route counts as
 // ONE heavy request for the -max-inflight semaphore — the worker pool, not
 // the item count, bounds its parallelism.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(n *namespace, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
@@ -108,8 +108,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// One read-lock acquisition pins one revision for every item.
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	s.batch.requests.Add(1)
 	s.batch.items.Add(uint64(len(queries)))
 
@@ -132,7 +132,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				if i >= len(results) {
 					return
 				}
-				results[i] = s.runBatchItem(r, queries[i])
+				results[i] = s.runBatchItem(n, r, queries[i])
 			}
 		}()
 	}
@@ -144,8 +144,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, BatchResponse{
-		Revision:   s.g.Revision(),
-		Generation: s.gen,
+		Revision:   n.g.Revision(),
+		Generation: n.gen,
 		Results:    results,
 	})
 }
@@ -154,7 +154,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // The caller holds the read lock. A panic inside a decision procedure is
 // contained to the item: counted, reported as its 500, the rest of the
 // batch unaffected.
-func (s *Server) runBatchItem(r *http.Request, q BatchQuery) (res BatchResult) {
+func (s *Server) runBatchItem(n *namespace, r *http.Request, q BatchQuery) (res BatchResult) {
 	res.ID = q.ID
 	p := obs.NewProbe("/query/batch")
 	defer s.phases.Observe(p)
@@ -174,7 +174,7 @@ func (s *Server) runBatchItem(r *http.Request, q BatchQuery) (res BatchResult) {
 		return BatchResult{ID: q.ID, Status: status, Error: err.Error(), Code: code}
 	}
 	lookup := func(name string) (graph.ID, error) {
-		v, ok := s.g.Lookup(name)
+		v, ok := n.g.Lookup(name)
 		if !ok {
 			return graph.None, fmt.Errorf("unknown vertex %q", name)
 		}
@@ -192,7 +192,7 @@ func (s *Server) runBatchItem(r *http.Request, q BatchQuery) (res BatchResult) {
 	switch q.Kind {
 	case "can-share", "can-steal":
 		var ok bool
-		if rt, ok = s.g.Universe().Lookup(q.Right); !ok {
+		if rt, ok = n.g.Universe().Lookup(q.Right); !ok {
 			return fail(http.StatusBadRequest, "", fmt.Errorf("unknown right %q", q.Right))
 		}
 	}
@@ -204,20 +204,20 @@ func (s *Server) runBatchItem(r *http.Request, q BatchQuery) (res BatchResult) {
 	var v any
 	switch q.Kind {
 	case "can-share":
-		v, err = s.cachedErr(p, "can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {
-			return analysis.CanShareObs(s.g, rt, x, y, p, b)
+		v, err = n.cachedErr(p, "can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {
+			return analysis.CanShareObs(n.g, rt, x, y, p, b)
 		})
 	case "can-know":
-		v, err = s.cachedErr(p, "can-know", fmt.Sprintf("%d:%d", x, y), func() (any, error) {
-			return analysis.CanKnowObs(s.g, x, y, p, b)
+		v, err = n.cachedErr(p, "can-know", fmt.Sprintf("%d:%d", x, y), func() (any, error) {
+			return analysis.CanKnowObs(n.g, x, y, p, b)
 		})
 	case "can-know-f":
-		v, err = s.cachedErr(p, "can-know-f", fmt.Sprintf("%d:%d", x, y), func() (any, error) {
-			return analysis.CanKnowFObs(s.g, x, y, p, b)
+		v, err = n.cachedErr(p, "can-know-f", fmt.Sprintf("%d:%d", x, y), func() (any, error) {
+			return analysis.CanKnowFObs(n.g, x, y, p, b)
 		})
 	case "can-steal":
-		v, err = s.cachedErr(p, "can-steal", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {
-			return steal.CanSteal(s.g, rt, x, y), nil
+		v, err = n.cachedErr(p, "can-steal", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {
+			return steal.CanSteal(n.g, rt, x, y), nil
 		})
 	default:
 		return fail(http.StatusBadRequest, "", fmt.Errorf("unknown kind %q", q.Kind))

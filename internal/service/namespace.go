@@ -1,0 +1,277 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/obs"
+	"takegrant/internal/qcache"
+	"takegrant/internal/restrict"
+)
+
+// DefaultNamespace is the namespace a request without ?ns= addresses; it
+// preserves every pre-namespace route byte-for-byte.
+const DefaultNamespace = "default"
+
+// namespace is one tenant's complete protection system: its own graph,
+// revision/generation counters, incrementally maintained hierarchy, §5
+// guard, query cache and (when the server owns a data directory) journal.
+// Namespaces share nothing but the process: a mutation in one can never
+// move another's revision, invalidate its cache entries, or change its
+// verdicts.
+type namespace struct {
+	name string
+	// mu is the read/write split: mutations (PUT /graph, POST /apply,
+	// replication replay) hold the write lock; every query holds the read
+	// lock.
+	mu  sync.RWMutex
+	g   *graph.Graph
+	gen uint64 // bumped per install; part of every cache key
+	// engine maintains the rw-level structure incrementally across
+	// mutations; class is its current derivation (what the guard, /levels
+	// and /audit judge against).
+	engine *hierarchy.Engine
+	class  *hierarchy.Structure
+	// comb is the installed §5 restriction; rearm rebases it onto the
+	// fresh structure instead of reallocating it per mutation.
+	comb   *restrict.Combined
+	logged *restrict.Logged
+	guard  *restrict.Guarded
+	cache  *qcache.Cache
+	// journal, when attached, makes accepted mutations durable; degraded
+	// records the first append failure, after which mutations are refused
+	// (reads continue). Both guarded by mu.
+	journal  *journalState
+	degraded error
+	// appliedSeq is the replication cursor on a follower: the highest
+	// leader WAL seq replayed into this namespace.
+	appliedSeq atomic.Uint64
+}
+
+// newNamespace returns an empty namespace ready to serve.
+func newNamespace(name string, workers int) *namespace {
+	n := &namespace{name: name, cache: qcache.New(0)}
+	n.install(graph.New(nil), workers)
+	return n
+}
+
+// install swaps in a new graph, re-arms the guard and starts a fresh
+// decision trail. Callers hold the write lock (or own n exclusively).
+func (n *namespace) install(g *graph.Graph, workers int) {
+	n.gen++
+	n.g = g
+	if n.engine != nil {
+		n.engine.Detach() // stop recording into the outgoing graph
+	}
+	n.engine = hierarchy.NewEngine(g, workers)
+	n.class = n.engine.Structure()
+	n.comb = restrict.NewCombined(n.class)
+	n.logged = restrict.NewLogged(n.comb)
+	n.guard = restrict.NewGuarded(g, n.logged)
+	n.cache.Reset()
+}
+
+// rearm brings the rw-level structure up to date after a successful
+// mutation, so the guard's next verdict reflects the post-mutation
+// hierarchy. The engine patches the structure in place for monotone
+// changes and only re-derives from scratch after destructive ones; the
+// decision trail and guard counters persist. Callers hold the write lock.
+func (n *namespace) rearm(p *obs.Probe) {
+	n.class = n.engine.Rearm(p)
+	n.comb.Rebase(n.class)
+}
+
+// cached memoizes a decision-procedure result at the current (generation,
+// revision), recording the hit/miss on the request's probe. Callers hold
+// at least the read lock, which pins the revision for the duration of
+// compute.
+func (n *namespace) cached(p *obs.Probe, kind, params string, compute func() any) any {
+	v, _ := n.cachedErr(p, kind, params, func() (any, error) { return compute(), nil })
+	return v
+}
+
+// cachedErr is cached for budgeted computations. An aborted computation
+// (budget trip, canceled request) returns its error and is NOT cached —
+// a partial traversal must never be served later as the verdict at this
+// revision.
+func (n *namespace) cachedErr(p *obs.Probe, kind, params string, compute func() (any, error)) (any, error) {
+	key := qcache.Key{Gen: n.gen, Rev: n.g.Revision(), Kind: kind, Params: params}
+	v, hit, err := n.cache.GetOrComputeErr(key, compute)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		p.Add("qcache_hit", 1)
+	} else {
+		p.Add("qcache_miss", 1)
+	}
+	return v, nil
+}
+
+// refuseDegraded rejects mutations once a journal write has failed: the
+// in-memory state may already be ahead of disk, and accepting more would
+// widen the gap. Reads never consult this. Callers hold the write lock.
+func (n *namespace) refuseDegraded() error {
+	if n.degraded == nil {
+		return nil
+	}
+	return fmt.Errorf("mutations disabled after journal failure: %w", n.degraded)
+}
+
+// summary snapshots the per-namespace counters for /stats and /metrics.
+func (n *namespace) summary() NamespaceStats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ns := NamespaceStats{
+		Revision:     n.g.Revision(),
+		Generation:   n.gen,
+		Vertices:     n.g.NumVertices(),
+		Edges:        n.g.NumEdges(),
+		CacheEntries: n.cache.Stats().Size,
+		AppliedSeq:   n.appliedSeq.Load(),
+		Degraded:     n.degraded != nil,
+	}
+	if n.journal != nil {
+		ns.LastSeq = n.journal.j.Stats().LastSeq
+	}
+	return ns
+}
+
+// validNSName bounds namespace names to 1–64 chars of [a-z0-9], with
+// non-leading '-', '_' or '.' allowed. A leading dot is refused, so "."
+// and ".." (and any other path escape) can never reach the journal
+// directory layout.
+func validNSName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case (c == '-' || c == '_' || c == '.') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// nsName resolves a request's target namespace: absent or empty ?ns=
+// means the default.
+func nsName(r *http.Request) (string, error) {
+	name := r.URL.Query().Get("ns")
+	if name == "" {
+		return DefaultNamespace, nil
+	}
+	if !validNSName(name) {
+		return "", fmt.Errorf("invalid namespace %q (1-64 chars of [a-z0-9._-], no leading punctuation)", name)
+	}
+	return name, nil
+}
+
+// findNS returns the live namespace or nil.
+func (s *Server) findNS(name string) *namespace {
+	s.nsMu.RLock()
+	defer s.nsMu.RUnlock()
+	return s.spaces[name]
+}
+
+// ensureNS returns the namespace, creating (and, when the server owns a
+// data directory, journaling) it on first use.
+func (s *Server) ensureNS(name string) (*namespace, error) {
+	if n := s.findNS(name); n != nil {
+		return n, nil
+	}
+	s.nsMu.Lock()
+	defer s.nsMu.Unlock()
+	if n := s.spaces[name]; n != nil {
+		return n, nil
+	}
+	n := newNamespace(name, s.cfg.HierarchyWorkers)
+	if s.dataDir != "" {
+		if _, err := s.attachNS(n, s.nsDir(name)); err != nil {
+			return nil, fmt.Errorf("namespace %q journal: %w", name, err)
+		}
+	}
+	s.spaces[name] = n
+	return n, nil
+}
+
+// allNS snapshots the live namespaces sorted by name.
+func (s *Server) allNS() []*namespace {
+	s.nsMu.RLock()
+	out := make([]*namespace, 0, len(s.spaces))
+	for _, n := range s.spaces {
+		out = append(out, n)
+	}
+	s.nsMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// withNS resolves ?ns= and dispatches to an existing namespace; unknown
+// namespaces are 404, malformed names 400. Mutation routes that may
+// create namespaces go through withNSCreate instead.
+func (s *Server) withNS(h func(*namespace, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name, err := nsName(r)
+		if err != nil {
+			writeErrCode(w, http.StatusBadRequest, "bad_namespace", err)
+			return
+		}
+		n := s.findNS(name)
+		if n == nil {
+			writeErrCode(w, http.StatusNotFound, "namespace_not_found",
+				fmt.Errorf("unknown namespace %q", name))
+			return
+		}
+		h(n, w, r)
+	}
+}
+
+// withNSCreate is withNS for PUT /graph: loading a graph into a new name
+// creates the namespace (a follower refuses instead — namespaces appear
+// there only via replication).
+func (s *Server) withNSCreate(h func(*namespace, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name, err := nsName(r)
+		if err != nil {
+			writeErrCode(w, http.StatusBadRequest, "bad_namespace", err)
+			return
+		}
+		if r.Method == http.MethodPut {
+			if err := s.refuseReadOnly(); err != nil {
+				writeErrCode(w, http.StatusServiceUnavailable, "read_only", err)
+				return
+			}
+			n, err := s.ensureNS(name)
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			h(n, w, r)
+			return
+		}
+		n := s.findNS(name)
+		if n == nil {
+			writeErrCode(w, http.StatusNotFound, "namespace_not_found",
+				fmt.Errorf("unknown namespace %q", name))
+			return
+		}
+		h(n, w, r)
+	}
+}
+
+// refuseReadOnly rejects mutations on a replica.
+func (s *Server) refuseReadOnly() error {
+	if !s.readOnly {
+		return nil
+	}
+	return fmt.Errorf("this node is a read replica of %s; send mutations to the leader", s.repl.leader)
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"takegrant/internal/specimens"
+)
+
+// doNS is do with an explicit Content-Type for PUT bodies.
+func putGraphNS(t *testing.T, h http.Handler, ns, src string) int {
+	t.Helper()
+	target := "/graph"
+	if ns != "" {
+		target += "?ns=" + ns
+	}
+	req := httptest.NewRequest(http.MethodPut, target, strings.NewReader(src))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+// TestNamespaceRouting pins the ?ns= contract: the default namespace
+// answers exactly like the pre-namespace routes, unknown namespaces are
+// 404 namespace_not_found, malformed names 400 bad_namespace, and PUT
+// /graph is the only route that creates.
+func TestNamespaceRouting(t *testing.T) {
+	srv := New()
+	h := srv.Handler()
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ?ns=default is the same namespace as no ?ns at all.
+	if code := putGraphNS(t, h, "", src); code != http.StatusOK {
+		t.Fatalf("PUT /graph = %d", code)
+	}
+	var g1, g2 string
+	req := httptest.NewRequest(http.MethodGet, "/graph", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	g1 = rec.Body.String()
+	req = httptest.NewRequest(http.MethodGet, "/graph?ns=default", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	g2 = rec.Body.String()
+	if g1 != g2 || g1 == "" {
+		t.Errorf("GET /graph and /graph?ns=default disagree:\n%q\n%q", g1, g2)
+	}
+
+	// Reads and mutations against a namespace nobody created: 404 with a
+	// machine-readable code.
+	var body map[string]any
+	if code := do(t, h, http.MethodGet, "/secure?ns=ghost", "", &body); code != http.StatusNotFound {
+		t.Errorf("GET /secure?ns=ghost = %d, want 404", code)
+	} else if body["code"] != "namespace_not_found" {
+		t.Errorf("code = %v", body["code"])
+	}
+	if code := do(t, h, http.MethodPost, "/apply?ns=ghost", `{"op":"create","x":"s","name":"o","rights":"r"}`, &body); code != http.StatusNotFound {
+		t.Errorf("POST /apply?ns=ghost = %d, want 404", code)
+	}
+
+	// Malformed names never reach the filesystem layout.
+	for _, bad := range []string{"..", ".hidden", "UPPER", "a/b", strings.Repeat("x", 65)} {
+		if code := do(t, h, http.MethodGet, "/stats", "", nil); code != http.StatusOK {
+			t.Fatalf("stats = %d", code)
+		}
+		req := httptest.NewRequest(http.MethodGet, "/secure?ns="+strings.ReplaceAll(bad, "/", "%2F"), nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("GET /secure?ns=%q = %d, want 400", bad, rec.Code)
+		}
+	}
+
+	// PUT /graph?ns= creates; the new namespace then serves every route.
+	if code := putGraphNS(t, h, "tenant1", src); code != http.StatusOK {
+		t.Fatalf("PUT /graph?ns=tenant1 = %d", code)
+	}
+	if code := do(t, h, http.MethodGet, "/secure?ns=tenant1", "", &body); code != http.StatusOK {
+		t.Errorf("GET /secure?ns=tenant1 = %d", code)
+	}
+	st := srv.Stats()
+	if st.Namespaces == nil || st.Namespaces["tenant1"].Vertices == 0 {
+		t.Errorf("stats missing tenant1: %+v", st.Namespaces)
+	}
+}
+
+// TestStressNamespaceIsolation is the multi-tenant guarantee under -race:
+// a storm of mutations in namespace A never moves namespace B's revision,
+// never touches its cache entries, and never changes its verdicts — while
+// B is being read concurrently. The two tenants load DIFFERENT graphs so
+// any bleed-through would also flip a verdict, not just a counter.
+func TestStressNamespaceIsolation(t *testing.T) {
+	srv := New()
+	h := srv.Handler()
+	military, err := specimens.Source("military")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig61, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant A (default) takes the writes; tenant B stays quiescent.
+	if code := putGraphNS(t, h, "", military); code != http.StatusOK {
+		t.Fatalf("load A = %d", code)
+	}
+	if code := putGraphNS(t, h, "b", fig61); code != http.StatusOK {
+		t.Fatalf("load B = %d", code)
+	}
+
+	stB0 := srv.Stats().Namespaces["b"]
+	var verdictB0 map[string]any
+	if code := do(t, h, http.MethodGet, "/secure?ns=b", "", &verdictB0); code != http.StatusOK {
+		t.Fatalf("secure B = %d", code)
+	}
+
+	const (
+		writers     = 4
+		createsPerW = 30
+		readers     = 4
+		readsPerR   = 40
+	)
+	var wg sync.WaitGroup
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			actor := []string{"a1", "a2", "b1", "b2"}[wi]
+			for i := 0; i < createsPerW; i++ {
+				body := fmt.Sprintf(`{"op":"create","x":"%s","name":"iso_%d_%d","kind":"object","rights":"r,w"}`, actor, wi, i)
+				if code := do(t, h, http.MethodPost, "/apply", body, nil); code != http.StatusOK {
+					t.Errorf("create %d/%d = %d", wi, i, code)
+				}
+			}
+		}(wi)
+	}
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsPerR; i++ {
+				var v map[string]any
+				if code := do(t, h, http.MethodGet, "/secure?ns=b", "", &v); code != http.StatusOK {
+					t.Errorf("secure B mid-storm = %d", code)
+				} else if v["secure"] != verdictB0["secure"] {
+					t.Errorf("tenant B verdict changed under tenant A's mutations: %v → %v", verdictB0["secure"], v["secure"])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	stB := st.Namespaces["b"]
+	if stB.Revision != stB0.Revision || stB.Generation != stB0.Generation {
+		t.Errorf("tenant B revision moved: %d/%d → %d/%d",
+			stB0.Revision, stB0.Generation, stB.Revision, stB.Generation)
+	}
+	if stB.Vertices != stB0.Vertices || stB.Edges != stB0.Edges {
+		t.Errorf("tenant B graph changed: %d/%d → %d/%d vertices/edges",
+			stB0.Vertices, stB0.Edges, stB.Vertices, stB.Edges)
+	}
+	// A's mutations landed (sanity that the storm actually ran).
+	if got, want := st.Namespaces[DefaultNamespace].Vertices, writers*createsPerW; got < want {
+		t.Errorf("tenant A has %d vertices, expected at least %d creates", got, want)
+	}
+	// B's cache was only ever touched by the /secure readers: its entries
+	// all live at B's unchanged revision, so one more read is a hit.
+	s1 := srv.Stats().Namespaces["b"].CacheEntries
+	var v map[string]any
+	do(t, h, http.MethodGet, "/secure?ns=b", "", &v)
+	if s2 := srv.Stats().Namespaces["b"].CacheEntries; s2 != s1 {
+		t.Errorf("tenant B cache grew on a repeat read at a fixed revision: %d → %d", s1, s2)
+	}
+}

@@ -1,0 +1,216 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"takegrant/internal/specimens"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestReplicaFollowsLeader is WAL shipping end to end, in process: a
+// journaled leader, a follower polling it, mutations in two namespaces.
+// The follower must converge to the leader's exact revisions, answer
+// queries with identical verdicts, refuse mutations with 503 read_only,
+// and report zero lag once level.
+func TestReplicaFollowsLeader(t *testing.T) {
+	leader := New()
+	if _, err := leader.AttachJournal(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	lh := leader.Handler()
+	ts := httptest.NewServer(lh)
+	defer ts.Close()
+
+	military, err := specimens.Source("military")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig61, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := putGraphNS(t, lh, "", military); code != http.StatusOK {
+		t.Fatalf("leader load = %d", code)
+	}
+	if code := putGraphNS(t, lh, "tenant1", fig61); code != http.StatusOK {
+		t.Fatalf("leader load tenant1 = %d", code)
+	}
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"op":"create","x":"a1","name":"pre_%d","kind":"object","rights":"r,w"}`, i)
+		if code := do(t, lh, http.MethodPost, "/apply", body, nil); code != http.StatusOK {
+			t.Fatalf("leader create %d = %d", i, code)
+		}
+	}
+
+	follower := New()
+	if err := follower.StartReplica(ts.URL, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	fh := follower.Handler()
+
+	leaderRev := leader.Stats().Revision
+	waitFor(t, "follower catch-up", func() bool {
+		st := follower.Stats()
+		return st.Revision == leaderRev &&
+			st.Namespaces["tenant1"].Revision == leader.Stats().Namespaces["tenant1"].Revision
+	})
+
+	// More traffic AFTER the follower attached: the tail-shipping path,
+	// not just bootstrap.
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"op":"create","x":"a1","name":"post_%d","kind":"object","rights":"r,w"}`, i)
+		if code := do(t, lh, http.MethodPost, "/apply", body, nil); code != http.StatusOK {
+			t.Fatalf("leader post-create %d = %d", i, code)
+		}
+	}
+	leaderSt := leader.Stats()
+	waitFor(t, "follower tail", func() bool {
+		st := follower.Stats()
+		return st.Revision == leaderSt.Revision && st.Vertices == leaderSt.Vertices
+	})
+
+	// Verdict-identical reads in both namespaces, through the same routes.
+	for _, q := range []string{
+		"/query/can-know?x=a1&y=bbb1",
+		"/secure",
+		"/query/can-share?right=r&x=low&y=secret&ns=tenant1",
+		"/secure?ns=tenant1",
+		"/levels",
+	} {
+		lRec, fRec := httptest.NewRecorder(), httptest.NewRecorder()
+		lh.ServeHTTP(lRec, httptest.NewRequest(http.MethodGet, q, nil))
+		fh.ServeHTTP(fRec, httptest.NewRequest(http.MethodGet, q, nil))
+		if lRec.Code != http.StatusOK {
+			t.Errorf("leader %s = %d", q, lRec.Code)
+		}
+		if lRec.Body.String() != fRec.Body.String() || lRec.Code != fRec.Code {
+			t.Errorf("%s diverges:\nleader   %d %q\nfollower %d %q",
+				q, lRec.Code, lRec.Body.String(), fRec.Code, fRec.Body.String())
+		}
+	}
+
+	// The follower's graph text is byte-identical — replay, not copy,
+	// produced it.
+	for _, q := range []string{"/graph", "/graph?ns=tenant1"} {
+		lRec, fRec := httptest.NewRecorder(), httptest.NewRecorder()
+		lh.ServeHTTP(lRec, httptest.NewRequest(http.MethodGet, q, nil))
+		fh.ServeHTTP(fRec, httptest.NewRequest(http.MethodGet, q, nil))
+		if lRec.Body.String() != fRec.Body.String() {
+			t.Errorf("GET %s text diverges", q)
+		}
+	}
+
+	// Mutations on the follower: 503 read_only, and nothing changed.
+	var eb map[string]any
+	if code := do(t, fh, http.MethodPost, "/apply", `{"op":"create","x":"a1","name":"nope","rights":"r"}`, &eb); code != http.StatusServiceUnavailable {
+		t.Errorf("follower POST /apply = %d, want 503", code)
+	} else if eb["code"] != "read_only" {
+		t.Errorf("follower refusal code = %v", eb["code"])
+	}
+	if code := putGraphNS(t, fh, "newns", fig61); code != http.StatusServiceUnavailable {
+		t.Errorf("follower PUT /graph?ns=newns = %d, want 503", code)
+	}
+
+	// Lag accounting: caught up ⇒ 0.
+	waitFor(t, "zero lag", func() bool {
+		st := follower.Stats()
+		return st.Replication != nil && st.Replication.LagSeconds == 0 && st.Replication.BehindRecords == 0
+	})
+	if st := follower.Stats(); !st.ReadOnly || st.Replication.AppliedRecords == 0 {
+		t.Errorf("follower stats: read_only=%v applied=%d", st.ReadOnly, st.Replication.AppliedRecords)
+	}
+}
+
+// TestReplicaBootstrapsPastCompactedWAL starts the follower only after
+// the leader's WAL has been compacted by snapshots: Follow must answer
+// snapshot_needed and the follower must bootstrap from the snapshot cut,
+// then tail normally.
+func TestReplicaBootstrapsPastCompactedWAL(t *testing.T) {
+	// SnapshotEvery 2: the WAL resets constantly, so a fresh follower's
+	// cursor (0) always predates the oldest retained frame.
+	leader := NewWith(Config{SnapshotEvery: 2})
+	if _, err := leader.AttachJournal(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	lh := leader.Handler()
+	ts := httptest.NewServer(lh)
+	defer ts.Close()
+
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := putGraphNS(t, lh, "", src); code != http.StatusOK {
+		t.Fatalf("leader load = %d", code)
+	}
+	for i := 0; i < 7; i++ {
+		body := fmt.Sprintf(`{"op":"create","x":"low","name":"c_%d","kind":"object","rights":"r"}`, i)
+		if code := do(t, lh, http.MethodPost, "/apply", body, nil); code != http.StatusOK {
+			t.Fatalf("leader create %d = %d", i, code)
+		}
+	}
+
+	follower := New()
+	if err := follower.StartReplica(ts.URL, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	leaderSt := leader.Stats()
+	waitFor(t, "bootstrap convergence", func() bool {
+		st := follower.Stats()
+		return st.Revision == leaderSt.Revision && st.Generation == leaderSt.Generation &&
+			st.Vertices == leaderSt.Vertices
+	})
+	if st := follower.Stats(); st.Replication.Bootstraps == 0 {
+		t.Errorf("expected a snapshot bootstrap, got %+v", st.Replication)
+	}
+
+	// After bootstrap the generation counters line up, so cache keys and
+	// /stats agree with the leader from here on.
+	for i := 0; i < 2; i++ {
+		body := fmt.Sprintf(`{"op":"create","x":"low","name":"tail_%d","kind":"object","rights":"r"}`, i)
+		if code := do(t, lh, http.MethodPost, "/apply", body, nil); code != http.StatusOK {
+			t.Fatalf("leader tail create = %d", code)
+		}
+	}
+	leaderSt = leader.Stats()
+	waitFor(t, "post-bootstrap tail", func() bool {
+		st := follower.Stats()
+		return st.Revision == leaderSt.Revision && st.Vertices == leaderSt.Vertices
+	})
+}
+
+// TestReplicaRefusesOwnJournal pins the exclusivity contract.
+func TestReplicaRefusesOwnJournal(t *testing.T) {
+	srv := New()
+	if _, err := srv.AttachJournal(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.StartReplica("http://localhost:1", time.Second); err == nil {
+		t.Fatal("StartReplica accepted a server that owns a journal")
+	}
+	if err := New().StartReplica("not-a-url", time.Second); err == nil {
+		t.Fatal("StartReplica accepted a bare host without scheme")
+	}
+}

@@ -1,0 +1,369 @@
+// WAL shipping: a leader's per-namespace write-ahead logs double as the
+// replication transport. Three read-only endpoints expose them —
+// namespace list, bootstrap snapshot, frame tail — and a replicator
+// polls them from a follower, replaying every shipped record through
+// replayLocked: the exact install/guard.Apply path the leader ran, so a
+// caught-up follower's revision, hierarchy and verdicts are identical by
+// construction, not by copy.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"takegrant/internal/journal"
+	"takegrant/internal/tgio"
+)
+
+// errNoJournal answers replication requests on a node with nothing to
+// ship (no -data directory, or a follower being asked to chain).
+func errNoJournal(w http.ResponseWriter) {
+	writeErrCode(w, http.StatusServiceUnavailable, "replication_unavailable",
+		fmt.Errorf("this node has no journal to ship; start the leader with -data"))
+}
+
+// handleReplNamespaces lists the journaled namespaces a follower must
+// track.
+func (s *Server) handleReplNamespaces(w http.ResponseWriter, r *http.Request) {
+	if s.dataDir == "" {
+		errNoJournal(w)
+		return
+	}
+	spaces := s.allNS()
+	names := make([]string, 0, len(spaces))
+	for _, n := range spaces {
+		names = append(names, n.name)
+	}
+	writeJSON(w, map[string]any{"namespaces": names})
+}
+
+// replSnapshot is the GET /replication/snapshot body: the namespace's
+// live state, rendered under the read lock so (text, revision,
+// generation, last_seq) are one consistent cut.
+type replSnapshot struct {
+	Revision   uint64 `json:"revision"`
+	Generation uint64 `json:"generation"`
+	LastSeq    uint64 `json:"last_seq"`
+	Text       string `json:"text"`
+}
+
+func (s *Server) handleReplSnapshot(n *namespace, w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	if n.journal == nil {
+		n.mu.RUnlock()
+		errNoJournal(w)
+		return
+	}
+	snap := replSnapshot{
+		Revision:   n.g.Revision(),
+		Generation: n.gen,
+		LastSeq:    n.journal.j.Stats().LastSeq,
+		Text:       tgio.WriteString(n.g),
+	}
+	n.mu.RUnlock()
+	writeJSON(w, snap)
+}
+
+// replWAL is the GET /replication/wal body: the WAL tail strictly after
+// ?after=. SnapshotNeeded reports that a snapshot compacted the
+// requested range away — the follower must re-bootstrap.
+type replWAL struct {
+	LastSeq        uint64           `json:"last_seq"`
+	SnapshotNeeded bool             `json:"snapshot_needed"`
+	Records        []journal.Record `json:"records"`
+}
+
+func (s *Server) handleReplWAL(n *namespace, w http.ResponseWriter, r *http.Request) {
+	after, err := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+	if err != nil && r.URL.Query().Get("after") != "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad after=%q: %w", r.URL.Query().Get("after"), err))
+		return
+	}
+	// Grab the journal pointer under the namespace lock, then read frames
+	// outside it: Follow has its own mutex and its own read handle, so a
+	// slow follower never blocks this namespace's queries or mutations.
+	n.mu.RLock()
+	js := n.journal
+	n.mu.RUnlock()
+	if js == nil {
+		errNoJournal(w)
+		return
+	}
+	recs, lastSeq, snapshotNeeded, err := js.j.Follow(after)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if recs == nil {
+		recs = []journal.Record{}
+	}
+	writeJSON(w, replWAL{LastSeq: lastSeq, SnapshotNeeded: snapshotNeeded, Records: recs})
+}
+
+// ReplicationStats is the follower's slice of the /stats report.
+type ReplicationStats struct {
+	Leader string `json:"leader"`
+	// LagSeconds is 0 while the follower is caught up; once behind, the
+	// seconds since it last drew level with the leader.
+	LagSeconds     float64 `json:"lag_seconds"`
+	BehindRecords  uint64  `json:"behind_records"`
+	AppliedRecords uint64  `json:"applied_records"`
+	Bootstraps     uint64  `json:"bootstraps"`
+	Rounds         uint64  `json:"rounds"`
+	Errors         uint64  `json:"errors"`
+	LastError      string  `json:"last_error,omitempty"`
+}
+
+// replicator tails a leader's journals into this server's namespaces.
+type replicator struct {
+	s      *Server
+	leader string
+	poll   time.Duration
+	client *http.Client
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu           sync.Mutex
+	start        time.Time
+	lastCaughtUp time.Time
+	caughtUp     bool
+	behind       uint64
+	applied      uint64
+	bootstraps   uint64
+	rounds       uint64
+	errors       uint64
+	lastErr      string
+}
+
+// StartReplica turns this server into a read replica of leader: a
+// background poller tails the leader's WALs into local namespaces
+// (creating them as the leader does), every read route keeps serving,
+// and every mutation route answers 503 read_only. A replica owns no
+// journal of its own — its durability IS the leader's journal, and a
+// restarted replica simply re-bootstraps — so StartReplica refuses a
+// server that already attached one. Call before serving traffic.
+func (s *Server) StartReplica(leader string, poll time.Duration) error {
+	if s.dataDir != "" {
+		return fmt.Errorf("a replica cannot also own a journal: -data and -replica-of are mutually exclusive")
+	}
+	if s.repl != nil {
+		return fmt.Errorf("already replicating from %s", s.repl.leader)
+	}
+	if _, err := url.Parse(leader); err != nil || !strings.Contains(leader, "://") {
+		return fmt.Errorf("replica-of wants a base URL like http://host:port, got %q", leader)
+	}
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &replicator{
+		s:      s,
+		leader: strings.TrimRight(leader, "/"),
+		poll:   poll,
+		client: &http.Client{Timeout: 30 * time.Second},
+		cancel: cancel,
+		done:   make(chan struct{}),
+		start:  time.Now(),
+	}
+	s.readOnly = true
+	s.repl = r
+	go r.run(ctx)
+	return nil
+}
+
+func (r *replicator) stop() {
+	r.cancel()
+	<-r.done
+}
+
+func (r *replicator) run(ctx context.Context) {
+	defer close(r.done)
+	t := time.NewTicker(r.poll)
+	defer t.Stop()
+	for {
+		r.pollOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// pollOnce drains every leader namespace once, then updates the lag
+// accounting: caught up ⇒ lag pins to 0, behind ⇒ lag grows from the
+// moment we were last level.
+func (r *replicator) pollOnce(ctx context.Context) {
+	r.mu.Lock()
+	r.rounds++
+	r.mu.Unlock()
+
+	var list struct {
+		Namespaces []string `json:"namespaces"`
+	}
+	if err := r.get(ctx, "/replication/namespaces", &list); err != nil {
+		r.fail(err)
+		return
+	}
+	var behind uint64
+	for _, name := range list.Namespaces {
+		if !validNSName(name) && name != DefaultNamespace {
+			continue
+		}
+		n, err := r.s.ensureNS(name)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		b, err := r.syncNS(ctx, n)
+		if err != nil {
+			r.fail(fmt.Errorf("namespace %q: %w", name, err))
+			return
+		}
+		behind += b
+	}
+
+	r.mu.Lock()
+	r.behind = behind
+	if behind == 0 {
+		r.caughtUp = true
+		r.lastCaughtUp = time.Now()
+	} else {
+		r.caughtUp = false
+	}
+	r.lastErr = ""
+	r.mu.Unlock()
+}
+
+func (r *replicator) fail(err error) {
+	r.s.logger.LogAttrs(context.Background(), slog.LevelWarn, "replication",
+		slog.String("leader", r.leader),
+		slog.String("error", err.Error()),
+	)
+	r.mu.Lock()
+	r.errors++
+	r.caughtUp = false
+	r.lastErr = err.Error()
+	r.mu.Unlock()
+}
+
+// syncNS tails one namespace until level with the leader (or a bounded
+// number of fetches — a hot leader can outrun one poll; the next round
+// continues). Returns how many records remain unreplayed.
+func (r *replicator) syncNS(ctx context.Context, n *namespace) (uint64, error) {
+	for i := 0; i < 100; i++ {
+		after := n.appliedSeq.Load()
+		var tail replWAL
+		if err := r.get(ctx, fmt.Sprintf("/replication/wal?ns=%s&after=%d", n.name, after), &tail); err != nil {
+			return 0, err
+		}
+		if tail.SnapshotNeeded {
+			if err := r.bootstrap(ctx, n); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if len(tail.Records) == 0 {
+			return 0, nil
+		}
+		n.mu.Lock()
+		for _, rec := range tail.Records {
+			if rec.Seq <= n.appliedSeq.Load() {
+				continue // duplicate delivery; replay is idempotent by cursor
+			}
+			if err := r.s.replayLocked(n, rec); err != nil {
+				n.mu.Unlock()
+				return 0, fmt.Errorf("wal seq %d: %w", rec.Seq, err)
+			}
+			n.appliedSeq.Store(rec.Seq)
+			r.mu.Lock()
+			r.applied++
+			r.mu.Unlock()
+		}
+		n.mu.Unlock()
+		if n.appliedSeq.Load() >= tail.LastSeq {
+			return 0, nil
+		}
+	}
+	var tail replWAL
+	if err := r.get(ctx, fmt.Sprintf("/replication/wal?ns=%s&after=%d", n.name, n.appliedSeq.Load()), &tail); err != nil {
+		return 0, err
+	}
+	if last := tail.LastSeq; last > n.appliedSeq.Load() {
+		return last - n.appliedSeq.Load(), nil
+	}
+	return 0, nil
+}
+
+// bootstrap installs the leader's snapshot cut: graph text, revision,
+// generation and WAL cursor in one shot. After this the follower tails
+// frames from LastSeq exactly as recovery would replay them.
+func (r *replicator) bootstrap(ctx context.Context, n *namespace) error {
+	var snap replSnapshot
+	if err := r.get(ctx, "/replication/snapshot?ns="+n.name, &snap); err != nil {
+		return err
+	}
+	g, err := tgio.ParseString(snap.Text)
+	if err != nil {
+		return fmt.Errorf("leader snapshot does not parse: %w", err)
+	}
+	n.mu.Lock()
+	n.install(g, r.s.cfg.HierarchyWorkers)
+	g.RestoreRevision(snap.Revision)
+	n.gen = snap.Generation
+	n.appliedSeq.Store(snap.LastSeq)
+	n.mu.Unlock()
+	r.mu.Lock()
+	r.bootstraps++
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *replicator) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.leader+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return fmt.Errorf("leader %s%s: %d %s", r.leader, path, resp.StatusCode, eb.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (r *replicator) stats() ReplicationStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lag := 0.0
+	if !r.caughtUp {
+		ref := r.lastCaughtUp
+		if ref.IsZero() {
+			ref = r.start
+		}
+		lag = time.Since(ref).Seconds()
+	}
+	return ReplicationStats{
+		Leader:         r.leader,
+		LagSeconds:     lag,
+		BehindRecords:  r.behind,
+		AppliedRecords: r.applied,
+		Bootstraps:     r.bootstraps,
+		Rounds:         r.rounds,
+		Errors:         r.errors,
+		LastError:      r.lastErr,
+	}
+}

@@ -22,6 +22,33 @@
 //	GET  /log                       guarded decision trail (text)
 //	GET  /stats                     cache/guard/route observability (JSON)
 //	GET  /metrics                   the same counters as Prometheus text exposition
+//	GET  /replication/namespaces    WAL-shipping: journaled namespaces (leader)
+//	GET  /replication/snapshot?ns=  WAL-shipping: bootstrap state (leader)
+//	GET  /replication/wal?ns=&after=  WAL-shipping: frame tail (leader)
+//
+// # Namespaces
+//
+// Every graph-addressing route takes an optional ?ns=<name> parameter
+// selecting a namespace: an independent protection system with its own
+// graph, revision and generation counters, hierarchy engine, guard,
+// query cache and journal directory. An absent ?ns= addresses the
+// default namespace, preserving every pre-namespace route. PUT /graph
+// into a new name creates the namespace; other routes answer 404
+// namespace_not_found for names that do not exist. Namespaces share
+// nothing but the process — the isolation the paper's hierarchical
+// model assumes when one monitor governs many protection structures.
+//
+// # Replication
+//
+// A server with a data directory is a leader: its per-namespace WALs
+// double as a replication transport, served at /replication/*. A server
+// started as a replica (StartReplica / tgserve -replica-of) polls a
+// leader, replays shipped records through the exact same install and
+// guard.Apply path the leader ran, serves every read route, and answers
+// mutations with 503 read_only. Followers are eventually consistent;
+// GET /stats exposes revision tokens (per-namespace revision and
+// applied_seq) so clients needing read-your-writes can wait for a
+// follower to reach the revision their write returned.
 //
 // # Observability
 //
@@ -36,28 +63,29 @@
 //
 // # Locking discipline
 //
-// The server splits traffic across a sync.RWMutex. Mutations — PUT /graph
-// and POST /apply — hold the write lock: they rewrite the graph and then
-// re-derive the rw-level structure (hierarchy.AnalyzeRW) so the §5 guard,
-// /levels and /audit always judge against the live hierarchy, never the
-// one computed at install time (Theorem 5.4 soundness is per-application;
-// enforcing yesterday's levels is unsound). Queries hold the read lock and
-// run concurrently: every decision procedure only reads the graph (witness
-// synthesis and tracing work on clones), so any number of readers may
-// proceed at once.
+// Each namespace splits traffic across its own sync.RWMutex. Mutations —
+// PUT /graph and POST /apply — hold the write lock: they rewrite the
+// graph and then re-derive the rw-level structure (hierarchy.AnalyzeRW)
+// so the §5 guard, /levels and /audit always judge against the live
+// hierarchy, never the one computed at install time (Theorem 5.4
+// soundness is per-application; enforcing yesterday's levels is
+// unsound). Queries hold the read lock and run concurrently: every
+// decision procedure only reads the graph (witness synthesis and tracing
+// work on clones), so any number of readers may proceed at once — and
+// traffic in one namespace never contends with another's locks.
 //
 // # Revision-keyed caching
 //
-// Read queries are memoized in a qcache.Cache keyed by (generation,
-// revision, procedure, params). graph.Graph bumps its revision on every
-// successful mutation, so cache entries are never invalidated explicitly —
-// a mutation simply moves the revision and subsequent queries miss onto
-// fresh computations, while repeated queries at an unchanged revision are
-// served from the cache. The generation counter increments when PUT /graph
-// swaps in a whole new graph, keeping revision counters from distinct
-// graphs apart. GET /stats reports hit/miss/eviction counters, per-route
-// request counts and latency quantiles, the current revision, and graph
-// size.
+// Read queries are memoized in a per-namespace qcache.Cache keyed by
+// (generation, revision, procedure, params). graph.Graph bumps its
+// revision on every successful mutation, so cache entries are never
+// invalidated explicitly — a mutation simply moves the revision and
+// subsequent queries miss onto fresh computations, while repeated
+// queries at an unchanged revision are served from the cache. The
+// generation counter increments when PUT /graph swaps in a whole new
+// graph, keeping revision counters from distinct graphs apart. GET
+// /stats reports hit/miss/eviction counters, per-route request counts
+// and latency quantiles, the current revision, and graph size.
 package service
 
 import (
@@ -123,7 +151,7 @@ type Config struct {
 const DefaultSnapshotEvery = 256
 
 // faultCounters tracks the server's degradation events; all atomic so the
-// panic-recovery path never touches s.mu.
+// panic-recovery path never touches namespace locks.
 type faultCounters struct {
 	// panics counts handler panics caught by the recovery middleware.
 	panics atomic.Uint64
@@ -133,28 +161,31 @@ type faultCounters struct {
 	budgetExhausted atomic.Uint64
 }
 
-// Server owns one protection system.
+// Server owns a set of protection systems — one namespace each. The
+// embedded namespace is the default one: its fields promote, so code
+// (and tests) that predate namespaces keep addressing the default
+// protection system as s.g, s.mu, s.journal and so on.
 type Server struct {
-	// mu is the read/write split: mutations (PUT /graph, POST /apply) hold
-	// the write lock; every query holds the read lock.
-	mu  sync.RWMutex
-	g   *graph.Graph
-	gen uint64 // bumped per install; part of every cache key
-	// engine maintains the rw-level structure incrementally across
-	// mutations; class is its current derivation (what the guard, /levels
-	// and /audit judge against).
-	engine *hierarchy.Engine
-	class  *hierarchy.Structure
-	// comb is the installed §5 restriction; rearm rebases it onto the
-	// fresh structure instead of reallocating it per mutation.
-	comb    *restrict.Combined
-	logged  *restrict.Logged
-	guard   *restrict.Guarded
-	cache   *qcache.Cache
+	*namespace // the default namespace
+
+	// nsMu guards the namespace map itself; each namespace carries its
+	// own state lock.
+	nsMu   sync.RWMutex
+	spaces map[string]*namespace
+	// dataDir, when non-empty, roots the journal layout: the default
+	// namespace journals at dataDir itself (the pre-namespace layout),
+	// named ones under dataDir/ns/<name>.
+	dataDir string
+	// readOnly marks a replica: every mutation route answers 503
+	// read_only. Set by StartReplica before traffic; never cleared.
+	readOnly bool
+	// repl is the replication client on a follower; nil on a leader.
+	repl *replicator
+
 	metrics *metrics
 	// phases aggregates the decision procedures' per-phase spans across
-	// all requests; exposed at GET /metrics. Lock-free of mu: it has its
-	// own synchronization.
+	// all requests; exposed at GET /metrics. It has its own
+	// synchronization.
 	phases obs.PhaseAgg
 	// logger receives one structured line per request and per mutation,
 	// each carrying the request's trace_id. Defaults to a no-op logger;
@@ -166,11 +197,6 @@ type Server struct {
 	heavy  chan struct{}
 	faults faultCounters
 	batch  batchCounters
-	// journal, when attached, makes accepted mutations durable; degraded
-	// records the first append failure, after which mutations are refused
-	// (reads continue). Both guarded by mu.
-	journal  *journalState
-	degraded error
 }
 
 // New returns a Server with an empty graph and no resource limits.
@@ -178,11 +204,12 @@ func New() *Server { return NewWith(Config{}) }
 
 // NewWith returns a Server with an empty graph, bounded per cfg.
 func NewWith(cfg Config) *Server {
-	s := &Server{cache: qcache.New(0), metrics: newMetrics(), logger: nopLogger(), cfg: cfg}
+	s := &Server{metrics: newMetrics(), logger: nopLogger(), cfg: cfg}
 	if cfg.MaxInFlight > 0 {
 		s.heavy = make(chan struct{}, cfg.MaxInFlight)
 	}
-	s.install(graph.New(nil))
+	s.namespace = newNamespace(DefaultNamespace, cfg.HierarchyWorkers)
+	s.spaces = map[string]*namespace{DefaultNamespace: s.namespace}
 	return s
 }
 
@@ -206,59 +233,6 @@ func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
 func (h nopHandler) WithGroup(string) slog.Handler           { return h }
 
 func nopLogger() *slog.Logger { return slog.New(nopHandler{}) }
-
-// install swaps in a new graph, re-arms the guard and starts a fresh
-// decision trail. Callers hold the write lock (or own s exclusively).
-func (s *Server) install(g *graph.Graph) {
-	s.gen++
-	s.g = g
-	if s.engine != nil {
-		s.engine.Detach() // stop recording into the outgoing graph
-	}
-	s.engine = hierarchy.NewEngine(g, s.cfg.HierarchyWorkers)
-	s.class = s.engine.Structure()
-	s.comb = restrict.NewCombined(s.class)
-	s.logged = restrict.NewLogged(s.comb)
-	s.guard = restrict.NewGuarded(g, s.logged)
-	s.cache.Reset()
-}
-
-// rearm brings the rw-level structure up to date after a successful
-// mutation, so the guard's next verdict reflects the post-mutation
-// hierarchy. The engine patches the structure in place for monotone
-// changes and only re-derives from scratch after destructive ones; the
-// decision trail and guard counters persist. Callers hold the write lock.
-func (s *Server) rearm(p *obs.Probe) {
-	s.class = s.engine.Rearm(p)
-	s.comb.Rebase(s.class)
-}
-
-// cached memoizes a decision-procedure result at the current (generation,
-// revision), recording the hit/miss on the request's probe. Callers hold
-// at least the read lock, which pins the revision for the duration of
-// compute.
-func (s *Server) cached(p *obs.Probe, kind, params string, compute func() any) any {
-	v, _ := s.cachedErr(p, kind, params, func() (any, error) { return compute(), nil })
-	return v
-}
-
-// cachedErr is cached for budgeted computations. An aborted computation
-// (budget trip, canceled request) returns its error and is NOT cached —
-// a partial traversal must never be served later as the verdict at this
-// revision.
-func (s *Server) cachedErr(p *obs.Probe, kind, params string, compute func() (any, error)) (any, error) {
-	key := qcache.Key{Gen: s.gen, Rev: s.g.Revision(), Kind: kind, Params: params}
-	v, hit, err := s.cache.GetOrComputeErr(key, compute)
-	if err != nil {
-		return nil, err
-	}
-	if hit {
-		p.Add("qcache_hit", 1)
-	} else {
-		p.Add("qcache_miss", 1)
-	}
-	return v, nil
-}
 
 // budgetFor derives one query's work budget from the server limits and
 // the request's own context (client disconnects cancel the traversal).
@@ -314,7 +288,8 @@ func (s *Server) shed(h http.HandlerFunc) http.HandlerFunc {
 // Handler returns the HTTP routes, each instrumented with request-count
 // and latency tracking (surfaced at /stats and /metrics), a request-scoped
 // trace ID (X-Trace-Id response header, obs probe in the request context)
-// and structured request logging.
+// and structured request logging. Graph-addressing routes resolve ?ns=
+// before their handler runs.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
@@ -326,32 +301,35 @@ func (s *Server) Handler() http.Handler {
 	heavy := func(pattern string, h http.HandlerFunc) {
 		route(pattern, s.shed(h))
 	}
-	route("/graph", s.handleGraph)
-	route("/graph.json", s.handleGraphJSON)
-	route("/render", s.textHandler(func(r *http.Request) (string, error) {
-		return tgio.Render(s.g), nil
+	route("/graph", s.withNSCreate(s.handleGraph))
+	route("/graph.json", s.withNS(s.handleGraphJSON))
+	route("/render", s.textHandler(func(n *namespace, r *http.Request) (string, error) {
+		return tgio.Render(n.g), nil
 	}))
-	route("/apply", s.handleApply)
-	heavy("/query/can-share", s.handleCanShare)
-	heavy("/query/can-know", s.handleCanKnow)
-	heavy("/query/can-steal", s.handleCanSteal)
-	heavy("/query/batch", s.handleBatch)
-	heavy("/explain/share", s.handleExplainShare)
-	route("/levels", s.textHandler(func(r *http.Request) (string, error) {
+	route("/apply", s.withNS(s.handleApply))
+	heavy("/query/can-share", s.withNS(s.handleCanShare))
+	heavy("/query/can-know", s.withNS(s.handleCanKnow))
+	heavy("/query/can-steal", s.withNS(s.handleCanSteal))
+	heavy("/query/batch", s.withNS(s.handleBatch))
+	heavy("/explain/share", s.withNS(s.handleExplainShare))
+	route("/levels", s.textHandler(func(n *namespace, r *http.Request) (string, error) {
 		// The installed structure, not a fresh analysis: /levels, /audit
 		// and the guard must report the same level assignment.
 		p := obs.ProbeFrom(r.Context())
-		return s.cached(p, "hasse", "", func() any { return s.class.Hasse() }).(string), nil
+		return n.cached(p, "hasse", "", func() any { return n.class.Hasse() }).(string), nil
 	}))
-	heavy("/islands", s.handleIslands)
-	heavy("/secure", s.handleSecure)
-	route("/audit", s.handleAudit)
-	heavy("/profile", s.handleProfile)
-	route("/log", s.textHandler(func(r *http.Request) (string, error) {
-		return s.logged.Format(s.g), nil
+	heavy("/islands", s.withNS(s.handleIslands))
+	heavy("/secure", s.withNS(s.handleSecure))
+	route("/audit", s.withNS(s.handleAudit))
+	heavy("/profile", s.withNS(s.handleProfile))
+	route("/log", s.textHandler(func(n *namespace, r *http.Request) (string, error) {
+		return n.logged.Format(n.g), nil
 	}))
 	route("/stats", s.handleStats)
 	route("/metrics", s.handleMetrics)
+	route("/replication/namespaces", s.handleReplNamespaces)
+	route("/replication/snapshot", s.withNS(s.handleReplSnapshot))
+	route("/replication/wal", s.withNS(s.handleReplWAL))
 	return mux
 }
 
@@ -359,7 +337,8 @@ type errorBody struct {
 	Error string `json:"error"`
 	// Code names the degradation class for machine consumers:
 	// budget_exhausted, overloaded, degraded, internal_panic,
-	// unsupported_media_type. Empty for plain request errors.
+	// unsupported_media_type, bad_namespace, namespace_not_found,
+	// read_only, replication_unavailable. Empty for plain request errors.
 	Code string `json:"code,omitempty"`
 }
 
@@ -378,7 +357,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGraph(n *namespace, w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPut:
 		// The body is .tg text, not JSON: accept an absent Content-Type,
@@ -409,22 +388,22 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if err := s.refuseDegraded(); err != nil {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if err := n.refuseDegraded(); err != nil {
 			writeErrCode(w, http.StatusServiceUnavailable, "degraded", err)
 			return
 		}
-		s.install(g)
-		if err := s.journalAppend(r, journalKindGraph, string(body)); err != nil {
+		n.install(g, s.cfg.HierarchyWorkers)
+		if err := s.journalAppend(n, r, journalKindGraph, string(body)); err != nil {
 			writeErrCode(w, http.StatusServiceUnavailable, "degraded", err)
 			return
 		}
 		writeJSON(w, map[string]any{"vertices": g.NumVertices(), "edges": g.NumEdges()})
 	case http.MethodGet:
-		s.mu.RLock()
-		text := tgio.WriteString(s.g)
-		s.mu.RUnlock()
+		n.mu.RLock()
+		text := tgio.WriteString(n.g)
+		n.mu.RUnlock()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, text)
 	default:
@@ -432,25 +411,25 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleGraphJSON(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	writeJSON(w, tgio.ToJSON(s.g))
+func (s *Server) handleGraphJSON(n *namespace, w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	writeJSON(w, tgio.ToJSON(n.g))
 }
 
-// textHandler wraps a text-producing view under the read lock.
-func (s *Server) textHandler(f func(*http.Request) (string, error)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.mu.RLock()
-		text, err := f(r)
-		s.mu.RUnlock()
+// textHandler wraps a text-producing view under the namespace read lock.
+func (s *Server) textHandler(f func(*namespace, *http.Request) (string, error)) http.HandlerFunc {
+	return s.withNS(func(n *namespace, w http.ResponseWriter, r *http.Request) {
+		n.mu.RLock()
+		text, err := f(n, r)
+		n.mu.RUnlock()
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, text)
-	}
+	})
 }
 
 // ApplyRequest is the POST /apply body.
@@ -468,9 +447,13 @@ type ApplyRequest struct {
 	Kind string `json:"kind,omitempty"`
 }
 
-func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleApply(n *namespace, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	if err := s.refuseReadOnly(); err != nil {
+		writeErrCode(w, http.StatusServiceUnavailable, "read_only", err)
 		return
 	}
 	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
@@ -487,24 +470,25 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.refuseDegraded(); err != nil {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.refuseDegraded(); err != nil {
 		writeErrCode(w, http.StatusServiceUnavailable, "degraded", err)
 		return
 	}
-	app, err := s.buildApp(req)
+	app, err := buildApp(n.g, req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.guard.Apply(app); err != nil {
+	if err := n.guard.Apply(app); err != nil {
 		code := http.StatusUnprocessableEntity // rule preconditions failed
 		if errors.Is(err, restrict.ErrRefused) {
 			code = http.StatusForbidden // the reference monitor said no
 		}
 		s.logger.LogAttrs(r.Context(), slog.LevelWarn, "mutation",
 			slog.String("trace_id", obs.TraceFrom(r.Context())),
+			slog.String("ns", n.name),
 			slog.String("op", req.Op),
 			slog.String("verdict", "refused"),
 			slog.String("error", err.Error()),
@@ -515,26 +499,27 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	// The graph changed; bring the hierarchy up to date so the next
 	// verdict is judged against live rw-levels, not the ones at install
 	// time. The probe picks up the engine's patch/rebuild span.
-	s.rearm(obs.ProbeFrom(r.Context()))
+	n.rearm(obs.ProbeFrom(r.Context()))
 	// Durability before acknowledgement: the 200 below means the mutation
-	// survives a crash. An append failure flips the server into degraded
+	// survives a crash. An append failure flips the namespace into degraded
 	// mode (this and all further mutations refused, reads unaffected).
-	if err := s.journalAppend(r, journalKindApply, req); err != nil {
+	if err := s.journalAppend(n, r, journalKindApply, req); err != nil {
 		writeErrCode(w, http.StatusServiceUnavailable, "degraded", err)
 		return
 	}
 	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "mutation",
 		slog.String("trace_id", obs.TraceFrom(r.Context())),
+		slog.String("ns", n.name),
 		slog.String("op", req.Op),
 		slog.String("verdict", "applied"),
-		slog.Uint64("revision", s.g.Revision()),
+		slog.Uint64("revision", n.g.Revision()),
 	)
-	writeJSON(w, map[string]any{"applied": app.Format(s.g)})
+	writeJSON(w, map[string]any{"applied": app.Format(n.g)})
 }
 
-func (s *Server) buildApp(req ApplyRequest) (rules.Application, error) {
+func buildApp(g *graph.Graph, req ApplyRequest) (rules.Application, error) {
 	var zero rules.Application
-	set, err := rights.Parse(s.g.Universe(), req.Rights)
+	set, err := rights.Parse(g.Universe(), req.Rights)
 	if err != nil {
 		return zero, err
 	}
@@ -542,7 +527,7 @@ func (s *Server) buildApp(req ApplyRequest) (rules.Application, error) {
 		if name == "" {
 			return graph.None, fmt.Errorf("missing vertex name")
 		}
-		v, ok := s.g.Lookup(name)
+		v, ok := g.Lookup(name)
 		if !ok {
 			return graph.None, fmt.Errorf("unknown vertex %q", name)
 		}
@@ -608,44 +593,44 @@ func (s *Server) buildApp(req ApplyRequest) (rules.Application, error) {
 	}
 }
 
-func (s *Server) pairParams(r *http.Request) (x, y graph.ID, err error) {
+func pairParams(g *graph.Graph, r *http.Request) (x, y graph.ID, err error) {
 	xn, yn := r.URL.Query().Get("x"), r.URL.Query().Get("y")
 	var ok bool
-	if x, ok = s.g.Lookup(xn); !ok {
+	if x, ok = g.Lookup(xn); !ok {
 		return graph.None, graph.None, fmt.Errorf("unknown vertex %q", xn)
 	}
-	if y, ok = s.g.Lookup(yn); !ok {
+	if y, ok = g.Lookup(yn); !ok {
 		return graph.None, graph.None, fmt.Errorf("unknown vertex %q", yn)
 	}
 	return x, y, nil
 }
 
-func (s *Server) rightParam(r *http.Request) (rights.Right, error) {
+func rightParam(g *graph.Graph, r *http.Request) (rights.Right, error) {
 	name := r.URL.Query().Get("right")
-	rt, ok := s.g.Universe().Lookup(name)
+	rt, ok := g.Universe().Lookup(name)
 	if !ok {
 		return 0, fmt.Errorf("unknown right %q", name)
 	}
 	return rt, nil
 }
 
-func (s *Server) handleCanShare(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rt, err := s.rightParam(r)
+func (s *Server) handleCanShare(n *namespace, w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	rt, err := rightParam(n.g, r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	x, y, err := s.pairParams(r)
+	x, y, err := pairParams(n.g, r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	p := obs.ProbeFrom(r.Context())
 	b := s.budgetFor(r)
-	v, err := s.cachedErr(p, "can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {
-		return analysis.CanShareObs(s.g, rt, x, y, p, b)
+	v, err := n.cachedErr(p, "can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {
+		return analysis.CanShareObs(n.g, rt, x, y, p, b)
 	})
 	if err != nil {
 		s.queryErr(w, r, err)
@@ -654,10 +639,10 @@ func (s *Server) handleCanShare(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]bool{"can_share": v.(bool)})
 }
 
-func (s *Server) handleCanKnow(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	x, y, err := s.pairParams(r)
+func (s *Server) handleCanKnow(n *namespace, w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	x, y, err := pairParams(n.g, r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -666,8 +651,8 @@ func (s *Server) handleCanKnow(w http.ResponseWriter, r *http.Request) {
 	p := obs.ProbeFrom(r.Context())
 	b := s.budgetFor(r)
 	if r.URL.Query().Get("defacto") != "" {
-		v, err := s.cachedErr(p, "can-know-f", params, func() (any, error) {
-			return analysis.CanKnowFObs(s.g, x, y, p, b)
+		v, err := n.cachedErr(p, "can-know-f", params, func() (any, error) {
+			return analysis.CanKnowFObs(n.g, x, y, p, b)
 		})
 		if err != nil {
 			s.queryErr(w, r, err)
@@ -676,8 +661,8 @@ func (s *Server) handleCanKnow(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]bool{"can_know_f": v.(bool)})
 		return
 	}
-	v, err := s.cachedErr(p, "can-know", params, func() (any, error) {
-		return analysis.CanKnowObs(s.g, x, y, p, b)
+	v, err := n.cachedErr(p, "can-know", params, func() (any, error) {
+		return analysis.CanKnowObs(n.g, x, y, p, b)
 	})
 	if err != nil {
 		s.queryErr(w, r, err)
@@ -686,39 +671,39 @@ func (s *Server) handleCanKnow(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]bool{"can_know": v.(bool)})
 }
 
-func (s *Server) handleCanSteal(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rt, err := s.rightParam(r)
+func (s *Server) handleCanSteal(n *namespace, w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	rt, err := rightParam(n.g, r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	x, y, err := s.pairParams(r)
+	x, y, err := pairParams(n.g, r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ok := s.cached(obs.ProbeFrom(r.Context()), "can-steal", fmt.Sprintf("%d:%d:%d", rt, x, y), func() any {
-		return steal.CanSteal(s.g, rt, x, y)
+	ok := n.cached(obs.ProbeFrom(r.Context()), "can-steal", fmt.Sprintf("%d:%d:%d", rt, x, y), func() any {
+		return steal.CanSteal(n.g, rt, x, y)
 	}).(bool)
 	writeJSON(w, map[string]bool{"can_steal": ok})
 }
 
-func (s *Server) handleExplainShare(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rt, err := s.rightParam(r)
+func (s *Server) handleExplainShare(n *namespace, w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	rt, err := rightParam(n.g, r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	x, y, err := s.pairParams(r)
+	x, y, err := pairParams(n.g, r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	d, err := analysis.SynthesizeShareObs(s.g, rt, x, y, obs.ProbeFrom(r.Context()), s.budgetFor(r))
+	d, err := analysis.SynthesizeShareObs(n.g, rt, x, y, obs.ProbeFrom(r.Context()), s.budgetFor(r))
 	if errors.Is(err, budget.ErrExhausted) {
 		s.queryErr(w, r, err)
 		return
@@ -730,7 +715,7 @@ func (s *Server) handleExplainShare(w http.ResponseWriter, r *http.Request) {
 	// ?format=json returns the machine-readable derivation trace; the
 	// default stays the human-readable transcript.
 	if r.URL.Query().Get("format") == "json" {
-		steps, err := rules.TraceSteps(s.g, d)
+		steps, err := rules.TraceSteps(n.g, d)
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
@@ -741,7 +726,7 @@ func (s *Server) handleExplainShare(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{"derivation": steps})
 		return
 	}
-	out, err := rules.Trace(s.g, d)
+	out, err := rules.Trace(n.g, d)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -750,12 +735,12 @@ func (s *Server) handleExplainShare(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, out)
 }
 
-func (s *Server) handleIslands(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+func (s *Server) handleIslands(n *namespace, w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	p := obs.ProbeFrom(r.Context())
-	v, err := s.cachedErr(p, "islands", "", func() (any, error) {
-		islands, err := analysis.IslandsObs(s.g, p, s.budgetFor(r))
+	v, err := n.cachedErr(p, "islands", "", func() (any, error) {
+		islands, err := analysis.IslandsObs(n.g, p, s.budgetFor(r))
 		if err != nil {
 			return nil, err
 		}
@@ -763,7 +748,7 @@ func (s *Server) handleIslands(w http.ResponseWriter, r *http.Request) {
 		for _, island := range islands {
 			ns := make([]string, len(island))
 			for i, v := range island {
-				ns[i] = s.g.Name(v)
+				ns[i] = n.g.Name(v)
 			}
 			names = append(names, ns)
 		}
@@ -776,22 +761,22 @@ func (s *Server) handleIslands(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"islands": v.([][]string)})
 }
 
-func (s *Server) handleSecure(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+func (s *Server) handleSecure(n *namespace, w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	p := obs.ProbeFrom(r.Context())
-	v, err := s.cachedErr(p, "secure", "", func() (any, error) {
+	v, err := n.cachedErr(p, "secure", "", func() (any, error) {
 		// The engine sweeps against its cached structure — the same one
 		// the guard enforces — instead of re-deriving the hierarchy per
 		// verdict. Budget exhaustion aborts with 503, uncached.
-		ok, viol, err := s.engine.Secure(p, s.budgetFor(r))
+		ok, viol, err := n.engine.Secure(p, s.budgetFor(r))
 		if err != nil {
 			return nil, err
 		}
 		out := map[string]any{"secure": ok}
 		if viol != nil {
-			out["lower"] = s.g.Name(viol.Lower)
-			out["upper"] = s.g.Name(viol.Upper)
+			out["lower"] = n.g.Name(viol.Lower)
+			out["upper"] = n.g.Name(viol.Upper)
 		}
 		return out, nil
 	})
@@ -802,23 +787,23 @@ func (s *Server) handleSecure(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, v.(map[string]any))
 }
 
-func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	viols := s.comb.Audit(s.g)
+func (s *Server) handleAudit(n *namespace, w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	viols := n.comb.Audit(n.g)
 	var out []string
 	for _, v := range viols {
 		out = append(out, fmt.Sprintf("(%s) %s→%s %s", v.Rule,
-			s.g.Name(v.Src), s.g.Name(v.Dst), s.g.Universe().Name(v.Right)))
+			n.g.Name(v.Src), n.g.Name(v.Dst), n.g.Universe().Name(v.Right)))
 	}
 	writeJSON(w, map[string]any{"violations": out, "clean": len(out) == 0})
 }
 
-func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+func (s *Server) handleProfile(n *namespace, w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	name := r.URL.Query().Get("x")
-	x, ok := s.g.Lookup(name)
+	x, ok := n.g.Lookup(name)
 	if !ok {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown vertex %q", name))
 		return
@@ -828,7 +813,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		Target string `json:"target"`
 		Held   bool   `json:"held"`
 	}
-	profile, err := analysis.ProfileObs(s.g, x, obs.ProbeFrom(r.Context()), s.budgetFor(r))
+	profile, err := analysis.ProfileObs(n.g, x, obs.ProbeFrom(r.Context()), s.budgetFor(r))
 	if err != nil {
 		s.queryErr(w, r, err)
 		return
@@ -836,8 +821,8 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	var out []entry
 	for _, a := range profile {
 		out = append(out, entry{
-			Right:  s.g.Universe().Name(a.Right),
-			Target: s.g.Name(a.Target),
+			Right:  n.g.Universe().Name(a.Right),
+			Target: n.g.Name(a.Target),
 			Held:   a.Held,
 		})
 	}
@@ -881,7 +866,27 @@ type FaultStats struct {
 	BudgetExhausted uint64 `json:"budget_exhausted"`
 }
 
-// Stats is the GET /stats report.
+// NamespaceStats is one namespace's slice of the /stats report — the
+// revision tokens a client needs for read-your-writes against a replica:
+// wait until the follower's revision (or applied_seq) reaches the value
+// the leader returned for your write.
+type NamespaceStats struct {
+	Revision     uint64 `json:"revision"`
+	Generation   uint64 `json:"generation"`
+	Vertices     int    `json:"vertices"`
+	Edges        int    `json:"edges"`
+	CacheEntries int    `json:"cache_entries"`
+	// LastSeq is the namespace journal's highest durable seq (leaders).
+	LastSeq uint64 `json:"last_seq,omitempty"`
+	// AppliedSeq is the replication cursor (followers).
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	Degraded   bool   `json:"degraded,omitempty"`
+}
+
+// Stats is the GET /stats report. The top-level fields describe the
+// default namespace — the pre-namespace report, unchanged; Namespaces
+// breaks every live namespace out by name once more than the default
+// exists (or the node is a replica).
 type Stats struct {
 	Revision   uint64       `json:"revision"`
 	Generation uint64       `json:"generation"`
@@ -901,13 +906,16 @@ type Stats struct {
 	// Degraded reports a journal write failure that froze mutations.
 	Journal  *JournalStats `json:"journal,omitempty"`
 	Degraded bool          `json:"degraded,omitempty"`
+	// ReadOnly marks a replica; Replication carries its lag counters.
+	ReadOnly    bool                      `json:"read_only,omitempty"`
+	Namespaces  map[string]NamespaceStats `json:"namespaces,omitempty"`
+	Replication *ReplicationStats         `json:"replication,omitempty"`
 }
 
 // Stats snapshots the server's observability counters; also published as
 // expvar by cmd/tgserve.
 func (s *Server) Stats() Stats {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	st := Stats{
 		Revision:   s.g.Revision(),
 		Generation: s.gen,
@@ -934,6 +942,22 @@ func (s *Server) Stats() Stats {
 		js := s.journal.stats()
 		st.Journal = &js
 	}
+	s.mu.RUnlock()
+
+	st.ReadOnly = s.readOnly
+	// Per-namespace summaries are taken after the default's lock is
+	// released — summary() locks each namespace in turn, including the
+	// default (recursive read-locking a sync.RWMutex is prohibited).
+	if spaces := s.allNS(); len(spaces) > 1 || s.readOnly {
+		st.Namespaces = make(map[string]NamespaceStats, len(spaces))
+		for _, n := range spaces {
+			st.Namespaces[n.name] = n.summary()
+		}
+	}
+	if s.repl != nil {
+		rs := s.repl.stats()
+		st.Replication = &rs
+	}
 	return st
 }
 
@@ -944,7 +968,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the same counters /stats reports — plus the
 // decision procedures' per-phase span aggregates — as Prometheus text
 // exposition. Series within each family are sorted for deterministic
-// scrapes.
+// scrapes. Unlabeled families describe the default namespace (the
+// pre-namespace exposition, unchanged); takegrant_ns_* families break
+// the same gauges out per namespace.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	phases := s.phases.Snapshot()
@@ -1088,13 +1114,79 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Gauge("takegrant_degraded", "1 when a journal failure froze mutations (reads continue).",
 		nil, degraded)
 
-	// Live-graph gauges.
+	// Live-graph gauges (default namespace).
 	pw.Gauge("takegrant_graph_vertices", "Vertices in the live graph.", nil, float64(st.Vertices))
 	pw.Gauge("takegrant_graph_edges", "Edges in the live graph.", nil, float64(st.Edges))
 	pw.Gauge("takegrant_graph_levels", "rw-levels of the installed hierarchy.", nil, float64(st.Levels))
 	pw.Gauge("takegrant_graph_revision", "Mutation counter of the live graph.", nil, float64(st.Revision))
 	pw.Gauge("takegrant_graph_generation", "Graph installations since process start.", nil, float64(st.Generation))
 	pw.Gauge("takegrant_qcache_entries", "Decision-cache resident entries.", nil, float64(st.Cache.Size))
+
+	// Multi-tenancy: one gauge set per namespace once any exists beyond
+	// the default, plus the namespace count itself.
+	pw.Gauge("takegrant_namespaces", "Live namespaces.", nil, float64(len(s.allNS())))
+	if len(st.Namespaces) > 0 {
+		names := make([]string, 0, len(st.Namespaces))
+		for name := range st.Namespaces {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			pw.Gauge("takegrant_ns_revision", "Mutation counter per namespace.",
+				[]obs.Label{obs.L("ns", name)}, float64(st.Namespaces[name].Revision))
+		}
+		for _, name := range names {
+			pw.Gauge("takegrant_ns_vertices", "Vertices per namespace.",
+				[]obs.Label{obs.L("ns", name)}, float64(st.Namespaces[name].Vertices))
+		}
+		for _, name := range names {
+			pw.Gauge("takegrant_ns_edges", "Edges per namespace.",
+				[]obs.Label{obs.L("ns", name)}, float64(st.Namespaces[name].Edges))
+		}
+		for _, name := range names {
+			pw.Gauge("takegrant_ns_qcache_entries", "Decision-cache resident entries per namespace.",
+				[]obs.Label{obs.L("ns", name)}, float64(st.Namespaces[name].CacheEntries))
+		}
+		for _, name := range names {
+			pw.Gauge("takegrant_ns_wal_last_seq", "Highest durable WAL seq per namespace (leader).",
+				[]obs.Label{obs.L("ns", name)}, float64(st.Namespaces[name].LastSeq))
+		}
+		for _, name := range names {
+			pw.Gauge("takegrant_ns_applied_seq", "Replication cursor per namespace (follower).",
+				[]obs.Label{obs.L("ns", name)}, float64(st.Namespaces[name].AppliedSeq))
+		}
+		for _, name := range names {
+			d := 0.0
+			if st.Namespaces[name].Degraded {
+				d = 1
+			}
+			pw.Gauge("takegrant_ns_degraded", "1 when the namespace's journal froze its mutations.",
+				[]obs.Label{obs.L("ns", name)}, d)
+		}
+	}
+
+	// Replication: follower lag and progress.
+	readOnly := 0.0
+	if st.ReadOnly {
+		readOnly = 1
+	}
+	pw.Gauge("takegrant_read_only", "1 on a replica (mutations answered with 503 read_only).",
+		nil, readOnly)
+	if st.Replication != nil {
+		pw.Gauge("takegrant_replication_lag_seconds",
+			"Seconds since this follower last drew level with its leader (0 while caught up).",
+			nil, st.Replication.LagSeconds)
+		pw.Gauge("takegrant_replication_behind_records", "Leader WAL records not yet replayed.",
+			nil, float64(st.Replication.BehindRecords))
+		pw.Counter("takegrant_replication_applied_total", "Leader WAL records replayed here.",
+			nil, float64(st.Replication.AppliedRecords))
+		pw.Counter("takegrant_replication_bootstraps_total", "Snapshot bootstraps (WAL compacted past our cursor).",
+			nil, float64(st.Replication.Bootstraps))
+		pw.Counter("takegrant_replication_rounds_total", "Poll rounds against the leader.",
+			nil, float64(st.Replication.Rounds))
+		pw.Counter("takegrant_replication_errors_total", "Failed poll rounds.",
+			nil, float64(st.Replication.Errors))
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, pw.String())

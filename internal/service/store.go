@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 
 	"takegrant/internal/journal"
 	"takegrant/internal/obs"
@@ -16,7 +18,7 @@ import (
 type JournalStats = journal.Stats
 
 // Record kinds, re-exported so service code reads without the package
-// qualifier (the struct field named journal shadows the import).
+// qualifier (the namespace field named journal shadows the import).
 const (
 	journalKindGraph = journal.KindGraph
 	journalKindApply = journal.KindApply
@@ -30,9 +32,23 @@ type journalState struct {
 
 func (js *journalState) stats() journal.Stats { return js.j.Stats() }
 
-// AttachJournal binds the server to a crash-safe data directory: state is
-// recovered from the latest snapshot plus the write-ahead log, and every
-// subsequently accepted mutation is fsync'd there before its 200.
+// nsDir maps a namespace name onto its journal directory: the default
+// namespace owns the data directory root (the pre-namespace layout, so
+// existing deployments recover in place), named ones live under ns/.
+// validNSName refuses leading dots, so a name can never escape the tree.
+func (s *Server) nsDir(name string) string {
+	if name == DefaultNamespace {
+		return s.dataDir
+	}
+	return filepath.Join(s.dataDir, "ns", name)
+}
+
+// AttachJournal binds the server to a crash-safe data directory: every
+// namespace's state is recovered from its latest snapshot plus
+// write-ahead log, and every subsequently accepted mutation is fsync'd
+// there before its 200. The default namespace journals at dir itself;
+// named namespaces (recovered from dir/ns/*, created on first PUT
+// /graph?ns=) each own a subdirectory.
 //
 // Recovery rebuilds the exact accepted-mutation prefix: the snapshot's
 // graph is reinstalled with its recorded revision and generation, then
@@ -43,29 +59,56 @@ func (js *journalState) stats() journal.Stats { return js.j.Stats() }
 // startup rather than serving a silently different protection state.
 //
 // The boolean reports whether any state was recovered (a snapshot or WAL
-// records existed) — a caller preloading a default graph must skip the
-// preload then, or it would overwrite acknowledged history.
+// records existed in any namespace) — a caller preloading a default
+// graph must skip the preload then, or it would overwrite acknowledged
+// history.
 //
 // Call before serving traffic; not concurrent with requests.
 func (s *Server) AttachJournal(dir string) (bool, error) {
+	s.dataDir = dir
+	recovered, err := s.attachNS(s.namespace, dir)
+	if err != nil {
+		return false, err
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "ns"))
+	if err != nil && !os.IsNotExist(err) {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !validNSName(e.Name()) {
+			continue
+		}
+		n := newNamespace(e.Name(), s.cfg.HierarchyWorkers)
+		rec, err := s.attachNS(n, filepath.Join(dir, "ns", e.Name()))
+		if err != nil {
+			return false, fmt.Errorf("namespace %q: %w", e.Name(), err)
+		}
+		s.spaces[e.Name()] = n
+		recovered = recovered || rec
+	}
+	return recovered, nil
+}
+
+// attachNS opens (and recovers from) one namespace's journal directory.
+// Callers own the namespace exclusively — startup, or namespace creation
+// under nsMu before the namespace is published.
+func (s *Server) attachNS(n *namespace, dir string) (bool, error) {
 	j, snap, replay, err := journal.Open(dir)
 	if err != nil {
 		return false, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if snap != nil {
 		g, err := tgio.ParseString(snap.Text)
 		if err != nil {
 			j.Close()
 			return false, fmt.Errorf("service: snapshot does not parse: %w", err)
 		}
-		s.install(g)
+		n.install(g, s.cfg.HierarchyWorkers)
 		g.RestoreRevision(snap.Meta.Revision)
-		s.gen = snap.Meta.Generation
+		n.gen = snap.Meta.Generation
 	}
 	for _, rec := range replay {
-		if err := s.replay(rec); err != nil {
+		if err := s.replayLocked(n, rec); err != nil {
 			j.Close()
 			return false, fmt.Errorf("service: wal record seq %d: %w", rec.Seq, err)
 		}
@@ -74,12 +117,15 @@ func (s *Server) AttachJournal(dir string) (bool, error) {
 	if snapEvery == 0 {
 		snapEvery = DefaultSnapshotEvery
 	}
-	s.journal = &journalState{j: j, snapEvery: snapEvery}
+	n.journal = &journalState{j: j, snapEvery: snapEvery}
 	return snap != nil || len(replay) > 0, nil
 }
 
-// replay re-applies one recovered WAL record. Callers hold the write lock.
-func (s *Server) replay(rec journal.Record) error {
+// replayLocked re-applies one WAL record to a namespace — the same path
+// for crash recovery and replication, so a follower's state is exactly
+// what the leader's recovery would rebuild. Callers hold the namespace
+// write lock (or own it exclusively).
+func (s *Server) replayLocked(n *namespace, rec journal.Record) error {
 	switch rec.Kind {
 	case journal.KindGraph:
 		var text string
@@ -90,88 +136,88 @@ func (s *Server) replay(rec journal.Record) error {
 		if err != nil {
 			return fmt.Errorf("parse journaled graph: %w", err)
 		}
-		s.install(g)
+		n.install(g, s.cfg.HierarchyWorkers)
 	case journal.KindApply:
 		var req ApplyRequest
 		if err := json.Unmarshal(rec.Data, &req); err != nil {
 			return fmt.Errorf("decode apply record: %w", err)
 		}
-		app, err := s.buildApp(req)
+		app, err := buildApp(n.g, req)
 		if err != nil {
 			return fmt.Errorf("rebuild %q application: %w", req.Op, err)
 		}
 		// The guard accepted this exact application from this exact state
-		// before the crash; accepting it again is deterministic.
-		if err := s.guard.Apply(app); err != nil {
+		// on the original write path; accepting it again is deterministic.
+		if err := n.guard.Apply(app); err != nil {
 			return fmt.Errorf("replay %q application: %w", req.Op, err)
 		}
-		s.rearm(nil)
+		n.rearm(nil)
 	default:
 		return fmt.Errorf("unknown record kind %q", rec.Kind)
 	}
 	return nil
 }
 
-// refuseDegraded rejects mutations once a journal write has failed: the
-// in-memory state may already be ahead of disk, and accepting more would
-// widen the gap. Reads never consult this. Callers hold the write lock.
-func (s *Server) refuseDegraded() error {
-	if s.degraded == nil {
-		return nil
-	}
-	return fmt.Errorf("mutations disabled after journal failure: %w", s.degraded)
-}
-
 // journalAppend makes one accepted mutation durable, snapshotting when
 // the WAL has grown past the cadence. A nil journal (no -data directory)
-// is a no-op. On failure the server enters degraded mode. Callers hold
-// the write lock.
-func (s *Server) journalAppend(r *http.Request, kind string, data any) error {
-	if s.journal == nil {
+// is a no-op. On failure the namespace enters degraded mode. Callers
+// hold the namespace write lock.
+func (s *Server) journalAppend(n *namespace, r *http.Request, kind string, data any) error {
+	if n.journal == nil {
 		return nil
 	}
-	if _, err := s.journal.j.Append(kind, data); err != nil {
-		s.degraded = err
+	if _, err := n.journal.j.Append(kind, data); err != nil {
+		n.degraded = err
 		s.logger.LogAttrs(r.Context(), slog.LevelError, "journal",
 			slog.String("trace_id", obs.TraceFrom(r.Context())),
+			slog.String("ns", n.name),
 			slog.String("event", "append_failed_entering_degraded_mode"),
 			slog.String("error", err.Error()),
 		)
-		return s.refuseDegraded()
+		return n.refuseDegraded()
 	}
-	if s.journal.j.Stats().WalRecords >= s.journal.snapEvery {
-		s.snapshotLocked()
+	if n.journal.j.Stats().WalRecords >= n.journal.snapEvery {
+		s.snapshotLocked(n)
 	}
 	return nil
 }
 
-// snapshotLocked writes the current state as a snapshot. A failure is
-// logged but not fatal: the WAL still holds every accepted mutation, so
-// durability is intact — only recovery time suffers. Callers hold the
-// write lock.
-func (s *Server) snapshotLocked() {
-	meta := journal.Meta{Revision: s.g.Revision(), Generation: s.gen}
-	if err := s.journal.j.WriteSnapshot(meta, tgio.WriteString(s.g)); err != nil {
+// snapshotLocked writes one namespace's current state as a snapshot. A
+// failure is logged but not fatal: the WAL still holds every accepted
+// mutation, so durability is intact — only recovery time suffers.
+// Callers hold the namespace write lock.
+func (s *Server) snapshotLocked(n *namespace) {
+	meta := journal.Meta{Revision: n.g.Revision(), Generation: n.gen}
+	if err := n.journal.j.WriteSnapshot(meta, tgio.WriteString(n.g)); err != nil {
 		s.logger.LogAttrs(context.Background(), slog.LevelError, "journal",
+			slog.String("ns", n.name),
 			slog.String("event", "snapshot_failed"),
 			slog.String("error", err.Error()),
 		)
 	}
 }
 
-// Close snapshots the state (so the next start replays nothing) and
-// releases the journal. Safe without an attached journal; call after the
-// HTTP server has drained.
+// Close stops replication (on a follower), snapshots every namespace's
+// state (so the next start replays nothing) and releases the journals.
+// Safe without an attached journal; call after the HTTP server has
+// drained.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.journal == nil {
-		return nil
+	if s.repl != nil {
+		s.repl.stop()
 	}
-	if s.degraded == nil {
-		s.snapshotLocked()
+	var firstErr error
+	for _, n := range s.allNS() {
+		n.mu.Lock()
+		if n.journal != nil {
+			if n.degraded == nil {
+				s.snapshotLocked(n)
+			}
+			if err := n.journal.j.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			n.journal = nil
+		}
+		n.mu.Unlock()
 	}
-	err := s.journal.j.Close()
-	s.journal = nil
-	return err
+	return firstErr
 }

@@ -1,0 +1,87 @@
+// Package shard maps namespace names onto a fixed peer set with a
+// consistent-hash ring, so a fleet of tgserve processes can each own a
+// subset of namespaces and redirect the rest: the paper's "one monitor,
+// many protection structures" sliced horizontally. Adding or removing a
+// peer moves only ~1/N of the namespaces — the property plain modulo
+// hashing lacks.
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerPeer spreads each peer around the ring; more vnodes, smoother
+// load at the cost of a longer (still binary-searched) ring.
+const vnodesPerPeer = 64
+
+type vnode struct {
+	hash uint64
+	peer int // index into peers
+}
+
+// Ring is an immutable consistent-hash ring over a peer set. Build once
+// at startup; Owner is safe for concurrent use.
+type Ring struct {
+	peers  []string
+	vnodes []vnode
+}
+
+// New builds a ring over the peer addresses. Order does not matter —
+// two processes given the same set in any order agree on every owner.
+// Returns nil for an empty set.
+func New(peers []string) *Ring {
+	if len(peers) == 0 {
+		return nil
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	r := &Ring{peers: sorted}
+	r.vnodes = make([]vnode, 0, len(sorted)*vnodesPerPeer)
+	for i, p := range sorted {
+		for v := 0; v < vnodesPerPeer; v++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(p + "#" + strconv.Itoa(v)), peer: i})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		if r.vnodes[a].hash != r.vnodes[b].hash {
+			return r.vnodes[a].hash < r.vnodes[b].hash
+		}
+		// Hash ties break on peer index so equal rings agree exactly.
+		return r.vnodes[a].peer < r.vnodes[b].peer
+	})
+	return r
+}
+
+// Owner returns the peer responsible for key: the first vnode clockwise
+// from the key's hash.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0 // wrap: the ring is a circle
+	}
+	return r.peers[r.vnodes[i].peer]
+}
+
+// Peers returns the (sorted) peer set.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// hash64 is FNV-64a finished with murmur3's fmix64 avalanche. Bare FNV
+// is a poor ring hash: strings sharing a long prefix (peer URLs that
+// differ only in a port digit, vnode keys differing only in the "#N"
+// suffix) hash to tight clusters, which collapses a peer's 64 vnodes
+// into a couple of ring points and skews ownership to one node. The
+// finalizer diffuses every input bit across the word.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	a := New([]string{"http://a:8080", "http://b:8080", "http://c:8080"})
+	b := New([]string{"http://c:8080", "http://a:8080", "http://b:8080"})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("peer order changed ownership of %q: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+		if a.Owner(key) != a.Owner(key) {
+			t.Fatalf("Owner(%q) not deterministic", key)
+		}
+	}
+}
+
+func TestOwnershipSpread(t *testing.T) {
+	peers := []string{"http://a:8080", "http://b:8080", "http://c:8080", "http://d:8080"}
+	r := New(peers)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("ns-%d", i))]++
+	}
+	for _, p := range peers {
+		// Perfect balance is keys/4 = 1000; consistent hashing with 64
+		// vnodes should keep every peer within a loose 2x band.
+		if counts[p] < keys/8 || counts[p] > keys/2 {
+			t.Errorf("peer %s owns %d of %d keys — pathological spread %v", p, counts[p], keys, counts)
+		}
+	}
+}
+
+// TestSpreadWithNearIdenticalPeers pins the regression that bare FNV
+// hides: real fleets name peers by URLs that differ only in a port or
+// host digit. Without the avalanche finalizer each peer's vnodes clump
+// and one node ends up owning ~97% of the keyspace.
+func TestSpreadWithNearIdenticalPeers(t *testing.T) {
+	peers := []string{"http://127.0.0.1:18451", "http://127.0.0.1:18452"}
+	r := New(peers)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("ns-%d", i))]++
+	}
+	for _, p := range peers {
+		if counts[p] < keys/4 || counts[p] > 3*keys/4 {
+			t.Errorf("peer %s owns %d of %d keys — pathological spread %v", p, counts[p], keys, counts)
+		}
+	}
+}
+
+func TestRemovingPeerMovesOnlyItsKeys(t *testing.T) {
+	full := New([]string{"http://a:8080", "http://b:8080", "http://c:8080"})
+	less := New([]string{"http://a:8080", "http://b:8080"})
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("ns-%d", i)
+		was, now := full.Owner(key), less.Owner(key)
+		if was == "http://c:8080" {
+			if now == "http://c:8080" {
+				t.Fatalf("removed peer still owns %q", key)
+			}
+			continue // had to move
+		}
+		if was != now {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed peer moved anyway", moved)
+	}
+}
+
+func TestSinglePeerOwnsEverything(t *testing.T) {
+	r := New([]string{"http://only:8080"})
+	for i := 0; i < 50; i++ {
+		if got := r.Owner(fmt.Sprintf("k%d", i)); got != "http://only:8080" {
+			t.Fatalf("Owner = %q", got)
+		}
+	}
+	if New(nil) != nil {
+		t.Error("empty peer set should yield a nil ring")
+	}
+}
