@@ -30,6 +30,7 @@ var guarded = map[string]float64{
 	"E9":  3.0, // O(1) online guard (Corollary 5.7)
 	"E20": 3.0, // flat CSR derivation vs map reference
 	"E21": 3.0, // incremental engine vs per-step recompute
+	"E22": 3.0, // instrumentation overhead (histogram observe ≤ 100ns budget)
 }
 
 // row is the subset of tgbench's per-experiment report the gate reads.

@@ -45,6 +45,10 @@ VERTS_BEFORE=$(stat_field vertices)
 VERDICT_BEFORE=$(curl -sf "$BASE/query/can-share?right=r&x=low&y=secret")
 GRAPH_BEFORE=$(curl -sf "$BASE/graph")
 
+# The exposition under traffic must satisfy the Prometheus contract
+# (contiguous families, consistent histograms) — see ci/metricslint.
+go run ./ci/metricslint "$BASE/metrics"
+
 # Crash: SIGKILL, no chance to flush anything beyond the per-request fsyncs.
 kill -9 "$PID"
 wait "$PID" 2>/dev/null || true

@@ -1,0 +1,76 @@
+// Command metricslint scrapes a live /metrics endpoint (or reads a file)
+// and fails if the exposition violates the Prometheus text-format
+// contract: families must be contiguous under a single TYPE header,
+// labels well-formed and unduplicated, counters finite and non-negative,
+// and every histogram internally consistent — ascending le bounds,
+// non-decreasing cumulative counts, a +Inf bucket agreeing with _count,
+// and _sum/_count present. It is the CI tripwire for the bug class a
+// human eyeballing a scrape never catches: a refactor that interleaves
+// families or drops a histogram's +Inf bucket still "looks fine" in curl
+// output but silently breaks real scrapers and the fleet-merge arithmetic
+// tgtop runs on the buckets.
+//
+// Usage:
+//
+//	metricslint http://127.0.0.1:8080/metrics
+//	metricslint scrape.txt
+//
+// Exit status 1 on lint violations (each reported on stderr), 2 when the
+// target cannot be fetched or parsed at all.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"takegrant/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricslint <url-or-file>")
+		os.Exit(2)
+	}
+	target := os.Args[1]
+	var body []byte
+	var err error
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		client := &http.Client{Timeout: 5 * time.Second}
+		var resp *http.Response
+		if resp, err = client.Get(target); err == nil {
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("HTTP %d", resp.StatusCode)
+			} else {
+				body, err = io.ReadAll(resp.Body)
+			}
+			resp.Body.Close()
+		}
+	} else {
+		body, err = os.ReadFile(target)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %s: %v\n", target, err)
+		os.Exit(2)
+	}
+
+	fams, err := obs.ParseProm(string(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %s: %v\n", target, err)
+		os.Exit(2)
+	}
+	if errs := obs.LintProm(string(body)); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "metricslint: %v\n", e)
+		}
+		os.Exit(1)
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Series)
+	}
+	fmt.Printf("metricslint: %s OK (%d families, %d series)\n", target, len(fams), samples)
+}

@@ -104,6 +104,19 @@ grep -q read_only "$DATA/ro.json" || { echo "follower refusal lacks read_only co
 curl -sf "$FOLLOWER/metrics" | grep -q '^takegrant_replication_lag_seconds 0' \
   || { echo "follower /metrics lacks takegrant_replication_lag_seconds 0" >&2; fail=1; }
 
+# Both expositions must satisfy the Prometheus contract under real
+# replication traffic (histograms included) — see ci/metricslint.
+go run ./ci/metricslint "$LEADER/metrics"   || fail=1
+go run ./ci/metricslint "$FOLLOWER/metrics" || fail=1
+
+# tgtop's scriptable mode must render the whole fleet in one frame:
+# leader and replica rows, no DOWN column.
+TGTOP_OUT="$DATA/tgtop.txt"
+go run ./cmd/tgtop -nodes "$LEADER,$FOLLOWER" -once > "$TGTOP_OUT" || { echo "tgtop -once failed" >&2; fail=1; }
+grep -q 'leader'  "$TGTOP_OUT" || { echo "tgtop frame lacks a leader row" >&2;  cat "$TGTOP_OUT" >&2; fail=1; }
+grep -q 'replica' "$TGTOP_OUT" || { echo "tgtop frame lacks a replica row" >&2; cat "$TGTOP_OUT" >&2; fail=1; }
+grep -q 'DOWN' "$TGTOP_OUT" && { echo "tgtop reports a node DOWN" >&2; cat "$TGTOP_OUT" >&2; fail=1; }
+
 if [ "$fail" != 0 ]; then
   echo "--- leader log ---" >&2;   cat "$L_LOG" >&2
   echo "--- follower log ---" >&2; cat "$F_LOG" >&2

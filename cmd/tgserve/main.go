@@ -25,15 +25,25 @@
 // ring assigns it and redirects the rest with 307.
 //
 // Observability: GET /stats reports query-cache hit/miss/eviction
-// counters, per-route request counts and latency quantiles, the current
-// graph revision and size, plus panic/shed/budget-exhausted and journal
-// counters; GET /metrics serves the same counters plus per-phase
-// decision-procedure timings in Prometheus text exposition format; the
-// /stats snapshot is also published as the expvar "takegrant" alongside
-// the runtime's memstats at GET /debug/vars. Every request is logged as
-// one JSON line on stderr carrying the trace ID echoed in the X-Trace-Id
-// response header. -pprof additionally mounts the runtime profiler under
-// /debug/pprof/.
+// counters, per-route request counts with interpolated latency quantiles
+// and a status-class breakdown, the current graph revision and size,
+// plus panic/shed/budget-exhausted and journal counters; GET /metrics
+// serves Prometheus text exposition with real latency histogram
+// families (takegrant_request_latency_seconds_bucket per route, status
+// class and namespace — wait-free log-bucketed atomic counters that
+// merge across nodes) alongside per-phase decision-procedure timings;
+// the /stats snapshot is also published as the expvar "takegrant" at
+// GET /debug/vars. Every request joins the caller's W3C traceparent (or
+// legacy X-Trace-Id) or mints a fresh trace, echoes both headers, and
+// logs one JSON line on stderr with the trace and span IDs; shard
+// redirects and replica polls propagate the trace, so one logical query
+// carries one trace ID on every node. A fixed-size flight recorder
+// (-flight-size, default 256) keeps the most recent structured events —
+// request summaries, guard verdicts, replication rounds, journal
+// faults, panics — replayed at GET /debug/flight, dumped to stderr on
+// any caught panic and on SIGQUIT. cmd/tgtop renders a fleet of these
+// servers as a live dashboard. -pprof additionally mounts the runtime
+// profiler under /debug/pprof/.
 //
 // Usage:
 //
@@ -62,7 +72,6 @@ import (
 	"time"
 
 	"takegrant/internal/service"
-	"takegrant/internal/shard"
 	"takegrant/internal/specimens"
 	"takegrant/internal/tgio"
 )
@@ -87,6 +96,7 @@ func main() {
 		replPoll = flag.Duration("replica-poll", 500*time.Millisecond, "replication poll interval")
 		peers    = flag.String("peers", "", "comma-separated base URLs of every shard peer (enables namespace sharding)")
 		adv      = flag.String("advertise", "", "this node's base URL as it appears in -peers")
+		flightN  = flag.Int("flight-size", 0, "flight recorder ring size (0 = default, negative = disabled)")
 	)
 	flag.Parse()
 	if *replica != "" && *data != "" {
@@ -106,6 +116,7 @@ func main() {
 		SnapshotEvery:    *snapN,
 		BatchWorkers:     *batchW,
 		HierarchyWorkers: *hierW,
+		FlightSize:       *flightN,
 	})
 	if !*quiet {
 		srv.SetLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
@@ -131,7 +142,11 @@ func main() {
 	}
 	expvar.Publish("takegrant", expvar.Func(func() any { return srv.Stats() }))
 	mux := http.NewServeMux()
-	mux.Handle("/", shardRedirect(*peers, *adv, srv.Handler()))
+	sharded, err := srv.ShardRedirect(*peers, *adv, srv.Handler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux.Handle("/", sharded)
 	mux.Handle("/debug/vars", expvar.Handler())
 	if *profile {
 		// Opt-in only: the profiler exposes stacks and heap contents, which
@@ -196,6 +211,16 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// SIGQUIT dumps the flight recorder — the last ring-ful of requests,
+	// verdicts and faults — to stderr and keeps serving, the classic
+	// "what just happened" signal.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			srv.DumpFlight(os.Stderr)
+		}
+	}()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("takegrant reference monitor listening on %s", *addr)
@@ -217,50 +242,4 @@ func main() {
 		log.Printf("close: %v", err)
 	}
 	log.Printf("shutdown complete")
-}
-
-// shardRedirect spreads namespaces across a peer fleet: requests for a
-// namespace the consistent-hash ring assigns to another peer are
-// answered with 307 to that peer (method and body preserved), so any
-// node can be a client's entry point. Process-level routes (/stats,
-// /metrics, /debug/*) and the replication feed always answer locally.
-// With no peers configured it is the identity.
-func shardRedirect(peerList, advertise string, next http.Handler) http.Handler {
-	if peerList == "" {
-		return next
-	}
-	var peers []string
-	for _, p := range strings.Split(peerList, ",") {
-		if p = strings.TrimSpace(strings.TrimRight(p, "/")); p != "" {
-			peers = append(peers, p)
-		}
-	}
-	ring := shard.New(peers)
-	advertise = strings.TrimRight(advertise, "/")
-	owned := false
-	for _, p := range peers {
-		owned = owned || p == advertise
-	}
-	if !owned {
-		log.Fatalf("-advertise %s is not in -peers %s", advertise, peerList)
-	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch {
-		case r.URL.Path == "/stats", r.URL.Path == "/metrics",
-			strings.HasPrefix(r.URL.Path, "/debug/"),
-			strings.HasPrefix(r.URL.Path, "/replication/"):
-			next.ServeHTTP(w, r)
-			return
-		}
-		ns := r.URL.Query().Get("ns")
-		if ns == "" {
-			ns = service.DefaultNamespace
-		}
-		if owner := ring.Owner(ns); owner != advertise {
-			// 307 keeps the method and body: a redirected PUT stays a PUT.
-			http.Redirect(w, r, owner+r.URL.RequestURI(), http.StatusTemporaryRedirect)
-			return
-		}
-		next.ServeHTTP(w, r)
-	})
 }

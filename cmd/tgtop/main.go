@@ -1,0 +1,315 @@
+// Command tgtop is a terminal dashboard for a takegrant fleet: point it
+// at every node — leader, replicas, shard peers — and it repaints one
+// row per node with the numbers an operator reaches for first: request
+// rate, windowed p50/p99 latency, error rate, query-cache hit rate,
+// replication lag, and namespace spread.
+//
+// The latency quantiles are computed the only way that is honest across
+// a fleet: each poll scrapes the node's /metrics histogram buckets
+// (takegrant_request_latency_seconds), subtracts the previous scrape's
+// buckets, and interpolates quantiles inside the windowed distribution.
+// Because the buckets are mergeable counters this also works across
+// nodes — the FLEET row is the bucket-sum of every node, a quantile no
+// amount of per-node p99 averaging could produce correctly.
+//
+// /stats supplies the rest: per-route counts and status classes for the
+// rate and error columns, cache counters, revision, namespaces, replica
+// lag and the last replication error (shown under the table, since a
+// dead leader is something tgtop must say in words, not hide in a
+// column).
+//
+// Usage:
+//
+//	tgtop -nodes http://a:8080,http://b:8080 [-interval 2s]
+//	tgtop -nodes http://leader:8080 -once        # one plain-text frame
+//
+// -once prints a single frame without ANSI control sequences and exits —
+// the scriptable mode CI smoke tests run. The exit status is 0 when at
+// least one node answered and 1 when the whole fleet was unreachable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"takegrant/internal/obs"
+	"takegrant/internal/service"
+)
+
+// nodeSample is one poll of one node: its /stats document plus the
+// scraped latency distribution, stamped so rates have a denominator.
+type nodeSample struct {
+	when  time.Time
+	stats service.Stats
+	dist  obs.BucketDist
+	err   error
+}
+
+// requests sums the per-route counters; errs sums the 4xx and 5xx
+// classes — the numerators of the RATE and ERR% columns.
+func (s *nodeSample) requests() (total, errs uint64) {
+	for _, rt := range s.stats.Routes {
+		total += rt.Count
+		errs += rt.ByClass["4xx"] + rt.ByClass["5xx"]
+	}
+	return total, errs
+}
+
+func poll(client *http.Client, base string) *nodeSample {
+	s := &nodeSample{when: time.Now()}
+	resp, err := client.Get(base + "/stats")
+	if err == nil {
+		err = json.NewDecoder(resp.Body).Decode(&s.stats)
+		resp.Body.Close()
+	}
+	if err != nil {
+		s.err = fmt.Errorf("stats: %w", err)
+		return s
+	}
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		s.err = fmt.Errorf("metrics: %w", err)
+		return s
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		s.err = fmt.Errorf("metrics: %w", err)
+		return s
+	}
+	fams, err := obs.ParseProm(string(body))
+	if err != nil {
+		s.err = fmt.Errorf("metrics: %w", err)
+		return s
+	}
+	s.dist = obs.HistogramDist(fams, "takegrant_request_latency_seconds",
+		func(map[string]string) bool { return true })
+	return s
+}
+
+// window subtracts an earlier cumulative distribution from a later one,
+// yielding the distribution of just the samples between the two scrapes.
+// Buckets appear in a scrape only once occupied, so prev's bounds are a
+// subset of cur's; a bound cur has and prev lacks contributes prev's
+// cumulative count at the nearest lower bound.
+func window(cur, prev obs.BucketDist) obs.BucketDist {
+	if prev.Count == 0 {
+		return cur
+	}
+	out := obs.BucketDist{
+		Les:   cur.Les,
+		Cums:  make([]uint64, len(cur.Cums)),
+		Sum:   cur.Sum - prev.Sum,
+		Count: cur.Count - prev.Count,
+	}
+	j := -1 // index of the largest prev bound ≤ cur.Les[i]
+	for i, le := range cur.Les {
+		for j+1 < len(prev.Les) && prev.Les[j+1] <= le {
+			j++
+		}
+		var p uint64
+		if j >= 0 {
+			p = prev.Cums[j]
+		}
+		if cur.Cums[i] > p {
+			out.Cums[i] = cur.Cums[i] - p
+		}
+	}
+	return out
+}
+
+func fmtDur(seconds float64) string {
+	switch {
+	case seconds <= 0:
+		return "-"
+	case seconds < 1e-3:
+		return fmt.Sprintf("%.0fµs", seconds*1e6)
+	case seconds < 1:
+		return fmt.Sprintf("%.1fms", seconds*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", seconds)
+	}
+}
+
+func fmtRate(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func fmtPct(num, den uint64) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// row renders one node line from its current sample and (possibly nil)
+// previous sample.
+func row(w io.Writer, name string, cur, prev *nodeSample) {
+	if cur.err != nil {
+		fmt.Fprintf(w, "%s\tDOWN\t-\t-\t-\t-\t-\t-\t-\t-\t-\n", name)
+		return
+	}
+	st := &cur.stats
+	role := "leader"
+	if st.ReadOnly {
+		role = "replica"
+	}
+	if st.Degraded {
+		role += "!degraded"
+	}
+
+	total, errs := cur.requests()
+	rate := -1.0
+	dist := cur.dist
+	hits, misses := st.Cache.Hits, st.Cache.Misses
+	if prev != nil && prev.err == nil {
+		pTotal, pErrs := prev.requests()
+		if dt := cur.when.Sub(prev.when).Seconds(); dt > 0 && total >= pTotal {
+			rate = float64(total-pTotal) / dt
+		}
+		total, errs = total-pTotal, errs-pErrs
+		dist = window(cur.dist, prev.dist)
+		hits -= prev.stats.Cache.Hits
+		misses -= prev.stats.Cache.Misses
+	}
+
+	lag, behind := "-", "-"
+	if r := st.Replication; r != nil {
+		lag = fmtDur(r.LagSeconds)
+		if r.LagSeconds == 0 {
+			lag = "0"
+		}
+		behind = fmt.Sprint(r.BehindRecords)
+	}
+	nsCol := "1"
+	if len(st.Namespaces) > 0 {
+		nsCol = fmt.Sprint(len(st.Namespaces))
+	}
+	fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+		name, role, st.Revision, nsCol,
+		fmtRate(rate),
+		fmtDur(dist.Quantile(0.50)), fmtDur(dist.Quantile(0.99)),
+		fmtPct(errs, total),
+		fmtPct(hits, hits+misses),
+		lag, behind,
+	)
+}
+
+// frame renders one full dashboard frame into w.
+func frame(w io.Writer, nodes []string, cur, prev map[string]*nodeSample) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tROLE\tREV\tNS\tREQ/S\tP50\tP99\tERR\tQCACHE\tLAG\tBEHIND")
+	up := 0
+	fleet := obs.BucketDist{}
+	for _, n := range nodes {
+		c := cur[n]
+		row(tw, n, c, prev[n])
+		if c.err == nil {
+			up++
+			d := c.dist
+			if p := prev[n]; p != nil && p.err == nil {
+				d = window(c.dist, p.dist)
+			}
+			fleet.Merge(d)
+		}
+	}
+	if len(nodes) > 1 {
+		fmt.Fprintf(tw, "FLEET\t%d/%d up\t\t\t\t%s\t%s\t\t\t\t\n",
+			up, len(nodes), fmtDur(fleet.Quantile(0.50)), fmtDur(fleet.Quantile(0.99)))
+	}
+	tw.Flush()
+
+	// Problems get sentences, not columns.
+	var notes []string
+	for _, n := range nodes {
+		c := cur[n]
+		if c.err != nil {
+			notes = append(notes, fmt.Sprintf("%s: %v", n, c.err))
+		} else if r := c.stats.Replication; r != nil && r.LastError != "" {
+			notes = append(notes, fmt.Sprintf("%s: replication: %s (%d errors)", n, r.LastError, r.Errors))
+		}
+		if c.err == nil && c.stats.Degraded {
+			notes = append(notes, fmt.Sprintf("%s: journal degraded — mutations answer 503", n))
+		}
+	}
+	sort.Strings(notes)
+	for _, note := range notes {
+		fmt.Fprintln(w, "  ! "+note)
+	}
+}
+
+func main() {
+	var (
+		nodesFlag = flag.String("nodes", "http://localhost:8080", "comma-separated base URLs of every fleet node")
+		interval  = flag.Duration("interval", 2*time.Second, "poll and repaint interval")
+		timeout   = flag.Duration("timeout", 3*time.Second, "per-request timeout")
+		once      = flag.Bool("once", false, "print one plain frame and exit (no ANSI; for scripts and CI)")
+	)
+	flag.Parse()
+	var nodes []string
+	for _, n := range strings.Split(*nodesFlag, ",") {
+		if n = strings.TrimRight(strings.TrimSpace(n), "/"); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "tgtop: -nodes is empty")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	pollAll := func() map[string]*nodeSample {
+		out := make(map[string]*nodeSample, len(nodes))
+		type res struct {
+			node string
+			s    *nodeSample
+		}
+		ch := make(chan res, len(nodes))
+		for _, n := range nodes {
+			go func(n string) { ch <- res{n, poll(client, n)} }(n)
+		}
+		for range nodes {
+			r := <-ch
+			out[r.node] = r.s
+		}
+		return out
+	}
+
+	if *once {
+		cur := pollAll()
+		frame(os.Stdout, nodes, cur, nil)
+		for _, s := range cur {
+			if s.err == nil {
+				return
+			}
+		}
+		os.Exit(1)
+	}
+
+	var prev map[string]*nodeSample
+	for {
+		cur := pollAll()
+		// Repaint: home the cursor, draw, clear whatever the previous
+		// frame left below.
+		fmt.Print("\x1b[H")
+		var b strings.Builder
+		fmt.Fprintf(&b, "tgtop — %d node(s), every %s, %s\x1b[K\n\n",
+			len(nodes), *interval, time.Now().Format("15:04:05"))
+		frame(&b, nodes, cur, prev)
+		fmt.Print(strings.ReplaceAll(b.String(), "\n", "\x1b[K\n"))
+		fmt.Print("\x1b[J")
+		prev = cur
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// FlightEvent is one entry in the flight recorder: a compact structured
+// record of something the server just did — a finished request with its
+// phase spans, a guard verdict, a replication round, a journal latch, a
+// caught panic. Events are what a post-incident reader needs to see the
+// seconds before a fault, without the volume of full request logging.
+type FlightEvent struct {
+	// Seq is the global event number; the ring keeps the highest ones.
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind classifies the event: request, panic, guard, replication,
+	// journal, redirect, lifecycle.
+	Kind string `json:"kind"`
+	// Trace is the W3C trace ID of the operation that produced the
+	// event, when one existed.
+	Trace string `json:"trace_id,omitempty"`
+	NS    string `json:"ns,omitempty"`
+	Route string `json:"route,omitempty"`
+	// Code is the HTTP status (requests) or 0.
+	Code int           `json:"code,omitempty"`
+	Dur  time.Duration `json:"duration_ns,omitempty"`
+	// Detail carries kind-specific text: phase spans of a request, a
+	// guard verdict, an error string.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Flight is a fixed-size lock-free ring of recent events. Record is
+// wait-free: a writer claims a slot with one atomic increment and
+// publishes a fully-built event into it with one atomic pointer store,
+// so readers only ever see committed events — never a torn one. The
+// design accepts one documented imperfection in exchange for never
+// blocking the request path: during a concurrent wrap a snapshot may
+// momentarily miss an event whose slot was just reclaimed; sorting by
+// Seq keeps whatever it did catch in order.
+//
+// All methods are nil-safe: a nil *Flight records nothing, so a server
+// built without a recorder pays a pointer test.
+type Flight struct {
+	slots []atomic.Pointer[FlightEvent]
+	mask  uint64
+	next  atomic.Uint64 // next seq to assign, 1-based
+}
+
+// NewFlight returns a recorder keeping the most recent size events
+// (rounded up to a power of two, minimum 16). size ≤ 0 returns nil —
+// the disabled recorder.
+func NewFlight(size int) *Flight {
+	if size <= 0 {
+		return nil
+	}
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &Flight{slots: make([]atomic.Pointer[FlightEvent], n), mask: uint64(n - 1)}
+}
+
+// Size returns the ring capacity; 0 when disabled.
+func (f *Flight) Size() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Record appends one event, overwriting the oldest. The event's Seq and
+// Time are filled in here. Wait-free; safe from any goroutine,
+// including a panicking one.
+func (f *Flight) Record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	seq := f.next.Add(1)
+	ev.Seq = seq
+	ev.Time = time.Now()
+	f.slots[(seq-1)&f.mask].Store(&ev)
+}
+
+// Snapshot returns the recorded events oldest → newest. An event being
+// overwritten during the copy may be skipped; everything returned is
+// internally consistent and Seq-ordered.
+func (f *Flight) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	hi := f.next.Load()
+	size := uint64(len(f.slots))
+	lo := uint64(1)
+	if hi > size {
+		lo = hi - size + 1
+	}
+	out := make([]FlightEvent, 0, hi-lo+1)
+	for seq := lo; seq <= hi; seq++ {
+		ev := f.slots[(seq-1)&f.mask].Load()
+		// A slot can hold an older event (its writer not yet landed) or a
+		// newer one (lapped while we walked); only the seq we came for is
+		// in-window by construction.
+		if ev != nil && ev.Seq == seq {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}
+
+// Dump writes the ring as aligned text, oldest first — the panic and
+// SIGQUIT sink. It never fails the caller: a broken writer just stops
+// the dump.
+func (f *Flight) Dump(w io.Writer) {
+	evs := f.Snapshot()
+	fmt.Fprintf(w, "=== flight recorder: %d events (ring %d) ===\n", len(evs), f.Size())
+	for _, ev := range evs {
+		if _, err := fmt.Fprintf(w, "%6d %s %-11s %-32s ns=%s route=%s code=%d dur=%s %s\n",
+			ev.Seq, ev.Time.Format("15:04:05.000"), ev.Kind, ev.Trace,
+			ev.NS, ev.Route, ev.Code, ev.Dur, ev.Detail); err != nil {
+			return
+		}
+	}
+	fmt.Fprintf(w, "=== end flight recorder ===\n")
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightKeepsMostRecent(t *testing.T) {
+	f := NewFlight(16)
+	for i := 1; i <= 40; i++ {
+		f.Record(FlightEvent{Kind: "request", Detail: fmt.Sprintf("ev%d", i)})
+	}
+	evs := f.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("snapshot holds %d events, want 16", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(40 - 16 + 1 + i)
+		if ev.Seq != wantSeq {
+			t.Errorf("evs[%d].Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("evs[%d] missing timestamp", i)
+		}
+	}
+	if evs[len(evs)-1].Detail != "ev40" {
+		t.Errorf("newest event = %q", evs[len(evs)-1].Detail)
+	}
+}
+
+func TestFlightPartialFill(t *testing.T) {
+	f := NewFlight(64)
+	f.Record(FlightEvent{Kind: "lifecycle", Detail: "boot"})
+	f.Record(FlightEvent{Kind: "request"})
+	evs := f.Snapshot()
+	if len(evs) != 2 || evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("partial ring snapshot = %+v", evs)
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	f.Record(FlightEvent{Kind: "request"})
+	if got := f.Snapshot(); got != nil {
+		t.Errorf("nil snapshot = %v", got)
+	}
+	if f.Size() != 0 {
+		t.Errorf("nil size = %d", f.Size())
+	}
+	var sb strings.Builder
+	f.Dump(&sb) // must not panic
+	if NewFlight(0) != nil {
+		t.Error("NewFlight(0) should be the disabled recorder")
+	}
+}
+
+func TestFlightRoundsUpToPowerOfTwo(t *testing.T) {
+	if got := NewFlight(100).Size(); got != 128 {
+		t.Errorf("size = %d, want 128", got)
+	}
+	if got := NewFlight(1).Size(); got != 16 {
+		t.Errorf("minimum size = %d, want 16", got)
+	}
+}
+
+func TestFlightConcurrentRecord(t *testing.T) {
+	f := NewFlight(256)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Record(FlightEvent{Kind: "request", Code: w, Dur: 1})
+			}
+		}(w)
+	}
+	// Concurrent snapshots must never see torn events (wrong seq for the
+	// slot) even while writers lap the ring.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for j, ev := range f.Snapshot() {
+				if ev.Kind != "request" {
+					t.Errorf("snapshot[%d] torn: %+v", j, ev)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	evs := f.Snapshot()
+	if len(evs) != 256 {
+		t.Fatalf("final snapshot = %d events, want 256", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	f := NewFlight(16)
+	f.Record(FlightEvent{Kind: "panic", Trace: "deadbeefdeadbeefdeadbeefdeadbeef", Route: "/query/can-share", Detail: "boom"})
+	var sb strings.Builder
+	f.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"flight recorder: 1 events", "panic", "deadbeef", "boom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlight(1024)
+	ev := FlightEvent{Kind: "request", Route: "/query/can-share", Code: 200}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(ev)
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a wait-free, mergeable latency histogram: a fixed array of
+// atomic counters over log-spaced buckets, in the style of Monarch's
+// mergeable distributions. Observe is two atomic adds and a bit scan —
+// no locks, no allocation — so the hot path records under the same
+// mutex-free contract the decision procedures run with, and a scrape
+// never blocks an observer. Snapshots from many histograms (other
+// status classes, other namespaces, other NODES) merge by plain
+// addition, which is what lets tgtop compute fleet-wide quantiles from
+// per-node scrapes.
+//
+// Buckets are log-spaced with 4 sub-buckets per octave (values share a
+// bucket when they agree in their top three significant bits), so an
+// interpolated quantile is wrong by at most ~12% of the true value —
+// tighter than the sorted-sample-window estimate once the window
+// overflows, and O(buckets) instead of O(n log n) to read.
+type Hist struct {
+	buckets [histNumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+}
+
+const (
+	// histSubBits sub-bucket bits per octave: 2 bits = 4 sub-buckets,
+	// bucket width ≤ 1/4 of the value.
+	histSubBits = 2
+	histSub     = 1 << histSubBits
+	// histNumBuckets covers the full uint64 nanosecond range: histSub
+	// exact buckets for values < histSub, then histSub buckets per
+	// octave for bit lengths histSubBits+1 .. 64 — 62 octaves at the
+	// default parameters: 4 + 62*4.
+	histNumBuckets = histSub + (64-histSubBits)*histSub
+)
+
+// histIdx maps a nanosecond value onto its bucket.
+func histIdx(v uint64) int {
+	if v < histSub {
+		return int(v) // exact buckets for tiny values
+	}
+	// v = m·2^s with m the (histSubBits+1)-bit leading mantissa; s = 0
+	// for the first octave after the exact prefix.
+	s := bits.Len64(v) - (histSubBits + 1)
+	m := v >> uint(s)
+	return histSub + s*histSub + int(m-histSub)
+}
+
+// histBound returns the inclusive upper bound of bucket i in
+// nanoseconds: the largest value histIdx maps to i. For the last
+// bucket the (m+1)<<s computation wraps to 0, so -1 yields MaxUint64.
+func histBound(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	s := uint((i - histSub) / histSub)
+	m := uint64(histSub + (i-histSub)%histSub)
+	return (m+1)<<s - 1
+}
+
+// histLo returns the smallest value bucket i holds.
+func histLo(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	s := uint((i - histSub) / histSub)
+	m := uint64(histSub + (i-histSub)%histSub)
+	return m << s
+}
+
+// Observe records one latency. Negative durations clamp to zero. Safe
+// for any number of concurrent callers; never blocks.
+func (h *Hist) Observe(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.buckets[histIdx(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a copy-out view of a histogram: plain integers,
+// mergeable by addition. Counts holds per-bucket totals indexed like
+// the live histogram. A snapshot taken during concurrent Observes may
+// be mid-update by at most the in-flight observations — counts never
+// tear, they are only ever a few observations behind each other.
+type HistSnapshot struct {
+	Counts []uint64
+	Count  uint64
+	Sum    time.Duration
+}
+
+// Snapshot copies the histogram without blocking observers.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{Counts: make([]uint64, histNumBuckets)}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	return s
+}
+
+// Merge folds o into s — the mergeable-distribution property: the merge
+// of two snapshots answers quantiles over the union of their
+// observations. An empty (zero-value) s adopts o's shape.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if len(s.Counts) == 0 && len(o.Counts) > 0 {
+		s.Counts = make([]uint64, len(o.Counts))
+	}
+	for i := range o.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Empty reports whether the snapshot holds no observations.
+func (s HistSnapshot) Empty() bool { return s.Count == 0 }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear
+// interpolation inside the landing bucket. Zero when empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank target, 1-based: the same convention the old sorted
+	// window used, so a single observation answers every quantile with
+	// itself.
+	rank := uint64(q*float64(s.Count-1)+0.5) + 1
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := histLo(i), histBound(i)+1
+			// Interpolate the rank's position inside the bucket.
+			frac := float64(rank-cum) / float64(c)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	// Unreachable when Count equals the bucket total; be safe under a
+	// racing snapshot where count led the buckets.
+	return time.Duration(histBound(histNumBuckets - 1))
+}
+
+// Mean returns the average observation, zero when empty.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// HistBuckets renders the snapshot as ascending (upperBoundSeconds,
+// cumulativeCount) pairs covering only occupied buckets — the compact
+// form a Prometheus _bucket family wants; the writer appends +Inf
+// itself. Upper bounds are exclusive in nanoseconds, so the cumulative
+// count at bound b is exactly the observations ≤ b-1ns.
+func (s HistSnapshot) HistBuckets() (les []float64, cums []uint64) {
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		les = append(les, float64(histBound(i)+1)/1e9)
+		cums = append(cums, cum)
+	}
+	return les, cums
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistIdxBoundsConsistent(t *testing.T) {
+	// Every bucket's [lo, bound] range must be non-empty, contiguous with
+	// its neighbours, and map back onto itself through histIdx.
+	prev := int64(-1)
+	for i := 0; i < histNumBuckets; i++ {
+		lo, hi := histLo(i), histBound(i)
+		if lo > hi {
+			t.Fatalf("bucket %d: lo %d > hi %d", i, lo, hi)
+		}
+		if int64(lo) != prev+1 {
+			t.Fatalf("bucket %d: lo %d does not continue from previous hi %d", i, lo, prev)
+		}
+		if histIdx(lo) != i || histIdx(hi) != i {
+			t.Fatalf("bucket %d: histIdx(lo)=%d histIdx(hi)=%d", i, histIdx(lo), histIdx(hi))
+		}
+		prev = int64(hi)
+	}
+	if histIdx(math.MaxUint64) != histNumBuckets-1 {
+		t.Fatalf("max value lands in bucket %d, want %d", histIdx(math.MaxUint64), histNumBuckets-1)
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	// Against a known distribution the interpolated quantile must land
+	// within one sub-bucket (≤ ~12.5% relative error at 4 sub-buckets
+	// per octave, plus interpolation slack).
+	var h Hist
+	rng := rand.New(rand.NewSource(42))
+	n := 20000
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		// Log-uniform latencies between 10µs and 100ms.
+		d := time.Duration(float64(10*time.Microsecond) * math.Pow(1e4, rng.Float64()))
+		samples[i] = d
+		h.Observe(d)
+	}
+	snap := h.Snapshot()
+	if snap.Count != uint64(n) {
+		t.Fatalf("count = %d, want %d", snap.Count, n)
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := sorted[int(q*float64(n-1)+0.5)]
+		got := snap.Quantile(q)
+		rel := math.Abs(float64(got)-float64(want)) / float64(want)
+		if rel > 0.15 {
+			t.Errorf("q%.2f = %v, true %v (rel err %.1f%%)", q, got, want, rel*100)
+		}
+	}
+}
+
+func TestHistQuantileSingleSample(t *testing.T) {
+	var h Hist
+	h.Observe(7 * time.Millisecond)
+	snap := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := snap.Quantile(q)
+		// A single observation answers every quantile with (at worst) its
+		// own bucket: within the sub-bucket width of the true value.
+		if got < 7*time.Millisecond || got > 9*time.Millisecond {
+			t.Errorf("q%v = %v, want ~7ms", q, got)
+		}
+	}
+	if snap.Mean() != 7*time.Millisecond {
+		t.Errorf("mean = %v", snap.Mean())
+	}
+}
+
+func TestHistMergeEqualsUnion(t *testing.T) {
+	var a, b, union Hist
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		union.Observe(d)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := union.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum {
+		t.Fatalf("merged count/sum = %d/%v, want %d/%v", merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+	for i := range want.Counts {
+		if merged.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: merged %d, union %d", i, merged.Counts[i], want.Counts[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if merged.Quantile(q) != want.Quantile(q) {
+			t.Errorf("q%v: merged %v, union %v", q, merged.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+func TestHistMergeIntoEmpty(t *testing.T) {
+	var h Hist
+	h.Observe(time.Millisecond)
+	var empty HistSnapshot
+	empty.Merge(h.Snapshot())
+	if empty.Count != 1 || empty.Quantile(0.5) == 0 {
+		t.Fatalf("merge into zero snapshot: %+v", empty)
+	}
+}
+
+func TestHistConcurrentObserve(t *testing.T) {
+	var h Hist
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*per {
+		t.Fatalf("count = %d, want %d", snap.Count, workers*per)
+	}
+	var total uint64
+	for _, c := range snap.Counts {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("bucket total = %d, want %d", total, workers*per)
+	}
+}
+
+func TestHistBucketsAscendingCumulative(t *testing.T) {
+	var h Hist
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, time.Millisecond, time.Second} {
+		h.Observe(d)
+	}
+	les, cums := h.Snapshot().HistBuckets()
+	if len(les) != 3 { // three distinct buckets
+		t.Fatalf("les = %v", les)
+	}
+	for i := 1; i < len(les); i++ {
+		if les[i] <= les[i-1] {
+			t.Errorf("le not ascending: %v", les)
+		}
+		if cums[i] < cums[i-1] {
+			t.Errorf("cums not cumulative: %v", cums)
+		}
+	}
+	if cums[len(cums)-1] != 4 {
+		t.Errorf("final cumulative = %d, want 4", cums[len(cums)-1])
+	}
+}
+
+// The acceptance budget for the hot-path recording: ≤ ~100ns/op. The
+// E22 experiment gates this in CI; the benchmark is the local view.
+func BenchmarkHistObserve(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}
+
+func BenchmarkHistObserveParallel(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Microsecond
+		for pb.Next() {
+			h.Observe(d)
+			d += time.Microsecond
+		}
+	})
+}
+
+func BenchmarkHistSnapshot(b *testing.B) {
+	var h Hist
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = h.Snapshot()
+	}
+}

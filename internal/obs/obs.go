@@ -23,17 +23,18 @@
 // endpoint exposes, next to the per-operation detail a trace ID recovers
 // from the structured log.
 //
-// # Trace IDs
+// # Trace identity
 //
-// NewTraceID returns a 16-hex-digit random ID. WithTrace/TraceFrom and
-// WithProbe/ProbeFrom plumb IDs and probes through context.Context so the
-// service can propagate them from middleware to handlers without
-// threading extra parameters.
+// Probes carry a W3C trace context (TraceContext): a 32-hex trace ID
+// shared across every node one logical operation touches plus a
+// per-hop span ID, honored from incoming `traceparent` headers and
+// propagated outward on shard redirects and replication polls.
+// WithTrace/TraceFrom and WithProbe/ProbeFrom plumb IDs and probes
+// through context.Context so the service can propagate them from
+// middleware to handlers without threading extra parameters.
 package obs
 
 import (
-	"crypto/rand"
-	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -63,16 +64,40 @@ type Probe struct {
 	mu sync.Mutex
 	// Op names the operation ("can-share", "http"). Set at creation.
 	Op string
-	// TraceID correlates the probe with log lines and response headers.
+	// TraceID correlates the probe with log lines, response headers and
+	// — via traceparent propagation — the other nodes this operation
+	// touched. 32 lowercase hex digits.
 	TraceID string
-	spans   []SpanRecord
-	extra   []Count
+	// SpanID identifies this hop within the trace; ParentID is the span
+	// of the upstream hop ("" at the trace root).
+	SpanID   string
+	ParentID string
+	spans    []SpanRecord
+	extra    []Count
 }
 
-// NewProbe returns a collecting probe for the named operation, with a
-// fresh trace ID.
+// NewProbe returns a collecting probe for the named operation, rooted
+// in a fresh trace.
 func NewProbe(op string) *Probe {
-	return &Probe{Op: op, TraceID: NewTraceID()}
+	tc := NewTraceContext()
+	return &Probe{Op: op, TraceID: tc.TraceID, SpanID: tc.SpanID}
+}
+
+// NewProbeFrom returns a collecting probe joining an existing trace:
+// the trace ID is adopted, the upstream span becomes the parent, and a
+// fresh span ID identifies this hop.
+func NewProbeFrom(op string, tc TraceContext) *Probe {
+	child := tc.Child()
+	return &Probe{Op: op, TraceID: child.TraceID, SpanID: child.SpanID, ParentID: tc.SpanID}
+}
+
+// Context returns the probe's own trace context — what an outbound hop
+// should carry as its traceparent. Zero on a nil probe.
+func (p *Probe) Context() TraceContext {
+	if p == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: p.TraceID, SpanID: p.SpanID}
 }
 
 // Span starts a phase timer. The returned Span is a value; call End to
@@ -180,16 +205,8 @@ func (s *Span) End() {
 	s.p.mu.Unlock()
 }
 
-// NewTraceID returns a 16-hex-digit random identifier.
-func NewTraceID() string {
-	var buf [8]byte
-	if _, err := rand.Read(buf[:]); err != nil {
-		// crypto/rand failing is effectively impossible; fall back to a
-		// constant rather than panicking in a telemetry path.
-		return "0000000000000000"
-	}
-	return hex.EncodeToString(buf[:])
-}
+// NewTraceID returns a fresh 32-hex-digit W3C trace identifier.
+func NewTraceID() string { return randHex(16) }
 
 // PhaseKey identifies one aggregated (procedure, phase) series.
 type PhaseKey struct {

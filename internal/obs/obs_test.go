@@ -26,8 +26,11 @@ func TestNilProbeIsInert(t *testing.T) {
 
 func TestProbeRecordsSpansAndCounts(t *testing.T) {
 	p := NewProbe("can-share")
-	if p.TraceID == "" || len(p.TraceID) != 16 {
-		t.Fatalf("trace ID %q not 16 hex digits", p.TraceID)
+	if p.TraceID == "" || len(p.TraceID) != 32 {
+		t.Fatalf("trace ID %q not 32 hex digits", p.TraceID)
+	}
+	if len(p.SpanID) != 16 {
+		t.Fatalf("span ID %q not 16 hex digits", p.SpanID)
 	}
 	sp := p.Span("bridge_closure")
 	sp.Count("visited", 42).Count("scanned", 99)
@@ -123,7 +126,7 @@ func TestTraceIDsDistinct(t *testing.T) {
 	seen := make(map[string]bool)
 	for i := 0; i < 100; i++ {
 		id := NewTraceID()
-		if len(id) != 16 || seen[id] {
+		if len(id) != 32 || seen[id] {
 			t.Fatalf("bad or duplicate trace ID %q", id)
 		}
 		seen[id] = true

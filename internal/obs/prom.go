@@ -72,6 +72,31 @@ func (w *PromWriter) Summary(name, help string, labels []Label, quantiles map[fl
 	w.series(name, "_count", labels, float64(count))
 }
 
+// Histogram emits a histogram family for one label set: ascending
+// cumulative `_bucket` series with `le` labels, the mandatory `+Inf`
+// bucket carrying the total count, then `_sum` (seconds) and `_count`.
+// les/cums come pre-cumulated and ascending (HistSnapshot.HistBuckets
+// produces exactly this shape); only occupied buckets are emitted, which
+// the exposition format permits and keeps a 250-bucket histogram's
+// scrape proportional to the latencies actually seen.
+func (w *PromWriter) Histogram(name, help string, labels []Label, les []float64, cums []uint64, sumSeconds float64, count uint64) {
+	w.header(name, "histogram", help)
+	for i, le := range les {
+		bl := append(append([]Label(nil), labels...), L("le", trimFloat(le)))
+		w.series(name, "_bucket", bl, float64(cums[i]))
+	}
+	inf := append(append([]Label(nil), labels...), L("le", "+Inf"))
+	w.series(name, "_bucket", inf, float64(count))
+	w.series(name, "_sum", labels, sumSeconds)
+	w.series(name, "_count", labels, float64(count))
+}
+
+// HistogramSnapshot is Histogram fed straight from a HistSnapshot.
+func (w *PromWriter) HistogramSnapshot(name, help string, labels []Label, s HistSnapshot) {
+	les, cums := s.HistBuckets()
+	w.Histogram(name, help, labels, les, cums, s.Sum.Seconds(), s.Count)
+}
+
 func (w *PromWriter) series(name, suffix string, labels []Label, value float64) {
 	w.b.WriteString(name)
 	w.b.WriteString(suffix)

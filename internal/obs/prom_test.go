@@ -74,6 +74,64 @@ func TestPromWriterValidSyntax(t *testing.T) {
 	}
 }
 
+func TestPromWriterHistogramExposition(t *testing.T) {
+	var w PromWriter
+	w.Histogram("tg_request_latency_seconds", "Route latency.",
+		[]Label{L("route", "/stats")},
+		[]float64{0.001, 0.004, 0.016}, []uint64{3, 7, 9},
+		0.123, 10)
+	out := w.String()
+
+	wantLines := []string{
+		"# TYPE tg_request_latency_seconds histogram",
+		`tg_request_latency_seconds_bucket{route="/stats",le="0.001"} 3`,
+		`tg_request_latency_seconds_bucket{route="/stats",le="0.004"} 7`,
+		`tg_request_latency_seconds_bucket{route="/stats",le="0.016"} 9`,
+		`tg_request_latency_seconds_bucket{route="/stats",le="+Inf"} 10`,
+		`tg_request_latency_seconds_sum{route="/stats"} 0.123`,
+		`tg_request_latency_seconds_count{route="/stats"} 10`,
+	}
+	for _, line := range wantLines {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", line, out)
+		}
+	}
+	// Buckets ascend, +Inf closes the bucket list, and _sum/_count follow it.
+	idx := func(s string) int {
+		i := strings.Index(out, s)
+		if i < 0 {
+			t.Fatalf("missing %q", s)
+		}
+		return i
+	}
+	b1 := idx(`le="0.001"`)
+	b2 := idx(`le="0.004"`)
+	b3 := idx(`le="0.016"`)
+	inf := idx(`le="+Inf"`)
+	sum := idx("tg_request_latency_seconds_sum")
+	count := idx("tg_request_latency_seconds_count")
+	if !(b1 < b2 && b2 < b3 && b3 < inf && inf < sum && sum < count) {
+		t.Errorf("histogram series out of order:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE tg_request_latency_seconds histogram") != 1 {
+		t.Error("duplicate TYPE header")
+	}
+	if errs := LintProm(out); len(errs) != 0 {
+		t.Errorf("lint errors on histogram exposition: %v", errs)
+	}
+
+	// A second label set joins the same family without a second header.
+	w.Histogram("tg_request_latency_seconds", "Route latency.",
+		[]Label{L("route", "/query/can-share")}, nil, nil, 0, 0)
+	out = w.String()
+	if strings.Count(out, "# TYPE tg_request_latency_seconds histogram") != 1 {
+		t.Error("second label set re-emitted TYPE header")
+	}
+	if !strings.Contains(out, `tg_request_latency_seconds_bucket{route="/query/can-share",le="+Inf"} 0`+"\n") {
+		t.Errorf("empty histogram must still emit its +Inf bucket:\n%s", out)
+	}
+}
+
 func TestTrimFloat(t *testing.T) {
 	cases := map[float64]string{
 		42:       "42",

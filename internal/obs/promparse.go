@@ -1,0 +1,499 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format PromWriter emits:
+// a dependency-free parser used by tgtop (to merge per-node latency
+// histograms into fleet quantiles) and by ci/metricslint (to validate a
+// live scrape in CI). It parses the subset of the 0.0.4 text format the
+// repo produces — which is also the subset worth linting.
+
+// PromSeries is one sample line.
+type PromSeries struct {
+	Name   string // full series name, including _bucket/_sum/_count suffixes
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily groups the series sharing a family name, with their TYPE.
+type PromFamily struct {
+	Name   string
+	Type   string // counter, gauge, summary, histogram, untyped
+	Help   string
+	Series []PromSeries
+}
+
+// baseFamily strips the suffixes that bind a series to its family for
+// typed summary/histogram families.
+func baseFamily(name string, typed map[string]*PromFamily) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f := typed[base]; f != nil && (f.Type == "histogram" || f.Type == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// ParseProm parses an exposition body into families, enforcing the
+// structural rules of the format: parseable sample lines, one TYPE per
+// family announced before its samples, and family lines grouped
+// together. Violations return an error naming the first bad line.
+func ParseProm(body string) ([]PromFamily, error) {
+	typed := make(map[string]*PromFamily)
+	var order []*PromFamily
+	byName := make(map[string]*PromFamily)
+	var last *PromFamily
+	closed := make(map[string]bool)
+
+	family := func(name string) *PromFamily {
+		if f := byName[name]; f != nil {
+			return f
+		}
+		f := &PromFamily{Name: name, Type: "untyped"}
+		byName[name] = f
+		order = append(order, f)
+		return f
+	}
+
+	for lineNo, line := range strings.Split(body, "\n") {
+		where := func(msg string, args ...any) error {
+			return fmt.Errorf("line %d: %s: %q", lineNo+1, fmt.Sprintf(msg, args...), line)
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if fields[1] == "HELP" {
+				if len(fields) == 4 {
+					family(name).Help = fields[3]
+				}
+				continue
+			}
+			if len(fields) < 4 {
+				return nil, where("TYPE without a type")
+			}
+			f := family(name)
+			if f.Type != "untyped" {
+				return nil, where("second TYPE for family %s", name)
+			}
+			if len(f.Series) > 0 {
+				return nil, where("TYPE for %s after its samples", name)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+				f.Type = fields[3]
+			default:
+				return nil, where("unknown type %q", fields[3])
+			}
+			typed[name] = f
+			continue
+		}
+
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return nil, where("%v", err)
+		}
+		base := baseFamily(name, typed)
+		f := family(base)
+		if closed[base] && last != f {
+			return nil, where("family %s not contiguous", base)
+		}
+		if last != nil && last != f {
+			closed[last.Name] = true
+		}
+		last = f
+		f.Series = append(f.Series, PromSeries{Name: name, Labels: labels, Value: value})
+	}
+	return orderedCopy(order), nil
+}
+
+func orderedCopy(order []*PromFamily) []PromFamily {
+	out := make([]PromFamily, len(order))
+	for i, f := range order {
+		out[i] = *f
+	}
+	return out
+}
+
+// parsePromSample parses `name{l="v",...} value` (timestamp suffixes are
+// not produced by this repo and are rejected).
+func parsePromSample(line string) (name string, labels map[string]string, value float64, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", nil, 0, fmt.Errorf("no metric name")
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, ls, lerr := parsePromLabels(rest)
+		if lerr != nil {
+			return "", nil, 0, lerr
+		}
+		labels = ls
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("want exactly one value after the name")
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q", rest)
+	}
+	return name, labels, value, nil
+}
+
+// parsePromLabels parses `{a="b",c="d"}` starting at s[0] == '{',
+// returning the index one past the closing brace.
+func parsePromLabels(s string) (int, map[string]string, error) {
+	labels := make(map[string]string)
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("label without '='")
+		}
+		lname := s[i : i+eq]
+		if !validLabelName(lname) {
+			return 0, nil, fmt.Errorf("bad label name %q", lname)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %s: value not quoted", lname)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("label %s: unterminated value", lname)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("label %s: dangling escape", lname)
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label %s: bad escape \\%c", lname, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[lname]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %s", lname)
+		}
+		labels[lname] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0 && s != "__name__"
+}
+
+// LintProm runs the full exposition lint: ParseProm's structural rules
+// plus the histogram contract — per label set, `le` values strictly
+// ascending, cumulative counts non-decreasing, a `+Inf` bucket present
+// and equal to `_count`, `_sum` present, and counter values finite and
+// non-negative. Returns every violation found.
+func LintProm(body string) []error {
+	fams, err := ParseProm(body)
+	if err != nil {
+		return []error{err}
+	}
+	var errs []error
+	for _, f := range fams {
+		switch f.Type {
+		case "counter":
+			for _, s := range f.Series {
+				if s.Value < 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+					errs = append(errs, fmt.Errorf("counter %s: value %v", seriesID(s), s.Value))
+				}
+			}
+		case "histogram":
+			errs = append(errs, lintHistogram(f)...)
+		}
+	}
+	return errs
+}
+
+// histKey identifies one histogram label set with le stripped.
+func histKey(s PromSeries) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+func seriesID(s PromSeries) string {
+	return s.Name + "{" + histKey(s) + "}"
+}
+
+type histAccum struct {
+	les      []float64
+	cums     []uint64
+	inf      float64
+	hasInf   bool
+	sum      float64
+	hasSum   bool
+	count    float64
+	hasCount bool
+}
+
+// histAccums folds a histogram family's series into one accumulator per
+// le-stripped label set, preserving bucket emission order.
+func histAccums(f PromFamily) (map[string]*histAccum, []string, []error) {
+	acc := make(map[string]*histAccum)
+	var order []string
+	var errs []error
+	get := func(k string) *histAccum {
+		a := acc[k]
+		if a == nil {
+			a = &histAccum{}
+			acc[k] = a
+			order = append(order, k)
+		}
+		return a
+	}
+	for _, s := range f.Series {
+		k := histKey(s)
+		switch {
+		case s.Name == f.Name+"_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				errs = append(errs, fmt.Errorf("%s: bucket without le", seriesID(s)))
+				continue
+			}
+			a := get(k)
+			if le == "+Inf" {
+				a.inf, a.hasInf = s.Value, true
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s: bad le %q", seriesID(s), le))
+				continue
+			}
+			a.les = append(a.les, bound)
+			a.cums = append(a.cums, uint64(s.Value))
+		case s.Name == f.Name+"_sum":
+			a := get(k)
+			a.sum, a.hasSum = s.Value, true
+		case s.Name == f.Name+"_count":
+			a := get(k)
+			a.count, a.hasCount = s.Value, true
+		default:
+			errs = append(errs, fmt.Errorf("histogram %s: stray series %s", f.Name, s.Name))
+		}
+	}
+	return acc, order, errs
+}
+
+func lintHistogram(f PromFamily) []error {
+	acc, order, errs := histAccums(f)
+	for _, k := range order {
+		a := acc[k]
+		id := f.Name + "{" + k + "}"
+		for i := 1; i < len(a.les); i++ {
+			if a.les[i] <= a.les[i-1] {
+				errs = append(errs, fmt.Errorf("%s: le not ascending (%v after %v)", id, a.les[i], a.les[i-1]))
+			}
+			if a.cums[i] < a.cums[i-1] {
+				errs = append(errs, fmt.Errorf("%s: cumulative count drops at le=%v", id, a.les[i]))
+			}
+		}
+		switch {
+		case !a.hasInf:
+			errs = append(errs, fmt.Errorf("%s: missing +Inf bucket", id))
+		case !a.hasCount:
+			errs = append(errs, fmt.Errorf("%s: missing _count", id))
+		case a.inf != a.count:
+			errs = append(errs, fmt.Errorf("%s: +Inf bucket %v != _count %v", id, a.inf, a.count))
+		}
+		if !a.hasSum {
+			errs = append(errs, fmt.Errorf("%s: missing _sum", id))
+		}
+		if len(a.cums) > 0 && a.hasInf && float64(a.cums[len(a.cums)-1]) > a.inf {
+			errs = append(errs, fmt.Errorf("%s: last bucket exceeds +Inf", id))
+		}
+	}
+	return errs
+}
+
+// BucketDist is a merged bucket distribution reconstructed from scraped
+// histogram series — the cross-node form of HistSnapshot. Les are
+// ascending upper bounds in seconds, Cums cumulative counts.
+type BucketDist struct {
+	Les   []float64
+	Cums  []uint64
+	Sum   float64
+	Count uint64
+}
+
+// Merge folds another distribution in, unioning the bucket bounds —
+// sound because both sides are cumulative: the count at bound b is the
+// observations ≤ b regardless of which scrape contributed them.
+func (d *BucketDist) Merge(o BucketDist) {
+	if len(d.Les) == 0 {
+		d.Les = append([]float64(nil), o.Les...)
+		d.Cums = append([]uint64(nil), o.Cums...)
+	} else {
+		d.Les, d.Cums = mergeBounds(d.Les, d.Cums, o.Les, o.Cums)
+	}
+	d.Sum += o.Sum
+	d.Count += o.Count
+}
+
+// mergeBounds unions two ascending cumulative bucket lists. A bound
+// present in only one list takes that list's cumulative value at the
+// bound plus the other's interpolation floor (its last cumulative at or
+// below the bound) — exact for the union of the underlying counters.
+func mergeBounds(les1 []float64, cums1 []uint64, les2 []float64, cums2 []uint64) ([]float64, []uint64) {
+	var les []float64
+	var cums []uint64
+	i, j := 0, 0
+	var last1, last2 uint64
+	for i < len(les1) || j < len(les2) {
+		switch {
+		case j >= len(les2) || (i < len(les1) && les1[i] < les2[j]):
+			last1 = cums1[i]
+			les = append(les, les1[i])
+			cums = append(cums, last1+last2)
+			i++
+		case i >= len(les1) || les2[j] < les1[i]:
+			last2 = cums2[j]
+			les = append(les, les2[j])
+			cums = append(cums, last1+last2)
+			j++
+		default: // equal bounds
+			last1, last2 = cums1[i], cums2[j]
+			les = append(les, les1[i])
+			cums = append(cums, last1+last2)
+			i++
+			j++
+		}
+	}
+	return les, cums
+}
+
+// Quantile interpolates the q-quantile in seconds, mirroring
+// HistSnapshot.Quantile over scraped bounds. The first bucket
+// interpolates from zero; ranks past the last finite bound answer the
+// last bound (the +Inf bucket has no width to interpolate into).
+func (d BucketDist) Quantile(q float64) float64 {
+	if d.Count == 0 || len(d.Les) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q*float64(d.Count-1)+0.5) + 1
+	var prevCum uint64
+	lo := 0.0
+	for i, cum := range d.Cums {
+		if cum >= rank {
+			frac := float64(rank-prevCum) / float64(cum-prevCum)
+			return lo + frac*(d.Les[i]-lo)
+		}
+		prevCum = cum
+		lo = d.Les[i]
+	}
+	return d.Les[len(d.Les)-1]
+}
+
+// HistogramDist extracts and merges the series of one histogram family
+// whose labels all satisfy match (nil matches everything) — how tgtop
+// turns a /metrics scrape into a per-node or fleet-wide distribution.
+func HistogramDist(fams []PromFamily, name string, match func(labels map[string]string) bool) BucketDist {
+	var out BucketDist
+	for _, f := range fams {
+		if f.Name != name || f.Type != "histogram" {
+			continue
+		}
+		acc, order, _ := histAccums(f)
+		for _, k := range order {
+			a := acc[k]
+			if match != nil && len(f.Series) > 0 {
+				// Find one series of this accumulator to test its labels.
+				var labels map[string]string
+				for _, s := range f.Series {
+					if histKey(s) == k {
+						labels = s.Labels
+						break
+					}
+				}
+				if !match(labels) {
+					continue
+				}
+			}
+			out.Merge(BucketDist{Les: a.les, Cums: a.cums, Sum: a.sum, Count: uint64(a.count)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePromRoundTrip(t *testing.T) {
+	var w PromWriter
+	w.Counter("tg_requests_total", "Requests served.", []Label{L("route", "/query/can-share"), L("code_class", "2xx")}, 42)
+	w.Gauge("tg_graph_vertices", "Vertices.", nil, 17)
+	var h Hist
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	w.HistogramSnapshot("tg_request_latency_seconds", "Route latency.", []Label{L("route", "/stats")}, h.Snapshot())
+
+	fams, err := ParseProm(w.String())
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	byName := make(map[string]PromFamily)
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["tg_requests_total"]; f.Type != "counter" || len(f.Series) != 1 {
+		t.Errorf("counter family = %+v", f)
+	} else if f.Series[0].Labels["code_class"] != "2xx" || f.Series[0].Value != 42 {
+		t.Errorf("counter series = %+v", f.Series[0])
+	}
+	if f := byName["tg_graph_vertices"]; f.Type != "gauge" || f.Series[0].Value != 17 {
+		t.Errorf("gauge family = %+v", f)
+	}
+	hf, ok := byName["tg_request_latency_seconds"]
+	if !ok || hf.Type != "histogram" {
+		t.Fatalf("histogram family = %+v", hf)
+	}
+	// _bucket/_sum/_count must fold into the base family, not stand alone.
+	if _, stray := byName["tg_request_latency_seconds_bucket"]; stray {
+		t.Error("_bucket parsed as separate family")
+	}
+	if errs := LintProm(w.String()); len(errs) != 0 {
+		t.Fatalf("LintProm on writer output: %v", errs)
+	}
+	dist := HistogramDist(fams, "tg_request_latency_seconds", nil)
+	if dist.Count != 3 {
+		t.Fatalf("dist count = %d", dist.Count)
+	}
+	if p50 := dist.Quantile(0.5); p50 <= 0 || p50 > 0.01 {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"TYPE after samples":  "a_total 1\n# TYPE a_total counter\na_total 2\n",
+		"duplicate TYPE":      "# TYPE a counter\n# TYPE a gauge\na 1\n",
+		"unknown type":        "# TYPE a widget\na 1\n",
+		"non-contiguous":      "# TYPE a counter\na 1\n# TYPE b counter\nb 1\na 2\n",
+		"bad value":           "a one\n",
+		"two values":          "a 1 2\n",
+		"bad metric name":     "9a 1\n",
+		"unterminated labels": `a{k="v" 1` + "\n",
+		"bad escape":          `a{k="\t"} 1` + "\n",
+		"duplicate label":     `a{k="1",k="2"} 1` + "\n",
+		"label without eq":    `a{k} 1` + "\n",
+	}
+	for name, body := range cases {
+		if _, err := ParseProm(body); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, body)
+		}
+	}
+}
+
+func TestParsePromLabelEscapes(t *testing.T) {
+	body := "m{k=\"a\\\\b\\\"c\\nd\"} 1\n"
+	fams, err := ParseProm(body)
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	if got := fams[0].Series[0].Labels["k"]; got != "a\\b\"c\nd" {
+		t.Errorf("unescaped label = %q", got)
+	}
+}
+
+func TestLintPromCatchesHistogramViolations(t *testing.T) {
+	cases := map[string]string{
+		"le not ascending": "# TYPE h histogram\n" +
+			`h_bucket{le="0.5"} 1` + "\n" + `h_bucket{le="0.1"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\n",
+		"cumulative drops": "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 5` + "\n" + `h_bucket{le="0.5"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"+Inf != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 5\n",
+		"missing _sum": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_count 1\n",
+		"negative counter": "# TYPE c counter\nc -1\n",
+		"NaN counter":      "# TYPE c counter\nc NaN\n",
+	}
+	for name, body := range cases {
+		if errs := LintProm(body); len(errs) == 0 {
+			t.Errorf("%s: lint passed:\n%s", name, body)
+		}
+	}
+	clean := "# TYPE h histogram\n" +
+		`h_bucket{le="0.1"} 1` + "\n" + `h_bucket{le="+Inf"} 2` + "\nh_sum 0.3\nh_count 2\n"
+	if errs := LintProm(clean); len(errs) != 0 {
+		t.Errorf("clean histogram flagged: %v", errs)
+	}
+}
+
+func TestBucketDistMergeMatchesUnion(t *testing.T) {
+	// Two nodes observe disjoint sample sets; scraping each and merging
+	// the bucket distributions must equal observing everything on one node.
+	var a, b, union Hist
+	for i := 1; i <= 400; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		union.Observe(d)
+	}
+	scrape := func(h *Hist) BucketDist {
+		var w PromWriter
+		w.HistogramSnapshot("lat", "", nil, h.Snapshot())
+		fams, err := ParseProm(w.String())
+		if err != nil {
+			t.Fatalf("ParseProm: %v", err)
+		}
+		return HistogramDist(fams, "lat", nil)
+	}
+	merged := scrape(&a)
+	merged.Merge(scrape(&b))
+	want := scrape(&union)
+	if merged.Count != want.Count {
+		t.Fatalf("merged count %d, want %d", merged.Count, want.Count)
+	}
+	if math.Abs(merged.Sum-want.Sum) > 1e-9 {
+		t.Fatalf("merged sum %v, want %v", merged.Sum, want.Sum)
+	}
+	if len(merged.Les) != len(want.Les) {
+		t.Fatalf("merged bounds %v, want %v", merged.Les, want.Les)
+	}
+	for i := range want.Les {
+		if merged.Les[i] != want.Les[i] || merged.Cums[i] != want.Cums[i] {
+			t.Fatalf("bucket %d: merged (%v,%d), want (%v,%d)",
+				i, merged.Les[i], merged.Cums[i], want.Les[i], want.Cums[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if merged.Quantile(q) != want.Quantile(q) {
+			t.Errorf("q%v: merged %v, want %v", q, merged.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+func TestMergeBoundsDisjoint(t *testing.T) {
+	les, cums := mergeBounds(
+		[]float64{0.1, 0.4}, []uint64{2, 5},
+		[]float64{0.2, 0.8}, []uint64{3, 4},
+	)
+	wantLes := []float64{0.1, 0.2, 0.4, 0.8}
+	wantCums := []uint64{2, 5, 8, 9}
+	if len(les) != len(wantLes) {
+		t.Fatalf("les = %v", les)
+	}
+	for i := range wantLes {
+		if les[i] != wantLes[i] || cums[i] != wantCums[i] {
+			t.Fatalf("merge = (%v, %v), want (%v, %v)", les, cums, wantLes, wantCums)
+		}
+	}
+}
+
+func TestHistogramDistMatch(t *testing.T) {
+	var w PromWriter
+	var fast, slow Hist
+	fast.Observe(time.Millisecond)
+	slow.Observe(time.Second)
+	w.HistogramSnapshot("lat", "", []Label{L("route", "/a")}, fast.Snapshot())
+	w.HistogramSnapshot("lat", "", []Label{L("route", "/b")}, slow.Snapshot())
+	fams, err := ParseProm(w.String())
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	all := HistogramDist(fams, "lat", nil)
+	if all.Count != 2 {
+		t.Errorf("unfiltered count = %d", all.Count)
+	}
+	only := HistogramDist(fams, "lat", func(l map[string]string) bool { return l["route"] == "/a" })
+	if only.Count != 1 || only.Quantile(0.5) > 0.01 {
+		t.Errorf("filtered dist = %+v", only)
+	}
+}
+
+func TestBucketDistQuantileEdge(t *testing.T) {
+	var d BucketDist
+	if d.Quantile(0.5) != 0 {
+		t.Error("empty dist quantile != 0")
+	}
+	d = BucketDist{Les: []float64{0.1}, Cums: []uint64{4}, Count: 4}
+	if q := d.Quantile(1); q != 0.1 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := d.Quantile(-1); q < 0 || q > 0.1 {
+		t.Errorf("clamped q = %v", q)
+	}
+}
+
+func TestParsePromIgnoresComments(t *testing.T) {
+	body := "# just a comment\n# HELP a_total something useful\n# TYPE a_total counter\na_total 3\n\n"
+	fams, err := ParseProm(body)
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Help != "something useful" || fams[0].Series[0].Value != 3 {
+		t.Fatalf("fams = %+v", fams)
+	}
+	if strings.Contains(fams[0].Name, " ") {
+		t.Fatalf("name = %q", fams[0].Name)
+	}
+}

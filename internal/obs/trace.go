@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceContext is the W3C Trace Context identity of one logical
+// operation: a 32-hex-digit trace ID shared by every node the operation
+// touches, and the 16-hex-digit span ID of the current hop. The service
+// honors an incoming `traceparent` header (and the legacy 16-hex
+// X-Trace-Id, zero-padded into a trace ID), carries the context outward
+// on shard redirects and replica poll rounds, and logs the trace ID on
+// every node — one grep correlates a query across the fleet.
+type TraceContext struct {
+	TraceID string // 32 lowercase hex digits, not all zero
+	SpanID  string // 16 lowercase hex digits, not all zero
+}
+
+// NewTraceContext mints a fresh trace with a fresh root span.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randHex(16), SpanID: randHex(8)}
+}
+
+// Child returns a context in the same trace with a fresh span ID — the
+// identity an outbound hop (redirect target, polled leader) runs under.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: randHex(8)}
+}
+
+// Valid reports whether both IDs have the W3C shape. The all-zero
+// values are forbidden by the spec — they mean "no trace".
+func (tc TraceContext) Valid() bool {
+	return isHexID(tc.TraceID, 32) && isHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the context as a version-00 traceparent header
+// value with the sampled flag set:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+func (tc TraceContext) Traceparent() string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = append(b, tc.TraceID...)
+	b = append(b, '-')
+	b = append(b, tc.SpanID...)
+	b = append(b, "-01"...)
+	return string(b)
+}
+
+// ParseTraceparent parses a traceparent header value. Unknown versions
+// are accepted when their first two fields have the version-00 shape —
+// the forward-compatibility rule of the spec — but version "ff" and
+// malformed or all-zero IDs are rejected. The flags field is parsed and
+// discarded: this monitor always records.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	// version(2) - trace-id(32) - parent-id(16) - flags(2), dash-joined;
+	// future versions may append further dash-led fields.
+	if len(h) < 55 {
+		return TraceContext{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	ver := h[:2]
+	if !isHexLower(ver) || ver == "ff" {
+		return TraceContext{}, false
+	}
+	if ver == "00" && len(h) != 55 {
+		return TraceContext{}, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: h[3:35], SpanID: h[36:52]}
+	if !isHexLower(h[53:55]) || !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// AdoptLegacyTraceID lifts a legacy X-Trace-Id value into a trace
+// context: a 32-hex value is used as-is, a 16-hex value (the pre-W3C
+// header this service used to mint) is zero-padded on the left — every
+// node applies the same normalization, so a legacy client still sees
+// one trace ID across the fleet. A fresh span ID is always minted.
+func AdoptLegacyTraceID(id string) (TraceContext, bool) {
+	switch {
+	case isHexID(id, 32):
+	case isHexID(id, 16):
+		id = "0000000000000000" + id
+	default:
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: id, SpanID: randHex(8)}, true
+}
+
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// isHexID reports s is exactly n lowercase hex digits and not all zero.
+func isHexID(s string, n int) bool {
+	if len(s) != n || !isHexLower(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+func randHex(n int) string {
+	buf := make([]byte, n)
+	if _, err := rand.Read(buf); err != nil {
+		// crypto/rand failing is effectively impossible; fall back to a
+		// fixed non-zero ID rather than panicking in a telemetry path.
+		for i := range buf {
+			buf[i] = 0x42
+		}
+	}
+	return hex.EncodeToString(buf)
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("fresh context invalid: %+v", tc)
+	}
+	h := tc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent shape: %q", h)
+	}
+	back, ok := ParseTraceparent(h)
+	if !ok || back != tc {
+		t.Fatalf("round trip: %q -> %+v ok=%v, want %+v", h, back, ok, tc)
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{valid, true},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true},   // unsampled still parses
+		{"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-xx", true}, // future version, extra field
+		{"", false},
+		{"short", false},
+		{"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},   // forbidden version
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", false},   // all-zero trace
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false},   // all-zero span
+		{"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", false},   // uppercase hex
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", false}, // ver 00 must be exact
+		{"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},   // bad separator
+		{"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01", false},   // non-hex digit
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", false},   // bad flags
+	}
+	for _, c := range cases {
+		tc, ok := ParseTraceparent(c.in)
+		if ok != c.ok {
+			t.Errorf("ParseTraceparent(%q) ok=%v, want %v (tc=%+v)", c.in, ok, c.ok, tc)
+		}
+		if ok && !tc.Valid() {
+			t.Errorf("ParseTraceparent(%q) returned invalid context %+v", c.in, tc)
+		}
+	}
+}
+
+func TestAdoptLegacyTraceID(t *testing.T) {
+	tc, ok := AdoptLegacyTraceID("00f067aa0ba902b7")
+	if !ok || tc.TraceID != "000000000000000000f067aa0ba902b7" {
+		t.Fatalf("legacy 16-hex: %+v ok=%v", tc, ok)
+	}
+	if !tc.Valid() {
+		t.Fatalf("adopted context invalid: %+v", tc)
+	}
+	full := "4bf92f3577b34da6a3ce929d0e0e4736"
+	tc, ok = AdoptLegacyTraceID(full)
+	if !ok || tc.TraceID != full {
+		t.Fatalf("32-hex: %+v ok=%v", tc, ok)
+	}
+	for _, bad := range []string{"", "zz", "0000000000000000", "4BF92F3577B34DA6", "123"} {
+		if _, ok := AdoptLegacyTraceID(bad); ok {
+			t.Errorf("AdoptLegacyTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestChildKeepsTrace(t *testing.T) {
+	tc := NewTraceContext()
+	child := tc.Child()
+	if child.TraceID != tc.TraceID {
+		t.Error("child changed trace ID")
+	}
+	if child.SpanID == tc.SpanID {
+		t.Error("child reused span ID")
+	}
+}
+
+func TestProbeJoinsTrace(t *testing.T) {
+	tc := NewTraceContext()
+	p := NewProbeFrom("op", tc)
+	if p.TraceID != tc.TraceID {
+		t.Errorf("probe trace %s, want %s", p.TraceID, tc.TraceID)
+	}
+	if p.ParentID != tc.SpanID {
+		t.Errorf("probe parent %s, want %s", p.ParentID, tc.SpanID)
+	}
+	if p.SpanID == tc.SpanID || p.SpanID == "" {
+		t.Errorf("probe span %s must be fresh", p.SpanID)
+	}
+	out := p.Context()
+	if out.TraceID != tc.TraceID || out.SpanID != p.SpanID {
+		t.Errorf("outbound context %+v", out)
+	}
+	if (*Probe)(nil).Context() != (TraceContext{}) {
+		t.Error("nil probe context not zero")
+	}
+}
+
+// FuzzTraceparent pins the parse/format round trip: anything that
+// parses must re-format to a header that parses back to the same
+// context, and the parser must never panic or accept malformed IDs.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
+	f.Add(NewTraceContext().Traceparent())
+	f.Add("")
+	f.Add("00--01")
+	f.Fuzz(func(t *testing.T, h string) {
+		tc, ok := ParseTraceparent(h)
+		if !ok {
+			return
+		}
+		if !tc.Valid() {
+			t.Fatalf("parser accepted invalid context %+v from %q", tc, h)
+		}
+		back, ok2 := ParseTraceparent(tc.Traceparent())
+		if !ok2 || back != tc {
+			t.Fatalf("round trip diverged: %q -> %+v -> %q -> %+v (ok=%v)",
+				h, tc, tc.Traceparent(), back, ok2)
+		}
+	})
+}

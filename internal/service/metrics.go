@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,55 +15,74 @@ import (
 	"takegrant/internal/obs"
 )
 
-// latencyWindow bounds the per-route latency samples kept for quantile
-// estimation: a ring of the most recent observations.
-const latencyWindow = 1024
+// numClasses is the HTTP status classes tracked per route: 1xx..5xx.
+const numClasses = 5
 
-// routeMetrics accumulates one route's request count, cumulative latency
-// and a sliding window of latencies. Each route has its own lock so hot
-// routes do not contend with each other.
+var classNames = [numClasses]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// classIdx maps an HTTP status onto its class slot, clamping anything
+// outside 100..599 into the nearest class.
+func classIdx(status int) int {
+	c := status/100 - 1
+	if c < 0 {
+		c = 0
+	}
+	if c >= numClasses {
+		c = numClasses - 1
+	}
+	return c
+}
+
+// classHists is one namespace's latency histograms, one per status class.
+type classHists [numClasses]obs.Hist
+
+// routeMetrics accumulates one route's latency distribution per status
+// class and namespace, on wait-free histograms: the hot path is a
+// sync.Map load (skipped entirely for the default namespace) plus three
+// atomic adds — a scrape, however slow its consumer, can never block an
+// observer, and observers never block each other.
 type routeMetrics struct {
-	mu      sync.Mutex
-	count   uint64
-	total   time.Duration // cumulative latency across all requests
-	samples [latencyWindow]time.Duration
-	filled  int // number of valid samples (≤ latencyWindow)
-	next    int // ring write position
+	// def is the default namespace's histogram set — the fast path, no
+	// map lookup.
+	def classHists
+	// named maps namespace name → *classHists for the rest. Requests
+	// naming an invalid namespace are lumped under one "invalid" entry so
+	// unparseable ?ns= values cannot grow the label space.
+	named sync.Map
 }
 
-func (m *routeMetrics) observe(d time.Duration) {
-	m.mu.Lock()
-	m.count++
-	m.total += d
-	m.samples[m.next] = d
-	m.next = (m.next + 1) % latencyWindow
-	if m.filled < latencyWindow {
-		m.filled++
+// metricsNS resolves the namespace label a request's latency is recorded
+// under. It never errors: metrics recording happens even for requests
+// the namespace middleware later refuses.
+func metricsNS(r *http.Request) string {
+	ns := r.URL.Query().Get("ns")
+	switch {
+	case ns == "" || ns == DefaultNamespace:
+		return DefaultNamespace
+	case !validNSName(ns):
+		return "invalid"
 	}
-	m.mu.Unlock()
+	return ns
 }
 
-// quantiles returns the p50/p90/p99 of the sample window.
-func (m *routeMetrics) quantiles() (p50, p90, p99 time.Duration) {
-	if m.filled == 0 {
-		return 0, 0, 0
+func (m *routeMetrics) hists(ns string) *classHists {
+	if ns == DefaultNamespace {
+		return &m.def
 	}
-	sorted := make([]time.Duration, m.filled)
-	copy(sorted, m.samples[:m.filled])
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	at := func(q float64) time.Duration {
-		// Round to the nearest rank: plain truncation floors the index, so
-		// on small windows p99 collapses onto lower samples (10 samples:
-		// 0.99*9 = 8.91 would floor to sorted[8], under-reporting).
-		i := int(q*float64(len(sorted)-1) + 0.5)
-		return sorted[i]
+	if v, ok := m.named.Load(ns); ok {
+		return v.(*classHists)
 	}
-	return at(0.50), at(0.90), at(0.99)
+	v, _ := m.named.LoadOrStore(ns, new(classHists))
+	return v.(*classHists)
+}
+
+func (m *routeMetrics) observe(ns string, status int, d time.Duration) {
+	m.hists(ns)[classIdx(status)].Observe(d)
 }
 
 // metrics tracks per-route traffic for the whole server. Routes register
 // once at Handler construction, so the map is read-only afterwards and
-// request recording takes only the route's own lock.
+// request recording touches only wait-free structures.
 type metrics struct {
 	routes map[string]*routeMetrics
 }
@@ -82,35 +103,100 @@ func (m *metrics) register(route string) *routeMetrics {
 }
 
 // RouteStats is one route's slice of the /stats report. Latencies are in
-// microseconds; SumUs is cumulative over every request, while the
-// quantiles cover the most recent latencyWindow samples.
+// microseconds; quantiles are interpolated from the route's merged
+// log-bucketed histogram, so unlike the old sliding sample window they
+// cover every request the route ever served. ByClass breaks the count
+// down per status class ("2xx", "5xx", ...), which is what tgtop reads
+// error rates from.
 type RouteStats struct {
-	Count uint64  `json:"count"`
-	P50us float64 `json:"p50_us"`
-	P90us float64 `json:"p90_us"`
-	P99us float64 `json:"p99_us"`
-	SumUs float64 `json:"sum_us"`
+	Count   uint64            `json:"count"`
+	P50us   float64           `json:"p50_us"`
+	P90us   float64           `json:"p90_us"`
+	P99us   float64           `json:"p99_us"`
+	SumUs   float64           `json:"sum_us"`
+	ByClass map[string]uint64 `json:"by_class,omitempty"`
+}
+
+// merged folds every (class, namespace) histogram of the route into one
+// distribution plus the per-class counts.
+func (m *routeMetrics) merged() (obs.HistSnapshot, map[string]uint64) {
+	var all obs.HistSnapshot
+	byClass := make(map[string]uint64)
+	fold := func(ch *classHists) {
+		for c := range ch {
+			snap := ch[c].Snapshot()
+			if snap.Empty() {
+				continue
+			}
+			byClass[classNames[c]] += snap.Count
+			all.Merge(snap)
+		}
+	}
+	fold(&m.def)
+	m.named.Range(func(_, v any) bool {
+		fold(v.(*classHists))
+		return true
+	})
+	return all, byClass
 }
 
 func (m *metrics) snapshot() map[string]RouteStats {
 	out := make(map[string]RouteStats, len(m.routes))
 	for route, rm := range m.routes {
-		rm.mu.Lock()
-		p50, p90, p99 := rm.quantiles()
-		count := rm.count
-		total := rm.total
-		rm.mu.Unlock()
-		if count == 0 {
+		all, byClass := rm.merged()
+		if all.Empty() {
 			continue
 		}
+		const usPerNs = float64(time.Microsecond)
 		out[route] = RouteStats{
-			Count: count,
-			P50us: float64(p50) / float64(time.Microsecond),
-			P90us: float64(p90) / float64(time.Microsecond),
-			P99us: float64(p99) / float64(time.Microsecond),
-			SumUs: float64(total) / float64(time.Microsecond),
+			Count:   all.Count,
+			P50us:   float64(all.Quantile(0.50)) / usPerNs,
+			P90us:   float64(all.Quantile(0.90)) / usPerNs,
+			P99us:   float64(all.Quantile(0.99)) / usPerNs,
+			SumUs:   float64(all.Sum) / usPerNs,
+			ByClass: byClass,
 		}
 	}
+	return out
+}
+
+// histSeries is one (route, class, ns) latency distribution, the unit
+// the /metrics histogram family is emitted in.
+type histSeries struct {
+	route, class, ns string
+	snap             obs.HistSnapshot
+}
+
+// series snapshots every occupied (route, class, ns) histogram in
+// deterministic order. Pure copy-out reads of the atomic counters — the
+// scrape never takes a lock an observer could be waiting on.
+func (m *metrics) series() []histSeries {
+	var out []histSeries
+	for route, rm := range m.routes {
+		collect := func(ns string, ch *classHists) {
+			for c := range ch {
+				snap := ch[c].Snapshot()
+				if snap.Empty() {
+					continue
+				}
+				out = append(out, histSeries{route: route, class: classNames[c], ns: ns, snap: snap})
+			}
+		}
+		collect(DefaultNamespace, &rm.def)
+		rm.named.Range(func(k, v any) bool {
+			collect(k.(string), v.(*classHists))
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].route != out[j].route {
+			return out[i].route < out[j].route
+		}
+		if out[i].class != out[j].class {
+			return out[i].class < out[j].class
+		}
+		return out[i].ns < out[j].ns
+	})
 	return out
 }
 
@@ -134,25 +220,61 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// requestTrace resolves the request's trace context: a W3C traceparent
+// header joins the caller's trace (this is how one logical query keeps a
+// single trace ID across a shard redirect or a replica's poll), a legacy
+// X-Trace-Id is adopted zero-padded, and anything else starts a fresh
+// trace.
+func requestTrace(route string, r *http.Request) *obs.Probe {
+	if tc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		return obs.NewProbeFrom(route, tc)
+	}
+	if tc, ok := obs.AdoptLegacyTraceID(r.Header.Get("X-Trace-Id")); ok {
+		return obs.NewProbeFrom(route, tc)
+	}
+	return obs.NewProbe(route)
+}
+
+// spanSummary compacts a probe's phase spans for a flight-recorder entry:
+// "phase=dur phase=dur", empty when the handler recorded none.
+func spanSummary(p *obs.Probe) string {
+	spans := p.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", sp.Phase, sp.Duration.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
 // instrument wraps a handler with the request-scoped observability stack:
-// a fresh trace ID (echoed as the X-Trace-Id response header and carried
-// by the request context inside an obs.Probe), latency/count recording
-// under the route's mux pattern, phase aggregation of whatever spans the
-// handler's decision procedures emitted, and one structured log line per
-// request.
+// a trace context (joined from the caller's traceparent/X-Trace-Id or
+// freshly minted, echoed back as both headers, carried by the request
+// context inside an obs.Probe), wait-free latency recording per (route,
+// status class, namespace), phase aggregation of whatever spans the
+// handler's decision procedures emitted, a flight-recorder entry, and
+// one structured log line per request.
 //
 // It is also the server's crash barrier: a panicking handler is caught
 // here, counted (takegrant_panics_total), logged with its stack and trace
-// ID, and answered with a 500 naming that trace ID — the process keeps
-// serving. The request's metrics and log line are emitted on the panic
-// path too, so a crashing route is visible in the same places as a
-// healthy one.
+// ID, recorded in the flight ring — which is then dumped to stderr, the
+// post-incident artifact — and answered with a 500 naming that trace ID;
+// the process keeps serving. The request's metrics and log line are
+// emitted on the panic path too, so a crashing route is visible in the
+// same places as a healthy one.
 func (s *Server) instrument(route string, h http.Handler) http.Handler {
 	rm := s.metrics.register(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		p := obs.NewProbe(route)
+		p := requestTrace(route, r)
+		ns := metricsNS(r)
 		w.Header().Set("X-Trace-Id", p.TraceID)
+		w.Header().Set("traceparent", p.Context().Traceparent())
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if v := recover(); v != nil {
@@ -163,16 +285,26 @@ func (s *Server) instrument(route string, h http.Handler) http.Handler {
 					slog.Any("panic", v),
 					slog.String("stack", string(debug.Stack())),
 				)
+				s.flight.Record(obs.FlightEvent{
+					Kind: "panic", Trace: p.TraceID, NS: ns, Route: route,
+					Detail: fmt.Sprint(v),
+				})
+				s.dumpFlight()
 				if !sw.wrote {
 					writeErrCode(sw, http.StatusInternalServerError, "internal_panic",
 						fmt.Errorf("internal error; trace %s", p.TraceID))
 				}
 			}
 			d := time.Since(start)
-			rm.observe(d)
+			rm.observe(ns, sw.status, d)
 			s.phases.Observe(p)
+			s.flight.Record(obs.FlightEvent{
+				Kind: "request", Trace: p.TraceID, NS: ns, Route: route,
+				Code: sw.status, Dur: d, Detail: spanSummary(p),
+			})
 			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 				slog.String("trace_id", p.TraceID),
+				slog.String("span_id", p.SpanID),
 				slog.String("route", route),
 				slog.String("method", r.Method),
 				slog.Int("status", sw.status),
@@ -182,4 +314,14 @@ func (s *Server) instrument(route string, h http.Handler) http.Handler {
 		fault.Inject("http:" + route)
 		h.ServeHTTP(sw, r.WithContext(obs.WithProbe(r.Context(), p)))
 	})
+}
+
+// dumpFlight writes the flight ring to the crash sink (stderr unless a
+// test redirected it) — the seconds of context before a panic.
+func (s *Server) dumpFlight() {
+	out := s.crashOut
+	if out == nil {
+		out = os.Stderr
+	}
+	s.flight.Dump(out)
 }

@@ -12,41 +12,87 @@ import (
 	"time"
 )
 
-func TestQuantilesRoundToNearestRank(t *testing.T) {
-	// 10 known samples 1ms..10ms: truncation picked index 8 (9ms) for p99;
-	// rounding must pick index 9 (10ms). p90 rounds 0.9*9=8.1 → index 8.
+func TestRouteMetricsQuantiles(t *testing.T) {
+	// 100 samples 1ms..100ms: the old sorted window answered exactly
+	// 51ms/90ms/99ms at p50/p90/p99; the log-bucketed histogram must land
+	// within one sub-bucket (≤ ~12.5% relative error) of the same ranks.
 	var rm routeMetrics
-	for i := 1; i <= 10; i++ {
-		rm.observe(time.Duration(i) * time.Millisecond)
-	}
-	p50, p90, p99 := rm.quantiles()
-	if want := 6 * time.Millisecond; p50 != want { // 0.5*9 = 4.5 → index 5
-		t.Errorf("p50 = %v, want %v", p50, want)
-	}
-	if want := 9 * time.Millisecond; p90 != want {
-		t.Errorf("p90 = %v, want %v", p90, want)
-	}
-	if want := 10 * time.Millisecond; p99 != want {
-		t.Errorf("p99 = %v, want %v", p99, want)
-	}
-
-	// 100 samples 1ms..100ms: p50 → index 50 (51ms), p90 → index 89
-	// (90ms), p99 → index 98 (99ms).
-	rm = routeMetrics{}
 	for i := 1; i <= 100; i++ {
-		rm.observe(time.Duration(i) * time.Millisecond)
+		rm.observe(DefaultNamespace, http.StatusOK, time.Duration(i)*time.Millisecond)
 	}
-	p50, p90, p99 = rm.quantiles()
-	if p50 != 51*time.Millisecond || p90 != 90*time.Millisecond || p99 != 99*time.Millisecond {
-		t.Errorf("p50/p90/p99 = %v/%v/%v, want 51ms/90ms/99ms", p50, p90, p99)
+	snap, byClass := rm.merged()
+	if snap.Count != 100 || byClass["2xx"] != 100 {
+		t.Fatalf("count = %d, by_class = %v", snap.Count, byClass)
+	}
+	for _, c := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 51 * time.Millisecond}, {0.9, 90 * time.Millisecond}, {0.99, 99 * time.Millisecond}} {
+		got := snap.Quantile(c.q)
+		rel := float64(got-c.want) / float64(c.want)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.125 {
+			t.Errorf("q%v = %v, want %v ± 12.5%%", c.q, got, c.want)
+		}
 	}
 
-	// Single sample: every quantile is that sample.
+	// Single sample: every quantile answers within its own bucket.
 	rm = routeMetrics{}
-	rm.observe(7 * time.Millisecond)
-	p50, p90, p99 = rm.quantiles()
-	if p50 != 7*time.Millisecond || p90 != 7*time.Millisecond || p99 != 7*time.Millisecond {
-		t.Errorf("single-sample quantiles = %v/%v/%v", p50, p90, p99)
+	rm.observe(DefaultNamespace, http.StatusOK, 7*time.Millisecond)
+	snap, _ = rm.merged()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := snap.Quantile(q); got < 7*time.Millisecond || got > 8*time.Millisecond {
+			t.Errorf("single-sample q%v = %v, want ~7ms", q, got)
+		}
+	}
+}
+
+func TestRouteMetricsClassAndNamespaceSplit(t *testing.T) {
+	var rm routeMetrics
+	rm.observe(DefaultNamespace, http.StatusOK, time.Millisecond)
+	rm.observe(DefaultNamespace, http.StatusForbidden, 2*time.Millisecond)
+	rm.observe("tenant-a", http.StatusOK, 3*time.Millisecond)
+	rm.observe("tenant-a", http.StatusInternalServerError, 4*time.Millisecond)
+
+	snap, byClass := rm.merged()
+	if snap.Count != 4 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	want := map[string]uint64{"2xx": 2, "4xx": 1, "5xx": 1}
+	for class, n := range want {
+		if byClass[class] != n {
+			t.Errorf("by_class[%s] = %d, want %d", class, byClass[class], n)
+		}
+	}
+
+	m := newMetrics()
+	m.routes["/x"] = &rm
+	series := m.series()
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4 (route×class×ns)", len(series))
+	}
+	// Deterministic order: class ascending, default ns before tenant-a
+	// within a class.
+	if series[0].class != "2xx" || series[0].ns != DefaultNamespace ||
+		series[1].class != "2xx" || series[1].ns != "tenant-a" {
+		t.Errorf("series order: %+v", series)
+	}
+}
+
+func TestMetricsNSBoundsCardinality(t *testing.T) {
+	for raw, want := range map[string]string{
+		"":          DefaultNamespace,
+		"default":   DefaultNamespace,
+		"tenant-a":  "tenant-a",
+		"NOT VALID": "invalid",
+		"..":        "invalid",
+	} {
+		req, _ := http.NewRequest(http.MethodGet, "/x?ns="+strings.ReplaceAll(raw, " ", "%20"), nil)
+		if got := metricsNS(req); got != want {
+			t.Errorf("metricsNS(ns=%q) = %q, want %q", raw, got, want)
+		}
 	}
 }
 
@@ -114,9 +160,13 @@ func TestEveryResponseCarriesTraceID(t *testing.T) {
 			t.Fatal(err)
 		}
 		id := resp.Header.Get("X-Trace-Id")
+		tp := resp.Header.Get("traceparent")
 		readAll(t, resp)
-		if len(id) != 16 {
-			t.Errorf("%s: trace ID %q not 16 hex digits", path, id)
+		if len(id) != 32 {
+			t.Errorf("%s: trace ID %q not 32 hex digits", path, id)
+		}
+		if !strings.HasPrefix(tp, "00-"+id+"-") {
+			t.Errorf("%s: traceparent %q does not carry trace ID %q", path, tp, id)
 		}
 		if seen[id] {
 			t.Errorf("%s: trace ID %q reused", path, id)
@@ -248,7 +298,9 @@ func TestMetricsMatchesStats(t *testing.T) {
 	body := readAll(t, resp)
 
 	checks := map[string]float64{
-		`takegrant_requests_total{route="/query/can-share"}`: float64(st.Routes["/query/can-share"].Count),
+		// Every can-share request in this test answered 200, so the 2xx
+		// series carries the route's whole count.
+		`takegrant_requests_total{route="/query/can-share",code_class="2xx"}`: float64(st.Routes["/query/can-share"].Count),
 		"takegrant_qcache_hits_total ":                       float64(st.Cache.Hits),
 		"takegrant_qcache_misses_total ":                     float64(st.Cache.Misses),
 		`takegrant_guard_verdicts_total{verdict="applied"}`:  float64(st.Guard.Applied),

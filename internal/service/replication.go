@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"takegrant/internal/journal"
+	"takegrant/internal/obs"
 	"takegrant/internal/tgio"
 )
 
@@ -131,6 +132,12 @@ type replicator struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// tc is the current poll round's trace context: every leader request
+	// the round makes carries it as a traceparent header, so the round's
+	// log line here and the request lines on the leader share one trace
+	// ID. Only the poll goroutine touches it.
+	tc obs.TraceContext
+
 	mu           sync.Mutex
 	start        time.Time
 	lastCaughtUp time.Time
@@ -200,8 +207,13 @@ func (r *replicator) run(ctx context.Context) {
 
 // pollOnce drains every leader namespace once, then updates the lag
 // accounting: caught up ⇒ lag pins to 0, behind ⇒ lag grows from the
-// moment we were last level.
+// moment we were last level. Each round runs under one trace context
+// carried outward to the leader, so the round's log line here and the
+// request lines there correlate on a single trace ID.
 func (r *replicator) pollOnce(ctx context.Context) {
+	r.tc = obs.NewTraceContext()
+	start := time.Now()
+	appliedBefore := r.applied
 	r.mu.Lock()
 	r.rounds++
 	r.mu.Unlock()
@@ -240,14 +252,36 @@ func (r *replicator) pollOnce(ctx context.Context) {
 		r.caughtUp = false
 	}
 	r.lastErr = ""
+	applied := r.applied
 	r.mu.Unlock()
+
+	// Quiet rounds (nothing replayed, already level) stay out of the log
+	// and the flight ring — at a 500ms poll they would be pure noise.
+	if delta := applied - appliedBefore; delta > 0 || behind > 0 {
+		r.s.logger.LogAttrs(context.Background(), slog.LevelInfo, "replication_round",
+			slog.String("trace_id", r.tc.TraceID),
+			slog.String("leader", r.leader),
+			slog.Uint64("applied", delta),
+			slog.Uint64("behind", behind),
+			slog.Duration("duration", time.Since(start)),
+		)
+		r.s.flight.Record(obs.FlightEvent{
+			Kind: "replication", Trace: r.tc.TraceID, Dur: time.Since(start),
+			Detail: fmt.Sprintf("round applied %d records, %d behind", delta, behind),
+		})
+	}
 }
 
 func (r *replicator) fail(err error) {
 	r.s.logger.LogAttrs(context.Background(), slog.LevelWarn, "replication",
+		slog.String("trace_id", r.tc.TraceID),
 		slog.String("leader", r.leader),
 		slog.String("error", err.Error()),
 	)
+	r.s.flight.Record(obs.FlightEvent{
+		Kind: "replication", Trace: r.tc.TraceID,
+		Detail: "round failed: " + err.Error(),
+	})
 	r.mu.Lock()
 	r.errors++
 	r.caughtUp = false
@@ -331,6 +365,12 @@ func (r *replicator) get(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.leader+path, nil)
 	if err != nil {
 		return err
+	}
+	// Each leader request is a child span of the poll round: the leader's
+	// instrument middleware joins the trace, so its request log line
+	// carries the same trace ID as our replication_round line.
+	if r.tc.Valid() {
+		req.Header.Set("traceparent", r.tc.Child().Traceparent())
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {

@@ -144,7 +144,16 @@ type Config struct {
 	// derivation (closure sweeps, reachability rows, §5 sweeps) across;
 	// 0 means GOMAXPROCS.
 	HierarchyWorkers int
+	// FlightSize is the flight recorder's ring capacity (recent
+	// structured events, served at GET /debug/flight and dumped to
+	// stderr on panic). 0 means DefaultFlightSize; negative disables the
+	// recorder.
+	FlightSize int
 }
+
+// DefaultFlightSize is the flight-recorder ring capacity when
+// Config.FlightSize is zero.
+const DefaultFlightSize = 256
 
 // DefaultSnapshotEvery is the snapshot cadence when Config.SnapshotEvery
 // is zero: recovery replays at most this many WAL records.
@@ -197,6 +206,12 @@ type Server struct {
 	heavy  chan struct{}
 	faults faultCounters
 	batch  batchCounters
+	// flight is the crash-context ring: recent structured events, nil
+	// when disabled. Wait-free to record into from any path.
+	flight *obs.Flight
+	// crashOut receives the flight dump on a caught panic; nil means
+	// os.Stderr. Tests point it at a buffer.
+	crashOut io.Writer
 }
 
 // New returns a Server with an empty graph and no resource limits.
@@ -208,6 +223,11 @@ func NewWith(cfg Config) *Server {
 	if cfg.MaxInFlight > 0 {
 		s.heavy = make(chan struct{}, cfg.MaxInFlight)
 	}
+	flightSize := cfg.FlightSize
+	if flightSize == 0 {
+		flightSize = DefaultFlightSize
+	}
+	s.flight = obs.NewFlight(flightSize) // nil (disabled) when negative
 	s.namespace = newNamespace(DefaultNamespace, cfg.HierarchyWorkers)
 	s.spaces = map[string]*namespace{DefaultNamespace: s.namespace}
 	return s
@@ -327,6 +347,7 @@ func (s *Server) Handler() http.Handler {
 	}))
 	route("/stats", s.handleStats)
 	route("/metrics", s.handleMetrics)
+	route("/debug/flight", s.handleFlight)
 	route("/replication/namespaces", s.handleReplNamespaces)
 	route("/replication/snapshot", s.withNS(s.handleReplSnapshot))
 	route("/replication/wal", s.withNS(s.handleReplWAL))
@@ -493,6 +514,11 @@ func (s *Server) handleApply(n *namespace, w http.ResponseWriter, r *http.Reques
 			slog.String("verdict", "refused"),
 			slog.String("error", err.Error()),
 		)
+		s.flight.Record(obs.FlightEvent{
+			Kind: "guard", Trace: obs.TraceFrom(r.Context()), NS: n.name,
+			Route: "/apply", Code: code,
+			Detail: fmt.Sprintf("%s refused: %v", req.Op, err),
+		})
 		writeErr(w, code, err)
 		return
 	}
@@ -514,6 +540,11 @@ func (s *Server) handleApply(n *namespace, w http.ResponseWriter, r *http.Reques
 		slog.String("verdict", "applied"),
 		slog.Uint64("revision", n.g.Revision()),
 	)
+	s.flight.Record(obs.FlightEvent{
+		Kind: "guard", Trace: obs.TraceFrom(r.Context()), NS: n.name,
+		Route: "/apply",
+		Detail: fmt.Sprintf("%s applied, revision %d", req.Op, n.g.Revision()),
+	})
 	writeJSON(w, map[string]any{"applied": app.Format(n.g)})
 }
 
@@ -965,6 +996,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Stats())
 }
 
+// handleFlight replays the flight recorder: the last ring-ful of
+// structured events (request summaries with phase spans, guard verdicts,
+// replication rounds, journal faults, panics, redirects), oldest first —
+// the first place to look after an incident.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	events := s.flight.Snapshot()
+	if events == nil {
+		events = []obs.FlightEvent{}
+	}
+	writeJSON(w, map[string]any{
+		"size":   s.flight.Size(),
+		"events": events,
+	})
+}
+
+// DumpFlight writes the flight ring as text to w — what cmd/tgserve
+// wires to SIGQUIT.
+func (s *Server) DumpFlight(w io.Writer) { s.flight.Dump(w) }
+
 // handleMetrics serves the same counters /stats reports — plus the
 // decision procedures' per-phase span aggregates — as Prometheus text
 // exposition. Series within each family are sorted for deterministic
@@ -976,26 +1026,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	phases := s.phases.Snapshot()
 
 	var pw obs.PromWriter
-	// Route traffic: counters plus a summary per route (quantiles over the
-	// recent latency window, sum/count over the route's full lifetime).
+	// Route traffic: per-(route, status class) counters and true
+	// histogram families per (route, class, namespace) — scrapers sum
+	// and merge by label; tgtop merges whole fleets the same way.
+	series := s.metrics.series()
 	routes := make([]string, 0, len(st.Routes))
 	for route := range st.Routes {
 		routes = append(routes, route)
 	}
 	sort.Strings(routes)
 	for _, route := range routes {
-		rs := st.Routes[route]
-		pw.Counter("takegrant_requests_total", "Requests served per route.",
-			[]obs.Label{obs.L("route", route)}, float64(rs.Count))
+		classes := make([]string, 0, len(st.Routes[route].ByClass))
+		for class := range st.Routes[route].ByClass {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			pw.Counter("takegrant_requests_total", "Requests served per route and status class.",
+				[]obs.Label{obs.L("route", route), obs.L("code_class", class)},
+				float64(st.Routes[route].ByClass[class]))
+		}
 	}
-	const usToS = 1e-6
-	for _, route := range routes {
-		rs := st.Routes[route]
-		pw.Summary("takegrant_request_latency_seconds",
-			"Route latency: quantiles over the recent sample window, sum/count over all requests.",
-			[]obs.Label{obs.L("route", route)},
-			map[float64]float64{0.5: rs.P50us * usToS, 0.9: rs.P90us * usToS, 0.99: rs.P99us * usToS},
-			rs.SumUs*usToS, rs.Count)
+	for _, hs := range series {
+		labels := []obs.Label{obs.L("route", hs.route), obs.L("code_class", hs.class)}
+		if hs.ns != DefaultNamespace {
+			labels = append(labels, obs.L("ns", hs.ns))
+		}
+		pw.HistogramSnapshot("takegrant_request_latency_seconds",
+			"Route latency distribution per status class (log-bucketed, mergeable across nodes).",
+			labels, hs.snap)
 	}
 
 	// Query cache.
@@ -1038,13 +1097,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	// Decision-procedure phase spans: count, cumulative seconds, and the
 	// summed work counters (product states visited, edges scanned, ...).
+	// One pass per family: a family's samples must be contiguous under its
+	// TYPE header (enforced by obs.LintProm in CI).
+	phaseLabels := func(k obs.PhaseKey) []obs.Label {
+		return []obs.Label{obs.L("procedure", k.Procedure), obs.L("phase", k.Phase)}
+	}
+	for _, k := range obs.SortedKeys(phases) {
+		pw.Counter("takegrant_phase_executions_total", "Decision-procedure phase executions.",
+			phaseLabels(k), float64(phases[k].Count))
+	}
+	for _, k := range obs.SortedKeys(phases) {
+		pw.Counter("takegrant_phase_seconds_total", "Cumulative time in each decision-procedure phase.",
+			phaseLabels(k), phases[k].Total.Seconds())
+	}
 	for _, k := range obs.SortedKeys(phases) {
 		ps := phases[k]
-		labels := []obs.Label{obs.L("procedure", k.Procedure), obs.L("phase", k.Phase)}
-		pw.Counter("takegrant_phase_executions_total", "Decision-procedure phase executions.",
-			labels, float64(ps.Count))
-		pw.Counter("takegrant_phase_seconds_total", "Cumulative time in each decision-procedure phase.",
-			labels, ps.Total.Seconds())
 		counts := make([]string, 0, len(ps.Counts))
 		for ck := range ps.Counts {
 			counts = append(counts, ck)
@@ -1052,7 +1119,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		sort.Strings(counts)
 		for _, ck := range counts {
 			pw.Counter("takegrant_phase_work_total", "Summed phase work counters (visited states, scanned edges, ...).",
-				append(append([]obs.Label(nil), labels...), obs.L("kind", ck)), float64(ps.Counts[ck]))
+				append(phaseLabels(k), obs.L("kind", ck)), float64(ps.Counts[ck]))
 		}
 	}
 

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+
+	"takegrant/internal/obs"
+	"takegrant/internal/shard"
+)
+
+// localShardPath reports whether a path must always answer on the node
+// that received it: process-level observability (/stats, /metrics,
+// /debug/*) and the replication feed are per-node, not per-namespace.
+func localShardPath(path string) bool {
+	return path == "/stats" || path == "/metrics" ||
+		strings.HasPrefix(path, "/debug/") ||
+		strings.HasPrefix(path, "/replication/")
+}
+
+// ShardRedirect spreads namespaces across a peer fleet: requests for a
+// namespace the consistent-hash ring assigns to another peer are
+// answered with 307 to that peer (method and body preserved), so any
+// node can be a client's entry point. peerList is the comma-separated
+// base URLs of every node, advertise this node's own entry in it. With
+// an empty peerList the handler is next unchanged.
+//
+// The redirect hop is part of the query's trace: the hop adopts the
+// client's traceparent (Go's http.Client re-sends request headers when
+// following a 307, so the same header reaches the owner), meaning the
+// redirecting node's log line and flight event carry the same trace ID
+// the owner finally serves under.
+func (s *Server) ShardRedirect(peerList, advertise string, next http.Handler) (http.Handler, error) {
+	if peerList == "" {
+		return next, nil
+	}
+	var peers []string
+	for _, p := range strings.Split(peerList, ",") {
+		if p = strings.TrimSpace(strings.TrimRight(p, "/")); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	ring := shard.New(peers)
+	advertise = strings.TrimRight(advertise, "/")
+	owned := false
+	for _, p := range peers {
+		owned = owned || p == advertise
+	}
+	if !owned {
+		return nil, fmt.Errorf("advertise %s is not in peers %s", advertise, peerList)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if localShardPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ns := r.URL.Query().Get("ns")
+		if ns == "" {
+			ns = DefaultNamespace
+		}
+		owner := ring.Owner(ns)
+		if owner == advertise {
+			next.ServeHTTP(w, r)
+			return
+		}
+		// The hop is observable under the query's own trace: adopt the
+		// client's context exactly as instrument would, echo it, and log
+		// the redirect — when the client follows the 307 its traceparent
+		// reaches the owner, which joins the same trace.
+		p := requestTrace(r.URL.Path, r)
+		w.Header().Set("X-Trace-Id", p.TraceID)
+		w.Header().Set("traceparent", p.Context().Traceparent())
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "shard_redirect",
+			slog.String("trace_id", p.TraceID),
+			slog.String("ns", ns),
+			slog.String("route", r.URL.Path),
+			slog.String("owner", owner),
+		)
+		s.flight.Record(obs.FlightEvent{
+			Kind: "redirect", Trace: p.TraceID, NS: ns, Route: r.URL.Path,
+			Code: http.StatusTemporaryRedirect, Detail: "owner " + owner,
+		})
+		// 307 keeps the method and body: a redirected PUT stays a PUT.
+		http.Redirect(w, r, owner+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	}), nil
+}

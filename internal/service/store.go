@@ -174,6 +174,10 @@ func (s *Server) journalAppend(n *namespace, r *http.Request, kind string, data 
 			slog.String("event", "append_failed_entering_degraded_mode"),
 			slog.String("error", err.Error()),
 		)
+		s.flight.Record(obs.FlightEvent{
+			Kind: "journal", Trace: obs.TraceFrom(r.Context()), NS: n.name,
+			Detail: "append failed, entering degraded mode: " + err.Error(),
+		})
 		return n.refuseDegraded()
 	}
 	if n.journal.j.Stats().WalRecords >= n.journal.snapEvery {

@@ -1,0 +1,422 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"takegrant/internal/fault"
+	"takegrant/internal/obs"
+	"takegrant/internal/specimens"
+)
+
+func TestClientTraceparentHonored(t *testing.T) {
+	ts := newTestServer(t)
+	loadSpecimen(t, ts, "fig61")
+
+	// A W3C traceparent joins the caller's trace: same trace ID out, a
+	// fresh span.
+	tc := obs.NewTraceContext()
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/graph", nil)
+	req.Header.Set("traceparent", tc.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if got := resp.Header.Get("X-Trace-Id"); got != tc.TraceID {
+		t.Errorf("X-Trace-Id = %q, want caller's trace %q", got, tc.TraceID)
+	}
+	out, ok := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok || out.TraceID != tc.TraceID {
+		t.Errorf("response traceparent %q does not continue trace %q",
+			resp.Header.Get("traceparent"), tc.TraceID)
+	}
+	if out.SpanID == tc.SpanID {
+		t.Error("server reused the caller's span ID instead of starting its own span")
+	}
+
+	// A legacy 16-hex X-Trace-Id is adopted, zero-padded to trace-ID width
+	// the same way on every node.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/graph", nil)
+	req.Header.Set("X-Trace-Id", "00f067aa0ba902b7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if got := resp.Header.Get("X-Trace-Id"); got != "000000000000000000f067aa0ba902b7" {
+		t.Errorf("legacy adoption: X-Trace-Id = %q", got)
+	}
+
+	// Garbage headers never poison the trace: a fresh valid one is minted.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/graph", nil)
+	req.Header.Set("traceparent", "not-a-traceparent")
+	req.Header.Set("X-Trace-Id", "ZZZZ")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if _, ok := obs.ParseTraceparent(resp.Header.Get("traceparent")); !ok {
+		t.Errorf("fresh traceparent %q invalid", resp.Header.Get("traceparent"))
+	}
+}
+
+// TestShardRedirectCarriesTraceAcrossNodes pins the cross-node trace
+// contract: a query redirected 307 to the namespace's owner logs and
+// records the SAME trace ID on both nodes, because Go's http.Client
+// re-sends the traceparent header when following the redirect.
+func TestShardRedirectCarriesTraceAcrossNodes(t *testing.T) {
+	var hA, hB http.Handler
+	tsA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hA.ServeHTTP(w, r) }))
+	defer tsA.Close()
+	tsB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hB.ServeHTTP(w, r) }))
+	defer tsB.Close()
+	peers := tsA.URL + "," + tsB.URL
+
+	sA, sB := New(), New()
+	var err error
+	if hA, err = sA.ShardRedirect(peers, tsA.URL, sA.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	if hB, err = sB.ShardRedirect(peers, tsB.URL, sB.Handler()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a namespace the ring assigns to B: probe A without following
+	// redirects until one answers 307.
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	ownedByB := ""
+	for i := 0; i < 64 && ownedByB == ""; i++ {
+		name := fmt.Sprintf("tenant%d", i)
+		resp, err := noFollow.Get(tsA.URL + "/graph?ns=" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+		if resp.StatusCode == http.StatusTemporaryRedirect {
+			if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, tsB.URL) {
+				t.Fatalf("redirect to %q, want owner %s", loc, tsB.URL)
+			}
+			ownedByB = name
+		}
+	}
+	if ownedByB == "" {
+		t.Fatal("ring assigned all 64 probe namespaces to A; expected a split")
+	}
+
+	// Create the namespace on its owner, then query it THROUGH A with a
+	// client-supplied trace; the default client follows the 307.
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, tsB.URL+"/graph?ns="+ownedByB, strings.NewReader(src))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT on owner = %d", resp.StatusCode)
+	}
+
+	tc := obs.NewTraceContext()
+	req, _ = http.NewRequest(http.MethodGet, tsA.URL+"/graph?ns="+ownedByB, nil)
+	req.Header.Set("traceparent", tc.Traceparent())
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("redirected GET = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != tc.TraceID {
+		t.Errorf("owner answered trace %q, want the client's %q", got, tc.TraceID)
+	}
+
+	// Both nodes recorded the hop under the same trace: A a redirect
+	// event, B the served request.
+	findEvent := func(s *Server, kind string) *obs.FlightEvent {
+		for _, ev := range s.flight.Snapshot() {
+			if ev.Kind == kind && ev.Trace == tc.TraceID {
+				return &ev
+			}
+		}
+		return nil
+	}
+	redir := findEvent(sA, "redirect")
+	if redir == nil {
+		t.Fatalf("node A has no redirect event for trace %s: %+v", tc.TraceID, sA.flight.Snapshot())
+	}
+	if redir.NS != ownedByB || !strings.Contains(redir.Detail, tsB.URL) {
+		t.Errorf("redirect event = %+v", redir)
+	}
+	served := findEvent(sB, "request")
+	if served == nil {
+		t.Fatalf("node B has no request event for trace %s", tc.TraceID)
+	}
+	if served.Route != "/graph" || served.Code != http.StatusOK {
+		t.Errorf("served event = %+v", served)
+	}
+}
+
+// TestReplicaPollTraceCorrelatesWithLeader pins the other outward path:
+// a follower's poll round carries its trace to the leader, so the
+// follower's replication_round line and the leader's request lines share
+// one trace ID.
+func TestReplicaPollTraceCorrelatesWithLeader(t *testing.T) {
+	leader := New()
+	if _, err := leader.AttachJournal(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	var lmu sync.Mutex
+	var lbuf bytes.Buffer
+	leader.SetLogger(slog.New(slog.NewJSONHandler(lockedWriter{&lmu, &lbuf}, nil)))
+	lh := leader.Handler()
+	ts := httptest.NewServer(lh)
+	defer ts.Close()
+
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := putGraphNS(t, lh, "", src); code != http.StatusOK {
+		t.Fatalf("leader load = %d", code)
+	}
+
+	follower := New()
+	var fmu sync.Mutex
+	var fbuf bytes.Buffer
+	follower.SetLogger(slog.New(slog.NewJSONHandler(lockedWriter{&fmu, &fbuf}, nil)))
+	if err := follower.StartReplica(ts.URL, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	waitFor(t, "follower catch-up", func() bool {
+		return follower.Stats().Revision == leader.Stats().Revision
+	})
+	// Traffic after attach exercises the tail-shipping path, which logs a
+	// non-quiet round.
+	if code := do(t, lh, http.MethodPost, "/apply",
+		`{"op":"create","x":"low","name":"scratch","kind":"object","rights":"r"}`, nil); code != http.StatusOK {
+		t.Fatalf("leader apply = %d", code)
+	}
+	leaderRev := leader.Stats().Revision
+	waitFor(t, "follower tail catch-up", func() bool {
+		return follower.Stats().Revision == leaderRev
+	})
+
+	// Find a replication_round trace on the follower and demand the
+	// leader logged requests under it.
+	waitFor(t, "round logged on both nodes", func() bool {
+		fmu.Lock()
+		flog := fbuf.String()
+		fmu.Unlock()
+		for _, line := range strings.Split(flog, "\n") {
+			if !strings.Contains(line, `"msg":"replication_round"`) {
+				continue
+			}
+			var rec struct {
+				TraceID string `json:"trace_id"`
+			}
+			if json.Unmarshal([]byte(line), &rec) != nil || len(rec.TraceID) != 32 {
+				continue
+			}
+			lmu.Lock()
+			onLeader := strings.Contains(lbuf.String(), rec.TraceID)
+			lmu.Unlock()
+			if onLeader {
+				return true
+			}
+		}
+		return false
+	})
+
+	// The round also reached the follower's flight recorder, and
+	// /stats surfaces the replication state tgtop reads.
+	found := false
+	for _, ev := range follower.flight.Snapshot() {
+		if ev.Kind == "replication" && strings.Contains(ev.Detail, "applied") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no replication flight event: %+v", follower.flight.Snapshot())
+	}
+	if rs := follower.Stats().Replication; rs == nil || rs.Rounds == 0 {
+		t.Errorf("replication stats = %+v", rs)
+	}
+}
+
+// TestFlightRecorderReplaysFaults pins the post-incident contract: after
+// an injected panic, GET /debug/flight replays the recent events — the
+// healthy requests, the guard verdicts, and the panic itself — and the
+// ring was dumped to the crash sink.
+func TestFlightRecorderReplaysFaults(t *testing.T) {
+	defer fault.Reset()
+	srv := New()
+	var crash bytes.Buffer
+	srv.crashOut = &crash
+	h := srv.Handler()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := putGraphNS(t, h, "", src); code != http.StatusOK {
+		t.Fatalf("load = %d", code)
+	}
+	// A refused mutation (read-up) leaves a guard event.
+	if code := do(t, h, http.MethodPost, "/apply",
+		`{"op":"take","x":"low","y":"mid","z":"secret","rights":"r"}`, nil); code != http.StatusForbidden {
+		t.Fatalf("read-up take = %d, want 403", code)
+	}
+
+	fault.Set("http:/query/can-share", func() { panic("injected: flight test") })
+	resp, err := http.Get(ts.URL + "/query/can-share?right=r&x=low&y=secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicTrace := resp.Header.Get("X-Trace-Id")
+	if readAll(t, resp); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking route = %d, want 500", resp.StatusCode)
+	}
+	fault.Clear("http:/query/can-share")
+
+	var flight struct {
+		Size   int               `json:"size"`
+		Events []obs.FlightEvent `json:"events"`
+	}
+	resp, err = http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, &flight)
+	if flight.Size != DefaultFlightSize {
+		t.Errorf("ring size = %d, want %d", flight.Size, DefaultFlightSize)
+	}
+	kinds := map[string]int{}
+	var panicEv, guardEv *obs.FlightEvent
+	for i, ev := range flight.Events {
+		kinds[ev.Kind]++
+		if ev.Kind == "panic" {
+			panicEv = &flight.Events[i]
+		}
+		if ev.Kind == "guard" {
+			guardEv = &flight.Events[i]
+		}
+	}
+	if kinds["request"] < 3 || panicEv == nil || guardEv == nil {
+		t.Fatalf("flight kinds = %v", kinds)
+	}
+	if panicEv.Trace != panicTrace || !strings.Contains(panicEv.Detail, "injected: flight test") {
+		t.Errorf("panic event = %+v, want trace %s", panicEv, panicTrace)
+	}
+	if !strings.Contains(guardEv.Detail, "refused") || guardEv.Route != "/apply" {
+		t.Errorf("guard event = %+v", guardEv)
+	}
+	for i := 1; i < len(flight.Events); i++ {
+		if flight.Events[i].Seq <= flight.Events[i-1].Seq {
+			t.Fatalf("events not ordered oldest-first: %d after %d",
+				flight.Events[i].Seq, flight.Events[i-1].Seq)
+		}
+	}
+
+	// The panic dumped the ring to the crash sink.
+	dump := crash.String()
+	if !strings.Contains(dump, "flight recorder") || !strings.Contains(dump, panicTrace) {
+		t.Errorf("crash dump missing ring or trace:\n%s", dump)
+	}
+}
+
+// TestFlightJournalDegradedEvent pins the journal-latch event: an append
+// failure that flips degraded mode leaves a journal event in the ring.
+func TestFlightJournalDegradedEvent(t *testing.T) {
+	defer fault.Reset()
+	srv := New()
+	if _, err := srv.AttachJournal(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := putGraphNS(t, h, "", src); code != http.StatusOK {
+		t.Fatalf("load = %d", code)
+	}
+
+	fault.SetErr("journal:append-write", func() error { return fmt.Errorf("injected disk death") })
+	code := do(t, h, http.MethodPost, "/apply",
+		`{"op":"create","x":"low","name":"doomed","kind":"object","rights":"r"}`, nil)
+	fault.Clear("journal:append-write")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("apply on dead journal = %d, want 503", code)
+	}
+
+	found := false
+	for _, ev := range srv.flight.Snapshot() {
+		if ev.Kind == "journal" && strings.Contains(ev.Detail, "degraded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no journal flight event: %+v", srv.flight.Snapshot())
+	}
+}
+
+// TestMetricsExpositionLints runs the full CI lint against a live scrape:
+// structural exposition rules plus the histogram contract (ascending le,
+// +Inf == _count, _sum present).
+func TestMetricsExpositionLints(t *testing.T) {
+	ts := newTestServer(t)
+	loadSpecimen(t, ts, "fig61")
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/query/can-share?right=r&x=low&y=secret")
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if errs := obs.LintProm(body); len(errs) != 0 {
+		t.Fatalf("lint errors on live scrape: %v", errs)
+	}
+	// The latency family is a real histogram now.
+	if !strings.Contains(body, "# TYPE takegrant_request_latency_seconds histogram") {
+		t.Error("latency family is not a histogram")
+	}
+	if !strings.Contains(body, `takegrant_request_latency_seconds_bucket{route="/query/can-share",code_class="2xx",le="+Inf"}`) {
+		t.Errorf("missing +Inf bucket for can-share:\n%s", body)
+	}
+	// The scraped distribution answers quantiles — what tgtop computes.
+	fams, err := obs.ParseProm(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := obs.HistogramDist(fams, "takegrant_request_latency_seconds", func(l map[string]string) bool {
+		return l["route"] == "/query/can-share"
+	})
+	if dist.Count != 3 || dist.Quantile(0.5) <= 0 {
+		t.Errorf("scraped dist count=%d p50=%v", dist.Count, dist.Quantile(0.5))
+	}
+}
