@@ -33,6 +33,15 @@ rev_of() { # rev_of <base-url> — top-level (default-namespace) revision
   curl -sf "$1/stats" | tr ',{' '\n\n' | grep '"revision":' | head -1 | sed 's/.*://; s/[^0-9]//g'
 }
 
+# curl_has <url> <grep-pattern> — check a response body for a pattern.
+# The body is captured first: under pipefail, `curl | grep -q` flakes
+# because grep exits at the first match and curl dies on the EPIPE.
+curl_has() {
+  local body
+  body=$(curl -sf "$1") || return 1
+  printf '%s\n' "$body" | grep -q "$2"
+}
+
 "$DATA/tgserve" -addr "$L_ADDR" -data "$DATA/journal" -specimen fig61 -quiet >"$L_LOG" 2>&1 &
 L_PID=$!
 wait_up "$LEADER" "$L_LOG"
@@ -101,7 +110,7 @@ f_code=$(curl -s -o "$DATA/ro.json" -w '%{http_code}' -X POST "$FOLLOWER/apply" 
 grep -q read_only "$DATA/ro.json" || { echo "follower refusal lacks read_only code: $(cat "$DATA/ro.json")" >&2; fail=1; }
 
 # Replication lag must be exposed (and zero once converged).
-curl -sf "$FOLLOWER/metrics" | grep -q '^takegrant_replication_lag_seconds 0' \
+curl_has "$FOLLOWER/metrics" '^takegrant_replication_lag_seconds 0' \
   || { echo "follower /metrics lacks takegrant_replication_lag_seconds 0" >&2; fail=1; }
 
 # Both expositions must satisfy the Prometheus contract under real

@@ -71,6 +71,7 @@ import (
 	"syscall"
 	"time"
 
+	"takegrant/internal/health"
 	"takegrant/internal/service"
 	"takegrant/internal/specimens"
 	"takegrant/internal/tgio"
@@ -97,6 +98,12 @@ func main() {
 		peers    = flag.String("peers", "", "comma-separated base URLs of every shard peer (enables namespace sharding)")
 		adv      = flag.String("advertise", "", "this node's base URL as it appears in -peers")
 		flightN  = flag.Int("flight-size", 0, "flight recorder ring size (0 = default, negative = disabled)")
+		promData = flag.String("promote-data", "", "data directory POST /admin/promote opens the new leader journal in (replicas)")
+		probeInt = flag.Duration("probe-interval", time.Second, "peer health probe interval (with -peers)")
+		probeTO  = flag.Duration("probe-timeout", 500*time.Millisecond, "per-probe timeout")
+		probeN   = flag.Int("probe-fails", 3, "consecutive probe failures before a peer is considered down")
+		failover = flag.String("failover-reads", "", "base URL reads for a down peer's namespaces are 307'd to (a full replica)")
+		scrubInt = flag.Duration("scrub-interval", time.Minute, "anti-entropy scrubber cadence (0 = disabled)")
 	)
 	flag.Parse()
 	if *replica != "" && *data != "" {
@@ -117,6 +124,7 @@ func main() {
 		BatchWorkers:     *batchW,
 		HierarchyWorkers: *hierW,
 		FlightSize:       *flightN,
+		PromoteDataDir:   *promData,
 	})
 	if !*quiet {
 		srv.SetLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
@@ -141,8 +149,38 @@ func main() {
 		log.Printf("replicating from %s every %s; mutations answer 503 read_only", *replica, *replPoll)
 	}
 	expvar.Publish("takegrant", expvar.Func(func() any { return srv.Stats() }))
+	// With peers configured, watch everyone but ourselves: ShardRedirect
+	// consults the prober before 307-ing a namespace to its owner, so a
+	// dead peer turns into a read failover or a 503 + Retry-After instead
+	// of a client-side connection error.
+	var prober *health.Prober
+	if *peers != "" {
+		var watch []string
+		self := strings.TrimRight(*adv, "/")
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(strings.TrimRight(p, "/")); p != "" && p != self {
+				watch = append(watch, p)
+			}
+		}
+		if len(watch) > 0 {
+			prober = health.New(watch, health.Options{
+				Interval:      *probeInt,
+				Timeout:       *probeTO,
+				FailThreshold: *probeN,
+				OnTransition: func(peer string, up bool) {
+					log.Printf("peer %s is now up=%v", peer, up)
+				},
+			})
+			prober.Start()
+			defer prober.Stop()
+			srv.SetHealthProber(prober)
+		}
+	}
+	if *scrubInt > 0 {
+		srv.StartScrubber(*scrubInt)
+	}
 	mux := http.NewServeMux()
-	sharded, err := srv.ShardRedirect(*peers, *adv, srv.Handler())
+	sharded, err := srv.ShardRedirect(*peers, *adv, *failover, srv.Handler())
 	if err != nil {
 		log.Fatal(err)
 	}

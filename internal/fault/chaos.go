@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Chaos is a seeded scheduler over the fault registry: a set of rules,
+// each binding an injection point to a firing probability, an optional
+// fire cap, and an effect (an error to return, or an arbitrary action
+// such as a panic). Every random draw comes from one seeded source, so a
+// chaos run is replayable from its seed — a failing -race suite prints
+// the seed and the exact storm can be re-run.
+//
+// Arm installs every rule through Set/SetErr; Disarm removes exactly the
+// points this Chaos armed (other hooks are untouched). Fires reports how
+// often each rule actually triggered, so tests can assert the storm was
+// real and not a no-op.
+type Chaos struct {
+	seed  int64
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string]*chaosRule
+	armed bool
+}
+
+type chaosRule struct {
+	prob   float64
+	max    int // 0 ⇒ unlimited
+	fires  int
+	err    func() error // nil for action rules
+	action func()       // nil for error rules
+}
+
+// NewChaos builds an empty scheduler around the given seed.
+func NewChaos(seed int64) *Chaos {
+	return &Chaos{
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[string]*chaosRule),
+	}
+}
+
+// Seed returns the seed the scheduler was built with, for failure logs.
+func (c *Chaos) Seed() int64 { return c.seed }
+
+// RuleErr registers an error rule: the injection point fails with err()
+// with probability prob per hit, at most max times (0 = unlimited).
+// Must be called before Arm.
+func (c *Chaos) RuleErr(point string, prob float64, max int, err func() error) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules[point] = &chaosRule{prob: prob, max: max, err: err}
+	return c
+}
+
+// Rule registers an action rule (typically a panic) with probability
+// prob per hit, at most max times (0 = unlimited). Must be called
+// before Arm.
+func (c *Chaos) Rule(point string, prob float64, max int, action func()) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules[point] = &chaosRule{prob: prob, max: max, action: action}
+	return c
+}
+
+// Arm installs every rule into the fault registry. Draws and fire counts
+// are serialized under the Chaos mutex, so concurrent injection points
+// still consume the seeded stream deterministically in aggregate.
+func (c *Chaos) Arm() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.armed {
+		return
+	}
+	c.armed = true
+	for point, r := range c.rules {
+		point, r := point, r
+		if r.err != nil {
+			SetErr(point, func() error {
+				if !c.draw(r) {
+					return nil
+				}
+				return r.err()
+			})
+		} else {
+			Set(point, func() {
+				if c.draw(r) {
+					r.action()
+				}
+			})
+		}
+	}
+}
+
+// draw decides whether rule r fires this hit.
+func (c *Chaos) draw(r *chaosRule) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.max > 0 && r.fires >= r.max {
+		return false
+	}
+	if c.rng.Float64() >= r.prob {
+		return false
+	}
+	r.fires++
+	return true
+}
+
+// Disarm removes the hooks this Chaos armed. Rules and fire counts are
+// retained for inspection.
+func (c *Chaos) Disarm() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.armed {
+		return
+	}
+	c.armed = false
+	for point := range c.rules {
+		Clear(point)
+	}
+}
+
+// Fires returns per-point trigger counts.
+func (c *Chaos) Fires() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.rules))
+	for point, r := range c.rules {
+		out[point] = r.fires
+	}
+	return out
+}
+
+// TotalFires sums trigger counts across every rule.
+func (c *Chaos) TotalFires() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.rules {
+		n += r.fires
+	}
+	return n
+}
+
+// String summarizes the scheduler for failure messages.
+func (c *Chaos) String() string {
+	return fmt.Sprintf("chaos(seed=%d, rules=%d)", c.seed, len(c.rules))
+}

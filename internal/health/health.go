@@ -1,0 +1,220 @@
+// Package health probes a fixed peer set and answers "is this peer
+// believed alive right now?" — the signal the shard router needs to stop
+// 307-ing namespace traffic into a corpse.
+//
+// Each peer gets its own probe loop: an HTTP GET of its health endpoint
+// every Interval, bounded by a per-probe Timeout. A peer starts out
+// presumed up (fail open: an unprobed fleet must not refuse traffic) and
+// transitions down only after FailThreshold consecutive failures — one
+// slow scrape is not an outage. A down peer keeps being probed at the
+// same cadence (the half-open state); the first success flips it back up
+// immediately, so recovery is one probe interval away, not a threshold's
+// worth.
+//
+// The prober holds no references into the serving stack; tests inject a
+// Probe function and drive transitions deterministically.
+package health
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Options bounds a Prober. The zero value gets sensible defaults.
+type Options struct {
+	// Interval between probes of one peer; default 1s.
+	Interval time.Duration
+	// Timeout bounds one probe; default 500ms.
+	Timeout time.Duration
+	// FailThreshold is how many consecutive failures mark a peer down;
+	// default 3.
+	FailThreshold int
+	// Path is the endpoint probed on each peer; default "/healthz".
+	Path string
+	// Probe overrides the HTTP probe entirely (tests, exotic transports).
+	// It must respect ctx's deadline.
+	Probe func(ctx context.Context, peer string) error
+	// OnTransition, when set, is called on every up/down flip — the hook
+	// logging and metrics hang off. Called from the probe goroutine.
+	OnTransition func(peer string, up bool)
+}
+
+// Status is one peer's slice of a Snapshot.
+type Status struct {
+	Up bool `json:"up"`
+	// ConsecutiveFails counts probe failures since the last success.
+	ConsecutiveFails int `json:"consecutive_fails,omitempty"`
+	// Transitions counts up/down flips since Start.
+	Transitions uint64 `json:"transitions,omitempty"`
+	// Probes counts completed probes.
+	Probes uint64 `json:"probes"`
+	// LastErr is the most recent probe failure, empty after a success.
+	LastErr string `json:"last_err,omitempty"`
+}
+
+type peerState struct {
+	mu          sync.Mutex
+	up          bool
+	fails       int
+	transitions uint64
+	probes      uint64
+	lastErr     string
+}
+
+// Prober watches a fixed peer set. Build with New, then Start; Healthy
+// and Snapshot are safe from any goroutine.
+type Prober struct {
+	peers  map[string]*peerState
+	order  []string
+	opts   Options
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New builds a prober over the peer base URLs (duplicates collapsed).
+// Every peer starts presumed up.
+func New(peers []string, opts Options) *Prober {
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 500 * time.Millisecond
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = 3
+	}
+	if opts.Path == "" {
+		opts.Path = "/healthz"
+	}
+	if opts.Probe == nil {
+		client := &http.Client{}
+		opts.Probe = func(ctx context.Context, peer string) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+opts.Path, nil)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode < 200 || resp.StatusCode > 299 {
+				return fmt.Errorf("probe %s%s: HTTP %d", peer, opts.Path, resp.StatusCode)
+			}
+			return nil
+		}
+	}
+	p := &Prober{peers: make(map[string]*peerState), opts: opts}
+	for _, peer := range peers {
+		if _, ok := p.peers[peer]; ok {
+			continue
+		}
+		p.peers[peer] = &peerState{up: true}
+		p.order = append(p.order, peer)
+	}
+	return p
+}
+
+// Start launches one probe loop per peer (first probe immediate). Call
+// once; pair with Stop.
+func (p *Prober) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	for _, peer := range p.order {
+		p.wg.Add(1)
+		go p.loop(ctx, peer, p.peers[peer])
+	}
+}
+
+// Stop halts every probe loop and waits for them to exit.
+func (p *Prober) Stop() {
+	if p.cancel == nil {
+		return
+	}
+	p.cancel()
+	p.wg.Wait()
+}
+
+func (p *Prober) loop(ctx context.Context, peer string, st *peerState) {
+	defer p.wg.Done()
+	t := time.NewTicker(p.opts.Interval)
+	defer t.Stop()
+	for {
+		p.probeOnce(ctx, peer, st)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (p *Prober) probeOnce(ctx context.Context, peer string, st *peerState) {
+	pctx, cancel := context.WithTimeout(ctx, p.opts.Timeout)
+	err := p.opts.Probe(pctx, peer)
+	cancel()
+	if ctx.Err() != nil {
+		return // shutting down; a canceled probe is not evidence
+	}
+	var flipped, nowUp bool
+	st.mu.Lock()
+	st.probes++
+	if err == nil {
+		st.fails = 0
+		st.lastErr = ""
+		if !st.up {
+			// Half-open recovery: one success restores the peer.
+			st.up = true
+			st.transitions++
+			flipped, nowUp = true, true
+		}
+	} else {
+		st.fails++
+		st.lastErr = err.Error()
+		if st.up && st.fails >= p.opts.FailThreshold {
+			st.up = false
+			st.transitions++
+			flipped, nowUp = true, false
+		}
+	}
+	st.mu.Unlock()
+	if flipped && p.opts.OnTransition != nil {
+		p.opts.OnTransition(peer, nowUp)
+	}
+}
+
+// Healthy reports whether peer is believed up. Unknown peers are healthy
+// — fail open, the router must not refuse traffic it merely isn't
+// watching.
+func (p *Prober) Healthy(peer string) bool {
+	st, ok := p.peers[peer]
+	if !ok {
+		return true
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.up
+}
+
+// Snapshot copies every peer's status, for /metrics and logs.
+func (p *Prober) Snapshot() map[string]Status {
+	out := make(map[string]Status, len(p.peers))
+	for peer, st := range p.peers {
+		st.mu.Lock()
+		out[peer] = Status{
+			Up:               st.up,
+			ConsecutiveFails: st.fails,
+			Transitions:      st.transitions,
+			Probes:           st.probes,
+			LastErr:          st.lastErr,
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// Peers returns the watched peer set in registration order.
+func (p *Prober) Peers() []string { return append([]string(nil), p.order...) }

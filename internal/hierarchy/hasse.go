@@ -70,6 +70,10 @@ func (s *Structure) levelLabel(i int) string {
 	for _, v := range s.levels[i] {
 		names = append(names, s.g.Name(v))
 	}
+	// Sorted members: the rendering must not depend on internal vertex
+	// order, which differs between a node that built its graph
+	// incrementally and one that bootstrapped from a canonical snapshot.
+	sort.Strings(names)
 	return fmt.Sprintf("level %d {%s}", i, strings.Join(names, ", "))
 }
 

@@ -1,0 +1,167 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEpochStampedAndRecovered pins the fencing token's durability: a
+// set epoch stamps every subsequent WAL frame and snapshot header, and
+// reopening the directory recovers the highest epoch seen — from the
+// snapshot meta, from replayed frames, or both.
+func TestEpochStampedAndRecovered(t *testing.T) {
+	dir := t.TempDir()
+	j, snap, replay, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil || len(replay) != 0 {
+		t.Fatalf("fresh dir recovered state: snap=%v replay=%d", snap, len(replay))
+	}
+	if j.Epoch() != 0 {
+		t.Fatalf("fresh journal epoch = %d, want 0", j.Epoch())
+	}
+	if err := j.SetEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(KindGraph, "g1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(KindApply, "a1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: frames alone must carry the epoch forward.
+	j2, snap, replay, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatal("unexpected snapshot")
+	}
+	if len(replay) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(replay))
+	}
+	for _, r := range replay {
+		if r.Epoch != 3 {
+			t.Fatalf("record seq %d epoch = %d, want 3", r.Seq, r.Epoch)
+		}
+	}
+	if j2.Epoch() != 3 {
+		t.Fatalf("recovered epoch = %d, want 3", j2.Epoch())
+	}
+	if j2.Stats().Epoch != 3 {
+		t.Fatalf("stats epoch = %d, want 3", j2.Stats().Epoch)
+	}
+
+	// A snapshot persists the epoch in its header; after compaction the
+	// WAL is empty and the snapshot alone must carry it.
+	if err := j2.SetEpoch(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.WriteSnapshot(Meta{Revision: 7, Generation: 2}, "state"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, snap, replay, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if snap == nil || len(replay) != 0 {
+		t.Fatalf("want snapshot-only recovery, got snap=%v replay=%d", snap, len(replay))
+	}
+	if snap.Meta.Epoch != 5 {
+		t.Fatalf("snapshot meta epoch = %d, want 5", snap.Meta.Epoch)
+	}
+	if j3.Epoch() != 5 {
+		t.Fatalf("epoch after snapshot recovery = %d, want 5", j3.Epoch())
+	}
+}
+
+// TestEpochMayNotRegress pins the monotonicity rule: fencing only works
+// if an epoch can never move backwards on durable state.
+func TestEpochMayNotRegress(t *testing.T) {
+	j, _, _, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.SetEpoch(4); err != nil {
+		t.Fatal(err)
+	}
+	err = j.SetEpoch(2)
+	if err == nil {
+		t.Fatal("SetEpoch accepted a regression 4 -> 2")
+	}
+	if !strings.Contains(err.Error(), "regress") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if j.Epoch() != 4 {
+		t.Fatalf("epoch after refused regression = %d, want 4", j.Epoch())
+	}
+	// Setting the same epoch again is idempotent, not a regression.
+	if err := j.SetEpoch(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdvanceSeq pins the promotion-time cursor jump: a fresh journal
+// advanced to seq N numbers its next append N+1, a snapshot written
+// after the jump covers 1..N (so Follow(0) demands a bootstrap), and the
+// cursor can never move backwards.
+func TestAdvanceSeq(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AdvanceSeq(12); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AdvanceSeq(5); err == nil {
+		t.Fatal("AdvanceSeq accepted a regression 12 -> 5")
+	}
+	if err := j.WriteSnapshot(Meta{Revision: 9}, "state"); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := j.Append(KindApply, "a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 13 {
+		t.Fatalf("append after AdvanceSeq(12) got seq %d, want 13", seq)
+	}
+	// A follower at cursor 0 must be told the snapshot absorbed 1..12.
+	if _, _, snapshotNeeded, err := j.Follow(0); err != nil || !snapshotNeeded {
+		t.Fatalf("Follow(0) = snapshotNeeded=%v err=%v, want bootstrap", snapshotNeeded, err)
+	}
+	// A follower already at 12 tails gaplessly.
+	recs, _, snapshotNeeded, err := j.Follow(12)
+	if err != nil || snapshotNeeded || len(recs) != 1 || recs[0].Seq != 13 {
+		t.Fatalf("Follow(12) = %v %v %v", recs, snapshotNeeded, err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The jumped cursor survives recovery via the snapshot's LastSeq.
+	j2, snap, replay, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if snap == nil || snap.Meta.LastSeq != 12 {
+		t.Fatalf("recovered snapshot = %+v, want LastSeq 12", snap)
+	}
+	if len(replay) != 1 || replay[0].Seq != 13 {
+		t.Fatalf("recovered replay = %+v, want one record at seq 13", replay)
+	}
+	if j2.Stats().LastSeq != 13 {
+		t.Fatalf("recovered LastSeq = %d, want 13", j2.Stats().LastSeq)
+	}
+}

@@ -121,6 +121,10 @@ type Record struct {
 	Seq uint64 `json:"seq"`
 	// Kind is KindGraph or KindApply.
 	Kind string `json:"kind"`
+	// Epoch is the leader epoch under which the record was accepted; 0 in
+	// frames written before epochs existed. A frame's epoch is what lets a
+	// follower refuse a resurrected old leader's stale writes.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Data is the mutation body: the .tg text (JSON string) for KindGraph,
 	// the apply-request object for KindApply.
 	Data json.RawMessage `json:"data"`
@@ -135,6 +139,11 @@ type Meta struct {
 	// LastSeq is the sequence number of the last WAL record the snapshot
 	// covers; recovery skips records with Seq <= LastSeq.
 	LastSeq uint64 `json:"last_seq"`
+	// Epoch is the leader epoch at snapshot time; 0 in snapshots written
+	// before epochs existed. WriteSnapshot fills it in from the journal's
+	// own counter, so a promotion's epoch bump survives restarts even when
+	// the WAL is empty.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Snapshot is a decoded snapshot file.
@@ -160,6 +169,8 @@ type Stats struct {
 	WalRecords uint64 `json:"wal_records"`
 	// LastSeq is the newest sequence number on disk.
 	LastSeq uint64 `json:"last_seq"`
+	// Epoch is the leader epoch new appends are stamped with.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Latched is true once a write failure froze the journal.
 	Latched bool `json:"latched,omitempty"`
 }
@@ -174,6 +185,10 @@ type Journal struct {
 	mu    sync.Mutex
 	wal   *os.File
 	stats Stats
+	// epoch stamps every appended record and written snapshot; recovered
+	// by Open from the snapshot meta and record frames, raised by SetEpoch
+	// at promotion, never lowered.
+	epoch uint64
 	// failed latches the journal after a write/fsync error; see ErrLatched.
 	failed error
 }
@@ -194,6 +209,7 @@ func Open(dir string) (*Journal, *Snapshot, []Record, error) {
 	j := &Journal{dir: dir}
 	if snap != nil {
 		j.stats.LastSeq = snap.Meta.LastSeq
+		j.epoch = snap.Meta.Epoch
 	}
 	recs, err := j.openWAL()
 	if err != nil {
@@ -207,6 +223,9 @@ func Open(dir string) (*Journal, *Snapshot, []Record, error) {
 		minSeq = snap.Meta.LastSeq
 	}
 	for _, r := range recs {
+		if r.Epoch > j.epoch {
+			j.epoch = r.Epoch
+		}
 		if r.Seq > minSeq {
 			replay = append(replay, r)
 			if r.Seq > j.stats.LastSeq {
@@ -214,6 +233,7 @@ func Open(dir string) (*Journal, *Snapshot, []Record, error) {
 			}
 		}
 	}
+	j.stats.Epoch = j.epoch
 	j.stats.Recovered = uint64(len(replay))
 	j.stats.WalRecords = uint64(len(recs))
 	return j, snap, replay, nil
@@ -387,7 +407,7 @@ func (j *Journal) Append(kind string, data any) (uint64, error) {
 	if err := j.refuseLatched(); err != nil {
 		return 0, err
 	}
-	rec := Record{Seq: j.stats.LastSeq + 1, Kind: kind, Data: raw}
+	rec := Record{Seq: j.stats.LastSeq + 1, Kind: kind, Epoch: j.epoch, Data: raw}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return 0, fmt.Errorf("journal: encode frame: %w", err)
@@ -433,6 +453,7 @@ func (j *Journal) WriteSnapshot(meta Meta, text string) error {
 		return err
 	}
 	meta.LastSeq = j.stats.LastSeq
+	meta.Epoch = j.epoch
 	head, err := json.Marshal(meta)
 	if err != nil {
 		return fmt.Errorf("journal: encode snapshot meta: %w", err)
@@ -539,6 +560,49 @@ func (j *Journal) Stats() Stats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.stats
+}
+
+// Epoch returns the leader epoch new appends are stamped with.
+func (j *Journal) Epoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// SetEpoch raises the leader epoch stamped into subsequent records and
+// snapshots — the durable half of promotion fencing. An epoch is
+// monotonic for the life of the data directory: lowering it would let a
+// resurrected old leader re-stamp fresh frames as current, so a
+// regression is refused. The new epoch only reaches disk with the next
+// Append or WriteSnapshot; promotion writes a snapshot immediately after
+// SetEpoch so the bump survives a crash.
+func (j *Journal) SetEpoch(e uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if e < j.epoch {
+		return fmt.Errorf("journal: leader epoch may not regress (%d < %d)", e, j.epoch)
+	}
+	j.epoch = e
+	j.stats.Epoch = e
+	return nil
+}
+
+// AdvanceSeq moves the WAL cursor forward without writing records, so
+// the next Append is stamped seq+1. Promotion uses it to make a fresh
+// journal continue the old fleet's sequence numbering: the promoted
+// snapshot then covers seqs 1..seq, and a follower starting from 0 (or
+// any cursor inside the absorbed range) is correctly told it needs a
+// bootstrap rather than being handed a WAL tail that silently assumes
+// empty base state. The cursor may not move backwards — that would let
+// two records share a seq.
+func (j *Journal) AdvanceSeq(seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq < j.stats.LastSeq {
+		return fmt.Errorf("journal: seq cursor may not regress (%d < %d)", seq, j.stats.LastSeq)
+	}
+	j.stats.LastSeq = seq
+	return nil
 }
 
 // Close releases the WAL file. It does not snapshot; callers wanting a

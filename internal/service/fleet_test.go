@@ -1,0 +1,327 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"takegrant/internal/fault"
+	"takegrant/internal/health"
+	"takegrant/internal/shard"
+	"takegrant/internal/specimens"
+)
+
+// TestHealthzReadyz pins the two probes' contracts: /healthz is process
+// liveness (always 200 while serving), /readyz is role-aware readiness
+// that goes 503 with a named reason while catching up or degraded.
+func TestHealthzReadyz(t *testing.T) {
+	leader := New()
+	if _, err := leader.AttachJournal(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	lh := leader.Handler()
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := putGraphNS(t, lh, "", src); code != http.StatusOK {
+		t.Fatalf("PUT /graph = %d", code)
+	}
+
+	var hz map[string]any
+	if code := do(t, lh, http.MethodGet, "/healthz", "", &hz); code != http.StatusOK || hz["ok"] != true {
+		t.Fatalf("leader /healthz = %d %v", code, hz)
+	}
+	var rz map[string]any
+	if code := do(t, lh, http.MethodGet, "/readyz", "", &rz); code != http.StatusOK {
+		t.Fatalf("leader /readyz = %d %v", code, rz)
+	}
+	if rz["role"] != "leader" || rz["ready"] != true {
+		t.Fatalf("leader readyz report = %v", rz)
+	}
+
+	// A replica of a dead leader is alive but not ready: it never drew
+	// level, so routing traffic to it would serve a stale void.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	orphan := New()
+	if err := orphan.StartReplica(dead.URL, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer orphan.Close()
+	oh := orphan.Handler()
+	if code := do(t, oh, http.MethodGet, "/healthz", "", &hz); code != http.StatusOK {
+		t.Fatalf("orphan /healthz = %d", code)
+	}
+	waitFor(t, "orphan to report itself unready", func() bool {
+		var r map[string]any
+		return do(t, oh, http.MethodGet, "/readyz", "", &r) == http.StatusServiceUnavailable
+	})
+	if code := do(t, oh, http.MethodGet, "/readyz", "", &rz); code != http.StatusServiceUnavailable {
+		t.Fatalf("orphan /readyz = %d", code)
+	}
+	reasons := fmt.Sprint(rz["reasons"])
+	if rz["role"] != "replica" || !strings.Contains(reasons, "catching_up") {
+		t.Fatalf("orphan readyz report = %v", rz)
+	}
+
+	// A caught-up replica of a live leader is ready, in the replica role.
+	ts := httptest.NewServer(lh)
+	defer ts.Close()
+	follower := New()
+	if err := follower.StartReplica(ts.URL, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	fh := follower.Handler()
+	waitFor(t, "follower readyz", func() bool {
+		var r map[string]any
+		return do(t, fh, http.MethodGet, "/readyz", "", &r) == http.StatusOK
+	})
+	if code := do(t, fh, http.MethodGet, "/readyz", "", &rz); code != http.StatusOK ||
+		rz["role"] != "replica" || rz["read_only"] != true {
+		t.Fatalf("follower readyz = %d %v", code, rz)
+	}
+
+	// A torn append degrades the journal; readiness must say so while
+	// liveness stays green — restart-the-process is the wrong remedy.
+	fault.SetErr("journal:append-write", func() error { return fmt.Errorf("injected disk death") })
+	code := do(t, lh, http.MethodPost, "/apply", `{"op":"create","x":"low","name":"doomed","kind":"object","rights":"r"}`, nil)
+	fault.Clear("journal:append-write")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("apply with dead disk = %d, want 503", code)
+	}
+	if code := do(t, lh, http.MethodGet, "/healthz", "", &hz); code != http.StatusOK {
+		t.Fatalf("degraded /healthz = %d, want 200 (still alive)", code)
+	}
+	if code := do(t, lh, http.MethodGet, "/readyz", "", &rz); code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /readyz = %d, want 503", code)
+	}
+	if !strings.Contains(fmt.Sprint(rz["reasons"]), "degraded_journal") {
+		t.Fatalf("degraded readyz reasons = %v", rz["reasons"])
+	}
+}
+
+// TestShardRoutingFailsOverDeadPeers pins the tentpole routing rule: the
+// ring still names a dead peer as owner, but the router stops 307-ing
+// into the corpse — reads divert to the standing replica, mutations get
+// an honest 503 with Retry-After.
+func TestShardRoutingFailsOverDeadPeers(t *testing.T) {
+	srv := New()
+	defer srv.Close()
+	self := "http://self.test"
+	peer := "http://peer.test"
+	failover := "http://replica.test"
+
+	// Find a namespace each of us owns, so both routing arms are exercised.
+	ring := shard.New([]string{self, peer})
+	ownedByPeer, ownedBySelf := "", ""
+	for i := 0; i < 64 && (ownedByPeer == "" || ownedBySelf == ""); i++ {
+		ns := fmt.Sprintf("tenant%d", i)
+		if ring.Owner(ns) == peer {
+			ownedByPeer = ns
+		} else {
+			ownedBySelf = ns
+		}
+	}
+	if ownedByPeer == "" || ownedBySelf == "" {
+		t.Fatal("ring never split ownership across two peers")
+	}
+
+	// A scripted prober: peerDown flips the probe verdict, threshold 1
+	// makes a single failed round decisive.
+	var peerDown atomic.Bool
+	prober := health.New([]string{peer}, health.Options{
+		Interval:      5 * time.Millisecond,
+		FailThreshold: 1,
+		Probe: func(ctx context.Context, p string) error {
+			if peerDown.Load() {
+				return fmt.Errorf("injected partition")
+			}
+			return nil
+		},
+	})
+	prober.Start()
+	defer prober.Stop()
+	srv.SetHealthProber(prober)
+
+	h, err := srv.ShardRedirect(self+","+peer, self, failover, srv.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	redirect := func(method, target string) (int, string, http.Header) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(method, target, nil)
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Header().Get("Location"), rec.Header()
+	}
+
+	// Healthy peer: plain 307 to the owner, method preserved by the code.
+	code, loc, _ := redirect(http.MethodGet, "/levels?ns="+ownedByPeer)
+	if code != http.StatusTemporaryRedirect || !strings.HasPrefix(loc, peer) {
+		t.Fatalf("healthy redirect = %d -> %q, want 307 -> %s...", code, loc, peer)
+	}
+
+	peerDown.Store(true)
+	waitFor(t, "prober to mark peer down", func() bool { return !prober.Healthy(peer) })
+
+	// Reads fail over to the replica serving every namespace.
+	code, loc, _ = redirect(http.MethodGet, "/levels?ns="+ownedByPeer)
+	if code != http.StatusTemporaryRedirect || !strings.HasPrefix(loc, failover) {
+		t.Fatalf("failover read = %d -> %q, want 307 -> %s...", code, loc, failover)
+	}
+
+	// Mutations cannot go anywhere else without splitting the brain.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/apply?ns="+ownedByPeer, strings.NewReader(`{}`))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("mutation for dead owner = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 peer_down without Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "peer_down") {
+		t.Fatalf("503 body = %s, want peer_down code", rec.Body.String())
+	}
+
+	// Locally owned namespaces are served regardless of the peer's health.
+	code, _, _ = redirect(http.MethodGet, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("local /stats while peer down = %d", code)
+	}
+
+	st := srv.Stats()
+	if st.Fleet.FailoverReads == 0 || st.Fleet.PeerUnavailable == 0 {
+		t.Fatalf("fleet counters did not move: %+v", st.Fleet)
+	}
+	if ps, ok := st.Peers[peer]; !ok || ps.Up {
+		t.Fatalf("stats peers = %+v, want %s down", st.Peers, peer)
+	}
+
+	// Recovery: the peer comes back, one good probe restores routing.
+	peerDown.Store(false)
+	waitFor(t, "prober to mark peer up", func() bool { return prober.Healthy(peer) })
+	code, loc, _ = redirect(http.MethodGet, "/levels?ns="+ownedByPeer)
+	if code != http.StatusTemporaryRedirect || !strings.HasPrefix(loc, peer) {
+		t.Fatalf("post-recovery redirect = %d -> %q, want 307 -> %s...", code, loc, peer)
+	}
+}
+
+// TestPollBackoff pins the backoff curve: base cadence while healthy,
+// exponential growth with bounded jitter once failing, a hard 30s cap,
+// and never below base.
+func TestPollBackoff(t *testing.T) {
+	base := time.Second
+	if got := pollBackoff(base, 0, 0.5); got != base {
+		t.Fatalf("fails=0 = %v, want base", got)
+	}
+	// jitter=0.5 lands exactly on the midpoint: base·2^(fails-1).
+	for fails, want := 1, base; fails <= 5; fails++ {
+		if got := pollBackoff(base, fails, 0.5); got != want {
+			t.Fatalf("fails=%d jitter=0.5 = %v, want %v", fails, got, want)
+		}
+		want *= 2
+	}
+	// Jitter bounds: [0.5·b, 1.5·b) around the midpoint.
+	if got := pollBackoff(base, 3, 0); got != 2*time.Second {
+		t.Fatalf("fails=3 jitter=0 = %v, want 2s (half of 4s midpoint)", got)
+	}
+	if got := pollBackoff(base, 3, 0.999); got < 4*time.Second || got >= 6*time.Second {
+		t.Fatalf("fails=3 jitter=0.999 = %v, want just under 6s", got)
+	}
+	// The cap holds even for absurd failure counts (and must not overflow).
+	for _, fails := range []int{10, 40, 1000} {
+		if got := pollBackoff(base, fails, 0.999); got > maxPollBackoff {
+			t.Fatalf("fails=%d = %v, exceeds cap", fails, got)
+		}
+	}
+	// Never below base, whatever the jitter draw.
+	if got := pollBackoff(base, 1, 0); got < base {
+		t.Fatalf("fails=1 jitter=0 = %v, below base", got)
+	}
+}
+
+// TestReplicaSyncsPastFailingNamespace is the satellite-1 regression
+// test: one namespace's sync failure must not starve the others in the
+// same poll round. The old code aborted the round at the first error.
+func TestReplicaSyncsPastFailingNamespace(t *testing.T) {
+	leader := New()
+	if _, err := leader.AttachJournal(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	lh := leader.Handler()
+	ts := httptest.NewServer(lh)
+	defer ts.Close()
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two namespaces; "default" sorts before "tenant1", so the injected
+	// default failure would have shadowed tenant1 under first-error-aborts.
+	if code := putGraphNS(t, lh, "", src); code != http.StatusOK {
+		t.Fatalf("PUT default = %d", code)
+	}
+	if code := putGraphNS(t, lh, "tenant1", src); code != http.StatusOK {
+		t.Fatalf("PUT tenant1 = %d", code)
+	}
+
+	follower := New()
+	if err := follower.StartReplica(ts.URL, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	rev := leader.Stats().Revision
+	waitFor(t, "initial catch-up", func() bool { return follower.Stats().Revision == rev })
+
+	// Partition the default namespace's sync only.
+	fault.SetErr("repl:sync:default", func() error { return fmt.Errorf("injected partition") })
+	defer fault.Clear("repl:sync:default")
+
+	// Advance both namespaces on the leader.
+	if code := do(t, lh, http.MethodPost, "/apply?ns=tenant1", `{"op":"create","x":"low","name":"t1_new","kind":"object","rights":"r"}`, nil); code != http.StatusOK {
+		t.Fatalf("apply tenant1 = %d", code)
+	}
+	if code := do(t, lh, http.MethodPost, "/apply", `{"op":"create","x":"low","name":"d_new","kind":"object","rights":"r"}`, nil); code != http.StatusOK {
+		t.Fatalf("apply default = %d", code)
+	}
+	t1rev := leader.Stats().Namespaces["tenant1"].Revision
+
+	// tenant1 keeps flowing while default is partitioned, and the round's
+	// error names the namespace that failed.
+	waitFor(t, "tenant1 to advance past the default partition", func() bool {
+		st := follower.Stats()
+		ns, ok := st.Namespaces["tenant1"]
+		return ok && ns.Revision == t1rev
+	})
+	waitFor(t, "round error to name the failing namespace", func() bool {
+		st := follower.Stats()
+		return st.Replication != nil && strings.Contains(st.Replication.LastError, `"default"`)
+	})
+	if got := follower.Stats().Namespaces["default"].Revision; got == leader.Stats().Namespaces["default"].Revision {
+		t.Fatal("default advanced through an injected partition")
+	}
+	// A partially failing round must not back off the poll loop: the
+	// healthy namespaces are still being served on cadence.
+	if st := follower.Stats(); st.Replication.ConsecutiveFailures != 0 {
+		t.Fatalf("partial failure counted as a failed round: %+v", st.Replication)
+	}
+
+	// Heal the partition: default converges too.
+	fault.Clear("repl:sync:default")
+	drev := leader.Stats().Namespaces["default"].Revision
+	waitFor(t, "default to converge after heal", func() bool {
+		ns, ok := follower.Stats().Namespaces["default"]
+		return ok && ns.Revision == drev
+	})
+}

@@ -1,0 +1,74 @@
+// Health endpoints. /healthz is pure liveness — "is the process serving
+// HTTP" — the signal the peer prober consumes; it must stay allocation-
+// light and lock-free. /readyz is readiness: whether this node should
+// receive traffic right now, distinguishing a degraded journal (mutations
+// frozen), a replica still catching up (reads would be arbitrarily
+// stale), and a healthy read-only replica (ready, but mutations bounce).
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+// ReadyReport is the GET /readyz body.
+type ReadyReport struct {
+	Ready bool `json:"ready"`
+	// Role is "leader" or "replica".
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch"`
+	// ReadOnly marks a replica (mutations answer 503 read_only).
+	ReadOnly bool `json:"read_only,omitempty"`
+	// Reasons names what blocks readiness: "degraded_journal" (a journal
+	// write failure froze mutations), "catching_up" (replica has never
+	// drawn level with its leader). Empty when ready.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+func (s *Server) readyReport() ReadyReport {
+	rep := ReadyReport{
+		Role:     "leader",
+		Epoch:    s.epoch.Load(),
+		ReadOnly: s.readOnly.Load(),
+		Reasons:  []string{},
+	}
+	if rep.ReadOnly {
+		rep.Role = "replica"
+	}
+	for _, n := range s.allNS() {
+		n.mu.RLock()
+		degraded := n.degraded != nil
+		n.mu.RUnlock()
+		if degraded {
+			rep.Reasons = append(rep.Reasons, "degraded_journal")
+			break
+		}
+	}
+	if r := s.repl.Load(); r != nil {
+		r.mu.Lock()
+		everLevel := !r.lastCaughtUp.IsZero()
+		r.mu.Unlock()
+		// A replica that has never drawn level is mid-bootstrap: serving
+		// reads from it would hand out arbitrarily stale verdicts. Once it
+		// has been level, transient lag does not flip readiness — the lag
+		// gauges exist for that.
+		if !everLevel {
+			rep.Reasons = append(rep.Reasons, "catching_up")
+		}
+	}
+	rep.Ready = len(rep.Reasons) == 0
+	return rep
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rep := s.readyReport()
+	w.Header().Set("Content-Type", "application/json")
+	if !rep.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(rep)
+}

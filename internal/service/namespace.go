@@ -268,10 +268,14 @@ func (s *Server) withNSCreate(h func(*namespace, http.ResponseWriter, *http.Requ
 	}
 }
 
-// refuseReadOnly rejects mutations on a replica.
+// refuseReadOnly rejects mutations on a replica. Promotion clears the
+// flag (and the replicator) under live traffic, hence the atomics.
 func (s *Server) refuseReadOnly() error {
-	if !s.readOnly {
+	if !s.readOnly.Load() {
 		return nil
 	}
-	return fmt.Errorf("this node is a read replica of %s; send mutations to the leader", s.repl.leader)
+	if r := s.repl.Load(); r != nil {
+		return fmt.Errorf("this node is a read replica of %s; send mutations to the leader", r.leader)
+	}
+	return fmt.Errorf("this node is read-only; send mutations to the leader")
 }

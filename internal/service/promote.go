@@ -1,0 +1,194 @@
+// Promotion: turning a caught-up read replica into the leader after the
+// old one dies. The critical invariant is the leader epoch — the fencing
+// token that keeps a resurrected old leader from splitting the brain:
+// promotion bumps the epoch past everything this follower ever saw, opens
+// fresh journals stamped with it, and writes an immediate snapshot so the
+// bump survives a crash. From then on every /replication/* response
+// carries the new epoch; the old leader, answering under the smaller one,
+// is refused by followers (ErrStaleEpoch) and refuses followers that have
+// seen the new one (409 stale_epoch).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+
+	"takegrant/internal/obs"
+	"takegrant/internal/tgio"
+)
+
+// ErrNotReplica reports a promotion request on a node that is not
+// tailing a leader; ErrNotCaughtUp one on a replica still behind.
+var (
+	ErrNotReplica  = errors.New("not a replica")
+	ErrNotCaughtUp = errors.New("replica not caught up")
+)
+
+// PromoteResult reports a successful promotion.
+type PromoteResult struct {
+	Epoch   uint64 `json:"epoch"`
+	DataDir string `json:"data_dir"`
+	// Namespaces is how many protection systems the new leader now owns.
+	Namespaces int `json:"namespaces"`
+}
+
+// Promote turns this read replica into a leader: stop tailing, bump the
+// leader epoch past everything seen, open a journal per namespace under
+// dataDir (which must not hold prior state — the replica's in-memory
+// state IS the state), snapshot immediately so the epoch bump is
+// durable, and start accepting mutations.
+//
+// Unless force is set, promotion requires the replica to be caught up:
+// zero records behind and at least one round that drew level — promoting
+// a follower that never caught up would silently discard acknowledged
+// leader writes. force exists for the disaster case where the operator
+// accepts that loss.
+func (s *Server) Promote(dataDir string, force bool) (PromoteResult, error) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	var zero PromoteResult
+	r := s.repl.Load()
+	if r == nil {
+		return zero, fmt.Errorf("%w: already a leader, or never started with -replica-of", ErrNotReplica)
+	}
+	if dataDir == "" {
+		return zero, fmt.Errorf("promotion needs a data directory for the new leader's journal (-promote-data or the request's data_dir)")
+	}
+	r.mu.Lock()
+	behind := r.behind
+	everLevel := !r.lastCaughtUp.IsZero()
+	seen := r.seenEpoch
+	r.mu.Unlock()
+	if !force && (behind != 0 || !everLevel) {
+		return zero, fmt.Errorf("%w (%d records behind, drew level: %v); retry once level or pass force",
+			ErrNotCaughtUp, behind, everLevel)
+	}
+	// The directory must be fresh: attaching over prior state would
+	// replay it over the replica's live graphs.
+	if entries, err := os.ReadDir(dataDir); err == nil && len(entries) > 0 {
+		return zero, fmt.Errorf("promote data directory %s is not empty; a new leader's journal must start fresh", dataDir)
+	}
+
+	// Stop tailing first: after this no replication goroutine touches the
+	// namespaces, so attaching journals below owns them via their locks.
+	r.stop()
+
+	newEpoch := s.epoch.Load()
+	if seen > newEpoch {
+		newEpoch = seen
+	}
+	newEpoch++
+	s.raiseEpoch(newEpoch)
+
+	s.dataDir = dataDir
+	spaces := s.allNS()
+	for _, n := range spaces {
+		n.mu.Lock()
+		// Normalize to canonical form first: this node's graph was built by
+		// replaying the old leader's WAL, so its internal ordering reflects
+		// that replay. Its own future recovery and its followers' bootstraps
+		// will instead build from the canonical snapshot text — re-parse
+		// that text now so all three orderings agree and the promotion
+		// chain serves byte-identical responses, not merely equivalent ones.
+		rev, gen := n.g.Revision(), n.gen
+		g, err := tgio.ParseString(tgio.WriteString(n.g))
+		if err != nil {
+			n.mu.Unlock()
+			s.dataDir = ""
+			return zero, fmt.Errorf("namespace %q: canonical state does not re-parse: %w", n.name, err)
+		}
+		n.install(g, s.cfg.HierarchyWorkers)
+		g.RestoreRevision(rev)
+		n.gen = gen
+		recovered, err := s.attachNS(n, s.nsDir(n.name))
+		if err == nil && recovered {
+			err = fmt.Errorf("directory %s already held journal state", s.nsDir(n.name))
+		}
+		if err != nil {
+			n.mu.Unlock()
+			// Half-promoted is unsafe to serve writes from; leave readOnly
+			// set so mutations keep bouncing, and report loudly.
+			s.dataDir = ""
+			return zero, fmt.Errorf("namespace %q: opening new leader journal: %w", n.name, err)
+		}
+		// Continue the fleet's WAL numbering: the fresh journal's cursor
+		// advances to the last seq this replica applied, so the snapshot
+		// below covers seqs 1..applied and the first post-promotion Append
+		// is applied+1. Without this the new journal would restart at seq 1
+		// over non-empty state, and Follow(0) would hand a fresh follower a
+		// "gapless" WAL tail that assumes an empty base graph.
+		if err := n.journal.j.AdvanceSeq(n.appliedSeq.Load()); err != nil {
+			n.mu.Unlock()
+			s.dataDir = ""
+			return zero, fmt.Errorf("namespace %q: advancing WAL cursor: %w", n.name, err)
+		}
+		// Durability point: the snapshot persists the replica's exact state
+		// under the new epoch, so a crash right here restarts as a leader
+		// at the bumped epoch, not as a confused follower.
+		s.snapshotLocked(n)
+		n.mu.Unlock()
+	}
+
+	s.repl.Store(nil)
+	s.readOnly.Store(false)
+	s.logger.LogAttrs(context.Background(), slog.LevelInfo, "promotion",
+		slog.String("old_leader", r.leader),
+		slog.Uint64("epoch", newEpoch),
+		slog.String("data_dir", dataDir),
+		slog.Int("namespaces", len(spaces)),
+	)
+	s.flight.Record(obs.FlightEvent{
+		Kind:   "promotion",
+		Detail: fmt.Sprintf("promoted to leader at epoch %d (was replica of %s)", newEpoch, r.leader),
+	})
+	return PromoteResult{Epoch: newEpoch, DataDir: dataDir, Namespaces: len(spaces)}, nil
+}
+
+// promoteRequest is the optional POST /admin/promote body.
+type promoteRequest struct {
+	// DataDir overrides the server's configured promote directory.
+	DataDir string `json:"data_dir,omitempty"`
+	// Force skips the caught-up gate (accepts losing un-replicated
+	// leader writes).
+	Force bool `json:"force,omitempty"`
+}
+
+// handlePromote is POST /admin/promote: the operator's (or an
+// orchestrator's) lever for failing over to this replica.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req promoteRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	dataDir := req.DataDir
+	if dataDir == "" {
+		dataDir = s.cfg.PromoteDataDir
+	}
+	res, err := s.Promote(dataDir, req.Force)
+	if err != nil {
+		code := "promote_failed"
+		switch {
+		case errors.Is(err, ErrNotReplica):
+			code = "not_replica"
+		case errors.Is(err, ErrNotCaughtUp):
+			code = "not_caught_up"
+		}
+		writeErrCode(w, http.StatusConflict, code, err)
+		return
+	}
+	writeJSON(w, res)
+}

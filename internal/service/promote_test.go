@@ -1,0 +1,262 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"takegrant/internal/specimens"
+)
+
+// TestPromoteFollowerToLeader is the failover story end to end, in
+// process: a journaled leader ships state to a follower; the follower is
+// promoted; it must accept mutations under a bumped epoch, ship to a new
+// follower of its own, and the old leader — still running — must be
+// fenced by the epoch protocol on both sides.
+func TestPromoteFollowerToLeader(t *testing.T) {
+	leader := New()
+	if _, err := leader.AttachJournal(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	lh := leader.Handler()
+	ts := httptest.NewServer(lh)
+	defer ts.Close()
+
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := putGraphNS(t, lh, "", src); code != http.StatusOK {
+		t.Fatalf("leader load = %d", code)
+	}
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"op":"create","x":"low","name":"pre_%d","kind":"object","rights":"r"}`, i)
+		if code := do(t, lh, http.MethodPost, "/apply", body, nil); code != http.StatusOK {
+			t.Fatalf("leader create %d = %d", i, code)
+		}
+	}
+	if e := leader.Epoch(); e != 1 {
+		t.Fatalf("fresh leader epoch = %d, want 1", e)
+	}
+
+	follower := New()
+	if err := follower.StartReplica(ts.URL, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	fh := follower.Handler()
+	leaderRev := leader.Stats().Revision
+	waitFor(t, "follower catch-up", func() bool {
+		st := follower.Stats()
+		return st.Revision == leaderRev && st.Replication != nil && st.Replication.BehindRecords == 0
+	})
+	// The follower tracked the leader's epoch from the response headers.
+	waitFor(t, "epoch observed", func() bool {
+		st := follower.Stats()
+		return st.Replication != nil && st.Replication.LeaderEpoch == 1
+	})
+
+	// Promoting a leader is refused.
+	var eb map[string]any
+	if code := do(t, lh, http.MethodPost, "/admin/promote", `{}`, &eb); code != http.StatusConflict {
+		t.Fatalf("promote on a leader = %d, want 409", code)
+	} else if eb["code"] != "not_replica" {
+		t.Fatalf("promote on a leader code = %v", eb["code"])
+	}
+
+	// Promote the follower over HTTP, naming a fresh journal directory.
+	promoteDir := t.TempDir()
+	var res map[string]any
+	body := fmt.Sprintf(`{"data_dir":%q}`, promoteDir)
+	if code := do(t, fh, http.MethodPost, "/admin/promote", body, &res); code != http.StatusOK {
+		t.Fatalf("promote = %d: %v", code, res)
+	}
+	if res["epoch"].(float64) != 2 {
+		t.Fatalf("promoted epoch = %v, want 2", res["epoch"])
+	}
+	if follower.Epoch() != 2 {
+		t.Fatalf("server epoch after promote = %d, want 2", follower.Epoch())
+	}
+
+	// The new leader accepts mutations and journals them.
+	if code := do(t, fh, http.MethodPost, "/apply", `{"op":"create","x":"low","name":"post_promote","kind":"object","rights":"r"}`, nil); code != http.StatusOK {
+		t.Fatalf("promoted leader POST /apply = %d, want 200", code)
+	}
+	st := follower.Stats()
+	if st.ReadOnly {
+		t.Fatal("promoted leader still read_only")
+	}
+	if st.Journal == nil {
+		t.Fatal("promoted leader has no journal stats")
+	}
+	rep := follower.readyReport()
+	if !rep.Ready || rep.Role != "leader" || rep.Epoch != 2 {
+		t.Fatalf("promoted readyz = %+v", rep)
+	}
+
+	// Promotion is once: a second call is not_replica.
+	if code := do(t, fh, http.MethodPost, "/admin/promote", `{}`, &eb); code != http.StatusConflict || eb["code"] != "not_replica" {
+		t.Fatalf("second promote = %d %v", code, eb)
+	}
+
+	// A fresh follower of the promoted leader converges and sees epoch 2 —
+	// the promoted node is a fully functional leader, not a zombie.
+	fts := httptest.NewServer(fh)
+	defer fts.Close()
+	c := New()
+	if err := c.StartReplica(fts.URL, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	newRev := follower.Stats().Revision
+	waitFor(t, "second-generation follower catch-up", func() bool {
+		st := c.Stats()
+		return st.Revision == newRev && st.Replication != nil && st.Replication.LeaderEpoch == 2
+	})
+	// Byte-identical state across the promotion chain.
+	lRec, cRec := httptest.NewRecorder(), httptest.NewRecorder()
+	fh.ServeHTTP(lRec, httptest.NewRequest(http.MethodGet, "/graph", nil))
+	c.Handler().ServeHTTP(cRec, httptest.NewRequest(http.MethodGet, "/graph", nil))
+	if lRec.Body.String() != cRec.Body.String() {
+		t.Fatal("promoted leader and its follower diverge")
+	}
+
+	// Server-side fencing: the old leader (epoch 1) refuses a caller that
+	// has seen epoch 2 — exactly what the promoted fleet's followers send.
+	rec := httptest.NewRecorder()
+	lh.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/replication/namespaces?epoch=2", nil))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("old leader with epoch claim = %d, want 409", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "stale_epoch") {
+		t.Fatalf("old leader refusal body: %s", rec.Body.String())
+	}
+	if got := rec.Header().Get(epochHeader); got != "1" {
+		t.Fatalf("old leader epoch header = %q, want 1", got)
+	}
+	if leader.Stats().Fleet.StaleEpoch == 0 {
+		t.Fatal("stale_epoch counter did not move")
+	}
+
+	// Client-side fencing: a replicator that has seen epoch 2 refuses an
+	// epoch-1 response even if the stale leader fails to fence it.
+	r2 := &replicator{seenEpoch: 2}
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set(epochHeader, "1")
+	if err := r2.observeEpoch(resp); err == nil {
+		t.Fatal("observeEpoch accepted a stale leader")
+	}
+	resp.Header.Set(epochHeader, "3")
+	if err := r2.observeEpoch(resp); err != nil || r2.seenEpoch != 3 {
+		t.Fatalf("observeEpoch newer: err=%v seen=%d", err, r2.seenEpoch)
+	}
+	// Pre-epoch leaders (no header) skip the check for compatibility.
+	if err := r2.observeEpoch(&http.Response{Header: http.Header{}}); err != nil {
+		t.Fatalf("observeEpoch without header: %v", err)
+	}
+}
+
+// TestPromotedEpochSurvivesRestart pins durability: a promoted leader
+// that crashes restarts at its bumped epoch with its exact state — the
+// fence does not die with the process.
+func TestPromotedEpochSurvivesRestart(t *testing.T) {
+	leader := New()
+	if _, err := leader.AttachJournal(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	lh := leader.Handler()
+	ts := httptest.NewServer(lh)
+	defer ts.Close()
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := putGraphNS(t, lh, "", src); code != http.StatusOK {
+		t.Fatalf("leader load = %d", code)
+	}
+
+	follower := New()
+	if err := follower.StartReplica(ts.URL, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	rev := leader.Stats().Revision
+	waitFor(t, "catch-up", func() bool {
+		st := follower.Stats()
+		return st.Revision == rev && st.Replication != nil && st.Replication.BehindRecords == 0
+	})
+	promoteDir := t.TempDir()
+	if _, err := follower.Promote(promoteDir, false); err != nil {
+		t.Fatal(err)
+	}
+	wantText := do2Text(t, follower.Handler(), "/graph")
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server recovering from the promoted journal.
+	reborn := New()
+	recovered, err := reborn.AttachJournal(promoteDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	if !recovered {
+		t.Fatal("promoted journal held no recoverable state")
+	}
+	if reborn.Epoch() != 2 {
+		t.Fatalf("recovered epoch = %d, want 2", reborn.Epoch())
+	}
+	if got := do2Text(t, reborn.Handler(), "/graph"); got != wantText {
+		t.Fatal("recovered graph text diverges from the promoted state")
+	}
+	if st := reborn.Stats(); st.Revision != rev {
+		t.Fatalf("recovered revision = %d, want %d", st.Revision, rev)
+	}
+}
+
+// TestPromoteGates pins the refusals: not caught up without force, dirty
+// target directory, missing data directory.
+func TestPromoteGates(t *testing.T) {
+	// A replica of a dead leader never catches up.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	f := New()
+	if err := f.StartReplica(dead.URL, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Promote(t.TempDir(), false); err == nil {
+		t.Fatal("promote accepted a replica that never caught up")
+	}
+	if _, err := f.Promote("", true); err == nil {
+		t.Fatal("promote accepted an empty data directory")
+	}
+	// force promotes anyway — the disaster lever.
+	dir := t.TempDir()
+	if _, err := f.Promote(dir, true); err != nil {
+		t.Fatalf("forced promote: %v", err)
+	}
+	if f.Epoch() < 2 {
+		t.Fatalf("forced promote epoch = %d, want >= 2", f.Epoch())
+	}
+	if err := f.refuseReadOnly(); err != nil {
+		t.Fatalf("forced-promoted leader still read-only: %v", err)
+	}
+}
+
+func do2Text(t *testing.T, h http.Handler, target string) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d", target, rec.Code)
+	}
+	return rec.Body.String()
+}

@@ -9,9 +9,13 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -19,16 +23,92 @@ import (
 	"sync"
 	"time"
 
+	"takegrant/internal/fault"
 	"takegrant/internal/journal"
 	"takegrant/internal/obs"
 	"takegrant/internal/tgio"
 )
+
+// ErrStaleEpoch reports a leader answering under a smaller epoch than
+// this follower has already seen — a resurrected old leader. Its frames
+// must not be applied: the fleet moved on when a follower was promoted.
+var ErrStaleEpoch = errors.New("stale leader epoch")
 
 // errNoJournal answers replication requests on a node with nothing to
 // ship (no -data directory, or a follower being asked to chain).
 func errNoJournal(w http.ResponseWriter) {
 	writeErrCode(w, http.StatusServiceUnavailable, "replication_unavailable",
 		fmt.Errorf("this node has no journal to ship; start the leader with -data"))
+}
+
+// epochHeader carries the serving node's leader epoch on every
+// /replication/* response — the fencing token followers track.
+const epochHeader = "X-Takegrant-Epoch"
+
+// fenced wraps a /replication/* handler in the epoch protocol: every
+// response echoes this node's epoch, and a request asserting ?epoch=E
+// is refused with 409 stale_epoch when this node's epoch is smaller —
+// the caller has seen a newer leader, so this node is the resurrected
+// old one and must not ship frames.
+func (s *Server) fenced(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		own := s.epoch.Load()
+		w.Header().Set(epochHeader, strconv.FormatUint(own, 10))
+		if claim := r.URL.Query().Get("epoch"); claim != "" {
+			e, err := strconv.ParseUint(claim, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad epoch=%q: %w", claim, err))
+				return
+			}
+			if e > own {
+				s.fleet.staleEpoch.Add(1)
+				s.flight.Record(obs.FlightEvent{
+					Kind: "fence", Route: r.URL.Path, Code: http.StatusConflict,
+					Detail: fmt.Sprintf("refused: caller saw epoch %d, this node serves %d", e, own),
+				})
+				writeErrCode(w, http.StatusConflict, "stale_epoch",
+					fmt.Errorf("this node's leader epoch %d is stale: the fleet has moved to %d", own, e))
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// replDigest is the GET /replication/digest body: the namespace's state
+// fingerprint. Digest is the sha256 of the canonical .tg text — the same
+// text bootstrap ships — so equal digests at equal (revision, generation)
+// mean byte-identical state.
+type replDigest struct {
+	Revision   uint64 `json:"revision"`
+	Generation uint64 `json:"generation"`
+	Digest     string `json:"digest"`
+}
+
+// handleReplDigest serves the anti-entropy fingerprint. Unlike the other
+// /replication/* routes it needs no journal: followers serve it too, so
+// any two nodes can be cross-checked.
+func (s *Server) handleReplDigest(n *namespace, w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	d := replDigest{
+		Revision:   n.g.Revision(),
+		Generation: n.gen,
+		Digest:     n.digestLocked(obs.ProbeFrom(r.Context())),
+	}
+	n.mu.RUnlock()
+	writeJSON(w, d)
+}
+
+// digestLocked fingerprints the namespace's canonical text, memoized in
+// the query cache at the current (generation, revision) — repeated
+// digest checks at an unchanged revision cost one map lookup. Callers
+// hold at least the read lock.
+func (n *namespace) digestLocked(p *obs.Probe) string {
+	v, _ := n.cachedErr(p, "digest", "", func() (any, error) {
+		sum := sha256.Sum256([]byte(tgio.WriteString(n.g)))
+		return hex.EncodeToString(sum[:]), nil
+	})
+	return v.(string)
 }
 
 // handleReplNamespaces lists the journaled namespaces a follower must
@@ -121,6 +201,16 @@ type ReplicationStats struct {
 	Rounds         uint64  `json:"rounds"`
 	Errors         uint64  `json:"errors"`
 	LastError      string  `json:"last_error,omitempty"`
+	// ConsecutiveFailures counts failed rounds since the last success;
+	// BackoffSeconds is the current poll delay they earned (0 = base poll).
+	ConsecutiveFailures int     `json:"consecutive_failures,omitempty"`
+	BackoffSeconds      float64 `json:"backoff_seconds,omitempty"`
+	// DigestChecks / DigestMismatches count anti-entropy verifications and
+	// the divergences that forced a re-bootstrap.
+	DigestChecks     uint64 `json:"digest_checks"`
+	DigestMismatches uint64 `json:"digest_mismatches"`
+	// LeaderEpoch is the highest epoch seen on any leader response.
+	LeaderEpoch uint64 `json:"leader_epoch"`
 }
 
 // replicator tails a leader's journals into this server's namespaces.
@@ -148,6 +238,16 @@ type replicator struct {
 	rounds       uint64
 	errors       uint64
 	lastErr      string
+	// failStreak counts consecutive failed rounds; backoff is the extended
+	// poll delay they earned (satellite: stop hammering a dead leader).
+	failStreak int
+	backoff    time.Duration
+	// seenEpoch is the highest leader epoch observed on any response;
+	// a response below it means a resurrected old leader (ErrStaleEpoch).
+	seenEpoch uint64
+	// digestChecks / digestMismatches are the anti-entropy counters.
+	digestChecks     uint64
+	digestMismatches uint64
 }
 
 // StartReplica turns this server into a read replica of leader: a
@@ -161,8 +261,8 @@ func (s *Server) StartReplica(leader string, poll time.Duration) error {
 	if s.dataDir != "" {
 		return fmt.Errorf("a replica cannot also own a journal: -data and -replica-of are mutually exclusive")
 	}
-	if s.repl != nil {
-		return fmt.Errorf("already replicating from %s", s.repl.leader)
+	if r := s.repl.Load(); r != nil {
+		return fmt.Errorf("already replicating from %s", r.leader)
 	}
 	if _, err := url.Parse(leader); err != nil || !strings.Contains(leader, "://") {
 		return fmt.Errorf("replica-of wants a base URL like http://host:port, got %q", leader)
@@ -180,8 +280,8 @@ func (s *Server) StartReplica(leader string, poll time.Duration) error {
 		done:   make(chan struct{}),
 		start:  time.Now(),
 	}
-	s.readOnly = true
-	s.repl = r
+	s.readOnly.Store(true)
+	s.repl.Store(r)
 	go r.run(ctx)
 	return nil
 }
@@ -191,14 +291,59 @@ func (r *replicator) stop() {
 	<-r.done
 }
 
+// maxPollBackoff caps the exponential poll backoff against a leader
+// that keeps failing.
+const maxPollBackoff = 30 * time.Second
+
+// pollBackoff computes the delay before the next round after `fails`
+// consecutive failed rounds: base·2^(fails-1) with ±50% jitter
+// (jitter ∈ [0,1) scales the spread), capped at maxPollBackoff. Zero
+// fails means the base poll — a healthy leader is polled on cadence.
+func pollBackoff(base time.Duration, fails int, jitter float64) time.Duration {
+	if fails <= 0 {
+		return base
+	}
+	b := base
+	for i := 1; i < fails; i++ {
+		b *= 2
+		if b >= maxPollBackoff || b <= 0 { // <=0 guards shift overflow
+			b = maxPollBackoff
+			break
+		}
+	}
+	// ±50%: scale into [0.5·b, 1.5·b), then re-cap.
+	b = b/2 + time.Duration(jitter*float64(b))
+	if b > maxPollBackoff {
+		b = maxPollBackoff
+	}
+	if b < base {
+		b = base
+	}
+	return b
+}
+
 func (r *replicator) run(ctx context.Context) {
 	defer close(r.done)
-	t := time.NewTicker(r.poll)
-	defer t.Stop()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {
-		r.pollOnce(ctx)
+		ok := r.pollOnce(ctx)
+		r.mu.Lock()
+		if ok {
+			r.failStreak = 0
+			r.backoff = 0
+		} else {
+			r.failStreak++
+			r.backoff = pollBackoff(r.poll, r.failStreak, rng.Float64())
+		}
+		wait := r.backoff
+		if wait == 0 {
+			wait = r.poll
+		}
+		r.mu.Unlock()
+		t := time.NewTimer(wait)
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return
 		case <-t.C:
 		}
@@ -210,7 +355,13 @@ func (r *replicator) run(ctx context.Context) {
 // moment we were last level. Each round runs under one trace context
 // carried outward to the leader, so the round's log line here and the
 // request lines there correlate on a single trace ID.
-func (r *replicator) pollOnce(ctx context.Context) {
+//
+// One bad namespace does not starve the others: every namespace is
+// attempted each round, per-namespace errors are aggregated into
+// lastErr, and the round only counts as failed for backoff purposes
+// (ok=false) when the leader itself is unreachable — the namespace list
+// fails, or every attempted sync fails.
+func (r *replicator) pollOnce(ctx context.Context) (ok bool) {
 	r.tc = obs.NewTraceContext()
 	start := time.Now()
 	appliedBefore := r.applied
@@ -223,37 +374,55 @@ func (r *replicator) pollOnce(ctx context.Context) {
 	}
 	if err := r.get(ctx, "/replication/namespaces", &list); err != nil {
 		r.fail(err)
-		return
+		return false
 	}
 	var behind uint64
+	var errs []error
+	attempted, failed := 0, 0
 	for _, name := range list.Namespaces {
 		if !validNSName(name) && name != DefaultNamespace {
 			continue
 		}
+		attempted++
 		n, err := r.s.ensureNS(name)
 		if err != nil {
-			r.fail(err)
-			return
+			errs = append(errs, fmt.Errorf("namespace %q: %w", name, err))
+			failed++
+			continue
 		}
-		b, err := r.syncNS(ctx, n)
+		b, applied, err := r.syncNS(ctx, n)
 		if err != nil {
-			r.fail(fmt.Errorf("namespace %q: %w", name, err))
-			return
+			errs = append(errs, fmt.Errorf("namespace %q: %w", name, err))
+			failed++
+			continue
 		}
 		behind += b
+		// Anti-entropy: after a sync that changed this namespace, verify
+		// the state fingerprint against the leader's. A quiet namespace is
+		// not re-verified every round.
+		if applied && b == 0 {
+			if err := r.verifyDigest(ctx, n); err != nil {
+				errs = append(errs, fmt.Errorf("namespace %q digest: %w", name, err))
+			}
+		}
 	}
 
 	r.mu.Lock()
 	r.behind = behind
-	if behind == 0 {
+	if len(errs) == 0 && behind == 0 {
 		r.caughtUp = true
 		r.lastCaughtUp = time.Now()
 	} else {
 		r.caughtUp = false
 	}
-	r.lastErr = ""
+	if len(errs) == 0 {
+		r.lastErr = ""
+	}
 	applied := r.applied
 	r.mu.Unlock()
+	if len(errs) > 0 {
+		r.fail(errors.Join(errs...))
+	}
 
 	// Quiet rounds (nothing replayed, already level) stay out of the log
 	// and the flight ring — at a 500ms poll they would be pure noise.
@@ -270,6 +439,7 @@ func (r *replicator) pollOnce(ctx context.Context) {
 			Detail: fmt.Sprintf("round applied %d records, %d behind", delta, behind),
 		})
 	}
+	return attempted == 0 || failed < attempted
 }
 
 func (r *replicator) fail(err error) {
@@ -291,22 +461,28 @@ func (r *replicator) fail(err error) {
 
 // syncNS tails one namespace until level with the leader (or a bounded
 // number of fetches — a hot leader can outrun one poll; the next round
-// continues). Returns how many records remain unreplayed.
-func (r *replicator) syncNS(ctx context.Context, n *namespace) (uint64, error) {
+// continues). Returns how many records remain unreplayed and whether
+// this sync changed the namespace (replayed records or bootstrapped).
+func (r *replicator) syncNS(ctx context.Context, n *namespace) (uint64, bool, error) {
+	applied := false
+	if err := fault.InjectErr("repl:sync:" + n.name); err != nil {
+		return 0, false, err
+	}
 	for i := 0; i < 100; i++ {
 		after := n.appliedSeq.Load()
 		var tail replWAL
 		if err := r.get(ctx, fmt.Sprintf("/replication/wal?ns=%s&after=%d", n.name, after), &tail); err != nil {
-			return 0, err
+			return 0, applied, err
 		}
 		if tail.SnapshotNeeded {
 			if err := r.bootstrap(ctx, n); err != nil {
-				return 0, err
+				return 0, applied, err
 			}
+			applied = true
 			continue
 		}
 		if len(tail.Records) == 0 {
-			return 0, nil
+			return 0, applied, nil
 		}
 		n.mu.Lock()
 		for _, rec := range tail.Records {
@@ -315,26 +491,69 @@ func (r *replicator) syncNS(ctx context.Context, n *namespace) (uint64, error) {
 			}
 			if err := r.s.replayLocked(n, rec); err != nil {
 				n.mu.Unlock()
-				return 0, fmt.Errorf("wal seq %d: %w", rec.Seq, err)
+				return 0, applied, fmt.Errorf("wal seq %d: %w", rec.Seq, err)
 			}
 			n.appliedSeq.Store(rec.Seq)
+			applied = true
 			r.mu.Lock()
 			r.applied++
 			r.mu.Unlock()
 		}
 		n.mu.Unlock()
 		if n.appliedSeq.Load() >= tail.LastSeq {
-			return 0, nil
+			return 0, applied, nil
 		}
 	}
 	var tail replWAL
 	if err := r.get(ctx, fmt.Sprintf("/replication/wal?ns=%s&after=%d", n.name, n.appliedSeq.Load()), &tail); err != nil {
-		return 0, err
+		return 0, applied, err
 	}
 	if last := tail.LastSeq; last > n.appliedSeq.Load() {
-		return last - n.appliedSeq.Load(), nil
+		return last - n.appliedSeq.Load(), applied, nil
 	}
-	return 0, nil
+	return 0, applied, nil
+}
+
+// verifyDigest cross-checks a just-synced namespace's state fingerprint
+// against the leader's. Digests are only compared at matching (revision,
+// generation) — the leader may already have moved on, in which case the
+// next catch-up re-verifies. A mismatch at a matching revision means the
+// replayed state diverged (a bug, or a torn ship): the namespace is
+// quarantined and re-bootstrapped from a fresh snapshot cut.
+func (r *replicator) verifyDigest(ctx context.Context, n *namespace) error {
+	var d replDigest
+	if err := r.get(ctx, "/replication/digest?ns="+n.name, &d); err != nil {
+		return err
+	}
+	n.mu.RLock()
+	rev, gen := n.g.Revision(), n.gen
+	var local string
+	if rev == d.Revision && gen == d.Generation {
+		local = n.digestLocked(nil)
+	}
+	n.mu.RUnlock()
+	r.mu.Lock()
+	r.digestChecks++
+	r.mu.Unlock()
+	if local == "" || local == d.Digest {
+		return nil // leader moved on, or state verified identical
+	}
+	r.mu.Lock()
+	r.digestMismatches++
+	r.mu.Unlock()
+	r.s.logger.LogAttrs(context.Background(), slog.LevelError, "replication",
+		slog.String("trace_id", r.tc.TraceID),
+		slog.String("ns", n.name),
+		slog.String("event", "digest_mismatch_rebootstrapping"),
+		slog.Uint64("revision", rev),
+		slog.String("local", local),
+		slog.String("leader", d.Digest),
+	)
+	r.s.flight.Record(obs.FlightEvent{
+		Kind: "replication", Trace: r.tc.TraceID, NS: n.name,
+		Detail: fmt.Sprintf("digest mismatch at revision %d: re-bootstrapping", rev),
+	})
+	return r.bootstrap(ctx, n)
 }
 
 // bootstrap installs the leader's snapshot cut: graph text, revision,
@@ -362,6 +581,22 @@ func (r *replicator) bootstrap(ctx context.Context, n *namespace) error {
 }
 
 func (r *replicator) get(ctx context.Context, path string, out any) error {
+	if err := fault.InjectErr("repl:get"); err != nil {
+		return err
+	}
+	// Fencing, follower side: assert the highest epoch we have seen, so a
+	// resurrected old leader refuses us with 409 stale_epoch even before
+	// we inspect its response header.
+	r.mu.Lock()
+	seen := r.seenEpoch
+	r.mu.Unlock()
+	if seen > 0 {
+		sep := "?"
+		if strings.Contains(path, "?") {
+			sep = "&"
+		}
+		path += sep + "epoch=" + strconv.FormatUint(seen, 10)
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.leader+path, nil)
 	if err != nil {
 		return err
@@ -377,12 +612,41 @@ func (r *replicator) get(ctx context.Context, path string, out any) error {
 		return err
 	}
 	defer resp.Body.Close()
+	if err := r.observeEpoch(resp); err != nil {
+		return err
+	}
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody
 		json.NewDecoder(resp.Body).Decode(&eb)
+		if eb.Code == "stale_epoch" {
+			return fmt.Errorf("leader %s%s: %w (%s)", r.leader, path, ErrStaleEpoch, eb.Error)
+		}
 		return fmt.Errorf("leader %s%s: %d %s", r.leader, path, resp.StatusCode, eb.Error)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// observeEpoch tracks the leader's epoch from a response header. A
+// response below the highest epoch already seen is a resurrected old
+// leader: the round aborts with ErrStaleEpoch and nothing it shipped is
+// applied. Responses without the header (pre-epoch leaders) skip the
+// check for compatibility.
+func (r *replicator) observeEpoch(resp *http.Response) error {
+	h := resp.Header.Get(epochHeader)
+	if h == "" {
+		return nil
+	}
+	e, err := strconv.ParseUint(h, 10, 64)
+	if err != nil || e == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e < r.seenEpoch {
+		return fmt.Errorf("%w: response epoch %d < seen %d", ErrStaleEpoch, e, r.seenEpoch)
+	}
+	r.seenEpoch = e
+	return nil
 }
 
 func (r *replicator) stats() ReplicationStats {
@@ -397,13 +661,18 @@ func (r *replicator) stats() ReplicationStats {
 		lag = time.Since(ref).Seconds()
 	}
 	return ReplicationStats{
-		Leader:         r.leader,
-		LagSeconds:     lag,
-		BehindRecords:  r.behind,
-		AppliedRecords: r.applied,
-		Bootstraps:     r.bootstraps,
-		Rounds:         r.rounds,
-		Errors:         r.errors,
-		LastError:      r.lastErr,
+		Leader:              r.leader,
+		LagSeconds:          lag,
+		BehindRecords:       r.behind,
+		AppliedRecords:      r.applied,
+		Bootstraps:          r.bootstraps,
+		Rounds:              r.rounds,
+		Errors:              r.errors,
+		LastError:           r.lastErr,
+		ConsecutiveFailures: r.failStreak,
+		BackoffSeconds:      r.backoff.Seconds(),
+		DigestChecks:        r.digestChecks,
+		DigestMismatches:    r.digestMismatches,
+		LeaderEpoch:         r.seenEpoch,
 	}
 }

@@ -1,0 +1,143 @@
+// Anti-entropy scrubber: a low-duty-cycle background pass that
+// cross-checks the incrementally maintained indexes against their
+// from-scratch oracles on the live state. The incremental tg-island
+// union-find and the hierarchy engine's patched structure are fast
+// because they never recompute; the scrubber is the standing proof that
+// "never recompute" still equals "recompute from scratch" — on real
+// traffic, not just on the property tests' synthetic streams. A mismatch
+// is a serious bug surfaced loudly (error log, flight event, counter)
+// rather than silently serving wrong verdicts until someone notices.
+package service
+
+import (
+	"context"
+	"log/slog"
+	"reflect"
+	"sort"
+	"strconv"
+	"time"
+
+	"takegrant/internal/analysis"
+	"takegrant/internal/graph"
+	"takegrant/internal/hierarchy"
+	"takegrant/internal/obs"
+)
+
+type scrubber struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// StartScrubber launches the background anti-entropy pass: every
+// interval it verifies one namespace (round-robin), holding only that
+// namespace's read lock. Stopped by Close or StopScrubber. Interval ≤ 0
+// defaults to a minute — the scrubber is a tripwire, not a hot loop.
+func (s *Server) StartScrubber(interval time.Duration) {
+	if s.scrub != nil {
+		return
+	}
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sc := &scrubber{cancel: cancel, done: make(chan struct{})}
+	s.scrub = sc
+	go func() {
+		defer close(sc.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		next := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			spaces := s.allNS()
+			if len(spaces) == 0 {
+				continue
+			}
+			s.scrubNS(spaces[next%len(spaces)])
+			next++
+		}
+	}()
+}
+
+// StopScrubber halts the background pass and waits for it to exit.
+func (s *Server) StopScrubber() {
+	if s.scrub == nil {
+		return
+	}
+	s.scrub.cancel()
+	<-s.scrub.done
+	s.scrub = nil
+}
+
+// scrubNS verifies one namespace's incremental indexes against their
+// oracles under the read lock (queries proceed concurrently; mutations
+// wait, which is why the scrubber is low duty cycle).
+func (s *Server) scrubNS(n *namespace) {
+	s.fleet.scrubRounds.Add(1)
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+
+	// TG-islands: the union-find index vs the BFS reference.
+	indexed := analysis.IslandsIndexed(n.g)
+	reference, err := analysis.IslandsObs(n.g, nil, nil)
+	if err == nil && !sameIslands(indexed, reference) {
+		s.scrubMismatch(n, "islands", "union-find index disagrees with BFS reference")
+	}
+
+	// Hierarchy: the engine's patched structure vs a from-scratch
+	// derivation. n.class is what the guard and /levels judge against —
+	// exactly the artifact incremental patching could have corrupted.
+	ref := hierarchy.AnalyzeRWReference(n.g)
+	if !n.class.EquivalentTo(ref) {
+		s.scrubMismatch(n, "hierarchy", "patched rw-level structure disagrees with from-scratch derivation")
+	}
+}
+
+func (s *Server) scrubMismatch(n *namespace, index, detail string) {
+	s.fleet.scrubMismatches.Add(1)
+	s.logger.LogAttrs(context.Background(), slog.LevelError, "scrub",
+		slog.String("ns", n.name),
+		slog.String("index", index),
+		slog.Uint64("revision", n.g.Revision()),
+		slog.String("detail", detail),
+	)
+	s.flight.Record(obs.FlightEvent{
+		Kind: "scrub", NS: n.name,
+		Detail: index + " mismatch at revision " + formatUint(n.g.Revision()) + ": " + detail,
+	})
+}
+
+func formatUint(v uint64) string {
+	return strconv.FormatUint(v, 10)
+}
+
+// sameIslands compares two island partitions up to ordering (of islands
+// and of members within an island). A nil and an empty partition are the
+// same partition.
+func sameIslands(a, b [][]graph.ID) bool {
+	na, nb := normalizeIslands(a), normalizeIslands(b)
+	if len(na) == 0 && len(nb) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(na, nb)
+}
+
+func normalizeIslands(in [][]graph.ID) [][]graph.ID {
+	out := make([][]graph.ID, 0, len(in))
+	for _, island := range in {
+		c := append([]graph.ID(nil), island...)
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) == 0 || len(out[j]) == 0 {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"takegrant/internal/specimens"
+)
+
+// TestScrubberCleanRounds runs the background scrubber against a healthy
+// node: rounds tick, nothing trips, queries keep answering underneath.
+func TestScrubberCleanRounds(t *testing.T) {
+	srv := New()
+	defer srv.Close()
+	h := srv.Handler()
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := putGraphNS(t, h, "", src); code != http.StatusOK {
+		t.Fatalf("PUT /graph = %d", code)
+	}
+	if code := putGraphNS(t, h, "tenant1", src); code != http.StatusOK {
+		t.Fatalf("PUT tenant1 = %d", code)
+	}
+	srv.StartScrubber(time.Millisecond)
+	waitFor(t, "scrub rounds over every namespace", func() bool {
+		return srv.Stats().Fleet.ScrubRounds >= 4
+	})
+	if code := do(t, h, http.MethodGet, "/secure", "", nil); code != http.StatusOK {
+		t.Fatalf("query under scrubber = %d", code)
+	}
+	srv.StopScrubber()
+	if got := srv.Stats().Fleet.ScrubMismatches; got != 0 {
+		t.Fatalf("clean node tripped the scrubber %d times", got)
+	}
+	// Stop is idempotent and restart works.
+	srv.StopScrubber()
+	srv.StartScrubber(time.Millisecond)
+	srv.StopScrubber()
+}
+
+// TestScrubberTripsOnCorruption is the tripwire's own test: mutate the
+// graph behind the hierarchy engine's back — exactly the kind of
+// corruption an incremental-index bug would produce — and the scrubber
+// must flag the divergence instead of letting the node keep serving
+// verdicts from a stale structure.
+func TestScrubberTripsOnCorruption(t *testing.T) {
+	srv := New()
+	defer srv.Close()
+	h := srv.Handler()
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := putGraphNS(t, h, "", src); code != http.StatusOK {
+		t.Fatalf("PUT /graph = %d", code)
+	}
+	n := srv.findNS(DefaultNamespace)
+	if n == nil {
+		t.Fatal("default namespace missing")
+	}
+	// Splice new subjects directly into the graph, skipping rearm:
+	// n.class still describes the old graph — exactly the stale patched
+	// structure an incremental-engine bug would leave behind.
+	n.mu.Lock()
+	_, err1 := n.g.AddSubject("scrub_phantom_a")
+	_, err2 := n.g.AddSubject("scrub_phantom_b")
+	n.mu.Unlock()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("splice: %v %v", err1, err2)
+	}
+
+	srv.scrubNS(n)
+	if got := srv.Stats().Fleet.ScrubMismatches; got == 0 {
+		t.Fatal("scrubber missed a graph mutated behind the engine's back")
+	}
+	if srv.Stats().Fleet.ScrubRounds == 0 {
+		t.Fatal("scrub round not counted")
+	}
+}

@@ -22,9 +22,13 @@
 //	GET  /log                       guarded decision trail (text)
 //	GET  /stats                     cache/guard/route observability (JSON)
 //	GET  /metrics                   the same counters as Prometheus text exposition
+//	GET  /healthz                   liveness (200 while the process serves)
+//	GET  /readyz                    readiness: 503 while degraded or catching up
+//	POST /admin/promote             promote a caught-up follower to leader
 //	GET  /replication/namespaces    WAL-shipping: journaled namespaces (leader)
 //	GET  /replication/snapshot?ns=  WAL-shipping: bootstrap state (leader)
 //	GET  /replication/wal?ns=&after=  WAL-shipping: frame tail (leader)
+//	GET  /replication/digest?ns=    anti-entropy: revision + canonical graph hash
 //
 // # Namespaces
 //
@@ -106,6 +110,7 @@ import (
 	"takegrant/internal/budget"
 	"takegrant/internal/fault"
 	"takegrant/internal/graph"
+	"takegrant/internal/health"
 	"takegrant/internal/hierarchy"
 	"takegrant/internal/obs"
 	"takegrant/internal/qcache"
@@ -149,6 +154,11 @@ type Config struct {
 	// stderr on panic). 0 means DefaultFlightSize; negative disables the
 	// recorder.
 	FlightSize int
+	// PromoteDataDir is the journal directory POST /admin/promote opens
+	// when the request body does not name one (tgserve -promote-data).
+	// Promotion without any data directory is refused: a leader must be
+	// durable.
+	PromoteDataDir string
 }
 
 // DefaultFlightSize is the flight-recorder ring capacity when
@@ -170,6 +180,24 @@ type faultCounters struct {
 	budgetExhausted atomic.Uint64
 }
 
+// fleetCounters tracks the resilience layer's events: routing decisions
+// taken on a down peer, fencing refusals, scrubber verdicts.
+type fleetCounters struct {
+	// failoverReads counts reads 307'd to the failover replica because the
+	// owning peer was down.
+	failoverReads atomic.Uint64
+	// peerUnavailable counts requests answered 503 peer_down (mutations,
+	// or reads with no failover configured).
+	peerUnavailable atomic.Uint64
+	// staleEpoch counts /replication/* requests refused with 409
+	// stale_epoch — a fenced old leader knocking.
+	staleEpoch atomic.Uint64
+	// scrubRounds / scrubMismatches count anti-entropy scrubber passes and
+	// the index-vs-oracle divergences they found (which must stay 0).
+	scrubRounds     atomic.Uint64
+	scrubMismatches atomic.Uint64
+}
+
 // Server owns a set of protection systems — one namespace each. The
 // embedded namespace is the default one: its fields promote, so code
 // (and tests) that predate namespaces keep addressing the default
@@ -186,10 +214,27 @@ type Server struct {
 	// named ones under dataDir/ns/<name>.
 	dataDir string
 	// readOnly marks a replica: every mutation route answers 503
-	// read_only. Set by StartReplica before traffic; never cleared.
-	readOnly bool
+	// read_only. Set by StartReplica; cleared by Promote — both can race
+	// with live handlers, hence atomic.
+	readOnly atomic.Bool
 	// repl is the replication client on a follower; nil on a leader.
-	repl *replicator
+	// Atomic because Promote swaps it to nil under traffic.
+	repl atomic.Pointer[replicator]
+	// epoch is this node's leader epoch: 1 on a fresh leader, bumped past
+	// every epoch seen when a follower is promoted, persisted in snapshot
+	// headers and WAL frames, echoed on every /replication/* response.
+	// Fencing: a resurrected old leader serves a smaller epoch and is
+	// refused (ErrStaleEpoch client-side, 409 stale_epoch server-side).
+	epoch atomic.Uint64
+	// promoteMu serializes Promote calls.
+	promoteMu sync.Mutex
+	// prober, when installed, feeds liveness into ShardRedirect; read-only
+	// after SetHealthProber.
+	prober *health.Prober
+	// scrub is the anti-entropy scrubber's stop hook; nil until
+	// StartScrubber.
+	scrub *scrubber
+	fleet fleetCounters
 
 	metrics *metrics
 	// phases aggregates the decision procedures' per-phase spans across
@@ -230,7 +275,27 @@ func NewWith(cfg Config) *Server {
 	s.flight = obs.NewFlight(flightSize) // nil (disabled) when negative
 	s.namespace = newNamespace(DefaultNamespace, cfg.HierarchyWorkers)
 	s.spaces = map[string]*namespace{DefaultNamespace: s.namespace}
+	// A fresh node is epoch 1; AttachJournal raises it to what the disk
+	// remembers, Promote past every epoch seen over the wire.
+	s.epoch.Store(1)
 	return s
+}
+
+// SetHealthProber installs the peer prober consulted by ShardRedirect
+// before 307-ing to a peer. Call before serving traffic.
+func (s *Server) SetHealthProber(p *health.Prober) { s.prober = p }
+
+// Epoch returns this node's current leader epoch.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// raiseEpoch lifts the server epoch to at least e (it never regresses).
+func (s *Server) raiseEpoch(e uint64) {
+	for {
+		cur := s.epoch.Load()
+		if e <= cur || s.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
 }
 
 // SetLogger installs the structured logger used for request and mutation
@@ -347,10 +412,14 @@ func (s *Server) Handler() http.Handler {
 	}))
 	route("/stats", s.handleStats)
 	route("/metrics", s.handleMetrics)
+	route("/healthz", s.handleHealthz)
+	route("/readyz", s.handleReadyz)
+	route("/admin/promote", s.handlePromote)
 	route("/debug/flight", s.handleFlight)
-	route("/replication/namespaces", s.handleReplNamespaces)
-	route("/replication/snapshot", s.withNS(s.handleReplSnapshot))
-	route("/replication/wal", s.withNS(s.handleReplWAL))
+	route("/replication/namespaces", s.fenced(s.handleReplNamespaces))
+	route("/replication/snapshot", s.fenced(s.withNS(s.handleReplSnapshot)))
+	route("/replication/wal", s.fenced(s.withNS(s.handleReplWAL)))
+	route("/replication/digest", s.fenced(s.withNS(s.handleReplDigest)))
 	return mux
 }
 
@@ -359,7 +428,9 @@ type errorBody struct {
 	// Code names the degradation class for machine consumers:
 	// budget_exhausted, overloaded, degraded, internal_panic,
 	// unsupported_media_type, bad_namespace, namespace_not_found,
-	// read_only, replication_unavailable. Empty for plain request errors.
+	// read_only, replication_unavailable, peer_down, stale_epoch,
+	// not_replica, not_caught_up, promote_failed. Empty for plain
+	// request errors.
 	Code string `json:"code,omitempty"`
 }
 
@@ -775,14 +846,20 @@ func (s *Server) handleIslands(n *namespace, w http.ResponseWriter, r *http.Requ
 		if err != nil {
 			return nil, err
 		}
+		// Canonical order — members sorted, islands by first member — so
+		// every node in a fleet renders the same partition identically
+		// regardless of how its graph was built (incremental mutation vs
+		// snapshot bootstrap assign different internal vertex IDs).
 		var names [][]string
 		for _, island := range islands {
 			ns := make([]string, len(island))
 			for i, v := range island {
 				ns[i] = n.g.Name(v)
 			}
+			sort.Strings(ns)
 			names = append(names, ns)
 		}
+		sort.Slice(names, func(i, j int) bool { return names[i][0] < names[j][0] })
 		return names, nil
 	})
 	if err != nil {
@@ -827,6 +904,7 @@ func (s *Server) handleAudit(n *namespace, w http.ResponseWriter, r *http.Reques
 		out = append(out, fmt.Sprintf("(%s) %s→%s %s", v.Rule,
 			n.g.Name(v.Src), n.g.Name(v.Dst), n.g.Universe().Name(v.Right)))
 	}
+	sort.Strings(out) // canonical order across fleet nodes
 	writeJSON(w, map[string]any{"violations": out, "clean": len(out) == 0})
 }
 
@@ -857,6 +935,14 @@ func (s *Server) handleProfile(n *namespace, w http.ResponseWriter, r *http.Requ
 			Held:   a.Held,
 		})
 	}
+	// Canonical order: internal vertex IDs differ across fleet nodes
+	// (incremental build vs snapshot bootstrap), names do not.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Target != out[j].Target {
+			return out[i].Target < out[j].Target
+		}
+		return out[i].Right < out[j].Right
+	})
 	writeJSON(w, map[string]any{"profile": out})
 }
 
@@ -941,6 +1027,21 @@ type Stats struct {
 	ReadOnly    bool                      `json:"read_only,omitempty"`
 	Namespaces  map[string]NamespaceStats `json:"namespaces,omitempty"`
 	Replication *ReplicationStats         `json:"replication,omitempty"`
+	// Epoch is this node's leader epoch (fencing token).
+	Epoch uint64 `json:"epoch"`
+	// Fleet carries the resilience layer's counters.
+	Fleet FleetStats `json:"fleet"`
+	// Peers reports the health prober's view, when one is installed.
+	Peers map[string]health.Status `json:"peers,omitempty"`
+}
+
+// FleetStats is the resilience layer's slice of the /stats report.
+type FleetStats struct {
+	FailoverReads   uint64 `json:"failover_reads"`
+	PeerUnavailable uint64 `json:"peer_unavailable"`
+	StaleEpoch      uint64 `json:"stale_epoch"`
+	ScrubRounds     uint64 `json:"scrub_rounds"`
+	ScrubMismatches uint64 `json:"scrub_mismatches"`
 }
 
 // Stats snapshots the server's observability counters; also published as
@@ -975,18 +1076,29 @@ func (s *Server) Stats() Stats {
 	}
 	s.mu.RUnlock()
 
-	st.ReadOnly = s.readOnly
+	st.ReadOnly = s.readOnly.Load()
+	st.Epoch = s.epoch.Load()
+	st.Fleet = FleetStats{
+		FailoverReads:   s.fleet.failoverReads.Load(),
+		PeerUnavailable: s.fleet.peerUnavailable.Load(),
+		StaleEpoch:      s.fleet.staleEpoch.Load(),
+		ScrubRounds:     s.fleet.scrubRounds.Load(),
+		ScrubMismatches: s.fleet.scrubMismatches.Load(),
+	}
+	if s.prober != nil {
+		st.Peers = s.prober.Snapshot()
+	}
 	// Per-namespace summaries are taken after the default's lock is
 	// released — summary() locks each namespace in turn, including the
 	// default (recursive read-locking a sync.RWMutex is prohibited).
-	if spaces := s.allNS(); len(spaces) > 1 || s.readOnly {
+	if spaces := s.allNS(); len(spaces) > 1 || st.ReadOnly {
 		st.Namespaces = make(map[string]NamespaceStats, len(spaces))
 		for _, n := range spaces {
 			st.Namespaces[n.name] = n.summary()
 		}
 	}
-	if s.repl != nil {
-		rs := s.repl.stats()
+	if repl := s.repl.Load(); repl != nil {
+		rs := repl.stats()
 		st.Replication = &rs
 	}
 	return st
@@ -1253,6 +1365,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			nil, float64(st.Replication.Rounds))
 		pw.Counter("takegrant_replication_errors_total", "Failed poll rounds.",
 			nil, float64(st.Replication.Errors))
+		pw.Counter("takegrant_replication_digest_checks_total", "Anti-entropy digest verifications after catch-up.",
+			nil, float64(st.Replication.DigestChecks))
+		pw.Counter("takegrant_replication_digest_mismatch_total",
+			"Digest mismatches that quarantined and re-bootstrapped a namespace.",
+			nil, float64(st.Replication.DigestMismatches))
+		pw.Gauge("takegrant_replication_consecutive_failures", "Failed poll rounds since the last success.",
+			nil, float64(st.Replication.ConsecutiveFailures))
+		pw.Gauge("takegrant_replication_backoff_seconds", "Current poll backoff (0 while the leader answers).",
+			nil, st.Replication.BackoffSeconds)
+		pw.Gauge("takegrant_replication_leader_epoch", "Highest leader epoch seen over /replication/*.",
+			nil, float64(st.Replication.LeaderEpoch))
+	}
+
+	// Fencing + anti-entropy: the epoch this node serves under, refusals
+	// of stale leaders, and the scrubber's index-vs-oracle verdicts.
+	pw.Gauge("takegrant_epoch", "This node's leader epoch (fencing token).", nil, float64(st.Epoch))
+	pw.Counter("takegrant_stale_epoch_total", "Replication requests refused with 409 stale_epoch.",
+		nil, float64(st.Fleet.StaleEpoch))
+	pw.Counter("takegrant_scrub_rounds_total", "Anti-entropy scrubber passes over a namespace.",
+		nil, float64(st.Fleet.ScrubRounds))
+	pw.Counter("takegrant_scrub_mismatch_total",
+		"Incremental-index results that disagreed with their from-scratch oracle (must stay 0).",
+		nil, float64(st.Fleet.ScrubMismatches))
+
+	// Fleet routing: health-checked redirects.
+	pw.Counter("takegrant_failover_reads_total", "Reads 307'd to the failover replica because the owner was down.",
+		nil, float64(st.Fleet.FailoverReads))
+	pw.Counter("takegrant_peer_unavailable_total", "Requests answered 503 peer_down.",
+		nil, float64(st.Fleet.PeerUnavailable))
+	if len(st.Peers) > 0 {
+		peers := make([]string, 0, len(st.Peers))
+		for peer := range st.Peers {
+			peers = append(peers, peer)
+		}
+		sort.Strings(peers)
+		for _, peer := range peers {
+			up := 0.0
+			if st.Peers[peer].Up {
+				up = 1
+			}
+			pw.Gauge("takegrant_peer_up", "1 while the health prober believes the peer is alive.",
+				[]obs.Label{obs.L("peer", peer)}, up)
+		}
+		for _, peer := range peers {
+			pw.Counter("takegrant_peer_transitions_total", "Peer up/down flips observed by the prober.",
+				[]obs.Label{obs.L("peer", peer)}, float64(st.Peers[peer].Transitions))
+		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

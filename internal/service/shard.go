@@ -12,9 +12,12 @@ import (
 
 // localShardPath reports whether a path must always answer on the node
 // that received it: process-level observability (/stats, /metrics,
-// /debug/*) and the replication feed are per-node, not per-namespace.
+// /debug/*), health and admin endpoints, and the replication feed are
+// per-node, not per-namespace.
 func localShardPath(path string) bool {
 	return path == "/stats" || path == "/metrics" ||
+		path == "/healthz" || path == "/readyz" ||
+		strings.HasPrefix(path, "/admin/") ||
 		strings.HasPrefix(path, "/debug/") ||
 		strings.HasPrefix(path, "/replication/")
 }
@@ -26,12 +29,19 @@ func localShardPath(path string) bool {
 // base URLs of every node, advertise this node's own entry in it. With
 // an empty peerList the handler is next unchanged.
 //
+// When a health prober is installed (SetHealthProber) the router stops
+// redirecting into a peer it believes is down: reads (GET/HEAD) fail
+// over with a 307 to readFailover — a configured replica serving every
+// namespace — and everything else is refused with 503 peer_down and a
+// Retry-After, an answer a client can act on instead of a hung
+// connection to a corpse.
+//
 // The redirect hop is part of the query's trace: the hop adopts the
 // client's traceparent (Go's http.Client re-sends request headers when
 // following a 307, so the same header reaches the owner), meaning the
 // redirecting node's log line and flight event carry the same trace ID
 // the owner finally serves under.
-func (s *Server) ShardRedirect(peerList, advertise string, next http.Handler) (http.Handler, error) {
+func (s *Server) ShardRedirect(peerList, advertise, readFailover string, next http.Handler) (http.Handler, error) {
 	if peerList == "" {
 		return next, nil
 	}
@@ -43,6 +53,7 @@ func (s *Server) ShardRedirect(peerList, advertise string, next http.Handler) (h
 	}
 	ring := shard.New(peers)
 	advertise = strings.TrimRight(advertise, "/")
+	readFailover = strings.TrimRight(readFailover, "/")
 	owned := false
 	for _, p := range peers {
 		owned = owned || p == advertise
@@ -71,6 +82,45 @@ func (s *Server) ShardRedirect(peerList, advertise string, next http.Handler) (h
 		p := requestTrace(r.URL.Path, r)
 		w.Header().Set("X-Trace-Id", p.TraceID)
 		w.Header().Set("traceparent", p.Context().Traceparent())
+		if s.prober != nil && !s.prober.Healthy(owner) {
+			isRead := r.Method == http.MethodGet || r.Method == http.MethodHead
+			if isRead && readFailover != "" && readFailover != owner {
+				// The owner is down but its state is readable elsewhere: a
+				// replica tailing the whole fleet serves every namespace.
+				s.fleet.failoverReads.Add(1)
+				s.logger.LogAttrs(r.Context(), slog.LevelWarn, "shard_failover",
+					slog.String("trace_id", p.TraceID),
+					slog.String("ns", ns),
+					slog.String("route", r.URL.Path),
+					slog.String("owner", owner),
+					slog.String("failover", readFailover),
+				)
+				s.flight.Record(obs.FlightEvent{
+					Kind: "redirect", Trace: p.TraceID, NS: ns, Route: r.URL.Path,
+					Code: http.StatusTemporaryRedirect, Detail: "owner " + owner + " down, read failover " + readFailover,
+				})
+				http.Redirect(w, r, readFailover+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+				return
+			}
+			// A mutation for a dead owner cannot be served anywhere else
+			// without splitting the brain: tell the client when to retry
+			// instead of letting it discover the corpse by timeout.
+			s.fleet.peerUnavailable.Add(1)
+			s.logger.LogAttrs(r.Context(), slog.LevelWarn, "shard_peer_down",
+				slog.String("trace_id", p.TraceID),
+				slog.String("ns", ns),
+				slog.String("route", r.URL.Path),
+				slog.String("owner", owner),
+			)
+			s.flight.Record(obs.FlightEvent{
+				Kind: "redirect", Trace: p.TraceID, NS: ns, Route: r.URL.Path,
+				Code: http.StatusServiceUnavailable, Detail: "owner " + owner + " down",
+			})
+			w.Header().Set("Retry-After", "1")
+			writeErrCode(w, http.StatusServiceUnavailable, "peer_down",
+				fmt.Errorf("namespace %q is owned by %s, which is not responding to health probes", ns, owner))
+			return
+		}
 		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "shard_redirect",
 			slog.String("trace_id", p.TraceID),
 			slog.String("ns", ns),

@@ -86,6 +86,16 @@ func (s *Server) AttachJournal(dir string) (bool, error) {
 		s.spaces[e.Name()] = n
 		recovered = recovered || rec
 	}
+	// Second pass: the highest epoch any namespace remembered wins on this
+	// node — journals attached before the raise re-adopt it, so every WAL
+	// frame appended from here on carries the same fencing token.
+	for _, n := range s.allNS() {
+		if n.journal != nil {
+			if err := n.journal.j.SetEpoch(s.epoch.Load()); err != nil {
+				return false, err
+			}
+		}
+	}
 	return recovered, nil
 }
 
@@ -116,6 +126,14 @@ func (s *Server) attachNS(n *namespace, dir string) (bool, error) {
 	snapEvery := uint64(s.cfg.SnapshotEvery)
 	if snapEvery == 0 {
 		snapEvery = DefaultSnapshotEvery
+	}
+	// Epoch reconciliation: a journal that remembers a higher leader epoch
+	// raises the server's; a fresh (or older) journal adopts the server's,
+	// so every frame this node appends from here on is stamped with it.
+	s.raiseEpoch(j.Epoch())
+	if err := j.SetEpoch(s.epoch.Load()); err != nil {
+		j.Close()
+		return false, err
 	}
 	n.journal = &journalState{j: j, snapEvery: snapEvery}
 	return snap != nil || len(replay) > 0, nil
@@ -206,9 +224,10 @@ func (s *Server) snapshotLocked(n *namespace) {
 // Safe without an attached journal; call after the HTTP server has
 // drained.
 func (s *Server) Close() error {
-	if s.repl != nil {
-		s.repl.stop()
+	if r := s.repl.Load(); r != nil {
+		r.stop()
 	}
+	s.StopScrubber()
 	var firstErr error
 	for _, n := range s.allNS() {
 		n.mu.Lock()

@@ -84,10 +84,10 @@ func TestShardRedirectCarriesTraceAcrossNodes(t *testing.T) {
 
 	sA, sB := New(), New()
 	var err error
-	if hA, err = sA.ShardRedirect(peers, tsA.URL, sA.Handler()); err != nil {
+	if hA, err = sA.ShardRedirect(peers, tsA.URL, "", sA.Handler()); err != nil {
 		t.Fatal(err)
 	}
-	if hB, err = sB.ShardRedirect(peers, tsB.URL, sB.Handler()); err != nil {
+	if hB, err = sB.ShardRedirect(peers, tsB.URL, "", sB.Handler()); err != nil {
 		t.Fatal(err)
 	}
 

@@ -89,3 +89,68 @@ func TestSinglePeerOwnsEverything(t *testing.T) {
 		t.Error("empty peer set should yield a nil ring")
 	}
 }
+
+// TestAddPeerMovesBoundedShare pins the scale-out half of the
+// consistent-hashing contract: growing N peers to N+1 moves only the
+// keys the newcomer claims (~1/(N+1) of them) and nothing else — every
+// key that does not land on the new peer keeps its old owner, so a
+// rolling expansion never reshuffles namespaces between survivors.
+func TestAddPeerMovesBoundedShare(t *testing.T) {
+	old := New([]string{"http://a:8080", "http://b:8080", "http://c:8080"})
+	grown := New([]string{"http://a:8080", "http://b:8080", "http://c:8080", "http://d:8080"})
+	const keys = 3000
+	claimed := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("ns-%d", i)
+		was, now := old.Owner(key), grown.Owner(key)
+		if now == "http://d:8080" {
+			claimed++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %q moved %s -> %s without landing on the new peer", key, was, now)
+		}
+	}
+	// The newcomer should claim roughly a quarter; far outside that band
+	// means the vnode spread has regressed.
+	if claimed < keys/8 || claimed > keys/2 {
+		t.Errorf("new peer claimed %d of %d keys, want ~%d", claimed, keys, keys/4)
+	}
+}
+
+// TestRebuildOrderStability pins what the fleet actually depends on:
+// every process builds its own ring from a -peers flag, and flags get
+// reordered by humans and orchestrators. All permutations of the same
+// set must agree on every owner — otherwise two nodes would both (or
+// neither) claim a namespace and redirect loops follow.
+func TestRebuildOrderStability(t *testing.T) {
+	peers := []string{"http://a:8080", "http://b:8080", "http://c:8080", "http://d:8080"}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}, {3, 0, 1, 2}}
+	rings := make([]*Ring, len(perms))
+	for i, p := range perms {
+		shuffled := make([]string, len(p))
+		for j, idx := range p {
+			shuffled[j] = peers[idx]
+		}
+		rings[i] = New(shuffled)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		want := rings[0].Owner(key)
+		for j, r := range rings[1:] {
+			if got := r.Owner(key); got != want {
+				t.Fatalf("permutation %v disagrees on %q: %s vs %s", perms[j+1], key, got, want)
+			}
+		}
+	}
+	// Duplicated entries (a peer listed twice in the flag) collapse to
+	// the same ring rather than double-weighting the repeated peer.
+	dup := New([]string{"http://a:8080", "http://b:8080", "http://a:8080",
+		"http://c:8080", "http://d:8080", "http://b:8080"})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		if dup.Owner(key) != rings[0].Owner(key) {
+			t.Fatalf("duplicate peer entries changed ownership of %q", key)
+		}
+	}
+}
