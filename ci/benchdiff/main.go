@@ -31,6 +31,7 @@ var guarded = map[string]float64{
 	"E20": 3.0, // flat CSR derivation vs map reference
 	"E21": 3.0, // incremental engine vs per-step recompute
 	"E22": 3.0, // instrumentation overhead (histogram observe ≤ 100ns budget)
+	"E23": 3.0, // warm closure verdicts flat across scales (O(1)-amortized fast path)
 }
 
 // row is the subset of tgbench's per-experiment report the gate reads.

@@ -1,0 +1,492 @@
+package analysis
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"takegrant/internal/budget"
+	"takegrant/internal/graph"
+	"takegrant/internal/obs"
+	"takegrant/internal/relang"
+	"takegrant/internal/rights"
+)
+
+// ReachIndex memoizes the decision procedures' transitive structure as
+// closure rows, so a warm can•share / can•know / can•know•f verdict is a
+// bit-test instead of a budgeted product search. It implements the
+// derived-index contract of internal/derived and is fed the graph's
+// change stream through that registry.
+//
+// # Row families
+//
+// Two per-island families hold the chain closures of Theorems 2.3(iii)
+// and 3.2(c), keyed by tg-island root: the bridge-chain row (subjects
+// reachable through chains of islands and bridges) and the link-chain row
+// (subjects reachable through words in B ∪ C). Both chain languages
+// compose at subject boundaries and every tg edge inside an island is
+// itself a bridge, so all subjects of one island share one row — the row
+// is a property of the island, not the start vertex (this is the typed
+// per-island bridge index: one bitset per (island, chain type)).
+//
+// Three per-vertex families answer the predicates:
+//
+//   - share[x]: every vertex s some subject in x's bridge-chain closure
+//     terminally spans — can•share(α,x,y) is then "some source of y with
+//     an explicit α edge is in share[x]" (Theorem 2.3 with the spanner
+//     and chain conditions pre-folded).
+//   - know[x]: the can•know closure of x (exactly KnowClosure's set).
+//   - knowf[x]: the can•know•f closure of x (KnowFClosure's set).
+//
+// Rows live in pooled epoch-stamped relang.VertexSets; a dropped row's
+// set returns to the pool.
+//
+// # Maintenance
+//
+// Monotone mutations can only grow a closure, and each family reads a
+// known alphabet: bridge chains and t*/t*g spans read explicit t/g only;
+// link chains and rw-spans read explicit r/w/t/g; admissible paths read
+// r/w in either view. Patch therefore drops exactly the families whose
+// alphabet a new edge touches (an add outside every alphabet, and any
+// removal of uninterpreted rights, is absorbed as a no-op) and the next
+// query lazily rebuilds its row under that query's budget — O(1)
+// amortized: one budgeted build per (row, mutation era), bit-tests after.
+// Removals within the alphabets and destructive changes make Patch
+// return false; the registry then calls Invalidate and every verdict
+// falls back to the budgeted from-scratch build — never a stale answer.
+//
+// # Concurrency
+//
+// Patch and Invalidate run under the graph's mutation lock with no
+// concurrent readers (the graph.SetRecorder contract). Queries may run
+// concurrently with each other; two readers racing to build the same row
+// both compute it, one publishes, the loser's set returns to the pool
+// (the qcache double-compute idiom). Retired sets are only pooled when no
+// reader can hold them: replaced rows are always stale, stale rows are
+// never handed to readers, and staleness only arises under the mutation
+// lock.
+type ReachIndex struct {
+	g *graph.Graph
+
+	mu sync.Mutex
+	// Per-family build generations: a row is warm iff row.gen matches its
+	// family's generation. Bumped (with the family's rows dropped) when a
+	// mutation touches the family's alphabet; all bumped by Invalidate.
+	shareGen uint64
+	knowGen  uint64
+	knowfGen uint64
+
+	share map[graph.ID]*reachRow // per x
+	know  map[graph.ID]*reachRow // per x
+	knowf map[graph.ID]*reachRow // per x
+	chain map[graph.ID]*reachRow // per island root (bridge chains)
+	link  map[graph.ID]*reachRow // per island root (links, B ∪ C)
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	rebuilds atomic.Uint64
+}
+
+// reachRow is one closure row: the generation it was built under and its
+// member set. Island rows additionally keep the member list as search
+// seeds for the per-vertex rows built on top of them.
+type reachRow struct {
+	gen uint64
+	set *relang.VertexSet
+	ids []graph.ID
+}
+
+// reachRWTG is the union of every alphabet a reach row reads.
+var reachRWTG = rights.RW.Union(rights.TG)
+
+// NewReachIndex returns an empty index over g. Register it with the
+// derived registry (or otherwise feed it g's change stream) before
+// mutating g, or its rows will go silently stale.
+func NewReachIndex(g *graph.Graph) *ReachIndex {
+	return &ReachIndex{
+		g:     g,
+		share: make(map[graph.ID]*reachRow),
+		know:  make(map[graph.ID]*reachRow),
+		knowf: make(map[graph.ID]*reachRow),
+		chain: make(map[graph.ID]*reachRow),
+		link:  make(map[graph.ID]*reachRow),
+	}
+}
+
+// Name identifies the index in the derived registry.
+func (ix *ReachIndex) Name() string { return "reach_closure" }
+
+// Patch implements the derived-index contract: monotone adds drop only
+// the row families whose chain alphabet the new rights touch, removals
+// outside every alphabet are no-ops, and anything else (in-alphabet
+// removals, destructive changes) reports false so the registry
+// invalidates. Called under the graph's mutation lock.
+func (ix *ReachIndex) Patch(c graph.Change) bool {
+	switch c.Kind {
+	case graph.ChangeAddVertex:
+		// A fresh vertex has no edges: existing closures are unchanged, and
+		// rows sized before it correctly read it as absent.
+		return true
+	case graph.ChangeAddExplicit:
+		ix.mu.Lock()
+		if c.Set.HasAny(rights.TG) {
+			ix.shareGen++
+			ix.dropLocked(ix.share)
+			ix.dropLocked(ix.chain)
+		}
+		if c.Set.HasAny(reachRWTG) {
+			ix.knowGen++
+			ix.dropLocked(ix.know)
+			ix.dropLocked(ix.link)
+		}
+		if c.Set.HasAny(rights.RW) {
+			ix.knowfGen++
+			ix.dropLocked(ix.knowf)
+		}
+		ix.mu.Unlock()
+		return true
+	case graph.ChangeAddImplicit:
+		// Only admissible paths read implicit labels (the de jure spans and
+		// chains are explicit-view searches).
+		if c.Set.HasAny(rights.RW) {
+			ix.mu.Lock()
+			ix.knowfGen++
+			ix.dropLocked(ix.knowf)
+			ix.mu.Unlock()
+		}
+		return true
+	case graph.ChangeRemoveExplicit, graph.ChangeRemoveImplicit:
+		// Removing rights no row family reads cannot shrink any closure.
+		return !c.Set.HasAny(reachRWTG)
+	default:
+		return false
+	}
+}
+
+// Invalidate drops every row; subsequent verdicts fall back to budgeted
+// from-scratch builds. Called under the graph's mutation lock.
+func (ix *ReachIndex) Invalidate() {
+	ix.mu.Lock()
+	ix.shareGen++
+	ix.knowGen++
+	ix.knowfGen++
+	ix.dropLocked(ix.share)
+	ix.dropLocked(ix.know)
+	ix.dropLocked(ix.knowf)
+	ix.dropLocked(ix.chain)
+	ix.dropLocked(ix.link)
+	ix.mu.Unlock()
+}
+
+// dropLocked retires one family's rows to the set pool. Callers hold
+// ix.mu under the mutation lock (no concurrent readers).
+func (ix *ReachIndex) dropLocked(rows map[graph.ID]*reachRow) {
+	for k, r := range rows {
+		relang.PutVertexSet(r.set)
+		delete(rows, k)
+	}
+}
+
+// IndexStats reports warm bit-test answers (hits), row builds forced by
+// absent or dropped rows (misses) and total row constructions including
+// the island chain rows (rebuilds).
+func (ix *ReachIndex) IndexStats() (hits, misses, rebuilds uint64) {
+	return ix.hits.Load(), ix.misses.Load(), ix.rebuilds.Load()
+}
+
+// CanShare answers can•share(α, x, y, G) from the closure index,
+// building x's share row under b on a miss. warm reports whether the
+// verdict was served without any product search — the closure fast path.
+// The verdict is always exact (Theorem 2.3, pinned against the oracle by
+// the property tests); on a budget trip the error wraps
+// budget.ErrExhausted and the verdict is meaningless.
+func (ix *ReachIndex) CanShare(alpha rights.Right, x, y graph.ID, p *obs.Probe, b *budget.Budget) (ok, warm bool, err error) {
+	g := ix.g
+	if !g.Valid(x) || !g.Valid(y) || x == y {
+		return false, true, nil
+	}
+	if g.Explicit(x, y).Has(alpha) {
+		return true, true, nil
+	}
+	row, warm, err := ix.shareRow(x, p, b)
+	if err != nil {
+		return false, false, err
+	}
+	// Theorem 2.3(i): the sources s with an explicit α edge to y, scanned
+	// off the frozen snapshot exactly as the oracle scans them. A source
+	// in share[x] is terminally spanned by a subject bridge-chain-linked
+	// to an initial spanner of x — conditions (ii) and (iii) by one bit.
+	snap := g.Snapshot()
+	srcIDs, srcLbls := snap.In(y)
+	if err := b.Charge(int64(1 + len(srcIDs))); err != nil {
+		return false, warm, err
+	}
+	for j, s := range srcIDs {
+		if snap.Label(srcLbls[j]).Explicit.Has(alpha) && row.set.Has(s) {
+			return true, warm, nil
+		}
+	}
+	return false, warm, nil
+}
+
+// CanKnow answers can•know(x, y, G) from the closure index: y's bit in
+// x's know row (Theorem 3.2 with the spanner and link-chain conditions
+// pre-folded, exactly KnowClosure's membership).
+func (ix *ReachIndex) CanKnow(x, y graph.ID, p *obs.Probe, b *budget.Budget) (ok, warm bool, err error) {
+	g := ix.g
+	if !g.Valid(x) || !g.Valid(y) {
+		return false, true, nil
+	}
+	if x == y {
+		return true, true, nil
+	}
+	row, warm, err := ix.knowRow(x, p, b)
+	if err != nil {
+		return false, false, err
+	}
+	if err := b.Charge(1); err != nil {
+		return false, warm, err
+	}
+	return row.set.Has(y), warm, nil
+}
+
+// CanKnowF answers can•know•f(x, y, G) from the closure index: y's bit
+// in x's admissible-path closure row (Theorem 3.1, exactly
+// KnowFClosure's membership).
+func (ix *ReachIndex) CanKnowF(x, y graph.ID, p *obs.Probe, b *budget.Budget) (ok, warm bool, err error) {
+	g := ix.g
+	if !g.Valid(x) || !g.Valid(y) {
+		return false, true, nil
+	}
+	if x == y {
+		return true, true, nil
+	}
+	row, warm, err := ix.knowfRow(x, p, b)
+	if err != nil {
+		return false, false, err
+	}
+	if err := b.Charge(1); err != nil {
+		return false, warm, err
+	}
+	return row.set.Has(y), warm, nil
+}
+
+// row fetch ---------------------------------------------------------------
+
+// getRow serves one per-vertex row, building it with build on a miss and
+// publishing under the captured generation. The bool reports a warm hit.
+func (ix *ReachIndex) getRow(rows map[graph.ID]*reachRow, gen *uint64, v graph.ID, p *obs.Probe,
+	build func(gen uint64) (*reachRow, error)) (*reachRow, bool, error) {
+	sp := p.Span("closure_index")
+	ix.mu.Lock()
+	cur := *gen
+	if r := rows[v]; r != nil && r.gen == cur {
+		ix.mu.Unlock()
+		ix.hits.Add(1)
+		sp.Count("hits", 1).End()
+		return r, true, nil
+	}
+	ix.mu.Unlock()
+	ix.misses.Add(1)
+	sp.Count("misses", 1).End()
+	r, err := build(cur)
+	if err != nil {
+		return nil, false, err
+	}
+	ix.mu.Lock()
+	if *gen != cur {
+		// A mutation slipped between capture and publish (impossible under
+		// the service's lock discipline, tolerated here): serve the build,
+		// publish nothing.
+		ix.mu.Unlock()
+		return r, false, nil
+	}
+	if old := rows[v]; old != nil {
+		if old.gen == cur {
+			// A concurrent reader published first; adopt its row.
+			ix.mu.Unlock()
+			relang.PutVertexSet(r.set)
+			return old, false, nil
+		}
+		// old is stale: no reader can hold it (staleness only arises under
+		// the mutation lock), so its set may be pooled.
+		relang.PutVertexSet(old.set)
+	}
+	rows[v] = r
+	ix.mu.Unlock()
+	return r, false, nil
+}
+
+func (ix *ReachIndex) shareRow(x graph.ID, p *obs.Probe, b *budget.Budget) (*reachRow, bool, error) {
+	return ix.getRow(ix.share, &ix.shareGen, x, p, func(gen uint64) (*reachRow, error) {
+		return ix.buildShareRow(x, gen, b)
+	})
+}
+
+func (ix *ReachIndex) knowRow(x graph.ID, p *obs.Probe, b *budget.Budget) (*reachRow, bool, error) {
+	return ix.getRow(ix.know, &ix.knowGen, x, p, func(gen uint64) (*reachRow, error) {
+		return ix.buildKnowRow(x, gen, b)
+	})
+}
+
+func (ix *ReachIndex) knowfRow(x graph.ID, p *obs.Probe, b *budget.Budget) (*reachRow, bool, error) {
+	return ix.getRow(ix.knowf, &ix.knowfGen, x, p, func(gen uint64) (*reachRow, error) {
+		return ix.buildKnowFRow(x, gen, b)
+	})
+}
+
+// row construction --------------------------------------------------------
+
+// buildShareRow computes share[x]: forward terminal spans (t>*) from
+// every subject in the bridge-chain closure of x's initial spanners.
+func (ix *ReachIndex) buildShareRow(x graph.ID, gen uint64, b *budget.Budget) (*reachRow, error) {
+	g := ix.g
+	ix.rebuilds.Add(1)
+	set := relang.GetVertexSet(g.Cap())
+	xPrimes, err := spannersB(g, x, initialSpanRevNFA, true, relang.ViewExplicit, b)
+	if err != nil {
+		relang.PutVertexSet(set)
+		return nil, err
+	}
+	if len(xPrimes) == 0 {
+		return &reachRow{gen: gen, set: set}, nil
+	}
+	seeds, err := ix.chainSubjects(ix.chain, &ix.shareGen, bridgeChainNFA, xPrimes, gen, b)
+	if err != nil {
+		relang.PutVertexSet(set)
+		return nil, err
+	}
+	// Every subject terminally spans itself (the ν span), then the forward
+	// t>* search extends to everything the closure subjects can take from.
+	for _, s := range seeds {
+		set.Add(s)
+	}
+	_, _, err = relang.SearchVisit(g, terminalSpanNFA, seeds, relang.Options{View: relang.ViewExplicit, Budget: b},
+		func(v graph.ID) { set.Add(v) })
+	if err != nil {
+		relang.PutVertexSet(set)
+		return nil, err
+	}
+	return &reachRow{gen: gen, set: set}, nil
+}
+
+// buildKnowRow computes know[x] exactly as KnowClosureInto does, but with
+// the link-chain stage served from the per-island link rows.
+func (ix *ReachIndex) buildKnowRow(x graph.ID, gen uint64, b *budget.Budget) (*reachRow, error) {
+	g := ix.g
+	ix.rebuilds.Add(1)
+	set := relang.GetVertexSet(g.Cap())
+	set.Add(x) // reflexive by convention
+	u1s, err := spannersB(g, x, rwInitialSpanRevNFA, true, relang.ViewExplicit, b)
+	if err != nil {
+		relang.PutVertexSet(set)
+		return nil, err
+	}
+	if len(u1s) == 0 {
+		return &reachRow{gen: gen, set: set}, nil
+	}
+	uns, err := ix.chainSubjects(ix.link, &ix.knowGen, linkChainNFA, u1s, gen, b)
+	if err != nil {
+		relang.PutVertexSet(set)
+		return nil, err
+	}
+	for _, u := range uns {
+		set.Add(u)
+	}
+	_, _, err = relang.SearchVisit(g, rwTerminalNFA, uns, relang.Options{View: relang.ViewExplicit, Budget: b},
+		func(v graph.ID) { set.Add(v) })
+	if err != nil {
+		relang.PutVertexSet(set)
+		return nil, err
+	}
+	return &reachRow{gen: gen, set: set}, nil
+}
+
+// buildKnowFRow computes knowf[x] as the admissible-path closure plus the
+// definition's implicit-edge base cases — KnowFClosureInto verbatim.
+func (ix *ReachIndex) buildKnowFRow(x graph.ID, gen uint64, b *budget.Budget) (*reachRow, error) {
+	g := ix.g
+	ix.rebuilds.Add(1)
+	ids, err := KnowFClosureInto(g, x, nil, b)
+	if err != nil {
+		return nil, err
+	}
+	set := relang.GetVertexSet(g.Cap())
+	for _, v := range ids {
+		set.Add(v)
+	}
+	return &reachRow{gen: gen, set: set}, nil
+}
+
+// chainSubjects returns the union of the per-island chain rows (of the
+// given chain NFA) over the islands of the given subjects, building
+// missing rows. All subjects of one island share one closure — chain
+// languages compose at subject boundaries and island tg edges are
+// bridges — so the row is keyed by island root and built from a single
+// member as seed.
+func (ix *ReachIndex) chainSubjects(rows map[graph.ID]*reachRow, gen *uint64, nfa *relang.NFA,
+	subjects []graph.ID, want uint64, b *budget.Budget) ([]graph.ID, error) {
+	g := ix.g
+	idx := g.TGIslands()
+	merged := relang.GetVertexSet(g.Cap())
+	defer relang.PutVertexSet(merged)
+	var out []graph.ID
+	for _, s := range subjects {
+		root := idx.Root(s)
+		ix.mu.Lock()
+		r := rows[root]
+		if r != nil && r.gen == *gen {
+			ix.mu.Unlock()
+		} else {
+			ix.mu.Unlock()
+			built, err := ix.buildChainRow(nfa, s, want, b)
+			if err != nil {
+				return nil, err
+			}
+			ix.mu.Lock()
+			if *gen == want {
+				if old := rows[root]; old != nil && old.gen == want {
+					relang.PutVertexSet(built.set)
+					built = old
+				} else {
+					if old := rows[root]; old != nil {
+						relang.PutVertexSet(old.set)
+					}
+					rows[root] = built
+				}
+			}
+			ix.mu.Unlock()
+			r = built
+		}
+		for _, v := range r.ids {
+			if merged.Add(v) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out, nil
+}
+
+// buildChainRow runs one chain search seeded from a single island member
+// and collects the accepted subjects.
+func (ix *ReachIndex) buildChainRow(nfa *relang.NFA, seed graph.ID, gen uint64, b *budget.Budget) (*reachRow, error) {
+	g := ix.g
+	ix.rebuilds.Add(1)
+	set := relang.GetVertexSet(g.Cap())
+	var ids []graph.ID
+	_, _, err := relang.SearchVisit(g, nfa, []graph.ID{seed}, relang.Options{View: relang.ViewExplicit, Budget: b},
+		func(v graph.ID) {
+			if g.IsSubject(v) && set.Add(v) {
+				ids = append(ids, v)
+			}
+		})
+	if err != nil {
+		relang.PutVertexSet(set)
+		return nil, err
+	}
+	// The empty chain ν makes every start a member of its own closure; the
+	// search accepts it too, this is just belt and braces.
+	if g.IsSubject(seed) && set.Add(seed) {
+		ids = append(ids, seed)
+	}
+	return &reachRow{gen: gen, set: set, ids: ids}, nil
+}

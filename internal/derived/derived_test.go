@@ -1,0 +1,172 @@
+package derived
+
+import (
+	"testing"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/qcache"
+	"takegrant/internal/rights"
+)
+
+// fakeIndex records dispatches and refuses changes by kind.
+type fakeIndex struct {
+	name        string
+	refuse      map[graph.ChangeKind]bool
+	patched     []graph.Change
+	invalidated int
+	hits        uint64
+}
+
+func (f *fakeIndex) Name() string { return f.name }
+func (f *fakeIndex) Patch(c graph.Change) bool {
+	if f.refuse[c.Kind] {
+		return false
+	}
+	f.patched = append(f.patched, c)
+	return true
+}
+func (f *fakeIndex) Invalidate() { f.invalidated++ }
+func (f *fakeIndex) IndexStats() (hits, misses, rebuilds uint64) {
+	return f.hits, 0, 0
+}
+
+func TestRegistryDispatch(t *testing.T) {
+	r := NewRegistry()
+	absorb := &fakeIndex{name: "absorb"}
+	fragile := &fakeIndex{name: "fragile", refuse: map[graph.ChangeKind]bool{graph.ChangeDestructive: true}}
+	r.Register(absorb)
+	r.Register(fragile)
+
+	r.Observe(graph.Change{Kind: graph.ChangeAddVertex, Src: 0, Dst: graph.None})
+	r.Observe(graph.Change{Kind: graph.ChangeDestructive})
+
+	if len(absorb.patched) != 2 || absorb.invalidated != 0 {
+		t.Fatalf("absorb: %d patches, %d invalidates; want 2, 0", len(absorb.patched), absorb.invalidated)
+	}
+	if len(fragile.patched) != 1 || fragile.invalidated != 1 {
+		t.Fatalf("fragile: %d patches, %d invalidates; want 1, 1", len(fragile.patched), fragile.invalidated)
+	}
+
+	stats := r.Stats()
+	if s := stats["absorb"]; s.Patches != 2 || s.Invalidates != 0 {
+		t.Fatalf("absorb stats = %+v; want 2 patches, 0 invalidates", s)
+	}
+	if s := stats["fragile"]; s.Patches != 1 || s.Invalidates != 1 {
+		t.Fatalf("fragile stats = %+v; want 1 patch, 1 invalidate", s)
+	}
+}
+
+func TestRegistryStatsMergeReporter(t *testing.T) {
+	r := NewRegistry()
+	f := &fakeIndex{name: "rep", hits: 7}
+	r.Register(f)
+	r.Observe(graph.Change{Kind: graph.ChangeAddVertex})
+	s := r.Stats()["rep"]
+	if s.Hits != 7 || s.Patches != 1 {
+		t.Fatalf("merged stats = %+v; want reporter hits 7 + registry patch 1", s)
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&fakeIndex{name: "zeta"})
+	r.Register(&fakeIndex{name: "alpha"})
+	names := r.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("Names() = %v; want sorted [alpha zeta]", names)
+	}
+}
+
+// TestRegistryAttachFeedsChangeStream wires a registry to a live graph and
+// checks mutations flow through: effective mutations dispatch, no-op
+// mutations (adding rights already present) do not.
+func TestRegistryAttachFeedsChangeStream(t *testing.T) {
+	g := graph.New(nil)
+	r := NewRegistry()
+	f := &fakeIndex{name: "probe"}
+	r.Register(f)
+	r.Attach(g)
+
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	if err := g.AddExplicit(a, b, rights.TG); err != nil {
+		t.Fatal(err)
+	}
+	n := len(f.patched)
+	if n < 3 { // two vertex adds + one label add
+		t.Fatalf("saw %d changes; want at least 3", n)
+	}
+	// Re-adding the same rights is effective-no-op: revision moves, but no
+	// change is recorded — index validity must ride the change stream.
+	if err := g.AddExplicit(a, b, rights.TG); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.patched) != n {
+		t.Fatalf("no-op mutation dispatched a change: %d -> %d", n, len(f.patched))
+	}
+	if err := g.DeleteVertex(b); err != nil {
+		t.Fatal(err)
+	}
+	last := f.patched[len(f.patched)-1]
+	if last.Kind != graph.ChangeDestructive {
+		t.Fatalf("vertex deletion dispatched %v; want destructive", last.Kind)
+	}
+}
+
+// TestBuiltinAdapters exercises the snapshot, island and qcache adapters
+// against live structures: every change is absorbed, stats surface the
+// underlying counters.
+func TestBuiltinAdapters(t *testing.T) {
+	g := graph.New(nil)
+	c := qcache.New(4)
+	r := NewRegistry()
+	r.Register(Snapshot(g))
+	r.Register(Islands(g))
+	r.Register(QCache(c))
+	r.Attach(g)
+
+	a := g.MustSubject("a")
+	b := g.MustSubject("b")
+	if err := g.AddExplicit(a, b, rights.TG); err != nil {
+		t.Fatal(err)
+	}
+	g.Snapshot()
+	g.Snapshot() // second call at same revision: a hit
+	g.TGIslands()
+	g.TGIslands()
+	c.Put(qcache.Key{Kind: "k"}, 1)
+	if _, ok := c.Get(qcache.Key{Kind: "k"}); !ok {
+		t.Fatal("qcache get missed a just-put key")
+	}
+
+	stats := r.Stats()
+	if s := stats["snapshot"]; s.Rebuilds == 0 || s.Hits == 0 {
+		t.Fatalf("snapshot stats = %+v; want builds and hits", s)
+	}
+	if s := stats["tg_islands"]; s.Rebuilds == 0 || s.Hits == 0 {
+		t.Fatalf("tg_islands stats = %+v; want builds and hits", s)
+	}
+	if s := stats["qcache"]; s.Hits != 1 {
+		t.Fatalf("qcache stats = %+v; want 1 hit", s)
+	}
+	// Every change so far was absorbed by all three adapters.
+	for name, s := range stats {
+		if s.Invalidates != 0 {
+			t.Fatalf("%s: unexpected registry invalidate: %+v", name, s)
+		}
+	}
+
+	// Destructive change: adapters still absorb (their structures key by
+	// revision or self-invalidate inside the graph).
+	if err := g.DeleteVertex(b); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats()["tg_islands"]; s.Invalidates != 0 {
+		t.Fatalf("island adapter reported a registry invalidate: %+v", s)
+	}
+	// QCache Invalidate maps to Reset and counts as a rebuild.
+	QCache(c).Invalidate()
+	if s := r.Stats()["qcache"]; s.Rebuilds != 1 {
+		t.Fatalf("qcache stats after reset = %+v; want 1 rebuild", s)
+	}
+}

@@ -80,14 +80,22 @@ type Graph struct {
 	live     int
 
 	// adjMu guards snap, the lazily built frozen CSR snapshot used by the
-	// search engines and Edges; it is invalidated by revision.
-	adjMu sync.Mutex
-	snap  *Snapshot
+	// search engines and Edges; it is invalidated by revision. The counters
+	// feed SnapshotStats.
+	adjMu      sync.Mutex
+	snap       *Snapshot
+	snapHits   uint64
+	snapBuilds uint64
 
 	// islMu guards isl, the incrementally maintained tg-island union-find
-	// (see tgisland.go); nil means "rebuild on next use".
-	islMu sync.Mutex
-	isl   *TGIndex
+	// (see tgisland.go); nil means "rebuild on next use". The counters feed
+	// IslandStats.
+	islMu          sync.Mutex
+	isl            *TGIndex
+	islHits        uint64
+	islBuilds      uint64
+	islUnions      uint64
+	islInvalidates uint64
 
 	// recorder, when set, observes every effective mutation (changes.go).
 	recorder func(Change)

@@ -55,8 +55,19 @@ func (g *Graph) Snapshot() *Snapshot {
 	defer g.adjMu.Unlock()
 	if g.snap == nil || g.snap.rev != g.revision {
 		g.snap = buildSnapshot(g)
+		g.snapBuilds++
+	} else {
+		g.snapHits++
 	}
 	return g.snap
+}
+
+// SnapshotStats reports how often Snapshot reused the frozen view (hits)
+// versus rebuilt it for a new revision (builds). Safe for concurrent use.
+func (g *Graph) SnapshotStats() (hits, builds uint64) {
+	g.adjMu.Lock()
+	defer g.adjMu.Unlock()
+	return g.snapHits, g.snapBuilds
 }
 
 // buildSnapshot packs the live adjacency into CSR form: degree counts,

@@ -71,8 +71,21 @@ func (g *Graph) TGIslands() *TGIndex {
 	defer g.islMu.Unlock()
 	if g.isl == nil {
 		g.isl = buildTGIndex(g)
+		g.islBuilds++
+	} else {
+		g.islHits++
 	}
 	return g.isl
+}
+
+// IslandStats reports the island index's lifetime counters: lookups that
+// reused the live index (hits), from-scratch rebuilds (builds), in-place
+// monotone merges (unions) and invalidations by non-monotone mutations.
+// Safe for concurrent use.
+func (g *Graph) IslandStats() (hits, builds, unions, invalidates uint64) {
+	g.islMu.Lock()
+	defer g.islMu.Unlock()
+	return g.islHits, g.islBuilds, g.islUnions, g.islInvalidates
 }
 
 // SameTGIsland reports whether live subjects a and b share a tg-island,
@@ -127,15 +140,25 @@ func (g *Graph) islandAddExplicit(src, dst ID, set rights.Set) {
 	g.islMu.Lock()
 	if g.isl != nil {
 		g.isl.union(int32(src), int32(dst))
+		g.islUnions++
 	}
 	g.islMu.Unlock()
 }
+
+// InvalidateIslandIndex drops the maintained island index so the next
+// TGIslands call rebuilds from scratch. Exposed for the derived-index
+// registry's Invalidate contract; the graph's own mutation paths use the
+// internal form below.
+func (g *Graph) InvalidateIslandIndex() { g.islandInvalidate() }
 
 // islandInvalidate drops the index; the next TGIslands call rebuilds.
 // Called on the non-monotone mutations (tg-edge removal, subject deletion
 // with incident tg edges, revision restore) — a union-find cannot split.
 func (g *Graph) islandInvalidate() {
 	g.islMu.Lock()
+	if g.isl != nil {
+		g.islInvalidates++
+	}
 	g.isl = nil
 	g.islMu.Unlock()
 }

@@ -87,29 +87,56 @@ func (e *Engine) Detach() { e.g.SetRecorder(nil) }
 // (revoking t/g, or an explicit r/w held by an object source — objects
 // contribute no explicit step) are dropped as no-ops.
 func (e *Engine) record(c graph.Change) {
-	if e.wholesale {
-		return
-	}
-	switch c.Kind {
-	case graph.ChangeDestructive:
-		e.invalidate()
-	case graph.ChangeRemoveExplicit:
-		if c.Set.HasAny(rights.RW) && e.g.IsSubject(c.Src) {
-			e.invalidate()
-		}
-	case graph.ChangeRemoveImplicit:
-		if c.Set.HasAny(rights.RW) {
-			e.invalidate()
-		}
-	default:
-		e.pending = append(e.pending, c)
+	if !e.Patch(c) {
+		e.Invalidate()
 	}
 }
 
-func (e *Engine) invalidate() {
+// Patch implements the derived-index contract (internal/derived): it
+// absorbs one effective mutation, buffering monotone deltas for in-place
+// patching at the next Rearm, and returns false for the changes that
+// force a wholesale rebuild — a destructive mutation, or a removal that
+// can shrink the step digraph. Removals that cannot affect it (revoking
+// t/g, or an explicit r/w held by an object source — objects contribute
+// no explicit step) are absorbed as no-ops. Once the engine is already
+// pending a wholesale rebuild every further change is absorbed by it.
+// Called under the graph's mutation lock.
+func (e *Engine) Patch(c graph.Change) bool {
+	if e.wholesale {
+		return true
+	}
+	switch c.Kind {
+	case graph.ChangeDestructive:
+		return false
+	case graph.ChangeRemoveExplicit:
+		return !(c.Set.HasAny(rights.RW) && e.g.IsSubject(c.Src))
+	case graph.ChangeRemoveImplicit:
+		return !c.Set.HasAny(rights.RW)
+	default:
+		e.pending = append(e.pending, c)
+		return true
+	}
+}
+
+// Invalidate drops the incremental state; the next Rearm re-derives the
+// structure from scratch. Implements the derived-index contract; same
+// locking contract as Patch.
+func (e *Engine) Invalidate() {
 	e.wholesale = true
 	e.pending = nil
 	e.stats.Invalidations++
+}
+
+// Name identifies the engine in the derived-index registry.
+func (e *Engine) Name() string { return "hierarchy" }
+
+// IndexStats reports the engine's read-side derived-index counters:
+// patch-drain rounds served without a rebuild count as hits, wholesale
+// re-derivations as misses and rebuilds. (Registry-dispatched patch and
+// invalidate totals are counted by the registry itself.)
+func (e *Engine) IndexStats() (hits, misses, rebuilds uint64) {
+	s := e.Stats()
+	return s.Patches, s.Rebuilds, s.Rebuilds
 }
 
 // Structure returns the engine's structure for the graph's current

@@ -27,7 +27,7 @@ func TestParseTraceparent(t *testing.T) {
 		ok bool
 	}{
 		{valid, true},
-		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true},   // unsampled still parses
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true},    // unsampled still parses
 		{"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-xx", true}, // future version, extra field
 		{"", false},
 		{"short", false},

@@ -40,6 +40,7 @@ type Stats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	Resets    uint64 `json:"resets"`
 	Size      int    `json:"size"`
 	Cap       int    `json:"cap"`
 	// PerKind breaks hits and misses down by Key.Kind — the per-procedure
@@ -67,6 +68,7 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	resets    uint64
 	kinds     map[string]*KindStats
 }
 
@@ -174,16 +176,19 @@ func (c *Cache) Stats() Stats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Resets:    c.resets,
 		Size:      c.ll.Len(),
 		Cap:       c.max,
 		PerKind:   per,
 	}
 }
 
-// Reset drops every entry, keeping the counters.
+// Reset drops every entry, keeping the counters (and counting the reset —
+// a reset is the cache's whole-structure rebuild event).
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.resets++
 	c.ll.Init()
 	c.items = make(map[Key]*list.Element)
 }

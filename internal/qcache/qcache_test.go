@@ -138,10 +138,10 @@ func TestPerKindStats(t *testing.T) {
 	c := New(8)
 	share := Key{Kind: "can-share", Params: "1:2:3"}
 	know := Key{Kind: "can-know", Params: "2:3"}
-	c.GetOrCompute(share, func() any { return true })  // miss
-	c.GetOrCompute(share, func() any { return true })  // hit
-	c.GetOrCompute(share, func() any { return true })  // hit
-	c.GetOrCompute(know, func() any { return false })  // miss
+	c.GetOrCompute(share, func() any { return true }) // miss
+	c.GetOrCompute(share, func() any { return true }) // hit
+	c.GetOrCompute(share, func() any { return true }) // hit
+	c.GetOrCompute(know, func() any { return false }) // miss
 	st := c.Stats()
 	if got := st.PerKind["can-share"]; got != (KindStats{Hits: 2, Misses: 1}) {
 		t.Errorf("can-share = %+v", got)

@@ -1,0 +1,86 @@
+package relang
+
+import (
+	"sync"
+
+	"takegrant/internal/graph"
+)
+
+// VertexSet is a reusable epoch-stamped membership set over vertex IDs —
+// the same idiom as the product-search scratch (search.go): a slot is a
+// member iff stamp[v] == epoch, so clearing the set for reuse is a single
+// epoch bump instead of a zeroing pass. Unlike the search scratch it is a
+// standalone exported value: long-lived derived indexes keep closure rows
+// in VertexSets drawn from the shared pool and return them when a row is
+// invalidated, so steady-state row rebuilds allocate nothing.
+//
+// A VertexSet is not safe for concurrent mutation; once a holder stops
+// calling Add, any number of readers may call Has concurrently (the same
+// publish-then-read contract as the rest of the read path).
+type VertexSet struct {
+	stamp []uint32
+	epoch uint32
+	n     int
+}
+
+// Reset prepares the set to hold IDs < size, emptying it in O(1) by
+// bumping the epoch (the stamp array is zeroed only on allocation growth
+// or epoch wrap-around).
+func (s *VertexSet) Reset(size int) {
+	if cap(s.stamp) < size {
+		s.stamp = make([]uint32, size)
+		s.epoch = 0
+	} else {
+		s.stamp = s.stamp[:size]
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could alias the new epoch
+		full := s.stamp[:cap(s.stamp)]
+		for i := range full {
+			full[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.n = 0
+}
+
+// Add marks v as a member and reports whether it was new. IDs outside
+// [0, size) are ignored (and reported as not new).
+func (s *VertexSet) Add(v graph.ID) bool {
+	if v < 0 || int(v) >= len(s.stamp) {
+		return false
+	}
+	if s.stamp[v] == s.epoch {
+		return false
+	}
+	s.stamp[v] = s.epoch
+	s.n++
+	return true
+}
+
+// Has reports membership. IDs outside the Reset size are never members —
+// in particular, vertices created after the set was built read as absent.
+func (s *VertexSet) Has(v graph.ID) bool {
+	return v >= 0 && int(v) < len(s.stamp) && s.stamp[v] == s.epoch
+}
+
+// Len returns the number of members.
+func (s *VertexSet) Len() int { return s.n }
+
+var vsetPool = sync.Pool{New: func() any { return new(VertexSet) }}
+
+// GetVertexSet draws an empty set sized for IDs < size from the shared
+// pool.
+func GetVertexSet(size int) *VertexSet {
+	s := vsetPool.Get().(*VertexSet)
+	s.Reset(size)
+	return s
+}
+
+// PutVertexSet returns a set to the pool. The caller must not retain any
+// reference — a pooled set's next Reset invalidates its contents.
+func PutVertexSet(s *VertexSet) {
+	if s != nil {
+		vsetPool.Put(s)
+	}
+}

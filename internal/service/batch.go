@@ -10,7 +10,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"takegrant/internal/analysis"
 	"takegrant/internal/budget"
 	"takegrant/internal/graph"
 	"takegrant/internal/obs"
@@ -205,15 +204,30 @@ func (s *Server) runBatchItem(n *namespace, r *http.Request, q BatchQuery) (res 
 	switch q.Kind {
 	case "can-share":
 		v, err = n.cachedErr(p, "can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {
-			return analysis.CanShareObs(n.g, rt, x, y, p, b)
+			ok, warm, err := n.reach.CanShare(rt, x, y, p, b)
+			if err != nil {
+				return nil, err
+			}
+			s.fastpath.note(warm)
+			return ok, nil
 		})
 	case "can-know":
 		v, err = n.cachedErr(p, "can-know", fmt.Sprintf("%d:%d", x, y), func() (any, error) {
-			return analysis.CanKnowObs(n.g, x, y, p, b)
+			ok, warm, err := n.reach.CanKnow(x, y, p, b)
+			if err != nil {
+				return nil, err
+			}
+			s.fastpath.note(warm)
+			return ok, nil
 		})
 	case "can-know-f":
 		v, err = n.cachedErr(p, "can-know-f", fmt.Sprintf("%d:%d", x, y), func() (any, error) {
-			return analysis.CanKnowFObs(n.g, x, y, p, b)
+			ok, warm, err := n.reach.CanKnowF(x, y, p, b)
+			if err != nil {
+				return nil, err
+			}
+			s.fastpath.note(warm)
+			return ok, nil
 		})
 	case "can-steal":
 		v, err = n.cachedErr(p, "can-steal", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestClosureFastPathWarm pins the closure fast path's observable contract:
+// the first compute at a revision falls back to the budgeted search (and is
+// counted fast_path="search"), a monotone mutation that no chain alphabet
+// cares about moves the revision — forcing a qcache miss — but leaves the
+// closure rows warm, so the recompute is a bit-test counted
+// fast_path="closure", with identical verdicts.
+func TestClosureFastPathWarm(t *testing.T) {
+	srv := New()
+	h := srv.Handler()
+	putSpecimen(t, h, "fig61")
+
+	items := []BatchQuery{
+		{ID: "s", Kind: "can-share", Right: "r", X: "low", Y: "secret"},
+		{ID: "k", Kind: "can-know", X: "low", Y: "secret"},
+		{ID: "f", Kind: "can-know-f", X: "low", Y: "secret"},
+	}
+	var cold BatchResponse
+	if rec := postBatch(t, h, items, &cold); rec.Code != http.StatusOK {
+		t.Fatalf("POST /query/batch: %d %s", rec.Code, rec.Body.String())
+	}
+	st := srv.Stats()
+	if st.FastPath.Search == 0 {
+		t.Fatalf("cold computes not counted as search: %+v", st.FastPath)
+	}
+	if st.FastPath.Closure != 0 {
+		t.Fatalf("cold computes claimed the closure path: %+v", st.FastPath)
+	}
+
+	// An empty-rights create is just a vertex add: every closure row family
+	// absorbs it, but the revision moves, so the same batch misses the
+	// qcache and recomputes — this time through warm rows.
+	req := httptest.NewRequest(http.MethodPost, "/apply",
+		strings.NewReader(`{"op":"create","x":"low","name":"fp_probe","kind":"object"}`))
+	req.Header.Set("Content-Type", "application/json")
+	if rec := serve(t, h, req, nil); rec.Code != http.StatusOK {
+		t.Fatalf("POST /apply: %d %s", rec.Code, rec.Body.String())
+	}
+
+	var warm BatchResponse
+	if rec := postBatch(t, h, items, &warm); rec.Code != http.StatusOK {
+		t.Fatalf("POST /query/batch (warm): %d %s", rec.Code, rec.Body.String())
+	}
+	if warm.Revision == cold.Revision {
+		t.Fatal("mutation did not move the revision; warm batch hit the qcache instead of recomputing")
+	}
+	st = srv.Stats()
+	if st.FastPath.Closure < uint64(len(items)) {
+		t.Fatalf("warm recompute not answered by the closure path: %+v", st.FastPath)
+	}
+	for i := range items {
+		c, w := cold.Results[i], warm.Results[i]
+		if c.Status != http.StatusOK || w.Status != http.StatusOK || c.Verdict == nil || w.Verdict == nil {
+			t.Fatalf("item %q: cold %+v warm %+v", items[i].ID, c, w)
+		}
+		if *c.Verdict != *w.Verdict {
+			t.Fatalf("item %q: closure path changed the verdict %v -> %v", items[i].ID, *c.Verdict, *w.Verdict)
+		}
+	}
+	if st.Indexes["reach_closure"].Hits == 0 {
+		t.Fatalf("registry shows no reach_closure hits: %+v", st.Indexes["reach_closure"])
+	}
+	if st.Indexes["reach_closure"].Patches == 0 {
+		t.Fatalf("vertex add was not dispatched as a patch: %+v", st.Indexes["reach_closure"])
+	}
+}

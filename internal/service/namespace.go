@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"takegrant/internal/analysis"
+	"takegrant/internal/derived"
 	"takegrant/internal/graph"
 	"takegrant/internal/hierarchy"
 	"takegrant/internal/obs"
@@ -43,6 +45,12 @@ type namespace struct {
 	logged *restrict.Logged
 	guard  *restrict.Guarded
 	cache  *qcache.Cache
+	// reach holds the incrementally maintained closure rows behind the
+	// warm can-share/can-know/can-know-f fast path; reg is the derived-index
+	// registry that fans the graph's change stream out to every revision-
+	// keyed structure (snapshot, islands, qcache, hierarchy engine, reach).
+	reach *analysis.ReachIndex
+	reg   *derived.Registry
 	// journal, when attached, makes accepted mutations durable; degraded
 	// records the first append failure, after which mutations are refused
 	// (reads continue). Both guarded by mu.
@@ -74,6 +82,18 @@ func (n *namespace) install(g *graph.Graph, workers int) {
 	n.logged = restrict.NewLogged(n.comb)
 	n.guard = restrict.NewGuarded(g, n.logged)
 	n.cache.Reset()
+	// One registry per installed graph fans the change stream out to every
+	// derived index. Attach replaces the recorder NewEngine installed: the
+	// engine now receives its changes through the registry like every other
+	// index, and the closure rows invalidate in the same dispatch.
+	n.reach = analysis.NewReachIndex(g)
+	n.reg = derived.NewRegistry()
+	n.reg.Register(derived.Snapshot(g))
+	n.reg.Register(derived.Islands(g))
+	n.reg.Register(derived.QCache(n.cache))
+	n.reg.Register(n.engine)
+	n.reg.Register(n.reach)
+	n.reg.Attach(g)
 }
 
 // rearm brings the rw-level structure up to date after a successful
@@ -135,6 +155,7 @@ func (n *namespace) summary() NamespaceStats {
 		CacheEntries: n.cache.Stats().Size,
 		AppliedSeq:   n.appliedSeq.Load(),
 		Degraded:     n.degraded != nil,
+		Indexes:      n.reg.Stats(),
 	}
 	if n.journal != nil {
 		ns.LastSeq = n.journal.j.Stats().LastSeq

@@ -301,13 +301,13 @@ func TestMetricsMatchesStats(t *testing.T) {
 		// Every can-share request in this test answered 200, so the 2xx
 		// series carries the route's whole count.
 		`takegrant_requests_total{route="/query/can-share",code_class="2xx"}`: float64(st.Routes["/query/can-share"].Count),
-		"takegrant_qcache_hits_total ":                       float64(st.Cache.Hits),
-		"takegrant_qcache_misses_total ":                     float64(st.Cache.Misses),
-		`takegrant_guard_verdicts_total{verdict="applied"}`:  float64(st.Guard.Applied),
-		`takegrant_guard_verdicts_total{verdict="refused"}`:  float64(st.Guard.Refused),
-		"takegrant_graph_vertices ":                          float64(st.Vertices),
-		"takegrant_graph_edges ":                             float64(st.Edges),
-		"takegrant_graph_revision ":                          float64(st.Revision),
+		"takegrant_qcache_hits_total ":                                        float64(st.Cache.Hits),
+		"takegrant_qcache_misses_total ":                                      float64(st.Cache.Misses),
+		`takegrant_guard_verdicts_total{verdict="applied"}`:                   float64(st.Guard.Applied),
+		`takegrant_guard_verdicts_total{verdict="refused"}`:                   float64(st.Guard.Refused),
+		"takegrant_graph_vertices ":                                           float64(st.Vertices),
+		"takegrant_graph_edges ":                                              float64(st.Edges),
+		"takegrant_graph_revision ":                                           float64(st.Revision),
 	}
 	for prefix, want := range checks {
 		if got := metricValue(t, body, prefix); got != want {
@@ -325,14 +325,23 @@ func TestMetricsMatchesStats(t *testing.T) {
 	}
 
 	// Decision-procedure phases reached the exposition: the first (miss)
-	// can-share query ran the real procedure under a probe.
-	if v := metricValue(t, body, `takegrant_phase_executions_total{procedure="/query/can-share",phase="sources"}`); v < 1 {
+	// can-share query consulted the closure index under a probe.
+	if v := metricValue(t, body, `takegrant_phase_executions_total{procedure="/query/can-share",phase="closure_index"}`); v < 1 {
 		t.Errorf("phase executions = %v", v)
 	}
-	// The fixture's positive verdict short-circuits on the island index;
-	// bridge_closure only runs on index misses.
-	if v := metricValue(t, body, `takegrant_phase_work_total{procedure="/query/can-share",phase="island_index",kind="hits"}`); v < 1 {
-		t.Errorf("island_index hits = %v", v)
+	// The first compute found no warm rows (a closure_index miss, built via
+	// the fallback search); the repeats were qcache hits and never computed.
+	if v := metricValue(t, body, `takegrant_phase_work_total{procedure="/query/can-share",phase="closure_index",kind="misses"}`); v < 1 {
+		t.Errorf("closure_index misses = %v", v)
+	}
+	if v := metricValue(t, body, `takegrant_fastpath_total{fast_path="search"}`); v < 1 {
+		t.Errorf("fastpath search = %v", v)
+	}
+	if v := metricValue(t, body, `takegrant_index_misses_total{index="reach_closure"}`); v != float64(st.Indexes["reach_closure"].Misses) {
+		t.Errorf("reach_closure misses = %v, /stats says %v", v, st.Indexes["reach_closure"].Misses)
+	}
+	if v := metricValue(t, body, `takegrant_index_patches_total{index="hierarchy"}`); v != float64(st.Indexes["hierarchy"].Patches) {
+		t.Errorf("hierarchy patches = %v, /stats says %v", v, st.Indexes["hierarchy"].Patches)
 	}
 
 	// Per-rule counters: the create applied, the read-up take was refused.

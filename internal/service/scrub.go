@@ -21,7 +21,13 @@ import (
 	"takegrant/internal/graph"
 	"takegrant/internal/hierarchy"
 	"takegrant/internal/obs"
+	"takegrant/internal/rights"
 )
+
+// scrubSampleVertices bounds the closure cross-check: sample² vertex pairs
+// per round, three predicates each — enough to trip on a corrupt row within
+// a few rounds, small enough to stay low duty cycle.
+const scrubSampleVertices = 6
 
 type scrubber struct {
 	cancel context.CancelFunc
@@ -94,6 +100,34 @@ func (s *Server) scrubNS(n *namespace) {
 	ref := hierarchy.AnalyzeRWReference(n.g)
 	if !n.class.EquivalentTo(ref) {
 		s.scrubMismatch(n, "hierarchy", "patched rw-level structure disagrees with from-scratch derivation")
+	}
+
+	// Reach closure: a verdict sample through the incrementally maintained
+	// closure rows vs the from-scratch decision procedures on the same
+	// pairs. The scrubber queries the index exactly the way a request
+	// would, so a stale row that slipped past patching shows up here.
+	ids := n.g.Vertices()
+	if len(ids) > scrubSampleVertices {
+		ids = ids[:scrubSampleVertices]
+	}
+	for _, x := range ids {
+		for _, y := range ids {
+			got, _, err := n.reach.CanShare(rights.Read, x, y, nil, nil)
+			if err == nil && got != analysis.CanShare(n.g, rights.Read, x, y) {
+				s.scrubMismatch(n, "reach_closure",
+					"can-share("+n.g.Name(x)+","+n.g.Name(y)+") closure verdict disagrees with search")
+			}
+			got, _, err = n.reach.CanKnow(x, y, nil, nil)
+			if err == nil && got != analysis.CanKnow(n.g, x, y) {
+				s.scrubMismatch(n, "reach_closure",
+					"can-know("+n.g.Name(x)+","+n.g.Name(y)+") closure verdict disagrees with search")
+			}
+			got, _, err = n.reach.CanKnowF(x, y, nil, nil)
+			if err == nil && got != analysis.CanKnowF(n.g, x, y) {
+				s.scrubMismatch(n, "reach_closure",
+					"can-know-f("+n.g.Name(x)+","+n.g.Name(y)+") closure verdict disagrees with search")
+			}
+		}
 	}
 }
 

@@ -108,6 +108,7 @@ import (
 
 	"takegrant/internal/analysis"
 	"takegrant/internal/budget"
+	"takegrant/internal/derived"
 	"takegrant/internal/fault"
 	"takegrant/internal/graph"
 	"takegrant/internal/health"
@@ -180,6 +181,23 @@ type faultCounters struct {
 	budgetExhausted atomic.Uint64
 }
 
+// fastPathCounters tracks which compute path answered an uncached decision
+// query: a warm closure row (the O(1)-amortized bit-test) or the budgeted
+// from-scratch search that builds the rows. qcache hits never reach either.
+type fastPathCounters struct {
+	closure atomic.Uint64
+	search  atomic.Uint64
+}
+
+// note counts one uncached verdict against its compute path.
+func (f *fastPathCounters) note(warm bool) {
+	if warm {
+		f.closure.Add(1)
+	} else {
+		f.search.Add(1)
+	}
+}
+
 // fleetCounters tracks the resilience layer's events: routing decisions
 // taken on a down peer, fencing refusals, scrubber verdicts.
 type fleetCounters struct {
@@ -248,9 +266,10 @@ type Server struct {
 	cfg    Config
 	// heavy is the load-shedding semaphore for decision-procedure routes;
 	// nil means unlimited.
-	heavy  chan struct{}
-	faults faultCounters
-	batch  batchCounters
+	heavy    chan struct{}
+	faults   faultCounters
+	batch    batchCounters
+	fastpath fastPathCounters
 	// flight is the crash-context ring: recent structured events, nil
 	// when disabled. Wait-free to record into from any path.
 	flight *obs.Flight
@@ -613,7 +632,7 @@ func (s *Server) handleApply(n *namespace, w http.ResponseWriter, r *http.Reques
 	)
 	s.flight.Record(obs.FlightEvent{
 		Kind: "guard", Trace: obs.TraceFrom(r.Context()), NS: n.name,
-		Route: "/apply",
+		Route:  "/apply",
 		Detail: fmt.Sprintf("%s applied, revision %d", req.Op, n.g.Revision()),
 	})
 	writeJSON(w, map[string]any{"applied": app.Format(n.g)})
@@ -732,7 +751,12 @@ func (s *Server) handleCanShare(n *namespace, w http.ResponseWriter, r *http.Req
 	p := obs.ProbeFrom(r.Context())
 	b := s.budgetFor(r)
 	v, err := n.cachedErr(p, "can-share", fmt.Sprintf("%d:%d:%d", rt, x, y), func() (any, error) {
-		return analysis.CanShareObs(n.g, rt, x, y, p, b)
+		ok, warm, err := n.reach.CanShare(rt, x, y, p, b)
+		if err != nil {
+			return nil, err
+		}
+		s.fastpath.note(warm)
+		return ok, nil
 	})
 	if err != nil {
 		s.queryErr(w, r, err)
@@ -754,7 +778,12 @@ func (s *Server) handleCanKnow(n *namespace, w http.ResponseWriter, r *http.Requ
 	b := s.budgetFor(r)
 	if r.URL.Query().Get("defacto") != "" {
 		v, err := n.cachedErr(p, "can-know-f", params, func() (any, error) {
-			return analysis.CanKnowFObs(n.g, x, y, p, b)
+			ok, warm, err := n.reach.CanKnowF(x, y, p, b)
+			if err != nil {
+				return nil, err
+			}
+			s.fastpath.note(warm)
+			return ok, nil
 		})
 		if err != nil {
 			s.queryErr(w, r, err)
@@ -764,7 +793,12 @@ func (s *Server) handleCanKnow(n *namespace, w http.ResponseWriter, r *http.Requ
 		return
 	}
 	v, err := n.cachedErr(p, "can-know", params, func() (any, error) {
-		return analysis.CanKnowObs(n.g, x, y, p, b)
+		ok, warm, err := n.reach.CanKnow(x, y, p, b)
+		if err != nil {
+			return nil, err
+		}
+		s.fastpath.note(warm)
+		return ok, nil
 	})
 	if err != nil {
 		s.queryErr(w, r, err)
@@ -998,6 +1032,9 @@ type NamespaceStats struct {
 	// AppliedSeq is the replication cursor (followers).
 	AppliedSeq uint64 `json:"applied_seq,omitempty"`
 	Degraded   bool   `json:"degraded,omitempty"`
+	// Indexes breaks out the namespace's derived-index registry: per-index
+	// hit/miss, patch/invalidate and rebuild counters.
+	Indexes map[string]derived.Stats `json:"indexes,omitempty"`
 }
 
 // Stats is the GET /stats report. The top-level fields describe the
@@ -1016,9 +1053,16 @@ type Stats struct {
 	// incremental patches vs full rebuilds, patched-edge outcomes, and
 	// dirty-set sizes.
 	Hierarchy hierarchy.EngineStats `json:"hierarchy"`
-	Routes    map[string]RouteStats `json:"routes"`
-	Faults    FaultStats            `json:"faults"`
-	Batch     BatchStats            `json:"batch"`
+	// Indexes reports the default namespace's derived-index registry: one
+	// entry per registered index (snapshot, tg_islands, qcache, hierarchy,
+	// reach_closure) with hit/miss, patch/invalidate and rebuild counters.
+	Indexes map[string]derived.Stats `json:"indexes"`
+	// FastPath splits uncached decision-query computes by answer path:
+	// warm closure bit-tests vs budgeted from-scratch searches.
+	FastPath FastPathStats         `json:"fast_path"`
+	Routes   map[string]RouteStats `json:"routes"`
+	Faults   FaultStats            `json:"faults"`
+	Batch    BatchStats            `json:"batch"`
 	// Journal is present when the server runs with a data directory;
 	// Degraded reports a journal write failure that froze mutations.
 	Journal  *JournalStats `json:"journal,omitempty"`
@@ -1033,6 +1077,12 @@ type Stats struct {
 	Fleet FleetStats `json:"fleet"`
 	// Peers reports the health prober's view, when one is installed.
 	Peers map[string]health.Status `json:"peers,omitempty"`
+}
+
+// FastPathStats is the closure fast path's slice of the /stats report.
+type FastPathStats struct {
+	Closure uint64 `json:"closure"`
+	Search  uint64 `json:"search"`
 }
 
 // FleetStats is the resilience layer's slice of the /stats report.
@@ -1057,6 +1107,7 @@ func (s *Server) Stats() Stats {
 		Cache:      s.cache.Stats(),
 		Guard:      guardStats(s.guard),
 		Hierarchy:  s.engine.Stats(),
+		Indexes:    s.reg.Stats(),
 		Routes:     s.metrics.snapshot(),
 		Faults: FaultStats{
 			Panics:          s.faults.panics.Load(),
@@ -1078,6 +1129,10 @@ func (s *Server) Stats() Stats {
 
 	st.ReadOnly = s.readOnly.Load()
 	st.Epoch = s.epoch.Load()
+	st.FastPath = FastPathStats{
+		Closure: s.fastpath.closure.Load(),
+		Search:  s.fastpath.search.Load(),
+	}
 	st.Fleet = FleetStats{
 		FailoverReads:   s.fleet.failoverReads.Load(),
 		PeerUnavailable: s.fleet.peerUnavailable.Load(),
@@ -1187,6 +1242,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ks := st.Cache.PerKind[kind]
 		pw.Counter("takegrant_qcache_kind_misses_total", "Decision-cache misses per procedure.",
 			[]obs.Label{obs.L("kind", kind)}, float64(ks.Misses))
+	}
+
+	// Closure fast path: uncached decision queries split by how they were
+	// answered — a warm closure bit-test or the budgeted fallback search.
+	pw.Counter("takegrant_fastpath_total", "Uncached decision-query computes by answer path.",
+		[]obs.Label{obs.L("fast_path", "closure")}, float64(st.FastPath.Closure))
+	pw.Counter("takegrant_fastpath_total", "",
+		[]obs.Label{obs.L("fast_path", "search")}, float64(st.FastPath.Search))
+
+	// Derived-index registry (default namespace): per-index lookup and
+	// maintenance counters. One pass per family keeps samples contiguous.
+	idxNames := make([]string, 0, len(st.Indexes))
+	for name := range st.Indexes {
+		idxNames = append(idxNames, name)
+	}
+	sort.Strings(idxNames)
+	for _, name := range idxNames {
+		pw.Counter("takegrant_index_hits_total", "Derived-index lookups answered by the live structure.",
+			[]obs.Label{obs.L("index", name)}, float64(st.Indexes[name].Hits))
+	}
+	for _, name := range idxNames {
+		pw.Counter("takegrant_index_misses_total", "Derived-index lookups that found no warm structure.",
+			[]obs.Label{obs.L("index", name)}, float64(st.Indexes[name].Misses))
+	}
+	for _, name := range idxNames {
+		pw.Counter("takegrant_index_patches_total", "Graph changes absorbed in place by each derived index.",
+			[]obs.Label{obs.L("index", name)}, float64(st.Indexes[name].Patches))
+	}
+	for _, name := range idxNames {
+		pw.Counter("takegrant_index_invalidates_total", "Graph changes that wholesale-invalidated each derived index.",
+			[]obs.Label{obs.L("index", name)}, float64(st.Indexes[name].Invalidates))
+	}
+	for _, name := range idxNames {
+		pw.Counter("takegrant_index_rebuilds_total", "From-scratch rebuilds of each derived index.",
+			[]obs.Label{obs.L("index", name)}, float64(st.Indexes[name].Rebuilds))
 	}
 
 	// Reference-monitor verdicts, total and per rewriting rule.
