@@ -32,6 +32,8 @@ var guarded = map[string]float64{
 	"E21": 3.0, // incremental engine vs per-step recompute
 	"E22": 3.0, // instrumentation overhead (histogram observe ≤ 100ns budget)
 	"E23": 3.0, // warm closure verdicts flat across scales (O(1)-amortized fast path)
+	"E24": 3.0, // bulk load at scale (binary decode + derived-index build linearity)
+	"E25": 3.0, // warm verdict p99 flat at 1e6 vertices
 }
 
 // row is the subset of tgbench's per-experiment report the gate reads.

@@ -2,10 +2,12 @@
 # Bench regression gate: regenerate the tgbench report and diff the
 # guarded experiments (E8 audit scaling, E9 O(1) guard, E20 flat
 # derivation, E21 incremental apply throughput, E22 instrumentation
-# overhead, E23 warm closure-verdict flatness) against the committed
-# baseline. Fails on a >3x slowdown or a
+# overhead, E23 warm closure-verdict flatness, E24 bulk-load linearity
+# at 1e6 vertices, E25 warm verdict p99 flat at scale) against the
+# committed baseline. Fails on a >3x slowdown or a
 # no-longer-passing experiment — E22's pass bit is where the ≤100ns/op
-# histogram-observe budget is enforced; see ci/benchdiff for the
+# histogram-observe budget is enforced, and E24's is where the
+# single-digit-second 1e6 cold install lives; see ci/benchdiff for the
 # rationale and thresholds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,4 +16,4 @@ fresh="$(mktemp)"
 trap 'rm -f "$fresh"' EXIT
 
 go run ./cmd/tgbench -json > "$fresh"
-go run ./ci/benchdiff BENCH_PR9.json "$fresh"
+go run ./ci/benchdiff BENCH_PR10.json "$fresh"

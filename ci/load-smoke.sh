@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Load smoke: generate a small doc-share world with tgload's scenario
+# generator, bulk-install it over the binary PUT path, and drive an
+# open-loop mixed workload (80% reads, 10% mutations, 10% batches) at a
+# modest rate for 30 seconds against a tgserve pinned under GOMEMLIMIT.
+# The gate (ci/loadcheck) fails on an error rate above 1%, a client p99
+# above 2s, a completed fraction below 90%, or any saturated arrivals —
+# and the script itself fails if the server process died mid-soak (the
+# GOMEMLIMIT pin turns a memory-hungry regression into a visible OOM
+# kill instead of a quietly swapping runner).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18471"
+BASE="http://$ADDR"
+DATA="$(mktemp -d)"
+LOG="$DATA/serve.log"
+trap 'kill -9 "${S_PID:-0}" 2>/dev/null || true; rm -rf "$DATA"' EXIT
+
+go build -o "$DATA/tgserve" ./cmd/tgserve
+go build -o "$DATA/tgload" ./cmd/tgload
+
+# A 2000-vertex doc-share world: big enough that queries traverse real
+# structure, small enough that a shared runner absorbs the rate easily.
+"$DATA/tgload" -gen doc-share -n 2000 -seed 7 -o "$DATA/world.tgb"
+
+GOMEMLIMIT=512MiB "$DATA/tgserve" -addr "$ADDR" -quiet >"$LOG" 2>&1 &
+S_PID=$!
+for _ in $(seq 1 50); do
+  if curl -sf "$BASE/stats" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -sf "$BASE/stats" >/dev/null 2>&1 || {
+  echo "tgserve did not come up; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+"$DATA/tgload" -addr "$BASE" -world "$DATA/world.tgb" \
+  -duration 30s -rate 80 -seed 7 -report "$DATA/report.json"
+
+# The soak must not have killed the server (OOM under GOMEMLIMIT, panic).
+kill -0 "$S_PID" 2>/dev/null || {
+  echo "tgserve died during the soak; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+go run ./ci/loadcheck "$DATA/report.json" || {
+  echo "--- tgload report ---" >&2
+  cat "$DATA/report.json" >&2
+  echo "--- server log ---" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+echo "load smoke: OK (30s open-loop soak at 80 req/s over a 2000-vertex doc-share world)"

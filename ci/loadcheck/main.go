@@ -1,0 +1,88 @@
+// Command loadcheck asserts a tgload JSON report describes a healthy
+// soak. It exists for ci/load-smoke.sh: tgload itself is a measurement
+// tool and always exits 0 when the soak ran — deciding whether the
+// numbers are acceptable is the gate's job, and keeping the thresholds
+// in one compiled place beats sed-ing floats out of JSON in shell.
+//
+// Usage:
+//
+//	loadcheck report.json
+//
+// Exit status 1 when the soak breached a threshold, 2 on bad input.
+// Thresholds are deliberately loose — shared CI runners are noisy and
+// the smoke drives a small world at a modest rate; the gate catches a
+// server that sheds, errors, or stalls under load it should absorb
+// trivially, not percent-level latency drift.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Thresholds for the smoke soak (small world, modest open-loop rate).
+const (
+	maxErrorRate = 0.01   // >1% transport/5xx errors = unhealthy
+	maxP99Ms     = 2000.0 // client-observed total p99 ceiling
+	minCompleted = 0.90   // ≥90% of offered arrivals must complete 2xx
+)
+
+type classReport struct {
+	Offered   uint64  `json:"offered"`
+	Completed uint64  `json:"completed"`
+	Refused   uint64  `json:"refused"`
+	Shed      uint64  `json:"shed"`
+	Errors    uint64  `json:"errors"`
+	Saturated uint64  `json:"saturated"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+type report struct {
+	OfferedRate   float64     `json:"offered_rate"`
+	ActualOffered float64     `json:"actual_offered"`
+	CompletedRate float64     `json:"completed_rate"`
+	Total         classReport `json:"total"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: loadcheck report.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadcheck:", err)
+		os.Exit(2)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintln(os.Stderr, "loadcheck:", err)
+		os.Exit(2)
+	}
+	tot := rep.Total
+	if tot.Offered == 0 {
+		fmt.Fprintln(os.Stderr, "loadcheck: report shows zero offered requests — the soak did not run")
+		os.Exit(1)
+	}
+	failed := false
+	check := func(ok bool, format string, args ...any) {
+		status := "ok"
+		if !ok {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-4s %s\n", status, fmt.Sprintf(format, args...))
+	}
+	errRate := float64(tot.Errors) / float64(tot.Offered)
+	check(errRate <= maxErrorRate, "error rate %.4f (%d/%d) ≤ %.2f",
+		errRate, tot.Errors, tot.Offered, maxErrorRate)
+	check(tot.P99Ms <= maxP99Ms, "client p99 %.1fms ≤ %.0fms", tot.P99Ms, maxP99Ms)
+	completedFrac := float64(tot.Completed) / float64(tot.Offered)
+	check(completedFrac >= minCompleted, "completed fraction %.4f (%d/%d) ≥ %.2f",
+		completedFrac, tot.Completed, tot.Offered, minCompleted)
+	check(tot.Saturated == 0, "saturated arrivals %d == 0 (in-flight cap never hit)", tot.Saturated)
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	file := flag.String("f", "", "graph file (.tg); stdin when absent")
+	file := flag.String("f", "", "graph file (.tg or .tgb); stdin when absent")
 	ascii := flag.Bool("ascii", false, "terminal rendering instead of DOT")
 	title := flag.String("title", "takegrant", "DOT graph title")
 	flag.Parse()
@@ -32,7 +32,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	g, err := tgio.Parse(in)
+	g, err := tgio.ParseAny(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tgdot:", err)
 		os.Exit(2)

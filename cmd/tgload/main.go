@@ -1,0 +1,615 @@
+// Command tgload is an open-loop load driver for tgserve: arrivals come
+// from a Poisson process at a fixed offered rate, independent of how
+// fast the server answers, so saturation shows up as queueing delay and
+// shed 429s instead of the driver politely slowing down (the
+// closed-loop coordinated-omission trap). It drives a mixed workload —
+// decision-query reads, guarded mutations, batch fan-outs — against a
+// world it can also generate and bulk-load in the compact .tgb form.
+//
+// Generate a world:
+//
+//	tgload -gen org-chart -n 1000000 -o world.tgb
+//
+// Drive a server:
+//
+//	tgload -addr http://localhost:8080 -world world.tgb \
+//	       -duration 30s -rate 500 -mix read=0.8,mutate=0.1,batch=0.1
+//
+// The report is machine-readable JSON on stdout (or -report FILE):
+// client-side per-class latency histograms, offered vs completed rates,
+// and — when /metrics is scrapeable — exact per-route server-side
+// latency deltas over the run, reconstructed from the Prometheus
+// exposition with the same promparse the fleet tools use.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"takegrant/internal/obs"
+	"takegrant/internal/simulate"
+	"takegrant/internal/tgio"
+)
+
+func main() {
+	var (
+		gen    = flag.String("gen", "", "generator mode: scenario (org-chart, doc-share, military, churn); writes a .tgb world to -o and exits")
+		nVerts = flag.Int("n", 100000, "generator: target vertex count")
+		out    = flag.String("o", "world.tgb", "generator: output path")
+		seed   = flag.Int64("seed", 1, "deterministic seed for generation and request sampling")
+
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		ns       = flag.String("ns", "", "namespace to drive (empty = default)")
+		world    = flag.String("world", "", "world file (.tg or .tgb) to PUT before driving; empty drives whatever is installed")
+		duration = flag.Duration("duration", 30*time.Second, "soak duration")
+		rate     = flag.Float64("rate", 200, "offered request rate per second")
+		mix      = flag.String("mix", "read=0.8,mutate=0.1,batch=0.1", "traffic mix as class=weight pairs")
+		inflight = flag.Int("max-inflight", 512, "client-side in-flight cap; arrivals past it are counted saturated, never delayed")
+		report   = flag.String("report", "", "write the JSON report to this file (default stdout)")
+	)
+	flag.Parse()
+
+	if *gen != "" {
+		if err := runGen(*gen, *nVerts, *seed, *out); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *rate <= 0 {
+		fail(fmt.Errorf("-rate must be positive"))
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fail(err)
+	}
+	rep, err := runLoad(loadConfig{
+		addr: strings.TrimRight(*addr, "/"), ns: *ns, world: *world,
+		duration: *duration, rate: *rate, mix: weights, seed: *seed,
+		inflight: *inflight,
+	})
+	if err != nil {
+		fail(err)
+	}
+	var w io.Writer = os.Stdout
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tgload:", err)
+	os.Exit(1)
+}
+
+func runGen(scenario string, n int, seed int64, path string) error {
+	start := time.Now()
+	g, err := simulate.GenerateScenario(simulate.Scenario(scenario), n, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := tgio.EncodeBinary(bw, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tgload: %s: %d vertices, %d edges, %d bytes in %s\n",
+		path, g.NumVertices(), g.NumEdges(), st.Size(), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// The driven classes. "read" alternates the single-query decision
+// routes, "mutate" creates objects through the §5 guard, "batch" fans 16
+// queries over one snapshot.
+var classNames = []string{"read", "mutate", "batch"}
+
+func parseMix(s string) (map[string]float64, error) {
+	w := make(map[string]float64)
+	total := 0.0
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want class=weight)", part)
+		}
+		known := false
+		for _, c := range classNames {
+			known = known || c == k
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown -mix class %q (have %s)", k, strings.Join(classNames, ", "))
+		}
+		var f float64
+		if _, err := fmt.Sscanf(v, "%g", &f); err != nil || f < 0 {
+			return nil, fmt.Errorf("bad -mix weight %q", v)
+		}
+		w[k] = f
+		total += f
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("-mix weights sum to zero")
+	}
+	for k := range w {
+		w[k] /= total
+	}
+	return w, nil
+}
+
+type loadConfig struct {
+	addr, ns, world string
+	duration        time.Duration
+	rate            float64
+	mix             map[string]float64
+	seed            int64
+	inflight        int
+}
+
+// classStats is one class's client-side accounting. Latencies cover
+// every answered request regardless of status; the status buckets say
+// how the answers split.
+type classStats struct {
+	offered   atomic.Uint64
+	completed atomic.Uint64 // 2xx
+	refused   atomic.Uint64 // 403: the guard judged, correctly — not an error
+	shed      atomic.Uint64 // 429: server load shedding
+	errors    atomic.Uint64 // transport failures and any other status
+	saturated atomic.Uint64 // arrivals past the client in-flight cap
+	hist      obs.Hist
+}
+
+// ClassReport is classStats rendered for the JSON report.
+type ClassReport struct {
+	Offered   uint64  `json:"offered"`
+	Completed uint64  `json:"completed"`
+	Refused   uint64  `json:"refused,omitempty"`
+	Shed      uint64  `json:"shed,omitempty"`
+	Errors    uint64  `json:"errors"`
+	Saturated uint64  `json:"saturated,omitempty"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+}
+
+// ServerRoute is one route's server-side slice of the run: the request
+// count and latency quantiles over exactly this run's window, computed
+// by subtracting the before-scrape's cumulative buckets from the
+// after-scrape's.
+type ServerRoute struct {
+	Requests uint64  `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// Report is the tgload run summary.
+type Report struct {
+	Addr          string                 `json:"addr"`
+	NS            string                 `json:"ns,omitempty"`
+	World         string                 `json:"world,omitempty"`
+	Seed          int64                  `json:"seed"`
+	Mix           map[string]float64     `json:"mix"`
+	OfferedRate   float64                `json:"offered_rate"`   // the -rate target
+	WallSeconds   float64                `json:"wall_seconds"`   // measured soak wall clock
+	LoadSeconds   float64                `json:"load_seconds"`   // bulk world load, when -world was given
+	ActualOffered float64                `json:"actual_offered"` // arrivals/s actually generated
+	CompletedRate float64                `json:"completed_rate"` // 2xx/s
+	Classes       map[string]ClassReport `json:"classes"`
+	Total         ClassReport            `json:"total"`
+	ServerScrape  bool                   `json:"server_scrape"`
+	ServerError   string                 `json:"server_error,omitempty"`
+	Server        map[string]ServerRoute `json:"server,omitempty"`
+}
+
+// reqSpec is one arrival, fully sampled on the pacing goroutine (the
+// rng is not concurrency-safe) and executed on a worker.
+type reqSpec struct {
+	class  string
+	method string
+	path   string
+	body   string
+}
+
+type driver struct {
+	cfg      loadConfig
+	client   *http.Client
+	rng      *rand.Rand
+	subjects []string
+	vertices []string
+	classes  map[string]*classStats
+	created  atomic.Uint64
+}
+
+func runLoad(cfg loadConfig) (*Report, error) {
+	d := &driver{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.seed)),
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.inflight,
+				MaxIdleConnsPerHost: cfg.inflight,
+			},
+		},
+		classes: make(map[string]*classStats),
+	}
+	for _, c := range classNames {
+		d.classes[c] = &classStats{}
+	}
+	rep := &Report{
+		Addr: cfg.addr, NS: cfg.ns, World: cfg.world, Seed: cfg.seed,
+		Mix: cfg.mix, OfferedRate: cfg.rate,
+	}
+
+	if cfg.world != "" {
+		loadStart := time.Now()
+		if err := d.putWorld(cfg.world); err != nil {
+			return nil, err
+		}
+		rep.LoadSeconds = time.Since(loadStart).Seconds()
+	}
+	if err := d.fetchNames(); err != nil {
+		return nil, err
+	}
+	if len(d.subjects) == 0 {
+		return nil, fmt.Errorf("world has no subjects to drive queries from (load one with -world)")
+	}
+
+	before, scrapeErr := d.scrape()
+
+	wallStart := time.Now()
+	d.drive()
+	wall := time.Since(wallStart)
+
+	var after []obs.PromFamily
+	if scrapeErr == nil {
+		after, scrapeErr = d.scrape()
+	}
+	if scrapeErr != nil {
+		rep.ServerError = scrapeErr.Error()
+	} else {
+		rep.ServerScrape = true
+		rep.Server = serverDelta(before, after)
+	}
+
+	rep.WallSeconds = wall.Seconds()
+	var total ClassReport
+	var totalHist obs.HistSnapshot
+	rep.Classes = make(map[string]ClassReport)
+	for name, cs := range d.classes {
+		snap := cs.hist.Snapshot()
+		cr := ClassReport{
+			Offered:   cs.offered.Load(),
+			Completed: cs.completed.Load(),
+			Refused:   cs.refused.Load(),
+			Shed:      cs.shed.Load(),
+			Errors:    cs.errors.Load(),
+			Saturated: cs.saturated.Load(),
+			P50Ms:     ms(snap.Quantile(0.50)),
+			P90Ms:     ms(snap.Quantile(0.90)),
+			P99Ms:     ms(snap.Quantile(0.99)),
+			MeanMs:    ms(snap.Mean()),
+		}
+		if cr.Offered == 0 {
+			continue
+		}
+		rep.Classes[name] = cr
+		total.Offered += cr.Offered
+		total.Completed += cr.Completed
+		total.Refused += cr.Refused
+		total.Shed += cr.Shed
+		total.Errors += cr.Errors
+		total.Saturated += cr.Saturated
+		totalHist.Merge(snap)
+	}
+	total.P50Ms = ms(totalHist.Quantile(0.50))
+	total.P90Ms = ms(totalHist.Quantile(0.90))
+	total.P99Ms = ms(totalHist.Quantile(0.99))
+	total.MeanMs = ms(totalHist.Mean())
+	rep.Total = total
+	// Arrivals only happen during the pacing window; completions include
+	// the drain, so throughput is measured over the full wall clock.
+	rep.ActualOffered = float64(total.Offered) / cfg.duration.Seconds()
+	rep.CompletedRate = float64(total.Completed) / wall.Seconds()
+	return rep, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// nsParam appends the namespace parameter to a path that already has a
+// query string separator decided.
+func (d *driver) nsParam(sep string) string {
+	if d.cfg.ns == "" {
+		return ""
+	}
+	return sep + "ns=" + url.QueryEscape(d.cfg.ns)
+}
+
+// putWorld bulk-loads a world file, sniffing text vs binary to pick the
+// media type (a binary body rides the large-cap path).
+func (d *driver) putWorld(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	ct := "text/plain"
+	if tgio.IsBinary(data) {
+		ct = tgio.BinaryContentType
+	}
+	req, err := http.NewRequest(http.MethodPut, d.cfg.addr+"/graph"+d.nsParam("?"), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", ct)
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("load world: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("load world: %d %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// fetchNames pulls the installed world back in binary form and samples
+// the name pools queries draw from.
+func (d *driver) fetchNames() error {
+	resp, err := d.client.Get(d.cfg.addr + "/graph?format=tgb" + d.nsParam("&"))
+	if err != nil {
+		return fmt.Errorf("fetch world: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch world: %d", resp.StatusCode)
+	}
+	g, err := tgio.DecodeBinary(bufio.NewReaderSize(resp.Body, 1<<16))
+	if err != nil {
+		return fmt.Errorf("fetch world: %w", err)
+	}
+	for _, id := range g.Vertices() {
+		d.vertices = append(d.vertices, g.Name(id))
+	}
+	for _, id := range g.Subjects() {
+		d.subjects = append(d.subjects, g.Name(id))
+	}
+	return nil
+}
+
+func (d *driver) scrape() ([]obs.PromFamily, error) {
+	resp, err := d.client.Get(d.cfg.addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseProm(string(body))
+}
+
+// drive runs the open loop: exponential inter-arrival gaps at the
+// offered rate, each arrival dispatched to a worker if the in-flight
+// cap allows and counted saturated otherwise — the pacer never waits
+// for the server.
+func (d *driver) drive() {
+	sem := make(chan struct{}, d.cfg.inflight)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(d.cfg.duration)
+	next := time.Now()
+	for {
+		gap := time.Duration(d.rng.ExpFloat64() / d.cfg.rate * float64(time.Second))
+		next = next.Add(gap)
+		if next.After(deadline) {
+			break
+		}
+		time.Sleep(time.Until(next))
+		spec := d.sample()
+		cs := d.classes[spec.class]
+		cs.offered.Add(1)
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d.execute(cs, spec)
+				<-sem
+			}()
+		default:
+			cs.saturated.Add(1)
+		}
+	}
+	wg.Wait()
+}
+
+// sample draws one arrival: a class by mix weight, then its parameters
+// from the world's name pools.
+func (d *driver) sample() reqSpec {
+	r := d.rng.Float64()
+	class := classNames[0]
+	for _, c := range classNames {
+		w := d.cfg.mix[c]
+		if r < w {
+			class = c
+			break
+		}
+		r -= w
+	}
+	switch class {
+	case "mutate":
+		x := d.subjects[d.rng.Intn(len(d.subjects))]
+		name := fmt.Sprintf("ld_%d", d.created.Add(1))
+		body := fmt.Sprintf(`{"op":"create","x":%q,"name":%q,"kind":"object","rights":"r,w"}`, x, name)
+		return reqSpec{class: class, method: http.MethodPost, path: "/apply" + d.nsParam("?"), body: body}
+	case "batch":
+		var b strings.Builder
+		b.WriteByte('[')
+		for i := 0; i < 16; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(d.queryItem())
+		}
+		b.WriteByte(']')
+		return reqSpec{class: class, method: http.MethodPost, path: "/query/batch" + d.nsParam("?"), body: b.String()}
+	default: // read
+		x := d.subjects[d.rng.Intn(len(d.subjects))]
+		y := d.vertices[d.rng.Intn(len(d.vertices))]
+		if d.rng.Intn(2) == 0 {
+			return reqSpec{class: class, method: http.MethodGet,
+				path: "/query/can-share?right=r&x=" + url.QueryEscape(x) + "&y=" + url.QueryEscape(y) + d.nsParam("&")}
+		}
+		return reqSpec{class: class, method: http.MethodGet,
+			path: "/query/can-know?x=" + url.QueryEscape(x) + "&y=" + url.QueryEscape(y) + d.nsParam("&")}
+	}
+}
+
+func (d *driver) queryItem() string {
+	x := d.subjects[d.rng.Intn(len(d.subjects))]
+	y := d.vertices[d.rng.Intn(len(d.vertices))]
+	if d.rng.Intn(2) == 0 {
+		return fmt.Sprintf(`{"kind":"can-share","right":"r","x":%q,"y":%q}`, x, y)
+	}
+	return fmt.Sprintf(`{"kind":"can-know","x":%q,"y":%q}`, x, y)
+}
+
+func (d *driver) execute(cs *classStats, spec reqSpec) {
+	var body io.Reader
+	if spec.body != "" {
+		body = strings.NewReader(spec.body)
+	}
+	req, err := http.NewRequest(spec.method, d.cfg.addr+spec.path, body)
+	if err != nil {
+		cs.errors.Add(1)
+		return
+	}
+	if spec.body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := d.client.Do(req)
+	elapsed := time.Since(start)
+	if err != nil {
+		cs.errors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	cs.hist.Observe(elapsed)
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		cs.completed.Add(1)
+	case resp.StatusCode == http.StatusForbidden:
+		cs.refused.Add(1)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		cs.shed.Add(1)
+	default:
+		cs.errors.Add(1)
+	}
+}
+
+// serverDelta reconstructs per-route request counts and latency
+// quantiles over exactly the run window from two /metrics scrapes: the
+// cumulative bucket counts of the before-scrape are subtracted from the
+// after-scrape's (sound because the buckets are monotone counters).
+func serverDelta(before, after []obs.PromFamily) map[string]ServerRoute {
+	routes := make(map[string]bool)
+	for _, f := range after {
+		if f.Name != "takegrant_requests_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			if r := s.Labels["route"]; r != "" {
+				routes[r] = true
+			}
+		}
+	}
+	out := make(map[string]ServerRoute)
+	var names []string
+	for r := range routes {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	for _, route := range names {
+		match := func(labels map[string]string) bool { return labels["route"] == route }
+		d := distDelta(
+			obs.HistogramDist(after, "takegrant_request_latency_seconds", match),
+			obs.HistogramDist(before, "takegrant_request_latency_seconds", match),
+		)
+		if d.Count == 0 {
+			continue
+		}
+		out[route] = ServerRoute{
+			Requests: d.Count,
+			P50Ms:    d.Quantile(0.50) * 1e3,
+			P99Ms:    d.Quantile(0.99) * 1e3,
+		}
+	}
+	return out
+}
+
+// distDelta subtracts an earlier cumulative-bucket scrape from a later
+// one of the same series. Buckets occupied before stay occupied after
+// (they are counters), so the before bounds are a subset of the after
+// bounds; a bound absent from before subtracts its floor.
+func distDelta(after, before obs.BucketDist) obs.BucketDist {
+	prev := make(map[float64]uint64, len(before.Les))
+	for i, le := range before.Les {
+		prev[le] = before.Cums[i]
+	}
+	d := obs.BucketDist{
+		Sum:   after.Sum - before.Sum,
+		Count: after.Count - before.Count,
+	}
+	var floor uint64
+	for i, le := range after.Les {
+		b, ok := prev[le]
+		if ok {
+			floor = b
+		}
+		cum := after.Cums[i] - floor
+		d.Les = append(d.Les, le)
+		d.Cums = append(d.Cums, cum)
+	}
+	return d
+}

@@ -64,7 +64,7 @@ import (
 )
 
 func main() {
-	file := flag.String("f", "", "graph file (.tg); stdin when absent")
+	file := flag.String("f", "", "graph file (.tg or .tgb); stdin when absent")
 	spec := flag.String("specimen", "", "load a built-in paper figure instead (see 'specimens')")
 	trace := flag.Bool("trace", false, "print a per-phase breakdown of the decision procedure on stderr")
 	timeout := flag.Duration("timeout", 0, "abort the decision procedure after this long (0 = no deadline)")
@@ -439,7 +439,7 @@ func load(file string) *graph.Graph {
 		defer f.Close()
 		in = f
 	}
-	g, err := tgio.Parse(in)
+	g, err := tgio.ParseAny(in)
 	if err != nil {
 		fail(err)
 	}

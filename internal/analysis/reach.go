@@ -75,11 +75,13 @@ type ReachIndex struct {
 	knowGen  uint64
 	knowfGen uint64
 
-	share map[graph.ID]*reachRow // per x
-	know  map[graph.ID]*reachRow // per x
-	knowf map[graph.ID]*reachRow // per x
-	chain map[graph.ID]*reachRow // per island root (bridge chains)
-	link  map[graph.ID]*reachRow // per island root (links, B ∪ C)
+	share     map[graph.ID]*reachRow // per x (span-row references)
+	know      map[graph.ID]*reachRow // per x (span-row references)
+	knowf     map[graph.ID]*reachRow // per x
+	chain     map[graph.ID]*reachRow // per island root (bridge chains)
+	link      map[graph.ID]*reachRow // per island root (links, B ∪ C)
+	shareSpan map[graph.ID]*reachRow // per island root (chain ∪ terminal spans)
+	knowSpan  map[graph.ID]*reachRow // per island root (link ∪ rw-terminal spans)
 
 	hits     atomic.Uint64
 	misses   atomic.Uint64
@@ -88,11 +90,32 @@ type ReachIndex struct {
 
 // reachRow is one closure row: the generation it was built under and its
 // member set. Island rows additionally keep the member list as search
-// seeds for the per-vertex rows built on top of them.
+// seeds for the rows built on top of them. Per-vertex share and know rows
+// carry no set of their own: their membership is the union of the
+// per-island span rows they reference (spans), so N query vertices whose
+// spanners land in the same islands share one terminal-span computation
+// instead of running N.
 type reachRow struct {
-	gen uint64
-	set *relang.VertexSet
-	ids []graph.ID
+	gen   uint64
+	set   *relang.VertexSet
+	ids   []graph.ID
+	spans []*reachRow
+}
+
+// has reports membership across the row's own set and its referenced
+// span rows. Span rows are only referenced by rows of the same family
+// generation, and families drop together — a live row never reaches a
+// pooled span set.
+func (r *reachRow) has(v graph.ID) bool {
+	if r.set != nil && r.set.Has(v) {
+		return true
+	}
+	for _, sp := range r.spans {
+		if sp.set.Has(v) {
+			return true
+		}
+	}
+	return false
 }
 
 // reachRWTG is the union of every alphabet a reach row reads.
@@ -103,12 +126,14 @@ var reachRWTG = rights.RW.Union(rights.TG)
 // mutating g, or its rows will go silently stale.
 func NewReachIndex(g *graph.Graph) *ReachIndex {
 	return &ReachIndex{
-		g:     g,
-		share: make(map[graph.ID]*reachRow),
-		know:  make(map[graph.ID]*reachRow),
-		knowf: make(map[graph.ID]*reachRow),
-		chain: make(map[graph.ID]*reachRow),
-		link:  make(map[graph.ID]*reachRow),
+		g:         g,
+		share:     make(map[graph.ID]*reachRow),
+		know:      make(map[graph.ID]*reachRow),
+		knowf:     make(map[graph.ID]*reachRow),
+		chain:     make(map[graph.ID]*reachRow),
+		link:      make(map[graph.ID]*reachRow),
+		shareSpan: make(map[graph.ID]*reachRow),
+		knowSpan:  make(map[graph.ID]*reachRow),
 	}
 }
 
@@ -132,11 +157,13 @@ func (ix *ReachIndex) Patch(c graph.Change) bool {
 			ix.shareGen++
 			ix.dropLocked(ix.share)
 			ix.dropLocked(ix.chain)
+			ix.dropLocked(ix.shareSpan)
 		}
 		if c.Set.HasAny(reachRWTG) {
 			ix.knowGen++
 			ix.dropLocked(ix.know)
 			ix.dropLocked(ix.link)
+			ix.dropLocked(ix.knowSpan)
 		}
 		if c.Set.HasAny(rights.RW) {
 			ix.knowfGen++
@@ -174,6 +201,8 @@ func (ix *ReachIndex) Invalidate() {
 	ix.dropLocked(ix.knowf)
 	ix.dropLocked(ix.chain)
 	ix.dropLocked(ix.link)
+	ix.dropLocked(ix.shareSpan)
+	ix.dropLocked(ix.knowSpan)
 	ix.mu.Unlock()
 }
 
@@ -221,7 +250,7 @@ func (ix *ReachIndex) CanShare(alpha rights.Right, x, y graph.ID, p *obs.Probe, 
 		return false, warm, err
 	}
 	for j, s := range srcIDs {
-		if snap.Label(srcLbls[j]).Explicit.Has(alpha) && row.set.Has(s) {
+		if snap.Label(srcLbls[j]).Explicit.Has(alpha) && row.has(s) {
 			return true, warm, nil
 		}
 	}
@@ -246,7 +275,7 @@ func (ix *ReachIndex) CanKnow(x, y graph.ID, p *obs.Probe, b *budget.Budget) (ok
 	if err := b.Charge(1); err != nil {
 		return false, warm, err
 	}
-	return row.set.Has(y), warm, nil
+	return row.has(y), warm, nil
 }
 
 // CanKnowF answers can•know•f(x, y, G) from the closure index: y's bit
@@ -336,69 +365,48 @@ func (ix *ReachIndex) knowfRow(x graph.ID, p *obs.Probe, b *budget.Budget) (*rea
 
 // row construction --------------------------------------------------------
 
-// buildShareRow computes share[x]: forward terminal spans (t>*) from
-// every subject in the bridge-chain closure of x's initial spanners.
+// buildShareRow computes share[x] as span-row references: for each
+// island holding an initial spanner of x, the per-island span row (the
+// island's bridge-chain closure plus its forward terminal spans, t>*).
+// The per-x work shrinks to the local reverse spanner search plus map
+// lookups — the O(E) terminal search runs once per (island, era), not
+// once per query vertex.
 func (ix *ReachIndex) buildShareRow(x graph.ID, gen uint64, b *budget.Budget) (*reachRow, error) {
-	g := ix.g
 	ix.rebuilds.Add(1)
-	set := relang.GetVertexSet(g.Cap())
-	xPrimes, err := spannersB(g, x, initialSpanRevNFA, true, relang.ViewExplicit, b)
+	xPrimes, err := spannersB(ix.g, x, initialSpanRevNFA, true, relang.ViewExplicit, b)
 	if err != nil {
-		relang.PutVertexSet(set)
 		return nil, err
 	}
 	if len(xPrimes) == 0 {
-		return &reachRow{gen: gen, set: set}, nil
+		return &reachRow{gen: gen}, nil
 	}
-	seeds, err := ix.chainSubjects(ix.chain, &ix.shareGen, bridgeChainNFA, xPrimes, gen, b)
+	spans, err := ix.spanRowsFor(ix.chain, ix.shareSpan, &ix.shareGen,
+		bridgeChainNFA, terminalSpanNFA, xPrimes, gen, b)
 	if err != nil {
-		relang.PutVertexSet(set)
 		return nil, err
 	}
-	// Every subject terminally spans itself (the ν span), then the forward
-	// t>* search extends to everything the closure subjects can take from.
-	for _, s := range seeds {
-		set.Add(s)
-	}
-	_, _, err = relang.SearchVisit(g, terminalSpanNFA, seeds, relang.Options{View: relang.ViewExplicit, Budget: b},
-		func(v graph.ID) { set.Add(v) })
-	if err != nil {
-		relang.PutVertexSet(set)
-		return nil, err
-	}
-	return &reachRow{gen: gen, set: set}, nil
+	return &reachRow{gen: gen, spans: spans}, nil
 }
 
-// buildKnowRow computes know[x] exactly as KnowClosureInto does, but with
-// the link-chain stage served from the per-island link rows.
+// buildKnowRow computes know[x] as span-row references, mirroring
+// KnowClosureInto: per island of x's rw-initial spanners, the link-chain
+// closure plus its rw-terminal spans. Reflexivity (x ∈ know[x]) is
+// handled by CanKnow's x == y early return.
 func (ix *ReachIndex) buildKnowRow(x graph.ID, gen uint64, b *budget.Budget) (*reachRow, error) {
-	g := ix.g
 	ix.rebuilds.Add(1)
-	set := relang.GetVertexSet(g.Cap())
-	set.Add(x) // reflexive by convention
-	u1s, err := spannersB(g, x, rwInitialSpanRevNFA, true, relang.ViewExplicit, b)
+	u1s, err := spannersB(ix.g, x, rwInitialSpanRevNFA, true, relang.ViewExplicit, b)
 	if err != nil {
-		relang.PutVertexSet(set)
 		return nil, err
 	}
 	if len(u1s) == 0 {
-		return &reachRow{gen: gen, set: set}, nil
+		return &reachRow{gen: gen}, nil
 	}
-	uns, err := ix.chainSubjects(ix.link, &ix.knowGen, linkChainNFA, u1s, gen, b)
+	spans, err := ix.spanRowsFor(ix.link, ix.knowSpan, &ix.knowGen,
+		linkChainNFA, rwTerminalNFA, u1s, gen, b)
 	if err != nil {
-		relang.PutVertexSet(set)
 		return nil, err
 	}
-	for _, u := range uns {
-		set.Add(u)
-	}
-	_, _, err = relang.SearchVisit(g, rwTerminalNFA, uns, relang.Options{View: relang.ViewExplicit, Budget: b},
-		func(v graph.ID) { set.Add(v) })
-	if err != nil {
-		relang.PutVertexSet(set)
-		return nil, err
-	}
-	return &reachRow{gen: gen, set: set}, nil
+	return &reachRow{gen: gen, spans: spans}, nil
 }
 
 // buildKnowFRow computes knowf[x] as the admissible-path closure plus the
@@ -417,53 +425,113 @@ func (ix *ReachIndex) buildKnowFRow(x graph.ID, gen uint64, b *budget.Budget) (*
 	return &reachRow{gen: gen, set: set}, nil
 }
 
-// chainSubjects returns the union of the per-island chain rows (of the
-// given chain NFA) over the islands of the given subjects, building
-// missing rows. All subjects of one island share one closure — chain
-// languages compose at subject boundaries and island tg edges are
-// bridges — so the row is keyed by island root and built from a single
-// member as seed.
-func (ix *ReachIndex) chainSubjects(rows map[graph.ID]*reachRow, gen *uint64, nfa *relang.NFA,
-	subjects []graph.ID, want uint64, b *budget.Budget) ([]graph.ID, error) {
-	g := ix.g
-	idx := g.TGIslands()
-	merged := relang.GetVertexSet(g.Cap())
-	defer relang.PutVertexSet(merged)
-	var out []graph.ID
+// spanRowsFor resolves the per-island span rows for the islands of the
+// given subjects: for each distinct island root, the island's chain row
+// (of chainNFA, built if missing) extended by everything its subjects
+// span under spanNFA. Both computations are properties of the island —
+// chain languages compose at subject boundaries and island tg edges are
+// bridges — so the rows are keyed by island root and shared by every
+// query vertex whose spanners land in the island. The union over islands
+// equals the single merged-seed search it replaces: reachability from a
+// seed union is the union of per-seed closures.
+func (ix *ReachIndex) spanRowsFor(chainRows, spanRows map[graph.ID]*reachRow, gen *uint64,
+	chainNFA, spanNFA *relang.NFA, subjects []graph.ID, want uint64, b *budget.Budget) ([]*reachRow, error) {
+	idx := ix.g.TGIslands()
+	out := make([]*reachRow, 0, 2)
+	var seen map[graph.ID]struct{}
 	for _, s := range subjects {
 		root := idx.Root(s)
+		if _, dup := seen[root]; dup {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[graph.ID]struct{}, 4)
+		}
+		seen[root] = struct{}{}
+
 		ix.mu.Lock()
-		r := rows[root]
-		if r != nil && r.gen == *gen {
+		if r := spanRows[root]; r != nil && r.gen == *gen {
 			ix.mu.Unlock()
-		} else {
-			ix.mu.Unlock()
-			built, err := ix.buildChainRow(nfa, s, want, b)
-			if err != nil {
-				return nil, err
-			}
-			ix.mu.Lock()
-			if *gen == want {
-				if old := rows[root]; old != nil && old.gen == want {
-					relang.PutVertexSet(built.set)
-					built = old
-				} else {
-					if old := rows[root]; old != nil {
-						relang.PutVertexSet(old.set)
-					}
-					rows[root] = built
+			out = append(out, r)
+			continue
+		}
+		ix.mu.Unlock()
+
+		chainRow, err := ix.chainRowFor(chainRows, gen, chainNFA, root, s, want, b)
+		if err != nil {
+			return nil, err
+		}
+		built, err := ix.buildSpanRow(spanNFA, chainRow.ids, want, b)
+		if err != nil {
+			return nil, err
+		}
+		ix.mu.Lock()
+		if *gen == want {
+			if old := spanRows[root]; old != nil && old.gen == want {
+				relang.PutVertexSet(built.set)
+				built = old
+			} else {
+				if old := spanRows[root]; old != nil {
+					relang.PutVertexSet(old.set)
 				}
-			}
-			ix.mu.Unlock()
-			r = built
-		}
-		for _, v := range r.ids {
-			if merged.Add(v) {
-				out = append(out, v)
+				spanRows[root] = built
 			}
 		}
+		ix.mu.Unlock()
+		out = append(out, built)
 	}
 	return out, nil
+}
+
+// chainRowFor serves one island's chain row, building it from a single
+// member as seed on a miss (the qcache double-compute idiom, as getRow).
+func (ix *ReachIndex) chainRowFor(rows map[graph.ID]*reachRow, gen *uint64, nfa *relang.NFA,
+	root, seed graph.ID, want uint64, b *budget.Budget) (*reachRow, error) {
+	ix.mu.Lock()
+	if r := rows[root]; r != nil && r.gen == *gen {
+		ix.mu.Unlock()
+		return r, nil
+	}
+	ix.mu.Unlock()
+	built, err := ix.buildChainRow(nfa, seed, want, b)
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.Lock()
+	if *gen == want {
+		if old := rows[root]; old != nil && old.gen == want {
+			relang.PutVertexSet(built.set)
+			built = old
+		} else {
+			if old := rows[root]; old != nil {
+				relang.PutVertexSet(old.set)
+			}
+			rows[root] = built
+		}
+	}
+	ix.mu.Unlock()
+	return built, nil
+}
+
+// buildSpanRow computes one island's span row: the chain-closure
+// subjects themselves (every subject spans itself via the ν span) plus
+// everything they reach under spanNFA.
+func (ix *ReachIndex) buildSpanRow(spanNFA *relang.NFA, seeds []graph.ID, gen uint64, b *budget.Budget) (*reachRow, error) {
+	g := ix.g
+	ix.rebuilds.Add(1)
+	set := relang.GetVertexSet(g.Cap())
+	for _, s := range seeds {
+		set.Add(s)
+	}
+	if len(seeds) > 0 {
+		_, _, err := relang.SearchVisit(g, spanNFA, seeds, relang.Options{View: relang.ViewExplicit, Budget: b},
+			func(v graph.ID) { set.Add(v) })
+		if err != nil {
+			relang.PutVertexSet(set)
+			return nil, err
+		}
+	}
+	return &reachRow{gen: gen, set: set}, nil
 }
 
 // buildChainRow runs one chain search seeded from a single island member

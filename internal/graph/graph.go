@@ -67,8 +67,12 @@ type vertex struct {
 	name    string
 	kind    Kind
 	deleted bool
-	out     map[ID]label
-	in      map[ID]struct{} // reverse index: which vertices have an edge to us
+	// out and in are allocated lazily on first edge: bulk-loaded worlds
+	// are dominated by leaf objects with no out-edges, and two empty maps
+	// per vertex is hundreds of megabytes at the million-vertex scale.
+	// All read paths (range, len, index, delete) treat nil as empty.
+	out map[ID]label
+	in  map[ID]struct{} // reverse index: which vertices have an edge to us
 }
 
 // Graph is a mutable protection graph. Create one with New.
@@ -112,6 +116,25 @@ func New(u *rights.Universe) *Graph {
 
 // Universe returns the rights universe labelling this graph's edges.
 func (g *Graph) Universe() *rights.Universe { return g.universe }
+
+// Grow pre-sizes the vertex table and name index for n additional
+// vertices, sparing bulk loaders the incremental rehash/regrow cost. It
+// changes no observable state.
+func (g *Graph) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(g.vertices) - len(g.vertices); free < n {
+		grown := make([]vertex, len(g.vertices), len(g.vertices)+n)
+		copy(grown, g.vertices)
+		g.vertices = grown
+	}
+	byName := make(map[string]ID, len(g.byName)+n)
+	for k, v := range g.byName {
+		byName[k] = v
+	}
+	g.byName = byName
+}
 
 // Revision returns a counter incremented by every successful mutation.
 // Any result computed purely from the graph remains valid while the
@@ -167,12 +190,7 @@ func (g *Graph) addVertex(name string, kind Kind) (ID, error) {
 		return None, fmt.Errorf("graph: duplicate vertex name %q", name)
 	}
 	id := ID(len(g.vertices))
-	g.vertices = append(g.vertices, vertex{
-		name: name,
-		kind: kind,
-		out:  make(map[ID]label),
-		in:   make(map[ID]struct{}),
-	})
+	g.vertices = append(g.vertices, vertex{name: name, kind: kind})
 	g.byName[name] = id
 	g.revision++
 	g.live++
@@ -349,8 +367,15 @@ func (g *Graph) addLabel(src, dst ID, set rights.Set, implicit bool) error {
 		l.explicit = l.explicit.Union(set)
 		g.islandAddExplicit(src, dst, set)
 	}
+	if s.out == nil {
+		s.out = make(map[ID]label)
+	}
 	s.out[dst] = l
-	g.vertices[dst].in[src] = struct{}{}
+	d := &g.vertices[dst]
+	if d.in == nil {
+		d.in = make(map[ID]struct{})
+	}
+	d.in[src] = struct{}{}
 	g.revision++
 	if !added.Empty() {
 		kind := ChangeAddExplicit
@@ -534,11 +559,13 @@ func (g *Graph) Clone() *Graph {
 	for i := range g.vertices {
 		v := &g.vertices[i]
 		nv := vertex{name: v.name, kind: v.kind, deleted: v.deleted}
-		if !v.deleted {
+		if v.out != nil {
 			nv.out = make(map[ID]label, len(v.out))
 			for k, l := range v.out {
 				nv.out[k] = l
 			}
+		}
+		if v.in != nil {
 			nv.in = make(map[ID]struct{}, len(v.in))
 			for k := range v.in {
 				nv.in[k] = struct{}{}

@@ -1,7 +1,9 @@
 package graph
 
 import (
-	"slices"
+	"runtime"
+	"sort"
+	"sync"
 
 	"takegrant/internal/rights"
 )
@@ -70,11 +72,90 @@ func (g *Graph) SnapshotStats() (hits, builds uint64) {
 	return g.snapHits, g.snapBuilds
 }
 
-// buildSnapshot packs the live adjacency into CSR form: degree counts,
-// prefix sums, one pass over the out-maps writing (dst, label) packed into
-// a uint64 per edge — filling the forward and reverse buckets in the same
-// pass — then a per-vertex sort and unpack. O(E log maxdeg) time, three
-// flat arrays per direction.
+// parallelSnapshotEdges is the edge count above which buildSnapshot fans
+// the map-flattening stage across a worker pool. Below it the goroutine
+// and synchronization overhead outweighs the walk itself.
+const parallelSnapshotEdges = 1 << 15
+
+// labelInterner assigns dense indices to distinct label pairs. Workers
+// keep a private cache (protection graphs use a handful of distinct
+// labels, so the cache hits almost always) and fall back to the shared
+// table under a mutex only on a cache miss — global indices come out of
+// the shared table directly, so no remap pass is needed afterwards.
+type labelInterner struct {
+	mu     sync.Mutex
+	intern map[label]uint32
+	labels []LabelPair
+}
+
+func (it *labelInterner) local() func(label) uint32 {
+	cache := make(map[label]uint32, 16)
+	return func(l label) uint32 {
+		if li, ok := cache[l]; ok {
+			return li
+		}
+		it.mu.Lock()
+		li, ok := it.intern[l]
+		if !ok {
+			li = uint32(len(it.labels))
+			it.labels = append(it.labels, LabelPair{Explicit: l.explicit, Implicit: l.implicit})
+			it.intern[l] = li
+		}
+		it.mu.Unlock()
+		cache[l] = li
+		return li
+	}
+}
+
+// flattenRange walks the out-maps of vertices [lo, hi) into the
+// per-source runs of tmpDst/tmpLbl (unsorted within a run, since map
+// iteration order is arbitrary). Ranges are disjoint, so workers never
+// write the same slot.
+func flattenRange(g *Graph, s *Snapshot, tmpDst []ID, tmpLbl []uint32, lo, hi int, intern func(label) uint32) {
+	for i := lo; i < hi; i++ {
+		v := &g.vertices[i]
+		if v.deleted || len(v.out) == 0 {
+			continue
+		}
+		k := s.outStart[i]
+		for dst, l := range v.out {
+			tmpDst[k] = dst
+			tmpLbl[k] = intern(l)
+			k++
+		}
+	}
+}
+
+// splitByEdges partitions the vertex index space into `workers` ranges of
+// roughly equal out-edge mass, using the CSR prefix sums.
+func splitByEdges(outStart []int32, n, workers int) []int {
+	bounds := make([]int, workers+1)
+	bounds[workers] = n
+	total := int(outStart[n])
+	for w := 1; w < workers; w++ {
+		target := int32(total * w / workers)
+		bounds[w] = sort.Search(n, func(i int) bool { return outStart[i] >= target })
+	}
+	return bounds
+}
+
+// buildSnapshot packs the live adjacency into CSR form with a two-pass
+// counting sort instead of per-vertex comparison sorts:
+//
+//  1. Flatten: walk the out-maps into per-source runs (dst, label index),
+//     unsorted within a run. This is the expensive stage — map iteration
+//     and label interning — and it fans out across a worker pool on
+//     large graphs, partitioned by edge mass.
+//  2. Scatter by source: stream the runs in ascending source order into
+//     the in-CSR. Each destination's in-list fills with sources in
+//     ascending order — sorted, no comparisons.
+//  3. Scatter by destination: stream the in-CSR in ascending destination
+//     order back into the out-CSR; each source's out-list fills with
+//     destinations ascending.
+//
+// Both scatters are valid counting sorts because a (src, dst) pair
+// carries at most one label. O(V + E) time, and the only transient beyond
+// the result arrays is one (ID, uint32) pair per edge.
 func buildSnapshot(g *Graph) *Snapshot {
 	n := len(g.vertices)
 	s := &Snapshot{
@@ -100,46 +181,63 @@ func buildSnapshot(g *Graph) *Snapshot {
 		s.inStart[i+1] += s.inStart[i]
 	}
 	m := s.numEdges
-	outPacked := make([]uint64, m)
-	inPacked := make([]uint64, m)
-	outCur := make([]int32, n)
-	inCur := make([]int32, n)
-	copy(outCur, s.outStart[:n])
-	copy(inCur, s.inStart[:n])
-	intern := make(map[label]uint32)
-	for i := range g.vertices {
-		v := &g.vertices[i]
-		if v.deleted {
-			continue
-		}
-		for dst, l := range v.out {
-			li, ok := intern[l]
-			if !ok {
-				li = uint32(len(s.labels))
-				s.labels = append(s.labels, LabelPair{Explicit: l.explicit, Implicit: l.implicit})
-				intern[l] = li
+
+	// Stage 1: flatten maps into per-source runs.
+	tmpDst := make([]ID, m)
+	tmpLbl := make([]uint32, m)
+	it := &labelInterner{intern: make(map[label]uint32)}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 16 {
+		workers = 16
+	}
+	if m < parallelSnapshotEdges || workers < 2 {
+		flattenRange(g, s, tmpDst, tmpLbl, 0, n, it.local())
+	} else {
+		bounds := splitByEdges(s.outStart, n, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := bounds[w], bounds[w+1]
+			if lo >= hi {
+				continue
 			}
-			outPacked[outCur[i]] = uint64(uint32(dst))<<32 | uint64(li)
-			outCur[i]++
-			inPacked[inCur[dst]] = uint64(uint32(ID(i)))<<32 | uint64(li)
-			inCur[dst]++
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				flattenRange(g, s, tmpDst, tmpLbl, lo, hi, it.local())
+			}(lo, hi)
 		}
+		wg.Wait()
 	}
-	for i := 0; i < n; i++ {
-		slices.Sort(outPacked[s.outStart[i]:s.outStart[i+1]])
-		slices.Sort(inPacked[s.inStart[i]:s.inStart[i+1]])
-	}
-	s.outDst = make([]ID, m)
-	s.outLbl = make([]uint32, m)
+	s.labels = it.labels
+
+	// Stage 2: scatter by ascending source into the in-CSR.
 	s.inDst = make([]ID, m)
 	s.inLbl = make([]uint32, m)
-	for j, p := range outPacked {
-		s.outDst[j] = ID(p >> 32)
-		s.outLbl[j] = uint32(p)
+	cur := make([]int32, n)
+	copy(cur, s.inStart[:n])
+	for src := 0; src < n; src++ {
+		for k := s.outStart[src]; k < s.outStart[src+1]; k++ {
+			d := tmpDst[k]
+			p := cur[d]
+			cur[d]++
+			s.inDst[p] = ID(src)
+			s.inLbl[p] = tmpLbl[k]
+		}
 	}
-	for j, p := range inPacked {
-		s.inDst[j] = ID(p >> 32)
-		s.inLbl[j] = uint32(p)
+	tmpDst, tmpLbl = nil, nil
+
+	// Stage 3: scatter by ascending destination into the out-CSR.
+	s.outDst = make([]ID, m)
+	s.outLbl = make([]uint32, m)
+	copy(cur, s.outStart[:n])
+	for dst := 0; dst < n; dst++ {
+		for k := s.inStart[dst]; k < s.inStart[dst+1]; k++ {
+			src := s.inDst[k]
+			p := cur[src]
+			cur[src]++
+			s.outDst[p] = ID(dst)
+			s.outLbl[p] = s.inLbl[k]
+		}
 	}
 	return s
 }

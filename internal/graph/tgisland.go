@@ -98,21 +98,34 @@ func (g *Graph) SameTGIsland(a, b ID) bool {
 }
 
 // buildTGIndex is the from-scratch rebuild: one union per explicit
-// subject→subject edge carrying t or g.
+// subject→subject edge carrying t or g. It streams the revision-cached
+// CSR snapshot's flat edge arrays instead of iterating the adjacency
+// maps — a sequential scan over three arrays rather than a pointer chase
+// through V map headers, and the snapshot is almost always already built
+// for the revision being queried. Lock order: TGIslands holds islMu and
+// Snapshot takes adjMu; no path acquires islMu while holding adjMu, so
+// the nesting is safe.
 func buildTGIndex(g *Graph) *TGIndex {
-	n := len(g.vertices)
+	s := g.Snapshot()
+	n := s.Cap()
 	x := &TGIndex{parent: make([]int32, n), rank: make([]uint8, n)}
 	for i := range x.parent {
 		x.parent[i] = int32(i)
 	}
-	for i := range g.vertices {
-		v := &g.vertices[i]
-		if v.deleted || v.kind != Subject {
+	// Pre-classify the label table: one HasAny per distinct label instead
+	// of one per edge.
+	tg := make([]bool, s.NumLabels())
+	for li := range tg {
+		tg[li] = s.labels[li].Explicit.HasAny(rights.TG)
+	}
+	for i := 0; i < n; i++ {
+		if !s.subject[i] {
 			continue
 		}
-		for dst, l := range v.out {
-			if l.explicit.HasAny(rights.TG) && g.IsSubject(dst) {
-				x.union(int32(i), int32(dst))
+		dst, lbl := s.Out(ID(i))
+		for j, d := range dst {
+			if tg[lbl[j]] && s.subject[d] {
+				x.union(int32(i), int32(d))
 			}
 		}
 	}

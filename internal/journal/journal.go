@@ -108,10 +108,14 @@ var ErrCorrupt = errors.New("journal: WAL corrupt mid-file")
 var ErrLatched = errors.New("journal: latched by earlier write failure")
 
 // Record kinds. KindGraph carries a whole .tg document (a PUT /graph);
-// KindApply carries one accepted rule application (a POST /apply body).
+// KindGraphBin carries a whole .tgb binary document, base64-encoded (a
+// binary PUT /graph — raw bytes can't ride in a JSON string, invalid
+// UTF-8 would be mangled to U+FFFD on decode); KindApply carries one
+// accepted rule application (a POST /apply body).
 const (
-	KindGraph = "graph"
-	KindApply = "apply"
+	KindGraph    = "graph"
+	KindGraphBin = "graphb"
+	KindApply    = "apply"
 )
 
 // Record is one durable mutation.

@@ -34,6 +34,9 @@ const (
 // plus up to 60 user-declared ones.
 const MaxRights = 64
 
+// NumBuiltin is the number of pre-declared rights in every Universe.
+const NumBuiltin = numBuiltin
+
 // numBuiltin is the number of pre-declared rights in every Universe.
 const numBuiltin = 4
 

@@ -1,0 +1,218 @@
+package service
+
+// The compact bulk-load path over HTTP: binary PUT /graph (declared and
+// sniffed), binary export, streaming 413s, the base64 WAL record, and
+// the binary bootstrap cut with its JSON old-leader fallback.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"takegrant/internal/specimens"
+	"takegrant/internal/tgio"
+)
+
+// binSpecimen renders a specimen into its .tgb form plus the canonical
+// text the server must report back after installing it.
+func binSpecimen(t *testing.T, name string) ([]byte, string) {
+	t.Helper()
+	src, err := specimens.Source(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tgio.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tgio.EncodeBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tgio.WriteString(g)
+}
+
+func putBytes(t *testing.T, h http.Handler, ct string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPut, "/graph", bytes.NewReader(body))
+	if ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestGraphBinaryPut(t *testing.T) {
+	bin, want := binSpecimen(t, "fig61")
+	h := New().Handler()
+	if rec := putBytes(t, h, tgio.BinaryContentType, bin); rec.Code != http.StatusOK {
+		t.Fatalf("binary PUT: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := serve(t, h, httptest.NewRequest(http.MethodGet, "/graph", nil), nil); rec.Body.String() != want {
+		t.Fatalf("installed graph diverged from text form:\n%s", rec.Body.String())
+	}
+	// Binary export must round-trip to the same world.
+	rec := serve(t, h, httptest.NewRequest(http.MethodGet, "/graph?format=tgb", nil), nil)
+	if ct := rec.Header().Get("Content-Type"); ct != tgio.BinaryContentType {
+		t.Fatalf("export Content-Type = %q", ct)
+	}
+	g, err := tgio.DecodeBinary(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("export does not decode: %v", err)
+	}
+	if tgio.WriteString(g) != want {
+		t.Fatal("binary export round trip changed the world")
+	}
+}
+
+// TestGraphBinaryPutSniffed loads the same bytes without the dedicated
+// media type: the magic-sniff must route them down the binary path.
+func TestGraphBinaryPutSniffed(t *testing.T) {
+	bin, want := binSpecimen(t, "military")
+	for _, ct := range []string{"", "application/octet-stream"} {
+		h := New().Handler()
+		if rec := putBytes(t, h, ct, bin); rec.Code != http.StatusOK {
+			t.Fatalf("ct=%q: %d %s", ct, rec.Code, rec.Body.String())
+		}
+		if rec := serve(t, h, httptest.NewRequest(http.MethodGet, "/graph", nil), nil); rec.Body.String() != want {
+			t.Fatalf("ct=%q: installed graph diverged", ct)
+		}
+	}
+}
+
+func TestGraphBinaryPutRejectsGarbage(t *testing.T) {
+	h := New().Handler()
+	if rec := putBytes(t, h, tgio.BinaryContentType, []byte("TGB1 not actually sections")); rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage after magic: %d", rec.Code)
+	}
+	bin, _ := binSpecimen(t, "fig61")
+	if rec := putBytes(t, h, tgio.BinaryContentType, bin[:len(bin)-3]); rec.Code != http.StatusBadRequest {
+		t.Fatalf("truncated body: %d", rec.Code)
+	}
+}
+
+// TestGraphPutOversizeStreams413 sends a text document past the cap
+// whose every prefix is valid .tg — the streaming parser may well
+// succeed on the truncated read, but the size verdict must win.
+func TestGraphPutOversizeStreams413(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("subject a\n")
+	for b.Len() <= maxGraphBytes {
+		b.WriteString("# padding so the document crosses the cap without a parse error\n")
+	}
+	h := New().Handler()
+	if rec := putBytes(t, h, "text/plain", []byte(b.String())); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize text: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestGraphBinaryCrashRecovery proves the base64 WAL record replays: a
+// binary PUT followed by applies, a crash (no Close, so no snapshot),
+// and recovery must rebuild the identical world and counters.
+func TestGraphBinaryCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	bin, _ := binSpecimen(t, "military")
+	srv1, h1 := attach(t, Config{}, dir)
+	if rec := putBytes(t, h1, tgio.BinaryContentType, bin); rec.Code != http.StatusOK {
+		t.Fatalf("binary PUT: %d %s", rec.Code, rec.Body.String())
+	}
+	for i := 0; i < 3; i++ {
+		body := `{"op":"create","x":"a1","name":"bdoc` + string(rune('0'+i)) + `","kind":"object","rights":"r,w"}`
+		if code := do(t, h1, http.MethodPost, "/apply", body, nil); code != http.StatusOK {
+			t.Fatalf("apply %d: %d", i, code)
+		}
+	}
+	wantText := serve(t, h1, httptest.NewRequest(http.MethodGet, "/graph", nil), nil).Body.String()
+	wantStats := srv1.Stats()
+	// Crash: no Close, no snapshot — recovery replays the graphb record.
+
+	srv2, h2 := attach(t, Config{}, dir)
+	if got := serve(t, h2, httptest.NewRequest(http.MethodGet, "/graph", nil), nil).Body.String(); got != wantText {
+		t.Fatalf("recovered graph diverged:\n got %q\nwant %q", got, wantText)
+	}
+	if st := srv2.Stats(); st.Revision != wantStats.Revision || st.Generation != wantStats.Generation {
+		t.Fatalf("recovered counters = rev %d gen %d, want rev %d gen %d",
+			st.Revision, st.Generation, wantStats.Revision, wantStats.Generation)
+	}
+}
+
+// TestReplicaBootstrapBinary: a live leader answers the bootstrap fetch
+// with the .tgb cut; the follower must install it and converge. (The
+// binary path is what every bootstrap now takes against a current
+// leader — this pins the counters riding in headers.)
+func TestReplicaBootstrapBinary(t *testing.T) {
+	leader := New()
+	if _, err := leader.AttachJournal(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	lh := leader.Handler()
+	ts := httptest.NewServer(lh)
+	defer ts.Close()
+	bin, want := binSpecimen(t, "military")
+	if rec := putBytes(t, lh, tgio.BinaryContentType, bin); rec.Code != http.StatusOK {
+		t.Fatalf("leader load: %d", rec.Code)
+	}
+
+	follower := New()
+	if err := follower.StartReplica(ts.URL, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	fh := follower.Handler()
+	leaderStats := leader.Stats()
+	waitFor(t, "binary bootstrap", func() bool {
+		st := follower.Stats()
+		return st.Revision == leaderStats.Revision && st.Generation == leaderStats.Generation
+	})
+	if got := serve(t, fh, httptest.NewRequest(http.MethodGet, "/graph", nil), nil).Body.String(); got != want {
+		t.Fatal("follower graph diverged from leader's")
+	}
+}
+
+// TestReplicaBootstrapJSONFallback: an old leader ignores ?format=tgb
+// and answers the JSON envelope; the follower must branch on the
+// response Content-Type and still bootstrap.
+func TestReplicaBootstrapJSONFallback(t *testing.T) {
+	src, err := specimens.Source("fig61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tgio.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := tgio.WriteString(g)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/replication/namespaces", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"namespaces": []string{DefaultNamespace}})
+	})
+	mux.HandleFunc("/replication/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, replSnapshot{Revision: g.Revision(), Generation: 1, LastSeq: 1, Text: canonical})
+	})
+	mux.HandleFunc("/replication/wal", func(w http.ResponseWriter, r *http.Request) {
+		// Record 1 is compacted away, forcing the follower to bootstrap.
+		if r.URL.Query().Get("after") == "0" {
+			writeJSON(w, replWAL{LastSeq: 1, SnapshotNeeded: true})
+			return
+		}
+		writeJSON(w, replWAL{LastSeq: 1})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	follower := New()
+	if err := follower.StartReplica(ts.URL, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	fh := follower.Handler()
+	waitFor(t, "bootstrap from JSON-only leader", func() bool {
+		rec := serve(t, fh, httptest.NewRequest(http.MethodGet, "/graph", nil), nil)
+		return rec.Body.String() == canonical
+	})
+}

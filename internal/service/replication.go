@@ -8,6 +8,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"takegrant/internal/fault"
+	"takegrant/internal/graph"
 	"takegrant/internal/journal"
 	"takegrant/internal/obs"
 	"takegrant/internal/tgio"
@@ -136,11 +138,39 @@ type replSnapshot struct {
 	Text       string `json:"text"`
 }
 
+// Headers carrying the snapshot cut's counters when the body is .tgb
+// binary (there is no JSON envelope to put them in).
+const (
+	snapRevisionHeader   = "X-Takegrant-Revision"
+	snapGenerationHeader = "X-Takegrant-Generation"
+	snapLastSeqHeader    = "X-Takegrant-Last-Seq"
+)
+
 func (s *Server) handleReplSnapshot(n *namespace, w http.ResponseWriter, r *http.Request) {
+	binary := r.URL.Query().Get("format") == "tgb"
 	n.mu.RLock()
 	if n.journal == nil {
 		n.mu.RUnlock()
 		errNoJournal(w)
+		return
+	}
+	if binary {
+		// Binary cut: encode under the read lock so (bytes, revision,
+		// generation, cursor) stay one consistent cut, write after
+		// release so a slow follower never holds readers up.
+		rev, gen, last := n.g.Revision(), n.gen, n.journal.j.Stats().LastSeq
+		var buf bytes.Buffer
+		err := tgio.EncodeBinary(&buf, n.g)
+		n.mu.RUnlock()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", tgio.BinaryContentType)
+		w.Header().Set(snapRevisionHeader, strconv.FormatUint(rev, 10))
+		w.Header().Set(snapGenerationHeader, strconv.FormatUint(gen, 10))
+		w.Header().Set(snapLastSeqHeader, strconv.FormatUint(last, 10))
+		w.Write(buf.Bytes())
 		return
 	}
 	snap := replSnapshot{
@@ -556,17 +586,13 @@ func (r *replicator) verifyDigest(ctx context.Context, n *namespace) error {
 	return r.bootstrap(ctx, n)
 }
 
-// bootstrap installs the leader's snapshot cut: graph text, revision,
+// bootstrap installs the leader's snapshot cut: graph, revision,
 // generation and WAL cursor in one shot. After this the follower tails
 // frames from LastSeq exactly as recovery would replay them.
 func (r *replicator) bootstrap(ctx context.Context, n *namespace) error {
-	var snap replSnapshot
-	if err := r.get(ctx, "/replication/snapshot?ns="+n.name, &snap); err != nil {
-		return err
-	}
-	g, err := tgio.ParseString(snap.Text)
+	snap, g, err := r.fetchSnapshot(ctx, n.name)
 	if err != nil {
-		return fmt.Errorf("leader snapshot does not parse: %w", err)
+		return err
 	}
 	n.mu.Lock()
 	n.install(g, r.s.cfg.HierarchyWorkers)
@@ -580,9 +606,65 @@ func (r *replicator) bootstrap(ctx context.Context, n *namespace) error {
 	return nil
 }
 
+// fetchSnapshot fetches the leader's bootstrap cut, asking for the
+// compact binary form. A pre-binary leader answers the same route with
+// the JSON envelope (it ignores format=), so the branch is on the
+// response Content-Type, not on what was asked for; the counters ride in
+// headers when the body is binary. snap.Text stays empty on the binary
+// path — callers use the returned graph.
+func (r *replicator) fetchSnapshot(ctx context.Context, ns string) (replSnapshot, *graph.Graph, error) {
+	var snap replSnapshot
+	resp, err := r.do(ctx, "/replication/snapshot?format=tgb&ns="+ns)
+	if err != nil {
+		return snap, nil, err
+	}
+	defer resp.Body.Close()
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), tgio.BinaryContentType) {
+		for _, f := range []struct {
+			h   string
+			dst *uint64
+		}{
+			{snapRevisionHeader, &snap.Revision},
+			{snapGenerationHeader, &snap.Generation},
+			{snapLastSeqHeader, &snap.LastSeq},
+		} {
+			v, err := strconv.ParseUint(resp.Header.Get(f.h), 10, 64)
+			if err != nil {
+				return snap, nil, fmt.Errorf("leader binary snapshot: bad %s header %q", f.h, resp.Header.Get(f.h))
+			}
+			*f.dst = v
+		}
+		g, err := tgio.DecodeBinary(resp.Body)
+		if err != nil {
+			return snap, nil, fmt.Errorf("leader binary snapshot does not decode: %w", err)
+		}
+		return snap, g, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, nil, err
+	}
+	g, err := tgio.ParseString(snap.Text)
+	if err != nil {
+		return snap, nil, fmt.Errorf("leader snapshot does not parse: %w", err)
+	}
+	return snap, g, nil
+}
+
 func (r *replicator) get(ctx context.Context, path string, out any) error {
-	if err := fault.InjectErr("repl:get"); err != nil {
+	resp, err := r.do(ctx, path)
+	if err != nil {
 		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// do runs one fenced leader GET — epoch assertion on the query string,
+// trace propagation, epoch observation, error-body decoding — and hands
+// back the open 200 response. The caller owns (and must close) the body.
+func (r *replicator) do(ctx context.Context, path string) (*http.Response, error) {
+	if err := fault.InjectErr("repl:get"); err != nil {
+		return nil, err
 	}
 	// Fencing, follower side: assert the highest epoch we have seen, so a
 	// resurrected old leader refuses us with 409 stale_epoch even before
@@ -599,7 +681,7 @@ func (r *replicator) get(ctx context.Context, path string, out any) error {
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.leader+path, nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Each leader request is a child span of the poll round: the leader's
 	// instrument middleware joins the trace, so its request log line
@@ -609,21 +691,22 @@ func (r *replicator) get(ctx context.Context, path string, out any) error {
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer resp.Body.Close()
 	if err := r.observeEpoch(resp); err != nil {
-		return err
+		resp.Body.Close()
+		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody
 		json.NewDecoder(resp.Body).Decode(&eb)
+		resp.Body.Close()
 		if eb.Code == "stale_epoch" {
-			return fmt.Errorf("leader %s%s: %w (%s)", r.leader, path, ErrStaleEpoch, eb.Error)
+			return nil, fmt.Errorf("leader %s%s: %w (%s)", r.leader, path, ErrStaleEpoch, eb.Error)
 		}
-		return fmt.Errorf("leader %s%s: %d %s", r.leader, path, resp.StatusCode, eb.Error)
+		return nil, fmt.Errorf("leader %s%s: %d %s", r.leader, path, resp.StatusCode, eb.Error)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return resp, nil
 }
 
 // observeEpoch tracks the leader's epoch from a response header. A

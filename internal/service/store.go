@@ -1,7 +1,9 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -20,8 +22,9 @@ type JournalStats = journal.Stats
 // Record kinds, re-exported so service code reads without the package
 // qualifier (the namespace field named journal shadows the import).
 const (
-	journalKindGraph = journal.KindGraph
-	journalKindApply = journal.KindApply
+	journalKindGraph    = journal.KindGraph
+	journalKindGraphBin = journal.KindGraphBin
+	journalKindApply    = journal.KindApply
 )
 
 // journalState binds an open journal to its snapshot cadence.
@@ -153,6 +156,20 @@ func (s *Server) replayLocked(n *namespace, rec journal.Record) error {
 		g, err := tgio.ParseString(text)
 		if err != nil {
 			return fmt.Errorf("parse journaled graph: %w", err)
+		}
+		n.install(g, s.cfg.HierarchyWorkers)
+	case journal.KindGraphBin:
+		var b64 string
+		if err := json.Unmarshal(rec.Data, &b64); err != nil {
+			return fmt.Errorf("decode binary graph record: %w", err)
+		}
+		raw, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return fmt.Errorf("decode binary graph record: %w", err)
+		}
+		g, err := tgio.DecodeBinary(bytes.NewReader(raw))
+		if err != nil {
+			return fmt.Errorf("parse journaled binary graph: %w", err)
 		}
 		n.install(g, s.cfg.HierarchyWorkers)
 	case journal.KindApply:

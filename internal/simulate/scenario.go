@@ -1,0 +1,324 @@
+package simulate
+
+// Scenario generators for million-vertex worlds. Unlike Hierarchy —
+// whose full-level document membership edges grow quadratically with
+// level size — every generator here emits bounded out-degree per vertex,
+// so a target of 1e6 vertices yields a few million edges and generation
+// stays O(V). The shapes mirror the systems the paper motivates
+// (§6's hierarchies) plus the adversarial churn the strategy harness
+// exercises; cmd/tgload serialises them as .tgb worlds for bulk-load and
+// capacity experiments.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// Scenario names a large-world generator shape.
+type Scenario string
+
+const (
+	// ScenarioOrgChart is a 4-ary management tree: employees are
+	// subjects, managers hold tg over their reports (delegation),
+	// reports hold w to their manager (reporting), and each employee
+	// owns a few rw documents their manager can read.
+	ScenarioOrgChart Scenario = "org-chart"
+	// ScenarioDocShare is a flat document-sharing system: users in
+	// 16-member teams whose leads hold tg over members, documents owned
+	// rw by one user and shared r/w with a few random others, plus
+	// implicit r edges recording past de facto flows.
+	ScenarioDocShare Scenario = "doc-share"
+	// ScenarioMilitary is a 5-level classification: units of 8 with a
+	// tg-holding commander, a t-edge chain of command downward, level
+	// documents written at their level and read one level up.
+	ScenarioMilitary Scenario = "military"
+	// ScenarioChurn starts from the doc-share shape and replays the
+	// adversary strategies' move mix as direct mutations — take/grant
+	// propagation, right revocation, vertex deletion — leaving the
+	// deleted-vertex holes and implicit closures of a long-lived system.
+	ScenarioChurn Scenario = "churn"
+)
+
+// Scenarios lists every generator, in stable order.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioOrgChart, ScenarioDocShare, ScenarioMilitary, ScenarioChurn}
+}
+
+// GenerateScenario builds a world of roughly `vertices` vertices (within
+// a few percent; churn deletes some) for the named scenario,
+// deterministically in seed.
+func GenerateScenario(sc Scenario, vertices int, seed int64) (*graph.Graph, error) {
+	if vertices < 8 {
+		return nil, fmt.Errorf("simulate: scenario needs at least 8 vertices, got %d", vertices)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch sc {
+	case ScenarioOrgChart:
+		return orgChart(vertices, rng)
+	case ScenarioDocShare:
+		return docShare(vertices, rng)
+	case ScenarioMilitary:
+		return military(vertices, rng)
+	case ScenarioChurn:
+		return churn(vertices, rng)
+	default:
+		return nil, fmt.Errorf("simulate: unknown scenario %q", sc)
+	}
+}
+
+func orgChart(n int, rng *rand.Rand) (*graph.Graph, error) {
+	g := graph.New(nil)
+	g.Grow(n)
+	nEmp := n / 4
+	emp := make([]graph.ID, nEmp)
+	for i := range emp {
+		emp[i] = g.MustSubject(fmt.Sprintf("emp%07d", i))
+	}
+	for i := 1; i < nEmp; i++ {
+		boss := emp[(i-1)/4]
+		if err := g.AddExplicit(boss, emp[i], rights.TG); err != nil {
+			return nil, err
+		}
+		if err := g.AddExplicit(emp[i], boss, rights.W); err != nil {
+			return nil, err
+		}
+	}
+	// Remaining budget becomes per-employee documents (3 each at the
+	// default 1/4 split), manager-readable.
+	docs := n - nEmp
+	for i := 0; i < docs; i++ {
+		owner := i % nEmp
+		doc := g.MustObject(fmt.Sprintf("doc%07d", i))
+		if err := g.AddExplicit(emp[owner], doc, rights.RW); err != nil {
+			return nil, err
+		}
+		if owner > 0 {
+			if err := g.AddExplicit(emp[(owner-1)/4], doc, rights.R); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+func docShare(n int, rng *rand.Rand) (*graph.Graph, error) {
+	g := graph.New(nil)
+	g.Grow(n)
+	if _, err := g.Universe().Declare("e"); err != nil {
+		return nil, err
+	}
+	e, _ := g.Universe().Lookup("e")
+	nUsers := n / 3
+	users := make([]graph.ID, nUsers)
+	for i := range users {
+		users[i] = g.MustSubject(fmt.Sprintf("usr%07d", i))
+	}
+	// Teams of 16; the lead (first member) holds tg over the first half
+	// of the team — grant-mediated sharing stays possible without the
+	// whole team collapsing into one island.
+	for i := 1; i < nUsers; i++ {
+		if i%16 < 8 {
+			lead := users[i/16*16]
+			if lead != users[i] {
+				if err := g.AddExplicit(lead, users[i], rights.TG); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	docs := n - nUsers
+	for i := 0; i < docs; i++ {
+		doc := g.MustObject(fmt.Sprintf("doc%07d", i))
+		owner := users[rng.Intn(nUsers)]
+		if err := g.AddExplicit(owner, doc, rights.RW.With(e)); err != nil {
+			return nil, err
+		}
+		for r := 0; r < 2; r++ {
+			reader := users[rng.Intn(nUsers)]
+			if reader == owner {
+				continue
+			}
+			if err := g.AddExplicit(reader, doc, rights.R); err != nil {
+				return nil, err
+			}
+			// A third of shares have already been exercised: record the
+			// de facto flow as an implicit read.
+			if rng.Intn(3) == 0 {
+				if err := g.AddImplicit(reader, doc, rights.R); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if rng.Intn(4) == 0 {
+			writer := users[rng.Intn(nUsers)]
+			if writer != owner {
+				if err := g.AddExplicit(writer, doc, rights.W); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+func military(n int, rng *rand.Rand) (*graph.Graph, error) {
+	const levels = 5
+	g := graph.New(nil)
+	g.Grow(n)
+	nSubj := n / 3
+	if nSubj < levels {
+		nSubj = levels
+	}
+	subj := make([]graph.ID, nSubj)
+	level := make([]int, nSubj)
+	for i := range subj {
+		level[i] = i * levels / nSubj // contiguous level blocks
+		subj[i] = g.MustSubject(fmt.Sprintf("off%d_%06d", level[i], i))
+	}
+	// Units of 8 within a level: the commander (first member) holds tg
+	// over the unit. Chain of command: each commander holds t over one
+	// commander of the level below (it can take what subordinates hold).
+	var commanders [levels][]graph.ID
+	for l := 0; l < levels; l++ {
+		lo := l * nSubj / levels
+		hi := (l + 1) * nSubj / levels
+		for i := lo; i < hi; i += 8 {
+			end := i + 8
+			if end > hi {
+				end = hi
+			}
+			cmd := subj[i]
+			commanders[l] = append(commanders[l], cmd)
+			for j := i + 1; j < end; j++ {
+				if err := g.AddExplicit(cmd, subj[j], rights.TG); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for l := 0; l < levels-1; l++ {
+		for _, cmd := range commanders[l] {
+			if len(commanders[l+1]) == 0 {
+				continue
+			}
+			sub := commanders[l+1][rng.Intn(len(commanders[l+1]))]
+			if err := g.AddExplicit(cmd, sub, rights.T); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Level documents: written rw at their level, read one level up
+	// (read-down from the higher clearance).
+	docs := n - nSubj
+	for i := 0; i < docs; i++ {
+		doc := g.MustObject(fmt.Sprintf("doc%07d", i))
+		w := rng.Intn(nSubj)
+		if err := g.AddExplicit(subj[w], doc, rights.RW); err != nil {
+			return nil, err
+		}
+		if l := level[w]; l > 0 {
+			lo := (l - 1) * nSubj / levels
+			hi := l * nSubj / levels
+			if hi > lo {
+				reader := lo + rng.Intn(hi-lo)
+				if err := g.AddExplicit(subj[reader], doc, rights.R); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// churn replays the adversary strategies' move mix over a doc-share base
+// as direct graph mutations: take propagation (s holds t over u, u holds
+// α over v ⇒ s gains α over v), grant propagation (s holds g over u ⇒ u
+// gains a right s holds), de facto reads recorded as implicit edges,
+// revocation and account deletion. The result carries the scar tissue a
+// long-lived system accumulates — deleted-vertex holes, revoked labels,
+// implicit closures — which the incremental island index and reach rows
+// must absorb.
+func churn(n int, rng *rand.Rand) (*graph.Graph, error) {
+	g, err := docShare(n, rng)
+	if err != nil {
+		return nil, err
+	}
+	subjects := g.Subjects()
+	all := g.Vertices()
+	steps := n / 4
+	for i := 0; i < steps; i++ {
+		s := subjects[rng.Intn(len(subjects))]
+		if !g.Valid(s) {
+			continue
+		}
+		switch rng.Intn(10) {
+		case 0, 1, 2: // take propagation across a random t-capable hop
+			out := g.Out(s)
+			if len(out) == 0 {
+				continue
+			}
+			h := out[rng.Intn(len(out))]
+			if !h.Explicit.Has(rights.Take) {
+				continue
+			}
+			uOut := g.Out(h.Other)
+			if len(uOut) == 0 {
+				continue
+			}
+			h2 := uOut[rng.Intn(len(uOut))]
+			if h2.Other != s && !h2.Explicit.Empty() {
+				if err := g.AddExplicit(s, h2.Other, h2.Explicit); err != nil {
+					return nil, err
+				}
+			}
+		case 3, 4, 5: // grant propagation to a granted peer
+			out := g.Out(s)
+			if len(out) == 0 {
+				continue
+			}
+			h := out[rng.Intn(len(out))]
+			if !h.Explicit.Has(rights.Grant) {
+				continue
+			}
+			tgt := all[rng.Intn(len(all))]
+			if tgt != h.Other && g.Valid(tgt) {
+				if err := g.AddExplicit(h.Other, tgt, rights.R); err != nil {
+					return nil, err
+				}
+			}
+		case 6, 7: // exercised read becomes an implicit flow
+			out := g.Out(s)
+			if len(out) == 0 {
+				continue
+			}
+			h := out[rng.Intn(len(out))]
+			if h.Explicit.Has(rights.Read) {
+				if err := g.AddImplicit(s, h.Other, rights.R); err != nil {
+					return nil, err
+				}
+			}
+		case 8: // revocation
+			out := g.Out(s)
+			if len(out) == 0 {
+				continue
+			}
+			h := out[rng.Intn(len(out))]
+			if err := g.RemoveExplicit(s, h.Other, rights.R); err != nil {
+				return nil, err
+			}
+		case 9: // account/document deletion (rare; leaves ID holes)
+			if rng.Intn(8) == 0 {
+				v := all[rng.Intn(len(all))]
+				if g.Valid(v) && v != s {
+					if err := g.DeleteVertex(v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,101 @@
+package simulate
+
+import (
+	"bytes"
+	"testing"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+	"takegrant/internal/tgio"
+)
+
+func TestGenerateScenarioShapes(t *testing.T) {
+	const target = 2000
+	for _, sc := range Scenarios() {
+		g, err := GenerateScenario(sc, target, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if errs := g.Validate(); errs != nil {
+			t.Fatalf("%s: invalid graph: %v", sc, errs)
+		}
+		n := g.NumVertices()
+		if n < target*8/10 || n > target*11/10 {
+			t.Fatalf("%s: %d vertices for target %d", sc, n, target)
+		}
+		if len(g.Subjects()) == 0 || len(g.Objects()) == 0 {
+			t.Fatalf("%s: missing a vertex kind", sc)
+		}
+		if g.NumEdges() < n/2 {
+			t.Fatalf("%s: suspiciously sparse: %d edges over %d vertices", sc, g.NumEdges(), n)
+		}
+		// Bounded degree: no vertex should collect more than a small
+		// constant-ish out-degree (log-factor slack for random targets).
+		s := g.Snapshot()
+		for v := 0; v < s.Cap(); v++ {
+			if dst, _ := s.Out(graph.ID(v)); len(dst) > 64 {
+				t.Fatalf("%s: vertex %d has out-degree %d", sc, v, len(dst))
+			}
+		}
+		// Some delegation structure must exist: at least one tg edge
+		// between subjects (islands are what the decision procedures
+		// chew on).
+		tg := false
+		for _, e := range g.Edges() {
+			if e.Explicit.HasAny(rights.TG) && g.IsSubject(e.Src) && g.IsSubject(e.Dst) {
+				tg = true
+				break
+			}
+		}
+		if !tg {
+			t.Fatalf("%s: no subject-to-subject tg edges", sc)
+		}
+	}
+}
+
+func TestGenerateScenarioDeterministic(t *testing.T) {
+	for _, sc := range Scenarios() {
+		a, err := GenerateScenario(sc, 1200, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateScenario(sc, 1200, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("%s: same seed, different worlds", sc)
+		}
+	}
+}
+
+// TestScenarioBinaryRoundTrip pushes every scenario shape through the
+// .tgb codec — the path tgload -gen uses to emit worlds.
+func TestScenarioBinaryRoundTrip(t *testing.T) {
+	for _, sc := range Scenarios() {
+		g, err := GenerateScenario(sc, 1500, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tgio.EncodeBinary(&buf, g); err != nil {
+			t.Fatalf("%s: encode: %v", sc, err)
+		}
+		dec, err := tgio.DecodeBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", sc, err)
+		}
+		if tgio.WriteString(dec) != tgio.WriteString(g) {
+			t.Fatalf("%s: binary round trip changed the world", sc)
+		}
+	}
+}
+
+func TestGenerateScenarioErrors(t *testing.T) {
+	if _, err := GenerateScenario("no-such", 1000, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := GenerateScenario(ScenarioOrgChart, 3, 1); err == nil {
+		t.Fatal("tiny target accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package tgio
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -25,6 +26,51 @@ func FuzzParse(f *testing.F) {
 		}
 		if WriteString(g2) != text {
 			t.Fatalf("canonical form unstable:\n%s\nvs\n%s", text, WriteString(g2))
+		}
+	})
+}
+
+// FuzzDecodeBinary checks the .tgb decoder never panics on arbitrary
+// bytes and that anything it accepts survives an encode/decode round
+// trip. The seed corpus covers well-formed worlds plus the corruption
+// classes the decoder must reject: truncation, CRC damage, bad magic.
+func FuzzDecodeBinary(f *testing.F) {
+	seedWorld := func(n int, seed uint64) []byte {
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, genWorld(f, n, seed)); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	small := seedWorld(12, 1)
+	f.Add(small)
+	f.Add(seedWorld(0, 1))
+	f.Add(seedWorld(80, 7))
+	f.Add(small[:len(small)/2]) // truncated
+	crcHit := bytes.Clone(small)
+	crcHit[len(crcHit)-1] ^= 0xff // damaged terminator CRC
+	f.Add(crcHit)
+	f.Add([]byte("TGB1"))
+	f.Add([]byte("TGB0not-binary"))
+	f.Add([]byte("subject a\nobject b\nedge a b r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if errs := g.Validate(); errs != nil {
+			t.Fatalf("decoder accepted an invalid graph: %v", errs)
+		}
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, g); err != nil {
+			t.Fatalf("accepted graph fails re-encode: %v", err)
+		}
+		g2, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded graph fails decode: %v", err)
+		}
+		if WriteString(g2) != WriteString(g) {
+			t.Fatalf("binary round trip unstable")
 		}
 	})
 }

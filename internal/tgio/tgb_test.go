@@ -1,0 +1,232 @@
+package tgio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"takegrant/internal/graph"
+	"takegrant/internal/rights"
+)
+
+// genWorld builds a deterministic pseudo-random world: a mix of subjects
+// and objects, explicit edges with varied rights (including declared
+// extras), implicit edges, and a few deleted vertices so encoding has
+// holes to compact.
+func genWorld(t testing.TB, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	u := rights.NewUniverse()
+	u.MustDeclare("e")
+	u.MustDeclare("audit")
+	g := graph.New(u)
+	rng := seed
+	next := func(mod uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % mod
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("v%04d", i)
+		var err error
+		if next(3) != 0 {
+			_, err = g.AddSubject(name)
+		} else {
+			_, err = g.AddObject(name)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sets := []rights.Set{
+		rights.R, rights.RW, rights.TG, rights.T, rights.G.Union(rights.R),
+		rights.Of(rights.Right(4)), rights.Of(rights.Right(5)).Union(rights.RW),
+	}
+	for i := 0; i < 4*n; i++ {
+		src := graph.ID(next(uint64(n)))
+		dst := graph.ID(next(uint64(n)))
+		if src == dst {
+			continue
+		}
+		if next(5) == 0 {
+			_ = g.AddImplicit(src, dst, rights.R)
+		} else {
+			_ = g.AddExplicit(src, dst, sets[next(uint64(len(sets)))])
+		}
+	}
+	for i := 0; i < n/10; i++ {
+		id := graph.ID(next(uint64(n)))
+		if g.Valid(id) {
+			_ = g.DeleteVertex(id)
+		}
+	}
+	return g
+}
+
+func encodeBytes(t testing.TB, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, g); err != nil {
+		t.Fatalf("EncodeBinary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 60, 400} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			g := genWorld(t, n, seed)
+			data := encodeBytes(t, g)
+			dec, err := DecodeBinary(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: DecodeBinary: %v", n, seed, err)
+			}
+			if got, want := WriteString(dec), WriteString(g); got != want {
+				t.Fatalf("n=%d seed=%d: canonical mismatch\n got: %q\nwant: %q", n, seed, got, want)
+			}
+			if errs := dec.Validate(); errs != nil {
+				t.Fatalf("n=%d seed=%d: decoded graph invalid: %v", n, seed, errs)
+			}
+		}
+	}
+}
+
+// TestBinaryRevisionParity: a decoded graph must land on the same revision
+// counter as parsing the equivalent canonical text — the replication
+// digest compares revisions across the two ingestion paths.
+func TestBinaryRevisionParity(t *testing.T) {
+	g := genWorld(t, 80, 9)
+	text := WriteString(g)
+	fromText, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeBinary(bytes.NewReader(encodeBytes(t, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromText.Revision() != fromBin.Revision() {
+		t.Fatalf("revision parity broken: text parse %d, binary decode %d",
+			fromText.Revision(), fromBin.Revision())
+	}
+}
+
+func TestParseAnyEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := genWorld(t, 120, seed)
+		text := WriteString(g)
+		bin := encodeBytes(t, g)
+
+		fromText, err := ParseAny(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("seed=%d: ParseAny(text): %v", seed, err)
+		}
+		fromBin, err := ParseAny(bytes.NewReader(bin))
+		if err != nil {
+			t.Fatalf("seed=%d: ParseAny(binary): %v", seed, err)
+		}
+		if WriteString(fromText) != WriteString(fromBin) {
+			t.Fatalf("seed=%d: ParseAny text/binary disagree", seed)
+		}
+		if fromText.Revision() != fromBin.Revision() {
+			t.Fatalf("seed=%d: ParseAny revision mismatch: %d vs %d",
+				seed, fromText.Revision(), fromBin.Revision())
+		}
+	}
+}
+
+func TestBinaryTruncation(t *testing.T) {
+	g := genWorld(t, 50, 2)
+	data := encodeBytes(t, g)
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeBinary(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", cut, len(data))
+		}
+	}
+}
+
+// TestBinaryCorruption flips every byte of an encoded world in turn: each
+// flip must be rejected — by the CRC footer if nothing structural trips
+// first. CRC32 detects all single-byte errors, so no flip may decode.
+func TestBinaryCorruption(t *testing.T) {
+	g := genWorld(t, 30, 3)
+	data := encodeBytes(t, g)
+	mut := make([]byte, len(data))
+	for i := 0; i < len(data); i++ {
+		copy(mut, data)
+		mut[i] ^= 0x5a
+		if _, err := DecodeBinary(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at byte %d/%d decoded cleanly", i, len(data))
+		}
+	}
+}
+
+// TestBinaryAlphabetOverflow hand-frames a file whose label table uses a
+// bit beyond the declared alphabet.
+func TestBinaryAlphabetOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	bw := newTestFramer(&buf)
+	bw.section('R', func(c *crcWriter) {
+		c.uvarint(0) // no extra rights: alphabet is r,w,t,g only
+	})
+	bw.section('V', func(c *crcWriter) {
+		c.uvarint(2)
+		c.Write([]byte{0})
+		c.str("a")
+		c.Write([]byte{1})
+		c.str("b")
+	})
+	bw.section('L', func(c *crcWriter) {
+		c.uvarint(1)
+		c.uvarint(1 << 5) // bit 5: beyond the 4 declared rights
+		c.uvarint(0)
+	})
+	bw.section('E', func(c *crcWriter) {
+		c.uvarint(0)
+	})
+	bw.section('Z', func(c *crcWriter) {})
+	bw.flush()
+
+	_, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "alphabet overflow") {
+		t.Fatalf("want alphabet overflow error, got %v", err)
+	}
+}
+
+func TestBinaryRejectsTextAndGarbage(t *testing.T) {
+	for _, in := range []string{"", "subject a\n", "TGB0xxxx", "TGB1", "TGB1\x00\x00"} {
+		if _, err := DecodeBinary(strings.NewReader(in)); err == nil {
+			t.Fatalf("DecodeBinary(%q) succeeded", in)
+		}
+	}
+	// ParseAny falls back to text for non-magic input.
+	g, err := ParseAny(strings.NewReader("subject a\nobject b\nedge a b r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 {
+		t.Fatalf("ParseAny text fallback lost vertices: %d", g.NumVertices())
+	}
+	if _, err := ParseAny(strings.NewReader("")); err != nil {
+		t.Fatalf("ParseAny empty input: %v", err)
+	}
+}
+
+// testFramer writes hand-built .tgb sections for corruption tests.
+type testFramer struct {
+	bw *crcWriter
+}
+
+func newTestFramer(buf *bytes.Buffer) *testFramer {
+	f := &testFramer{bw: &crcWriter{w: bufio.NewWriter(buf)}}
+	f.bw.w.WriteString(binaryMagic)
+	return f
+}
+
+func (f *testFramer) section(tag byte, fill func(*crcWriter)) {
+	f.bw.begin(tag)
+	fill(f.bw)
+	f.bw.end()
+}
+
+func (f *testFramer) flush() { f.bw.w.Flush() }

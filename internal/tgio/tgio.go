@@ -27,10 +27,30 @@ import (
 	"takegrant/internal/rights"
 )
 
-// Parse reads a .tg document into a fresh graph.
+// maxLineBytes bounds a single .tg line. Generated worlds can carry wide
+// rights lists and long vertex names; the default bufio.Scanner cap
+// (64KiB) fails them with a bare "token too long".
+const maxLineBytes = 16 << 20
+
+// ParseError reports a .tg parse failure with the 1-based line it
+// occurred on. Parse returns it for any malformed directive; scanner-level
+// failures (for example a line over maxLineBytes) carry the line the
+// scanner stopped at.
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("tgio: line %d: %v", e.Line, e.Err) }
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Parse reads a .tg document into a fresh graph. Malformed input returns
+// a *ParseError carrying the offending line number.
 func Parse(r io.Reader) (*graph.Graph, error) {
 	g := graph.New(nil)
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -43,11 +63,11 @@ func Parse(r io.Reader) (*graph.Graph, error) {
 			continue
 		}
 		if err := parseLine(g, fields); err != nil {
-			return nil, fmt.Errorf("tgio: line %d: %w", lineNo, err)
+			return nil, &ParseError{Line: lineNo, Err: err}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("tgio: %w", err)
+		return nil, &ParseError{Line: lineNo + 1, Err: err}
 	}
 	return g, nil
 }
